@@ -1,0 +1,391 @@
+// Benchmarks backing the experiment tables (DESIGN.md index, C1–C11).
+// Each bench isolates the hot loop of one experiment; `go run
+// ./cmd/benchrun` regenerates the full comparison tables around them.
+package p2pm_test
+
+import (
+	"fmt"
+	"testing"
+	"time"
+
+	"p2pm/internal/dht"
+	"p2pm/internal/filter"
+	"p2pm/internal/kadop"
+	"p2pm/internal/operators"
+	"p2pm/internal/p2pml"
+	"p2pm/internal/peer"
+	"p2pm/internal/stream"
+	"p2pm/internal/workload"
+	"p2pm/internal/xmltree"
+	"p2pm/internal/xpath"
+)
+
+// --- substrate ---
+
+func BenchmarkXMLParse(b *testing.B) {
+	gen := workload.NewFilterGen(workload.DefaultFilterGen())
+	raw := gen.Document().String()
+	b.SetBytes(int64(len(raw)))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := xmltree.Parse(raw); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkXMLSerialize(b *testing.B) {
+	gen := workload.NewFilterGen(workload.DefaultFilterGen())
+	doc := gen.Document()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = doc.String()
+	}
+}
+
+func BenchmarkReadFirstTag(b *testing.B) {
+	gen := workload.NewFilterGen(workload.DefaultFilterGen())
+	raw := gen.Document().String()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, _, err := xmltree.ReadFirstTag(raw); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkXPathEval(b *testing.B) {
+	gen := workload.NewFilterGen(workload.DefaultFilterGen())
+	doc := gen.Document()
+	q := xpath.MustCompile(`//body//param[@p1 = "x2"]`)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		q.Matches(doc, nil)
+	}
+}
+
+// --- C1/C2: the Filter ---
+
+func filterWorld(b *testing.B, subs int, complexFrac float64) (*filter.Filter, []*xmltree.Node) {
+	b.Helper()
+	cfg := workload.DefaultFilterGen()
+	cfg.ComplexFraction = complexFrac
+	gen := workload.NewFilterGen(cfg)
+	f := filter.New()
+	for _, s := range gen.Subscriptions(subs) {
+		if err := f.Add(s); err != nil {
+			b.Fatal(err)
+		}
+	}
+	return f, gen.Documents(256)
+}
+
+func benchFilterMode(b *testing.B, subs int, mode filter.Mode) {
+	f, docs := filterWorld(b, subs, 0.3)
+	// Warm up: the first match triggers the lazy AES/YFilter rebuild
+	// (the offline adjustment path), which is not the steady state.
+	if _, err := f.MatchMode(docs[0], mode); err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := f.MatchMode(docs[i%len(docs)], mode); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkFilterTwoStage(b *testing.B) {
+	for _, n := range []int{100, 1000, 10000} {
+		b.Run(fmt.Sprintf("subs=%d", n), func(b *testing.B) { benchFilterMode(b, n, filter.ModeTwoStage) })
+	}
+}
+
+func BenchmarkFilterNaive(b *testing.B) {
+	for _, n := range []int{100, 1000, 10000} {
+		b.Run(fmt.Sprintf("subs=%d", n), func(b *testing.B) { benchFilterMode(b, n, filter.ModeNaive) })
+	}
+}
+
+func BenchmarkFilterYFilterOnly(b *testing.B) {
+	for _, n := range []int{100, 1000, 10000} {
+		b.Run(fmt.Sprintf("subs=%d", n), func(b *testing.B) { benchFilterMode(b, n, filter.ModeYFilterOnly) })
+	}
+}
+
+// BenchmarkFilterSerializedFastPath measures the first-tag-only path: no
+// complex subscriptions, bodies never parsed.
+func BenchmarkFilterSerializedFastPath(b *testing.B) {
+	cfg := workload.DefaultFilterGen()
+	cfg.ComplexFraction = 0
+	gen := workload.NewFilterGen(cfg)
+	f := filter.New()
+	for _, s := range gen.Subscriptions(10000) {
+		if err := f.Add(s); err != nil {
+			b.Fatal(err)
+		}
+	}
+	raws := gen.SerializedDocuments(256)
+	if _, err := f.MatchSerialized(raws[0]); err != nil { // warm rebuild
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := f.MatchSerialized(raws[i%len(raws)]); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// --- C3: AES ---
+
+func BenchmarkAESMatch(b *testing.B) {
+	for _, n := range []int{1000, 10000, 100000} {
+		b.Run(fmt.Sprintf("subs=%d", n), func(b *testing.B) {
+			a := filter.NewAES()
+			rng := newBenchRand(1)
+			for i := 0; i < n; i++ {
+				var seq []int
+				for c := 0; c < 60; c++ {
+					if rng.Intn(20) == 0 {
+						seq = append(seq, c)
+					}
+				}
+				if len(seq) == 0 {
+					seq = []int{i % 60}
+				}
+				if err := a.Insert(seq, i); err != nil {
+					b.Fatal(err)
+				}
+			}
+			satisfied := []int{3, 7, 12, 25, 31, 44, 58}
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				a.Match(satisfied)
+			}
+		})
+	}
+}
+
+// --- C4: YFilter ---
+
+func BenchmarkYFilterShared(b *testing.B) {
+	for _, n := range []int{1000, 10000} {
+		b.Run(fmt.Sprintf("queries=%d", n), func(b *testing.B) {
+			gen := workload.NewFilterGen(workload.DefaultFilterGen())
+			yf := filter.NewYFilter()
+			for i := 0; i < n; i++ {
+				if err := yf.Add(i, gen.Query()); err != nil {
+					b.Fatal(err)
+				}
+			}
+			docs := gen.Documents(64)
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				yf.MatchAll(docs[i%len(docs)])
+			}
+		})
+	}
+}
+
+func BenchmarkYFilterIndependentBaseline(b *testing.B) {
+	for _, n := range []int{1000, 10000} {
+		b.Run(fmt.Sprintf("queries=%d", n), func(b *testing.B) {
+			gen := workload.NewFilterGen(workload.DefaultFilterGen())
+			queries := make([]*xpath.Path, n)
+			for i := range queries {
+				queries[i] = gen.Query()
+			}
+			docs := gen.Documents(64)
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				d := docs[i%len(docs)]
+				for _, q := range queries {
+					q.Matches(d, nil)
+				}
+			}
+		})
+	}
+}
+
+// --- C5/C7: whole-system (per-op: one full scenario) ---
+
+func benchMeteoScenario(b *testing.B, pushdown, reuseOn bool, managers int) {
+	for i := 0; i < b.N; i++ {
+		opts := peer.DefaultOptions()
+		opts.Pushdown = pushdown
+		opts.Reuse = reuseOn
+		sys := peer.NewSystem(opts)
+		cfg := workload.DefaultMeteo()
+		cfg.Calls = 10
+		if err := workload.SetupMeteo(sys, cfg); err != nil {
+			b.Fatal(err)
+		}
+		sub := workload.MeteoSubscription(cfg.Clients, cfg.Server)
+		var tasks []*peer.Task
+		for m := 0; m < managers; m++ {
+			mgr := sys.MustAddPeer(fmt.Sprintf("mgr-%d", m))
+			t, err := mgr.Subscribe(sub)
+			if err != nil {
+				b.Fatal(err)
+			}
+			tasks = append(tasks, t)
+		}
+		if _, err := workload.RunMeteo(sys, cfg); err != nil {
+			b.Fatal(err)
+		}
+		for _, t := range tasks {
+			t.Stop()
+			t.Results().Drain()
+		}
+	}
+}
+
+func BenchmarkScenarioPushdown(b *testing.B)   { benchMeteoScenario(b, true, false, 1) }
+func BenchmarkScenarioNoPushdown(b *testing.B) { benchMeteoScenario(b, false, false, 1) }
+func BenchmarkScenarioReuse4(b *testing.B)     { benchMeteoScenario(b, true, true, 4) }
+func BenchmarkScenarioNoReuse4(b *testing.B)   { benchMeteoScenario(b, true, false, 4) }
+
+// --- C8/C10: Join ---
+
+func benchJoin(b *testing.B, useIndex bool, window time.Duration) {
+	j := &operators.Join{
+		LeftKey:  operators.AttrKey("k"),
+		RightKey: operators.AttrKey("k"),
+		UseIndex: useIndex,
+		Window:   window,
+	}
+	sink := func(stream.Item) {}
+	const history = 10000
+	for i := 0; i < history; i++ {
+		l := xmltree.Elem("l")
+		l.SetAttr("k", fmt.Sprintf("%d", i))
+		j.Accept(0, stream.Item{Tree: l, Time: time.Duration(i) * time.Millisecond}, sink)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		r := xmltree.Elem("r")
+		r.SetAttr("k", fmt.Sprintf("%d", i%history))
+		j.Accept(1, stream.Item{Tree: r, Time: history * time.Millisecond}, sink)
+	}
+}
+
+func BenchmarkJoinIndexed(b *testing.B)  { benchJoin(b, true, 0) }
+func BenchmarkJoinScan(b *testing.B)     { benchJoin(b, false, 0) }
+func BenchmarkJoinWindowed(b *testing.B) { benchJoin(b, true, time.Hour) }
+
+// --- C9: KadoP discovery ---
+
+func BenchmarkKadopDiscovery(b *testing.B) {
+	for _, peers := range []int{100, 1000} {
+		b.Run(fmt.Sprintf("peers=%d", peers), func(b *testing.B) {
+			ring := dht.New()
+			for i := 0; i < peers; i++ {
+				if err := ring.Join(fmt.Sprintf("peer-%d", i)); err != nil {
+					b.Fatal(err)
+				}
+			}
+			db := kadop.New(ring)
+			for i := 0; i < peers*10; i++ {
+				def := &kadop.StreamDef{
+					Ref:       stream.Ref{PeerID: fmt.Sprintf("peer-%d", i%peers), StreamID: fmt.Sprintf("s%d", i)},
+					Operator:  "inCOM",
+					Signature: fmt.Sprintf("inCOM(peer-%d)#%d", i%peers, i),
+				}
+				if err := db.Publish(def); err != nil {
+					b.Fatal(err)
+				}
+			}
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, _, err := db.FindAlerters(fmt.Sprintf("peer-%d", i%peers),
+					fmt.Sprintf("peer-%d", (i*13)%peers), "inCOM"); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// --- C11 / language plumbing ---
+
+func BenchmarkP2PMLParse(b *testing.B) {
+	cfg := workload.DefaultMeteo()
+	src := workload.MeteoSubscription(cfg.Clients, cfg.Server)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := p2pml.Parse(src); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkSubsumptionSubscribe measures subscribing the k-th task of a
+// nested-condition chain (X1): discovery + residual deployment cost.
+func BenchmarkSubsumptionSubscribe(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		sys := peer.NewSystem(peer.DefaultOptions())
+		m := sys.MustAddPeer("m.com")
+		m.Endpoint().Register("Q", func(*xmltree.Node) (*xmltree.Node, error) {
+			return xmltree.Elem("ok"), nil
+		}, nil)
+		base := sys.MustAddPeer("p0")
+		t0, err := base.Subscribe(`for $e in inCOM(<p>m.com</p>) where $e.callMethod = "Q" return $e by publish as channel "c0"`)
+		if err != nil {
+			b.Fatal(err)
+		}
+		p1 := sys.MustAddPeer("p1")
+		t1, err := p1.Subscribe(`for $e in inCOM(<p>m.com</p>) where $e.callMethod = "Q" and $e.fault != "" return $e by publish as channel "c1"`)
+		if err != nil {
+			b.Fatal(err)
+		}
+		t1.Stop()
+		t0.Stop()
+	}
+}
+
+// BenchmarkGroupAccept measures the windowed aggregator's per-item cost.
+func BenchmarkGroupAccept(b *testing.B) {
+	g := &operators.Group{
+		Key:    func(n *xmltree.Node) string { return n.AttrOr("k", "") },
+		Window: time.Minute,
+	}
+	sink := func(stream.Item) {}
+	items := make([]stream.Item, 64)
+	for i := range items {
+		n := xmltree.Elem("e")
+		n.SetAttr("k", fmt.Sprintf("key-%d", i%8))
+		items[i] = stream.Item{Tree: n, Time: time.Duration(i) * time.Second}
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		g.Accept(0, items[i%len(items)], sink)
+	}
+}
+
+func BenchmarkSubscribeDeployStop(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		sys := peer.NewSystem(peer.DefaultOptions())
+		mgr := sys.MustAddPeer("p")
+		cfg := workload.DefaultMeteo()
+		if err := workload.SetupMeteo(sys, cfg); err != nil {
+			b.Fatal(err)
+		}
+		t, err := mgr.Subscribe(workload.MeteoSubscription(cfg.Clients, cfg.Server))
+		if err != nil {
+			b.Fatal(err)
+		}
+		t.Stop()
+	}
+}
+
+type benchRand struct{ state uint64 }
+
+func newBenchRand(seed int64) *benchRand {
+	return &benchRand{state: uint64(seed)*2862933555777941757 + 3037000493}
+}
+
+func (r *benchRand) Intn(n int) int {
+	r.state = r.state*6364136223846793005 + 1442695040888963407
+	return int((r.state >> 33) % uint64(n))
+}

@@ -1,0 +1,69 @@
+// Command benchrun regenerates the repository's experiment tables: the
+// paper's Figures 1–7 as runnable scenarios (F1–F7) and every prose
+// performance claim as a measured comparison (C1–C11). See DESIGN.md for
+// the experiment index and EXPERIMENTS.md for recorded results.
+//
+// Usage:
+//
+//	benchrun            # run everything at full scale
+//	benchrun -quick     # CI-sized runs
+//	benchrun -exp C5    # one experiment
+//	benchrun -list      # list experiment ids
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"p2pm/internal/experiments"
+)
+
+func main() {
+	quick := flag.Bool("quick", false, "run reduced-size experiments")
+	exp := flag.String("exp", "", "run a single experiment by id (e.g. C5)")
+	list := flag.Bool("list", false, "list experiments and exit")
+	flag.Parse()
+
+	if *list {
+		for _, r := range experiments.All() {
+			fmt.Printf("%-4s %s\n", r.ID, r.Name)
+		}
+		return
+	}
+	scale := experiments.Full
+	if *quick {
+		scale = experiments.Quick
+	}
+	runners := experiments.All()
+	if *exp != "" {
+		r, ok := experiments.Lookup(*exp)
+		if !ok {
+			fmt.Fprintf(os.Stderr, "unknown experiment %q; try -list\n", *exp)
+			os.Exit(2)
+		}
+		runners = []experiments.Runner{r}
+	}
+
+	failures := 0
+	for _, r := range runners {
+		start := time.Now()
+		res, err := r.Run(scale)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "%s: error: %v\n", r.ID, err)
+			failures++
+			continue
+		}
+		fmt.Println(res)
+		fmt.Printf("(%s in %v)\n\n", r.ID, time.Since(start).Round(time.Millisecond))
+		if !res.Holds {
+			failures++
+		}
+	}
+	if failures > 0 {
+		fmt.Fprintf(os.Stderr, "%d experiment(s) failed to reproduce their claim shape\n", failures)
+		os.Exit(1)
+	}
+	fmt.Println("all experiment claim shapes reproduced")
+}

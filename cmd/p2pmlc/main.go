@@ -1,0 +1,67 @@
+// Command p2pmlc is the P2PML compiler front end: it parses a
+// subscription, prints its canonical form, and renders the Figure 3
+// processing chain (compiled plan, optimized distributed plan).
+//
+// Usage:
+//
+//	p2pmlc -e 'for $c in inCOM(<p>m.com</p>) return $c by channel X'
+//	p2pmlc subscription.p2pml
+//	echo '...' | p2pmlc
+//	p2pmlc -subscriber noc.example -e '...'
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+
+	"p2pm/internal/core"
+)
+
+func main() {
+	expr := flag.String("e", "", "subscription text (instead of a file/stdin)")
+	subscriber := flag.String("subscriber", "p", "peer that manages the subscription")
+	parseOnly := flag.Bool("parse", false, "stop after parsing (print canonical form only)")
+	flag.Parse()
+
+	src, err := input(*expr, flag.Args())
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(2)
+	}
+	ex, err := core.Explain(src, *subscriber)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	if *parseOnly {
+		fmt.Println(ex.Subscription.String())
+		return
+	}
+	fmt.Println(ex.String())
+}
+
+func input(expr string, args []string) (string, error) {
+	if expr != "" {
+		return expr, nil
+	}
+	if len(args) == 1 {
+		b, err := os.ReadFile(args[0])
+		if err != nil {
+			return "", err
+		}
+		return string(b), nil
+	}
+	if len(args) > 1 {
+		return "", fmt.Errorf("p2pmlc: at most one input file")
+	}
+	b, err := io.ReadAll(os.Stdin)
+	if err != nil {
+		return "", err
+	}
+	if len(b) == 0 {
+		return "", fmt.Errorf("p2pmlc: no input (use -e, a file, or stdin)")
+	}
+	return string(b), nil
+}

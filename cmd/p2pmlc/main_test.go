@@ -1,0 +1,31 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+func TestInputFromFlag(t *testing.T) {
+	got, err := input("for ...", nil)
+	if err != nil || got != "for ..." {
+		t.Fatalf("got %q err %v", got, err)
+	}
+}
+
+func TestInputFromFile(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "sub.p2pml")
+	if err := os.WriteFile(path, []byte("file contents"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	got, err := input("", []string{path})
+	if err != nil || got != "file contents" {
+		t.Fatalf("got %q err %v", got, err)
+	}
+	if _, err := input("", []string{path, path}); err == nil {
+		t.Error("two files accepted")
+	}
+	if _, err := input("", []string{"/nonexistent/file"}); err == nil {
+		t.Error("missing file accepted")
+	}
+}

@@ -1,0 +1,115 @@
+// Command p2pmon runs a P2PM monitoring scenario on a simulated P2P
+// network and streams the results to stdout.
+//
+// Usage:
+//
+//	p2pmon -scenario meteo      # the paper's Figure 1 running example
+//	p2pmon -scenario telecom    # workflow surveillance
+//	p2pmon -scenario edos       # content-distribution statistics
+//	p2pmon -scenario rss        # feed monitoring
+//	p2pmon -scenario meteo -sub custom.p2pml   # custom subscription text
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+
+	"p2pm/internal/peer"
+	"p2pm/internal/workload"
+)
+
+func main() {
+	scenario := flag.String("scenario", "meteo", "meteo | telecom | edos | rss")
+	subFile := flag.String("sub", "", "file with a custom P2PML subscription (overrides the scenario default)")
+	noReuse := flag.Bool("no-reuse", false, "disable stream reuse")
+	noPushdown := flag.Bool("no-pushdown", false, "disable selection pushdown")
+	flag.Parse()
+
+	opts := peer.DefaultOptions()
+	opts.Reuse = !*noReuse
+	opts.Pushdown = !*noPushdown
+	sys := peer.NewSystem(opts)
+	mgr := sys.MustAddPeer("manager")
+
+	var subSrc string
+	var drive func() (int, error)
+	switch *scenario {
+	case "meteo":
+		cfg := workload.DefaultMeteo()
+		if err := workload.SetupMeteo(sys, cfg); err != nil {
+			log.Fatal(err)
+		}
+		subSrc = workload.MeteoSubscription(cfg.Clients, cfg.Server)
+		drive = func() (int, error) { return workload.RunMeteo(sys, cfg) }
+	case "telecom":
+		cfg := workload.DefaultTelecom()
+		if err := workload.SetupTelecom(sys, cfg); err != nil {
+			log.Fatal(err)
+		}
+		subSrc = `for $c in outCOM(<p>orchestrator</p>)
+return <call id="{$c.callId}" method="{$c.callMethod}" to="{$c.callee}"/>
+by publish as channel "calls"`
+		drive = func() (int, error) { return workload.RunTelecom(sys, cfg) }
+	case "edos":
+		cfg := workload.DefaultEdos()
+		e, err := workload.SetupEdos(sys, cfg)
+		if err != nil {
+			log.Fatal(err)
+		}
+		subSrc = e.StatsSubscription("GetPackage")
+		drive = func() (int, error) {
+			d, q, err := e.Run()
+			return d + q, err
+		}
+	case "rss":
+		portal := sys.MustAddPeer("portal.com")
+		churn := workload.NewFeedChurn(9, "portal news", 4)
+		portal.RegisterFeed("http://portal.com/feed", churn.Fetch())
+		subSrc = `for $r in rssCOM(<p>portal.com</p>)
+return $r by publish as channel "feedChanges"`
+		drive = func() (int, error) {
+			n := 0
+			for i := 0; i < 12; i++ {
+				churn.Step()
+				k, err := sys.Poll()
+				if err != nil {
+					return n, err
+				}
+				n += k
+			}
+			return n, nil
+		}
+	default:
+		fmt.Fprintf(os.Stderr, "unknown scenario %q\n", *scenario)
+		os.Exit(2)
+	}
+	if *subFile != "" {
+		b, err := os.ReadFile(*subFile)
+		if err != nil {
+			log.Fatal(err)
+		}
+		subSrc = string(b)
+	}
+
+	fmt.Printf("== scenario %s ==\n%s\n\n", *scenario, subSrc)
+	task, err := mgr.Subscribe(subSrc)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("deployed plan:\n%s\n", task.Plan.Tree())
+
+	events, err := drive()
+	if err != nil {
+		log.Fatal(err)
+	}
+	task.Stop()
+	results := task.Results().Drain()
+	fmt.Printf("drove %d events; %d results on %s:\n", events, len(results), task.ResultChannel())
+	for _, it := range results {
+		fmt.Printf("  t=%-8s %s\n", it.Time, it.Tree)
+	}
+	tot := sys.Net.Totals()
+	fmt.Printf("\nnetwork: %d messages, %d bytes over %d links\n", tot.Messages, tot.Bytes, tot.Links)
+}

@@ -1,0 +1,75 @@
+// Command edos monitors a simulated Edos content-distribution network
+// (the Mandriva Linux package-sharing system that motivated the paper):
+// mirrors serve package downloads and metadata queries; monitoring
+// subscriptions gather usage statistics — per-mirror query rates — the
+// primary use the paper reports for Edos.
+package main
+
+import (
+	"fmt"
+	"log"
+	"sort"
+
+	"p2pm"
+	"p2pm/internal/workload"
+)
+
+func main() {
+	sys := p2pm.NewSystem(p2pm.DefaultOptions())
+	noc := sys.MustAddPeer("noc") // network operations center
+
+	cfg := workload.DefaultEdos()
+	cfg.Downloads, cfg.Queries = 200, 100
+	edos, err := workload.SetupEdos(sys, cfg)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// Two statistics subscriptions: downloads and metadata queries. Note
+	// that both monitor the same inCOM alerters — the second subscription
+	// reuses the first one's alerter streams (Section 5).
+	downloads, err := noc.Subscribe(edos.StatsSubscription("GetPackage"))
+	if err != nil {
+		log.Fatal(err)
+	}
+	queries, err := noc.Subscribe(edos.StatsSubscription("QueryMetadata"))
+	if err != nil {
+		log.Fatal(err)
+	}
+	if queries.Reuse != nil {
+		fmt.Printf("second subscription reused %d stream(s) from the first\n\n",
+			len(queries.Reuse.Mappings))
+	}
+
+	nd, nq, err := edos.Run()
+	if err != nil {
+		log.Fatal(err)
+	}
+	downloads.Stop()
+	queries.Stop()
+
+	perMirror := map[string]int{}
+	for _, it := range downloads.Results().Drain() {
+		perMirror[it.Tree.AttrOr("mirror", "?")]++
+	}
+	queryPerMirror := map[string]int{}
+	for _, it := range queries.Results().Drain() {
+		queryPerMirror[it.Tree.AttrOr("mirror", "?")]++
+	}
+
+	fmt.Printf("drove %d downloads and %d metadata queries\n\n", nd, nq)
+	fmt.Println("mirror                     downloads  queries")
+	mirrors := edos.Mirrors()
+	sort.Strings(mirrors)
+	totalD, totalQ := 0, 0
+	for _, m := range mirrors {
+		url := "http://" + m
+		fmt.Printf("%-26s %9d  %7d\n", m, perMirror[url], queryPerMirror[url])
+		totalD += perMirror[url]
+		totalQ += queryPerMirror[url]
+	}
+	fmt.Printf("%-26s %9d  %7d\n", "total", totalD, totalQ)
+	if totalD != nd || totalQ != nq {
+		log.Fatalf("monitoring lost events: %d/%d downloads, %d/%d queries", totalD, nd, totalQ, nq)
+	}
+}

@@ -1,0 +1,52 @@
+// Command quickstart is the smallest useful P2PM program: monitor the
+// inbound calls of one Web service and print an alert stream.
+package main
+
+import (
+	"fmt"
+	"log"
+	"time"
+
+	"p2pm"
+	"p2pm/internal/xmltree"
+)
+
+func main() {
+	sys := p2pm.NewSystem(p2pm.DefaultOptions())
+
+	// The monitoring peer (runs the Subscription Manager) and a service
+	// peer being monitored.
+	monitor := sys.MustAddPeer("monitor")
+	server := sys.MustAddPeer("svc.example")
+	server.Endpoint().Register("Greet",
+		func(params *xmltree.Node) (*xmltree.Node, error) {
+			return xmltree.ElemText("greeting", "hello "+params.InnerText()), nil
+		},
+		func() time.Duration { return 80 * time.Millisecond })
+	client := sys.MustAddPeer("client.example")
+
+	// A P2PML subscription: watch Greet calls arriving at svc.example.
+	task, err := monitor.Subscribe(`
+for $c in inCOM(<p>svc.example</p>)
+where $c.callMethod = "Greet"
+return <call id="{$c.callId}" from="{$c.caller}"/>
+by publish as channel "greetCalls"`)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// Drive some traffic.
+	for _, name := range []string{"ada", "alan", "grace"} {
+		if _, err := client.Endpoint().Invoke("svc.example", "Greet", xmltree.Text(name)); err != nil {
+			log.Fatal(err)
+		}
+		sys.Net.Clock().Advance(time.Second)
+	}
+
+	// Stop the task (sources emit eos) and read the result stream.
+	task.Stop()
+	fmt.Println("monitoring results on channel", task.ResultChannel(), ":")
+	for _, item := range task.Results().Drain() {
+		fmt.Printf("  t=%-6s %s\n", item.Time, item.Tree)
+	}
+}

@@ -1,0 +1,92 @@
+package alerters
+
+import (
+	"sort"
+	"sync"
+	"time"
+
+	"p2pm/internal/xmltree"
+)
+
+// AXMLRepo is a small ActiveXML document repository with update
+// detection: the ActiveXML alerter of the paper "detects updates to the
+// ActiveXML peer's repository". Every Put/Delete emits an alert:
+//
+//	<alert type="axml" doc="name" op="create|update|delete">[new doc]</alert>
+type AXMLRepo struct {
+	Base
+	mu          sync.Mutex
+	docs        map[string]*xmltree.Node
+	includeDocs bool
+}
+
+// NewAXMLRepo builds a repository whose alerter reports to emit.
+// includeDocs controls whether the new document version is embedded in
+// update alerts.
+func NewAXMLRepo(name string, includeDocs bool, clock func() time.Duration, emit Emit) *AXMLRepo {
+	return &AXMLRepo{Base: NewBase(name, clock, emit), docs: make(map[string]*xmltree.Node), includeDocs: includeDocs}
+}
+
+// Put stores (or replaces) a document and emits a create/update alert.
+// Storing an identical document is a no-op and emits nothing.
+func (r *AXMLRepo) Put(name string, doc *xmltree.Node) {
+	r.mu.Lock()
+	prev, existed := r.docs[name]
+	if existed && xmltree.Equal(prev, doc) {
+		r.mu.Unlock()
+		return
+	}
+	r.docs[name] = doc.Clone()
+	r.mu.Unlock()
+	op := "create"
+	if existed {
+		op = "update"
+	}
+	r.alert(name, op, doc)
+}
+
+// Delete removes a document and emits a delete alert; deleting an unknown
+// document is a no-op.
+func (r *AXMLRepo) Delete(name string) {
+	r.mu.Lock()
+	_, existed := r.docs[name]
+	delete(r.docs, name)
+	r.mu.Unlock()
+	if existed {
+		r.alert(name, "delete", nil)
+	}
+}
+
+// Get returns a copy of a stored document.
+func (r *AXMLRepo) Get(name string) (*xmltree.Node, bool) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	d, ok := r.docs[name]
+	if !ok {
+		return nil, false
+	}
+	return d.Clone(), true
+}
+
+// Names lists stored document names, sorted.
+func (r *AXMLRepo) Names() []string {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	names := make([]string, 0, len(r.docs))
+	for n := range r.docs {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	return names
+}
+
+func (r *AXMLRepo) alert(name, op string, doc *xmltree.Node) {
+	n := xmltree.Elem("alert")
+	n.SetAttr("type", "axml")
+	n.SetAttr("doc", name)
+	n.SetAttr("op", op)
+	if r.includeDocs && doc != nil {
+		n.Append(doc.Clone())
+	}
+	r.Emit(n)
+}

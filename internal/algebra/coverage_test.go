@@ -1,0 +1,156 @@
+package algebra
+
+import (
+	"strings"
+	"testing"
+
+	"p2pm/internal/p2pml"
+	"p2pm/internal/stream"
+	"p2pm/internal/xmltree"
+)
+
+// Exercises for rendering, signature and optimizer paths that the main
+// behavioural tests reach only partially.
+
+func TestLabelsForEveryOperator(t *testing.T) {
+	sub := p2pml.MustParse(`for $a in outCOM(<p>x</p>), $b in inCOM(<p>y</p>)
+where $a.callId = $b.callId and $a.t < $b.t and $a.m = "Q"
+return distinct <r v="{$a.callId}"/>
+group on "v" window "1m"
+by publish as channel "out" and email "ops@x"`)
+	plan, err := Compile(sub)
+	if err != nil {
+		t.Fatal(err)
+	}
+	seen := map[OpKind]bool{}
+	plan.Walk(func(n *Node) {
+		seen[n.Op] = true
+		if n.Label() == "" {
+			t.Errorf("empty label for %v", n.Op)
+		}
+	})
+	for _, op := range []OpKind{OpAlerter, OpJoin, OpSelect, OpRestruct, OpDistinct, OpGroup, OpPublish} {
+		if !seen[op] {
+			t.Errorf("operator %v missing from plan:\n%s", op, plan.Tree())
+		}
+	}
+	// Join label shows the key and the residual.
+	var join *Node
+	plan.Walk(func(n *Node) {
+		if n.Op == OpJoin {
+			join = n
+		}
+	})
+	if !strings.Contains(join.Label(), "=") || !strings.Contains(join.Label(), ";") {
+		t.Errorf("join label = %q", join.Label())
+	}
+	// ChannelIn and DynAlerter labels.
+	chIn := &Node{Op: OpChannelIn, Channel: stream.Ref{StreamID: "s", PeerID: "p"}}
+	if chIn.Label() != "chan:s@p" {
+		t.Errorf("chan label = %q", chIn.Label())
+	}
+	dyn := &Node{Op: OpDynAlerter, Alerter: &AlerterSpec{Func: "inCOM", Kind: "ws-in"}}
+	if !strings.Contains(dyn.Label(), "dyn:") {
+		t.Errorf("dyn label = %q", dyn.Label())
+	}
+}
+
+func TestSignatureWithGroupAndDistinct(t *testing.T) {
+	sub := p2pml.MustParse(`for $e in inCOM(<p>m</p>)
+return distinct <r k="{$e.callId}"/>
+group on "k" window "30s"
+by channel C`)
+	plan, err := Compile(sub)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sig := plan.Inputs[0].Signature()
+	for _, want := range []string{"Group{k/30s}", "Distinct{}", "Restructure{"} {
+		if !strings.Contains(sig, want) {
+			t.Errorf("signature missing %q: %s", want, sig)
+		}
+	}
+}
+
+func TestThreeVarConditionStaysAboveJoin(t *testing.T) {
+	// A condition spanning three variables cannot enter any single join:
+	// pushdown must park it in a σ directly above the outermost join.
+	sub := p2pml.MustParse(`for $a in outCOM(<p>x</p>), $b in inCOM(<p>y</p>), $c in inCOM(<p>z</p>)
+where $a.callId = $b.callId and $b.callId = $c.callId and $a.n + $b.n < $c.n
+return <r/> by channel C`)
+	plan, err := Compile(sub)
+	if err != nil {
+		t.Fatal(err)
+	}
+	opt := Optimize(plan, DefaultOptions("p"))
+	var aboveJoin *Node
+	opt.Walk(func(n *Node) {
+		if n.Op == OpSelect && len(n.Inputs) == 1 && n.Inputs[0].Op == OpJoin {
+			aboveJoin = n
+		}
+	})
+	if aboveJoin == nil {
+		t.Fatalf("three-variable σ missing:\n%s", opt.Tree())
+	}
+	if len(aboveJoin.Schema) != 3 {
+		t.Errorf("σ schema = %v", aboveJoin.Schema)
+	}
+}
+
+func TestRestructApplyErrorPaths(t *testing.T) {
+	// Π over a malformed spec errors cleanly.
+	bad := &RestructSpec{}
+	apply := RestructApply([]string{"e"}, bad)
+	if _, err := apply(xmltree.Elem("x")); err == nil {
+		t.Error("empty spec should error")
+	}
+	// Bare expression yielding a scalar wraps in <value>.
+	expr, err := p2pml.ParseExpr(`$e.k`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	apply = RestructApply([]string{"e"}, &RestructSpec{Expr: expr})
+	in := xmltree.Elem("alert")
+	in.SetAttr("k", "42")
+	out, err := apply(in)
+	if err != nil || out.Label != "value" || out.InnerText() != "42" {
+		t.Errorf("out=%v err=%v", out, err)
+	}
+	// Missing attribute in a bare expression drops the item silently.
+	out, err = apply(xmltree.Elem("alert"))
+	if err != nil || out != nil {
+		t.Errorf("missing attr: out=%v err=%v", out, err)
+	}
+	// Tuple for the wrong schema errors.
+	if _, err := apply(BuildTuple([]string{"z"}, []*xmltree.Node{xmltree.Elem("q")})); err == nil {
+		t.Error("schema mismatch accepted")
+	}
+}
+
+func TestMergeLetsDeduplicates(t *testing.T) {
+	e1, _ := p2pml.ParseExpr(`1 + 1`)
+	a := []p2pml.LetBinding{{Var: "x", Expr: e1}}
+	b := []p2pml.LetBinding{{Var: "x", Expr: e1}, {Var: "y", Expr: e1}}
+	got := mergeLets(a, b)
+	if len(got) != 2 || got[0].Var != "x" || got[1].Var != "y" {
+		t.Errorf("merged = %v", got)
+	}
+}
+
+func TestOpKindStrings(t *testing.T) {
+	for op := OpAlerter; op <= OpPublish; op++ {
+		if op.String() == "" {
+			t.Errorf("OpKind %d has no name", int(op))
+		}
+	}
+}
+
+func TestNewAlerterConstructor(t *testing.T) {
+	n := NewAlerter("inCOM", "ws-in", "m.com", "e", nil)
+	if n.Op != OpAlerter || n.Peer != "m.com" || n.Schema[0] != "e" {
+		t.Errorf("node = %+v", n)
+	}
+	if n.Signature() != "inCOM(m.com)" {
+		t.Errorf("sig = %s", n.Signature())
+	}
+}

@@ -1,0 +1,359 @@
+// Package algebra implements the stream algebra of Section 3: monitoring
+// plans are trees of operators over XML streams — alerters (0-ary
+// sources), stream processors (σ, Π, ∪, ⋈, Distinct, Group) and
+// publishers. A P2PML subscription compiles into a naive plan, the
+// optimizer rewrites it (selection pushdown, placement), and the peer
+// layer deploys per-peer fragments connected by channels.
+package algebra
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"p2pm/internal/p2pml"
+	"p2pm/internal/stream"
+	"p2pm/internal/xmltree"
+)
+
+// OpKind enumerates the operator kinds.
+type OpKind int
+
+// The operator kinds of the stream algebra.
+const (
+	OpAlerter    OpKind = iota // 0-ary event source at a monitored peer
+	OpDynAlerter               // alerter set driven by a membership stream
+	OpChannelIn                // subscription to an existing channel
+	OpSelect                   // σ
+	OpRestruct                 // Π
+	OpUnion                    // ∪
+	OpJoin                     // ⋈
+	OpDistinct                 // duplicate removal
+	OpGroup                    // windowed group/count
+	OpPublish                  // publisher
+)
+
+var opNames = map[OpKind]string{
+	OpAlerter: "Alerter", OpDynAlerter: "DynAlerter", OpChannelIn: "ChannelIn",
+	OpSelect: "Select", OpRestruct: "Restructure", OpUnion: "Union",
+	OpJoin: "Join", OpDistinct: "Distinct", OpGroup: "Group", OpPublish: "Publish",
+}
+
+func (k OpKind) String() string { return opNames[k] }
+
+// AnyPeer marks a generic (not yet placed) operator — the paper's s@any.
+const AnyPeer = "any"
+
+// Node is one operator of a monitoring plan.
+type Node struct {
+	Op     OpKind
+	Peer   string // placement; AnyPeer until the optimizer assigns one
+	Inputs []*Node
+	// Schema lists the subscription variables bound by this node's
+	// output items, in order. Single-variable streams carry the alert
+	// tree itself; multi-variable streams carry <tuple> trees with one
+	// <bind var="..."> child per variable.
+	Schema []string
+
+	Alerter  *AlerterSpec
+	Select   *SelectSpec
+	Restruct *RestructSpec
+	Join     *JoinSpec
+	Group    *GroupSpec
+	Publish  *PublishSpec
+	Channel  stream.Ref // for OpChannelIn: the provider actually consumed
+	// Origin, for OpChannelIn nodes introduced by stream reuse, names the
+	// *original* stream when Channel points at a replica. Descriptors are
+	// always published against originals (Section 5).
+	Origin stream.Ref
+}
+
+// AlerterSpec describes an event source.
+type AlerterSpec struct {
+	Func string // inCOM, outCOM, rssCOM, pageCOM, axmlCOM, areRegistered
+	Kind string // resolved alerter kind (ws-in, ws-out, rss, ...)
+	Peer string // the monitored peer ("local" resolves at deployment)
+	Args []*xmltree.Node
+}
+
+// SelectSpec is a σ: a conjunction of conditions over the node's schema,
+// with the LET bindings needed to evaluate them.
+type SelectSpec struct {
+	Conds []p2pml.Condition
+	Lets  []p2pml.LetBinding
+}
+
+// RestructSpec is a Π: the RETURN clause of the subscription.
+type RestructSpec struct {
+	Template *p2pml.Template
+	Expr     p2pml.Expr
+	Lets     []p2pml.LetBinding
+}
+
+// JoinSpec is a ⋈ between the left input (Inputs[0]) and right input
+// (Inputs[1]).
+type JoinSpec struct {
+	// LeftKey/RightKey, when set, form an equi-join predicate
+	// LeftKey = RightKey usable with the history index.
+	LeftKey, RightKey p2pml.Expr
+	// Residual conditions are evaluated on each candidate pair.
+	Residual []p2pml.Condition
+	Lets     []p2pml.LetBinding
+}
+
+// GroupSpec configures a Group operator.
+type GroupSpec struct {
+	KeyAttr string
+	Window  string // duration string; parsed at deployment
+}
+
+// PublishSpec lists the notification targets of the BY clause.
+type PublishSpec struct {
+	Targets []p2pml.ByTarget
+	// ChannelID is the channel under which the result stream is
+	// published (always present: even email/file publication flows
+	// through a result channel so other tasks can reuse the stream).
+	ChannelID string
+}
+
+// NewAlerter builds an alerter source node (placed at the monitored peer
+// by definition).
+func NewAlerter(fn, kind, peer, variable string, args []*xmltree.Node) *Node {
+	return &Node{
+		Op: OpAlerter, Peer: peer, Schema: []string{variable},
+		Alerter: &AlerterSpec{Func: fn, Kind: kind, Peer: peer, Args: args},
+	}
+}
+
+// Label renders the operator with its parameters, e.g. "σ[$c1.callee = ...]".
+func (n *Node) Label() string {
+	switch n.Op {
+	case OpAlerter:
+		return fmt.Sprintf("%s@%s", alerterShort(n.Alerter), n.Alerter.Peer)
+	case OpDynAlerter:
+		return fmt.Sprintf("dyn:%s", alerterShort(n.Alerter))
+	case OpChannelIn:
+		return "chan:" + n.Channel.String()
+	case OpSelect:
+		return "σ[" + condString(n.Select.Conds) + "]"
+	case OpRestruct:
+		if n.Restruct.Expr != nil {
+			return "Π[" + n.Restruct.Expr.String() + "]"
+		}
+		return "Π[template]"
+	case OpUnion:
+		return "∪"
+	case OpJoin:
+		if n.Join.LeftKey != nil {
+			return fmt.Sprintf("⋈[%s = %s%s]", n.Join.LeftKey.String(), n.Join.RightKey.String(), residualSuffix(n.Join))
+		}
+		return "⋈[" + condString(n.Join.Residual) + "]"
+	case OpDistinct:
+		return "Distinct"
+	case OpGroup:
+		return fmt.Sprintf("γ[%s/%s]", n.Group.KeyAttr, n.Group.Window)
+	case OpPublish:
+		parts := make([]string, len(n.Publish.Targets))
+		for i, t := range n.Publish.Targets {
+			parts[i] = t.String()
+		}
+		return "publisher[" + strings.Join(parts, "; ") + "]"
+	}
+	return n.Op.String()
+}
+
+func residualSuffix(j *JoinSpec) string {
+	if len(j.Residual) == 0 {
+		return ""
+	}
+	return "; " + condString(j.Residual)
+}
+
+func alerterShort(a *AlerterSpec) string {
+	switch a.Kind {
+	case "ws-in":
+		return "in"
+	case "ws-out":
+		return "out"
+	}
+	return a.Func
+}
+
+func condString(conds []p2pml.Condition) string {
+	parts := make([]string, len(conds))
+	for i, c := range conds {
+		parts[i] = c.String()
+	}
+	return strings.Join(parts, " and ")
+}
+
+// String renders the plan in the paper's nested algebra notation, e.g.
+//
+//	publisher@p(Π@meteo.com(⋈@meteo.com(∪@b.com(σ@a.com(out@a.com), ...), ...)))
+func (n *Node) String() string {
+	var b strings.Builder
+	n.render(&b)
+	return b.String()
+}
+
+func (n *Node) render(b *strings.Builder) {
+	switch n.Op {
+	case OpAlerter:
+		fmt.Fprintf(b, "%s@%s", alerterShort(n.Alerter), n.Alerter.Peer)
+		return
+	case OpChannelIn:
+		fmt.Fprintf(b, "chan(%s)", n.Channel.String())
+		return
+	}
+	sym := map[OpKind]string{
+		OpSelect: "σ", OpRestruct: "Π", OpUnion: "∪", OpJoin: "⋈",
+		OpDistinct: "δ", OpGroup: "γ", OpPublish: "publisher", OpDynAlerter: "dyn",
+	}[n.Op]
+	b.WriteString(sym)
+	b.WriteString("@")
+	b.WriteString(n.Peer)
+	b.WriteString("(")
+	for i, in := range n.Inputs {
+		if i > 0 {
+			b.WriteString(", ")
+		}
+		in.render(b)
+	}
+	b.WriteString(")")
+}
+
+// Tree renders an indented multi-line view with full operator labels.
+func (n *Node) Tree() string {
+	var b strings.Builder
+	n.tree(&b, 0)
+	return b.String()
+}
+
+func (n *Node) tree(b *strings.Builder, depth int) {
+	fmt.Fprintf(b, "%s%s @%s", strings.Repeat("  ", depth), n.Label(), n.Peer)
+	if len(n.Schema) > 0 {
+		fmt.Fprintf(b, "  vars=%v", n.Schema)
+	}
+	b.WriteByte('\n')
+	for _, in := range n.Inputs {
+		in.tree(b, depth+1)
+	}
+}
+
+// Walk visits the plan tree bottom-up (inputs before node).
+func (n *Node) Walk(fn func(*Node)) {
+	for _, in := range n.Inputs {
+		in.Walk(fn)
+	}
+	fn(n)
+}
+
+// Count returns the number of operators in the plan.
+func (n *Node) Count() int {
+	c := 0
+	n.Walk(func(*Node) { c++ })
+	return c
+}
+
+// Signature returns a placement-independent canonical description of the
+// stream this node computes: operator parameters plus input signatures.
+// Two nodes with equal signatures compute equivalent streams over the
+// same sources, which is what the stream-reuse algorithm matches on.
+func (n *Node) Signature() string {
+	var b strings.Builder
+	n.signature(&b)
+	return b.String()
+}
+
+func (n *Node) signature(b *strings.Builder) {
+	sigs := make([]string, len(n.Inputs))
+	for i, in := range n.Inputs {
+		var sb strings.Builder
+		in.signature(&sb)
+		sigs[i] = sb.String()
+	}
+	b.WriteString(n.SignatureWith(sigs))
+}
+
+// SignatureWith renders the node's own operator description composed with
+// explicit input signatures. Reuse and deployment use it to build
+// signatures over *published* definitions, so a stream derived from a
+// reused channel gets the same signature as one derived from the original
+// computation.
+//
+// Signatures normalize the algebraic equivalences the system recognizes
+// (a first answer to the paper's open "issue of stream equivalence"):
+// condition order within σ and ⋈ residuals, and input order of ∪, do not
+// affect a stream's identity.
+func (n *Node) SignatureWith(inputSigs []string) string {
+	var b strings.Builder
+	switch n.Op {
+	case OpAlerter:
+		// Alerters are bound to their monitored peer: the peer is part of
+		// the identity of the source stream.
+		fmt.Fprintf(&b, "%s(%s)", n.Alerter.Func, n.Alerter.Peer)
+		return b.String()
+	case OpChannelIn:
+		fmt.Fprintf(&b, "chan(%s)", n.Channel.String())
+		return b.String()
+	case OpUnion:
+		// ∪ is commutative: sort the input signatures so reordered unions
+		// are detected as the same stream.
+		inputSigs = append([]string(nil), inputSigs...)
+		sort.Strings(inputSigs)
+	}
+	b.WriteString(n.Op.String())
+	b.WriteString("{")
+	switch n.Op {
+	case OpSelect:
+		b.WriteString(normalizedConds(n.Select.Conds))
+	case OpJoin:
+		if n.Join.LeftKey != nil {
+			fmt.Fprintf(&b, "%s=%s", n.Join.LeftKey.String(), n.Join.RightKey.String())
+		}
+		if len(n.Join.Residual) > 0 {
+			b.WriteString(";")
+			b.WriteString(normalizedConds(n.Join.Residual))
+		}
+	case OpRestruct:
+		if n.Restruct.Expr != nil {
+			b.WriteString(n.Restruct.Expr.String())
+		} else {
+			b.WriteString(n.Restruct.Template.String())
+		}
+	case OpGroup:
+		fmt.Fprintf(&b, "%s/%s", n.Group.KeyAttr, n.Group.Window)
+	}
+	b.WriteString("}(")
+	for i, sig := range inputSigs {
+		if i > 0 {
+			b.WriteString(",")
+		}
+		b.WriteString(sig)
+	}
+	b.WriteString(")")
+	return b.String()
+}
+
+// normalizedConds renders conditions sorted so that condition order does
+// not affect signatures.
+func normalizedConds(conds []p2pml.Condition) string {
+	parts := make([]string, len(conds))
+	for i, c := range conds {
+		parts[i] = c.String()
+	}
+	sort.Strings(parts)
+	return strings.Join(parts, " and ")
+}
+
+// Clone deep-copies the plan structure (specs are shared: they are
+// immutable after compilation).
+func (n *Node) Clone() *Node {
+	cp := *n
+	cp.Inputs = make([]*Node, len(n.Inputs))
+	for i, in := range n.Inputs {
+		cp.Inputs[i] = in.Clone()
+	}
+	cp.Schema = append([]string(nil), n.Schema...)
+	return &cp
+}

@@ -1,0 +1,232 @@
+package algebra
+
+import (
+	"p2pm/internal/p2pml"
+)
+
+// Options configures optimization.
+type Options struct {
+	// SubscriberPeer hosts the publisher (the peer that accepted the
+	// subscription, p in Figure 4).
+	SubscriberPeer string
+	// Pushdown enables selection pushdown toward the sources (the paper's
+	// "selections were pushed as much as possible to the proximity of the
+	// sources to save on communications"). Disabled only for the C5
+	// baseline measurement.
+	Pushdown bool
+}
+
+// DefaultOptions returns the standard optimizer configuration.
+func DefaultOptions(subscriber string) Options {
+	return Options{SubscriberPeer: subscriber, Pushdown: true}
+}
+
+// Optimize rewrites the plan in place using algebraic rewrite rules
+// (selection pushdown, σ-merging) and the placement heuristics of
+// Section 3.4, and returns it. After Optimize every operator is concrete:
+// no peer is left @any.
+func Optimize(plan *Node, opts Options) *Node {
+	if opts.Pushdown {
+		plan = pushdown(plan)
+	}
+	place(plan, opts.SubscriberPeer)
+	return plan
+}
+
+// pushdown pushes each σ condition as close to its source as the schemas
+// allow: through joins into the side that binds the condition's
+// variables, and through unions into every branch.
+func pushdown(n *Node) *Node {
+	for i := range n.Inputs {
+		n.Inputs[i] = pushdown(n.Inputs[i])
+	}
+	if n.Op != OpSelect {
+		return n
+	}
+	var remaining []p2pml.Condition
+	for _, cond := range n.Select.Conds {
+		if !tryPush(n, 0, cond, n.Select.Lets) {
+			remaining = append(remaining, cond)
+		}
+	}
+	if len(remaining) == 0 {
+		return n.Inputs[0]
+	}
+	n.Select.Conds = remaining
+	return n
+}
+
+// tryPush attempts to place cond strictly below parent (into or under
+// parent.Inputs[idx]). It reports whether the condition was absorbed.
+func tryPush(parent *Node, idx int, cond p2pml.Condition, lets []p2pml.LetBinding) bool {
+	child := parent.Inputs[idx]
+	vars := condStreamVars(cond, lets)
+	if len(vars) == 0 || !subset(vars, child.Schema) {
+		return false
+	}
+	switch child.Op {
+	case OpSelect:
+		// Merge into the existing σ rather than stacking single-condition
+		// selections.
+		child.Select.Conds = append(child.Select.Conds, cond)
+		child.Select.Lets = mergeLets(child.Select.Lets, letsNeeded(cond, lets))
+		return true
+	case OpJoin:
+		switch {
+		case subset(vars, child.Inputs[0].Schema):
+			if !tryPush(child, 0, cond, lets) {
+				wrapSelect(child, 0, cond, lets)
+			}
+		case subset(vars, child.Inputs[1].Schema):
+			if !tryPush(child, 1, cond, lets) {
+				wrapSelect(child, 1, cond, lets)
+			}
+		default:
+			// Spans both sides: park it directly above the join.
+			wrapSelect(parent, idx, cond, lets)
+		}
+		return true
+	case OpUnion:
+		for i := range child.Inputs {
+			if !tryPush(child, i, cond, lets) {
+				wrapSelect(child, i, cond, lets)
+			}
+		}
+		return true
+	case OpAlerter, OpChannelIn, OpDynAlerter, OpRestruct:
+		wrapSelect(parent, idx, cond, lets)
+		return true
+	}
+	// Distinct, Group: σ does not commute with these in general
+	// (duplicate windows observe the unfiltered stream), so stop here.
+	return false
+}
+
+// wrapSelect inserts σ[cond] between parent and parent.Inputs[idx].
+func wrapSelect(parent *Node, idx int, cond p2pml.Condition, lets []p2pml.LetBinding) {
+	child := parent.Inputs[idx]
+	parent.Inputs[idx] = &Node{
+		Op:     OpSelect,
+		Peer:   AnyPeer,
+		Inputs: []*Node{child},
+		Schema: child.Schema,
+		Select: &SelectSpec{Conds: []p2pml.Condition{cond}, Lets: letsNeeded(cond, lets)},
+	}
+}
+
+// condStreamVars expands a condition's variables through the given LET
+// bindings down to stream variables.
+func condStreamVars(cond p2pml.Condition, lets []p2pml.LetBinding) []string {
+	byVar := make(map[string]p2pml.LetBinding, len(lets))
+	for _, l := range lets {
+		byVar[l.Var] = l
+	}
+	seen := make(map[string]bool)
+	var out []string
+	var expand func(v string)
+	expand = func(v string) {
+		if l, ok := byVar[v]; ok {
+			for _, inner := range l.Expr.Vars() {
+				expand(inner)
+			}
+			return
+		}
+		if !seen[v] {
+			seen[v] = true
+			out = append(out, v)
+		}
+	}
+	for _, v := range cond.Vars() {
+		expand(v)
+	}
+	return out
+}
+
+// letsNeeded filters lets to those a condition references (transitively),
+// preserving declaration order.
+func letsNeeded(cond p2pml.Condition, lets []p2pml.LetBinding) []p2pml.LetBinding {
+	byVar := make(map[string]p2pml.LetBinding, len(lets))
+	for _, l := range lets {
+		byVar[l.Var] = l
+	}
+	needed := make(map[string]bool)
+	var mark func(v string)
+	mark = func(v string) {
+		if l, ok := byVar[v]; ok && !needed[v] {
+			needed[v] = true
+			for _, inner := range l.Expr.Vars() {
+				mark(inner)
+			}
+		}
+	}
+	for _, v := range cond.Vars() {
+		mark(v)
+	}
+	var out []p2pml.LetBinding
+	for _, l := range lets {
+		if needed[l.Var] {
+			out = append(out, l)
+		}
+	}
+	return out
+}
+
+func mergeLets(a, b []p2pml.LetBinding) []p2pml.LetBinding {
+	have := make(map[string]bool, len(a))
+	for _, l := range a {
+		have[l.Var] = true
+	}
+	for _, l := range b {
+		if !have[l.Var] {
+			a = append(a, l)
+			have[l.Var] = true
+		}
+	}
+	return a
+}
+
+func subset(vars, schema []string) bool {
+	if len(vars) == 0 {
+		return false
+	}
+	in := make(map[string]bool, len(schema))
+	for _, s := range schema {
+		in[s] = true
+	}
+	for _, v := range vars {
+		if !in[v] {
+			return false
+		}
+	}
+	return true
+}
+
+// place assigns a concrete peer to every operator, bottom-up:
+//   - alerters stay at their monitored peer (by definition);
+//   - channel inputs are attributed to the publishing peer;
+//   - unary processors run where their input runs (no extra transfer);
+//   - ∪ and ⋈ run at their last input's peer — matching Figure 4, where
+//     the union of a.com/b.com filters runs at b.com and the join at
+//     meteo.com;
+//   - publishers and dynamic alerter managers run at the subscriber.
+func place(n *Node, subscriber string) {
+	for _, in := range n.Inputs {
+		place(in, subscriber)
+	}
+	switch n.Op {
+	case OpAlerter:
+		n.Peer = n.Alerter.Peer
+	case OpChannelIn:
+		n.Peer = n.Channel.PeerID
+	case OpDynAlerter, OpPublish:
+		n.Peer = subscriber
+	case OpUnion, OpJoin:
+		n.Peer = n.Inputs[len(n.Inputs)-1].Peer
+	default:
+		if len(n.Inputs) > 0 {
+			n.Peer = n.Inputs[0].Peer
+		} else if n.Peer == AnyPeer {
+			n.Peer = subscriber
+		}
+	}
+}

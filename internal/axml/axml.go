@@ -1,0 +1,170 @@
+// Package axml implements the ActiveXML fragment P2PM relies on: XML trees
+// in which some elements (sc elements) denote calls to Web services. The
+// evaluation of such a call replaces the sc subtree with the call's result.
+//
+// ActiveXML lets producers keep large subtrees *intensional*: instead of
+// shipping a heavy payload in every stream item, the item carries a service
+// call that consumers evaluate only when (and if) they actually need the
+// data. Section 4 of the paper uses this to avoid unnecessary calls during
+// filtering: if the simple conditions already reject a document, the
+// service is never invoked.
+package axml
+
+import (
+	"fmt"
+	"sync"
+
+	"p2pm/internal/xmltree"
+)
+
+// SCLabel is the element label that marks a service call.
+const SCLabel = "sc"
+
+// Call describes a service call embedded in a document.
+type Call struct {
+	Service string        // service name ("storage")
+	Address string        // peer/site hosting the service
+	Params  *xmltree.Node // the <parameters> subtree (may be nil)
+}
+
+// SC builds an sc element for the given call.
+func SC(service, address string, params *xmltree.Node) *xmltree.Node {
+	n := xmltree.Elem(SCLabel)
+	n.SetAttr("service", service)
+	n.SetAttr("address", address)
+	if params != nil {
+		n.Append(params)
+	}
+	return n
+}
+
+// ParseSC extracts the call from an sc element; ok is false if n is not a
+// well-formed sc element.
+func ParseSC(n *xmltree.Node) (Call, bool) {
+	if n == nil || n.Label != SCLabel {
+		return Call{}, false
+	}
+	svc, ok := n.Attr("service")
+	if !ok {
+		return Call{}, false
+	}
+	return Call{
+		Service: svc,
+		Address: n.AttrOr("address", ""),
+		Params:  n.Child("parameters"),
+	}, true
+}
+
+// HasCalls reports whether the tree contains at least one sc element.
+func HasCalls(doc *xmltree.Node) bool {
+	found := false
+	doc.Walk(func(n *xmltree.Node) bool {
+		if n.Label == SCLabel {
+			found = true
+			return false
+		}
+		return !found
+	})
+	return found
+}
+
+// ServiceFunc evaluates one service call and returns the replacement
+// subtree (possibly several siblings wrapped under the returned node's
+// children when the root label is "#result").
+type ServiceFunc func(call Call) (*xmltree.Node, error)
+
+// Registry resolves service names to implementations. It is safe for
+// concurrent use.
+type Registry struct {
+	mu       sync.RWMutex
+	services map[string]ServiceFunc
+	calls    uint64
+}
+
+// NewRegistry returns an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{services: make(map[string]ServiceFunc)}
+}
+
+// Register installs a service implementation under the given name.
+func (r *Registry) Register(name string, fn ServiceFunc) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.services[name] = fn
+}
+
+// Calls returns the total number of service invocations performed through
+// this registry (the quantity benchmark C6 measures).
+func (r *Registry) Calls() uint64 {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	return r.calls
+}
+
+// ResetCalls zeroes the invocation counter.
+func (r *Registry) ResetCalls() {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.calls = 0
+}
+
+func (r *Registry) invoke(call Call) (*xmltree.Node, error) {
+	r.mu.Lock()
+	fn, ok := r.services[call.Service]
+	if ok {
+		r.calls++
+	}
+	r.mu.Unlock()
+	if !ok {
+		return nil, fmt.Errorf("axml: unknown service %q", call.Service)
+	}
+	return fn(call)
+}
+
+// Materialize replaces every sc element in doc (in place) with the result
+// of its service call and returns the number of calls performed. Results
+// whose root label is "#result" are spliced: their children replace the sc
+// element. Nested sc elements introduced by results are materialized too.
+func (r *Registry) Materialize(doc *xmltree.Node) (int, error) {
+	return r.materialize(doc, 0)
+}
+
+const maxDepth = 16 // guards against services returning sc elements forever
+
+func (r *Registry) materialize(n *xmltree.Node, depth int) (int, error) {
+	if depth > maxDepth {
+		return 0, fmt.Errorf("axml: materialization exceeded depth %d (cyclic service result?)", maxDepth)
+	}
+	total := 0
+	for i := 0; i < len(n.Children); i++ {
+		c := n.Children[i]
+		if c.IsText() {
+			continue
+		}
+		if call, ok := ParseSC(c); ok {
+			result, err := r.invoke(call)
+			if err != nil {
+				return total, err
+			}
+			total++
+			var repl []*xmltree.Node
+			if result == nil {
+				repl = nil
+			} else if result.Label == "#result" {
+				repl = result.Children
+			} else {
+				repl = []*xmltree.Node{result}
+			}
+			n.Children = append(n.Children[:i], append(repl, n.Children[i+1:]...)...)
+			// Re-scan from the same index: results may contain sc elements.
+			i--
+			continue
+		}
+		sub, err := r.materialize(c, depth+1)
+		total += sub
+		if err != nil {
+			return total, err
+		}
+	}
+	return total, nil
+}

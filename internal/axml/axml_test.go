@@ -1,0 +1,153 @@
+package axml
+
+import (
+	"strings"
+	"testing"
+
+	"p2pm/internal/xmltree"
+)
+
+func storageService(t *testing.T) *Registry {
+	t.Helper()
+	r := NewRegistry()
+	r.Register("storage", func(call Call) (*xmltree.Node, error) {
+		return xmltree.MustParse(`<c><d>payload</d></c>`), nil
+	})
+	return r
+}
+
+func TestSCAndParseSC(t *testing.T) {
+	sc := SC("storage", "site", xmltree.Elem("parameters"))
+	call, ok := ParseSC(sc)
+	if !ok || call.Service != "storage" || call.Address != "site" || call.Params == nil {
+		t.Fatalf("call = %+v ok=%v", call, ok)
+	}
+	if _, ok := ParseSC(xmltree.Elem("notsc")); ok {
+		t.Error("non-sc element parsed")
+	}
+	if _, ok := ParseSC(xmltree.Elem(SCLabel)); ok {
+		t.Error("sc without service attr parsed")
+	}
+}
+
+func TestHasCalls(t *testing.T) {
+	doc := xmltree.MustParse(`<root attr1="x"><sc service="storage" address="site"><parameters/></sc></root>`)
+	if !HasCalls(doc) {
+		t.Error("HasCalls should be true")
+	}
+	if HasCalls(xmltree.MustParse(`<root><plain/></root>`)) {
+		t.Error("HasCalls should be false")
+	}
+}
+
+// TestMaterializePaperExample reproduces the Section 4 document: the sc
+// subtree is replaced by <c><d>...</d></c>, after which //c/d matches.
+func TestMaterializePaperExample(t *testing.T) {
+	r := storageService(t)
+	doc := xmltree.MustParse(
+		`<root attr1="x" attr2="y"><sc service="storage" address="site"><parameters/></sc></root>`)
+	n, err := r.Materialize(doc)
+	if err != nil || n != 1 {
+		t.Fatalf("n=%d err=%v", n, err)
+	}
+	if doc.Child("sc") != nil {
+		t.Error("sc element not replaced")
+	}
+	if doc.Child("c") == nil || doc.Child("c").Child("d") == nil {
+		t.Errorf("replacement missing: %s", doc)
+	}
+	if r.Calls() != 1 {
+		t.Errorf("calls = %d", r.Calls())
+	}
+}
+
+func TestMaterializeSpliceResult(t *testing.T) {
+	r := NewRegistry()
+	r.Register("multi", func(Call) (*xmltree.Node, error) {
+		res := xmltree.Elem("#result")
+		res.Append(xmltree.Elem("a"), xmltree.Elem("b"))
+		return res, nil
+	})
+	doc := xmltree.MustParse(`<root><sc service="multi"/></root>`)
+	if _, err := r.Materialize(doc); err != nil {
+		t.Fatal(err)
+	}
+	if len(doc.Children) != 2 || doc.Children[0].Label != "a" || doc.Children[1].Label != "b" {
+		t.Errorf("splice wrong: %s", doc)
+	}
+}
+
+func TestMaterializeNilResultRemovesSC(t *testing.T) {
+	r := NewRegistry()
+	r.Register("void", func(Call) (*xmltree.Node, error) { return nil, nil })
+	doc := xmltree.MustParse(`<root><sc service="void"/><keep/></root>`)
+	if _, err := r.Materialize(doc); err != nil {
+		t.Fatal(err)
+	}
+	if len(doc.Children) != 1 || doc.Children[0].Label != "keep" {
+		t.Errorf("doc = %s", doc)
+	}
+}
+
+func TestMaterializeNestedResults(t *testing.T) {
+	r := NewRegistry()
+	r.Register("outer", func(Call) (*xmltree.Node, error) {
+		return xmltree.MustParse(`<wrap><sc service="inner"/></wrap>`), nil
+	})
+	r.Register("inner", func(Call) (*xmltree.Node, error) {
+		return xmltree.MustParse(`<leaf/>`), nil
+	})
+	doc := xmltree.MustParse(`<root><sc service="outer"/></root>`)
+	n, err := r.Materialize(doc)
+	if err != nil || n != 2 {
+		t.Fatalf("n=%d err=%v doc=%s", n, err, doc)
+	}
+	if doc.Child("wrap") == nil || doc.Child("wrap").Child("leaf") == nil {
+		t.Errorf("doc = %s", doc)
+	}
+}
+
+func TestMaterializeCycleGuard(t *testing.T) {
+	r := NewRegistry()
+	r.Register("loop", func(Call) (*xmltree.Node, error) {
+		return xmltree.MustParse(`<w><sc service="loop"/></w>`), nil
+	})
+	doc := xmltree.MustParse(`<root><sc service="loop"/></root>`)
+	if _, err := r.Materialize(doc); err == nil {
+		t.Error("cyclic materialization should fail")
+	}
+}
+
+func TestMaterializeUnknownService(t *testing.T) {
+	r := NewRegistry()
+	doc := xmltree.MustParse(`<root><sc service="nope"/></root>`)
+	_, err := r.Materialize(doc)
+	if err == nil || !strings.Contains(err.Error(), "unknown service") {
+		t.Errorf("err = %v", err)
+	}
+	if r.Calls() != 0 {
+		t.Error("failed lookup should not count as a call")
+	}
+}
+
+func TestResetCalls(t *testing.T) {
+	r := storageService(t)
+	doc := xmltree.MustParse(`<root><sc service="storage"/></root>`)
+	if _, err := r.Materialize(doc); err != nil {
+		t.Fatal(err)
+	}
+	r.ResetCalls()
+	if r.Calls() != 0 {
+		t.Error("ResetCalls failed")
+	}
+}
+
+func TestMaterializeNoCallsIsNoop(t *testing.T) {
+	r := storageService(t)
+	doc := xmltree.MustParse(`<root a="1"><x/></root>`)
+	before := doc.String()
+	n, err := r.Materialize(doc)
+	if err != nil || n != 0 || doc.String() != before {
+		t.Errorf("n=%d err=%v doc=%s", n, err, doc)
+	}
+}

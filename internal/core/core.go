@@ -1,0 +1,91 @@
+// Package core ties the P2PM pieces into the system the paper presents:
+// a Monitor wraps a peer.System with the compilation/optimization/reuse
+// pipeline of Figure 3 and explain tooling that renders each processing
+// stage.
+package core
+
+import (
+	"fmt"
+	"strings"
+
+	"p2pm/internal/algebra"
+	"p2pm/internal/p2pml"
+	"p2pm/internal/peer"
+	"p2pm/internal/reuse"
+)
+
+// Monitor is the top-level P2PM deployment handle.
+type Monitor struct {
+	*peer.System
+}
+
+// New builds a monitor system.
+func New(opts peer.Options) *Monitor {
+	return &Monitor{System: peer.NewSystem(opts)}
+}
+
+// Explanation captures every stage of the Figure 3 processing chain for
+// one subscription.
+type Explanation struct {
+	Subscription *p2pml.Subscription
+	NaivePlan    *algebra.Node
+	Optimized    *algebra.Node
+	Reuse        *reuse.Result // nil when explained without a system
+}
+
+// Explain runs the compile→optimize pipeline without deploying,
+// against no stream database. subscriber names the managing peer.
+func Explain(src, subscriber string) (*Explanation, error) {
+	sub, err := p2pml.Parse(src)
+	if err != nil {
+		return nil, err
+	}
+	naive, err := algebra.Compile(sub)
+	if err != nil {
+		return nil, err
+	}
+	optimized := algebra.Optimize(naive.Clone(), algebra.DefaultOptions(subscriber))
+	return &Explanation{Subscription: sub, NaivePlan: naive, Optimized: optimized}, nil
+}
+
+// Explain runs the full pipeline including the reuse pass against this
+// monitor's stream-definition database, without deploying anything.
+func (m *Monitor) Explain(src, subscriber string) (*Explanation, error) {
+	ex, err := Explain(src, subscriber)
+	if err != nil {
+		return nil, err
+	}
+	if m.Options().Reuse {
+		ro := reuse.Options{From: subscriber}
+		res, err := ro.Apply(ex.Optimized, m.DB)
+		if err != nil {
+			return nil, err
+		}
+		ex.Reuse = res
+	}
+	return ex, nil
+}
+
+// String renders the explanation as the Figure 3 chain.
+func (e *Explanation) String() string {
+	var b strings.Builder
+	b.WriteString("== Subscription (P2PML) ==\n")
+	b.WriteString(e.Subscription.String())
+	b.WriteString("\n\n== Compiled plan (generic operators @any) ==\n")
+	b.WriteString(e.NaivePlan.String())
+	b.WriteString("\n")
+	b.WriteString(e.NaivePlan.Tree())
+	b.WriteString("\n== Optimized plan (selections pushed, operators placed) ==\n")
+	b.WriteString(e.Optimized.String())
+	b.WriteString("\n")
+	b.WriteString(e.Optimized.Tree())
+	if e.Reuse != nil {
+		fmt.Fprintf(&b, "\n== Stream reuse ==\nreused sub-plans: %d   operators still to deploy: %d\n",
+			len(e.Reuse.Mappings), e.Reuse.NewOps)
+		for _, m := range e.Reuse.Mappings {
+			fmt.Fprintf(&b, "  %s <- %s (replica=%v)\n", m.Provider, m.Original, m.IsReplica)
+		}
+		b.WriteString(e.Reuse.Plan.Tree())
+	}
+	return b.String()
+}

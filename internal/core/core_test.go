@@ -1,0 +1,95 @@
+package core
+
+import (
+	"strings"
+	"testing"
+
+	"p2pm/internal/peer"
+	"p2pm/internal/xmltree"
+)
+
+const demoSub = `for $c1 in outCOM(<p>a.com</p><p>b.com</p>),
+    $c2 in inCOM(<p>meteo.com</p>)
+where $c1.callMethod = "GetTemperature" and $c1.callId = $c2.callId
+return <m c="{$c1.caller}"/> by publish as channel "out"`
+
+func TestExplainStages(t *testing.T) {
+	ex, err := Explain(demoSub, "p")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ex.Subscription == nil || len(ex.Subscription.For) != 2 {
+		t.Fatal("subscription stage missing")
+	}
+	if ex.NaivePlan.Count() >= ex.Optimized.Count() {
+		// Pushdown duplicates the σ into union branches: optimized has
+		// more (cheaper) operators here.
+		t.Logf("naive=%d optimized=%d", ex.NaivePlan.Count(), ex.Optimized.Count())
+	}
+	if ex.Reuse != nil {
+		t.Error("plain Explain should not run reuse")
+	}
+	out := ex.String()
+	for _, want := range []string{"== Subscription", "== Compiled plan", "== Optimized plan"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("missing %q", want)
+		}
+	}
+}
+
+func TestExplainParseError(t *testing.T) {
+	if _, err := Explain("bogus", "p"); err == nil {
+		t.Error("garbage accepted")
+	}
+}
+
+func TestMonitorExplainWithReuse(t *testing.T) {
+	mon := New(peer.DefaultOptions())
+	mgr := mon.MustAddPeer("p")
+	mon.MustAddPeer("a.com")
+	mon.MustAddPeer("b.com")
+	meteo := mon.MustAddPeer("meteo.com")
+	meteo.Endpoint().Register("GetTemperature", func(*xmltree.Node) (*xmltree.Node, error) {
+		return xmltree.Elem("t"), nil
+	}, nil)
+	task, err := mgr.Subscribe(demoSub)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer func() { task.Stop(); task.Results().Drain() }()
+
+	ex, err := mon.Explain(demoSub, "q")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ex.Reuse == nil || len(ex.Reuse.Mappings) == 0 {
+		t.Fatal("reuse stage missing against the live database")
+	}
+	if !strings.Contains(ex.String(), "== Stream reuse ==") {
+		t.Error("reuse section not rendered")
+	}
+	// Explaining must not deploy anything — not even the subscriber peer
+	// comes into existence.
+	if mon.Peer("q") != nil {
+		t.Error("Explain materialized the subscriber peer")
+	}
+	if len(mgr.Tasks()) != 1 {
+		t.Errorf("manager task count changed: %d", len(mgr.Tasks()))
+	}
+}
+
+func TestMonitorExplainReuseDisabled(t *testing.T) {
+	opts := peer.DefaultOptions()
+	opts.Reuse = false
+	mon := New(opts)
+	mon.MustAddPeer("a.com")
+	mon.MustAddPeer("b.com")
+	mon.MustAddPeer("meteo.com")
+	ex, err := mon.Explain(demoSub, "p")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ex.Reuse != nil {
+		t.Error("reuse section present despite disabled reuse")
+	}
+}

@@ -1,0 +1,309 @@
+// Package dht implements the distributed hash table substrate that KadoP
+// (the paper's P2P XML index, [3]) builds on: a Chord-style ring over a
+// 64-bit identifier space with consistent hashing, finger-based greedy
+// routing (hop counts are the scalability measure of bench C9), key
+// migration on membership changes, and join/leave notification hooks that
+// feed the paper's areRegistered membership stream.
+//
+// The ring's state lives in one process — the routing *metric* (hops,
+// per-node key placement) is simulated faithfully while transport is
+// in-memory, consistent with the simnet substitution documented in
+// DESIGN.md.
+package dht
+
+import (
+	"fmt"
+	"hash/fnv"
+	"sort"
+	"sync"
+)
+
+// ID is a position on the ring.
+type ID uint64
+
+// HashID maps a string to its ring position.
+func HashID(s string) ID {
+	h := fnv.New64a()
+	h.Write([]byte(s))
+	return ID(h.Sum64())
+}
+
+// fingerBits is the identifier-space width: fingers are successors of
+// n + 2^i for i < fingerBits.
+const fingerBits = 64
+
+// MembershipHook observes peers joining and leaving the ring.
+type MembershipHook interface {
+	NotifyJoin(peer string)
+	NotifyLeave(peer string)
+}
+
+type node struct {
+	id    ID
+	name  string
+	store map[string][]string
+}
+
+// Ring is a Chord-style DHT.
+type Ring struct {
+	mu    sync.RWMutex
+	nodes []*node // sorted by id
+	byKey map[string]*node
+	hooks []MembershipHook
+
+	lookups uint64
+	hops    uint64
+}
+
+// New returns an empty ring.
+func New() *Ring {
+	return &Ring{byKey: make(map[string]*node)}
+}
+
+// OnMembership registers a membership hook.
+func (r *Ring) OnMembership(h MembershipHook) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.hooks = append(r.hooks, h)
+}
+
+// Size returns the number of nodes.
+func (r *Ring) Size() int {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	return len(r.nodes)
+}
+
+// Nodes returns node names in ring order.
+func (r *Ring) Nodes() []string {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	out := make([]string, len(r.nodes))
+	for i, n := range r.nodes {
+		out[i] = n.name
+	}
+	return out
+}
+
+// Join adds a peer to the ring, migrating the keys it now owns from its
+// successor, and fires join hooks.
+func (r *Ring) Join(name string) error {
+	r.mu.Lock()
+	if _, dup := r.byKey[name]; dup {
+		r.mu.Unlock()
+		return fmt.Errorf("dht: %s already joined", name)
+	}
+	n := &node{id: HashID(name), name: name, store: make(map[string][]string)}
+	if prev := r.findByID(n.id); prev != nil {
+		r.mu.Unlock()
+		return fmt.Errorf("dht: id collision between %s and %s", name, prev.name)
+	}
+	idx := r.insertionPoint(n.id)
+	r.nodes = append(r.nodes, nil)
+	copy(r.nodes[idx+1:], r.nodes[idx:])
+	r.nodes[idx] = n
+	r.byKey[name] = n
+	// The new node takes over keys in (predecessor, n] from its old
+	// owner, the successor.
+	if len(r.nodes) > 1 {
+		succ := r.nodes[(idx+1)%len(r.nodes)]
+		for k, vs := range succ.store {
+			if r.ownerLocked(HashID(k)) == n {
+				n.store[k] = vs
+				delete(succ.store, k)
+			}
+		}
+	}
+	hooks := append([]MembershipHook(nil), r.hooks...)
+	r.mu.Unlock()
+	for _, h := range hooks {
+		h.NotifyJoin(name)
+	}
+	return nil
+}
+
+// Leave removes a peer, migrating its keys to the new owner, and fires
+// leave hooks.
+func (r *Ring) Leave(name string) error {
+	r.mu.Lock()
+	n, ok := r.byKey[name]
+	if !ok {
+		r.mu.Unlock()
+		return fmt.Errorf("dht: %s is not a member", name)
+	}
+	delete(r.byKey, name)
+	idx := sort.Search(len(r.nodes), func(i int) bool { return r.nodes[i].id >= n.id })
+	r.nodes = append(r.nodes[:idx], r.nodes[idx+1:]...)
+	if len(r.nodes) > 0 {
+		for k, vs := range n.store {
+			owner := r.ownerLocked(HashID(k))
+			owner.store[k] = append(owner.store[k], vs...)
+		}
+	}
+	hooks := append([]MembershipHook(nil), r.hooks...)
+	r.mu.Unlock()
+	for _, h := range hooks {
+		h.NotifyLeave(name)
+	}
+	return nil
+}
+
+func (r *Ring) findByID(id ID) *node {
+	idx := sort.Search(len(r.nodes), func(i int) bool { return r.nodes[i].id >= id })
+	if idx < len(r.nodes) && r.nodes[idx].id == id {
+		return r.nodes[idx]
+	}
+	return nil
+}
+
+func (r *Ring) insertionPoint(id ID) int {
+	return sort.Search(len(r.nodes), func(i int) bool { return r.nodes[i].id >= id })
+}
+
+// ownerLocked returns the successor node of id (the key owner).
+func (r *Ring) ownerLocked(id ID) *node {
+	if len(r.nodes) == 0 {
+		return nil
+	}
+	idx := r.insertionPoint(id)
+	if idx == len(r.nodes) {
+		idx = 0
+	}
+	return r.nodes[idx]
+}
+
+// Owner returns the name of the node owning a key.
+func (r *Ring) Owner(key string) (string, error) {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	n := r.ownerLocked(HashID(key))
+	if n == nil {
+		return "", fmt.Errorf("dht: empty ring")
+	}
+	return n.name, nil
+}
+
+// Put appends a value under a key at the key's owner.
+func (r *Ring) Put(key, value string) error {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	n := r.ownerLocked(HashID(key))
+	if n == nil {
+		return fmt.Errorf("dht: empty ring")
+	}
+	n.store[key] = append(n.store[key], value)
+	return nil
+}
+
+// Get returns all values stored under key and the routing hop count a
+// real lookup from `from` would incur (greedy finger routing). An empty
+// `from` starts at the first ring node.
+func (r *Ring) Get(from, key string) ([]string, int, error) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if len(r.nodes) == 0 {
+		return nil, 0, fmt.Errorf("dht: empty ring")
+	}
+	target := HashID(key)
+	start := r.nodes[0]
+	if from != "" {
+		if n, ok := r.byKey[from]; ok {
+			start = n
+		}
+	}
+	hops := r.routeLocked(start, target)
+	owner := r.ownerLocked(target)
+	r.lookups++
+	r.hops += uint64(hops)
+	vals := append([]string(nil), owner.store[key]...)
+	return vals, hops, nil
+}
+
+// routeLocked simulates Chord greedy routing from start to the owner of
+// target, returning the hop count. Each step jumps to the closest
+// preceding finger, computed on demand from the ring (equivalent to
+// fully-converged finger tables).
+func (r *Ring) routeLocked(start *node, target ID) int {
+	cur := start
+	hops := 0
+	for hops <= len(r.nodes) {
+		// Done when target ∈ (cur, successor(cur)].
+		succ := r.successorLocked(cur)
+		if inHalfOpen(target, cur.id, succ.id) {
+			if succ != cur {
+				hops++
+			}
+			return hops
+		}
+		next := r.closestPrecedingLocked(cur, target)
+		if next == cur {
+			next = succ
+		}
+		cur = next
+		hops++
+	}
+	return hops
+}
+
+func (r *Ring) successorLocked(n *node) *node {
+	idx := r.insertionPoint(n.id)
+	// idx points at n itself; successor is the next node.
+	return r.nodes[(idx+1)%len(r.nodes)]
+}
+
+// closestPrecedingLocked returns the finger of n closest to (but
+// preceding) target: the largest jump n can make without overshooting.
+func (r *Ring) closestPrecedingLocked(n *node, target ID) *node {
+	best := n
+	for i := fingerBits - 1; i >= 0; i-- {
+		fingerStart := n.id + (ID(1) << uint(i))
+		f := r.ownerLocked(fingerStart)
+		// f must lie strictly within (n, target) to make progress.
+		if f != n && inOpen(f.id, n.id, target) {
+			if best == n || inOpen(best.id, n.id, f.id) || best.id == f.id {
+				best = f
+			}
+			return f
+		}
+	}
+	return best
+}
+
+// inHalfOpen reports x ∈ (a, b] on the ring.
+func inHalfOpen(x, a, b ID) bool {
+	if a < b {
+		return x > a && x <= b
+	}
+	if a > b {
+		return x > a || x <= b
+	}
+	return true // a == b: single node owns everything
+}
+
+// inOpen reports x ∈ (a, b) on the ring.
+func inOpen(x, a, b ID) bool {
+	if a < b {
+		return x > a && x < b
+	}
+	if a > b {
+		return x > a || x < b
+	}
+	return x != a
+}
+
+// Stats returns cumulative lookup count and total hops.
+func (r *Ring) Stats() (lookups, hops uint64) {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	return r.lookups, r.hops
+}
+
+// KeysAt returns the number of keys stored on a node (placement check).
+func (r *Ring) KeysAt(name string) int {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	if n, ok := r.byKey[name]; ok {
+		return len(n.store)
+	}
+	return 0
+}

@@ -1,0 +1,348 @@
+package experiments
+
+import (
+	"fmt"
+	"time"
+
+	"p2pm/internal/filter"
+	"p2pm/internal/stats"
+	"p2pm/internal/workload"
+	"p2pm/internal/xmltree"
+	"p2pm/internal/xpath"
+)
+
+func init() {
+	register("C1", "filter throughput vs number of subscriptions", runC1)
+	register("C2", "two-stage filtering ablation", runC2)
+	register("C3", "AES hash-tree vs linear condition scan", runC3)
+	register("C4", "YFilter shared NFA vs independent path evaluation", runC4)
+	register("C6", "lazy ActiveXML materialization", runC6)
+}
+
+func subCounts(s Scale) []int {
+	if s == Quick {
+		return []int{100, 1000}
+	}
+	return []int{100, 1000, 10000, 50000, 100000}
+}
+
+// buildFilter populates a filter with n generated subscriptions.
+func buildFilter(n int, complexFrac float64) (*filter.Filter, *workload.FilterGen) {
+	cfg := workload.DefaultFilterGen()
+	cfg.ComplexFraction = complexFrac
+	gen := workload.NewFilterGen(cfg)
+	f := filter.New()
+	for _, s := range gen.Subscriptions(n) {
+		if err := f.Add(s); err != nil {
+			panic(err)
+		}
+	}
+	return f, gen
+}
+
+func perDoc(docs []*xmltree.Node, f *filter.Filter, mode filter.Mode) (time.Duration, int, error) {
+	start := time.Now()
+	matches := 0
+	for _, d := range docs {
+		ids, err := f.MatchMode(d, mode)
+		if err != nil {
+			return 0, 0, err
+		}
+		matches += len(ids)
+	}
+	return time.Since(start) / time.Duration(len(docs)), matches, nil
+}
+
+// runC1 regenerates the claim "Filter ... can perform efficiently a large
+// number of filtering queries over a stream with intense traffic": the
+// two-stage filter's per-document cost grows far slower than naive
+// per-subscription evaluation as subscriptions are added.
+func runC1(s Scale) (*Result, error) {
+	res := &Result{
+		ID:    "C1",
+		Claim: `"The Filter ... can perform efficiently a large number of filtering queries over a stream with intense traffic" (§1, §4)`,
+	}
+	table := stats.NewTable("per-document filtering cost vs #subscriptions",
+		"subs", "two-stage µs/doc", "naive µs/doc", "speedup", "matches")
+	nDocs := 200
+	if s == Quick {
+		nDocs = 50
+	}
+	holds := true
+	var firstSpeedup, lastSpeedup float64
+	for _, n := range subCounts(s) {
+		f, gen := buildFilter(n, 0.3)
+		docs := gen.Documents(nDocs)
+		two, m1, err := perDoc(docs, f, filter.ModeTwoStage)
+		if err != nil {
+			return nil, err
+		}
+		naive, m2, err := perDoc(docs, f, filter.ModeNaive)
+		if err != nil {
+			return nil, err
+		}
+		if m1 != m2 {
+			return nil, fmt.Errorf("C1: result mismatch: %d vs %d", m1, m2)
+		}
+		speedup := float64(naive) / float64(two)
+		table.AddRow(n, float64(two.Microseconds()), float64(naive.Microseconds()), speedup, m1)
+		if firstSpeedup == 0 {
+			firstSpeedup = speedup
+		}
+		lastSpeedup = speedup
+	}
+	// The shape: the two-stage advantage grows with subscription count
+	// and is decisive at the largest scale. Quick runs are small and
+	// share the CPU with concurrent test packages, so there only the
+	// growth trend is asserted.
+	if s == Quick {
+		holds = lastSpeedup > firstSpeedup
+	} else if lastSpeedup < 1.5 {
+		holds = false
+	}
+	res.Tables = append(res.Tables, table)
+	res.Notes = append(res.Notes, "speedup grows with subscription count; absolute µs depend on host")
+	res.Holds = holds
+	return res, nil
+}
+
+// runC2 regenerates the two-stage design claim: checking simple
+// conditions first ("evaluated on the fly") and running the pruned
+// YFilter only on survivors beats running YFilter for everything, which
+// beats naive evaluation.
+func runC2(s Scale) (*Result, error) {
+	res := &Result{
+		ID:    "C2",
+		Claim: `"it checks separately simple test conditions, evaluated on the fly, and more complex ones that require the use of an XML query processor" (§1, §4)`,
+	}
+	n := 10000
+	nDocs := 100
+	if s == Quick {
+		n, nDocs = 1000, 30
+	}
+	table := stats.NewTable(fmt.Sprintf("ablation at %d subscriptions", n),
+		"complex frac", "two-stage µs/doc", "yfilter-only µs/doc", "naive µs/doc")
+	holds := true
+	for _, frac := range []float64{0, 0.25, 0.5, 1.0} {
+		f, gen := buildFilter(n, frac)
+		docs := gen.Documents(nDocs)
+		two, c1, err := perDoc(docs, f, filter.ModeTwoStage)
+		if err != nil {
+			return nil, err
+		}
+		yfo, c2, err := perDoc(docs, f, filter.ModeYFilterOnly)
+		if err != nil {
+			return nil, err
+		}
+		naive, c3, err := perDoc(docs, f, filter.ModeNaive)
+		if err != nil {
+			return nil, err
+		}
+		if c1 != c2 || c2 != c3 {
+			return nil, fmt.Errorf("C2: modes disagree: %d/%d/%d", c1, c2, c3)
+		}
+		table.AddRow(frac, float64(two.Microseconds()), float64(yfo.Microseconds()), float64(naive.Microseconds()))
+		// The two-stage design must beat both ablations. The tolerance
+		// absorbs µs-scale timer noise (wider at Quick scale, where runs
+		// share the CPU with concurrent test packages). Which *ablation*
+		// is worse varies with the mix: naive short-circuits on simple
+		// conditions, so it can beat an unpruned YFilter at high complex
+		// fractions — an honest secondary finding in EXPERIMENTS.md.
+		tol := 1.3
+		if s == Quick {
+			tol = 2.5
+		}
+		if float64(two) > tol*float64(yfo) || float64(two) > tol*float64(naive) {
+			holds = false
+		}
+	}
+	res.Tables = append(res.Tables, table)
+	res.Notes = append(res.Notes,
+		"expected: two-stage ≤ both ablations on every row",
+		"at complex frac 0 the two-stage filter never parses beyond the first tag")
+	res.Holds = holds
+	return res, nil
+}
+
+// runC3 regenerates "[the AES] organization scales with the number of
+// subscriptions": probes per document stay bounded by the satisfied
+// conditions, not by the total subscription count.
+func runC3(s Scale) (*Result, error) {
+	res := &Result{
+		ID:    "C3",
+		Claim: `"As shown in [15], this organization scales with the number of subscriptions" (§4, AESFilter)`,
+	}
+	table := stats.NewTable("AES probes vs linear scan",
+		"subs", "distinct conds", "AES probes/doc", "linear checks/doc", "ratio")
+	nDocs := 100
+	if s == Quick {
+		nDocs = 30
+	}
+	holds := true
+	for _, n := range subCounts(s) {
+		f, gen := buildFilter(n, 0) // simple-only: isolate the AES
+		docs := gen.Documents(nDocs)
+		for _, d := range docs {
+			if _, err := f.Match(d); err != nil {
+				return nil, err
+			}
+		}
+		st := f.Stats()
+		probesPerDoc := float64(st.AESProbes) / float64(nDocs)
+		// The linear baseline checks every subscription's conditions.
+		cfg := workload.DefaultFilterGen()
+		linearPerDoc := float64(n * cfg.CondsPerSub)
+		table.AddRow(n, st.PreFilterEvals/uint64(nDocs), probesPerDoc, linearPerDoc, linearPerDoc/probesPerDoc)
+		if probesPerDoc >= linearPerDoc {
+			holds = false
+		}
+	}
+	res.Tables = append(res.Tables, table)
+	res.Holds = holds
+	return res, nil
+}
+
+// runC4 regenerates the YFilter sharing claim: the shared NFA's size and
+// per-document transitions grow sub-linearly in the number of queries
+// thanks to common-prefix sharing, unlike independent evaluation.
+func runC4(s Scale) (*Result, error) {
+	res := &Result{
+		ID:    "C4",
+		Claim: `"this is a most efficient organization that scales with the number of subscriptions because it groups path queries based on their common linear prefixes" (§4, YFilterσ)`,
+	}
+	counts := []int{100, 1000, 10000}
+	nDocs := 50
+	if s == Quick {
+		counts = []int{100, 1000}
+		nDocs = 20
+	}
+	table := stats.NewTable("shared NFA vs independent path evaluation",
+		"queries", "NFA states", "states/query", "shared µs/doc", "independent µs/doc")
+	holds := true
+	gen := workload.NewFilterGen(workload.DefaultFilterGen())
+	for _, n := range counts {
+		yf := filter.NewYFilter()
+		queries := make([]*xpath.Path, 0, n)
+		for i := 0; i < n; i++ {
+			q := gen.Query()
+			if err := yf.Add(i, q); err != nil {
+				return nil, err
+			}
+			queries = append(queries, q)
+		}
+		docs := gen.Documents(nDocs)
+		start := time.Now()
+		for _, d := range docs {
+			yf.MatchAll(d)
+		}
+		shared := time.Since(start) / time.Duration(nDocs)
+		start = time.Now()
+		for _, d := range docs {
+			for _, q := range queries {
+				q.Matches(d, nil)
+			}
+		}
+		indep := time.Since(start) / time.Duration(nDocs)
+		statesPerQuery := float64(yf.States()) / float64(n)
+		table.AddRow(n, yf.States(), statesPerQuery, float64(shared.Microseconds()), float64(indep.Microseconds()))
+		if shared >= indep {
+			holds = false
+		}
+	}
+	res.Tables = append(res.Tables, table)
+	res.Notes = append(res.Notes, "states/query shrinking with n demonstrates prefix sharing")
+	res.Holds = holds
+	return res, nil
+}
+
+// runC6 regenerates the Section 4 ActiveXML strategy: when simple
+// conditions already reject a document, the embedded service call is
+// never made; eager materialization calls it for every document.
+func runC6(s Scale) (*Result, error) {
+	res := &Result{
+		ID:    "C6",
+		Claim: `"Our strategy avoids the unnecessary call to service storage@site" (§4); ActiveXML "reduc[es] the amount of data that is transferred by providing information intentionally" (§1)`,
+	}
+	nDocs := 500
+	if s == Quick {
+		nDocs = 100
+	}
+	payload := xmltree.MustParse(`<c><d>` + strings200() + `</d></c>`)
+	table := stats.NewTable("service calls and bytes fetched vs selectivity",
+		"match frac", "lazy calls", "eager calls", "lazy bytes", "eager bytes")
+	holds := true
+	for _, tenth := range []int{1, 3, 10} { // 10%, 30%, 100% of docs pass the simple stage
+		run := func(lazy bool) (calls, bytes int, err error) {
+			// materialize simulates calling storage@site: the sc subtree
+			// is replaced by the (heavy) payload.
+			materialize := func(doc *xmltree.Node) (int, error) {
+				n := 0
+				for i, c := range doc.Children {
+					if c.Label == "sc" {
+						doc.Children[i] = payload.Clone()
+						n++
+						calls++
+						bytes += payload.SerializedSize()
+					}
+				}
+				return n, nil
+			}
+			f := filter.New()
+			if lazy {
+				f.SetMaterializer(materialize)
+			}
+			if err := f.Add(filter.Subscription{
+				ID:      "q",
+				Simple:  []filter.Cond{{Attr: "attr2", Op: xpath.OpEq, Value: "z"}},
+				Complex: []*xpath.Path{xpath.MustCompile(`//c/d`)},
+			}); err != nil {
+				return 0, 0, err
+			}
+			for i := 0; i < nDocs; i++ {
+				doc := xmltree.Elem("root")
+				doc.SetAttr("attr1", "x")
+				if i%10 < tenth {
+					doc.SetAttr("attr2", "z")
+				} else {
+					doc.SetAttr("attr2", "y")
+				}
+				doc.Append(xmltree.MustParse(`<sc service="storage" address="site"><parameters/></sc>`))
+				if !lazy {
+					// Eager baseline: fetch the intensional data for every
+					// document before filtering.
+					if _, err := materialize(doc); err != nil {
+						return 0, 0, err
+					}
+				}
+				if _, err := f.Match(doc); err != nil {
+					return 0, 0, err
+				}
+			}
+			return calls, bytes, nil
+		}
+		lazyCalls, lazyBytes, err := run(true)
+		if err != nil {
+			return nil, err
+		}
+		eagerCalls, eagerBytes, err := run(false)
+		if err != nil {
+			return nil, err
+		}
+		table.AddRow(float64(tenth)/10, lazyCalls, eagerCalls, lazyBytes, eagerBytes)
+		if lazyCalls > eagerCalls {
+			holds = false
+		}
+	}
+	res.Tables = append(res.Tables, table)
+	res.Notes = append(res.Notes, "lazy calls ≈ match-fraction × docs; eager calls = docs")
+	res.Holds = holds
+	return res, nil
+}
+
+func strings200() string {
+	s := "payload-"
+	for len(s) < 200 {
+		s += "0123456789"
+	}
+	return s
+}

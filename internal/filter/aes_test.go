@@ -1,0 +1,190 @@
+package filter
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func TestAESInsertValidation(t *testing.T) {
+	a := NewAES()
+	if err := a.Insert(nil, 0); err == nil {
+		t.Error("empty sequence should fail")
+	}
+	if err := a.Insert([]int{2, 1}, 0); err == nil {
+		t.Error("descending sequence should fail")
+	}
+	if err := a.Insert([]int{1, 1}, 0); err == nil {
+		t.Error("duplicate condition should fail")
+	}
+	if err := a.Insert([]int{1, 2}, 0); err != nil {
+		t.Errorf("valid insert failed: %v", err)
+	}
+	if a.Size() != 1 {
+		t.Errorf("Size = %d", a.Size())
+	}
+}
+
+// TestAESFigure6 builds exactly the subscription set of Figure 6:
+//
+//	Q1 = C1, C2, Q'1      Q4 = C1, C3, Q'4
+//	Q2 = C1, C2, Q'2      Q5 = C1
+//	Q3 = C3, Q'3          Q6 = C1, C2, C4, Q'6
+//
+// (complex parts are irrelevant to the AES itself) and checks the paper's
+// worked example: a document satisfying {C1, C3} yields exactly
+// {Q3, Q4, Q5}.
+func TestAESFigure6(t *testing.T) {
+	const (
+		c1, c2, c3, c4         = 1, 2, 3, 4
+		q1, q2, q3, q4, q5, q6 = 1, 2, 3, 4, 5, 6
+	)
+	a := NewAES()
+	mustInsert := func(seq []int, q int) {
+		t.Helper()
+		if err := a.Insert(seq, q); err != nil {
+			t.Fatal(err)
+		}
+	}
+	mustInsert([]int{c1, c2}, q1)
+	mustInsert([]int{c1, c2}, q2)
+	mustInsert([]int{c3}, q3)
+	mustInsert([]int{c1, c3}, q4)
+	mustInsert([]int{c1}, q5)
+	mustInsert([]int{c1, c2, c4}, q6)
+
+	got, _ := a.Match([]int{c1, c3})
+	if fmt.Sprint(got) != fmt.Sprint([]int{q3, q4, q5}) {
+		t.Errorf("Match(C1,C3) = %v, want [3 4 5]", got)
+	}
+
+	// All conditions satisfied: everything matches.
+	got, _ = a.Match([]int{c1, c2, c3, c4})
+	if fmt.Sprint(got) != fmt.Sprint([]int{q1, q2, q3, q4, q5, q6}) {
+		t.Errorf("Match(all) = %v", got)
+	}
+
+	// C2 alone matches nothing (C2 only appears after C1).
+	if got, _ := a.Match([]int{c2}); len(got) != 0 {
+		t.Errorf("Match(C2) = %v, want empty", got)
+	}
+
+	// The structure itself: H has C1 and C3; H[C1] has C2 and C3; H[C1,C2]
+	// has C4 marked with Q6 — mirrors the paper's figure.
+	dump := a.Dump(func(id int) string { return fmt.Sprintf("C%d", id) })
+	for _, want := range []string{
+		"H: C1{#5} C3{#3}",
+		"H[C1]: C2{#1,#2} C3{#4}",
+		"H[C1,C2]: C4{#6}",
+	} {
+		if !strings.Contains(dump, want) {
+			t.Errorf("dump missing %q:\n%s", want, dump)
+		}
+	}
+}
+
+func TestAESSubsequenceSemantics(t *testing.T) {
+	a := NewAES()
+	if err := a.Insert([]int{1, 3, 5}, 7); err != nil {
+		t.Fatal(err)
+	}
+	// Satisfied list is a strict superset interleaving other conditions.
+	if got, _ := a.Match([]int{0, 1, 2, 3, 4, 5, 6}); len(got) != 1 || got[0] != 7 {
+		t.Errorf("got %v", got)
+	}
+	// Missing middle condition: no match.
+	if got, _ := a.Match([]int{1, 5}); len(got) != 0 {
+		t.Errorf("got %v", got)
+	}
+}
+
+func TestAESEmptyMatch(t *testing.T) {
+	a := NewAES()
+	if got, probes := a.Match(nil); len(got) != 0 || probes != 0 {
+		t.Errorf("got %v probes=%d", got, probes)
+	}
+}
+
+func TestAESProbesBounded(t *testing.T) {
+	// Probes depend on satisfied conditions and activated tables, not on
+	// total subscriptions sharing no conditions with the document.
+	a := NewAES()
+	for i := 0; i < 1000; i++ {
+		if err := a.Insert([]int{10 + i}, i); err != nil {
+			t.Fatal(err)
+		}
+	}
+	_, probes := a.Match([]int{5}) // condition 5 is in no subscription
+	if probes != 1 {
+		t.Errorf("probes = %d, want 1 (single root probe)", probes)
+	}
+}
+
+// Property: brute-force subset check agrees with the hash-tree.
+func TestQuickAESMatchesBruteForce(t *testing.T) {
+	f := func(seed int64) bool {
+		rnd := newRand(seed)
+		a := NewAES()
+		type entry struct {
+			seq []int
+			id  int
+		}
+		var subs []entry
+		nconds := 8
+		for i := 0; i < 12; i++ {
+			var seq []int
+			for c := 0; c < nconds; c++ {
+				if rnd.Intn(3) == 0 {
+					seq = append(seq, c)
+				}
+			}
+			if len(seq) == 0 {
+				continue
+			}
+			if err := a.Insert(seq, i); err != nil {
+				return false
+			}
+			subs = append(subs, entry{seq, i})
+		}
+		var satisfied []int
+		for c := 0; c < nconds; c++ {
+			if rnd.Intn(2) == 0 {
+				satisfied = append(satisfied, c)
+			}
+		}
+		got, _ := a.Match(satisfied)
+		sat := make(map[int]bool)
+		for _, c := range satisfied {
+			sat[c] = true
+		}
+		var want []int
+		for _, s := range subs {
+			all := true
+			for _, c := range s.seq {
+				if !sat[c] {
+					all = false
+					break
+				}
+			}
+			if all {
+				want = append(want, s.id)
+			}
+		}
+		sort.Ints(want)
+		return fmt.Sprint(got) == fmt.Sprint(want)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+type lcg struct{ state uint64 }
+
+func newRand(seed int64) *lcg { return &lcg{state: uint64(seed)*2862933555777941757 + 3037000493} }
+
+func (l *lcg) Intn(n int) int {
+	l.state = l.state*6364136223846793005 + 1442695040888963407
+	return int((l.state >> 33) % uint64(n))
+}

@@ -1,0 +1,124 @@
+// Package filter implements the paper's central stream processor
+// (Section 4): a multi-subscription filter over streams of XML documents
+// that scales to a large number of subscriptions by evaluating cheap
+// *simple conditions* on root attributes first (preFilter + the Atomic
+// Event Set hash-tree of [15]) and only then running a shared-prefix
+// YFilter automaton ([8]) for the *complex* tree-pattern queries that are
+// still active.
+package filter
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"p2pm/internal/xmltree"
+	"p2pm/internal/xpath"
+)
+
+// Cond is a simple condition: an equality or inequality between a root
+// attribute and a constant, e.g. callee = "http://meteo.com". Simple
+// conditions can be tested from the first tag of a document alone.
+type Cond struct {
+	Attr  string
+	Op    xpath.CmpOp
+	Value string
+}
+
+// String renders the condition in the paper's dot-free form.
+func (c Cond) String() string { return fmt.Sprintf("@%s %s %q", c.Attr, c.Op, c.Value) }
+
+// Eval tests the condition against an attribute value.
+func (c Cond) Eval(got string) bool { return xpath.Compare(got, c.Op, c.Value) }
+
+// Validate rejects malformed conditions.
+func (c Cond) Validate() error {
+	if c.Attr == "" {
+		return fmt.Errorf("filter: condition with empty attribute name")
+	}
+	if c.Op == xpath.OpExists {
+		return fmt.Errorf("filter: simple conditions need a comparison operator")
+	}
+	return nil
+}
+
+// condRegistry assigns each distinct simple condition a stable integer ID.
+// The AES algorithm assumes a total order over simple conditions; we use
+// registration order, which is deterministic because the filter rebuilds
+// its structures by iterating subscriptions in insertion order.
+type condRegistry struct {
+	ids    map[Cond]int
+	conds  []Cond
+	byAttr map[string][]int // attribute name -> IDs of conditions testing it
+}
+
+func newCondRegistry() *condRegistry {
+	return &condRegistry{ids: make(map[Cond]int), byAttr: make(map[string][]int)}
+}
+
+// intern returns the ID for c, registering it if new.
+func (r *condRegistry) intern(c Cond) int {
+	if id, ok := r.ids[c]; ok {
+		return id
+	}
+	id := len(r.conds)
+	r.ids[c] = id
+	r.conds = append(r.conds, c)
+	r.byAttr[c.Attr] = append(r.byAttr[c.Attr], id)
+	return id
+}
+
+func (r *condRegistry) len() int { return len(r.conds) }
+
+// preFilter evaluates the registered simple conditions against a
+// document's root attributes — nothing else of the document is touched —
+// and returns the ordered (ascending ID) list of satisfied conditions.
+// evals counts condition evaluations performed, for the benchmarks.
+func (r *condRegistry) preFilter(attrs []xmltree.Attr) (satisfied []int, evals int) {
+	for _, a := range attrs {
+		for _, id := range r.byAttr[a.Name] {
+			evals++
+			if r.conds[id].Eval(a.Value) {
+				satisfied = append(satisfied, id)
+			}
+		}
+	}
+	sort.Ints(satisfied)
+	// Duplicate attributes cannot occur in well-formed XML, but inputs can
+	// be hostile; dedup to keep AES sound.
+	satisfied = dedupSorted(satisfied)
+	return satisfied, evals
+}
+
+func dedupSorted(xs []int) []int {
+	if len(xs) < 2 {
+		return xs
+	}
+	out := xs[:1]
+	for _, x := range xs[1:] {
+		if x != out[len(out)-1] {
+			out = append(out, x)
+		}
+	}
+	return out
+}
+
+// normalizeSimple interns the subscription's simple conditions and returns
+// their IDs in ascending order (the AES prefix sequence). Duplicate
+// conditions within one subscription collapse.
+func (r *condRegistry) normalizeSimple(conds []Cond) []int {
+	seq := make([]int, 0, len(conds))
+	for _, c := range conds {
+		seq = append(seq, r.intern(c))
+	}
+	sort.Ints(seq)
+	return dedupSorted(seq)
+}
+
+func condSeqString(r *condRegistry, seq []int) string {
+	parts := make([]string, len(seq))
+	for i, id := range seq {
+		parts[i] = r.conds[id].String()
+	}
+	return strings.Join(parts, " AND ")
+}

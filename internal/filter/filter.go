@@ -1,0 +1,533 @@
+package filter
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+	"sync/atomic"
+
+	"p2pm/internal/xmltree"
+	"p2pm/internal/xpath"
+)
+
+// Subscription is a filtering subscription in the sense of Section 4: a
+// conjunction of simple conditions on root attributes plus zero or more
+// complex tree-pattern queries. A subscription with no complex part is
+// *simple*; otherwise it is *complex*.
+type Subscription struct {
+	ID      string
+	Simple  []Cond
+	Complex []*xpath.Path
+}
+
+// IsSimple reports whether the subscription has no complex part.
+func (s Subscription) IsSimple() bool { return len(s.Complex) == 0 }
+
+// Mode selects the matching strategy, primarily for the C2 ablation.
+type Mode int
+
+const (
+	// ModeTwoStage is the paper's design: preFilter + AES first, then a
+	// YFilter pruned to the active complex subscriptions.
+	ModeTwoStage Mode = iota
+	// ModeYFilterOnly skips the simple-condition stages: every complex
+	// query runs through the (unpruned) YFilter and simple conditions are
+	// checked afterwards, per candidate.
+	ModeYFilterOnly
+	// ModeNaive evaluates every subscription independently against the
+	// document: linear in the number of subscriptions.
+	ModeNaive
+)
+
+func (m Mode) String() string {
+	switch m {
+	case ModeTwoStage:
+		return "two-stage"
+	case ModeYFilterOnly:
+		return "yfilter-only"
+	case ModeNaive:
+		return "naive"
+	}
+	return fmt.Sprintf("Mode(%d)", int(m))
+}
+
+// Materializer resolves ActiveXML service calls inside a document before
+// complex matching; it returns the number of calls performed. It is
+// invoked only when some complex subscription is still active — this is
+// the lazy strategy of Section 4 that "avoids the unnecessary call to
+// service storage@site".
+type Materializer func(*xmltree.Node) (int, error)
+
+// Stats are cumulative counters over all matched documents.
+type Stats struct {
+	Docs            uint64 // documents processed
+	PreFilterEvals  uint64 // simple-condition evaluations
+	AESProbes       uint64 // hash-tree probes
+	YFilterRuns     uint64 // documents that reached the YFilter stage
+	YFilterSkips    uint64 // documents rejected before the YFilter stage
+	NFATransitions  uint64 // transitions taken inside YFilter
+	ServiceCalls    uint64 // ActiveXML materialization calls
+	BodiesParsed    uint64 // MatchSerialized: documents fully parsed
+	BodiesSkipped   uint64 // MatchSerialized: first-tag-only documents
+	MatchesReported uint64 // total subscription matches emitted
+}
+
+type sub struct {
+	Subscription
+	handle  int   // index in rebuilt order
+	seq     []int // ascending simple-condition IDs
+	pathIDs []int // YFilter query IDs (parallel to Complex) or nil
+	direct  []*xpath.Path
+}
+
+// directEvalThreshold bounds the "virtually pruned" fast path: when the
+// active complex-query set is at most this large (and a small fraction of
+// all registered queries), the filter evaluates the active tree patterns
+// directly instead of running the shared NFA — the per-document pruning
+// Section 4 describes. Dense active sets still use the shared automaton,
+// which amortizes across queries.
+const directEvalThreshold = 16
+
+// Filter is the multi-subscription stream filter of Section 4 (Figure 5):
+// preFilter → AESFilter → YFilterσ, with lazy ActiveXML materialization.
+// Subscriptions can be added and removed at run time; structural rebuilds
+// happen lazily (the "offline adjustment" dotted path of Figure 5).
+type Filter struct {
+	mu    sync.RWMutex
+	subs  map[string]*Subscription
+	order []string // insertion order, drives deterministic condition IDs
+	dirty bool
+
+	// Built structures (valid when !dirty):
+	reg          *condRegistry
+	aes          *AES
+	yf           *YFilter
+	built        []*sub
+	byHandle     []*sub
+	alwaysActive []*sub // complex subscriptions with no simple conditions
+	pathOwner    []pathRef
+	pathByQID    []*xpath.Path
+
+	materializer Materializer
+
+	stats struct {
+		docs, preEvals, aesProbes, yfRuns, yfSkips atomic.Uint64
+		nfaTrans, svcCalls, parsed, skipped, outs  atomic.Uint64
+	}
+}
+
+type pathRef struct {
+	subHandle int
+	pathIdx   int
+}
+
+// New returns an empty filter.
+func New() *Filter {
+	return &Filter{subs: make(map[string]*Subscription)}
+}
+
+// SetMaterializer installs the ActiveXML materialization hook.
+func (f *Filter) SetMaterializer(m Materializer) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	f.materializer = m
+}
+
+// Add registers a subscription. Adding an ID that already exists replaces
+// the previous definition.
+func (f *Filter) Add(s Subscription) error {
+	if s.ID == "" {
+		return fmt.Errorf("filter: subscription needs an ID")
+	}
+	if len(s.Simple) == 0 && len(s.Complex) == 0 {
+		return fmt.Errorf("filter: subscription %s has no conditions", s.ID)
+	}
+	for _, c := range s.Simple {
+		if err := c.Validate(); err != nil {
+			return fmt.Errorf("subscription %s: %w", s.ID, err)
+		}
+	}
+	for _, p := range s.Complex {
+		if p == nil || len(p.Steps) == 0 {
+			return fmt.Errorf("filter: subscription %s has an empty complex query", s.ID)
+		}
+	}
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if _, exists := f.subs[s.ID]; !exists {
+		f.order = append(f.order, s.ID)
+	}
+	cp := s
+	cp.Simple = append([]Cond(nil), s.Simple...)
+	cp.Complex = append([]*xpath.Path(nil), s.Complex...)
+	f.subs[s.ID] = &cp
+	f.dirty = true
+	return nil
+}
+
+// Remove drops a subscription; removing an unknown ID is a no-op.
+func (f *Filter) Remove(id string) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if _, ok := f.subs[id]; !ok {
+		return
+	}
+	delete(f.subs, id)
+	for i, x := range f.order {
+		if x == id {
+			f.order = append(f.order[:i], f.order[i+1:]...)
+			break
+		}
+	}
+	f.dirty = true
+}
+
+// Len returns the number of registered subscriptions.
+func (f *Filter) Len() int {
+	f.mu.RLock()
+	defer f.mu.RUnlock()
+	return len(f.subs)
+}
+
+// rebuild reconstructs the condition registry, AES hash-tree and YFilter
+// automaton from the current subscription set. Callers hold f.mu.
+func (f *Filter) rebuild() {
+	f.reg = newCondRegistry()
+	f.aes = NewAES()
+	f.yf = NewYFilter()
+	f.built = f.built[:0]
+	f.alwaysActive = f.alwaysActive[:0]
+	f.pathOwner = f.pathOwner[:0]
+	f.pathByQID = f.pathByQID[:0]
+	f.byHandle = f.byHandle[:0]
+	for _, id := range f.order {
+		src := f.subs[id]
+		s := &sub{Subscription: *src, handle: len(f.byHandle)}
+		s.seq = f.reg.normalizeSimple(src.Simple)
+		for i, p := range src.Complex {
+			if p.IsLinear() {
+				qid := len(f.pathOwner)
+				f.pathOwner = append(f.pathOwner, pathRef{subHandle: s.handle, pathIdx: i})
+				if err := f.yf.Add(qid, p); err == nil {
+					s.pathIDs = append(s.pathIDs, qid)
+					f.pathByQID = append(f.pathByQID, p)
+					continue
+				}
+				f.pathOwner = f.pathOwner[:qid]
+			}
+			// Non-linear tree patterns are evaluated directly per active
+			// document; rare in practice, but supported.
+			s.direct = append(s.direct, p)
+		}
+		if len(s.seq) > 0 {
+			if err := f.aes.Insert(s.seq, s.handle); err != nil {
+				// normalizeSimple produces strictly ascending non-empty
+				// sequences; an error here is a programming bug.
+				panic(err)
+			}
+		} else {
+			f.alwaysActive = append(f.alwaysActive, s)
+		}
+		f.built = append(f.built, s)
+		f.byHandle = append(f.byHandle, s)
+	}
+	f.dirty = false
+}
+
+// snapshot returns the built structures, rebuilding first if needed.
+func (f *Filter) snapshot() *Filter {
+	f.mu.RLock()
+	if !f.dirty {
+		defer f.mu.RUnlock()
+		return f
+	}
+	f.mu.RUnlock()
+	f.mu.Lock()
+	if f.dirty {
+		f.rebuild()
+	}
+	f.mu.Unlock()
+	f.mu.RLock()
+	defer f.mu.RUnlock()
+	return f
+}
+
+// Match runs the full two-stage pipeline on a parsed document and returns
+// the IDs of matching subscriptions in registration order.
+func (f *Filter) Match(doc *xmltree.Node) ([]string, error) {
+	return f.MatchMode(doc, ModeTwoStage)
+}
+
+// MatchMode matches with an explicit strategy (for the C2 ablation).
+func (f *Filter) MatchMode(doc *xmltree.Node, mode Mode) ([]string, error) {
+	if doc == nil {
+		return nil, fmt.Errorf("filter: nil document")
+	}
+	f.snapshot()
+	f.mu.RLock()
+	defer f.mu.RUnlock()
+	f.stats.docs.Add(1)
+	switch mode {
+	case ModeTwoStage:
+		return f.matchTwoStage(doc)
+	case ModeYFilterOnly:
+		return f.matchYFilterOnly(doc)
+	case ModeNaive:
+		return f.matchNaive(doc)
+	}
+	return nil, fmt.Errorf("filter: unknown mode %v", mode)
+}
+
+func (f *Filter) matchTwoStage(doc *xmltree.Node) ([]string, error) {
+	satisfied, evals := f.reg.preFilter(doc.Attrs)
+	f.stats.preEvals.Add(uint64(evals))
+	handles, probes := f.aes.Match(satisfied)
+	f.stats.aesProbes.Add(uint64(probes))
+
+	var out []*sub
+	// Active complex subscriptions: AES survivors with a complex part,
+	// plus subscriptions that have no simple conditions at all.
+	var activeComplex []*sub
+	for _, h := range handles {
+		s := f.byHandle[h]
+		if s.IsSimple() {
+			out = append(out, s)
+		} else {
+			activeComplex = append(activeComplex, s)
+		}
+	}
+	activeComplex = append(activeComplex, f.alwaysActive...)
+	if len(activeComplex) == 0 {
+		f.stats.yfSkips.Add(1)
+		return f.report(out), nil
+	}
+	matched, err := f.runComplex(doc, activeComplex)
+	if err != nil {
+		return nil, err
+	}
+	out = append(out, matched...)
+	return f.report(out), nil
+}
+
+// runComplex materializes service calls if needed and evaluates the
+// complex parts of the given active subscriptions via YFilterσ (plus
+// direct evaluation for non-linear patterns).
+func (f *Filter) runComplex(doc *xmltree.Node, active []*sub) ([]*sub, error) {
+	if f.materializer != nil {
+		calls, err := f.materializer(doc)
+		f.stats.svcCalls.Add(uint64(calls))
+		if err != nil {
+			return nil, fmt.Errorf("filter: materialization failed: %w", err)
+		}
+	}
+	f.stats.yfRuns.Add(1)
+	activeQ := make(map[int]bool)
+	for _, s := range active {
+		for _, qid := range s.pathIDs {
+			activeQ[qid] = true
+		}
+	}
+	var matchedQ map[int]bool
+	switch {
+	case len(activeQ) == 0:
+	case len(activeQ) <= directEvalThreshold && len(activeQ)*8 <= f.yf.Queries():
+		// Virtually pruned automaton: with only a handful of active
+		// queries, evaluating them directly beats traversing the shared
+		// NFA built for the full workload.
+		matchedQ = make(map[int]bool, len(activeQ))
+		for qid := range activeQ {
+			if matchRooted(f.pathByQID[qid], doc) {
+				matchedQ[qid] = true
+			}
+		}
+	default:
+		res := f.yf.MatchActive(doc, activeQ)
+		f.stats.nfaTrans.Add(uint64(res.Transitions))
+		matchedQ = make(map[int]bool, len(res.Matched))
+		for _, q := range res.Matched {
+			matchedQ[q] = true
+		}
+	}
+	var out []*sub
+	for _, s := range active {
+		ok := true
+		for _, qid := range s.pathIDs {
+			if !matchedQ[qid] {
+				ok = false
+				break
+			}
+		}
+		if ok {
+			for _, p := range s.direct {
+				if !matchRooted(p, doc) {
+					ok = false
+					break
+				}
+			}
+		}
+		if ok {
+			out = append(out, s)
+		}
+	}
+	return out, nil
+}
+
+// matchRooted evaluates a tree pattern the way the filter defines it:
+// rooted at a virtual document node above the item, so /a tests the root
+// element and //a any element — identical to YFilter's semantics.
+func matchRooted(p *xpath.Path, doc *xmltree.Node) bool {
+	if p.Rooted {
+		return p.Matches(doc, nil)
+	}
+	wrap := xmltree.Elem("#doc", doc)
+	return p.Matches(wrap, nil)
+}
+
+func (f *Filter) matchYFilterOnly(doc *xmltree.Node) ([]string, error) {
+	// Every complex query is active; simple conditions are evaluated per
+	// candidate afterwards — no preFilter, no AES.
+	matched, err := f.runComplex(doc, f.built)
+	if err != nil {
+		return nil, err
+	}
+	var out []*sub
+	for _, s := range matched {
+		if f.simpleHold(s, doc) {
+			out = append(out, s)
+		}
+	}
+	return f.report(out), nil
+}
+
+func (f *Filter) matchNaive(doc *xmltree.Node) ([]string, error) {
+	if f.materializer != nil {
+		calls, err := f.materializer(doc)
+		f.stats.svcCalls.Add(uint64(calls))
+		if err != nil {
+			return nil, err
+		}
+	}
+	var out []*sub
+	for _, s := range f.built {
+		if !f.simpleHold(s, doc) {
+			continue
+		}
+		ok := true
+		for _, p := range s.Complex {
+			if !matchRooted(p, doc) {
+				ok = false
+				break
+			}
+		}
+		if ok {
+			out = append(out, s)
+		}
+	}
+	return f.report(out), nil
+}
+
+func (f *Filter) simpleHold(s *sub, doc *xmltree.Node) bool {
+	for _, id := range s.seq {
+		c := f.reg.conds[id]
+		v, ok := doc.Attr(c.Attr)
+		if !ok || !c.Eval(v) {
+			return false
+		}
+	}
+	return true
+}
+
+func (f *Filter) report(matched []*sub) []string {
+	sort.Slice(matched, func(i, j int) bool { return matched[i].handle < matched[j].handle })
+	out := make([]string, 0, len(matched))
+	var last string
+	for _, s := range matched {
+		if s.ID == last {
+			continue
+		}
+		out = append(out, s.ID)
+		last = s.ID
+	}
+	f.stats.outs.Add(uint64(len(out)))
+	return out
+}
+
+// MatchSerialized filters a document from its serialized form. When the
+// simple-condition stages already determine the outcome (no complex
+// subscription remains active), the document body is never parsed — only
+// its first tag is read, which is the paper's "on the fly" fast path.
+func (f *Filter) MatchSerialized(raw string) ([]string, error) {
+	f.snapshot()
+	f.mu.RLock()
+	defer f.mu.RUnlock()
+	f.stats.docs.Add(1)
+
+	_, attrs, err := xmltree.ReadFirstTag(raw)
+	if err != nil {
+		return nil, err
+	}
+	satisfied, evals := f.reg.preFilter(attrs)
+	f.stats.preEvals.Add(uint64(evals))
+	handles, probes := f.aes.Match(satisfied)
+	f.stats.aesProbes.Add(uint64(probes))
+
+	var out []*sub
+	var activeComplex []*sub
+	for _, h := range handles {
+		s := f.byHandle[h]
+		if s.IsSimple() {
+			out = append(out, s)
+		} else {
+			activeComplex = append(activeComplex, s)
+		}
+	}
+	activeComplex = append(activeComplex, f.alwaysActive...)
+	if len(activeComplex) == 0 {
+		f.stats.yfSkips.Add(1)
+		f.stats.skipped.Add(1)
+		return f.report(out), nil
+	}
+	doc, err := xmltree.Parse(raw)
+	if err != nil {
+		return nil, err
+	}
+	f.stats.parsed.Add(1)
+	matched, err := f.runComplex(doc, activeComplex)
+	if err != nil {
+		return nil, err
+	}
+	out = append(out, matched...)
+	return f.report(out), nil
+}
+
+// Stats returns a snapshot of the cumulative counters.
+func (f *Filter) Stats() Stats {
+	return Stats{
+		Docs:            f.stats.docs.Load(),
+		PreFilterEvals:  f.stats.preEvals.Load(),
+		AESProbes:       f.stats.aesProbes.Load(),
+		YFilterRuns:     f.stats.yfRuns.Load(),
+		YFilterSkips:    f.stats.yfSkips.Load(),
+		NFATransitions:  f.stats.nfaTrans.Load(),
+		ServiceCalls:    f.stats.svcCalls.Load(),
+		BodiesParsed:    f.stats.parsed.Load(),
+		BodiesSkipped:   f.stats.skipped.Load(),
+		MatchesReported: f.stats.outs.Load(),
+	}
+}
+
+// DumpAES renders the AES hash-tree (Figure 6 style) for inspection.
+func (f *Filter) DumpAES() string {
+	f.snapshot()
+	f.mu.RLock()
+	defer f.mu.RUnlock()
+	return f.aes.Dump(func(id int) string { return f.reg.conds[id].String() })
+}
+
+// YFilterStates exposes the NFA size for the scaling experiments.
+func (f *Filter) YFilterStates() int {
+	f.snapshot()
+	f.mu.RLock()
+	defer f.mu.RUnlock()
+	return f.yf.States()
+}

@@ -1,0 +1,258 @@
+package filter
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+
+	"p2pm/internal/xmltree"
+	"p2pm/internal/xpath"
+)
+
+// YFilter is a shared-prefix NFA over linear path queries, after [8]
+// (Diao et al., "YFilter", ICDE 2002). All registered queries are compiled
+// into one automaton whose states are shared between queries with common
+// path prefixes, so a single traversal of the document matches every query
+// at once. Final-step predicates (attribute tests, nested structural
+// predicates) are checked at accepting states.
+//
+// P2PM runs a *pruned* variant (the paper's YFilterσ): matching is
+// restricted to the queries still active after the AES stage, passed per
+// document to MatchActive.
+type YFilter struct {
+	start   *yfState
+	nstates int
+	queries int
+	pool    sync.Pool // *matcher scratch, reused across documents
+}
+
+type yfState struct {
+	id       int
+	children map[string]*yfState
+	wildcard *yfState
+	dslash   *yfState // descendant-axis helper state, self-looping
+	selfLoop bool
+	accepts  []yfAccept
+}
+
+type yfAccept struct {
+	qid      int
+	preds    []xpath.Pred
+	termAttr string // terminal @attr step: attribute must exist
+	termText bool   // terminal text() step: element must carry text
+}
+
+// NewYFilter returns an empty automaton.
+func NewYFilter() *YFilter {
+	y := &YFilter{}
+	y.start = y.newState()
+	return y
+}
+
+func (y *YFilter) newState() *yfState {
+	s := &yfState{id: y.nstates, children: make(map[string]*yfState)}
+	y.nstates++
+	return s
+}
+
+// States returns the number of NFA states, the quantity whose sub-linear
+// growth in the number of queries is YFilter's core scaling claim
+// (bench C4).
+func (y *YFilter) States() int { return y.nstates }
+
+// Queries returns the number of registered queries.
+func (y *YFilter) Queries() int { return y.queries }
+
+// Add compiles a linear path query into the automaton under the given
+// query ID. Paths are evaluated rooted at the document: the first step
+// tests the document's root element. Non-linear paths are rejected; the
+// caller (Filter) falls back to direct tree-pattern evaluation for those.
+func (y *YFilter) Add(qid int, p *xpath.Path) error {
+	if len(p.Steps) == 0 {
+		return fmt.Errorf("filter: empty path")
+	}
+	if !p.IsLinear() {
+		return fmt.Errorf("filter: path %s is not linear", p)
+	}
+	cur := y.start
+	acc := yfAccept{qid: qid}
+	for i, step := range p.Steps {
+		switch step.Kind {
+		case xpath.AttrKind:
+			if i == 0 {
+				return fmt.Errorf("filter: attribute-only path %s", p)
+			}
+			acc.termAttr = step.Label
+			continue
+		case xpath.TextKind:
+			if i == 0 {
+				return fmt.Errorf("filter: text-only path %s", p)
+			}
+			acc.termText = true
+			continue
+		}
+		if step.Axis == xpath.Descendant {
+			if cur.dslash == nil {
+				cur.dslash = y.newState()
+				cur.dslash.selfLoop = true
+			}
+			cur = cur.dslash
+		}
+		var next *yfState
+		if step.Label == "*" {
+			if cur.wildcard == nil {
+				cur.wildcard = y.newState()
+			}
+			next = cur.wildcard
+		} else {
+			next = cur.children[step.Label]
+			if next == nil {
+				next = y.newState()
+				cur.children[step.Label] = next
+			}
+		}
+		cur = next
+		// IsLinear guarantees predicates occur only on the last element
+		// step, so collecting them unconditionally is safe.
+		acc.preds = append(acc.preds, step.Preds...)
+	}
+	cur.accepts = append(cur.accepts, acc)
+	y.queries++
+	return nil
+}
+
+// MatchResult reports which queries matched and how much work the run did.
+type MatchResult struct {
+	Matched     []int // query IDs, ascending, deduplicated
+	Transitions int   // NFA transitions taken (work measure for C4)
+}
+
+// matcher holds per-run scratch space: an epoch-stamped visited array for
+// deduplicating NFA state sets (self-looping descendant states would
+// otherwise multiply).
+type matcher struct {
+	seen  []uint32
+	epoch uint32
+}
+
+func (y *YFilter) getMatcher() *matcher {
+	m, _ := y.pool.Get().(*matcher)
+	if m == nil {
+		m = &matcher{}
+	}
+	if len(m.seen) < y.nstates {
+		m.seen = make([]uint32, y.nstates)
+		m.epoch = 0
+	}
+	// Guard against epoch wrap-around on very long-lived matchers: a wrap
+	// could alias stale stamps and drop states silently.
+	if m.epoch > ^uint32(0)-1<<16 {
+		clear(m.seen)
+		m.epoch = 0
+	}
+	return m
+}
+
+// add appends s (and its dslash closure) to dst, deduplicating within the
+// current epoch.
+func (m *matcher) add(dst []*yfState, s *yfState) []*yfState {
+	for {
+		if m.seen[s.id] != m.epoch {
+			m.seen[s.id] = m.epoch
+			dst = append(dst, s)
+		}
+		if s.dslash == nil {
+			return dst
+		}
+		s = s.dslash
+	}
+}
+
+// MatchAll matches every registered query against the document.
+func (y *YFilter) MatchAll(doc *xmltree.Node) MatchResult {
+	return y.match(doc, nil)
+}
+
+// MatchActive matches only the queries in the active set (YFilterσ).
+// A nil active set means "all queries".
+func (y *YFilter) MatchActive(doc *xmltree.Node, active map[int]bool) MatchResult {
+	if active != nil && len(active) == 0 {
+		return MatchResult{}
+	}
+	return y.match(doc, active)
+}
+
+func (y *YFilter) match(doc *xmltree.Node, active map[int]bool) MatchResult {
+	var res MatchResult
+	m := y.getMatcher()
+	defer y.pool.Put(m)
+	matched := make(map[int]bool)
+
+	// The start set is the closure of the start state: the virtual
+	// document node sits "above" the root element, so /a tests the root
+	// element and //a tests any element.
+	m.epoch++
+	var startSet []*yfState
+	startSet = m.add(startSet, y.start)
+
+	var visit func(n *xmltree.Node, activeStates []*yfState)
+	visit = func(n *xmltree.Node, activeStates []*yfState) {
+		if n.IsText() {
+			return
+		}
+		m.epoch++
+		var next []*yfState
+		for _, s := range activeStates {
+			if t := s.children[n.Label]; t != nil {
+				res.Transitions++
+				next = m.add(next, t)
+			}
+			if s.wildcard != nil {
+				res.Transitions++
+				next = m.add(next, s.wildcard)
+			}
+			if s.selfLoop {
+				next = m.add(next, s)
+			}
+		}
+		for _, s := range next {
+			for _, acc := range s.accepts {
+				if active != nil && !active[acc.qid] {
+					continue
+				}
+				if matched[acc.qid] {
+					continue
+				}
+				if acceptHolds(acc, n) {
+					matched[acc.qid] = true
+				}
+			}
+		}
+		if len(next) == 0 {
+			return // no state can progress below this element
+		}
+		for _, c := range n.Children {
+			visit(c, next)
+		}
+	}
+	visit(doc, startSet)
+
+	res.Matched = make([]int, 0, len(matched))
+	for q := range matched {
+		res.Matched = append(res.Matched, q)
+	}
+	sort.Ints(res.Matched)
+	return res
+}
+
+func acceptHolds(acc yfAccept, n *xmltree.Node) bool {
+	if acc.termAttr != "" {
+		if _, ok := n.Attr(acc.termAttr); !ok {
+			return false
+		}
+	}
+	if acc.termText && n.InnerText() == "" {
+		return false
+	}
+	return xpath.PredsHold(n, acc.preds, nil)
+}

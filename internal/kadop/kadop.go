@@ -1,0 +1,376 @@
+// Package kadop implements the Stream Definition Database of Section 5: a
+// distributed index of stream descriptors built over a DHT (standing in
+// for the KadoP system [3]). Every deployed stream is described in XML —
+//
+//	<Stream PeerId="..." StreamId="..." isAChannel="...">
+//	  <Operator>...</Operator><Operands>...</Operands><Stats>...</Stats>
+//	</Stream>
+//
+// — published under index keys that answer exactly the discovery queries
+// the Reuse algorithm issues: alerters at a peer, operators over a given
+// operand stream, exact sub-plan signatures, and channel replicas.
+package kadop
+
+import (
+	"fmt"
+	"sort"
+	"strconv"
+	"strings"
+
+	"p2pm/internal/dht"
+	"p2pm/internal/stream"
+	"p2pm/internal/xmltree"
+	"p2pm/internal/xpath"
+)
+
+// StreamDef describes one published stream.
+type StreamDef struct {
+	Ref       stream.Ref
+	IsChannel bool
+	// Operator is the producing operator's name: an alerter function
+	// (inCOM, outCOM, ...) when Operands is empty, else Filter, Join,
+	// Union, Restructure, Distinct, Group.
+	Operator string
+	// Signature is the placement-independent canonical description of
+	// the computation (algebra.Node.Signature); equal signatures mean
+	// equivalent streams.
+	Signature string
+	// Operands reference the input streams — always the *original*
+	// streams, never replicas (Section 5: "When we publish the
+	// specification of a stream, we always do it with respect to the
+	// original streams").
+	Operands []stream.Ref
+	// Conds, for Filter streams, lists the σ's conditions in canonical
+	// form (variable-name normalized, LETs inlined). They enable
+	// subsumption-based reuse: a stream filtering a *subset* of a new
+	// task's conditions "holds sufficient data" for it (the paper's
+	// future-work item), needing only a residual filter on top.
+	Conds []string
+	// Stats carries statistical attributes (average item volume etc.).
+	Stats map[string]string
+}
+
+// ToXML renders the descriptor in the paper's schema.
+func (d *StreamDef) ToXML() *xmltree.Node {
+	n := xmltree.Elem("Stream")
+	n.SetAttr("PeerId", d.Ref.PeerID)
+	n.SetAttr("StreamId", d.Ref.StreamID)
+	n.SetAttr("isAChannel", strconv.FormatBool(d.IsChannel))
+	if d.Signature != "" {
+		n.SetAttr("signature", d.Signature)
+	}
+	opInner := xmltree.Elem(d.Operator)
+	for _, c := range d.Conds {
+		opInner.Append(xmltree.ElemText("Cond", c))
+	}
+	n.Append(xmltree.Elem("Operator", opInner))
+	operands := xmltree.Elem("Operands")
+	for _, o := range d.Operands {
+		oe := xmltree.Elem("Operand")
+		oe.SetAttr("OPeerId", o.PeerID)
+		oe.SetAttr("OStreamId", o.StreamID)
+		operands.Append(oe)
+	}
+	n.Append(operands)
+	stats := xmltree.Elem("Stats")
+	keys := make([]string, 0, len(d.Stats))
+	for k := range d.Stats {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	for _, k := range keys {
+		stats.SetAttr(k, d.Stats[k])
+	}
+	n.Append(stats)
+	return n
+}
+
+// ParseDef reads a descriptor back from XML.
+func ParseDef(n *xmltree.Node) (*StreamDef, error) {
+	if n == nil || n.Label != "Stream" {
+		return nil, fmt.Errorf("kadop: not a Stream descriptor")
+	}
+	d := &StreamDef{
+		Ref: stream.Ref{
+			PeerID:   n.AttrOr("PeerId", ""),
+			StreamID: n.AttrOr("StreamId", ""),
+		},
+		IsChannel: n.AttrOr("isAChannel", "") == "true",
+		Signature: n.AttrOr("signature", ""),
+		Stats:     make(map[string]string),
+	}
+	if d.Ref.PeerID == "" || d.Ref.StreamID == "" {
+		return nil, fmt.Errorf("kadop: descriptor missing stream identity")
+	}
+	op := n.Child("Operator")
+	if op == nil || len(op.Children) == 0 {
+		return nil, fmt.Errorf("kadop: descriptor missing operator")
+	}
+	d.Operator = op.Children[0].Label
+	for _, c := range op.Children[0].ChildrenByLabel("Cond") {
+		d.Conds = append(d.Conds, c.InnerText())
+	}
+	if ops := n.Child("Operands"); ops != nil {
+		for _, o := range ops.ChildrenByLabel("Operand") {
+			d.Operands = append(d.Operands, stream.Ref{
+				PeerID:   o.AttrOr("OPeerId", ""),
+				StreamID: o.AttrOr("OStreamId", ""),
+			})
+		}
+	}
+	if st := n.Child("Stats"); st != nil {
+		for _, a := range st.Attrs {
+			d.Stats[a.Name] = a.Value
+		}
+	}
+	return d, nil
+}
+
+// IsSource reports whether the stream is produced by an alerter ("When
+// the set Operands is empty ... it is produced by an alerter").
+func (d *StreamDef) IsSource() bool { return len(d.Operands) == 0 }
+
+// DB is the stream definition database.
+type DB struct {
+	ring *dht.Ring
+	defs uint64
+}
+
+// New builds a database over a DHT ring.
+func New(ring *dht.Ring) *DB { return &DB{ring: ring} }
+
+// Index keys. Each descriptor is stored under several keys so every
+// discovery query of Section 5 is a single DHT lookup.
+func alerterKey(peer, fn string) string         { return "alerter|" + peer + "|" + fn }
+func operandKey(op string, o stream.Ref) string { return "op|" + op + "|" + o.String() }
+func sigKey(sig string) string                  { return "sig|" + sig }
+func replicaKey(orig stream.Ref) string         { return "replica|" + orig.String() }
+func refKey(ref stream.Ref) string              { return "def|" + ref.String() }
+
+// Publish indexes a stream descriptor.
+func (db *DB) Publish(def *StreamDef) error {
+	if def.Ref.PeerID == "" || def.Ref.StreamID == "" {
+		return fmt.Errorf("kadop: descriptor needs a stream identity")
+	}
+	if def.Operator == "" {
+		return fmt.Errorf("kadop: descriptor needs an operator")
+	}
+	xml := def.ToXML().String()
+	keys := []string{refKey(def.Ref)}
+	if def.IsSource() {
+		keys = append(keys, alerterKey(def.Ref.PeerID, def.Operator))
+	}
+	for _, o := range def.Operands {
+		keys = append(keys, operandKey(def.Operator, o))
+	}
+	if def.Signature != "" {
+		keys = append(keys, sigKey(def.Signature))
+	}
+	for _, k := range keys {
+		if err := db.ring.Put(k, xml); err != nil {
+			return err
+		}
+	}
+	db.defs++
+	return nil
+}
+
+// Defs returns the number of descriptors published.
+func (db *DB) Defs() uint64 { return db.defs }
+
+func (db *DB) lookup(from, key string) ([]*StreamDef, int, error) {
+	vals, hops, err := db.ring.Get(from, key)
+	if err != nil {
+		return nil, hops, err
+	}
+	seen := make(map[string]bool)
+	var out []*StreamDef
+	for _, v := range vals {
+		n, err := xmltree.Parse(v)
+		if err != nil {
+			return nil, hops, fmt.Errorf("kadop: corrupt descriptor: %w", err)
+		}
+		d, err := ParseDef(n)
+		if err != nil {
+			return nil, hops, err
+		}
+		if !seen[d.Ref.String()] {
+			seen[d.Ref.String()] = true
+			out = append(out, d)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Ref.String() < out[j].Ref.String() })
+	return out, hops, nil
+}
+
+// FindAlerters answers "is there a communication alerter for p1?" —
+// the first discovery query of Section 5.
+func (db *DB) FindAlerters(from, peer, fn string) ([]*StreamDef, int, error) {
+	return db.lookup(from, alerterKey(peer, fn))
+}
+
+// FindByOperand answers "is there a <op> over stream s1@p1?" — e.g. all
+// filters of a given source stream.
+func (db *DB) FindByOperand(from, op string, operand stream.Ref) ([]*StreamDef, int, error) {
+	return db.lookup(from, operandKey(op, operand))
+}
+
+// FindBySignature answers exact sub-plan matches.
+func (db *DB) FindBySignature(from, sig string) ([]*StreamDef, int, error) {
+	return db.lookup(from, sigKey(sig))
+}
+
+// FindByRef resolves a stream's own descriptor from its identity.
+func (db *DB) FindByRef(from string, ref stream.Ref) (*StreamDef, int, error) {
+	defs, hops, err := db.lookup(from, refKey(ref))
+	if err != nil {
+		return nil, hops, err
+	}
+	if len(defs) == 0 {
+		return nil, hops, nil
+	}
+	return defs[0], hops, nil
+}
+
+func statsKey(ref stream.Ref) string { return "stats|" + ref.String() }
+
+// UpdateStats records the latest statistics for a stream (appended;
+// StatsFor reads the most recent record). The paper's descriptors carry
+// "statistical information maintained for the stream such as the average
+// volume of data".
+func (db *DB) UpdateStats(ref stream.Ref, stats map[string]string) error {
+	n := xmltree.Elem("Stats")
+	keys := make([]string, 0, len(stats))
+	for k := range stats {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	for _, k := range keys {
+		n.SetAttr(k, stats[k])
+	}
+	return db.ring.Put(statsKey(ref), n.String())
+}
+
+// StatsFor returns the most recently recorded statistics for a stream.
+func (db *DB) StatsFor(from string, ref stream.Ref) (map[string]string, int, error) {
+	vals, hops, err := db.ring.Get(from, statsKey(ref))
+	if err != nil || len(vals) == 0 {
+		return nil, hops, err
+	}
+	n, err := xmltree.Parse(vals[len(vals)-1])
+	if err != nil {
+		return nil, hops, fmt.Errorf("kadop: corrupt stats record: %w", err)
+	}
+	out := make(map[string]string, len(n.Attrs))
+	for _, a := range n.Attrs {
+		out[a.Name] = a.Value
+	}
+	return out, hops, nil
+}
+
+// PublishReplica records that replicaRef re-publishes origRef (the
+// paper's InChannel record: a subscriber announcing it can also provide
+// the stream).
+func (db *DB) PublishReplica(orig, replica stream.Ref) error {
+	n := xmltree.Elem("InChannel")
+	n.SetAttr("PeerId", orig.PeerID)
+	n.SetAttr("StreamId", orig.StreamID)
+	n.SetAttr("ReplicaPeerId", replica.PeerID)
+	n.SetAttr("ReplicaStreamId", replica.StreamID)
+	return db.ring.Put(replicaKey(orig), n.String())
+}
+
+// Replicas returns all known replicas of a stream.
+func (db *DB) Replicas(from string, orig stream.Ref) ([]stream.Ref, int, error) {
+	vals, hops, err := db.ring.Get(from, replicaKey(orig))
+	if err != nil {
+		return nil, hops, err
+	}
+	var out []stream.Ref
+	seen := make(map[string]bool)
+	for _, v := range vals {
+		n, err := xmltree.Parse(v)
+		if err != nil || n.Label != "InChannel" {
+			return nil, hops, fmt.Errorf("kadop: corrupt replica record")
+		}
+		r := stream.Ref{PeerID: n.AttrOr("ReplicaPeerId", ""), StreamID: n.AttrOr("ReplicaStreamId", "")}
+		if !seen[r.String()] {
+			seen[r.String()] = true
+			out = append(out, r)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].String() < out[j].String() })
+	return out, hops, nil
+}
+
+// Document assembles every stored descriptor into one <db> document and
+// QueryXPath evaluates a Section 5-style XPath query against it. This is
+// the diagnostic evaluator used by tests and the explain tooling; the
+// reuse algorithm itself uses the indexed lookups above.
+func (db *DB) Document() *xmltree.Node {
+	doc := xmltree.Elem("db")
+	seen := make(map[string]bool)
+	for _, v := range db.allRaw() {
+		n, err := xmltree.Parse(v)
+		if err != nil || n.Label != "Stream" {
+			continue
+		}
+		id := n.AttrOr("StreamId", "") + "@" + n.AttrOr("PeerId", "")
+		if !seen[id] {
+			seen[id] = true
+			doc.Append(n)
+		}
+	}
+	return doc
+}
+
+// allRaw enumerates all raw descriptor values. The ring has no global
+// scan primitive (that is the point of a DHT); enumeration walks the
+// identity index maintained alongside the semantic keys.
+func (db *DB) allRaw() []string {
+	vals, _, err := db.ring.Get("", identityIndexKey)
+	if err != nil {
+		return nil
+	}
+	return vals
+}
+
+const identityIndexKey = "kadop|all"
+
+// PublishIndexed is Publish plus enrollment in the enumeration index.
+// The identity index is a convenience for diagnostics and small
+// deployments; large deployments use only the semantic keys.
+func (db *DB) PublishIndexed(def *StreamDef) error {
+	if err := db.Publish(def); err != nil {
+		return err
+	}
+	return db.ring.Put(identityIndexKey, def.ToXML().String())
+}
+
+// QueryXPath evaluates a rooted XPath query (e.g. the three queries of
+// Section 5) over the assembled descriptor document.
+func (db *DB) QueryXPath(q string, binds map[string]string) ([]*StreamDef, error) {
+	path, err := xpath.Compile(rewriteRootedQuery(q))
+	if err != nil {
+		return nil, err
+	}
+	doc := db.Document()
+	var out []*StreamDef
+	for _, n := range path.SelectNodes(doc, xpath.Bindings(binds)) {
+		d, err := ParseDef(n)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, d)
+	}
+	return out, nil
+}
+
+// rewriteRootedQuery maps the paper's "/Stream[...]" form onto our <db>
+// wrapper document.
+func rewriteRootedQuery(q string) string {
+	if strings.HasPrefix(q, "/Stream") {
+		return "/db" + q
+	}
+	return q
+}

@@ -1,0 +1,100 @@
+// Package operators implements P2PM's stream processors (Section 3.1):
+// stateless ones — Filter/Select (σ), Restructure (Π), Union (∪) — and
+// stateful ones — Join (⋈), Duplicate-removal, Group. Each processor is a
+// Proc driven by a Runner goroutine that fans in its input queues,
+// serializes processing, and emits into a sink (usually a channel
+// publication on the owning peer).
+package operators
+
+import (
+	"sync"
+	"sync/atomic"
+
+	"p2pm/internal/stream"
+)
+
+// Emit receives output items from a processor.
+type Emit func(stream.Item)
+
+// Proc is a stream processor. Accept is called serially (the runner
+// fans in all inputs into one loop), so implementations need no locking
+// for per-processor state.
+type Proc interface {
+	// Name identifies the operator kind ("Select", "Join", ...).
+	Name() string
+	// Accept processes one item arriving on input idx.
+	Accept(idx int, it stream.Item, emit Emit)
+	// Flush is called once, after every input has reached eos.
+	Flush(emit Emit)
+}
+
+// Handle tracks a running operator.
+type Handle struct {
+	name string
+	done chan struct{}
+	in   atomic.Uint64
+	out  atomic.Uint64
+}
+
+// Name returns the operator name.
+func (h *Handle) Name() string { return h.name }
+
+// Wait blocks until the operator has flushed and emitted eos.
+func (h *Handle) Wait() { <-h.done }
+
+// Done returns a channel closed when the operator finishes.
+func (h *Handle) Done() <-chan struct{} { return h.done }
+
+// ItemsIn returns the number of items consumed.
+func (h *Handle) ItemsIn() uint64 { return h.in.Load() }
+
+// ItemsOut returns the number of items emitted.
+func (h *Handle) ItemsOut() uint64 { return h.out.Load() }
+
+// tagged is an input item annotated with its input index.
+type tagged struct {
+	idx int
+	it  stream.Item
+}
+
+// Run starts the processor over the given input queues. The sink receives
+// every output item followed by exactly one eos item when all inputs have
+// terminated. Run returns immediately; use the Handle to wait.
+func Run(p Proc, inputs []*stream.Queue, sink Emit) *Handle {
+	h := &Handle{name: p.Name(), done: make(chan struct{})}
+	merged := make(chan tagged)
+	var wg sync.WaitGroup
+	for i, q := range inputs {
+		wg.Add(1)
+		go func(idx int, q *stream.Queue) {
+			defer wg.Done()
+			for {
+				it, ok := q.Pop()
+				if !ok || it.EOS() {
+					return
+				}
+				merged <- tagged{idx: idx, it: it}
+			}
+		}(i, q)
+	}
+	go func() {
+		wg.Wait()
+		close(merged)
+	}()
+	go func() {
+		defer close(h.done)
+		emit := func(it stream.Item) {
+			if !it.EOS() {
+				h.out.Add(1)
+			}
+			sink(it)
+		}
+		for t := range merged {
+			h.in.Add(1)
+			p.Accept(t.idx, t.it, emit)
+		}
+		p.Flush(emit)
+		sink(stream.EOSItem(p.Name()))
+	}()
+	return h
+}

@@ -1,0 +1,132 @@
+package operators
+
+import (
+	"fmt"
+	"io"
+	"sync"
+
+	"p2pm/internal/stream"
+	"p2pm/internal/xmltree"
+)
+
+// Publisher operators expose result streams to the world (Section 3.1):
+// as channels (the pub/sub case, handled by the peer layer wiring an
+// operator's sink to a stream.Channel), or to human users as e-mails, XML
+// files, XHTML pages or RSS feeds. The writer-backed publishers below
+// simulate the human-facing forms.
+
+// ChannelPublish returns an Emit sink that publishes into ch.
+func ChannelPublish(ch *stream.Channel) Emit {
+	return func(it stream.Item) {
+		if it.EOS() {
+			ch.Close()
+			return
+		}
+		ch.Publish(it)
+	}
+}
+
+// QueueSink returns an Emit sink that pushes into q (closing it on eos).
+func QueueSink(q *stream.Queue) Emit {
+	return func(it stream.Item) {
+		if it.EOS() {
+			q.Close()
+			return
+		}
+		q.Push(it)
+	}
+}
+
+// XMLFilePublisher appends each item as one XML document line to a writer
+// (simulating publication as an ordinary XML document).
+type XMLFilePublisher struct {
+	mu    sync.Mutex
+	W     io.Writer
+	count int
+}
+
+// Emit returns the sink function.
+func (p *XMLFilePublisher) Emit(it stream.Item) {
+	if it.EOS() {
+		return
+	}
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	fmt.Fprintln(p.W, it.Tree.String())
+	p.count++
+}
+
+// Count returns the number of published items.
+func (p *XMLFilePublisher) Count() int {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.count
+}
+
+// EmailPublisher renders each item as a small plain-text "message"
+// (simulated mail delivery).
+type EmailPublisher struct {
+	mu   sync.Mutex
+	W    io.Writer
+	To   string
+	sent int
+}
+
+// Emit returns the sink function.
+func (p *EmailPublisher) Emit(it stream.Item) {
+	if it.EOS() {
+		return
+	}
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	fmt.Fprintf(p.W, "To: %s\nSubject: monitoring alert (%s)\n\n%s\n\n", p.To, it.Source, it.Tree.Indent())
+	p.sent++
+}
+
+// Sent returns the number of mails written.
+func (p *EmailPublisher) Sent() int {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.sent
+}
+
+// RSSPublisher maintains an RSS 2.0 feed of the last MaxItems results.
+type RSSPublisher struct {
+	mu       sync.Mutex
+	Title    string
+	MaxItems int
+	items    []*xmltree.Node
+}
+
+// Emit returns the sink function.
+func (p *RSSPublisher) Emit(it stream.Item) {
+	if it.EOS() {
+		return
+	}
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	max := p.MaxItems
+	if max <= 0 {
+		max = 20
+	}
+	entry := xmltree.Elem("item",
+		xmltree.ElemText("title", fmt.Sprintf("alert #%d from %s", it.Seq, it.Source)),
+		xmltree.Elem("description", it.Tree.Clone()))
+	p.items = append(p.items, entry)
+	if len(p.items) > max {
+		p.items = p.items[len(p.items)-max:]
+	}
+}
+
+// Feed renders the current feed document.
+func (p *RSSPublisher) Feed() *xmltree.Node {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	ch := xmltree.Elem("channel", xmltree.ElemText("title", p.Title))
+	for _, it := range p.items {
+		ch.Append(it.Clone())
+	}
+	rss := xmltree.Elem("rss", ch)
+	rss.SetAttr("version", "2.0")
+	return rss
+}

@@ -1,0 +1,281 @@
+package p2pml
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+
+	"p2pm/internal/xmltree"
+	"p2pm/internal/xpath"
+)
+
+// Value is the result of evaluating an expression: a string, a number, or
+// a whole XML tree (for bare variable references like "return $e").
+type Value struct {
+	Str   string
+	Num   float64
+	IsNum bool
+	Node  *xmltree.Node
+}
+
+// StringValue builds a string Value, auto-detecting numerics so that
+// attribute timestamps participate in arithmetic.
+func StringValue(s string) Value {
+	if n, err := strconv.ParseFloat(strings.TrimSpace(s), 64); err == nil {
+		return Value{Str: s, Num: n, IsNum: true}
+	}
+	return Value{Str: s}
+}
+
+// NumValue builds a numeric Value.
+func NumValue(n float64) Value {
+	return Value{Str: strconv.FormatFloat(n, 'g', -1, 64), Num: n, IsNum: true}
+}
+
+// Text renders the value for template substitution.
+func (v Value) Text() string {
+	if v.Node != nil {
+		return v.Node.InnerText()
+	}
+	return v.Str
+}
+
+// Env holds the variable bindings during evaluation of one candidate
+// tuple: stream variables bind to trees, LET variables to computed
+// values.
+type Env struct {
+	Trees map[string]*xmltree.Node
+	Vals  map[string]Value
+}
+
+// NewEnv returns an empty environment.
+func NewEnv() *Env {
+	return &Env{Trees: make(map[string]*xmltree.Node), Vals: make(map[string]Value)}
+}
+
+// Bind sets a stream variable.
+func (e *Env) Bind(v string, tree *xmltree.Node) { e.Trees[v] = tree }
+
+// Expr is an evaluable P2PML expression.
+type Expr interface {
+	Eval(env *Env) (Value, error)
+	String() string
+	// Vars returns the variables referenced by the expression.
+	Vars() []string
+}
+
+// AttrRef is the dot notation: $c1.callMethod reads attribute callMethod
+// of the root of the tree bound to $c1 — "syntactic sugaring" for the
+// XPath condition on root attributes (Section 2).
+type AttrRef struct {
+	Var  string
+	Attr string
+}
+
+// Eval implements Expr.
+func (a *AttrRef) Eval(env *Env) (Value, error) {
+	tree, ok := env.Trees[a.Var]
+	if !ok {
+		return Value{}, fmt.Errorf("p2pml: unbound variable $%s", a.Var)
+	}
+	v, ok := tree.Attr(a.Attr)
+	if !ok {
+		return Value{}, errAttrMissing{a.Var, a.Attr}
+	}
+	return StringValue(v), nil
+}
+
+type errAttrMissing struct{ v, attr string }
+
+func (e errAttrMissing) Error() string {
+	return fmt.Sprintf("p2pml: $%s has no root attribute %q", e.v, e.attr)
+}
+
+// IsAttrMissing reports whether err is a missing-root-attribute error;
+// conditions over absent attributes are false rather than fatal.
+func IsAttrMissing(err error) bool {
+	_, ok := err.(errAttrMissing)
+	return ok
+}
+
+func (a *AttrRef) String() string { return "$" + a.Var + "." + a.Attr }
+
+// Vars implements Expr.
+func (a *AttrRef) Vars() []string { return []string{a.Var} }
+
+// PathRef extracts a value via a tree pattern: $c1/alert/client.
+type PathRef struct {
+	Var  string
+	Path *xpath.Path
+}
+
+// Eval implements Expr.
+func (p *PathRef) Eval(env *Env) (Value, error) {
+	tree, ok := env.Trees[p.Var]
+	if !ok {
+		return Value{}, fmt.Errorf("p2pml: unbound variable $%s", p.Var)
+	}
+	v, ok := evalPathRooted(p.Path, tree)
+	if !ok {
+		return Value{}, errAttrMissing{p.Var, p.Path.String()}
+	}
+	return StringValue(v), nil
+}
+
+// evalPathRooted evaluates a path against a stream item, treating the
+// item's root element as the document root (so $c1/alert matches an item
+// whose root is <alert>).
+func evalPathRooted(p *xpath.Path, tree *xmltree.Node) (string, bool) {
+	if p.Rooted {
+		return p.First(tree, nil)
+	}
+	wrap := xmltree.Elem("#item", tree)
+	return p.First(wrap, nil)
+}
+
+// matchPathRooted is the boolean form of evalPathRooted.
+func matchPathRooted(p *xpath.Path, tree *xmltree.Node) bool {
+	if p.Rooted {
+		return p.Matches(tree, nil)
+	}
+	wrap := xmltree.Elem("#item", tree)
+	return p.Matches(wrap, nil)
+}
+
+func (p *PathRef) String() string { return "$" + p.Var + pathSuffix(p.Path) }
+
+// Vars implements Expr.
+func (p *PathRef) Vars() []string { return []string{p.Var} }
+
+// VarRef references a variable directly: a LET value, or the whole tree
+// for a stream variable.
+type VarRef struct {
+	Var string
+}
+
+// Eval implements Expr.
+func (v *VarRef) Eval(env *Env) (Value, error) {
+	if val, ok := env.Vals[v.Var]; ok {
+		return val, nil
+	}
+	if tree, ok := env.Trees[v.Var]; ok {
+		return Value{Node: tree}, nil
+	}
+	return Value{}, fmt.Errorf("p2pml: unbound variable $%s", v.Var)
+}
+
+func (v *VarRef) String() string { return "$" + v.Var }
+
+// Vars implements Expr.
+func (v *VarRef) Vars() []string { return []string{v.Var} }
+
+// Lit is a literal string or number.
+type Lit struct {
+	Val Value
+}
+
+// Eval implements Expr.
+func (l *Lit) Eval(*Env) (Value, error) { return l.Val, nil }
+
+func (l *Lit) String() string {
+	if l.Val.IsNum {
+		return strconv.FormatFloat(l.Val.Num, 'g', -1, 64)
+	}
+	return strconv.Quote(l.Val.Str)
+}
+
+// Vars implements Expr.
+func (l *Lit) Vars() []string { return nil }
+
+// Binary is an arithmetic expression over numbers.
+type Binary struct {
+	Op   byte // '+', '-', '*', '/'
+	L, R Expr
+}
+
+// Eval implements Expr.
+func (b *Binary) Eval(env *Env) (Value, error) {
+	l, err := b.L.Eval(env)
+	if err != nil {
+		return Value{}, err
+	}
+	r, err := b.R.Eval(env)
+	if err != nil {
+		return Value{}, err
+	}
+	if !l.IsNum || !r.IsNum {
+		return Value{}, fmt.Errorf("p2pml: arithmetic %q needs numeric operands (got %q, %q)", string(b.Op), l.Str, r.Str)
+	}
+	switch b.Op {
+	case '+':
+		return NumValue(l.Num + r.Num), nil
+	case '-':
+		return NumValue(l.Num - r.Num), nil
+	case '*':
+		return NumValue(l.Num * r.Num), nil
+	case '/':
+		if r.Num == 0 {
+			return Value{}, fmt.Errorf("p2pml: division by zero")
+		}
+		return NumValue(l.Num / r.Num), nil
+	}
+	return Value{}, fmt.Errorf("p2pml: unknown operator %q", string(b.Op))
+}
+
+func (b *Binary) String() string {
+	return fmt.Sprintf("%s %c %s", b.L.String(), b.Op, b.R.String())
+}
+
+// Vars implements Expr.
+func (b *Binary) Vars() []string { return append(b.L.Vars(), b.R.Vars()...) }
+
+// EvalCondition evaluates one WHERE conjunct against an environment.
+// Conditions referencing absent root attributes are false, not errors.
+func EvalCondition(c Condition, env *Env) (bool, error) {
+	switch cond := c.(type) {
+	case *PathCond:
+		tree, ok := env.Trees[cond.Var]
+		if !ok {
+			return false, fmt.Errorf("p2pml: unbound variable $%s", cond.Var)
+		}
+		return matchPathRooted(cond.Path, tree), nil
+	case *CmpCond:
+		l, err := cond.Left.Eval(env)
+		if err != nil {
+			if IsAttrMissing(err) {
+				return false, nil
+			}
+			return false, err
+		}
+		r, err := cond.Right.Eval(env)
+		if err != nil {
+			if IsAttrMissing(err) {
+				return false, nil
+			}
+			return false, err
+		}
+		if l.IsNum && r.IsNum {
+			return xpath.Compare(l.Str, cond.Op, r.Str), nil
+		}
+		return xpath.Compare(l.Text(), cond.Op, r.Text()), nil
+	}
+	return false, fmt.Errorf("p2pml: unknown condition type %T", c)
+}
+
+// EvalLets computes the LET bindings into the environment, in order.
+func EvalLets(lets []LetBinding, env *Env) error {
+	for _, l := range lets {
+		v, err := l.Expr.Eval(env)
+		if err != nil {
+			if IsAttrMissing(err) {
+				// A LET over a missing attribute leaves the variable
+				// unbound; conditions using it will fail to evaluate and
+				// the tuple is dropped by the caller.
+				continue
+			}
+			return err
+		}
+		env.Vals[l.Var] = v
+	}
+	return nil
+}

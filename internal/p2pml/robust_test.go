@@ -1,0 +1,82 @@
+package p2pml
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+// TestQuickParseNeverPanics: the subscription parser handles arbitrary
+// input with a clean error.
+func TestQuickParseNeverPanics(t *testing.T) {
+	f := func(s string) (ok bool) {
+		defer func() {
+			if r := recover(); r != nil {
+				t.Logf("panic on %q: %v", s, r)
+				ok = false
+			}
+		}()
+		sub, err := Parse(s)
+		return (sub != nil) != (err != nil)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestQuickParseExprNeverPanics covers the expression sub-grammar, which
+// templates expose to user-controlled text.
+func TestQuickParseExprNeverPanics(t *testing.T) {
+	f := func(s string) (ok bool) {
+		defer func() {
+			if r := recover(); r != nil {
+				t.Logf("panic on %q: %v", s, r)
+				ok = false
+			}
+		}()
+		_, _ = ParseExpr(s)
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestParseTruncations feeds every prefix of a full subscription: each
+// must parse or error cleanly.
+func TestParseTruncations(t *testing.T) {
+	src := `for $c1 in outCOM(<p>http://a.com</p>), $c2 in inCOM(<p>m.com</p>)
+let $d := $c1.responseTimestamp - $c1.callTimestamp
+where $d > 10 and $c1.callId = $c2.callId
+return <i c="{$c1.caller}"/>
+group on "c" window "1m"
+by publish as channel "x" and email "ops@m.com";`
+	for cut := 0; cut <= len(src); cut++ {
+		func() {
+			defer func() {
+				if r := recover(); r != nil {
+					t.Fatalf("panic at cut %d: %v", cut, r)
+				}
+			}()
+			Parse(src[:cut])
+		}()
+	}
+	if _, err := Parse(src); err != nil {
+		t.Fatalf("full source must parse: %v", err)
+	}
+}
+
+// TestGroupClauseRoundTrip checks the extension clause renders and
+// reparses.
+func TestGroupClauseRoundTrip(t *testing.T) {
+	sub := MustParse(`for $e in inCOM(<p>m</p>) return <d m="{$e.callee}"/> group on "m" window "30s" by channel C`)
+	if sub.Group == nil || sub.Group.Attr != "m" || sub.Group.Window != "30s" {
+		t.Fatalf("group = %+v", sub.Group)
+	}
+	again, err := Parse(sub.String())
+	if err != nil {
+		t.Fatalf("reparse %q: %v", sub.String(), err)
+	}
+	if again.Group == nil || *again.Group != *sub.Group {
+		t.Errorf("group lost in round trip: %+v", again.Group)
+	}
+}

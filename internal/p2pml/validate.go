@@ -1,0 +1,118 @@
+package p2pml
+
+import (
+	"fmt"
+	"sort"
+	"time"
+)
+
+// AlerterFuncs lists the alerter functions known to the system and the
+// alerter kind each maps to. The set mirrors Section 3.1's alerter
+// catalogue; deployments may extend it before parsing.
+var AlerterFuncs = map[string]string{
+	"inCOM":         "ws-in",      // inbound Web service calls
+	"outCOM":        "ws-out",     // outbound Web service calls
+	"rssCOM":        "rss",        // RSS feed changes
+	"pageCOM":       "webpage",    // Web page changes
+	"axmlCOM":       "axml",       // ActiveXML repository updates
+	"areRegistered": "membership", // DHT join/leave events
+}
+
+// Validate checks static semantics: variable scoping, known alerter
+// functions, source arities and BY-clause consistency. Parse calls it
+// automatically.
+func Validate(s *Subscription) error {
+	if len(s.For) == 0 {
+		return fmt.Errorf("p2pml: subscription needs at least one FOR binding")
+	}
+	defined := make(map[string]bool)
+	for _, f := range s.For {
+		if defined[f.Var] {
+			return fmt.Errorf("p2pml: variable $%s bound twice", f.Var)
+		}
+		switch src := f.Source.(type) {
+		case *AlerterSource:
+			if _, ok := AlerterFuncs[src.Func]; !ok {
+				return fmt.Errorf("p2pml: unknown alerter function %q (known: %v)", src.Func, knownFuncs())
+			}
+			if len(src.Peers) == 0 && src.StreamVar == "" {
+				return fmt.Errorf("p2pml: %s needs at least one <p>peer</p> or a stream variable", src.Func)
+			}
+			if src.StreamVar != "" && !defined[src.StreamVar] {
+				return fmt.Errorf("p2pml: %s($%s): stream variable not yet bound", src.Func, src.StreamVar)
+			}
+		case *NestedSource:
+			if err := Validate(src.Sub); err != nil {
+				return fmt.Errorf("p2pml: in nested subscription: %w", err)
+			}
+			if len(src.Sub.By) > 0 {
+				return fmt.Errorf("p2pml: nested subscriptions cannot carry a BY clause")
+			}
+		case *ChannelSource:
+			if src.Ref == "" {
+				return fmt.Errorf("p2pml: empty channel reference")
+			}
+		default:
+			return fmt.Errorf("p2pml: unknown source type %T", f.Source)
+		}
+		defined[f.Var] = true
+	}
+	for _, l := range s.Let {
+		if defined[l.Var] {
+			return fmt.Errorf("p2pml: variable $%s bound twice", l.Var)
+		}
+		if err := checkVars(l.Expr.Vars(), defined, "LET $"+l.Var); err != nil {
+			return err
+		}
+		defined[l.Var] = true
+	}
+	for _, c := range s.Where {
+		if err := checkVars(c.Vars(), defined, "WHERE"); err != nil {
+			return err
+		}
+	}
+	if s.Return == nil {
+		return fmt.Errorf("p2pml: missing RETURN clause")
+	}
+	var retVars []string
+	if s.Return.Expr != nil {
+		retVars = s.Return.Expr.Vars()
+	} else if s.Return.Template != nil {
+		retVars = s.Return.Template.Vars()
+	}
+	if err := checkVars(retVars, defined, "RETURN"); err != nil {
+		return err
+	}
+	if s.Group != nil {
+		if s.Group.Attr == "" {
+			return fmt.Errorf("p2pml: group clause needs an attribute name")
+		}
+		if _, err := time.ParseDuration(s.Group.Window); err != nil {
+			return fmt.Errorf("p2pml: bad group window %q: %w", s.Group.Window, err)
+		}
+	}
+	for _, t := range s.By {
+		if t.Name == "" {
+			return fmt.Errorf("p2pml: BY target %v needs a name", t.Kind)
+		}
+	}
+	return nil
+}
+
+func checkVars(vars []string, defined map[string]bool, where string) error {
+	for _, v := range vars {
+		if !defined[v] {
+			return fmt.Errorf("p2pml: %s references unbound variable $%s", where, v)
+		}
+	}
+	return nil
+}
+
+func knownFuncs() []string {
+	fns := make([]string, 0, len(AlerterFuncs))
+	for f := range AlerterFuncs {
+		fns = append(fns, f)
+	}
+	sort.Strings(fns)
+	return fns
+}

@@ -1,0 +1,384 @@
+package peer
+
+import (
+	"fmt"
+	"sync/atomic"
+	"time"
+
+	"p2pm/internal/alerters"
+	"p2pm/internal/algebra"
+	"p2pm/internal/operators"
+	"p2pm/internal/p2pml"
+	"p2pm/internal/reuse"
+	"p2pm/internal/stream"
+	"p2pm/internal/xmltree"
+)
+
+// deploy turns an optimized (and possibly reuse-rewritten) plan into
+// running operators. Every operator publishes its output as a channel at
+// its peer — exactly the paper's deployment, where even intermediate
+// results (the X, Y channels of Figure 4) are published so other tasks
+// can reuse them — and consumes its inputs by subscribing to its
+// children's channels, across the simulated network when peers differ.
+func (p *Peer) deploy(task *Task) error {
+	plan := task.Plan
+	// Resolve the "local" placeholder (delegated local tasks, Section
+	// 3.4) to the managing peer.
+	plan.Walk(func(n *algebra.Node) {
+		if n.Peer == "local" {
+			n.Peer = p.name
+		}
+		if n.Op == algebra.OpAlerter && n.Alerter.Peer == "local" {
+			n.Alerter.Peer = p.name
+		}
+	})
+
+	refs, err := reuse.PublishPlan(p.sys.DB, plan, p.sys.nextStreamID)
+	if err != nil {
+		return err
+	}
+	task.refs = refs
+
+	var build func(n *algebra.Node) (*stream.Channel, error)
+	build = func(n *algebra.Node) (*stream.Channel, error) {
+		switch n.Op {
+		case algebra.OpChannelIn:
+			ch, ok := p.sys.Channel(n.Channel)
+			if !ok {
+				return nil, fmt.Errorf("peer: channel %s not found (reuse of a stopped task?)", n.Channel)
+			}
+			return ch, nil
+		case algebra.OpPublish:
+			child, err := build(n.Inputs[0])
+			if err != nil {
+				return nil, err
+			}
+			sub := p.subscribe(task, child, n.Peer)
+			return p.deployPublisher(task, n, sub.Queue)
+		}
+		out := stream.NewChannel(n.Peer, refs[n].StreamID)
+		p.sys.registerChannel(out)
+		task.channels = append(task.channels, out)
+		p.sys.Net.AddLoad(n.Peer, 1)
+		task.loads = append(task.loads, n.Peer)
+
+		switch n.Op {
+		case algebra.OpAlerter:
+			if err := p.deployAlerter(task, n, out); err != nil {
+				return nil, err
+			}
+		case algebra.OpDynAlerter:
+			driver, err := build(n.Inputs[0])
+			if err != nil {
+				return nil, err
+			}
+			sub := p.subscribe(task, driver, n.Peer)
+			p.runDynAlerter(task, n, sub.Queue, out)
+		default:
+			queues := make([]*stream.Queue, len(n.Inputs))
+			for i, in := range n.Inputs {
+				child, err := build(in)
+				if err != nil {
+					return nil, err
+				}
+				queues[i] = p.subscribe(task, child, n.Peer).Queue
+			}
+			proc, err := p.makeProc(n)
+			if err != nil {
+				return nil, err
+			}
+			h := operators.Run(proc, queues, operators.ChannelPublish(out))
+			task.handles = append(task.handles, h)
+		}
+		return out, nil
+	}
+	resultCh, err := build(plan)
+	if err != nil {
+		return err
+	}
+	task.resultCh = resultCh
+	task.resultSub = resultCh.Subscribe(p.name, nil)
+	return nil
+}
+
+// subscribe wires a consumer at consumerPeer to a channel, routing over
+// the simulated network when the producer lives elsewhere, and records
+// the subscription for teardown. Subscriptions to channels the task does
+// not own (reused streams, repository event channels) are tracked
+// separately: Stop cancels them eagerly because no eos will ever arrive
+// from a shared source.
+func (p *Peer) subscribe(task *Task, ch *stream.Channel, consumerPeer string) *stream.Subscription {
+	var deliver func(stream.Item, *stream.Queue)
+	if ch.Ref().PeerID != consumerPeer {
+		deliver = p.sys.Net.DeliverHook(ch.Ref().PeerID, consumerPeer)
+	}
+	sub := ch.Subscribe(consumerPeer, deliver)
+	owned := false
+	for _, own := range task.channels {
+		if own == ch {
+			owned = true
+			break
+		}
+	}
+	if owned {
+		task.subs = append(task.subs, sub)
+	} else {
+		task.extSubs = append(task.extSubs, sub)
+	}
+	return sub
+}
+
+// makeProc compiles a processor node's spec into a runnable operator.
+func (p *Peer) makeProc(n *algebra.Node) (operators.Proc, error) {
+	switch n.Op {
+	case algebra.OpSelect:
+		return &operators.Select{
+			Desc: n.Label(),
+			Pred: algebra.SelectPred(n.Inputs[0].Schema, n.Select),
+		}, nil
+	case algebra.OpUnion:
+		return &operators.Union{}, nil
+	case algebra.OpJoin:
+		lk, rk := algebra.JoinKeys(n.Inputs[0].Schema, n.Inputs[1].Schema, n.Join)
+		return &operators.Join{
+			LeftKey:  lk,
+			RightKey: rk,
+			Residual: algebra.JoinResidual(n.Inputs[0].Schema, n.Inputs[1].Schema, n.Join),
+			Combine:  algebra.JoinCombine(n.Inputs[0].Schema, n.Inputs[1].Schema),
+			UseIndex: true,
+			Window:   p.sys.opts.JoinWindow,
+		}, nil
+	case algebra.OpDistinct:
+		return &operators.Distinct{Window: p.sys.opts.DistinctWindow}, nil
+	case algebra.OpGroup:
+		keyAttr := n.Group.KeyAttr
+		var window time.Duration
+		if n.Group.Window != "" {
+			var err error
+			window, err = time.ParseDuration(n.Group.Window)
+			if err != nil {
+				return nil, fmt.Errorf("peer: bad group window %q: %w", n.Group.Window, err)
+			}
+		}
+		return &operators.Group{
+			Key:    func(t *xmltree.Node) string { return t.AttrOr(keyAttr, "") },
+			Window: window,
+		}, nil
+	case algebra.OpRestruct:
+		return &operators.Restructure{
+			Desc:  n.Label(),
+			Apply: algebra.RestructApply(n.Inputs[0].Schema, n.Restruct),
+		}, nil
+	}
+	return nil, fmt.Errorf("peer: cannot deploy operator %v", n.Op)
+}
+
+// deployAlerter instantiates the event source a plan's alerter node
+// describes and wires it to publish into out.
+func (p *Peer) deployAlerter(task *Task, n *algebra.Node, out *stream.Channel) error {
+	emit := func(it stream.Item) {
+		if it.EOS() {
+			out.Close()
+			return
+		}
+		out.Publish(it)
+	}
+	clock := p.sys.Net.Clock().Now
+	name := n.Alerter.Func + "@" + n.Alerter.Peer
+	switch n.Alerter.Kind {
+	case "ws-in", "ws-out":
+		dir := alerters.Inbound
+		if n.Alerter.Kind == "ws-out" {
+			dir = alerters.Outbound
+		}
+		al := alerters.NewWS(name, dir, p.sys.opts.IncludeEnvelopes, clock, emit)
+		ep := p.sys.Fabric.Endpoint(n.Alerter.Peer)
+		if dir == alerters.Inbound {
+			ep.OnInbound(al.Hook())
+		} else {
+			ep.OnOutbound(al.Hook())
+		}
+		task.closers = append(task.closers, al.Close)
+	case "membership":
+		al := alerters.NewMembership(name, clock, emit)
+		p.sys.Ring.OnMembership(al)
+		task.closers = append(task.closers, al.Close)
+	case "rss":
+		target := p.sys.Peer(n.Alerter.Peer)
+		if target == nil {
+			return fmt.Errorf("peer: rssCOM target %q is not a peer", n.Alerter.Peer)
+		}
+		url, fetch, err := target.feed(argAttr(n, "feed", "url"))
+		if err != nil {
+			return err
+		}
+		al := alerters.NewRSS(name, url, fetch, clock, emit)
+		if _, err := al.Poll(); err != nil { // establish the baseline
+			return err
+		}
+		task.pollers = append(task.pollers, func() (int, error) { return al.Poll() })
+		task.closers = append(task.closers, al.Close)
+	case "webpage":
+		target := p.sys.Peer(n.Alerter.Peer)
+		if target == nil {
+			return fmt.Errorf("peer: pageCOM target %q is not a peer", n.Alerter.Peer)
+		}
+		url, fetch, err := target.page(argAttr(n, "page", "url"))
+		if err != nil {
+			return err
+		}
+		al := alerters.NewWebPage(name, url, fetch, true, clock, emit)
+		if _, err := al.Poll(); err != nil {
+			return err
+		}
+		task.pollers = append(task.pollers, func() (int, error) {
+			ok, err := al.Poll()
+			if ok {
+				return 1, err
+			}
+			return 0, err
+		})
+		task.closers = append(task.closers, al.Close)
+	case "axml":
+		target := p.sys.Peer(n.Alerter.Peer)
+		if target == nil {
+			return fmt.Errorf("peer: axmlCOM target %q is not a peer", n.Alerter.Peer)
+		}
+		target.Repo() // ensure the repository event channel exists
+		sub := p.subscribe(task, target.repoCh, n.Peer)
+		h := operators.Run(&operators.Union{}, []*stream.Queue{sub.Queue}, emit)
+		task.handles = append(task.handles, h)
+	default:
+		return fmt.Errorf("peer: unknown alerter kind %q", n.Alerter.Kind)
+	}
+	return nil
+}
+
+// argAttr extracts an attribute from an alerter's XML argument, e.g. the
+// url of <feed url="..."/>.
+func argAttr(n *algebra.Node, elem, attr string) string {
+	for _, a := range n.Alerter.Args {
+		if a.Label == elem {
+			return a.AttrOr(attr, "")
+		}
+	}
+	return ""
+}
+
+// runDynAlerter manages the dynamic alerter set of an inCOM($j)-style
+// source: membership events attach and detach WS alerters on the joined
+// peers, all publishing into the same output channel.
+func (p *Peer) runDynAlerter(task *Task, n *algebra.Node, driver *stream.Queue, out *stream.Channel) {
+	dir := alerters.Inbound
+	if n.Alerter.Func == "outCOM" {
+		dir = alerters.Outbound
+	}
+	clock := p.sys.Net.Clock().Now
+	done := make(chan struct{})
+	task.dynDone = append(task.dynDone, done)
+	go func() {
+		defer close(done)
+		type entry struct {
+			active *atomic.Bool
+		}
+		active := make(map[string]*entry)
+		for {
+			it, ok := driver.Pop()
+			if !ok || it.EOS() {
+				break
+			}
+			switch it.Tree.Label {
+			case "p-join":
+				peerName := it.Tree.InnerText()
+				if _, dup := active[peerName]; dup {
+					continue
+				}
+				flag := &atomic.Bool{}
+				flag.Store(true)
+				al := alerters.NewWS(n.Alerter.Func+"@"+peerName, dir, p.sys.opts.IncludeEnvelopes, clock,
+					func(item stream.Item) {
+						if flag.Load() && !item.EOS() {
+							out.Publish(item)
+						}
+					})
+				ep := p.sys.Fabric.Endpoint(peerName)
+				if dir == alerters.Inbound {
+					ep.OnInbound(al.Hook())
+				} else {
+					ep.OnOutbound(al.Hook())
+				}
+				active[peerName] = &entry{active: flag}
+			case "p-leave":
+				// "inCOM removes peers from the collection of monitored
+				// peers" (Section 2).
+				if e, ok := active[it.Tree.InnerText()]; ok {
+					e.active.Store(false)
+					delete(active, it.Tree.InnerText())
+				}
+			}
+			task.dynEvents.Add(1)
+		}
+		out.Close()
+	}()
+}
+
+// deployPublisher wires the BY-clause targets: the named result channel,
+// plus e-mail / file / RSS sinks and delegated channel subscriptions. It
+// returns the named channel, which is the task's public result stream.
+func (p *Peer) deployPublisher(task *Task, n *algebra.Node, in *stream.Queue) (*stream.Channel, error) {
+	spec := n.Publish
+	named := stream.NewChannel(n.Peer, spec.ChannelID)
+	p.sys.registerChannel(named)
+	task.channels = append(task.channels, named)
+	task.namedCh = named
+	p.sys.Net.AddLoad(n.Peer, 1)
+	task.loads = append(task.loads, n.Peer)
+
+	var sinks []operators.Emit
+	sinks = append(sinks, operators.ChannelPublish(named))
+	for _, tgt := range spec.Targets {
+		switch tgt.Kind {
+		case p2pml.ByPublishChannel, p2pml.ByChannel:
+			// The named channel above covers channel publication.
+		case p2pml.ByEmail:
+			ep := &operators.EmailPublisher{W: &task.Mailbox, To: tgt.Name}
+			sinks = append(sinks, ep.Emit)
+		case p2pml.ByFile:
+			fp := &operators.XMLFilePublisher{W: &task.FileOut}
+			sinks = append(sinks, fp.Emit)
+		case p2pml.ByRSS:
+			rp := &operators.RSSPublisher{Title: tgt.Name, MaxItems: 50}
+			task.RSSOut = rp
+			sinks = append(sinks, rp.Emit)
+		case p2pml.BySubscribe:
+			// subscribe(peer, #id, name): the target peer is enrolled as
+			// the channel's first client, delivery landing in its #id
+			// incoming queue.
+			target, err := p.sys.AddPeer(tgt.Peer)
+			if err != nil {
+				return nil, err
+			}
+			dest := target.Incoming(tgt.ChannelID)
+			sub := named.Subscribe(tgt.Peer, p.sys.Net.DeliverHook(n.Peer, tgt.Peer))
+			task.subs = append(task.subs, sub)
+			go func() {
+				for {
+					it, ok := sub.Queue.Pop()
+					if !ok {
+						dest.Close()
+						return
+					}
+					dest.Push(it)
+				}
+			}()
+		}
+	}
+	fanout := func(it stream.Item) {
+		for _, s := range sinks {
+			s(it)
+		}
+	}
+	h := operators.Run(&operators.Union{}, []*stream.Queue{in}, fanout)
+	task.handles = append(task.handles, h)
+	return named, nil
+}

@@ -1,0 +1,116 @@
+package peer
+
+import (
+	"testing"
+	"time"
+
+	"p2pm/internal/algebra"
+	"p2pm/internal/p2pml"
+	"p2pm/internal/xmltree"
+)
+
+// TestDeployPlanWithGroup builds a plan by hand — alerter → windowed
+// Group → publisher — the statistics-gathering shape the Edos motivation
+// needs (query rates per mirror), for which P2PML has no clause.
+func TestDeployPlanWithGroup(t *testing.T) {
+	sys := NewSystem(DefaultOptions())
+	noc := sys.MustAddPeer("noc")
+	m := sys.MustAddPeer("mirror-0")
+	m.Endpoint().Register("GetPackage", func(*xmltree.Node) (*xmltree.Node, error) {
+		return xmltree.Elem("pkg"), nil
+	}, nil)
+	c := sys.MustAddPeer("client")
+
+	alerter := algebra.NewAlerter("inCOM", "ws-in", "mirror-0", "e", nil)
+	group := &algebra.Node{
+		Op: algebra.OpGroup, Peer: algebra.AnyPeer,
+		Inputs: []*algebra.Node{alerter},
+		Schema: []string{"e"},
+		Group:  &algebra.GroupSpec{KeyAttr: "caller", Window: "1m"},
+	}
+	pub := &algebra.Node{
+		Op: algebra.OpPublish, Peer: algebra.AnyPeer,
+		Inputs:  []*algebra.Node{group},
+		Publish: &algebra.PublishSpec{ChannelID: "rates"},
+	}
+	plan := algebra.Optimize(pub, algebra.DefaultOptions("noc"))
+
+	task, err := noc.DeployPlan(plan)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Six calls in the first minute, two in the second.
+	for i := 0; i < 6; i++ {
+		c.Endpoint().Invoke("mirror-0", "GetPackage", nil)
+		sys.Net.Clock().Advance(5 * time.Second)
+	}
+	sys.Net.Clock().Advance(time.Minute)
+	for i := 0; i < 2; i++ {
+		c.Endpoint().Invoke("mirror-0", "GetPackage", nil)
+		sys.Net.Clock().Advance(time.Second)
+	}
+	task.Stop()
+	got := task.Results().Drain()
+	if len(got) != 2 {
+		for _, it := range got {
+			t.Logf("group: %s", it.Tree)
+		}
+		t.Fatalf("groups = %d, want 2 windows", len(got))
+	}
+	if got[0].Tree.AttrOr("count", "") != "6" || got[1].Tree.AttrOr("count", "") != "2" {
+		t.Errorf("counts = %s / %s", got[0].Tree, got[1].Tree)
+	}
+	if got[0].Tree.AttrOr("key", "") != "http://client" {
+		t.Errorf("key = %s", got[0].Tree.AttrOr("key", ""))
+	}
+}
+
+func TestDeployPlanValidation(t *testing.T) {
+	sys := NewSystem(DefaultOptions())
+	p := sys.MustAddPeer("p")
+	if _, err := p.DeployPlan(nil); err == nil {
+		t.Error("nil plan accepted")
+	}
+	alerter := algebra.NewAlerter("inCOM", "ws-in", "m", "e", nil)
+	if _, err := p.DeployPlan(alerter); err == nil {
+		t.Error("non-publish root accepted")
+	}
+	pub := &algebra.Node{
+		Op: algebra.OpPublish, Peer: algebra.AnyPeer,
+		Inputs:  []*algebra.Node{alerter},
+		Publish: &algebra.PublishSpec{ChannelID: "x"},
+	}
+	if _, err := p.DeployPlan(pub); err == nil {
+		t.Error("unplaced plan accepted")
+	}
+}
+
+// TestDeployPlanEquivalentToSubscribe: deploying the optimized plan of a
+// parsed subscription behaves like Subscribe (minus the reuse pass).
+func TestDeployPlanEquivalentToSubscribe(t *testing.T) {
+	sys := NewSystem(DefaultOptions())
+	mgr := sys.MustAddPeer("mgr")
+	m := sys.MustAddPeer("m.com")
+	m.Endpoint().Register("Q", func(*xmltree.Node) (*xmltree.Node, error) {
+		return xmltree.Elem("ok"), nil
+	}, nil)
+	c := sys.MustAddPeer("c.com")
+
+	sub := p2pml.MustParse(`for $e in inCOM(<p>m.com</p>)
+where $e.callMethod = "Q"
+return <q id="{$e.callId}"/> by publish as channel "qs"`)
+	plan, err := algebra.Compile(sub)
+	if err != nil {
+		t.Fatal(err)
+	}
+	plan = algebra.Optimize(plan, algebra.DefaultOptions("mgr"))
+	task, err := mgr.DeployPlan(plan)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c.Endpoint().Invoke("m.com", "Q", nil)
+	task.Stop()
+	if got := len(task.Results().Drain()); got != 1 {
+		t.Errorf("results = %d", got)
+	}
+}

@@ -1,0 +1,269 @@
+// Package peer implements P2PM's control plane: the System (a network of
+// monitor peers plus the monitored substrates), the per-peer Subscription
+// Manager with its subscription database, and the deployment machinery
+// that turns an optimized algebraic plan into running operators connected
+// by channels (Section 3).
+package peer
+
+import (
+	"fmt"
+	"sync"
+	"time"
+
+	"p2pm/internal/dht"
+	"p2pm/internal/kadop"
+	"p2pm/internal/rss"
+	"p2pm/internal/simnet"
+	"p2pm/internal/soap"
+	"p2pm/internal/stream"
+	"p2pm/internal/xmltree"
+)
+
+// Options configures a System.
+type Options struct {
+	// Seed drives all simulation randomness.
+	Seed int64
+	// Reuse enables the Section 5 stream-reuse pass on new subscriptions.
+	Reuse bool
+	// Pushdown enables selection pushdown (disable only for baselines).
+	Pushdown bool
+	// IncludeEnvelopes embeds SOAP envelopes in WS alerts. They dominate
+	// alert size, which matters for the communication-savings benches.
+	IncludeEnvelopes bool
+	// JoinWindow, when non-zero, bounds join histories by virtual time —
+	// the garbage-collection mechanism of the paper's future work.
+	JoinWindow time.Duration
+	// DistinctWindow likewise bounds duplicate-removal memory.
+	DistinctWindow time.Duration
+	// Net overrides the simulated-network parameters; zero value uses
+	// simnet defaults.
+	Net simnet.Options
+}
+
+// DefaultOptions enables the paper's full feature set.
+func DefaultOptions() Options {
+	return Options{Seed: 1, Reuse: true, Pushdown: true, IncludeEnvelopes: true, Net: simnet.DefaultOptions()}
+}
+
+// System is one P2PM deployment: the monitoring P2P network, the
+// monitored substrates (Web services fabric, feeds, repositories), the
+// KadoP stream-definition database over its DHT, and the channel
+// registry stitching deployed plan fragments together.
+type System struct {
+	opts   Options
+	Net    *simnet.Network
+	Fabric *soap.Fabric
+	Ring   *dht.Ring
+	DB     *kadop.DB
+
+	mu       sync.Mutex
+	peers    map[string]*Peer
+	channels map[stream.Ref]*stream.Channel
+	sidSeq   map[string]int
+	taskSeq  int
+}
+
+// NewSystem builds an empty system.
+func NewSystem(opts Options) *System {
+	if opts.Net == (simnet.Options{}) {
+		opts.Net = simnet.DefaultOptions()
+		opts.Net.Seed = opts.Seed
+	}
+	nw := simnet.New(opts.Net)
+	ring := dht.New()
+	return &System{
+		opts:     opts,
+		Net:      nw,
+		Fabric:   soap.NewFabric(nw),
+		Ring:     ring,
+		DB:       kadop.New(ring),
+		peers:    make(map[string]*Peer),
+		channels: make(map[stream.Ref]*stream.Channel),
+		sidSeq:   make(map[string]int),
+	}
+}
+
+// AddPeer registers a peer: it gets a network node, a SOAP endpoint and a
+// position in the DHT ring backing the stream-definition database.
+// Adding an existing name returns the existing peer.
+func (s *System) AddPeer(name string) (*Peer, error) {
+	s.mu.Lock()
+	if p, ok := s.peers[name]; ok {
+		s.mu.Unlock()
+		return p, nil
+	}
+	s.mu.Unlock()
+	s.Net.AddNode(name)
+	if err := s.Ring.Join(name); err != nil {
+		return nil, fmt.Errorf("peer: %s cannot join the DHT: %w", name, err)
+	}
+	p := &Peer{
+		sys:      s,
+		name:     name,
+		endpoint: s.Fabric.Endpoint(name),
+		tasks:    make(map[string]*Task),
+		feeds:    make(map[string]func() (*rss.Feed, error)),
+		pages:    make(map[string]func() (*xmltree.Node, error)),
+		incoming: make(map[string]*stream.Queue),
+	}
+	s.mu.Lock()
+	s.peers[name] = p
+	s.mu.Unlock()
+	return p, nil
+}
+
+// MustAddPeer is AddPeer that panics on error (setup code and tests).
+func (s *System) MustAddPeer(name string) *Peer {
+	p, err := s.AddPeer(name)
+	if err != nil {
+		panic(err)
+	}
+	return p
+}
+
+// Peer returns a registered peer, or nil.
+func (s *System) Peer(name string) *Peer {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.peers[name]
+}
+
+// Peers returns all peer names.
+func (s *System) Peers() []string {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	names := make([]string, 0, len(s.peers))
+	for n := range s.peers {
+		names = append(names, n)
+	}
+	return names
+}
+
+// Options returns the system configuration.
+func (s *System) Options() Options { return s.opts }
+
+// nextStreamID allocates a fresh stream identifier on a peer.
+func (s *System) nextStreamID(peer string) string {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.sidSeq[peer]++
+	return fmt.Sprintf("s%d", s.sidSeq[peer])
+}
+
+func (s *System) nextTaskID() string {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.taskSeq++
+	return fmt.Sprintf("task-%d", s.taskSeq)
+}
+
+// registerChannel enrolls a channel in the system-wide registry so
+// ChannelIn nodes and external subscribers can find it.
+func (s *System) registerChannel(ch *stream.Channel) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.channels[ch.Ref()] = ch
+}
+
+// Channel resolves a registered channel by reference.
+func (s *System) Channel(ref stream.Ref) (*stream.Channel, bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	ch, ok := s.channels[ref]
+	return ch, ok
+}
+
+// SubscribeChannel subscribes consumerPeer to a registered channel,
+// routing deliveries over the simulated network (bytes counted, latency
+// applied). This is the paper's "subscribing to a channel".
+func (s *System) SubscribeChannel(ref stream.Ref, consumerPeer string) (*stream.Subscription, error) {
+	ch, ok := s.Channel(ref)
+	if !ok {
+		return nil, fmt.Errorf("peer: unknown channel %s", ref)
+	}
+	var deliver func(stream.Item, *stream.Queue)
+	if ref.PeerID != consumerPeer {
+		deliver = s.Net.DeliverHook(ref.PeerID, consumerPeer)
+	}
+	return ch.Subscribe(consumerPeer, deliver), nil
+}
+
+// AnnounceReplica makes consumerPeer a re-publisher of a channel: it
+// subscribes to the original stream, forwards every item into a new
+// channel of its own, and records the replica in the stream-definition
+// database — Section 5's "p′ may choose to publish this information to
+// let it be known that he can also provide (p, s)". Later subscriptions
+// whose optimizer prefers a close, unloaded provider will consume from
+// the replica instead of the original.
+func (s *System) AnnounceReplica(orig stream.Ref, consumerPeer string) (stream.Ref, error) {
+	sub, err := s.SubscribeChannel(orig, consumerPeer)
+	if err != nil {
+		return stream.Ref{}, err
+	}
+	rep := stream.NewChannel(consumerPeer, s.nextStreamID(consumerPeer))
+	s.registerChannel(rep)
+	s.Net.AddLoad(consumerPeer, 1)
+	go func() {
+		for {
+			it, ok := sub.Queue.Pop()
+			if !ok || it.EOS() {
+				rep.Close()
+				return
+			}
+			rep.Publish(it)
+		}
+	}()
+	if err := s.DB.PublishReplica(orig, rep.Ref()); err != nil {
+		sub.Unsubscribe()
+		return stream.Ref{}, err
+	}
+	return rep.Ref(), nil
+}
+
+// RefreshStreamStats records current item and volume counters for every
+// registered channel into the stream-definition database (the Stats part
+// of the paper's descriptors).
+func (s *System) RefreshStreamStats() error {
+	s.mu.Lock()
+	chans := make([]*stream.Channel, 0, len(s.channels))
+	for _, ch := range s.channels {
+		chans = append(chans, ch)
+	}
+	s.mu.Unlock()
+	for _, ch := range chans {
+		items := ch.Published()
+		stats := map[string]string{
+			"items":  fmt.Sprintf("%d", items),
+			"volume": fmt.Sprintf("%d", ch.Volume()),
+		}
+		if items > 0 {
+			stats["avgItemSize"] = fmt.Sprintf("%d", ch.Volume()/items)
+		}
+		if err := s.DB.UpdateStats(ch.Ref(), stats); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Poll drives every polling alerter (RSS, Web page) across all running
+// tasks once, returning the number of alerts produced. Simulation
+// harnesses call it between workload steps.
+func (s *System) Poll() (int, error) {
+	s.mu.Lock()
+	peers := make([]*Peer, 0, len(s.peers))
+	for _, p := range s.peers {
+		peers = append(peers, p)
+	}
+	s.mu.Unlock()
+	total := 0
+	var firstErr error
+	for _, p := range peers {
+		n, err := p.pollTasks()
+		total += n
+		if err != nil && firstErr == nil {
+			firstErr = err
+		}
+	}
+	return total, firstErr
+}

@@ -1,0 +1,166 @@
+package peer
+
+import (
+	"bytes"
+	"sync"
+	"sync/atomic"
+
+	"p2pm/internal/algebra"
+	"p2pm/internal/operators"
+	"p2pm/internal/p2pml"
+	"p2pm/internal/reuse"
+	"p2pm/internal/stream"
+)
+
+// Task is one deployed monitoring subscription, as tracked by its
+// Subscription Manager's database.
+type Task struct {
+	ID      string
+	Manager string
+	Sub     *p2pml.Subscription
+	Plan    *algebra.Node
+	Reuse   *reuse.Result // nil when reuse was disabled
+
+	refs      map[*algebra.Node]stream.Ref
+	channels  []*stream.Channel
+	subs      []*stream.Subscription // subscriptions to channels this task owns
+	extSubs   []*stream.Subscription // subscriptions to shared channels
+	handles   []*operators.Handle
+	closers   []func()
+	pollers   []func() (int, error)
+	dynDone   []chan struct{}
+	loads     []string
+	resultCh  *stream.Channel
+	namedCh   *stream.Channel
+	resultSub *stream.Subscription
+
+	// Human-facing publication sinks (BY email/file/rss).
+	Mailbox SafeBuffer
+	FileOut SafeBuffer
+	RSSOut  *operators.RSSPublisher
+
+	dynEvents atomic.Uint64
+	stopOnce  sync.Once
+}
+
+// DynEventsProcessed counts membership events the task's dynamic alerter
+// managers have fully applied; callers can synchronize on it before
+// driving traffic at newly joined peers.
+func (t *Task) DynEventsProcessed() uint64 { return t.dynEvents.Load() }
+
+// Results returns the queue of result items, subscribed since deployment
+// (no items are missed between Subscribe and the first read).
+func (t *Task) Results() *stream.Queue { return t.resultSub.Queue }
+
+// ResultChannel returns the named channel the task publishes under
+// (e.g. alertQoS@p), so other peers and tasks can subscribe to it.
+func (t *Task) ResultChannel() stream.Ref {
+	if t.namedCh != nil {
+		return t.namedCh.Ref()
+	}
+	return t.resultCh.Ref()
+}
+
+// StreamRefs exposes the per-operator stream identities assigned at
+// deployment (diagnostics, Figure 4 style inspection).
+func (t *Task) StreamRefs() map[*algebra.Node]stream.Ref { return t.refs }
+
+// Poll drives the task's polling alerters (RSS, Web pages) once and
+// returns the number of alerts produced.
+func (t *Task) Poll() (int, error) {
+	total := 0
+	var firstErr error
+	for _, p := range t.pollers {
+		n, err := p()
+		total += n
+		if err != nil && firstErr == nil {
+			firstErr = err
+		}
+	}
+	return total, firstErr
+}
+
+// OperatorsDeployed counts the operators this task actually deployed
+// (channels created), excluding reused streams.
+func (t *Task) OperatorsDeployed() int { return len(t.channels) }
+
+// ItemsProcessed sums items consumed across the task's own operators —
+// the CPU-side measure of the reuse experiments.
+func (t *Task) ItemsProcessed() uint64 {
+	var total uint64
+	for _, h := range t.handles {
+		total += h.ItemsIn()
+	}
+	return total
+}
+
+// Stop tears the task down in two phases. First the task's own alerters
+// emit eos and subscriptions to *shared* channels (reused streams, which
+// will never close on our account) are cancelled; that guarantees every
+// operator's inputs terminate, so eos cascades cleanly through the
+// task's own channels without losing buffered items. Then the operator
+// goroutines are awaited and everything remaining is closed.
+func (t *Task) Stop() {
+	t.stopOnce.Do(func() {
+		for _, c := range t.closers {
+			c()
+		}
+		for _, s := range t.extSubs {
+			s.Unsubscribe()
+		}
+		for _, h := range t.handles {
+			h.Wait()
+		}
+		for _, d := range t.dynDone {
+			<-d
+		}
+		for _, ch := range t.channels {
+			ch.Close()
+		}
+		for _, s := range t.subs {
+			s.Unsubscribe()
+		}
+		if t.resultSub != nil {
+			t.resultSub.Unsubscribe()
+		}
+	})
+}
+
+// Wait blocks until all operator goroutines have finished (after the
+// sources have closed).
+func (t *Task) Wait() {
+	for _, h := range t.handles {
+		h.Wait()
+	}
+	for _, d := range t.dynDone {
+		<-d
+	}
+}
+
+// SafeBuffer is a mutex-guarded bytes.Buffer usable as an io.Writer sink
+// by publisher operators while tests read it concurrently.
+type SafeBuffer struct {
+	mu sync.Mutex
+	b  bytes.Buffer
+}
+
+// Write implements io.Writer.
+func (s *SafeBuffer) Write(p []byte) (int, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.b.Write(p)
+}
+
+// String returns the accumulated contents.
+func (s *SafeBuffer) String() string {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.b.String()
+}
+
+// Len returns the accumulated size.
+func (s *SafeBuffer) Len() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.b.Len()
+}

@@ -1,0 +1,349 @@
+// Package reuse implements the stream-reuse algorithm of Section 5: when
+// a new subscription arrives, the Subscription Manager searches the
+// Stream Definition Database for existing streams that already compute
+// sub-plans of the new monitoring plan, "to save CPU consumption and
+// network traffic". The algorithm proceeds from the leaves: operators
+// whose operands are all matched generate discovery queries; matched
+// nodes are substituted by channel subscriptions, preferring a replica
+// that is close (networkwise) and not overloaded.
+package reuse
+
+import (
+	"fmt"
+
+	"p2pm/internal/algebra"
+	"p2pm/internal/kadop"
+	"p2pm/internal/stream"
+)
+
+// Chooser selects the provider among the original stream and its
+// replicas, given the consuming peer. A nil Chooser always picks the
+// original.
+type Chooser func(consumer string, original stream.Ref, replicas []stream.Ref) stream.Ref
+
+// PreferClose builds a Chooser that minimizes distance(consumer,
+// provider) with load as tie-breaker — the optimizer policy sketched in
+// Section 5 ("preferably close (networkwise) and not overloaded").
+func PreferClose(distance func(a, b string) float64, load func(peer string) int) Chooser {
+	return func(consumer string, original stream.Ref, replicas []stream.Ref) stream.Ref {
+		best := original
+		bestD := distance(consumer, original.PeerID)
+		bestL := load(original.PeerID)
+		for _, r := range replicas {
+			d := distance(consumer, r.PeerID)
+			l := load(r.PeerID)
+			if d < bestD || (d == bestD && l < bestL) {
+				best, bestD, bestL = r, d, l
+			}
+		}
+		return best
+	}
+}
+
+// Options configures one reuse pass.
+type Options struct {
+	// From is the peer issuing the discovery queries (hop accounting).
+	From string
+	// Consumer is the peer on whose behalf providers are chosen (the
+	// subscription manager); empty falls back to the covered node's
+	// placement.
+	Consumer string
+	// Choose selects among original and replicas; nil keeps originals.
+	Choose Chooser
+}
+
+// Mapping records one substitution.
+type Mapping struct {
+	Signature string
+	Original  stream.Ref
+	Provider  stream.Ref
+	IsReplica bool
+}
+
+// Result reports the outcome of a reuse pass.
+type Result struct {
+	Plan     *algebra.Node
+	Mappings []Mapping
+	// ReusedOps counts plan operators that no longer need deployment;
+	// NewOps counts the ones that still do (publishers excluded).
+	ReusedOps int
+	NewOps    int
+	// Lookups/Hops account the DHT traffic of the discovery queries.
+	Lookups int
+	Hops    int
+}
+
+// matchInfo records a covered plan node: the original stream computing it
+// and that stream's published signature (signatures compose over
+// *published* definitions, so a plan built on reused channels matches
+// streams built on the original computations).
+type matchInfo struct {
+	ref stream.Ref
+	sig string
+}
+
+// Apply searches db for streams covering sub-plans of plan and returns a
+// rewritten plan in which every topmost covered node is replaced by a
+// channel subscription (and every partially covered σ by a residual
+// filter over one). The input plan is not modified.
+func (o Options) Apply(plan *algebra.Node, db *kadop.DB) (*Result, error) {
+	r := &Result{}
+	work := plan.Clone()
+	st := &matchState{
+		matched:  make(map[*algebra.Node]matchInfo),
+		partials: make(map[*algebra.Node]*partialMatch),
+	}
+	if _, err := o.match(work, db, st, r); err != nil {
+		return nil, err
+	}
+	r.Plan = o.rewrite(work, db, st, r)
+	r.Plan.Walk(func(n *algebra.Node) {
+		switch n.Op {
+		case algebra.OpPublish:
+		case algebra.OpChannelIn:
+		default:
+			r.NewOps++
+		}
+	})
+	return r, nil
+}
+
+// matchState carries the bottom-up cover computed by match.
+type matchState struct {
+	matched  map[*algebra.Node]matchInfo
+	partials map[*algebra.Node]*partialMatch
+}
+
+// match fills the state bottom-up and returns the node's compositional
+// signature (over published definitions where inputs matched, over the
+// plan structure otherwise).
+func (o Options) match(n *algebra.Node, db *kadop.DB, st *matchState, r *Result) (string, error) {
+	childSigs := make([]string, len(n.Inputs))
+	allChildren := true
+	for i, in := range n.Inputs {
+		sig, err := o.match(in, db, st, r)
+		if err != nil {
+			return "", err
+		}
+		childSigs[i] = sig
+		if _, ok := st.matched[in]; !ok {
+			allChildren = false
+		}
+	}
+	sig := n.SignatureWith(childSigs)
+	switch n.Op {
+	case algebra.OpPublish, algebra.OpDynAlerter:
+		// Sinks are never reused; dynamic alerter sets have no static
+		// stream identity.
+		return sig, nil
+	case algebra.OpChannelIn:
+		// An explicit channel subscription: resolve its published
+		// signature so operators above it can match streams derived from
+		// the same computation.
+		orig := n.Origin
+		if orig == (stream.Ref{}) {
+			orig = n.Channel
+		}
+		def, hops, err := db.FindByRef(o.From, orig)
+		r.Lookups++
+		r.Hops += hops
+		if err != nil {
+			return "", fmt.Errorf("reuse: channel resolution: %w", err)
+		}
+		if def != nil && def.Signature != "" {
+			sig = def.Signature
+		}
+		st.matched[n] = matchInfo{ref: orig, sig: sig}
+		return sig, nil
+	case algebra.OpAlerter:
+		defs, hops, err := db.FindAlerters(o.From, n.Alerter.Peer, n.Alerter.Func)
+		r.Lookups++
+		r.Hops += hops
+		if err != nil {
+			return "", fmt.Errorf("reuse: alerter discovery: %w", err)
+		}
+		if len(defs) > 0 {
+			if defs[0].Signature != "" {
+				sig = defs[0].Signature
+			}
+			st.matched[n] = matchInfo{ref: defs[0].Ref, sig: sig}
+		}
+		return sig, nil
+	default:
+		if !allChildren {
+			return sig, nil // an operand must be produced fresh, so must this node
+		}
+		defs, hops, err := db.FindBySignature(o.From, sig)
+		r.Lookups++
+		r.Hops += hops
+		if err != nil {
+			return "", fmt.Errorf("reuse: signature discovery: %w", err)
+		}
+		if len(defs) > 0 {
+			st.matched[n] = matchInfo{ref: defs[0].Ref, sig: sig}
+			return sig, nil
+		}
+		// No exact match. For σ over a matched input, look for streams
+		// that hold *sufficient* data: published filters covering a
+		// subset of our conditions (chained through derived filters).
+		if n.Op == algebra.OpSelect {
+			child := st.matched[n.Inputs[0]]
+			full, partial, err := o.subsume(n, child.ref, db, r)
+			if err != nil {
+				return "", err
+			}
+			if full != nil {
+				st.matched[n] = *full
+				return full.sig, nil
+			}
+			if partial != nil {
+				st.partials[n] = partial
+			}
+		}
+		return sig, nil
+	}
+}
+
+// rewrite replaces each topmost matched node with a channel subscription
+// to the chosen provider, and each partially covered σ with a residual
+// filter over one.
+func (o Options) rewrite(n *algebra.Node, db *kadop.DB, st *matchState, r *Result) *algebra.Node {
+	if m, ok := st.matched[n]; ok && n.Op != algebra.OpChannelIn {
+		r.ReusedOps += n.Count()
+		return o.channelNode(n, m, db, r)
+	}
+	if p, ok := st.partials[n]; ok && n.Op == algebra.OpSelect {
+		m := matchInfo{ref: p.ref, sig: p.sig}
+		chIn := o.channelNode(n, m, db, r)
+		r.ReusedOps += n.Inputs[0].Count()
+		return &algebra.Node{
+			Op:     algebra.OpSelect,
+			Peer:   n.Peer,
+			Inputs: []*algebra.Node{chIn},
+			Schema: append([]string(nil), n.Schema...),
+			Select: &algebra.SelectSpec{Conds: p.residual, Lets: n.Select.Lets},
+		}
+	}
+	for i, in := range n.Inputs {
+		n.Inputs[i] = o.rewrite(in, db, st, r)
+	}
+	return n
+}
+
+// channelNode builds the channel-subscription replacement for a covered
+// node, selecting among the original stream and its replicas.
+func (o Options) channelNode(n *algebra.Node, m matchInfo, db *kadop.DB, r *Result) *algebra.Node {
+	provider := m.ref
+	isReplica := false
+	replicas, hops, err := db.Replicas(o.From, m.ref)
+	r.Lookups++
+	r.Hops += hops
+	if err == nil && o.Choose != nil {
+		consumer := o.Consumer
+		if consumer == "" {
+			consumer = consumerPeer(n)
+		}
+		provider = o.Choose(consumer, m.ref, replicas)
+		isReplica = provider != m.ref
+	}
+	r.Mappings = append(r.Mappings, Mapping{
+		Signature: m.sig, Original: m.ref, Provider: provider, IsReplica: isReplica,
+	})
+	return &algebra.Node{
+		Op:      algebra.OpChannelIn,
+		Peer:    provider.PeerID,
+		Schema:  append([]string(nil), n.Schema...),
+		Channel: provider,
+		Origin:  m.ref,
+	}
+}
+
+// consumerPeer estimates where the substituted stream will be consumed:
+// the node's assigned peer when concrete, else the original provider.
+func consumerPeer(n *algebra.Node) string {
+	if n.Peer != algebra.AnyPeer && n.Peer != "" {
+		return n.Peer
+	}
+	return ""
+}
+
+// PublishPlan assigns a stream reference to every non-publisher node of a
+// deployed plan and publishes the corresponding descriptors — the "derived
+// streams are declared with respect to original streams" bookkeeping that
+// deployment performs so later subscriptions can reuse this work.
+// nextID generates fresh stream IDs per peer. It returns the per-node
+// references.
+func PublishPlan(db *kadop.DB, plan *algebra.Node, nextID func(peer string) string) (map[*algebra.Node]stream.Ref, error) {
+	refs := make(map[*algebra.Node]stream.Ref)
+	sigs := make(map[*algebra.Node]string)
+	var err error
+	plan.Walk(func(n *algebra.Node) {
+		if err != nil {
+			return
+		}
+		switch n.Op {
+		case algebra.OpPublish:
+			return
+		case algebra.OpChannelIn:
+			// Reused stream: identify by its original so descriptors of
+			// consumers reference originals, and adopt its published
+			// signature so streams built on top stay matchable.
+			orig := n.Origin
+			if orig == (stream.Ref{}) {
+				orig = n.Channel
+			}
+			refs[n] = orig
+			sigs[n] = "chan(" + orig.String() + ")"
+			if def, _, e := db.FindByRef("", orig); e == nil && def != nil && def.Signature != "" {
+				sigs[n] = def.Signature
+			}
+			return
+		}
+		ref := stream.Ref{PeerID: n.Peer, StreamID: nextID(n.Peer)}
+		refs[n] = ref
+		childSigs := make([]string, len(n.Inputs))
+		for i, in := range n.Inputs {
+			childSigs[i] = sigs[in]
+		}
+		sigs[n] = n.SignatureWith(childSigs)
+		def := &kadop.StreamDef{
+			Ref:       ref,
+			IsChannel: true,
+			Operator:  operatorName(n),
+			Signature: sigs[n],
+			Stats:     map[string]string{},
+		}
+		if conds, ok := CanonConds(n); ok {
+			def.Conds = conds
+		}
+		for _, in := range n.Inputs {
+			def.Operands = append(def.Operands, refs[in])
+		}
+		if e := db.PublishIndexed(def); e != nil {
+			err = e
+		}
+	})
+	return refs, err
+}
+
+func operatorName(n *algebra.Node) string {
+	switch n.Op {
+	case algebra.OpAlerter:
+		return n.Alerter.Func
+	case algebra.OpSelect:
+		return "Filter"
+	case algebra.OpJoin:
+		return "Join"
+	case algebra.OpUnion:
+		return "Union"
+	case algebra.OpRestruct:
+		return "Restructure"
+	case algebra.OpDistinct:
+		return "Distinct"
+	case algebra.OpGroup:
+		return "Group"
+	case algebra.OpDynAlerter:
+		return "DynAlerter"
+	}
+	return n.Op.String()
+}

@@ -1,0 +1,167 @@
+package reuse
+
+import (
+	"sort"
+	"strings"
+
+	"p2pm/internal/algebra"
+	"p2pm/internal/kadop"
+	"p2pm/internal/p2pml"
+	"p2pm/internal/stream"
+)
+
+// This file implements subsumption-based reuse, the paper's future-work
+// item "detecting and reusing streams that hold sufficient data"
+// (Section 7): a published filter σ_A(s) holds sufficient data for a new
+// task σ_{A∧B}(s), so the new task deploys only the residual σ_B over a
+// subscription to the existing stream. Chains compose: once σ_B over
+// σ_A(s) is itself published, a third σ_{A∧B}(s) subscription reuses the
+// chain fully and deploys nothing.
+
+// canonCondStrings renders a σ's conditions canonically for subsumption
+// comparison: LET definitions are inlined and the (single) stream
+// variable is renamed to "_" so textual variable choices don't matter.
+// ok is false when the node is not eligible (multi-variable schema, or a
+// condition that cannot be canonicalized).
+func canonCondStrings(spec *algebra.SelectSpec, schema []string) (map[string]p2pml.Condition, bool) {
+	if len(schema) != 1 {
+		return nil, false
+	}
+	out := make(map[string]p2pml.Condition, len(spec.Conds))
+	for _, cond := range spec.Conds {
+		s := cond.String()
+		// Inline LETs, last-defined first so chained LETs resolve.
+		for i := len(spec.Lets) - 1; i >= 0; i-- {
+			l := spec.Lets[i]
+			s = replaceVar(s, l.Var, "("+l.Expr.String()+")")
+		}
+		s = replaceVar(s, schema[0], "$_")
+		if strings.Contains(s, "$"+schema[0]) {
+			return nil, false
+		}
+		out[s] = cond
+	}
+	return out, true
+}
+
+// replaceVar substitutes $name by repl at word boundaries.
+func replaceVar(s, name, repl string) string {
+	needle := "$" + name
+	var b strings.Builder
+	for {
+		i := strings.Index(s, needle)
+		if i < 0 {
+			b.WriteString(s)
+			return b.String()
+		}
+		end := i + len(needle)
+		boundary := end >= len(s) || !isWordByte(s[end])
+		b.WriteString(s[:i])
+		if boundary {
+			b.WriteString(repl)
+		} else {
+			b.WriteString(needle)
+		}
+		s = s[end:]
+	}
+}
+
+func isWordByte(c byte) bool {
+	return c >= 'a' && c <= 'z' || c >= 'A' && c <= 'Z' || c >= '0' && c <= '9' || c == '_'
+}
+
+// CanonConds exposes the canonical condition strings of a σ node for
+// descriptor publication; ok is false for ineligible nodes.
+func CanonConds(n *algebra.Node) ([]string, bool) {
+	if n.Op != algebra.OpSelect || len(n.Inputs) != 1 {
+		return nil, false
+	}
+	m, ok := canonCondStrings(n.Select, n.Inputs[0].Schema)
+	if !ok {
+		return nil, false
+	}
+	out := make([]string, 0, len(m))
+	for s := range m {
+		out = append(out, s)
+	}
+	sort.Strings(out)
+	return out, true
+}
+
+// partialMatch records a σ node whose conditions are partially covered by
+// a chain of published filter streams.
+type partialMatch struct {
+	ref      stream.Ref // the deepest covering stream
+	sig      string     // its published signature
+	residual []p2pml.Condition
+}
+
+// subsume attempts to cover the conditions of σ node n (whose single
+// input resolved to childRef) with published filter streams over
+// childRef, chaining through derived filters. It returns either a full
+// matchInfo (all conditions covered) or a partialMatch (some covered).
+func (o Options) subsume(n *algebra.Node, childRef stream.Ref, db *kadop.DB, r *Result) (*matchInfo, *partialMatch, error) {
+	mine, ok := canonCondStrings(n.Select, n.Inputs[0].Schema)
+	if !ok || len(mine) == 0 {
+		return nil, nil, nil
+	}
+	remaining := make(map[string]p2pml.Condition, len(mine))
+	for s, c := range mine {
+		remaining[s] = c
+	}
+	cur := childRef
+	curSig := ""
+	progress := false
+	for len(remaining) > 0 {
+		candidates, hops, err := db.FindByOperand(o.From, "Filter", cur)
+		r.Lookups++
+		r.Hops += hops
+		if err != nil {
+			return nil, nil, err
+		}
+		var best *kadop.StreamDef
+		for _, c := range candidates {
+			if len(c.Conds) == 0 || !condsSubset(c.Conds, remaining) {
+				continue
+			}
+			if best == nil || len(c.Conds) > len(best.Conds) {
+				best = c
+			}
+		}
+		if best == nil {
+			break
+		}
+		for _, covered := range best.Conds {
+			delete(remaining, covered)
+		}
+		cur = best.Ref
+		curSig = best.Signature
+		progress = true
+	}
+	if !progress {
+		return nil, nil, nil
+	}
+	if len(remaining) == 0 {
+		return &matchInfo{ref: cur, sig: curSig}, nil, nil
+	}
+	// Keep declaration order of the residual conditions for determinism.
+	var residual []p2pml.Condition
+	for _, cond := range n.Select.Conds {
+		for _, rc := range remaining {
+			if rc == cond {
+				residual = append(residual, cond)
+				break
+			}
+		}
+	}
+	return nil, &partialMatch{ref: cur, sig: curSig, residual: residual}, nil
+}
+
+func condsSubset(conds []string, remaining map[string]p2pml.Condition) bool {
+	for _, c := range conds {
+		if _, ok := remaining[c]; !ok {
+			return false
+		}
+	}
+	return true
+}

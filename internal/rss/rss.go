@@ -1,0 +1,141 @@
+// Package rss models the RSS feeds P2PM's RSS alerter monitors. An
+// alerter keeps feed snapshots and diffs them; "with RSS, the alerts have
+// more semantics than with arbitrary XML: e.g., add, remove and modify
+// entry" (Section 3.1).
+package rss
+
+import (
+	"fmt"
+	"sort"
+
+	"p2pm/internal/xmltree"
+)
+
+// Entry is one feed item, identified by its GUID.
+type Entry struct {
+	ID      string
+	Title   string
+	Content string
+}
+
+// Feed is a snapshot of an RSS feed.
+type Feed struct {
+	Title   string
+	Entries []Entry
+}
+
+// Clone returns a deep copy of the feed.
+func (f *Feed) Clone() *Feed {
+	cp := &Feed{Title: f.Title, Entries: append([]Entry(nil), f.Entries...)}
+	return cp
+}
+
+// ToXML renders the feed as an RSS 2.0 document.
+func (f *Feed) ToXML() *xmltree.Node {
+	ch := xmltree.Elem("channel", xmltree.ElemText("title", f.Title))
+	for _, e := range f.Entries {
+		item := xmltree.Elem("item",
+			xmltree.ElemText("guid", e.ID),
+			xmltree.ElemText("title", e.Title),
+			xmltree.ElemText("description", e.Content))
+		ch.Append(item)
+	}
+	rss := xmltree.Elem("rss", ch)
+	rss.SetAttr("version", "2.0")
+	return rss
+}
+
+// Parse reads a feed back from its XML form.
+func Parse(doc *xmltree.Node) (*Feed, error) {
+	if doc == nil || doc.Label != "rss" {
+		return nil, fmt.Errorf("rss: not an rss document")
+	}
+	ch := doc.Child("channel")
+	if ch == nil {
+		return nil, fmt.Errorf("rss: missing channel")
+	}
+	f := &Feed{}
+	if t := ch.Child("title"); t != nil {
+		f.Title = t.InnerText()
+	}
+	for _, item := range ch.ChildrenByLabel("item") {
+		var e Entry
+		if g := item.Child("guid"); g != nil {
+			e.ID = g.InnerText()
+		}
+		if t := item.Child("title"); t != nil {
+			e.Title = t.InnerText()
+		}
+		if d := item.Child("description"); d != nil {
+			e.Content = d.InnerText()
+		}
+		if e.ID == "" {
+			return nil, fmt.Errorf("rss: item without guid")
+		}
+		f.Entries = append(f.Entries, e)
+	}
+	return f, nil
+}
+
+// ChangeKind classifies a feed change.
+type ChangeKind string
+
+// The three RSS change kinds named by the paper.
+const (
+	Added    ChangeKind = "add"
+	Removed  ChangeKind = "remove"
+	Modified ChangeKind = "modify"
+)
+
+// Change describes one entry-level difference between two snapshots.
+type Change struct {
+	Kind  ChangeKind
+	Entry Entry // new state for add/modify, old state for remove
+}
+
+// Diff computes entry-level changes from an old to a new snapshot,
+// ordered add < modify < remove and by entry ID within each kind, so
+// results are deterministic.
+func Diff(old, new *Feed) []Change {
+	oldByID := make(map[string]Entry)
+	if old != nil {
+		for _, e := range old.Entries {
+			oldByID[e.ID] = e
+		}
+	}
+	newByID := make(map[string]Entry)
+	var changes []Change
+	if new != nil {
+		for _, e := range new.Entries {
+			newByID[e.ID] = e
+			if prev, ok := oldByID[e.ID]; !ok {
+				changes = append(changes, Change{Kind: Added, Entry: e})
+			} else if prev != e {
+				changes = append(changes, Change{Kind: Modified, Entry: e})
+			}
+		}
+	}
+	for id, e := range oldByID {
+		if _, ok := newByID[id]; !ok {
+			changes = append(changes, Change{Kind: Removed, Entry: e})
+		}
+	}
+	sort.Slice(changes, func(i, j int) bool {
+		if changes[i].Kind != changes[j].Kind {
+			return kindRank(changes[i].Kind) < kindRank(changes[j].Kind)
+		}
+		return changes[i].Entry.ID < changes[j].Entry.ID
+	})
+	return changes
+}
+
+func kindRank(k ChangeKind) int {
+	switch k {
+	case Added:
+		return 0
+	case Modified:
+		return 1
+	default:
+		return 2
+	}
+}

@@ -1,0 +1,122 @@
+package rss
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestToXMLParseRoundTrip(t *testing.T) {
+	f := &Feed{Title: "news", Entries: []Entry{
+		{ID: "1", Title: "first", Content: "body one"},
+		{ID: "2", Title: "second", Content: "body two"},
+	}}
+	back, err := Parse(f.ToXML())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.Title != f.Title || len(back.Entries) != 2 || back.Entries[1] != f.Entries[1] {
+		t.Errorf("round trip: %+v", back)
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	if _, err := Parse(nil); err == nil {
+		t.Error("nil doc accepted")
+	}
+	bad := (&Feed{Title: "x"}).ToXML()
+	bad.Label = "atom"
+	if _, err := Parse(bad); err == nil {
+		t.Error("non-rss root accepted")
+	}
+}
+
+func TestDiffKinds(t *testing.T) {
+	old := &Feed{Entries: []Entry{
+		{ID: "keep", Title: "same"},
+		{ID: "mod", Title: "v1"},
+		{ID: "gone", Title: "bye"},
+	}}
+	new := &Feed{Entries: []Entry{
+		{ID: "keep", Title: "same"},
+		{ID: "mod", Title: "v2"},
+		{ID: "new", Title: "hello"},
+	}}
+	changes := Diff(old, new)
+	if len(changes) != 3 {
+		t.Fatalf("changes = %v", changes)
+	}
+	if changes[0].Kind != Added || changes[0].Entry.ID != "new" {
+		t.Errorf("c0 = %+v", changes[0])
+	}
+	if changes[1].Kind != Modified || changes[1].Entry.Title != "v2" {
+		t.Errorf("c1 = %+v", changes[1])
+	}
+	if changes[2].Kind != Removed || changes[2].Entry.ID != "gone" {
+		t.Errorf("c2 = %+v", changes[2])
+	}
+}
+
+func TestDiffNilOldMeansAllAdded(t *testing.T) {
+	new := &Feed{Entries: []Entry{{ID: "a"}, {ID: "b"}}}
+	changes := Diff(nil, new)
+	if len(changes) != 2 || changes[0].Kind != Added {
+		t.Errorf("changes = %v", changes)
+	}
+}
+
+func TestDiffIdenticalEmpty(t *testing.T) {
+	f := &Feed{Entries: []Entry{{ID: "a", Title: "t"}}}
+	if got := Diff(f, f.Clone()); len(got) != 0 {
+		t.Errorf("diff of identical feeds = %v", got)
+	}
+}
+
+// Property: Diff(old,new) reversed in kind equals Diff(new,old): adds
+// become removes, removes become adds, modifies stay modifies.
+func TestQuickDiffSymmetry(t *testing.T) {
+	gen := func(seed int64, which int) *Feed {
+		s := uint64(seed)*2862933555777941757 + uint64(which)
+		next := func(n int) int {
+			s = s*6364136223846793005 + 1442695040888963407
+			return int((s >> 33) % uint64(n))
+		}
+		f := &Feed{Title: "f"}
+		for i := 0; i < next(6); i++ {
+			f.Entries = append(f.Entries, Entry{
+				ID:    string(rune('a' + next(5))),
+				Title: string(rune('t' + next(3))),
+			})
+		}
+		// Dedup IDs (feeds have unique GUIDs).
+		seen := map[string]bool{}
+		var out []Entry
+		for _, e := range f.Entries {
+			if !seen[e.ID] {
+				seen[e.ID] = true
+				out = append(out, e)
+			}
+		}
+		f.Entries = out
+		return f
+	}
+	f := func(seed int64) bool {
+		oldF, newF := gen(seed, 1), gen(seed, 2)
+		fwd := Diff(oldF, newF)
+		rev := Diff(newF, oldF)
+		count := func(cs []Change, k ChangeKind) int {
+			n := 0
+			for _, c := range cs {
+				if c.Kind == k {
+					n++
+				}
+			}
+			return n
+		}
+		return count(fwd, Added) == count(rev, Removed) &&
+			count(fwd, Removed) == count(rev, Added) &&
+			count(fwd, Modified) == count(rev, Modified)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}

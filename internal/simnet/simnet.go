@@ -1,0 +1,289 @@
+// Package simnet simulates the P2P network substrate the paper deploys on
+// (Java/Tomcat/Axis peers exchanging SOAP over HTTP). Peers become nodes
+// in an in-process network with a virtual clock, a latency model derived
+// from 2D coordinates, and per-link accounting of messages and bytes
+// (serialized XML size). The experiments about communication savings
+// (selection pushdown C5, ActiveXML laziness C6, stream reuse C7) read
+// their numbers from these counters.
+package simnet
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"sort"
+	"sync"
+	"time"
+
+	"p2pm/internal/stream"
+)
+
+// Options configures a simulated network.
+type Options struct {
+	// Seed drives all randomness (coordinates, workload draws).
+	Seed int64
+	// BaseLatency is the fixed per-message latency floor.
+	BaseLatency time.Duration
+	// LatencyPerUnit scales latency with Euclidean coordinate distance.
+	LatencyPerUnit time.Duration
+}
+
+// DefaultOptions mirror a modest wide-area deployment: 5ms floor plus up
+// to ~70ms of distance-dependent latency on the unit square.
+func DefaultOptions() Options {
+	return Options{Seed: 1, BaseLatency: 5 * time.Millisecond, LatencyPerUnit: 50 * time.Millisecond}
+}
+
+// Clock is the virtual clock shared by every node of a network.
+type Clock struct {
+	mu  sync.Mutex
+	now time.Duration
+}
+
+// Now returns the current virtual time.
+func (c *Clock) Now() time.Duration {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.now
+}
+
+// Advance moves the clock forward by d and returns the new time.
+func (c *Clock) Advance(d time.Duration) time.Duration {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.now += d
+	return c.now
+}
+
+// Set jumps the clock to t if t is later than now.
+func (c *Clock) Set(t time.Duration) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if t > c.now {
+		c.now = t
+	}
+}
+
+// Node is one simulated machine.
+type Node struct {
+	Name string
+	X, Y float64
+	load int
+}
+
+// LinkStats counts traffic on one directed link.
+type LinkStats struct {
+	Messages uint64
+	Bytes    uint64
+}
+
+// Network is the simulated substrate.
+type Network struct {
+	opts  Options
+	clock *Clock
+
+	mu      sync.Mutex
+	rng     *rand.Rand
+	nodes   map[string]*Node
+	links   map[[2]string]*LinkStats
+	latOver map[[2]string]time.Duration
+}
+
+// New builds an empty network.
+func New(opts Options) *Network {
+	if opts.BaseLatency == 0 && opts.LatencyPerUnit == 0 {
+		opts.BaseLatency = DefaultOptions().BaseLatency
+		opts.LatencyPerUnit = DefaultOptions().LatencyPerUnit
+	}
+	return &Network{
+		opts:    opts,
+		clock:   &Clock{},
+		rng:     rand.New(rand.NewSource(opts.Seed)),
+		nodes:   make(map[string]*Node),
+		links:   make(map[[2]string]*LinkStats),
+		latOver: make(map[[2]string]time.Duration),
+	}
+}
+
+// Clock returns the network's virtual clock.
+func (nw *Network) Clock() *Clock { return nw.clock }
+
+// Rand returns the network's seeded random source. Callers must not use
+// it concurrently with AddNode (tests and workload generators are
+// single-threaded at setup time).
+func (nw *Network) Rand() *rand.Rand { return nw.rng }
+
+// AddNode registers a node at a random coordinate and returns it.
+// Re-adding an existing name returns the existing node.
+func (nw *Network) AddNode(name string) *Node {
+	nw.mu.Lock()
+	defer nw.mu.Unlock()
+	if n, ok := nw.nodes[name]; ok {
+		return n
+	}
+	n := &Node{Name: name, X: nw.rng.Float64(), Y: nw.rng.Float64()}
+	nw.nodes[name] = n
+	return n
+}
+
+// Node returns a registered node or nil.
+func (nw *Network) Node(name string) *Node {
+	nw.mu.Lock()
+	defer nw.mu.Unlock()
+	return nw.nodes[name]
+}
+
+// Nodes returns all node names, sorted.
+func (nw *Network) Nodes() []string {
+	nw.mu.Lock()
+	defer nw.mu.Unlock()
+	names := make([]string, 0, len(nw.nodes))
+	for n := range nw.nodes {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	return names
+}
+
+// SetLatency overrides the latency of the directed link a→b.
+func (nw *Network) SetLatency(a, b string, d time.Duration) {
+	nw.mu.Lock()
+	defer nw.mu.Unlock()
+	nw.latOver[[2]string{a, b}] = d
+}
+
+// Latency returns the one-way latency between two nodes. Local delivery
+// (a == b) is free.
+func (nw *Network) Latency(a, b string) time.Duration {
+	if a == b {
+		return 0
+	}
+	nw.mu.Lock()
+	defer nw.mu.Unlock()
+	if d, ok := nw.latOver[[2]string{a, b}]; ok {
+		return d
+	}
+	na, nb := nw.nodes[a], nw.nodes[b]
+	if na == nil || nb == nil {
+		return nw.opts.BaseLatency
+	}
+	dist := math.Hypot(na.X-nb.X, na.Y-nb.Y)
+	return nw.opts.BaseLatency + time.Duration(dist*float64(nw.opts.LatencyPerUnit))
+}
+
+// Distance returns the coordinate distance between two nodes (used by the
+// reuse optimizer's "close networkwise" replica choice).
+func (nw *Network) Distance(a, b string) float64 {
+	if a == b {
+		return 0
+	}
+	nw.mu.Lock()
+	defer nw.mu.Unlock()
+	na, nb := nw.nodes[a], nw.nodes[b]
+	if na == nil || nb == nil {
+		return math.Inf(1)
+	}
+	return math.Hypot(na.X-nb.X, na.Y-nb.Y)
+}
+
+// CountTransfer records a message of the given byte size on link from→to.
+// Local deliveries are not counted: the paper's savings are about the
+// network.
+func (nw *Network) CountTransfer(from, to string, bytes int) {
+	if from == to {
+		return
+	}
+	nw.mu.Lock()
+	defer nw.mu.Unlock()
+	key := [2]string{from, to}
+	ls := nw.links[key]
+	if ls == nil {
+		ls = &LinkStats{}
+		nw.links[key] = ls
+	}
+	ls.Messages++
+	ls.Bytes += uint64(bytes)
+}
+
+// Send accounts for shipping an item from one node to another and returns
+// the item restamped with its arrival time: production time plus link
+// latency. Virtual time is carried entirely on items — wall-clock
+// goroutine scheduling never leaks into timestamps.
+func (nw *Network) Send(from, to string, it stream.Item) stream.Item {
+	if !it.EOS() {
+		nw.CountTransfer(from, to, it.Tree.SerializedSize())
+	}
+	it.Time += nw.Latency(from, to)
+	return it
+}
+
+// DeliverHook returns a stream.Channel delivery hook that routes items
+// across the from→to link with accounting and latency stamping.
+func (nw *Network) DeliverHook(from, to string) func(stream.Item, *stream.Queue) {
+	return func(it stream.Item, q *stream.Queue) {
+		q.Push(nw.Send(from, to, it))
+	}
+}
+
+// Totals summarizes all traffic.
+type Totals struct {
+	Messages uint64
+	Bytes    uint64
+	Links    int
+}
+
+// Totals returns aggregate traffic counters.
+func (nw *Network) Totals() Totals {
+	nw.mu.Lock()
+	defer nw.mu.Unlock()
+	var t Totals
+	for _, ls := range nw.links {
+		t.Messages += ls.Messages
+		t.Bytes += ls.Bytes
+		t.Links++
+	}
+	return t
+}
+
+// Link returns a copy of the stats for the directed link a→b.
+func (nw *Network) Link(a, b string) LinkStats {
+	nw.mu.Lock()
+	defer nw.mu.Unlock()
+	if ls := nw.links[[2]string{a, b}]; ls != nil {
+		return *ls
+	}
+	return LinkStats{}
+}
+
+// ResetTraffic zeroes all link counters (between experiment phases).
+func (nw *Network) ResetTraffic() {
+	nw.mu.Lock()
+	defer nw.mu.Unlock()
+	nw.links = make(map[[2]string]*LinkStats)
+}
+
+// AddLoad adjusts a node's load gauge (number of hosted operators); the
+// reuse optimizer prefers unloaded providers.
+func (nw *Network) AddLoad(name string, delta int) {
+	nw.mu.Lock()
+	defer nw.mu.Unlock()
+	if n := nw.nodes[name]; n != nil {
+		n.load += delta
+	}
+}
+
+// Load returns a node's current load gauge.
+func (nw *Network) Load(name string) int {
+	nw.mu.Lock()
+	defer nw.mu.Unlock()
+	if n := nw.nodes[name]; n != nil {
+		return n.load
+	}
+	return 0
+}
+
+// String renders a short summary.
+func (nw *Network) String() string {
+	t := nw.Totals()
+	return fmt.Sprintf("simnet{nodes=%d links=%d msgs=%d bytes=%d}", len(nw.Nodes()), t.Links, t.Messages, t.Bytes)
+}

@@ -1,0 +1,90 @@
+package stats
+
+import (
+	"math"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func TestSummaryBasics(t *testing.T) {
+	var s Summary
+	for _, v := range []float64{4, 2, 8, 6} {
+		s.Add(v)
+	}
+	if s.N() != 4 || s.Mean() != 5 || s.Min() != 2 || s.Max() != 8 {
+		t.Errorf("summary = n%d mean%f min%f max%f", s.N(), s.Mean(), s.Min(), s.Max())
+	}
+	if got := s.StdDev(); math.Abs(got-math.Sqrt(5)) > 1e-9 {
+		t.Errorf("stddev = %f", got)
+	}
+}
+
+func TestSummaryEmpty(t *testing.T) {
+	var s Summary
+	if s.Mean() != 0 || s.StdDev() != 0 || s.Percentile(50) != 0 {
+		t.Error("empty summary should be all zeros")
+	}
+}
+
+func TestPercentile(t *testing.T) {
+	var s Summary
+	for i := 1; i <= 100; i++ {
+		s.Add(float64(i))
+	}
+	if got := s.Percentile(50); got != 50 {
+		t.Errorf("p50 = %f", got)
+	}
+	if got := s.Percentile(99); got != 99 {
+		t.Errorf("p99 = %f", got)
+	}
+	if got := s.Percentile(100); got != 100 {
+		t.Errorf("p100 = %f", got)
+	}
+	if got := s.Percentile(0); got != 1 {
+		t.Errorf("p0 = %f", got)
+	}
+}
+
+func TestTableRendering(t *testing.T) {
+	tb := NewTable("demo", "name", "value")
+	tb.AddRow("alpha", 12)
+	tb.AddRow("b", 3.14159)
+	out := tb.String()
+	if !strings.Contains(out, "== demo ==") {
+		t.Error("title missing")
+	}
+	if !strings.Contains(out, "alpha") || !strings.Contains(out, "3.142") {
+		t.Errorf("out = %s", out)
+	}
+	lines := strings.Split(strings.TrimSpace(out), "\n")
+	if len(lines) != 5 { // title, header, sep, 2 rows
+		t.Errorf("lines = %d:\n%s", len(lines), out)
+	}
+	if tb.Rows() != 2 {
+		t.Errorf("rows = %d", tb.Rows())
+	}
+}
+
+func TestQuickMeanWithinBounds(t *testing.T) {
+	f := func(vals []float64) bool {
+		var s Summary
+		ok := true
+		for _, v := range vals {
+			// Skip values whose running sum could overflow: the summary
+			// targets measurement data, not the full float64 range.
+			if math.IsNaN(v) || math.IsInf(v, 0) || math.Abs(v) > 1e150 {
+				continue
+			}
+			s.Add(v)
+		}
+		if s.N() > 0 {
+			m := s.Mean()
+			ok = m >= s.Min()-1e-9 && m <= s.Max()+1e-9
+		}
+		return ok
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}

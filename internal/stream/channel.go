@@ -1,0 +1,157 @@
+package stream
+
+import (
+	"sort"
+	"sync"
+)
+
+// Channel is the paper's publication primitive: a tuple
+// (peerID, streamID, subscribers). Publishing an item multicasts it to
+// every current subscriber; subscribing to a channel is how a peer
+// expresses "the will to receive the data published by the channel"
+// (Section 3.2). A Channel is also how deployed plan fragments on
+// different peers are stitched together (channels X, Y, M of Figure 4).
+type Channel struct {
+	ref Ref
+
+	mu        sync.Mutex
+	subs      map[int]*subscriber
+	nextSub   int
+	seq       uint64
+	closed    bool
+	published uint64
+	bytes     uint64
+}
+
+type subscriber struct {
+	id    int
+	name  string
+	queue *Queue
+	// deliver, when set, intercepts the delivery (simnet uses it to add
+	// latency and count bytes). It must eventually push to queue.
+	deliver func(Item, *Queue)
+}
+
+// Subscription is a live subscription to a channel.
+type Subscription struct {
+	ch   *Channel
+	id   int
+	Name string
+	// Queue receives the published items.
+	Queue *Queue
+}
+
+// NewChannel creates a channel identified by (peerID, streamID).
+func NewChannel(peerID, streamID string) *Channel {
+	return &Channel{
+		ref:  Ref{StreamID: streamID, PeerID: peerID},
+		subs: make(map[int]*subscriber),
+	}
+}
+
+// Ref returns the channel's (streamID, peerID) identity.
+func (c *Channel) Ref() Ref { return c.ref }
+
+// Publish multicasts the item to all subscribers, stamping the channel's
+// own sequence number and source. Publishing eos closes the channel.
+func (c *Channel) Publish(it Item) {
+	c.mu.Lock()
+	if c.closed {
+		c.mu.Unlock()
+		return
+	}
+	if it.EOS() {
+		c.closed = true
+	} else {
+		c.seq++
+		it.Seq = c.seq
+		c.published++
+		c.bytes += uint64(it.Tree.SerializedSize())
+	}
+	it.Source = c.ref.String()
+	targets := make([]*subscriber, 0, len(c.subs))
+	for _, s := range c.subs {
+		targets = append(targets, s)
+	}
+	c.mu.Unlock()
+	// Deliver outside the lock: deliver hooks may simulate latency.
+	for _, s := range targets {
+		if s.deliver != nil {
+			s.deliver(it, s.queue)
+		} else {
+			s.queue.Push(it)
+		}
+		if it.EOS() {
+			s.queue.Close()
+		}
+	}
+}
+
+// Close publishes eos.
+func (c *Channel) Close() { c.Publish(EOSItem(c.ref.String())) }
+
+// Closed reports whether the channel has seen eos.
+func (c *Channel) Closed() bool {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.closed
+}
+
+// Published returns the number of non-eos items published.
+func (c *Channel) Published() uint64 {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.published
+}
+
+// Volume returns the cumulative serialized size of all published items —
+// the "average volume of data in the stream" statistic the paper's
+// stream descriptors maintain.
+func (c *Channel) Volume() uint64 {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.bytes
+}
+
+// Subscribe registers a named subscriber and returns its subscription.
+// deliver may be nil for direct in-memory delivery.
+func (c *Channel) Subscribe(name string, deliver func(Item, *Queue)) *Subscription {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	q := NewQueue()
+	if c.closed {
+		q.Close()
+		return &Subscription{ch: c, id: -1, Name: name, Queue: q}
+	}
+	id := c.nextSub
+	c.nextSub++
+	c.subs[id] = &subscriber{id: id, name: name, queue: q, deliver: deliver}
+	return &Subscription{ch: c, id: id, Name: name, Queue: q}
+}
+
+// Unsubscribe removes the subscription and closes its queue.
+func (s *Subscription) Unsubscribe() {
+	s.ch.mu.Lock()
+	delete(s.ch.subs, s.id)
+	s.ch.mu.Unlock()
+	s.Queue.Close()
+}
+
+// Subscribers returns the current subscriber names, sorted.
+func (c *Channel) Subscribers() []string {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	names := make([]string, 0, len(c.subs))
+	for _, s := range c.subs {
+		names = append(names, s.name)
+	}
+	sort.Strings(names)
+	return names
+}
+
+// SubscriberCount returns the number of live subscribers.
+func (c *Channel) SubscriberCount() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return len(c.subs)
+}

@@ -1,0 +1,152 @@
+package workload
+
+import (
+	"fmt"
+	"math/rand"
+	"time"
+
+	"p2pm/internal/peer"
+	"p2pm/internal/xmltree"
+)
+
+// EdosConfig parameterizes the Edos content-sharing workload: a Mandriva
+// Linux distribution network where mirrors serve software packages and
+// clients download and query them. The paper's deployment had ~10 000
+// packages and >100 MB of XML metadata; the scale factor here is explicit
+// and the monitoring code paths are identical (statistics about peers and
+// usage, e.g. query rate).
+type EdosConfig struct {
+	Seed      int64
+	Mirrors   int
+	Clients   int
+	Packages  int
+	Downloads int // download events to drive
+	Queries   int // metadata query events to drive
+	// ChurnEvery makes every k-th event preceded by a mirror
+	// leaving/rejoining the DHT (0 = no churn).
+	ChurnEvery int
+	ClockStep  time.Duration
+}
+
+// DefaultEdos returns a laptop-scale Edos network.
+func DefaultEdos() EdosConfig {
+	return EdosConfig{
+		Seed: 11, Mirrors: 4, Clients: 8, Packages: 200,
+		Downloads: 120, Queries: 60, ChurnEvery: 0,
+		ClockStep: 500 * time.Millisecond,
+	}
+}
+
+// Edos is a running Edos workload.
+type Edos struct {
+	cfg      EdosConfig
+	sys      *peer.System
+	rng      *rand.Rand
+	packages []string
+}
+
+// SetupEdos creates mirrors (serving GetPackage and QueryMetadata) and
+// client peers, and generates the package catalogue metadata.
+func SetupEdos(sys *peer.System, cfg EdosConfig) (*Edos, error) {
+	e := &Edos{cfg: cfg, sys: sys, rng: rand.New(rand.NewSource(cfg.Seed))}
+	for i := 0; i < cfg.Packages; i++ {
+		e.packages = append(e.packages, fmt.Sprintf("pkg-%04d", i))
+	}
+	for m := 0; m < cfg.Mirrors; m++ {
+		mirror, err := sys.AddPeer(e.MirrorName(m))
+		if err != nil {
+			return nil, err
+		}
+		mirror.Endpoint().Register("GetPackage", func(params *xmltree.Node) (*xmltree.Node, error) {
+			name := ""
+			if params != nil {
+				name = params.AttrOr("name", "")
+			}
+			pkg := xmltree.Elem("package")
+			pkg.SetAttr("name", name)
+			pkg.SetAttr("size", fmt.Sprintf("%d", 1024+len(name)*37))
+			return pkg, nil
+		}, nil)
+		mirror.Endpoint().Register("QueryMetadata", func(params *xmltree.Node) (*xmltree.Node, error) {
+			res := xmltree.Elem("metadata")
+			if params != nil {
+				res.SetAttr("query", params.AttrOr("q", ""))
+			}
+			res.Append(xmltree.ElemText("summary", "package metadata"))
+			return res, nil
+		}, nil)
+	}
+	for c := 0; c < cfg.Clients; c++ {
+		if _, err := sys.AddPeer(e.ClientName(c)); err != nil {
+			return nil, err
+		}
+	}
+	return e, nil
+}
+
+// MirrorName returns the m-th mirror's peer name.
+func (e *Edos) MirrorName(m int) string { return fmt.Sprintf("mirror-%d", m) }
+
+// ClientName returns the c-th client's peer name.
+func (e *Edos) ClientName(c int) string { return fmt.Sprintf("edos-client-%d", c) }
+
+// Mirrors lists all mirror names.
+func (e *Edos) Mirrors() []string {
+	out := make([]string, e.cfg.Mirrors)
+	for i := range out {
+		out[i] = e.MirrorName(i)
+	}
+	return out
+}
+
+// Run drives the configured downloads and queries, interleaved, with
+// optional mirror churn, and returns (downloads, queries) performed.
+func (e *Edos) Run() (int, int, error) {
+	downloads, queries := 0, 0
+	total := e.cfg.Downloads + e.cfg.Queries
+	for i := 0; i < total; i++ {
+		if e.cfg.ChurnEvery > 0 && i > 0 && i%e.cfg.ChurnEvery == 0 {
+			mirror := e.MirrorName(e.rng.Intn(e.cfg.Mirrors))
+			// Bounce the mirror off the DHT: leave then rejoin.
+			if err := e.sys.Ring.Leave(mirror); err == nil {
+				if err := e.sys.Ring.Join(mirror); err != nil {
+					return downloads, queries, err
+				}
+			}
+		}
+		client := e.sys.Peer(e.ClientName(e.rng.Intn(e.cfg.Clients)))
+		mirror := e.MirrorName(e.rng.Intn(e.cfg.Mirrors))
+		if downloads < e.cfg.Downloads && (queries >= e.cfg.Queries || e.rng.Intn(total) < e.cfg.Downloads) {
+			params := xmltree.Elem("req")
+			params.SetAttr("name", e.packages[e.rng.Intn(len(e.packages))])
+			if _, err := client.Endpoint().Invoke(mirror, "GetPackage", params); err != nil {
+				return downloads, queries, err
+			}
+			downloads++
+		} else {
+			params := xmltree.Elem("req")
+			params.SetAttr("q", fmt.Sprintf("depends:%s", e.packages[e.rng.Intn(len(e.packages))]))
+			if _, err := client.Endpoint().Invoke(mirror, "QueryMetadata", params); err != nil {
+				return downloads, queries, err
+			}
+			queries++
+		}
+		e.sys.Net.Clock().Advance(e.cfg.ClockStep)
+	}
+	return downloads, queries, nil
+}
+
+// StatsSubscription returns a P2PML subscription that gathers Edos usage
+// statistics: every download observed at the given mirrors, tagged by
+// mirror — the "statistics about the peers ... and the usage of the
+// system (e.g., query rate)" motivation.
+func (e *Edos) StatsSubscription(method string) string {
+	peers := ""
+	for _, m := range e.Mirrors() {
+		peers += "<p>" + m + "</p>"
+	}
+	return fmt.Sprintf(`for $c in inCOM(%s)
+where $c.callMethod = %q
+return <event mirror="{$c.callee}" method="{$c.callMethod}"/>
+by publish as channel "edos-%s"`, peers, method, method)
+}

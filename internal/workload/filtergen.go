@@ -1,0 +1,166 @@
+package workload
+
+import (
+	"fmt"
+	"math/rand"
+
+	"p2pm/internal/filter"
+	"p2pm/internal/xmltree"
+	"p2pm/internal/xpath"
+)
+
+// FilterGenConfig parameterizes the synthetic subscription/document
+// population for the filter benchmarks (C1–C4): telecom-style alerts with
+// a pool of root attributes tested by simple conditions, and payload
+// trees probed by tree-pattern queries.
+type FilterGenConfig struct {
+	Seed int64
+	// Attrs is the root-attribute vocabulary size.
+	Attrs int
+	// Values is the value vocabulary per attribute.
+	Values int
+	// CondsPerSub is the number of simple conditions per subscription.
+	CondsPerSub int
+	// ComplexFraction of subscriptions also carry a tree-pattern query.
+	ComplexFraction float64
+	// PathDepth bounds generated tree-pattern queries.
+	PathDepth int
+	// PayloadDepth/PayloadFanout shape the generated documents' bodies.
+	PayloadDepth, PayloadFanout int
+}
+
+// DefaultFilterGen mirrors a busy monitoring feed.
+func DefaultFilterGen() FilterGenConfig {
+	return FilterGenConfig{
+		Seed: 3, Attrs: 20, Values: 10, CondsPerSub: 2,
+		ComplexFraction: 0.3, PathDepth: 3,
+		PayloadDepth: 3, PayloadFanout: 3,
+	}
+}
+
+// FilterGen produces deterministic subscription sets and document
+// streams.
+type FilterGen struct {
+	cfg FilterGenConfig
+	rng *rand.Rand
+}
+
+// NewFilterGen builds a generator.
+func NewFilterGen(cfg FilterGenConfig) *FilterGen {
+	return &FilterGen{cfg: cfg, rng: rand.New(rand.NewSource(cfg.Seed))}
+}
+
+// payloadLabels is the element vocabulary of generated payloads: a few
+// hot labels (every SOAP-ish alert has an envelope/body) plus a long tail
+// of operation-specific labels, so tree patterns are selective the way
+// real monitoring queries are.
+var payloadLabels = func() []string {
+	labels := []string{"envelope", "body", "call", "param", "result", "fault", "detail"}
+	for i := 0; i < 18; i++ {
+		labels = append(labels, fmt.Sprintf("op%02d", i))
+	}
+	return labels
+}()
+
+func (g *FilterGen) attrName(i int) string  { return fmt.Sprintf("a%02d", i) }
+func (g *FilterGen) attrValue(i int) string { return fmt.Sprintf("v%02d", i) }
+
+// Subscriptions generates n filter subscriptions over the configured
+// vocabulary.
+func (g *FilterGen) Subscriptions(n int) []filter.Subscription {
+	subs := make([]filter.Subscription, 0, n)
+	for i := 0; i < n; i++ {
+		var s filter.Subscription
+		s.ID = fmt.Sprintf("sub-%05d", i)
+		used := map[int]bool{}
+		for c := 0; c < g.cfg.CondsPerSub; c++ {
+			a := g.rng.Intn(g.cfg.Attrs)
+			if used[a] {
+				continue
+			}
+			used[a] = true
+			s.Simple = append(s.Simple, filter.Cond{
+				Attr:  g.attrName(a),
+				Op:    xpath.OpEq,
+				Value: g.attrValue(g.rng.Intn(g.cfg.Values)),
+			})
+		}
+		if g.rng.Float64() < g.cfg.ComplexFraction {
+			s.Complex = append(s.Complex, g.Query())
+		}
+		if len(s.Simple) == 0 && len(s.Complex) == 0 {
+			s.Simple = append(s.Simple, filter.Cond{Attr: g.attrName(0), Op: xpath.OpEq, Value: g.attrValue(0)})
+		}
+		subs = append(subs, s)
+	}
+	return subs
+}
+
+// Query generates one linear tree-pattern query over the payload
+// vocabulary, optionally with a final-step attribute predicate, e.g.
+// //body/op07[@p1 = "x2"].
+func (g *FilterGen) Query() *xpath.Path {
+	depth := 1 + g.rng.Intn(g.cfg.PathDepth)
+	src := ""
+	for d := 0; d < depth; d++ {
+		if g.rng.Intn(2) == 0 {
+			src += "/"
+		} else {
+			src += "//"
+		}
+		src += payloadLabels[g.rng.Intn(len(payloadLabels))]
+	}
+	if g.rng.Intn(3) == 0 {
+		src += fmt.Sprintf(`[@p%d = "x%d"]`, g.rng.Intn(3), g.rng.Intn(4))
+	}
+	if src[0] != '/' {
+		src = "/" + src
+	}
+	return xpath.MustCompile(src)
+}
+
+// Document generates one alert document: root attributes drawn from the
+// vocabulary plus a random payload tree.
+func (g *FilterGen) Document() *xmltree.Node {
+	doc := xmltree.Elem(payloadLabels[0])
+	nAttrs := 1 + g.rng.Intn(g.cfg.Attrs)
+	for i := 0; i < nAttrs; i++ {
+		doc.SetAttr(g.attrName(g.rng.Intn(g.cfg.Attrs)), g.attrValue(g.rng.Intn(g.cfg.Values)))
+	}
+	doc.Append(g.payload(g.cfg.PayloadDepth))
+	return doc
+}
+
+func (g *FilterGen) payload(depth int) *xmltree.Node {
+	n := xmltree.Elem(payloadLabels[g.rng.Intn(len(payloadLabels))])
+	for a := 0; a < g.rng.Intn(3); a++ {
+		n.SetAttr(fmt.Sprintf("p%d", g.rng.Intn(3)), fmt.Sprintf("x%d", g.rng.Intn(4)))
+	}
+	if depth <= 0 {
+		n.Append(xmltree.Text("x"))
+		return n
+	}
+	for i := 0; i < 1+g.rng.Intn(g.cfg.PayloadFanout); i++ {
+		n.Append(g.payload(depth - 1))
+	}
+	return n
+}
+
+// Documents generates a slice of n documents.
+func (g *FilterGen) Documents(n int) []*xmltree.Node {
+	docs := make([]*xmltree.Node, n)
+	for i := range docs {
+		docs[i] = g.Document()
+	}
+	return docs
+}
+
+// SerializedDocuments generates n documents in serialized form (for the
+// MatchSerialized fast path).
+func (g *FilterGen) SerializedDocuments(n int) []string {
+	out := make([]string, n)
+	for i := range out {
+		out[i] = g.Document().String()
+	}
+	return out
+}

@@ -1,0 +1,226 @@
+// Package workload implements the evaluation drivers: the applications
+// the paper's introduction motivates P2PM with — telecom Web service
+// workflows, the meteo QoS scenario, the Edos content-distribution
+// network, RSS feed churn — plus the synthetic subscription/document
+// generators the filter benchmarks sweep over.
+package workload
+
+import (
+	"fmt"
+	"math/rand"
+	"time"
+
+	"p2pm/internal/peer"
+	"p2pm/internal/rss"
+	"p2pm/internal/xmltree"
+)
+
+// MeteoConfig parameterizes the running example of the paper.
+type MeteoConfig struct {
+	Server    string   // the meteo service host
+	Clients   []string // callers
+	Calls     int      // total GetTemperature calls
+	SlowEvery int      // every k-th call is slow (0 = never)
+	SlowBy    time.Duration
+	ClockStep time.Duration
+}
+
+// DefaultMeteo mirrors the Figure 1 setting.
+func DefaultMeteo() MeteoConfig {
+	return MeteoConfig{
+		Server:    "meteo.com",
+		Clients:   []string{"a.com", "b.com"},
+		Calls:     20,
+		SlowEvery: 4,
+		SlowBy:    15 * time.Second,
+		ClockStep: 30 * time.Second,
+	}
+}
+
+// SetupMeteo creates the peers and the GetTemperature service whose
+// latency follows the configuration.
+func SetupMeteo(sys *peer.System, cfg MeteoConfig) error {
+	for _, c := range cfg.Clients {
+		if _, err := sys.AddPeer(c); err != nil {
+			return err
+		}
+	}
+	server, err := sys.AddPeer(cfg.Server)
+	if err != nil {
+		return err
+	}
+	calls := 0
+	server.Endpoint().Register("GetTemperature",
+		func(*xmltree.Node) (*xmltree.Node, error) {
+			return xmltree.ElemText("temp", "21"), nil
+		},
+		func() time.Duration {
+			calls++
+			if cfg.SlowEvery > 0 && calls%cfg.SlowEvery == 0 {
+				return cfg.SlowBy
+			}
+			return 100 * time.Millisecond
+		})
+	return nil
+}
+
+// RunMeteo drives the configured number of calls round-robin across the
+// clients and returns how many were slow (> 10s, the Figure 1 threshold).
+func RunMeteo(sys *peer.System, cfg MeteoConfig) (slow int, err error) {
+	clock := sys.Net.Clock()
+	for i := 0; i < cfg.Calls; i++ {
+		client := sys.Peer(cfg.Clients[i%len(cfg.Clients)])
+		if client == nil {
+			return slow, fmt.Errorf("workload: unknown client %s", cfg.Clients[i%len(cfg.Clients)])
+		}
+		if cfg.SlowEvery > 0 && (i+1)%cfg.SlowEvery == 0 {
+			slow++
+		}
+		if _, err := client.Endpoint().Invoke(cfg.Server, "GetTemperature",
+			xmltree.ElemText("city", "paris")); err != nil {
+			return slow, err
+		}
+		clock.Advance(cfg.ClockStep)
+	}
+	return slow, nil
+}
+
+// MeteoSubscription returns the Figure 1 subscription text, parameterized
+// by the client and server names.
+func MeteoSubscription(clients []string, server string) string {
+	peers := ""
+	for _, c := range clients {
+		peers += "<p>http://" + c + "</p>"
+	}
+	return fmt.Sprintf(`for $c1 in outCOM(%s),
+    $c2 in inCOM(<p>http://%s</p>)
+let $duration := $c1.responseTimestamp - $c1.callTimestamp
+where $duration > 10 and
+      $c1.callMethod = "GetTemperature" and
+      $c1.callee = "http://%s" and
+      $c1.callId = $c2.callId
+return <incident type="slowAnswer">
+         <client>{$c1.caller}</client>
+         <tstamp>{$c2.callTimestamp}</tstamp>
+       </incident>
+by publish as channel "alertQoS"`, peers, server, server)
+}
+
+// TelecomConfig parameterizes the BPEL-style workflow workload: many
+// concurrent workflow instances, each a chain of service calls carrying
+// the same workflow identifier, producing the "huge volumes of
+// notifications" the filter must absorb.
+type TelecomConfig struct {
+	Seed      int64
+	Services  int // number of service peers (svc-0 ... svc-N)
+	Workflows int // workflow instances
+	Steps     int // calls per workflow
+	Methods   []string
+	ClockStep time.Duration
+}
+
+// DefaultTelecom returns a moderate workflow mix.
+func DefaultTelecom() TelecomConfig {
+	return TelecomConfig{
+		Seed: 7, Services: 4, Workflows: 25, Steps: 3,
+		Methods:   []string{"Provision", "Activate", "Bill"},
+		ClockStep: time.Second,
+	}
+}
+
+// SetupTelecom creates the service peers; each hosts every method.
+func SetupTelecom(sys *peer.System, cfg TelecomConfig) error {
+	for i := 0; i < cfg.Services; i++ {
+		p, err := sys.AddPeer(fmt.Sprintf("svc-%d", i))
+		if err != nil {
+			return err
+		}
+		for _, m := range cfg.Methods {
+			method := m
+			p.Endpoint().Register(method, func(params *xmltree.Node) (*xmltree.Node, error) {
+				out := xmltree.Elem("ok")
+				if params != nil {
+					out.SetAttr("wf", params.AttrOr("wf", ""))
+				}
+				return out, nil
+			}, nil)
+		}
+	}
+	_, err := sys.AddPeer("orchestrator")
+	return err
+}
+
+// RunTelecom executes the workflow instances and returns the total number
+// of calls issued.
+func RunTelecom(sys *peer.System, cfg TelecomConfig) (int, error) {
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	orch := sys.Peer("orchestrator")
+	if orch == nil {
+		return 0, fmt.Errorf("workload: telecom not set up")
+	}
+	calls := 0
+	for wf := 0; wf < cfg.Workflows; wf++ {
+		wfID := fmt.Sprintf("wf-%d", wf)
+		for s := 0; s < cfg.Steps; s++ {
+			target := fmt.Sprintf("svc-%d", rng.Intn(cfg.Services))
+			method := cfg.Methods[s%len(cfg.Methods)]
+			params := xmltree.Elem("req")
+			params.SetAttr("wf", wfID)
+			params.SetAttr("step", fmt.Sprintf("%d", s))
+			if _, err := orch.Endpoint().Invoke(target, method, params); err != nil {
+				return calls, err
+			}
+			calls++
+			sys.Net.Clock().Advance(cfg.ClockStep)
+		}
+	}
+	return calls, nil
+}
+
+// FeedChurn mutates an RSS feed step by step, deterministically.
+type FeedChurn struct {
+	Feed *rss.Feed
+	rng  *rand.Rand
+	next int
+}
+
+// NewFeedChurn seeds a churning feed with `initial` entries.
+func NewFeedChurn(seed int64, title string, initial int) *FeedChurn {
+	fc := &FeedChurn{Feed: &rss.Feed{Title: title}, rng: rand.New(rand.NewSource(seed))}
+	for i := 0; i < initial; i++ {
+		fc.addEntry()
+	}
+	return fc
+}
+
+func (fc *FeedChurn) addEntry() {
+	fc.next++
+	fc.Feed.Entries = append(fc.Feed.Entries, rss.Entry{
+		ID:      fmt.Sprintf("e%d", fc.next),
+		Title:   fmt.Sprintf("entry %d", fc.next),
+		Content: fmt.Sprintf("content %d", fc.next),
+	})
+}
+
+// Step applies one random mutation (add, modify or remove) and returns
+// its kind.
+func (fc *FeedChurn) Step() rss.ChangeKind {
+	switch r := fc.rng.Intn(3); {
+	case r == 0 || len(fc.Feed.Entries) == 0:
+		fc.addEntry()
+		return rss.Added
+	case r == 1:
+		i := fc.rng.Intn(len(fc.Feed.Entries))
+		fc.Feed.Entries[i].Title += "'"
+		return rss.Modified
+	default:
+		i := fc.rng.Intn(len(fc.Feed.Entries))
+		fc.Feed.Entries = append(fc.Feed.Entries[:i], fc.Feed.Entries[i+1:]...)
+		return rss.Removed
+	}
+}
+
+// Fetch returns a snapshot function suitable for Peer.RegisterFeed.
+func (fc *FeedChurn) Fetch() func() (*rss.Feed, error) {
+	return func() (*rss.Feed, error) { return fc.Feed.Clone(), nil }
+}

@@ -1,0 +1,210 @@
+package workload
+
+import (
+	"testing"
+
+	"p2pm/internal/filter"
+	"p2pm/internal/peer"
+	"p2pm/internal/rss"
+)
+
+func TestMeteoWorkloadEndToEnd(t *testing.T) {
+	sys := peer.NewSystem(peer.DefaultOptions())
+	mgr := sys.MustAddPeer("p")
+	cfg := DefaultMeteo()
+	if err := SetupMeteo(sys, cfg); err != nil {
+		t.Fatal(err)
+	}
+	task, err := mgr.Subscribe(MeteoSubscription(cfg.Clients, cfg.Server))
+	if err != nil {
+		t.Fatal(err)
+	}
+	slow, err := RunMeteo(sys, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	task.Stop()
+	got := task.Results().Drain()
+	if slow == 0 || len(got) != slow {
+		t.Errorf("incidents = %d, slow calls = %d", len(got), slow)
+	}
+}
+
+func TestTelecomWorkload(t *testing.T) {
+	sys := peer.NewSystem(peer.DefaultOptions())
+	cfg := DefaultTelecom()
+	if err := SetupTelecom(sys, cfg); err != nil {
+		t.Fatal(err)
+	}
+	mgr := sys.MustAddPeer("noc")
+	// Follow one workflow's Bill steps across all services.
+	task, err := mgr.Subscribe(`for $c in outCOM(<p>orchestrator</p>)
+where $c.callMethod = "Bill"
+return <bill wf="{$c.callId}" svc="{$c.callee}"/>
+by publish as channel "billing"`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	calls, err := RunTelecom(sys, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if calls != cfg.Workflows*cfg.Steps {
+		t.Errorf("calls = %d", calls)
+	}
+	task.Stop()
+	got := task.Results().Drain()
+	// One Bill step per workflow (Steps=3, methods rotate P,A,B).
+	if len(got) != cfg.Workflows {
+		t.Errorf("billing events = %d, want %d", len(got), cfg.Workflows)
+	}
+}
+
+func TestEdosWorkload(t *testing.T) {
+	sys := peer.NewSystem(peer.DefaultOptions())
+	cfg := DefaultEdos()
+	cfg.Downloads, cfg.Queries = 30, 15
+	e, err := SetupEdos(sys, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mgr := sys.MustAddPeer("noc")
+	task, err := mgr.Subscribe(e.StatsSubscription("GetPackage"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	dl, q, err := e.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if dl != 30 || q != 15 {
+		t.Errorf("dl=%d q=%d", dl, q)
+	}
+	task.Stop()
+	got := task.Results().Drain()
+	if len(got) != dl {
+		t.Errorf("download events observed = %d, want %d", len(got), dl)
+	}
+	for _, it := range got {
+		if it.Tree.AttrOr("method", "") != "GetPackage" {
+			t.Errorf("event = %s", it.Tree)
+		}
+	}
+}
+
+func TestEdosChurn(t *testing.T) {
+	sys := peer.NewSystem(peer.DefaultOptions())
+	cfg := DefaultEdos()
+	cfg.Downloads, cfg.Queries, cfg.ChurnEvery = 20, 0, 5
+	e, err := SetupEdos(sys, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := e.Run(); err != nil {
+		t.Fatal(err)
+	}
+	// All mirrors must still be DHT members after bounce churn.
+	for _, m := range e.Mirrors() {
+		found := false
+		for _, n := range sys.Ring.Nodes() {
+			if n == m {
+				found = true
+			}
+		}
+		if !found {
+			t.Errorf("mirror %s lost from ring", m)
+		}
+	}
+}
+
+func TestFeedChurnDeterministic(t *testing.T) {
+	a := NewFeedChurn(5, "t", 3)
+	b := NewFeedChurn(5, "t", 3)
+	for i := 0; i < 20; i++ {
+		ka, kb := a.Step(), b.Step()
+		if ka != kb {
+			t.Fatalf("step %d: %s vs %s", i, ka, kb)
+		}
+	}
+	if len(a.Feed.Entries) != len(b.Feed.Entries) {
+		t.Error("feeds diverged")
+	}
+	// Fetch returns clones.
+	snap, _ := a.Fetch()()
+	snap.Entries = nil
+	if len(a.Feed.Entries) == 0 && len(b.Feed.Entries) != 0 {
+		t.Error("Fetch leaked internal state")
+	}
+}
+
+func TestFeedChurnKinds(t *testing.T) {
+	fc := NewFeedChurn(1, "t", 2)
+	seen := map[rss.ChangeKind]bool{}
+	for i := 0; i < 60; i++ {
+		seen[fc.Step()] = true
+	}
+	if !seen[rss.Added] || !seen[rss.Modified] || !seen[rss.Removed] {
+		t.Errorf("kinds seen = %v", seen)
+	}
+}
+
+func TestFilterGenDeterministicAndWellFormed(t *testing.T) {
+	cfg := DefaultFilterGen()
+	g1, g2 := NewFilterGen(cfg), NewFilterGen(cfg)
+	s1, s2 := g1.Subscriptions(50), g2.Subscriptions(50)
+	if len(s1) != 50 || len(s2) != 50 {
+		t.Fatal("wrong count")
+	}
+	for i := range s1 {
+		if s1[i].ID != s2[i].ID || len(s1[i].Simple) != len(s2[i].Simple) {
+			t.Fatalf("generation not deterministic at %d", i)
+		}
+	}
+	f := filter.New()
+	for _, s := range s1 {
+		if err := f.Add(s); err != nil {
+			t.Fatalf("generated subscription invalid: %v", err)
+		}
+	}
+	docs := g1.Documents(20)
+	matches := 0
+	for _, d := range docs {
+		ids, err := f.Match(d)
+		if err != nil {
+			t.Fatal(err)
+		}
+		matches += len(ids)
+	}
+	t.Logf("matches over 20 docs x 50 subs: %d", matches)
+}
+
+func TestFilterGenComplexFraction(t *testing.T) {
+	cfg := DefaultFilterGen()
+	cfg.ComplexFraction = 1.0
+	g := NewFilterGen(cfg)
+	for _, s := range g.Subscriptions(20) {
+		if len(s.Complex) == 0 {
+			t.Fatal("expected complex part on every subscription")
+		}
+	}
+	cfg.ComplexFraction = 0
+	g = NewFilterGen(cfg)
+	for _, s := range g.Subscriptions(20) {
+		if len(s.Complex) != 0 {
+			t.Fatal("expected no complex parts")
+		}
+	}
+}
+
+func TestSerializedDocumentsParse(t *testing.T) {
+	g := NewFilterGen(DefaultFilterGen())
+	for _, raw := range g.SerializedDocuments(10) {
+		f := filter.New()
+		if err := f.Add(filter.Subscription{ID: "x", Simple: []filter.Cond{{Attr: "a00", Op: 1, Value: "v00"}}}); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := f.MatchSerialized(raw); err != nil {
+			t.Fatalf("generated doc unparseable: %v\n%s", err, raw)
+		}
+	}
+}

@@ -1,0 +1,314 @@
+package xmltree
+
+import (
+	"fmt"
+	"strings"
+)
+
+// ParseError describes a syntax error with its byte offset in the input.
+type ParseError struct {
+	Offset int
+	Msg    string
+}
+
+func (e *ParseError) Error() string {
+	return fmt.Sprintf("xmltree: parse error at offset %d: %s", e.Offset, e.Msg)
+}
+
+// Parse parses a single XML document and returns its root element.
+// Leading/trailing whitespace, an optional <?xml?> prolog, comments and
+// CDATA sections are accepted. The parser is hand written: the encoding/xml
+// token stream drops attribute order guarantees we rely on and is far
+// slower than needed for the filter benchmarks.
+func Parse(s string) (*Node, error) {
+	p := &parser{src: s}
+	p.skipMisc()
+	root, err := p.parseElement()
+	if err != nil {
+		return nil, err
+	}
+	p.skipMisc()
+	if p.pos != len(p.src) {
+		return nil, p.errf("trailing content after root element")
+	}
+	return root, nil
+}
+
+// MustParse is Parse that panics on error; for tests and fixtures only.
+func MustParse(s string) *Node {
+	n, err := Parse(s)
+	if err != nil {
+		panic(err)
+	}
+	return n
+}
+
+// ReadFirstTag scans only the first start tag of a serialized document and
+// returns its label and attributes. This is the operation the paper's
+// preFilter performs: simple conditions are evaluated "on the fly" from the
+// root tag without materializing the rest of the item.
+func ReadFirstTag(s string) (label string, attrs []Attr, err error) {
+	p := &parser{src: s}
+	p.skipMisc()
+	if !p.consume('<') {
+		return "", nil, p.errf("expected start tag")
+	}
+	label = p.readName()
+	if label == "" {
+		return "", nil, p.errf("expected element name")
+	}
+	for {
+		p.skipSpace()
+		if p.consume('>') || p.consumeSeq("/>") {
+			return label, attrs, nil
+		}
+		name := p.readName()
+		if name == "" {
+			return "", nil, p.errf("expected attribute name")
+		}
+		p.skipSpace()
+		if !p.consume('=') {
+			return "", nil, p.errf("expected '=' after attribute %q", name)
+		}
+		p.skipSpace()
+		val, e := p.readQuoted()
+		if e != nil {
+			return "", nil, e
+		}
+		attrs = append(attrs, Attr{Name: name, Value: val})
+	}
+}
+
+type parser struct {
+	src string
+	pos int
+}
+
+func (p *parser) errf(format string, args ...any) error {
+	return &ParseError{Offset: p.pos, Msg: fmt.Sprintf(format, args...)}
+}
+
+func (p *parser) peek() byte {
+	if p.pos < len(p.src) {
+		return p.src[p.pos]
+	}
+	return 0
+}
+
+func (p *parser) consume(b byte) bool {
+	if p.pos < len(p.src) && p.src[p.pos] == b {
+		p.pos++
+		return true
+	}
+	return false
+}
+
+func (p *parser) consumeSeq(s string) bool {
+	if strings.HasPrefix(p.src[p.pos:], s) {
+		p.pos += len(s)
+		return true
+	}
+	return false
+}
+
+func (p *parser) skipSpace() {
+	for p.pos < len(p.src) {
+		switch p.src[p.pos] {
+		case ' ', '\t', '\n', '\r':
+			p.pos++
+		default:
+			return
+		}
+	}
+}
+
+// skipMisc skips whitespace, comments, processing instructions and the
+// XML declaration between top-level constructs.
+func (p *parser) skipMisc() {
+	for {
+		p.skipSpace()
+		switch {
+		case p.consumeSeq("<!--"):
+			if i := strings.Index(p.src[p.pos:], "-->"); i >= 0 {
+				p.pos += i + 3
+			} else {
+				p.pos = len(p.src)
+			}
+		case p.consumeSeq("<?"):
+			if i := strings.Index(p.src[p.pos:], "?>"); i >= 0 {
+				p.pos += i + 2
+			} else {
+				p.pos = len(p.src)
+			}
+		case p.consumeSeq("<!DOCTYPE"):
+			if i := strings.IndexByte(p.src[p.pos:], '>'); i >= 0 {
+				p.pos += i + 1
+			} else {
+				p.pos = len(p.src)
+			}
+		default:
+			return
+		}
+	}
+}
+
+func nameChar(b byte, first bool) bool {
+	switch {
+	case b >= 'a' && b <= 'z', b >= 'A' && b <= 'Z', b == '_', b == ':':
+		return true
+	case !first && (b >= '0' && b <= '9' || b == '-' || b == '.'):
+		return true
+	case b >= 0x80: // multi-byte runes allowed in names
+		return true
+	}
+	return false
+}
+
+func (p *parser) readName() string {
+	start := p.pos
+	for p.pos < len(p.src) && nameChar(p.src[p.pos], p.pos == start) {
+		p.pos++
+	}
+	return p.src[start:p.pos]
+}
+
+func (p *parser) readQuoted() (string, error) {
+	quote := p.peek()
+	if quote != '"' && quote != '\'' {
+		return "", p.errf("expected quoted attribute value")
+	}
+	p.pos++
+	start := p.pos
+	for p.pos < len(p.src) && p.src[p.pos] != quote {
+		p.pos++
+	}
+	if p.pos >= len(p.src) {
+		return "", p.errf("unterminated attribute value")
+	}
+	raw := p.src[start:p.pos]
+	p.pos++
+	return unescape(raw), nil
+}
+
+func (p *parser) parseElement() (*Node, error) {
+	if !p.consume('<') {
+		return nil, p.errf("expected '<'")
+	}
+	label := p.readName()
+	if label == "" {
+		return nil, p.errf("expected element name")
+	}
+	n := &Node{Label: label}
+	for {
+		p.skipSpace()
+		if p.consumeSeq("/>") {
+			return n, nil
+		}
+		if p.consume('>') {
+			break
+		}
+		name := p.readName()
+		if name == "" {
+			return nil, p.errf("expected attribute name in <%s>", label)
+		}
+		p.skipSpace()
+		if !p.consume('=') {
+			return nil, p.errf("expected '=' after attribute %q", name)
+		}
+		p.skipSpace()
+		val, err := p.readQuoted()
+		if err != nil {
+			return nil, err
+		}
+		n.Attrs = append(n.Attrs, Attr{Name: name, Value: val})
+	}
+	// Content.
+	for {
+		if p.pos >= len(p.src) {
+			return nil, p.errf("unterminated element <%s>", label)
+		}
+		switch {
+		case p.consumeSeq("</"):
+			end := p.readName()
+			p.skipSpace()
+			if !p.consume('>') {
+				return nil, p.errf("malformed end tag </%s", end)
+			}
+			if end != label {
+				return nil, p.errf("mismatched end tag </%s> for <%s>", end, label)
+			}
+			return n, nil
+		case p.consumeSeq("<!--"):
+			i := strings.Index(p.src[p.pos:], "-->")
+			if i < 0 {
+				return nil, p.errf("unterminated comment")
+			}
+			p.pos += i + 3
+		case p.consumeSeq("<![CDATA["):
+			i := strings.Index(p.src[p.pos:], "]]>")
+			if i < 0 {
+				return nil, p.errf("unterminated CDATA section")
+			}
+			n.Children = append(n.Children, Text(p.src[p.pos:p.pos+i]))
+			p.pos += i + 3
+		case p.consumeSeq("<?"):
+			i := strings.Index(p.src[p.pos:], "?>")
+			if i < 0 {
+				return nil, p.errf("unterminated processing instruction")
+			}
+			p.pos += i + 2
+		case p.peek() == '<':
+			child, err := p.parseElement()
+			if err != nil {
+				return nil, err
+			}
+			n.Children = append(n.Children, child)
+		default:
+			start := p.pos
+			for p.pos < len(p.src) && p.src[p.pos] != '<' {
+				p.pos++
+			}
+			text := unescape(p.src[start:p.pos])
+			if strings.TrimSpace(text) != "" {
+				n.Children = append(n.Children, Text(text))
+			}
+		}
+	}
+}
+
+func unescape(s string) string {
+	if !strings.ContainsRune(s, '&') {
+		return s
+	}
+	var b strings.Builder
+	b.Grow(len(s))
+	for i := 0; i < len(s); {
+		if s[i] != '&' {
+			b.WriteByte(s[i])
+			i++
+			continue
+		}
+		rest := s[i:]
+		switch {
+		case strings.HasPrefix(rest, "&lt;"):
+			b.WriteByte('<')
+			i += 4
+		case strings.HasPrefix(rest, "&gt;"):
+			b.WriteByte('>')
+			i += 4
+		case strings.HasPrefix(rest, "&amp;"):
+			b.WriteByte('&')
+			i += 5
+		case strings.HasPrefix(rest, "&quot;"):
+			b.WriteByte('"')
+			i += 6
+		case strings.HasPrefix(rest, "&apos;"):
+			b.WriteByte('\'')
+			i += 6
+		default:
+			b.WriteByte('&')
+			i++
+		}
+	}
+	return b.String()
+}

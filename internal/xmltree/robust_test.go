@@ -1,0 +1,100 @@
+package xmltree
+
+import (
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+// Parsers face hostile input (stream items arrive from other peers).
+// These properties pin down that Parse and ReadFirstTag never panic and
+// fail cleanly, for arbitrary byte strings and for mutilated documents.
+
+func TestQuickParseNeverPanics(t *testing.T) {
+	f := func(s string) (ok bool) {
+		defer func() {
+			if r := recover(); r != nil {
+				t.Logf("panic on %q: %v", s, r)
+				ok = false
+			}
+		}()
+		n, err := Parse(s)
+		// Either a tree or an error, never both nil.
+		return (n != nil) != (err != nil)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestQuickReadFirstTagNeverPanics(t *testing.T) {
+	f := func(s string) (ok bool) {
+		defer func() {
+			if r := recover(); r != nil {
+				t.Logf("panic on %q: %v", s, r)
+				ok = false
+			}
+		}()
+		_, _, _ = ReadFirstTag(s)
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestParseMutilatedDocuments truncates and corrupts a real document at
+// every position: Parse must error (or succeed on by-chance-valid
+// prefixes) without panicking, and a reparse of a successful parse's
+// serialization must agree.
+func TestParseMutilatedDocuments(t *testing.T) {
+	src := `<alert callId="c1" type="ws-in"><Envelope><Body a="1">text &amp; more<Deep/></Body></Envelope></alert>`
+	for cut := 0; cut <= len(src); cut++ {
+		s := src[:cut]
+		n, err := Parse(s)
+		if err != nil {
+			continue
+		}
+		re, err2 := Parse(n.String())
+		if err2 != nil || !Equal(n, re) {
+			t.Fatalf("cut=%d: parse succeeded but round trip failed: %v", cut, err2)
+		}
+	}
+	// Byte corruption at every position.
+	for i := 0; i < len(src); i++ {
+		for _, b := range []byte{'<', '>', '"', 0} {
+			mut := src[:i] + string(b) + src[i+1:]
+			func() {
+				defer func() {
+					if r := recover(); r != nil {
+						t.Fatalf("panic on corruption at %d: %v", i, r)
+					}
+				}()
+				Parse(mut)
+			}()
+		}
+	}
+}
+
+func TestDeepNestingNoStackIssues(t *testing.T) {
+	depth := 2000
+	var b strings.Builder
+	for i := 0; i < depth; i++ {
+		b.WriteString("<a>")
+	}
+	b.WriteString("x")
+	for i := 0; i < depth; i++ {
+		b.WriteString("</a>")
+	}
+	n, err := Parse(b.String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n.CountNodes() != depth+1 {
+		t.Errorf("nodes = %d", n.CountNodes())
+	}
+	// Serialization and canonicalization of the deep tree also work.
+	if len(n.String()) == 0 || len(n.Canonical()) == 0 {
+		t.Error("serialization failed")
+	}
+}

@@ -1,0 +1,122 @@
+package xmltree
+
+import "strings"
+
+func serialize(n *Node, b *strings.Builder) {
+	if n.IsText() {
+		escapeText(b, n.Text)
+		return
+	}
+	b.WriteByte('<')
+	b.WriteString(n.Label)
+	for _, a := range n.Attrs {
+		b.WriteByte(' ')
+		b.WriteString(a.Name)
+		b.WriteString(`="`)
+		escapeAttr(b, a.Value)
+		b.WriteByte('"')
+	}
+	if len(n.Children) == 0 {
+		b.WriteString("/>")
+		return
+	}
+	b.WriteByte('>')
+	for _, c := range n.Children {
+		serialize(c, b)
+	}
+	b.WriteString("</")
+	b.WriteString(n.Label)
+	b.WriteByte('>')
+}
+
+// Indent returns a pretty-printed form with two-space indentation, used by
+// the CLI tools and examples. Text-only elements stay on one line.
+func (n *Node) Indent() string {
+	var b strings.Builder
+	indent(n, &b, 0)
+	return b.String()
+}
+
+func indent(n *Node, b *strings.Builder, depth int) {
+	pad := strings.Repeat("  ", depth)
+	if n.IsText() {
+		if strings.TrimSpace(n.Text) == "" {
+			return
+		}
+		b.WriteString(pad)
+		escapeText(b, strings.TrimSpace(n.Text))
+		b.WriteByte('\n')
+		return
+	}
+	b.WriteString(pad)
+	b.WriteByte('<')
+	b.WriteString(n.Label)
+	for _, a := range n.Attrs {
+		b.WriteByte(' ')
+		b.WriteString(a.Name)
+		b.WriteString(`="`)
+		escapeAttr(b, a.Value)
+		b.WriteByte('"')
+	}
+	if len(n.Children) == 0 {
+		b.WriteString("/>\n")
+		return
+	}
+	if textOnly(n) {
+		b.WriteByte('>')
+		for _, c := range n.Children {
+			escapeText(b, c.Text)
+		}
+		b.WriteString("</")
+		b.WriteString(n.Label)
+		b.WriteString(">\n")
+		return
+	}
+	b.WriteString(">\n")
+	for _, c := range n.Children {
+		indent(c, b, depth+1)
+	}
+	b.WriteString(pad)
+	b.WriteString("</")
+	b.WriteString(n.Label)
+	b.WriteString(">\n")
+}
+
+func textOnly(n *Node) bool {
+	for _, c := range n.Children {
+		if !c.IsText() {
+			return false
+		}
+	}
+	return true
+}
+
+func escapeText(b *strings.Builder, s string) {
+	for _, r := range s {
+		switch r {
+		case '<':
+			b.WriteString("&lt;")
+		case '>':
+			b.WriteString("&gt;")
+		case '&':
+			b.WriteString("&amp;")
+		default:
+			b.WriteRune(r)
+		}
+	}
+}
+
+func escapeAttr(b *strings.Builder, s string) {
+	for _, r := range s {
+		switch r {
+		case '<':
+			b.WriteString("&lt;")
+		case '&':
+			b.WriteString("&amp;")
+		case '"':
+			b.WriteString("&quot;")
+		default:
+			b.WriteRune(r)
+		}
+	}
+}

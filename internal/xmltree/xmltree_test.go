@@ -1,0 +1,339 @@
+package xmltree
+
+import (
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func TestElemConstruction(t *testing.T) {
+	n := Elem("alert", ElemText("client", "a.com"))
+	n.SetAttr("callId", "42")
+	if n.Label != "alert" {
+		t.Fatalf("label = %q", n.Label)
+	}
+	if v, ok := n.Attr("callId"); !ok || v != "42" {
+		t.Fatalf("attr callId = %q, %v", v, ok)
+	}
+	if got := n.Child("client").InnerText(); got != "a.com" {
+		t.Fatalf("client text = %q", got)
+	}
+}
+
+func TestAttrReplaceAndRemove(t *testing.T) {
+	n := Elem("a")
+	n.SetAttr("x", "1")
+	n.SetAttr("x", "2")
+	if len(n.Attrs) != 1 || n.Attrs[0].Value != "2" {
+		t.Fatalf("attrs = %v", n.Attrs)
+	}
+	n.RemoveAttr("x")
+	if _, ok := n.Attr("x"); ok {
+		t.Fatal("x should be removed")
+	}
+	n.RemoveAttr("absent") // must not panic
+}
+
+func TestAttrOr(t *testing.T) {
+	n := Elem("a")
+	n.SetAttr("k", "v")
+	if n.AttrOr("k", "d") != "v" || n.AttrOr("missing", "d") != "d" {
+		t.Fatal("AttrOr wrong")
+	}
+}
+
+func TestSerializeRoundTrip(t *testing.T) {
+	cases := []string{
+		`<a/>`,
+		`<a x="1" y="two"/>`,
+		`<a><b/><c>text</c></a>`,
+		`<incident type="slowAnswer"><client>a.com</client><tstamp>17</tstamp></incident>`,
+		`<a>one<b/>two</a>`,
+	}
+	for _, src := range cases {
+		n, err := Parse(src)
+		if err != nil {
+			t.Fatalf("Parse(%q): %v", src, err)
+		}
+		if got := n.String(); got != src {
+			t.Errorf("round trip %q -> %q", src, got)
+		}
+	}
+}
+
+func TestParseEntitiesAndQuotes(t *testing.T) {
+	n, err := Parse(`<a x='1 &amp; 2'>3 &lt; 4 &gt; 5 &quot;q&quot; &apos;a&apos;</a>`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v, _ := n.Attr("x"); v != "1 & 2" {
+		t.Errorf("attr = %q", v)
+	}
+	if got := n.InnerText(); got != `3 < 4 > 5 "q" 'a'` {
+		t.Errorf("text = %q", got)
+	}
+}
+
+func TestParseUnknownEntityPassthrough(t *testing.T) {
+	n, err := Parse(`<a>&unknown; stays</a>`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := n.InnerText(); got != "&unknown; stays" {
+		t.Errorf("text = %q", got)
+	}
+}
+
+func TestParsePrologCommentsCDATA(t *testing.T) {
+	src := `<?xml version="1.0"?>
+<!-- outer comment -->
+<root a="1">
+  <!-- inner -->
+  <![CDATA[raw <stuff> & more]]>
+  <child/>
+</root>`
+	n, err := Parse(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n.Label != "root" || n.Child("child") == nil {
+		t.Fatalf("structure wrong: %s", n)
+	}
+	if !strings.Contains(n.InnerText(), "raw <stuff> & more") {
+		t.Errorf("CDATA lost: %q", n.InnerText())
+	}
+}
+
+func TestParseDoctypeSkipped(t *testing.T) {
+	n, err := Parse(`<!DOCTYPE html><page/>`)
+	if err != nil || n.Label != "page" {
+		t.Fatalf("n=%v err=%v", n, err)
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	bad := []string{
+		``,
+		`<`,
+		`<a>`,
+		`<a></b>`,
+		`<a x=1/>`,
+		`<a x="1/>`,
+		`<a/><b/>`,
+		`plain text`,
+		`<a><b></a></b>`,
+	}
+	for _, src := range bad {
+		if _, err := Parse(src); err == nil {
+			t.Errorf("Parse(%q) should fail", src)
+		}
+	}
+}
+
+func TestParseErrorHasOffset(t *testing.T) {
+	_, err := Parse(`<a></b>`)
+	pe, ok := err.(*ParseError)
+	if !ok {
+		t.Fatalf("error type %T", err)
+	}
+	if pe.Offset <= 0 || !strings.Contains(pe.Error(), "offset") {
+		t.Errorf("unexpected error: %v", pe)
+	}
+}
+
+func TestReadFirstTag(t *testing.T) {
+	label, attrs, err := ReadFirstTag(`<alert callId="7" caller="a.com"><big><deep/></big></alert>`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if label != "alert" || len(attrs) != 2 || attrs[0] != (Attr{"callId", "7"}) {
+		t.Fatalf("label=%q attrs=%v", label, attrs)
+	}
+	// Self-closing roots work too.
+	label, attrs, err = ReadFirstTag(`<ping t="1"/>`)
+	if err != nil || label != "ping" || len(attrs) != 1 {
+		t.Fatalf("label=%q attrs=%v err=%v", label, attrs, err)
+	}
+	if _, _, err := ReadFirstTag(`no xml`); err == nil {
+		t.Error("want error for non-XML")
+	}
+}
+
+// TestReadFirstTagDoesNotScanBody pins the performance contract the paper
+// relies on: the body of the document is never touched. We verify by
+// handing it a document whose body is not even well-formed.
+func TestReadFirstTagDoesNotScanBody(t *testing.T) {
+	label, _, err := ReadFirstTag(`<alert a="1"><<<< broken body`)
+	if err != nil || label != "alert" {
+		t.Fatalf("label=%q err=%v", label, err)
+	}
+}
+
+func TestCloneIsDeep(t *testing.T) {
+	orig := MustParse(`<a x="1"><b>t</b></a>`)
+	cp := orig.Clone()
+	cp.SetAttr("x", "2")
+	cp.Child("b").Children[0].Text = "changed"
+	if v, _ := orig.Attr("x"); v != "1" {
+		t.Error("clone shares attrs")
+	}
+	if orig.Child("b").InnerText() != "t" {
+		t.Error("clone shares children")
+	}
+	if (*Node)(nil).Clone() != nil {
+		t.Error("nil clone should be nil")
+	}
+}
+
+func TestEqual(t *testing.T) {
+	a := MustParse(`<a x="1"><b/>text</a>`)
+	b := MustParse(`<a x="1"><b/>text</a>`)
+	if !Equal(a, b) {
+		t.Error("identical trees unequal")
+	}
+	c := MustParse(`<a x="2"><b/>text</a>`)
+	if Equal(a, c) {
+		t.Error("different attr value equal")
+	}
+	d := MustParse(`<a x="1"><b/></a>`)
+	if Equal(a, d) {
+		t.Error("different children equal")
+	}
+	if Equal(a, nil) || !Equal(nil, nil) {
+		t.Error("nil handling wrong")
+	}
+}
+
+func TestCanonicalSortsAttrsAndDropsWhitespace(t *testing.T) {
+	a := MustParse(`<a z="1" b="2">  <c/>  </a>`)
+	b := MustParse(`<a b="2" z="1"><c/></a>`)
+	if a.Canonical() != b.Canonical() {
+		t.Errorf("canonical differ: %q vs %q", a.Canonical(), b.Canonical())
+	}
+	if Equal(a, b) {
+		t.Error("Equal should still see attribute order")
+	}
+}
+
+func TestWalkPrunes(t *testing.T) {
+	n := MustParse(`<a><skip><deep/></skip><keep/></a>`)
+	var visited []string
+	n.Walk(func(x *Node) bool {
+		if x.IsText() {
+			return true
+		}
+		visited = append(visited, x.Label)
+		return x.Label != "skip"
+	})
+	want := "a,skip,keep"
+	if got := strings.Join(visited, ","); got != want {
+		t.Errorf("visited %q want %q", got, want)
+	}
+}
+
+func TestCountNodes(t *testing.T) {
+	n := MustParse(`<a><b>t</b><c/></a>`)
+	if got := n.CountNodes(); got != 4 {
+		t.Errorf("CountNodes = %d, want 4", got)
+	}
+}
+
+func TestChildrenByLabel(t *testing.T) {
+	n := MustParse(`<a><p>1</p><q/><p>2</p></a>`)
+	ps := n.ChildrenByLabel("p")
+	if len(ps) != 2 || ps[0].InnerText() != "1" || ps[1].InnerText() != "2" {
+		t.Fatalf("ps = %v", ps)
+	}
+}
+
+func TestIndentStable(t *testing.T) {
+	n := MustParse(`<a x="1"><b>t</b><c/></a>`)
+	want := "<a x=\"1\">\n  <b>t</b>\n  <c/>\n</a>\n"
+	if got := n.Indent(); got != want {
+		t.Errorf("Indent = %q want %q", got, want)
+	}
+}
+
+func TestSerializedSizeMatchesString(t *testing.T) {
+	n := MustParse(`<a x="1"><b>t</b></a>`)
+	if n.SerializedSize() != len(n.String()) {
+		t.Error("size mismatch")
+	}
+}
+
+func TestEscapingInSerialize(t *testing.T) {
+	n := Elem("a")
+	n.SetAttr("q", `he said "hi" & <left`)
+	n.Append(Text(`1 < 2 & 3 > 0`))
+	out := n.String()
+	re, err := Parse(out)
+	if err != nil {
+		t.Fatalf("reparse %q: %v", out, err)
+	}
+	if v, _ := re.Attr("q"); v != `he said "hi" & <left` {
+		t.Errorf("attr = %q", v)
+	}
+	if re.InnerText() != `1 < 2 & 3 > 0` {
+		t.Errorf("text = %q", re.InnerText())
+	}
+}
+
+// genTree builds a pseudo-random tree from quick's rand source via a
+// recursive structure of bounded depth.
+func genTree(rnd interface{ Intn(int) int }, depth int) *Node {
+	labels := []string{"a", "b", "c", "alert", "item"}
+	n := Elem(labels[rnd.Intn(len(labels))])
+	for i := 0; i < rnd.Intn(3); i++ {
+		n.SetAttr("k"+string(rune('0'+rnd.Intn(5))), "v"+string(rune('0'+rnd.Intn(5))))
+	}
+	if depth > 0 {
+		for i := 0; i < rnd.Intn(3); i++ {
+			// Adjacent text siblings merge on reparse, so only emit a text
+			// node when the previous child is an element.
+			last := len(n.Children) - 1
+			if rnd.Intn(4) == 0 && (last < 0 || !n.Children[last].IsText()) {
+				n.Append(Text("txt"))
+			} else {
+				n.Append(genTree(rnd, depth-1))
+			}
+		}
+	}
+	return n
+}
+
+func TestQuickRoundTrip(t *testing.T) {
+	f := func(seed int64) bool {
+		rnd := newRand(seed)
+		tree := genTree(rnd, 4)
+		parsed, err := Parse(tree.String())
+		if err != nil {
+			t.Logf("parse error: %v", err)
+			return false
+		}
+		return Equal(tree, parsed)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestQuickCloneEqual(t *testing.T) {
+	f := func(seed int64) bool {
+		tree := genTree(newRand(seed), 4)
+		return Equal(tree, tree.Clone())
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// newRand is a tiny deterministic generator so property tests do not rely
+// on math/rand global state.
+type lcg struct{ state uint64 }
+
+func newRand(seed int64) *lcg { return &lcg{state: uint64(seed)*2862933555777941757 + 3037000493} }
+
+func (l *lcg) Intn(n int) int {
+	l.state = l.state*6364136223846793005 + 1442695040888963407
+	return int((l.state >> 33) % uint64(n))
+}

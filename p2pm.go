@@ -1,0 +1,85 @@
+// Package p2pm is a Go implementation of P2P Monitor (P2PM), the
+// distributed monitoring system for peer-to-peer systems of Abiteboul &
+// Marinoiu, "Distributed Monitoring of Peer to Peer Systems" (WIDM 2007 /
+// HAL inria-00259054).
+//
+// P2PM monitors other P2P systems: declarative P2PML subscriptions are
+// compiled into distributed algebraic plans over XML streams, whose
+// operators — alerters detecting local events, stream processors
+// (filter, restructure, union, join, duplicate removal), and publishers —
+// are deployed across the peers and stitched together with channels.
+// A multi-subscription Filter evaluates cheap root-attribute conditions
+// first (preFilter + AES hash-tree) and shared-NFA tree patterns
+// (YFilter) only for the subscriptions still alive, and a DHT-backed
+// stream-definition database lets new subscriptions reuse streams that
+// existing tasks already compute.
+//
+// Quick start:
+//
+//	sys := p2pm.NewSystem(p2pm.DefaultOptions())
+//	mgr := sys.MustAddPeer("monitor")
+//	server := sys.MustAddPeer("meteo.com")
+//	server.Endpoint().Register("GetTemperature", handler, latency)
+//	task, err := mgr.Subscribe(`for $c in inCOM(<p>meteo.com</p>) ...`)
+//	... drive traffic ...
+//	task.Stop()
+//	for _, item := range task.Results().Drain() { ... }
+//
+// The heavy lifting lives in the internal packages (filter, algebra,
+// p2pml, kadop, reuse, ...); this package re-exports the stable surface.
+package p2pm
+
+import (
+	"p2pm/internal/core"
+	"p2pm/internal/p2pml"
+	"p2pm/internal/peer"
+	"p2pm/internal/stream"
+)
+
+// System is a P2PM deployment: the monitoring network, the monitored
+// substrates and the stream-definition database.
+type System = peer.System
+
+// Peer is one P2PM peer (Subscription Manager plus hosted operators).
+type Peer = peer.Peer
+
+// Task is a deployed monitoring subscription.
+type Task = peer.Task
+
+// Options configures a System.
+type Options = peer.Options
+
+// Monitor is the high-level facade with explain tooling.
+type Monitor = core.Monitor
+
+// Subscription is a parsed P2PML statement.
+type Subscription = p2pml.Subscription
+
+// Item is one element of an XML stream.
+type Item = stream.Item
+
+// Ref names a stream as (StreamID, PeerID) — the paper's s@p notation.
+type Ref = stream.Ref
+
+// NewSystem builds an empty monitoring system.
+func NewSystem(opts Options) *System { return peer.NewSystem(opts) }
+
+// NewMonitor builds a system wrapped in the explain facade.
+func NewMonitor(opts Options) *Monitor { return core.New(opts) }
+
+// DefaultOptions enables the full feature set (pushdown, reuse, SOAP
+// envelopes in alerts).
+func DefaultOptions() Options { return peer.DefaultOptions() }
+
+// Parse parses and validates a P2PML subscription without deploying it.
+func Parse(src string) (*Subscription, error) { return p2pml.Parse(src) }
+
+// Explain renders the Figure 3 processing chain (parse → compile →
+// optimize) for a subscription, managed at the named peer.
+func Explain(src, subscriber string) (string, error) {
+	ex, err := core.Explain(src, subscriber)
+	if err != nil {
+		return "", err
+	}
+	return ex.String(), nil
+}
