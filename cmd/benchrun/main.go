@@ -1,7 +1,8 @@
 // Command benchrun regenerates the repository's experiment tables: the
-// paper's Figures 1–7 as runnable scenarios (F1–F7) and every prose
-// performance claim as a measured comparison (C1–C11). See DESIGN.md for
-// the experiment index and EXPERIMENTS.md for recorded results.
+// paper's Figures 1–7 as runnable scenarios (F1–F7), every prose
+// performance claim as a measured comparison (C1–C11), and the
+// extensions (X*). See DESIGN.md for the experiment index and
+// EXPERIMENTS.md for recorded results.
 //
 // Usage:
 //
@@ -12,8 +13,10 @@
 package main
 
 import (
+	"errors"
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"time"
 
@@ -21,16 +24,29 @@ import (
 )
 
 func main() {
-	quick := flag.Bool("quick", false, "run reduced-size experiments")
-	exp := flag.String("exp", "", "run a single experiment by id (e.g. C5)")
-	list := flag.Bool("list", false, "list experiments and exit")
-	flag.Parse()
+	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
+}
+
+// run executes the command against the given flags and streams; it
+// returns the process exit code (separated from main for testing).
+func run(args []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("benchrun", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	quick := fs.Bool("quick", false, "run reduced-size experiments")
+	exp := fs.String("exp", "", "run a single experiment by id (e.g. C5)")
+	list := fs.Bool("list", false, "list experiments and exit")
+	if err := fs.Parse(args); err != nil {
+		if errors.Is(err, flag.ErrHelp) {
+			return 0
+		}
+		return 2
+	}
 
 	if *list {
 		for _, r := range experiments.All() {
-			fmt.Printf("%-4s %s\n", r.ID, r.Name)
+			fmt.Fprintf(stdout, "%-4s %s\n", r.ID, r.Name)
 		}
-		return
+		return 0
 	}
 	scale := experiments.Full
 	if *quick {
@@ -40,8 +56,8 @@ func main() {
 	if *exp != "" {
 		r, ok := experiments.Lookup(*exp)
 		if !ok {
-			fmt.Fprintf(os.Stderr, "unknown experiment %q; try -list\n", *exp)
-			os.Exit(2)
+			fmt.Fprintf(stderr, "unknown experiment %q; try -list\n", *exp)
+			return 2
 		}
 		runners = []experiments.Runner{r}
 	}
@@ -51,19 +67,20 @@ func main() {
 		start := time.Now()
 		res, err := r.Run(scale)
 		if err != nil {
-			fmt.Fprintf(os.Stderr, "%s: error: %v\n", r.ID, err)
+			fmt.Fprintf(stderr, "%s: error: %v\n", r.ID, err)
 			failures++
 			continue
 		}
-		fmt.Println(res)
-		fmt.Printf("(%s in %v)\n\n", r.ID, time.Since(start).Round(time.Millisecond))
+		fmt.Fprintln(stdout, res)
+		fmt.Fprintf(stdout, "(%s in %v)\n\n", r.ID, time.Since(start).Round(time.Millisecond))
 		if !res.Holds {
 			failures++
 		}
 	}
 	if failures > 0 {
-		fmt.Fprintf(os.Stderr, "%d experiment(s) failed to reproduce their claim shape\n", failures)
-		os.Exit(1)
+		fmt.Fprintf(stderr, "%d experiment(s) failed to reproduce their claim shape\n", failures)
+		return 1
 	}
-	fmt.Println("all experiment claim shapes reproduced")
+	fmt.Fprintln(stdout, "all experiment claim shapes reproduced")
+	return 0
 }

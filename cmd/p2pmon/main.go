@@ -7,13 +7,15 @@
 //	p2pmon -scenario telecom    # workflow surveillance
 //	p2pmon -scenario edos       # content-distribution statistics
 //	p2pmon -scenario rss        # feed monitoring
+//	p2pmon -scenario churn      # self-healing under relay crashes
 //	p2pmon -scenario meteo -sub custom.p2pml   # custom subscription text
 package main
 
 import (
+	"errors"
 	"flag"
 	"fmt"
-	"log"
+	"io"
 	"os"
 
 	"p2pm/internal/peer"
@@ -21,11 +23,36 @@ import (
 )
 
 func main() {
-	scenario := flag.String("scenario", "meteo", "meteo | telecom | edos | rss")
-	subFile := flag.String("sub", "", "file with a custom P2PML subscription (overrides the scenario default)")
-	noReuse := flag.Bool("no-reuse", false, "disable stream reuse")
-	noPushdown := flag.Bool("no-pushdown", false, "disable selection pushdown")
-	flag.Parse()
+	if err := run(os.Args[1:], os.Stdout); err != nil {
+		if errors.Is(err, flag.ErrHelp) {
+			return
+		}
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+}
+
+// run executes one scenario against the given flags, writing the report
+// to out (separated from main for testing).
+func run(args []string, out io.Writer) error {
+	fs := flag.NewFlagSet("p2pmon", flag.ContinueOnError)
+	scenario := fs.String("scenario", "meteo", "meteo | telecom | edos | rss | churn")
+	subFile := fs.String("sub", "", "file with a custom P2PML subscription (overrides the scenario default)")
+	noReuse := fs.Bool("no-reuse", false, "disable stream reuse")
+	noPushdown := fs.Bool("no-pushdown", false, "disable selection pushdown")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+
+	if *scenario == "churn" {
+		// The churn lab deploys a fixed hand-placed plan: the P2PML and
+		// optimizer knobs do not apply, so reject them instead of
+		// silently ignoring them.
+		if *subFile != "" || *noReuse || *noPushdown {
+			return fmt.Errorf("p2pmon: -sub, -no-reuse and -no-pushdown are not supported by the churn scenario")
+		}
+		return runChurn(out)
+	}
 
 	opts := peer.DefaultOptions()
 	opts.Reuse = !*noReuse
@@ -39,14 +66,14 @@ func main() {
 	case "meteo":
 		cfg := workload.DefaultMeteo()
 		if err := workload.SetupMeteo(sys, cfg); err != nil {
-			log.Fatal(err)
+			return err
 		}
 		subSrc = workload.MeteoSubscription(cfg.Clients, cfg.Server)
 		drive = func() (int, error) { return workload.RunMeteo(sys, cfg) }
 	case "telecom":
 		cfg := workload.DefaultTelecom()
 		if err := workload.SetupTelecom(sys, cfg); err != nil {
-			log.Fatal(err)
+			return err
 		}
 		subSrc = `for $c in outCOM(<p>orchestrator</p>)
 return <call id="{$c.callId}" method="{$c.callMethod}" to="{$c.callee}"/>
@@ -56,7 +83,7 @@ by publish as channel "calls"`
 		cfg := workload.DefaultEdos()
 		e, err := workload.SetupEdos(sys, cfg)
 		if err != nil {
-			log.Fatal(err)
+			return err
 		}
 		subSrc = e.StatsSubscription("GetPackage")
 		drive = func() (int, error) {
@@ -82,34 +109,60 @@ return $r by publish as channel "feedChanges"`
 			return n, nil
 		}
 	default:
-		fmt.Fprintf(os.Stderr, "unknown scenario %q\n", *scenario)
-		os.Exit(2)
+		return fmt.Errorf("unknown scenario %q", *scenario)
 	}
 	if *subFile != "" {
 		b, err := os.ReadFile(*subFile)
 		if err != nil {
-			log.Fatal(err)
+			return err
 		}
 		subSrc = string(b)
 	}
 
-	fmt.Printf("== scenario %s ==\n%s\n\n", *scenario, subSrc)
+	fmt.Fprintf(out, "== scenario %s ==\n%s\n\n", *scenario, subSrc)
 	task, err := mgr.Subscribe(subSrc)
 	if err != nil {
-		log.Fatal(err)
+		return err
 	}
-	fmt.Printf("deployed plan:\n%s\n", task.Plan.Tree())
+	fmt.Fprintf(out, "deployed plan:\n%s\n", task.Plan.Tree())
 
 	events, err := drive()
 	if err != nil {
-		log.Fatal(err)
+		return err
 	}
 	task.Stop()
 	results := task.Results().Drain()
-	fmt.Printf("drove %d events; %d results on %s:\n", events, len(results), task.ResultChannel())
+	fmt.Fprintf(out, "drove %d events; %d results on %s:\n", events, len(results), task.ResultChannel())
 	for _, it := range results {
-		fmt.Printf("  t=%-8s %s\n", it.Time, it.Tree)
+		fmt.Fprintf(out, "  t=%-8s %s\n", it.Time, it.Tree)
 	}
 	tot := sys.Net.Totals()
-	fmt.Printf("\nnetwork: %d messages, %d bytes over %d links\n", tot.Messages, tot.Bytes, tot.Links)
+	fmt.Fprintf(out, "\nnetwork: %d messages, %d bytes over %d links\n", tot.Messages, tot.Bytes, tot.Links)
+	return nil
+}
+
+// runChurn runs the self-healing scenario: the relay operator of a
+// subscription is killed repeatedly while events flow; the supervisor
+// migrates it and the report shows what the churn cost.
+func runChurn(out io.Writer) error {
+	cfg := workload.DefaultChurn()
+	lab, err := workload.SetupChurn(cfg)
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(out, "== scenario churn ==\nrelay workers: %d, crash every %d events, MTTR %v\n",
+		cfg.Workers, cfg.CrashEvery, cfg.MTTR)
+	fmt.Fprintf(out, "deployed plan:\n%s\n", lab.Task.Plan.Tree())
+	rep, err := lab.Run()
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(out, "drove %d events; %d results arrived (completeness %.0f%%)\n",
+		rep.Driven, rep.Received, rep.Completeness()*100)
+	fmt.Fprintf(out, "crashes: %d, detected: %d, repaired: %d, mean detection latency %.1fs\n",
+		rep.Crashes, rep.Deaths, rep.Repairs, rep.DetectionLatency.Mean())
+	fmt.Fprintf(out, "relay ended at %s\n", lab.RelayHost())
+	fmt.Fprintf(out, "\nnetwork: %d messages, %d bytes, %d dropped over %d links\n",
+		rep.Traffic.Messages, rep.Traffic.Bytes, rep.Traffic.Dropped, rep.Traffic.Links)
+	return nil
 }

@@ -1,0 +1,61 @@
+package main
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func TestRSSScenario(t *testing.T) {
+	var out bytes.Buffer
+	if err := run([]string{"-scenario", "rss"}, &out); err != nil {
+		t.Fatal(err)
+	}
+	s := out.String()
+	if !strings.Contains(s, "deployed plan:") || !strings.Contains(s, "results on feedChanges@manager") {
+		t.Errorf("unexpected report:\n%s", s)
+	}
+}
+
+func TestChurnScenario(t *testing.T) {
+	var out bytes.Buffer
+	if err := run([]string{"-scenario", "churn"}, &out); err != nil {
+		t.Fatal(err)
+	}
+	s := out.String()
+	if !strings.Contains(s, "completeness") || !strings.Contains(s, "repaired:") {
+		t.Errorf("churn report incomplete:\n%s", s)
+	}
+}
+
+func TestUnknownScenario(t *testing.T) {
+	if err := run([]string{"-scenario", "nope"}, &bytes.Buffer{}); err == nil {
+		t.Fatal("unknown scenario accepted")
+	}
+}
+
+func TestCustomSubscriptionFile(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "sub.p2pml")
+	src := `for $r in rssCOM(<p>portal.com</p>) return $r by publish as channel "mine"`
+	if err := os.WriteFile(path, []byte(src), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	var out bytes.Buffer
+	if err := run([]string{"-scenario", "rss", "-sub", path}, &out); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out.String(), `channel "mine"`) {
+		t.Errorf("custom subscription not used:\n%s", out.String())
+	}
+	if err := run([]string{"-scenario", "rss", "-sub", "/nonexistent"}, &bytes.Buffer{}); err == nil {
+		t.Error("missing sub file accepted")
+	}
+}
+
+func TestBadFlagRejected(t *testing.T) {
+	if err := run([]string{"-bogus"}, &bytes.Buffer{}); err == nil {
+		t.Fatal("bad flag accepted")
+	}
+}

@@ -1,0 +1,3 @@
+module p2pm
+
+go 1.24

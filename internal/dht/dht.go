@@ -46,18 +46,40 @@ type node struct {
 
 // Ring is a Chord-style DHT.
 type Ring struct {
-	mu    sync.RWMutex
-	nodes []*node // sorted by id
-	byKey map[string]*node
-	hooks []MembershipHook
+	mu          sync.RWMutex
+	nodes       []*node // sorted by id
+	byKey       map[string]*node
+	hooks       []MembershipHook
+	replication int // copies per key: owner + replication-1 successors
 
 	lookups uint64
 	hops    uint64
 }
 
-// New returns an empty ring.
+// New returns an empty ring with no replication (one copy per key).
 func New() *Ring {
-	return &Ring{byKey: make(map[string]*node)}
+	return &Ring{byKey: make(map[string]*node), replication: 1}
+}
+
+// SetReplication sets the number of copies kept per key (owner plus
+// k-1 distinct successors) and rebalances existing keys. k < 1 is
+// clamped to 1. Replication is what lets stream-definition lookups keep
+// working when a node crashes (Fail) instead of leaving gracefully.
+func (r *Ring) SetReplication(k int) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if k < 1 {
+		k = 1
+	}
+	r.replication = k
+	r.rebalanceLocked(nil)
+}
+
+// Replication returns the configured copies per key.
+func (r *Ring) Replication() int {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	return r.replication
 }
 
 // OnMembership registers a membership hook.
@@ -103,17 +125,11 @@ func (r *Ring) Join(name string) error {
 	copy(r.nodes[idx+1:], r.nodes[idx:])
 	r.nodes[idx] = n
 	r.byKey[name] = n
-	// The new node takes over keys in (predecessor, n] from its old
-	// owner, the successor.
-	if len(r.nodes) > 1 {
-		succ := r.nodes[(idx+1)%len(r.nodes)]
-		for k, vs := range succ.store {
-			if r.ownerLocked(HashID(k)) == n {
-				n.store[k] = vs
-				delete(succ.store, k)
-			}
-		}
-	}
+	// The new node takes over the keys it now owns (and, with
+	// replication, drops out-of-range copies from old replica sets).
+	// Only keys stored in the neighborhood of the insertion point can be
+	// affected, so the rebalance is local, not full-ring.
+	r.neighborhoodRebalanceLocked(idx, nil)
 	hooks := append([]MembershipHook(nil), r.hooks...)
 	r.mu.Unlock()
 	for _, h := range hooks {
@@ -122,9 +138,22 @@ func (r *Ring) Join(name string) error {
 	return nil
 }
 
-// Leave removes a peer, migrating its keys to the new owner, and fires
-// leave hooks.
+// Leave removes a peer gracefully, migrating its keys to their new
+// owners, and fires leave hooks.
 func (r *Ring) Leave(name string) error {
+	return r.remove(name, true)
+}
+
+// Fail removes a crashed peer: unlike Leave, the node gets no chance to
+// migrate its store — its copies are simply gone. Keys survive only if
+// replication keeps other copies; the rebalance re-replicates them onto
+// the new replica sets so lookups keep working during churn. Leave hooks
+// fire (the membership stream reports the departure either way).
+func (r *Ring) Fail(name string) error {
+	return r.remove(name, false)
+}
+
+func (r *Ring) remove(name string, graceful bool) error {
 	r.mu.Lock()
 	n, ok := r.byKey[name]
 	if !ok {
@@ -134,18 +163,132 @@ func (r *Ring) Leave(name string) error {
 	delete(r.byKey, name)
 	idx := sort.Search(len(r.nodes), func(i int) bool { return r.nodes[i].id >= n.id })
 	r.nodes = append(r.nodes[:idx], r.nodes[idx+1:]...)
-	if len(r.nodes) > 0 {
-		for k, vs := range n.store {
-			owner := r.ownerLocked(HashID(k))
-			owner.store[k] = append(owner.store[k], vs...)
-		}
+	extra := n.store
+	if !graceful {
+		// A crashed node's copies are lost; surviving replicas in the
+		// neighborhood re-seed the new replica sets.
+		extra = nil
 	}
+	r.neighborhoodRebalanceLocked(idx, extra)
 	hooks := append([]MembershipHook(nil), r.hooks...)
 	r.mu.Unlock()
 	for _, h := range hooks {
 		h.NotifyLeave(name)
 	}
 	return nil
+}
+
+// rebalanceLocked reassigns every stored key to its current replica set:
+// the owner plus replication-1 distinct successors. extra, when non-nil,
+// contributes the store of a gracefully departing node. Values keep
+// their order (readers rely on "latest wins"); identical values held by
+// multiple replicas merge to one copy.
+func (r *Ring) rebalanceLocked(extra map[string][]string) {
+	if len(r.nodes) == 0 {
+		return
+	}
+	merged := make(map[string][]string)
+	for _, n := range r.nodes {
+		for k, vs := range n.store {
+			merged[k] = mergeVals(merged[k], vs)
+		}
+	}
+	for k, vs := range extra {
+		merged[k] = mergeVals(merged[k], vs)
+	}
+	for _, n := range r.nodes {
+		n.store = make(map[string][]string)
+	}
+	for k, vs := range merged {
+		for _, n := range r.replicaSetLocked(HashID(k)) {
+			n.store[k] = append([]string(nil), vs...)
+		}
+	}
+}
+
+// neighborhoodRebalanceLocked re-places the keys affected by a
+// membership change at ring position idx. A key's replica set is a
+// contiguous run of successors of its hash, so only keys whose window
+// crosses the change point can gain or lose a holder, and their
+// surviving copies live within replication-1 positions before idx or
+// replication positions after it — the rest of the ring is untouched.
+// extra contributes the store of a gracefully departed node.
+func (r *Ring) neighborhoodRebalanceLocked(idx int, extra map[string][]string) {
+	n := len(r.nodes)
+	if n == 0 {
+		return
+	}
+	k := r.replication
+	if k > n {
+		k = n
+	}
+	span := 2 * k
+	if span > n {
+		span = n
+	}
+	start := ((idx-(k-1))%n + n) % n
+	merged := make(map[string][]string)
+	scanned := make([]*node, 0, span)
+	for i := 0; i < span; i++ {
+		nd := r.nodes[(start+i)%n]
+		scanned = append(scanned, nd)
+		for key, vs := range nd.store {
+			merged[key] = mergeVals(merged[key], vs)
+		}
+	}
+	for key, vs := range extra {
+		merged[key] = mergeVals(merged[key], vs)
+	}
+	for key, vs := range merged {
+		desired := r.replicaSetLocked(HashID(key))
+		inDesired := make(map[*node]bool, len(desired))
+		for _, d := range desired {
+			inDesired[d] = true
+			d.store[key] = append([]string(nil), vs...)
+		}
+		for _, s := range scanned {
+			if !inDesired[s] {
+				delete(s.store, key)
+			}
+		}
+	}
+}
+
+// mergeVals appends the values of src not already in dst, preserving
+// order.
+func mergeVals(dst, src []string) []string {
+	seen := make(map[string]bool, len(dst))
+	for _, v := range dst {
+		seen[v] = true
+	}
+	for _, v := range src {
+		if !seen[v] {
+			dst = append(dst, v)
+			seen[v] = true
+		}
+	}
+	return dst
+}
+
+// replicaSetLocked returns the nodes holding a key: its owner and the
+// next replication-1 distinct successors.
+func (r *Ring) replicaSetLocked(id ID) []*node {
+	if len(r.nodes) == 0 {
+		return nil
+	}
+	k := r.replication
+	if k > len(r.nodes) {
+		k = len(r.nodes)
+	}
+	idx := r.insertionPoint(id)
+	if idx == len(r.nodes) {
+		idx = 0
+	}
+	out := make([]*node, 0, k)
+	for i := 0; i < k; i++ {
+		out = append(out, r.nodes[(idx+i)%len(r.nodes)])
+	}
+	return out
 }
 
 func (r *Ring) findByID(id ID) *node {
@@ -183,15 +326,18 @@ func (r *Ring) Owner(key string) (string, error) {
 	return n.name, nil
 }
 
-// Put appends a value under a key at the key's owner.
+// Put appends a value under a key at the key's owner and, with
+// replication enabled, at the replica successors.
 func (r *Ring) Put(key, value string) error {
 	r.mu.Lock()
 	defer r.mu.Unlock()
-	n := r.ownerLocked(HashID(key))
-	if n == nil {
+	set := r.replicaSetLocked(HashID(key))
+	if len(set) == 0 {
 		return fmt.Errorf("dht: empty ring")
 	}
-	n.store[key] = append(n.store[key], value)
+	for _, n := range set {
+		n.store[key] = append(n.store[key], value)
+	}
 	return nil
 }
 
@@ -216,6 +362,18 @@ func (r *Ring) Get(from, key string) ([]string, int, error) {
 	r.lookups++
 	r.hops += uint64(hops)
 	vals := append([]string(nil), owner.store[key]...)
+	if len(vals) == 0 && r.replication > 1 {
+		// Owner miss (e.g. mid-churn before a rebalance): one extra hop
+		// to a replica successor still answers the lookup.
+		for _, n := range r.replicaSetLocked(target)[1:] {
+			if len(n.store[key]) > 0 {
+				vals = append(vals, n.store[key]...)
+				hops++
+				r.hops++
+				break
+			}
+		}
+	}
 	return vals, hops, nil
 }
 

@@ -38,6 +38,10 @@ func (p *Peer) deploy(task *Task) error {
 		return err
 	}
 	task.refs = refs
+	task.origRefs = make(map[*algebra.Node]stream.Ref, len(refs))
+	for n, ref := range refs {
+		task.origRefs[n] = ref
+	}
 
 	var build func(n *algebra.Node) (*stream.Channel, error)
 	build = func(n *algebra.Node) (*stream.Channel, error) {
@@ -53,7 +57,7 @@ func (p *Peer) deploy(task *Task) error {
 			if err != nil {
 				return nil, err
 			}
-			sub := p.subscribe(task, child, n.Peer)
+			sub := p.subscribeInput(task, n, n.Inputs[0], child, n.Peer)
 			return p.deployPublisher(task, n, sub.Queue)
 		}
 		out := stream.NewChannel(n.Peer, refs[n].StreamID)
@@ -72,7 +76,7 @@ func (p *Peer) deploy(task *Task) error {
 			if err != nil {
 				return nil, err
 			}
-			sub := p.subscribe(task, driver, n.Peer)
+			sub := p.subscribeInput(task, n, n.Inputs[0], driver, n.Peer)
 			p.runDynAlerter(task, n, sub.Queue, out)
 		default:
 			queues := make([]*stream.Queue, len(n.Inputs))
@@ -81,7 +85,7 @@ func (p *Peer) deploy(task *Task) error {
 				if err != nil {
 					return nil, err
 				}
-				queues[i] = p.subscribe(task, child, n.Peer).Queue
+				queues[i] = p.subscribeInput(task, n, in, child, n.Peer).Queue
 			}
 			proc, err := p.makeProc(n)
 			if err != nil {
@@ -113,6 +117,15 @@ func (p *Peer) subscribe(task *Task, ch *stream.Channel, consumerPeer string) *s
 		deliver = p.sys.Net.DeliverHook(ch.Ref().PeerID, consumerPeer)
 	}
 	sub := ch.Subscribe(consumerPeer, deliver)
+	p.trackSub(task, ch, sub)
+	return sub
+}
+
+// trackSub records a subscription for teardown: subscriptions to shared
+// channels (reused streams, repository event channels) are cancelled
+// eagerly at Stop, owned ones after the operators drained. It reports
+// whether the channel is task-owned.
+func (p *Peer) trackSub(task *Task, ch *stream.Channel, sub *stream.Subscription) bool {
 	owned := false
 	for _, own := range task.channels {
 		if own == ch {
@@ -125,6 +138,22 @@ func (p *Peer) subscribe(task *Task, ch *stream.Channel, consumerPeer string) *s
 	} else {
 		task.extSubs = append(task.extSubs, sub)
 	}
+	return owned
+}
+
+// subscribeInput is subscribe for a plan-internal input edge: it also
+// records the binding (consumer operator, producing plan node, queue) so
+// failure handling can later re-bind the consumer to a replacement
+// producer.
+func (p *Peer) subscribeInput(task *Task, consumer, child *algebra.Node, ch *stream.Channel, consumerPeer string) *stream.Subscription {
+	sub := p.subscribe(task, ch, consumerPeer)
+	task.bindings = append(task.bindings, &inputBinding{
+		consumer:     consumer,
+		child:        child,
+		consumerPeer: consumerPeer,
+		queue:        sub.Queue,
+		sub:          sub,
+	})
 	return sub
 }
 

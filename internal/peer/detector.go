@@ -1,0 +1,198 @@
+package peer
+
+import (
+	"sort"
+	"sync"
+	"time"
+)
+
+// DetectorOptions configures a heartbeat failure detector.
+type DetectorOptions struct {
+	// Interval is the heartbeat period (virtual time). Default 1s.
+	Interval time.Duration
+	// Suspicion is how long a peer may stay silent before it is declared
+	// dead. It must exceed the worst-case heartbeat latency or slow-but-
+	// alive peers produce false positives. Default 3×Interval.
+	Suspicion time.Duration
+	// HeartbeatBytes is the accounted wire size of one heartbeat
+	// message. Default 64 — heartbeat traffic shows up in the simnet
+	// counters like any other monitoring cost.
+	HeartbeatBytes int
+}
+
+func (o DetectorOptions) withDefaults() DetectorOptions {
+	if o.Interval <= 0 {
+		o.Interval = time.Second
+	}
+	if o.Suspicion <= 0 {
+		o.Suspicion = 3 * o.Interval
+	}
+	if o.HeartbeatBytes <= 0 {
+		o.HeartbeatBytes = 64
+	}
+	return o
+}
+
+// Detector is a heartbeat-based failure detector hosted at one peer.
+// Every watched peer sends it a heartbeat each Interval over the
+// simulated network (accounted, latency-stamped, subject to crashes,
+// partitions and injected loss). A peer silent for longer than Suspicion
+// is declared dead; a heartbeat from a declared-dead peer triggers
+// recovery.
+//
+// The detector runs on the virtual clock: System.Step advances time and
+// ticks every registered detector, which makes detection deterministic —
+// wall-clock goroutine scheduling never changes what the detector sees.
+type Detector struct {
+	sys  *System
+	home string
+	opts DetectorOptions
+
+	mu        sync.Mutex
+	watched   map[string]*monitorState
+	onDeath   []func(peer string, at time.Duration)
+	onRecover []func(peer string, at time.Duration)
+}
+
+// monitorState tracks one watched peer.
+type monitorState struct {
+	peer     string
+	nextBeat time.Duration   // virtual send time of the next heartbeat
+	lastSeen time.Duration   // arrival time of the latest received heartbeat
+	inflight []time.Duration // arrival times of heartbeats still en route
+	dead     bool
+}
+
+// StartDetector creates a failure detector hosted at home watching every
+// currently registered peer (except home itself). It is ticked by
+// System.Step.
+func (s *System) StartDetector(home string, opts DetectorOptions) *Detector {
+	d := &Detector{
+		sys:     s,
+		home:    home,
+		opts:    opts.withDefaults(),
+		watched: make(map[string]*monitorState),
+	}
+	for _, p := range s.Peers() {
+		if p != home {
+			d.Watch(p)
+		}
+	}
+	s.mu.Lock()
+	s.detectors = append(s.detectors, d)
+	s.mu.Unlock()
+	return d
+}
+
+// Home returns the peer hosting the detector.
+func (d *Detector) Home() string { return d.home }
+
+// Watch adds a peer to the watch set. The first heartbeat is scheduled
+// one interval from now; the peer starts in the alive state.
+func (d *Detector) Watch(peer string) {
+	now := d.sys.Net.Clock().Now()
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	if _, ok := d.watched[peer]; ok {
+		return
+	}
+	d.watched[peer] = &monitorState{peer: peer, nextBeat: now + d.opts.Interval, lastSeen: now}
+}
+
+// OnDeath registers a callback fired (outside the detector lock) when a
+// watched peer is declared dead, with the virtual detection time.
+func (d *Detector) OnDeath(f func(peer string, at time.Duration)) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	d.onDeath = append(d.onDeath, f)
+}
+
+// OnRecover registers a callback fired when a declared-dead peer is
+// heard from again.
+func (d *Detector) OnRecover(f func(peer string, at time.Duration)) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	d.onRecover = append(d.onRecover, f)
+}
+
+// Suspects returns the peers currently declared dead, sorted.
+func (d *Detector) Suspects() []string {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	var out []string
+	for _, m := range d.watched {
+		if m.dead {
+			out = append(out, m.peer)
+		}
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Tick advances the detector to the current virtual time: watched peers
+// emit the heartbeats due since the last tick (each paying the simulated
+// link, so crashed or partitioned peers' beats are lost), arrivals are
+// processed, and the suspicion rule runs. Death and recovery callbacks
+// fire after the state update.
+func (d *Detector) Tick() {
+	now := d.sys.Net.Clock().Now()
+	type event struct {
+		peer  string
+		at    time.Duration
+		death bool
+	}
+	var events []event
+
+	d.mu.Lock()
+	peers := make([]*monitorState, 0, len(d.watched))
+	for _, m := range d.watched {
+		peers = append(peers, m)
+	}
+	sort.Slice(peers, func(i, j int) bool { return peers[i].peer < peers[j].peer })
+	for _, m := range peers {
+		// Emit the heartbeats due since the last tick at their scheduled
+		// virtual send times.
+		for m.nextBeat <= now {
+			t := m.nextBeat
+			m.nextBeat += d.opts.Interval
+			if lat, ok := d.sys.Net.Ping(m.peer, d.home, d.opts.HeartbeatBytes); ok {
+				m.inflight = append(m.inflight, t+lat)
+			}
+		}
+		// Process arrivals up to now.
+		rest := m.inflight[:0]
+		for _, at := range m.inflight {
+			if at <= now {
+				if at > m.lastSeen {
+					m.lastSeen = at
+				}
+			} else {
+				rest = append(rest, at)
+			}
+		}
+		m.inflight = rest
+		// Suspicion rule.
+		if m.dead && now-m.lastSeen <= d.opts.Suspicion {
+			m.dead = false
+			events = append(events, event{peer: m.peer, at: now, death: false})
+		} else if !m.dead && now-m.lastSeen > d.opts.Suspicion {
+			m.dead = true
+			events = append(events, event{peer: m.peer, at: now, death: true})
+		}
+	}
+	deathFns := append([]func(peer string, at time.Duration){}, d.onDeath...)
+	recoverFns := append([]func(peer string, at time.Duration){}, d.onRecover...)
+	d.mu.Unlock()
+
+	for _, e := range events {
+		if e.death {
+			for _, f := range deathFns {
+				f(e.peer, e.at)
+			}
+		} else {
+			for _, f := range recoverFns {
+				f(e.peer, e.at)
+			}
+		}
+	}
+}

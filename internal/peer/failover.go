@@ -1,0 +1,502 @@
+package peer
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+	"time"
+
+	"p2pm/internal/algebra"
+	"p2pm/internal/operators"
+	"p2pm/internal/reuse"
+	"p2pm/internal/stream"
+)
+
+// ctrlMsgBytes is the accounted size of one failover control message
+// (re-deployment order, re-subscription): the repair path shows up in
+// the traffic counters like everything else.
+const ctrlMsgBytes = 256
+
+// FailoverEvent records one repair action taken when a peer died.
+type FailoverEvent struct {
+	TaskID   string
+	Operator string // label of the affected operator (or consumed channel)
+	From     string // the dead host
+	To       string // the new host; empty when the loss is unrepairable
+	// ViaReplica is true when an announced replica (Section 5) provided
+	// the failover path.
+	ViaReplica bool
+	// At is the virtual time of the repair (= detection time: repair is
+	// immediate once the detector fires).
+	At time.Duration
+}
+
+// Repaired reports whether the event found a new host.
+func (e FailoverEvent) Repaired() bool { return e.To != "" }
+
+// markStale records that a channel lost its producer (the operator
+// migrated elsewhere). Staleness propagates through replica forwarders:
+// a replica of a stale stream forwards nothing, so it is stale too —
+// except the channel a re-deployed operator just adopted as its new
+// output.
+func (s *System) markStale(ref, except stream.Ref) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.markStaleLocked(ref, except)
+}
+
+func (s *System) markStaleLocked(ref, except stream.Ref) {
+	if ref == except || s.stale[ref] {
+		return
+	}
+	s.stale[ref] = true
+	for _, f := range s.forwarders {
+		if f.orig == ref {
+			s.markStaleLocked(f.rep.Ref(), except)
+		}
+	}
+}
+
+// isStale reports whether a channel lost its producer to a migration.
+func (s *System) isStale(ref stream.Ref) bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.stale[ref]
+}
+
+// usable reports whether a channel is a viable provider: host alive and
+// producer still attached.
+func (s *System) usable(ref stream.Ref) bool {
+	return s.Net.Alive(ref.PeerID) && !s.isStale(ref)
+}
+
+// aliveOnly wraps a reuse chooser so it never selects a provider hosted
+// on a crashed peer, or one whose producer migrated away, when a viable
+// alternative exists.
+func aliveOnly(s *System, inner reuse.Chooser) reuse.Chooser {
+	return func(consumer string, original stream.Ref, replicas []stream.Ref) stream.Ref {
+		var ok []stream.Ref
+		for _, r := range replicas {
+			if s.usable(r) {
+				ok = append(ok, r)
+			}
+		}
+		if !s.usable(original) && len(ok) > 0 {
+			return inner(consumer, ok[0], ok[1:])
+		}
+		return inner(consumer, original, ok)
+	}
+}
+
+// Supervisor couples a failure detector with self-healing: a declared
+// death triggers FailPeer (crash the substrate links, re-replicate DHT
+// keys, migrate the dead peer's operators), a recovery rejoins the peer.
+type Supervisor struct {
+	sys *System
+	det *Detector
+
+	mu     sync.Mutex
+	events []FailoverEvent
+	deaths []string
+}
+
+// StartSupervisor starts a failure detector hosted at home (watching all
+// currently registered peers) and wires self-healing to it. Tick it via
+// System.Step.
+func (s *System) StartSupervisor(home string, opts DetectorOptions) *Supervisor {
+	sup := &Supervisor{sys: s, det: s.StartDetector(home, opts)}
+	sup.det.OnDeath(func(peer string, at time.Duration) {
+		evs := s.FailPeer(peer, at)
+		sup.mu.Lock()
+		sup.deaths = append(sup.deaths, peer)
+		sup.events = append(sup.events, evs...)
+		sup.mu.Unlock()
+	})
+	sup.det.OnRecover(func(peer string, at time.Duration) {
+		s.RejoinPeer(peer)
+	})
+	return sup
+}
+
+// Detector exposes the underlying failure detector (e.g. to Watch peers
+// added after the supervisor started).
+func (sup *Supervisor) Detector() *Detector { return sup.det }
+
+// Events returns all failover actions taken so far.
+func (sup *Supervisor) Events() []FailoverEvent {
+	sup.mu.Lock()
+	defer sup.mu.Unlock()
+	return append([]FailoverEvent(nil), sup.events...)
+}
+
+// Deaths returns the peers declared dead so far, in detection order.
+func (sup *Supervisor) Deaths() []string {
+	sup.mu.Lock()
+	defer sup.mu.Unlock()
+	return append([]string(nil), sup.deaths...)
+}
+
+// FailPeer processes a confirmed-dead peer: its substrate links go down,
+// the DHT drops it and re-replicates the keys it held, and every live
+// task with operators or consumed channels on it is repaired — operators
+// are re-deployed onto live peers (preferring hosts that announced a
+// replica of the affected stream) and consumers are re-bound end-to-end.
+// It returns the repair actions taken. FailPeer is what the Supervisor
+// calls on detection; tests and harnesses may call it directly.
+func (s *System) FailPeer(dead string, at time.Duration) []FailoverEvent {
+	s.Net.Crash(dead) //nolint:errcheck // unknown nodes have no links to cut
+	if s.Peer(dead) != nil {
+		s.Ring.Fail(dead) //nolint:errcheck // double-fail is a no-op
+	}
+	// Sever replica forwarders fed from the dead peer: the origin's
+	// eventual teardown must not close replica channels a re-deployed
+	// operator is about to take over.
+	s.mu.Lock()
+	for _, f := range s.forwarders {
+		if f.orig.PeerID == dead {
+			f.sub.Detach()
+		}
+	}
+	s.mu.Unlock()
+	var events []FailoverEvent
+	// Phase 1: re-deploy the operators the dead peer hosted. This runs
+	// before consumer re-binding so replacement providers exist (and are
+	// announced as replicas) by the time consumers look for one.
+	for _, p := range s.livePeers() {
+		for _, t := range sortedTasks(p) {
+			events = append(events, p.repairOperators(t, dead, at)...)
+		}
+	}
+	// Phase 2: re-bind subscriptions that consumed channels hosted on
+	// the dead peer (reused streams, replicas).
+	for _, p := range s.livePeers() {
+		for _, t := range sortedTasks(p) {
+			events = append(events, p.repairChannelIns(t, dead, at)...)
+		}
+	}
+	return events
+}
+
+// RejoinPeer brings a recovered peer back: its links come up and it
+// rejoins the DHT ring (which rebalances key placement). Tasks migrated
+// away during the outage stay where they are — the peer simply becomes
+// eligible for new work.
+func (s *System) RejoinPeer(name string) {
+	s.Net.Recover(name) //nolint:errcheck // unknown nodes have no links
+	if s.Peer(name) != nil {
+		s.Ring.Join(name) //nolint:errcheck // already-joined is fine
+	}
+}
+
+// livePeers returns the registered peers whose node is up, sorted by
+// name for deterministic repair order.
+func (s *System) livePeers() []*Peer {
+	s.mu.Lock()
+	names := make([]string, 0, len(s.peers))
+	for n := range s.peers {
+		names = append(names, n)
+	}
+	s.mu.Unlock()
+	sort.Strings(names)
+	var out []*Peer
+	for _, n := range names {
+		if s.Net.Alive(n) {
+			out = append(out, s.Peer(n))
+		}
+	}
+	return out
+}
+
+func sortedTasks(p *Peer) []*Task {
+	ts := p.Tasks()
+	sort.Slice(ts, func(i, j int) bool { return ts[i].ID < ts[j].ID })
+	return ts
+}
+
+// repairOperators migrates every operator of t hosted on the dead peer.
+// Children are visited before parents so a parent re-deployed in the
+// same pass subscribes to its child's replacement channel.
+func (p *Peer) repairOperators(t *Task, dead string, at time.Duration) []FailoverEvent {
+	var events []FailoverEvent
+	postorder(t.Plan, func(n *algebra.Node) {
+		if n.Peer != dead {
+			return
+		}
+		switch n.Op {
+		case algebra.OpChannelIn:
+			// Consumed channels are re-bound in phase 2.
+		case algebra.OpAlerter, algebra.OpDynAlerter:
+			// The event source itself died: its events originate at the
+			// dead peer, so no live peer can produce them. The task is
+			// degraded until the peer returns.
+			t.degraded = append(t.degraded, n.Label())
+			events = append(events, FailoverEvent{
+				TaskID: t.ID, Operator: n.Label(), From: dead, At: at,
+			})
+		case algebra.OpPublish:
+			// The publisher runs at the subscription manager; a task
+			// whose manager died is not repaired (its subscriber is
+			// gone). A publisher stranded elsewhere is unrepairable too:
+			// its human-facing sinks lived on the dead peer.
+			t.degraded = append(t.degraded, n.Label())
+			events = append(events, FailoverEvent{
+				TaskID: t.ID, Operator: n.Label(), From: dead, At: at,
+			})
+		default:
+			ev, err := p.redeployOperator(t, n, dead, at)
+			if err != nil {
+				t.degraded = append(t.degraded, n.Label()+": "+err.Error())
+				ev = FailoverEvent{TaskID: t.ID, Operator: n.Label(), From: dead, At: at}
+			}
+			events = append(events, ev)
+		}
+	})
+	return events
+}
+
+// redeployOperator moves one processor from the dead peer to a live one:
+// a host is chosen (preferring one that announced a replica of the
+// operator's output stream, whose channel then simply continues), the
+// operator restarts there with fresh subscriptions to its inputs, and
+// every downstream consumer is re-bound to the replacement channel while
+// keeping its queue. State accumulated at the dead peer (join histories,
+// duplicate-removal memory) is lost — the price of fail-stop crashes.
+func (p *Peer) redeployOperator(t *Task, n *algebra.Node, dead string, at time.Duration) (FailoverEvent, error) {
+	s := p.sys
+	oldRef := t.refs[n]
+	origRef, hasOrig := t.origRefs[n]
+	if !hasOrig {
+		origRef = oldRef
+	}
+
+	// Prefer a live peer that announced a replica of this stream: it is
+	// already receiving the data and republishing it under a channel
+	// other consumers may already use. Replica records chain to the
+	// original identity, so look them up there.
+	replicas, _, _ := s.DB.Replicas(p.name, origRef)
+	newPeer := ""
+	var out *stream.Channel
+	viaReplica := false
+	for _, r := range replicas {
+		if r.PeerID == dead || !s.usable(r) {
+			continue
+		}
+		if ch, ok := s.Channel(r); ok {
+			newPeer, out, viaReplica = r.PeerID, ch, true
+			// The task's operator now produces this channel, so the
+			// task owns its lifecycle: it closes when the operator's
+			// inputs end.
+			t.channels = append(t.channels, ch)
+			break
+		}
+	}
+	if newPeer == "" {
+		newPeer = s.leastLoadedLive(dead)
+		if newPeer == "" {
+			return FailoverEvent{}, fmt.Errorf("no live peer to host %s", n.Label())
+		}
+		out = stream.NewChannel(newPeer, s.nextStreamID(newPeer))
+		s.registerChannel(out)
+		t.channels = append(t.channels, out)
+		s.Net.AddLoad(newPeer, 1)
+		t.loads = append(t.loads, newPeer)
+	}
+
+	// Re-bind downstream consumers first, so the old channel's teardown
+	// can no longer reach them.
+	for _, b := range t.bindings {
+		if b.child == n {
+			p.rebind(t, b, out)
+		}
+	}
+
+	// Fresh subscriptions to the inputs; the dead operator's old input
+	// queues are closed so its goroutine terminates instead of waiting
+	// on starved queues forever. Items buffered there are lost (they
+	// were at the crashed peer).
+	myBindings := t.bindingsOf(n)
+	if len(myBindings) != len(n.Inputs) {
+		return FailoverEvent{}, fmt.Errorf("bindings out of sync for %s", n.Label())
+	}
+	queues := make([]*stream.Queue, len(n.Inputs))
+	for i, in := range n.Inputs {
+		ch, ok := s.nodeChannel(t, in)
+		if !ok {
+			return FailoverEvent{}, fmt.Errorf("input channel of %s not found", n.Label())
+		}
+		sub := p.subscribe(t, ch, newPeer)
+		b := myBindings[i]
+		b.sub.Unsubscribe()
+		// When an earlier repair in the same pass re-bound this input
+		// (chained operators on the dead peer), b.sub's queue is not the
+		// old operator's reader — close that reader explicitly so the
+		// dead instance's goroutine terminates.
+		b.queue.Close()
+		b.sub = sub
+		b.queue = sub.Queue
+		b.consumerPeer = newPeer
+		queues[i] = sub.Queue
+		s.Net.CountTransfer(t.Manager, ch.Ref().PeerID, ctrlMsgBytes)
+	}
+
+	proc, err := p.makeProc(n)
+	if err != nil {
+		return FailoverEvent{}, err
+	}
+	h := operators.Run(proc, queues, operators.ChannelPublish(out))
+	t.handles = append(t.handles, h)
+
+	n.Peer = newPeer
+	t.refs[n] = out.Ref()
+	// The abandoned channel has no producer anymore: never offer it (or
+	// forwarders fed from it, other than the adopted one) as a provider
+	// again, even after its host recovers.
+	s.markStale(oldRef, out.Ref())
+	// Announce the replacement as a provider under the stream's original
+	// identity (consumers' ChannelIn Origin and published descriptors
+	// both name it), so phase 2 and future subscriptions find it across
+	// any number of migrations.
+	s.DB.PublishReplica(origRef, out.Ref()) //nolint:errcheck // ring is non-empty here
+	if oldRef != origRef {
+		s.DB.PublishReplica(oldRef, out.Ref()) //nolint:errcheck // same ring
+	}
+	s.Net.CountTransfer(t.Manager, newPeer, ctrlMsgBytes)
+
+	return FailoverEvent{
+		TaskID: t.ID, Operator: n.Label(), From: dead, To: newPeer,
+		ViaReplica: viaReplica, At: at,
+	}, nil
+}
+
+// repairChannelIns re-binds the task's subscriptions to channels that
+// lived on the dead peer (reused streams and replicas) onto a live
+// provider of the same original stream.
+func (p *Peer) repairChannelIns(t *Task, dead string, at time.Duration) []FailoverEvent {
+	var events []FailoverEvent
+	postorder(t.Plan, func(n *algebra.Node) {
+		if n.Op != algebra.OpChannelIn || n.Channel.PeerID != dead {
+			return
+		}
+		origin := n.Origin
+		if origin == (stream.Ref{}) {
+			origin = n.Channel
+		}
+		repl, viaReplica := p.sys.liveProvider(p.name, origin, dead)
+		if repl == nil {
+			t.degraded = append(t.degraded, "channel "+n.Channel.String())
+			events = append(events, FailoverEvent{
+				TaskID: t.ID, Operator: "∈" + n.Channel.String(), From: dead, At: at,
+			})
+			return
+		}
+		for _, b := range t.bindings {
+			if b.child == n {
+				p.rebind(t, b, repl)
+				p.sys.Net.CountTransfer(b.consumerPeer, repl.Ref().PeerID, ctrlMsgBytes)
+			}
+		}
+		n.Channel = repl.Ref()
+		events = append(events, FailoverEvent{
+			TaskID: t.ID, Operator: "∈" + origin.String(), From: dead,
+			To: repl.Ref().PeerID, ViaReplica: viaReplica, At: at,
+		})
+	})
+	return events
+}
+
+// liveProvider finds a live channel carrying the stream origin: the
+// original channel if its host is up and it still has its producer,
+// else any usable announced replica (including re-deployments
+// registered by redeployOperator, which chain to the origin).
+func (s *System) liveProvider(from string, origin stream.Ref, dead string) (*stream.Channel, bool) {
+	if origin.PeerID != dead && s.usable(origin) {
+		if ch, ok := s.Channel(origin); ok {
+			return ch, false
+		}
+	}
+	replicas, _, _ := s.DB.Replicas(from, origin)
+	for _, r := range replicas {
+		if r.PeerID == dead || !s.usable(r) {
+			continue
+		}
+		if ch, ok := s.Channel(r); ok {
+			return ch, true
+		}
+	}
+	return nil, false
+}
+
+// rebind swaps the producer feeding one input binding: the old
+// subscription detaches (without closing the consumer's queue) and a new
+// subscription on ch delivers into the same queue over the simulated
+// network. The consumer operator never notices the swap.
+func (p *Peer) rebind(t *Task, b *inputBinding, ch *stream.Channel) {
+	b.sub.Detach()
+	s := p.sys
+	from, to, q := ch.Ref().PeerID, b.consumerPeer, b.queue
+	sub := ch.Subscribe(to, func(it stream.Item, _ *stream.Queue) {
+		if d, ok := s.Net.Deliver(from, to, it); ok {
+			q.Push(d)
+			if d.EOS() {
+				q.Close()
+			}
+		}
+	})
+	b.sub = sub
+	if !p.trackSub(t, ch, sub) {
+		// Shared source: it will never close on this task's account, so
+		// Stop must close the consumer's queue explicitly (the eager
+		// cancellation extSubs get closes only the subscription's own,
+		// unused, queue).
+		t.extQueues = append(t.extQueues, q)
+	}
+}
+
+// nodeChannel resolves the channel currently carrying a plan node's
+// output stream.
+func (s *System) nodeChannel(t *Task, n *algebra.Node) (*stream.Channel, bool) {
+	if n.Op == algebra.OpChannelIn {
+		return s.Channel(n.Channel)
+	}
+	ref, ok := t.refs[n]
+	if !ok {
+		return nil, false
+	}
+	return s.Channel(ref)
+}
+
+// bindingsOf returns the input bindings of one consumer operator in
+// input order (they are recorded in deployment order).
+func (t *Task) bindingsOf(n *algebra.Node) []*inputBinding {
+	var out []*inputBinding
+	for _, b := range t.bindings {
+		if b.consumer == n {
+			out = append(out, b)
+		}
+	}
+	return out
+}
+
+// leastLoadedLive picks the live peer with the lowest operator load
+// (name as tie-breaker), excluding the dead peer.
+func (s *System) leastLoadedLive(dead string) string {
+	best, bestLoad := "", 0
+	for _, p := range s.livePeers() {
+		if p.name == dead {
+			continue
+		}
+		l := s.Net.Load(p.name)
+		if best == "" || l < bestLoad {
+			best, bestLoad = p.name, l
+		}
+	}
+	return best
+}
+
+// postorder visits children before parents.
+func postorder(n *algebra.Node, f func(*algebra.Node)) {
+	for _, in := range n.Inputs {
+		postorder(in, f)
+	}
+	f(n)
+}

@@ -150,10 +150,7 @@ func (p *Peer) SubscribeParsed(sub *p2pml.Subscription) (*Task, error) {
 		ro := reuse.Options{
 			From:     p.name,
 			Consumer: p.name,
-			Choose: reuse.PreferClose(
-				p.sys.Net.Distance,
-				p.sys.Net.Load,
-			),
+			Choose:   aliveOnly(p.sys, reuse.PreferClose(p.sys.Net.Distance, p.sys.Net.Load)),
 		}
 		reuseRes, err = ro.Apply(plan, p.sys.DB)
 		if err != nil {

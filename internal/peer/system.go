@@ -35,14 +35,19 @@ type Options struct {
 	JoinWindow time.Duration
 	// DistinctWindow likewise bounds duplicate-removal memory.
 	DistinctWindow time.Duration
+	// DHTReplication is the number of copies the stream-definition
+	// database keeps per key (owner + successors). Values > 1 let
+	// lookups survive node crashes; <= 1 keeps a single copy.
+	DHTReplication int
 	// Net overrides the simulated-network parameters; zero value uses
 	// simnet defaults.
 	Net simnet.Options
 }
 
-// DefaultOptions enables the paper's full feature set.
+// DefaultOptions enables the paper's full feature set, plus 2-way DHT
+// replication so stream-definition lookups survive churn.
 func DefaultOptions() Options {
-	return Options{Seed: 1, Reuse: true, Pushdown: true, IncludeEnvelopes: true, Net: simnet.DefaultOptions()}
+	return Options{Seed: 1, Reuse: true, Pushdown: true, IncludeEnvelopes: true, DHTReplication: 2, Net: simnet.DefaultOptions()}
 }
 
 // System is one P2PM deployment: the monitoring P2P network, the
@@ -56,11 +61,28 @@ type System struct {
 	Ring   *dht.Ring
 	DB     *kadop.DB
 
-	mu       sync.Mutex
-	peers    map[string]*Peer
-	channels map[stream.Ref]*stream.Channel
-	sidSeq   map[string]int
-	taskSeq  int
+	mu         sync.Mutex
+	peers      map[string]*Peer
+	channels   map[stream.Ref]*stream.Channel
+	sidSeq     map[string]int
+	taskSeq    int
+	detectors  []*Detector
+	forwarders []*replicaForwarder
+	// stale marks channels whose producer migrated away during failover:
+	// the channel object survives (and its host may come back), but no
+	// operator feeds it anymore, so it must never be chosen as a
+	// provider again.
+	stale map[stream.Ref]bool
+}
+
+// replicaForwarder records the subscription tying a replica channel to
+// its origin, so failure handling can sever it when the origin's host
+// crashes (a re-deployed operator takes over publishing into the
+// replica; the origin's eventual teardown must not close it).
+type replicaForwarder struct {
+	orig stream.Ref
+	rep  *stream.Channel
+	sub  *stream.Subscription
 }
 
 // NewSystem builds an empty system.
@@ -71,6 +93,9 @@ func NewSystem(opts Options) *System {
 	}
 	nw := simnet.New(opts.Net)
 	ring := dht.New()
+	if opts.DHTReplication > 1 {
+		ring.SetReplication(opts.DHTReplication)
+	}
 	return &System{
 		opts:     opts,
 		Net:      nw,
@@ -79,6 +104,7 @@ func NewSystem(opts Options) *System {
 		DB:       kadop.New(ring),
 		peers:    make(map[string]*Peer),
 		channels: make(map[stream.Ref]*stream.Channel),
+		stale:    make(map[stream.Ref]bool),
 		sidSeq:   make(map[string]int),
 	}
 }
@@ -196,27 +222,34 @@ func (s *System) SubscribeChannel(ref stream.Ref, consumerPeer string) (*stream.
 // whose optimizer prefers a close, unloaded provider will consume from
 // the replica instead of the original.
 func (s *System) AnnounceReplica(orig stream.Ref, consumerPeer string) (stream.Ref, error) {
-	sub, err := s.SubscribeChannel(orig, consumerPeer)
-	if err != nil {
-		return stream.Ref{}, err
+	ch, ok := s.Channel(orig)
+	if !ok {
+		return stream.Ref{}, fmt.Errorf("peer: unknown channel %s", orig)
 	}
 	rep := stream.NewChannel(consumerPeer, s.nextStreamID(consumerPeer))
-	s.registerChannel(rep)
-	s.Net.AddLoad(consumerPeer, 1)
-	go func() {
-		for {
-			it, ok := sub.Queue.Pop()
-			if !ok || it.EOS() {
-				rep.Close()
-				return
-			}
-			rep.Publish(it)
-		}
-	}()
 	if err := s.DB.PublishReplica(orig, rep.Ref()); err != nil {
-		sub.Unsubscribe()
 		return stream.Ref{}, err
 	}
+	s.registerChannel(rep)
+	s.Net.AddLoad(consumerPeer, 1)
+	// Forward synchronously from inside the original's delivery fan-out:
+	// an item is re-published by the replica the moment the original
+	// publishes it, so producers tearing down (eos) cannot race ahead of
+	// buffered data. Transport to the replica host still pays the
+	// simulated link (accounting, latency, faults); items lost on a
+	// faulty link simply never reach the replica's subscribers.
+	sub := ch.Subscribe(consumerPeer, func(it stream.Item, _ *stream.Queue) {
+		if it.EOS() {
+			rep.Close()
+			return
+		}
+		if out, ok := s.Net.Deliver(orig.PeerID, consumerPeer, it); ok {
+			rep.Publish(out)
+		}
+	})
+	s.mu.Lock()
+	s.forwarders = append(s.forwarders, &replicaForwarder{orig: orig, rep: rep, sub: sub})
+	s.mu.Unlock()
 	return rep.Ref(), nil
 }
 
@@ -244,6 +277,20 @@ func (s *System) RefreshStreamStats() error {
 		}
 	}
 	return nil
+}
+
+// Step advances the virtual clock by d and ticks every registered
+// failure detector. Churn harnesses drive the system with repeated small
+// Steps; detection latency is quantized to the step size, so use steps
+// no coarser than the heartbeat interval when measuring it.
+func (s *System) Step(d time.Duration) {
+	s.Net.Clock().Advance(d)
+	s.mu.Lock()
+	dets := append([]*Detector(nil), s.detectors...)
+	s.mu.Unlock()
+	for _, det := range dets {
+		det.Tick()
+	}
 }
 
 // Poll drives every polling alerter (RSS, Web page) across all running

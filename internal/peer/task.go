@@ -21,10 +21,14 @@ type Task struct {
 	Plan    *algebra.Node
 	Reuse   *reuse.Result // nil when reuse was disabled
 
-	refs      map[*algebra.Node]stream.Ref
+	refs      map[*algebra.Node]stream.Ref // current stream identity per operator
+	origRefs  map[*algebra.Node]stream.Ref // first-deployment identity (replica records chain to it)
 	channels  []*stream.Channel
 	subs      []*stream.Subscription // subscriptions to channels this task owns
 	extSubs   []*stream.Subscription // subscriptions to shared channels
+	extQueues []*stream.Queue        // consumer queues re-bound to shared channels
+	bindings  []*inputBinding        // operator-input wiring, for failover re-binding
+	degraded  []string               // operators lost without a repair path
 	handles   []*operators.Handle
 	closers   []func()
 	pollers   []func() (int, error)
@@ -42,6 +46,25 @@ type Task struct {
 	dynEvents atomic.Uint64
 	stopOnce  sync.Once
 }
+
+// inputBinding records one operator-input edge of the deployed plan: the
+// consumer operator, the plan node producing the stream it reads, and the
+// live subscription feeding its queue. Failure handling re-binds the
+// queue to a replacement producer by detaching sub and re-subscribing —
+// the consumer keeps reading the same queue and never observes the swap.
+type inputBinding struct {
+	consumer     *algebra.Node
+	child        *algebra.Node
+	consumerPeer string
+	queue        *stream.Queue
+	sub          *stream.Subscription
+}
+
+// Degraded lists operators this task lost without a repair path (e.g. an
+// alerter whose monitored peer crashed: its events originate there, so
+// nothing can take over). Empty for fully healthy or fully repaired
+// tasks.
+func (t *Task) Degraded() []string { return append([]string(nil), t.degraded...) }
 
 // DynEventsProcessed counts membership events the task's dynamic alerter
 // managers have fully applied; callers can synchronize on it before
@@ -107,6 +130,12 @@ func (t *Task) Stop() {
 		}
 		for _, s := range t.extSubs {
 			s.Unsubscribe()
+		}
+		// Queues re-bound to shared channels are not closed by their
+		// subscription's own queue; close them here so their consumers
+		// terminate like any other shared-source reader.
+		for _, q := range t.extQueues {
+			q.Close()
 		}
 		for _, h := range t.handles {
 			h.Wait()

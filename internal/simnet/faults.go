@@ -1,0 +1,178 @@
+// Fault injection: the churn model. A node can crash (fail-stop: every
+// message to or from it is dropped) and recover; the network can be split
+// into partition groups and healed; individual links can lose a fraction
+// of their messages or add delay on top of the latency model. All of it
+// composes with the virtual clock and the per-link traffic accounting, so
+// experiments can measure the cost of monitoring under churn.
+
+package simnet
+
+import (
+	"fmt"
+	"time"
+)
+
+// Crash marks a node dead. Messages to and from it are dropped (counted
+// in LinkStats.Dropped) until Recover. Crashing an unknown node is an
+// error; crashing a dead node is a no-op.
+func (nw *Network) Crash(name string) error {
+	nw.mu.Lock()
+	defer nw.mu.Unlock()
+	n := nw.nodes[name]
+	if n == nil {
+		return fmt.Errorf("simnet: cannot crash unknown node %q", name)
+	}
+	n.down = true
+	return nil
+}
+
+// Recover brings a crashed node back.
+func (nw *Network) Recover(name string) error {
+	nw.mu.Lock()
+	defer nw.mu.Unlock()
+	n := nw.nodes[name]
+	if n == nil {
+		return fmt.Errorf("simnet: cannot recover unknown node %q", name)
+	}
+	n.down = false
+	return nil
+}
+
+// Alive reports whether a node is up. Names that were never registered
+// are treated as alive, matching the latency model's tolerance for
+// external endpoints.
+func (nw *Network) Alive(name string) bool {
+	nw.mu.Lock()
+	defer nw.mu.Unlock()
+	n := nw.nodes[name]
+	return n == nil || !n.down
+}
+
+// Partition splits the network: nodes in a and nodes in b can no longer
+// exchange messages. Nodes in neither group keep full connectivity.
+// Partition replaces any previous partition; unknown names are ignored.
+func (nw *Network) Partition(a, b []string) {
+	nw.mu.Lock()
+	defer nw.mu.Unlock()
+	for _, n := range nw.nodes {
+		n.part = 0
+	}
+	for _, name := range a {
+		if n := nw.nodes[name]; n != nil {
+			n.part = 1
+		}
+	}
+	for _, name := range b {
+		if n := nw.nodes[name]; n != nil {
+			n.part = 2
+		}
+	}
+}
+
+// Heal removes the partition.
+func (nw *Network) Heal() {
+	nw.mu.Lock()
+	defer nw.mu.Unlock()
+	for _, n := range nw.nodes {
+		n.part = 0
+	}
+}
+
+// Partitioned reports whether a and b sit in different partition groups.
+func (nw *Network) Partitioned(a, b string) bool {
+	nw.mu.Lock()
+	defer nw.mu.Unlock()
+	na, nb := nw.nodes[a], nw.nodes[b]
+	if na == nil || nb == nil {
+		return false
+	}
+	return na.part != 0 && nb.part != 0 && na.part != nb.part
+}
+
+// Reachable reports whether a message from a can currently reach b: both
+// endpoints alive and not separated by a partition. Local delivery always
+// succeeds.
+func (nw *Network) Reachable(a, b string) bool {
+	if a == b {
+		return true
+	}
+	nw.mu.Lock()
+	defer nw.mu.Unlock()
+	na, nb := nw.nodes[a], nw.nodes[b]
+	if na != nil && na.down {
+		return false
+	}
+	if nb != nil && nb.down {
+		return false
+	}
+	if na != nil && nb != nil && na.part != 0 && nb.part != 0 && na.part != nb.part {
+		return false
+	}
+	return true
+}
+
+// SetDrop injects message loss on the directed link a→b: each message is
+// dropped with probability p (seeded by the network's rng). p <= 0 clears
+// the injection.
+func (nw *Network) SetDrop(a, b string, p float64) {
+	nw.mu.Lock()
+	defer nw.mu.Unlock()
+	if p <= 0 {
+		delete(nw.dropProb, [2]string{a, b})
+		return
+	}
+	nw.dropProb[[2]string{a, b}] = p
+}
+
+// SetExtraDelay injects additional delay on the directed link a→b, added
+// on top of the latency model (a slow-but-alive link). d <= 0 clears it.
+func (nw *Network) SetExtraDelay(a, b string, d time.Duration) {
+	nw.mu.Lock()
+	defer nw.mu.Unlock()
+	if d <= 0 {
+		delete(nw.linkDelay, [2]string{a, b})
+		return
+	}
+	nw.linkDelay[[2]string{a, b}] = d
+}
+
+// Ping accounts one small control message (a heartbeat) on from→to and
+// returns its one-way latency. ok=false when the fault model loses it:
+// crashed endpoint, partition, or injected drop — lost pings are counted
+// like any dropped message.
+func (nw *Network) Ping(from, to string, bytes int) (time.Duration, bool) {
+	if from == to {
+		return 0, true
+	}
+	if !nw.Reachable(from, to) || nw.lose(from, to) {
+		nw.countDropped(from, to)
+		return 0, false
+	}
+	nw.CountTransfer(from, to, bytes)
+	return nw.Latency(from, to), true
+}
+
+// countDropped records a lost message on link from→to.
+func (nw *Network) countDropped(from, to string) {
+	if from == to {
+		return
+	}
+	nw.mu.Lock()
+	defer nw.mu.Unlock()
+	key := [2]string{from, to}
+	ls := nw.links[key]
+	if ls == nil {
+		ls = &LinkStats{}
+		nw.links[key] = ls
+	}
+	ls.Dropped++
+}
+
+// lose decides whether a message on from→to is lost to injected drop
+// probability (seeded rng; unrelated links are unaffected).
+func (nw *Network) lose(from, to string) bool {
+	nw.mu.Lock()
+	defer nw.mu.Unlock()
+	p, ok := nw.dropProb[[2]string{from, to}]
+	return ok && nw.rng.Float64() < p
+}

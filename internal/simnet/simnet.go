@@ -69,12 +69,17 @@ type Node struct {
 	Name string
 	X, Y float64
 	load int
+	down bool
+	part int // partition group; 0 = unassigned (reachable from any group)
 }
 
 // LinkStats counts traffic on one directed link.
 type LinkStats struct {
 	Messages uint64
 	Bytes    uint64
+	// Dropped counts messages lost on the link: crashed endpoint,
+	// partition, or injected loss.
+	Dropped uint64
 }
 
 // Network is the simulated substrate.
@@ -82,11 +87,13 @@ type Network struct {
 	opts  Options
 	clock *Clock
 
-	mu      sync.Mutex
-	rng     *rand.Rand
-	nodes   map[string]*Node
-	links   map[[2]string]*LinkStats
-	latOver map[[2]string]time.Duration
+	mu        sync.Mutex
+	rng       *rand.Rand
+	nodes     map[string]*Node
+	links     map[[2]string]*LinkStats
+	latOver   map[[2]string]time.Duration
+	dropProb  map[[2]string]float64
+	linkDelay map[[2]string]time.Duration
 }
 
 // New builds an empty network.
@@ -96,12 +103,14 @@ func New(opts Options) *Network {
 		opts.LatencyPerUnit = DefaultOptions().LatencyPerUnit
 	}
 	return &Network{
-		opts:    opts,
-		clock:   &Clock{},
-		rng:     rand.New(rand.NewSource(opts.Seed)),
-		nodes:   make(map[string]*Node),
-		links:   make(map[[2]string]*LinkStats),
-		latOver: make(map[[2]string]time.Duration),
+		opts:      opts,
+		clock:     &Clock{},
+		rng:       rand.New(rand.NewSource(opts.Seed)),
+		nodes:     make(map[string]*Node),
+		links:     make(map[[2]string]*LinkStats),
+		latOver:   make(map[[2]string]time.Duration),
+		dropProb:  make(map[[2]string]float64),
+		linkDelay: make(map[[2]string]time.Duration),
 	}
 }
 
@@ -160,15 +169,16 @@ func (nw *Network) Latency(a, b string) time.Duration {
 	}
 	nw.mu.Lock()
 	defer nw.mu.Unlock()
+	extra := nw.linkDelay[[2]string{a, b}]
 	if d, ok := nw.latOver[[2]string{a, b}]; ok {
-		return d
+		return d + extra
 	}
 	na, nb := nw.nodes[a], nw.nodes[b]
 	if na == nil || nb == nil {
-		return nw.opts.BaseLatency
+		return nw.opts.BaseLatency + extra
 	}
 	dist := math.Hypot(na.X-nb.X, na.Y-nb.Y)
-	return nw.opts.BaseLatency + time.Duration(dist*float64(nw.opts.LatencyPerUnit))
+	return nw.opts.BaseLatency + time.Duration(dist*float64(nw.opts.LatencyPerUnit)) + extra
 }
 
 // Distance returns the coordinate distance between two nodes (used by the
@@ -208,7 +218,8 @@ func (nw *Network) CountTransfer(from, to string, bytes int) {
 // Send accounts for shipping an item from one node to another and returns
 // the item restamped with its arrival time: production time plus link
 // latency. Virtual time is carried entirely on items — wall-clock
-// goroutine scheduling never leaks into timestamps.
+// goroutine scheduling never leaks into timestamps. Send ignores faults;
+// use Deliver for fault-aware transport.
 func (nw *Network) Send(from, to string, it stream.Item) stream.Item {
 	if !it.EOS() {
 		nw.CountTransfer(from, to, it.Tree.SerializedSize())
@@ -217,11 +228,29 @@ func (nw *Network) Send(from, to string, it stream.Item) stream.Item {
 	return it
 }
 
+// Deliver ships an item across the from→to link under the fault model:
+// the message is lost (ok=false, counted in LinkStats.Dropped) when
+// either endpoint is crashed, the link crosses a partition, or injected
+// loss strikes. Delivered items are accounted and latency-stamped like
+// Send. The eos symbol is never dropped — a crashed producer's stream is
+// torn down by the failure handling layer, not by losing its terminator.
+func (nw *Network) Deliver(from, to string, it stream.Item) (stream.Item, bool) {
+	if !it.EOS() && (!nw.Reachable(from, to) || nw.lose(from, to)) {
+		nw.countDropped(from, to)
+		return it, false
+	}
+	return nw.Send(from, to, it), true
+}
+
 // DeliverHook returns a stream.Channel delivery hook that routes items
-// across the from→to link with accounting and latency stamping.
+// across the from→to link with accounting, latency stamping and fault
+// injection: messages lost to crashes, partitions or injected drop
+// probability never reach the consumer's queue.
 func (nw *Network) DeliverHook(from, to string) func(stream.Item, *stream.Queue) {
 	return func(it stream.Item, q *stream.Queue) {
-		q.Push(nw.Send(from, to, it))
+		if out, ok := nw.Deliver(from, to, it); ok {
+			q.Push(out)
+		}
 	}
 }
 
@@ -229,6 +258,7 @@ func (nw *Network) DeliverHook(from, to string) func(stream.Item, *stream.Queue)
 type Totals struct {
 	Messages uint64
 	Bytes    uint64
+	Dropped  uint64
 	Links    int
 }
 
@@ -240,6 +270,7 @@ func (nw *Network) Totals() Totals {
 	for _, ls := range nw.links {
 		t.Messages += ls.Messages
 		t.Bytes += ls.Bytes
+		t.Dropped += ls.Dropped
 		t.Links++
 	}
 	return t

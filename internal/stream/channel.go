@@ -137,6 +137,16 @@ func (s *Subscription) Unsubscribe() {
 	s.Queue.Close()
 }
 
+// Detach removes the subscription from the channel without closing its
+// queue. Failure handling uses it to re-bind a consumer's input queue to
+// a replacement producer: the old producer stops feeding the queue, the
+// new subscription takes over, and the consumer never observes the swap.
+func (s *Subscription) Detach() {
+	s.ch.mu.Lock()
+	delete(s.ch.subs, s.id)
+	s.ch.mu.Unlock()
+}
+
 // Subscribers returns the current subscriber names, sorted.
 func (c *Channel) Subscribers() []string {
 	c.mu.Lock()

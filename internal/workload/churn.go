@@ -1,0 +1,223 @@
+package workload
+
+import (
+	"fmt"
+	"time"
+
+	"p2pm/internal/algebra"
+	"p2pm/internal/peer"
+	"p2pm/internal/simnet"
+	"p2pm/internal/stats"
+	"p2pm/internal/xmltree"
+)
+
+// ChurnConfig parameterizes the churn scenario: a monitored service, a
+// pool of relay workers hosting the subscription's forwarding operator,
+// and a crash schedule that repeatedly kills the active relay while
+// events keep flowing. The supervisor must detect each death and migrate
+// the operator; the report measures what the churn cost.
+type ChurnConfig struct {
+	Seed    int64
+	Workers int // relay worker pool (w0 ... wN-1)
+	Events  int // total source events driven
+	// CrashEvery crashes the active relay after every k driven events
+	// (0 = no churn, the baseline).
+	CrashEvery int
+	// MTTR is the virtual downtime before a crashed worker returns and
+	// rejoins the pool.
+	MTTR time.Duration
+	// Step is the virtual time between driven events.
+	Step time.Duration
+	// HeartbeatInterval / Suspicion configure the failure detector.
+	HeartbeatInterval time.Duration
+	Suspicion         time.Duration
+}
+
+// DefaultChurn returns a moderate churn scenario.
+func DefaultChurn() ChurnConfig {
+	return ChurnConfig{
+		Seed: 1, Workers: 4, Events: 60, CrashEvery: 15,
+		MTTR: 10 * time.Second, Step: time.Second,
+		HeartbeatInterval: time.Second, Suspicion: 2 * time.Second,
+	}
+}
+
+// ChurnReport summarizes one churn run.
+type ChurnReport struct {
+	Driven   int // events driven at the source
+	Received int // results that reached the subscriber
+	Crashes  int // relay crashes injected
+	Deaths   int // deaths the detector declared
+	Repairs  int // successful operator migrations
+	// DetectionLatency summarizes virtual crash→declared-dead time.
+	DetectionLatency *stats.Summary
+	Traffic          simnet.Totals
+}
+
+// Completeness is the fraction of driven events whose results arrived.
+func (r *ChurnReport) Completeness() float64 {
+	if r.Driven == 0 {
+		return 1
+	}
+	return float64(r.Received) / float64(r.Driven)
+}
+
+// ChurnLab is one assembled churn scenario.
+type ChurnLab struct {
+	Sys  *peer.System
+	Task *peer.Task
+	Sup  *peer.Supervisor
+	cfg  ChurnConfig
+}
+
+// SetupChurn builds the scenario: src.com hosts the monitored service Q,
+// c.com calls it, the relay operator starts on w0, the publisher runs at
+// mgr, and a supervisor at mon watches everything. Non-worker peers are
+// load-biased so failovers stay inside the worker pool.
+func SetupChurn(cfg ChurnConfig) (*ChurnLab, error) {
+	if cfg.Workers < 2 {
+		return nil, fmt.Errorf("workload: churn needs >= 2 workers (got %d)", cfg.Workers)
+	}
+	opts := peer.DefaultOptions()
+	opts.Seed = cfg.Seed
+	sys := peer.NewSystem(opts)
+	mgr, err := sys.AddPeer("mgr")
+	if err != nil {
+		return nil, err
+	}
+	src, err := sys.AddPeer("src.com")
+	if err != nil {
+		return nil, err
+	}
+	src.Endpoint().Register("Q", func(*xmltree.Node) (*xmltree.Node, error) {
+		return xmltree.Elem("ok"), nil
+	}, nil)
+	for _, name := range []string{"c.com", "mon"} {
+		if _, err := sys.AddPeer(name); err != nil {
+			return nil, err
+		}
+	}
+	for i := 0; i < cfg.Workers; i++ {
+		if _, err := sys.AddPeer(fmt.Sprintf("w%d", i)); err != nil {
+			return nil, err
+		}
+	}
+	for _, busy := range []string{"mgr", "src.com", "c.com", "mon"} {
+		sys.Net.AddLoad(busy, 1000)
+	}
+
+	al := algebra.NewAlerter("inCOM", "ws-in", "src.com", "e", nil)
+	relay := &algebra.Node{Op: algebra.OpUnion, Peer: "w0", Inputs: []*algebra.Node{al}, Schema: []string{"e"}}
+	plan := &algebra.Node{
+		Op: algebra.OpPublish, Peer: "mgr", Inputs: []*algebra.Node{relay},
+		Schema: []string{"e"}, Publish: &algebra.PublishSpec{ChannelID: "churned"},
+	}
+	task, err := mgr.DeployPlan(plan)
+	if err != nil {
+		return nil, err
+	}
+	sup := sys.StartSupervisor("mon", peer.DetectorOptions{
+		Interval: cfg.HeartbeatInterval, Suspicion: cfg.Suspicion,
+	})
+	return &ChurnLab{Sys: sys, Task: task, Sup: sup, cfg: cfg}, nil
+}
+
+// RelayHost returns the peer currently hosting the relay operator.
+func (l *ChurnLab) RelayHost() string {
+	host := ""
+	l.Task.Plan.Walk(func(n *algebra.Node) {
+		if n.Op == algebra.OpUnion {
+			host = n.Peer
+		}
+	})
+	return host
+}
+
+// settle waits (bounded) until the task's result count stops growing —
+// the in-memory stand-in for the virtual time that separates events in
+// the modeled deployment.
+func (l *ChurnLab) settle() {
+	last, stable := -1, 0
+	for i := 0; i < 200 && stable < 2; i++ {
+		cur := l.Task.Results().Len()
+		if cur == last {
+			stable++
+		} else {
+			stable = 0
+			last = cur
+		}
+		time.Sleep(200 * time.Microsecond)
+	}
+}
+
+// Run drives the configured number of events while injecting the crash
+// schedule, stops the task, and reports completeness, failover counts
+// and detection latency. Events driven during an outage window (relay
+// dead, death not yet detected) are genuinely lost — that loss, versus
+// the churn rate, is the experiment's measurement.
+func (l *ChurnLab) Run() (*ChurnReport, error) {
+	cfg := l.cfg
+	sys, client := l.Sys, l.Sys.Peer("c.com")
+	rep := &ChurnReport{DetectionLatency: &stats.Summary{}}
+	var crashAt []time.Duration
+	recoverAt := map[string]time.Duration{}
+
+	for i := 0; i < cfg.Events; i++ {
+		if _, err := client.Endpoint().Invoke("src.com", "Q", nil); err != nil {
+			return nil, err
+		}
+		rep.Driven++
+		sys.Step(cfg.Step)
+		now := sys.Net.Clock().Now()
+		for peerName, at := range recoverAt {
+			if now >= at {
+				sys.Net.Recover(peerName) //nolint:errcheck // known node
+				delete(recoverAt, peerName)
+			}
+		}
+		if cfg.CrashEvery > 0 && rep.Driven%cfg.CrashEvery == 0 {
+			victim := l.RelayHost()
+			// Only one outstanding crash: skip if the pool is still
+			// healing from the last one.
+			if sys.Net.Alive(victim) && len(l.Sup.Detector().Suspects()) == 0 {
+				// Let the pipeline drain first: virtual time between
+				// events means earlier events are long delivered when the
+				// crash strikes, so the measured loss is the outage
+				// window itself, not a wall-clock scheduling artifact.
+				l.settle()
+				sys.Net.Crash(victim) //nolint:errcheck // known node
+				crashAt = append(crashAt, now)
+				recoverAt[victim] = now + cfg.MTTR
+				rep.Crashes++
+			}
+		}
+	}
+	// Let outstanding detections finish so the run's cost is complete.
+	for i := 0; i < 64 && len(l.Sup.Deaths()) < rep.Crashes; i++ {
+		sys.Step(cfg.Step)
+	}
+	l.Task.Stop()
+	rep.Received = len(l.Task.Results().Drain())
+	rep.Deaths = len(l.Sup.Deaths())
+	for _, ev := range l.Sup.Events() {
+		if ev.Repaired() {
+			rep.Repairs++
+		}
+	}
+	// Crashes were injected one at a time and deaths are reported in
+	// detection order, so the i-th death pairs with the i-th crash; its
+	// detection time is the At of its first repair event.
+	for i, death := range l.Sup.Deaths() {
+		if i >= len(crashAt) {
+			break
+		}
+		for _, ev := range l.Sup.Events() {
+			if ev.From == death && ev.At >= crashAt[i] {
+				rep.DetectionLatency.Add(float64(ev.At-crashAt[i]) / float64(time.Second))
+				break
+			}
+		}
+	}
+	rep.Traffic = sys.Net.Totals()
+	return rep, nil
+}

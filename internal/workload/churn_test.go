@@ -1,0 +1,79 @@
+package workload
+
+import (
+	"testing"
+	"time"
+)
+
+func TestChurnBaselineIsComplete(t *testing.T) {
+	cfg := DefaultChurn()
+	cfg.Events = 20
+	cfg.CrashEvery = 0 // no churn
+	lab, err := SetupChurn(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep, err := lab.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Completeness() != 1 {
+		t.Errorf("baseline completeness = %.2f, want 1.0 (%d/%d)", rep.Completeness(), rep.Received, rep.Driven)
+	}
+	if rep.Crashes != 0 || rep.Deaths != 0 {
+		t.Errorf("baseline saw churn: %+v", rep)
+	}
+}
+
+func TestChurnMigratesRelayAndSurvives(t *testing.T) {
+	cfg := DefaultChurn()
+	cfg.Events = 40
+	cfg.CrashEvery = 12
+	cfg.MTTR = 8 * time.Second
+	lab, err := SetupChurn(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	start := lab.RelayHost()
+	if start != "w0" {
+		t.Fatalf("relay starts at %q, want w0", start)
+	}
+	rep, err := lab.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Crashes == 0 || rep.Deaths != rep.Crashes {
+		t.Fatalf("crashes=%d deaths=%d, want every crash detected", rep.Crashes, rep.Deaths)
+	}
+	if rep.Repairs < rep.Crashes {
+		t.Errorf("repairs=%d < crashes=%d", rep.Repairs, rep.Crashes)
+	}
+	if lab.RelayHost() == start {
+		t.Errorf("relay never migrated off %s", start)
+	}
+	// Events driven during outage windows are lost; everything else must
+	// arrive.
+	if rep.Completeness() <= 0.4 || rep.Completeness() >= 1 {
+		t.Errorf("completeness = %.2f, want in (0.4, 1): outage loss only (%d/%d)", rep.Completeness(), rep.Received, rep.Driven)
+	}
+	if rep.DetectionLatency.N() != rep.Deaths {
+		t.Errorf("latency samples = %d, want %d", rep.DetectionLatency.N(), rep.Deaths)
+	}
+	if rep.DetectionLatency.Mean() <= 0 {
+		t.Errorf("detection latency mean = %v", rep.DetectionLatency.Mean())
+	}
+	if rep.Traffic.Dropped == 0 {
+		t.Error("churn should drop messages on dead links")
+	}
+	if cfg.Workers >= 2 && rep.Received == 0 {
+		t.Error("no results at all survived churn")
+	}
+}
+
+func TestChurnConfigValidation(t *testing.T) {
+	cfg := DefaultChurn()
+	cfg.Workers = 1
+	if _, err := SetupChurn(cfg); err == nil {
+		t.Error("single-worker pool accepted")
+	}
+}

@@ -14,6 +14,15 @@
 // stream-definition database lets new subscriptions reuse streams that
 // existing tasks already compute.
 //
+// The monitor tolerates the churn that defines the P2P systems it
+// watches: the simulated substrate can crash, partition and lose
+// messages (simnet fault injection); a heartbeat failure detector on the
+// virtual clock declares silent peers dead; and a supervisor migrates a
+// dead peer's operators onto live peers — preferring hosts that
+// announced a replica of the affected stream — re-binding every consumer
+// end-to-end while the DHT re-replicates the stream definitions the
+// crashed node held. See docs/CHURN.md and the X2 experiment.
+//
 // Quick start:
 //
 //	sys := p2pm.NewSystem(p2pm.DefaultOptions())
@@ -60,6 +69,18 @@ type Item = stream.Item
 
 // Ref names a stream as (StreamID, PeerID) — the paper's s@p notation.
 type Ref = stream.Ref
+
+// DetectorOptions configures the heartbeat failure detector (interval,
+// suspicion threshold, accounted heartbeat size).
+type DetectorOptions = peer.DetectorOptions
+
+// Supervisor couples a failure detector with self-healing task
+// migration; start one with System.StartSupervisor and drive it with
+// System.Step.
+type Supervisor = peer.Supervisor
+
+// FailoverEvent records one repair action taken when a peer died.
+type FailoverEvent = peer.FailoverEvent
 
 // NewSystem builds an empty monitoring system.
 func NewSystem(opts Options) *System { return peer.NewSystem(opts) }
