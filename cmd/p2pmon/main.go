@@ -8,6 +8,7 @@
 //	p2pmon -scenario edos       # content-distribution statistics
 //	p2pmon -scenario rss        # feed monitoring
 //	p2pmon -scenario churn      # self-healing under relay crashes
+//	p2pmon -scenario churn -replay             # lossless failover (replay + checkpoints)
 //	p2pmon -scenario meteo -sub custom.p2pml   # custom subscription text
 package main
 
@@ -40,6 +41,7 @@ func run(args []string, out io.Writer) error {
 	subFile := fs.String("sub", "", "file with a custom P2PML subscription (overrides the scenario default)")
 	noReuse := fs.Bool("no-reuse", false, "disable stream reuse")
 	noPushdown := fs.Bool("no-pushdown", false, "disable selection pushdown")
+	replay := fs.Bool("replay", false, "churn scenario: enable replay buffers + operator checkpointing (lossless failover)")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -51,7 +53,10 @@ func run(args []string, out io.Writer) error {
 		if *subFile != "" || *noReuse || *noPushdown {
 			return fmt.Errorf("p2pmon: -sub, -no-reuse and -no-pushdown are not supported by the churn scenario")
 		}
-		return runChurn(out)
+		return runChurn(out, *replay)
+	}
+	if *replay {
+		return fmt.Errorf("p2pmon: -replay applies to the churn scenario only")
 	}
 
 	opts := peer.DefaultOptions()
@@ -143,15 +148,17 @@ return $r by publish as channel "feedChanges"`
 
 // runChurn runs the self-healing scenario: the relay operator of a
 // subscription is killed repeatedly while events flow; the supervisor
-// migrates it and the report shows what the churn cost.
-func runChurn(out io.Writer) error {
+// migrates it and the report shows what the churn cost. With replay on,
+// outage windows are retransmitted and the run ends lossless.
+func runChurn(out io.Writer, replay bool) error {
 	cfg := workload.DefaultChurn()
+	cfg.Replay = replay
 	lab, err := workload.SetupChurn(cfg)
 	if err != nil {
 		return err
 	}
-	fmt.Fprintf(out, "== scenario churn ==\nrelay workers: %d, crash every %d events, MTTR %v\n",
-		cfg.Workers, cfg.CrashEvery, cfg.MTTR)
+	fmt.Fprintf(out, "== scenario churn ==\nrelay workers: %d, crash every %d events, MTTR %v, replay %v\n",
+		cfg.Workers, cfg.CrashEvery, cfg.MTTR, replay)
 	fmt.Fprintf(out, "deployed plan:\n%s\n", lab.Task.Plan.Tree())
 	rep, err := lab.Run()
 	if err != nil {
@@ -159,8 +166,8 @@ func runChurn(out io.Writer) error {
 	}
 	fmt.Fprintf(out, "drove %d events; %d results arrived (completeness %.0f%%)\n",
 		rep.Driven, rep.Received, rep.Completeness()*100)
-	fmt.Fprintf(out, "crashes: %d, detected: %d, repaired: %d, mean detection latency %.1fs\n",
-		rep.Crashes, rep.Deaths, rep.Repairs, rep.DetectionLatency.Mean())
+	fmt.Fprintf(out, "crashes: %d, detected: %d, repaired: %d, replayed: %d, mean detection latency %.1fs\n",
+		rep.Crashes, rep.Deaths, rep.Repairs, rep.Replayed, rep.DetectionLatency.Mean())
 	fmt.Fprintf(out, "relay ended at %s\n", lab.RelayHost())
 	fmt.Fprintf(out, "\nnetwork: %d messages, %d bytes, %d dropped over %d links\n",
 		rep.Traffic.Messages, rep.Traffic.Bytes, rep.Traffic.Dropped, rep.Traffic.Links)

@@ -30,6 +30,23 @@ func TestChurnScenario(t *testing.T) {
 	}
 }
 
+func TestChurnReplayScenario(t *testing.T) {
+	var out bytes.Buffer
+	if err := run([]string{"-scenario", "churn", "-replay"}, &out); err != nil {
+		t.Fatal(err)
+	}
+	s := out.String()
+	if !strings.Contains(s, "completeness 100%") || !strings.Contains(s, "replayed:") {
+		t.Errorf("replay churn report not lossless:\n%s", s)
+	}
+}
+
+func TestReplayFlagOutsideChurnRejected(t *testing.T) {
+	if err := run([]string{"-scenario", "rss", "-replay"}, &bytes.Buffer{}); err == nil {
+		t.Fatal("-replay accepted outside the churn scenario")
+	}
+}
+
 func TestUnknownScenario(t *testing.T) {
 	if err := run([]string{"-scenario", "nope"}, &bytes.Buffer{}); err == nil {
 		t.Fatal("unknown scenario accepted")

@@ -341,6 +341,38 @@ func (r *Ring) Put(key, value string) error {
 	return nil
 }
 
+// Set replaces the values stored under a key with the single given
+// value, at the owner and every replica successor — the latest-wins
+// single-record keys (operator checkpoints) that would otherwise grow
+// one appended copy per write.
+func (r *Ring) Set(key, value string) error {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	set := r.replicaSetLocked(HashID(key))
+	if len(set) == 0 {
+		return fmt.Errorf("dht: empty ring")
+	}
+	for _, n := range set {
+		n.store[key] = []string{value}
+	}
+	return nil
+}
+
+// Holders returns the names of the nodes whose store currently holds the
+// key, in ring order — the replica-placement introspection the
+// re-replication tests use.
+func (r *Ring) Holders(key string) []string {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	var out []string
+	for _, n := range r.nodes {
+		if len(n.store[key]) > 0 {
+			out = append(out, n.name)
+		}
+	}
+	return out
+}
+
 // Get returns all values stored under key and the routing hop count a
 // real lookup from `from` would incur (greedy finger routing). An empty
 // `from` starts at the first ring node.

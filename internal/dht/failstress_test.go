@@ -1,0 +1,109 @@
+package dht
+
+import (
+	"fmt"
+	"testing"
+)
+
+// TestRepeatedFailReReplication is the churn stress for the replicated
+// store: for a batch of keys, kill k-1 of the k replica holders in
+// sequence (re-replication must re-seed the copies after every single
+// failure), and assert that every key still resolves with its value and
+// that the replica count recovers to k after each round.
+func TestRepeatedFailReReplication(t *testing.T) {
+	const k = 3
+	const nodes = 10
+	const keys = 25
+	r := New()
+	r.SetReplication(k)
+	for i := 0; i < nodes; i++ {
+		if err := r.Join(fmt.Sprintf("n%02d", i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for i := 0; i < keys; i++ {
+		if err := r.Put(fmt.Sprintf("key-%d", i), fmt.Sprintf("val-%d", i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	for i := 0; i < keys; i++ {
+		key, want := fmt.Sprintf("key-%d", i), fmt.Sprintf("val-%d", i)
+		var failed []string
+		// Kill k-1 holders one at a time. After each failure the
+		// surviving copy must both answer lookups and re-seed the
+		// replica set back to k.
+		for round := 0; round < k-1; round++ {
+			holders := r.Holders(key)
+			if len(holders) != k {
+				t.Fatalf("key %s: %d holders before round %d, want %d (%v)", key, len(holders), round, k, holders)
+			}
+			victim := holders[0]
+			if err := r.Fail(victim); err != nil {
+				t.Fatalf("fail %s: %v", victim, err)
+			}
+			failed = append(failed, victim)
+			vals, _, err := r.Get("", key)
+			if err != nil || len(vals) == 0 || vals[0] != want {
+				t.Fatalf("key %s unresolvable after failing %v: vals=%v err=%v", key, failed, vals, err)
+			}
+			if got := r.Holders(key); len(got) != k {
+				t.Fatalf("key %s: replica count %d after failing %v, want %d (re-replication failed)",
+					key, len(got), failed, k)
+			}
+		}
+		// The dead nodes rejoin (empty-handed, as after a crash) before
+		// the next key's round, so the pool never shrinks below k+1.
+		for _, name := range failed {
+			if err := r.Join(name); err != nil {
+				t.Fatalf("rejoin %s: %v", name, err)
+			}
+		}
+	}
+
+	// After the full gauntlet every key still resolves and is fully
+	// replicated.
+	for i := 0; i < keys; i++ {
+		key, want := fmt.Sprintf("key-%d", i), fmt.Sprintf("val-%d", i)
+		vals, _, err := r.Get("", key)
+		if err != nil || len(vals) == 0 || vals[0] != want {
+			t.Errorf("key %s lost after the gauntlet: vals=%v err=%v", key, vals, err)
+		}
+		if got := r.Holders(key); len(got) != k {
+			t.Errorf("key %s: final replica count %d, want %d", key, len(got), k)
+		}
+	}
+}
+
+func TestSetReplacesAndReplicates(t *testing.T) {
+	r := New()
+	r.SetReplication(2)
+	for _, n := range []string{"a", "b", "c", "d"} {
+		if err := r.Join(n); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for i := 0; i < 5; i++ {
+		if err := r.Set("ck", fmt.Sprintf("v%d", i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	vals, _, err := r.Get("", "ck")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(vals) != 1 || vals[0] != "v4" {
+		t.Fatalf("Set did not replace: vals=%v, want [v4]", vals)
+	}
+	if got := r.Holders("ck"); len(got) != 2 {
+		t.Fatalf("Set placed %d copies, want 2 (%v)", len(got), got)
+	}
+	// The single record survives a holder crash like any replicated key.
+	if err := r.Fail(r.Holders("ck")[0]); err != nil {
+		t.Fatal(err)
+	}
+	vals, _, err = r.Get("", "ck")
+	if err != nil || len(vals) != 1 || vals[0] != "v4" {
+		t.Fatalf("Set record lost on holder crash: vals=%v err=%v", vals, err)
+	}
+}

@@ -268,6 +268,31 @@ func (db *DB) StatsFor(from string, ref stream.Ref) (map[string]string, int, err
 	return out, hops, nil
 }
 
+// CheckpointKey is the DHT key of one operator checkpoint record —
+// exported so callers can locate the record's owner (e.g. to account
+// the checkpoint shipment on the right link).
+func CheckpointKey(task, op string) string { return "ckpt|" + task + "|" + op }
+
+// PutCheckpoint stores one operator checkpoint (serialized XML) under
+// the (task, operator-stream) identity. The record rides the DHT's
+// normal key replication — owner plus successors — so it survives the
+// crash of its own host, and Ring.Fail's re-replication keeps the copy
+// count up through churn. Latest wins: each write replaces the previous
+// checkpoint.
+func (db *DB) PutCheckpoint(task, op, xml string) error {
+	return db.ring.Set(CheckpointKey(task, op), xml)
+}
+
+// Checkpoint returns the most recent checkpoint stored for the (task,
+// operator-stream) identity, or ok=false when none survives.
+func (db *DB) Checkpoint(from, task, op string) (string, bool, error) {
+	vals, _, err := db.ring.Get(from, CheckpointKey(task, op))
+	if err != nil || len(vals) == 0 {
+		return "", false, err
+	}
+	return vals[len(vals)-1], true, nil
+}
+
 // PublishReplica records that replicaRef re-publishes origRef (the
 // paper's InChannel record: a subscriber announcing it can also provide
 // the stream).

@@ -304,3 +304,38 @@ func TestLookupReportsHops(t *testing.T) {
 		t.Errorf("hops = %d", hops)
 	}
 }
+
+func TestCheckpointLatestWinsAndSurvivesCrash(t *testing.T) {
+	ring := dht.New()
+	ring.SetReplication(2)
+	for i := 0; i < 8; i++ {
+		if err := ring.Join(fmt.Sprintf("peer-%d", i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	d := New(ring)
+	for i := 0; i < 3; i++ {
+		if err := d.PutCheckpoint("task-1", "s1@p1", fmt.Sprintf("<ckpt v=\"%d\"/>", i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	got, ok, err := d.Checkpoint("peer-3", "task-1", "s1@p1")
+	if err != nil || !ok || got != `<ckpt v="2"/>` {
+		t.Fatalf("checkpoint = (%q, %v, %v), want latest record", got, ok, err)
+	}
+	// The checkpoint must outlive the crash of a node holding it.
+	holders := ring.Holders(CheckpointKey("task-1", "s1@p1"))
+	if len(holders) != 2 {
+		t.Fatalf("checkpoint holders = %v, want 2", holders)
+	}
+	if err := ring.Fail(holders[0]); err != nil {
+		t.Fatal(err)
+	}
+	got, ok, err = d.Checkpoint("peer-3", "task-1", "s1@p1")
+	if err != nil || !ok || got != `<ckpt v="2"/>` {
+		t.Fatalf("checkpoint after holder crash = (%q, %v, %v)", got, ok, err)
+	}
+	if _, ok, _ := d.Checkpoint("peer-3", "task-9", "s1@p1"); ok {
+		t.Error("missing checkpoint reported ok")
+	}
+}

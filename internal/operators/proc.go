@@ -34,6 +34,12 @@ type Handle struct {
 	done chan struct{}
 	in   atomic.Uint64
 	out  atomic.Uint64
+	ctl  chan func()
+	// consumed[i] is the sequence number of the latest item accepted on
+	// input i. Binding cursors deliver each input in sequence order, so
+	// this is also "every sequence <= consumed[i] has been processed" —
+	// the input-side coordinate of a checkpoint.
+	consumed []atomic.Uint64
 }
 
 // Name returns the operator name.
@@ -51,6 +57,48 @@ func (h *Handle) ItemsIn() uint64 { return h.in.Load() }
 // ItemsOut returns the number of items emitted.
 func (h *Handle) ItemsOut() uint64 { return h.out.Load() }
 
+// Consumed returns the sequence number of the latest item accepted on
+// input idx (0 before any sequenced item arrived).
+func (h *Handle) Consumed(idx int) uint64 {
+	if idx < 0 || idx >= len(h.consumed) {
+		return 0
+	}
+	return h.consumed[idx].Load()
+}
+
+// SeedConsumed raises the consumed cursor of input idx to seq — a
+// restored operator logically "has consumed" everything up to its
+// checkpoint, and a checkpoint taken before the replayed suffix drains
+// must not record the cursor as 0 (it would desynchronize input and
+// output positions). Never lowers the cursor.
+func (h *Handle) SeedConsumed(idx int, seq uint64) {
+	if idx < 0 || idx >= len(h.consumed) {
+		return
+	}
+	for {
+		cur := h.consumed[idx].Load()
+		if seq <= cur || h.consumed[idx].CompareAndSwap(cur, seq) {
+			return
+		}
+	}
+}
+
+// Sync runs f serialized with the operator's processing loop: no Accept
+// executes concurrently, so f observes a consistent cut of the
+// processor's state, its consumed cursors and its emissions — exactly
+// what a checkpoint must capture atomically. If the operator already
+// finished, f runs inline (the state is final).
+func (h *Handle) Sync(f func()) {
+	done := make(chan struct{})
+	wrapped := func() { f(); close(done) }
+	select {
+	case h.ctl <- wrapped:
+		<-done
+	case <-h.done:
+		f()
+	}
+}
+
 // tagged is an input item annotated with its input index.
 type tagged struct {
 	idx int
@@ -61,7 +109,12 @@ type tagged struct {
 // every output item followed by exactly one eos item when all inputs have
 // terminated. Run returns immediately; use the Handle to wait.
 func Run(p Proc, inputs []*stream.Queue, sink Emit) *Handle {
-	h := &Handle{name: p.Name(), done: make(chan struct{})}
+	h := &Handle{
+		name:     p.Name(),
+		done:     make(chan struct{}),
+		ctl:      make(chan func()),
+		consumed: make([]atomic.Uint64, len(inputs)),
+	}
 	merged := make(chan tagged)
 	var wg sync.WaitGroup
 	for i, q := range inputs {
@@ -89,9 +142,19 @@ func Run(p Proc, inputs []*stream.Queue, sink Emit) *Handle {
 			}
 			sink(it)
 		}
-		for t := range merged {
-			h.in.Add(1)
-			p.Accept(t.idx, t.it, emit)
+	loop:
+		for {
+			select {
+			case t, ok := <-merged:
+				if !ok {
+					break loop
+				}
+				h.in.Add(1)
+				h.SeedConsumed(t.idx, t.it.Seq) // monotonic raise
+				p.Accept(t.idx, t.it, emit)
+			case f := <-h.ctl:
+				f()
+			}
 		}
 		p.Flush(emit)
 		sink(stream.EOSItem(p.Name()))

@@ -1,0 +1,213 @@
+package operators
+
+import (
+	"fmt"
+	"sort"
+	"strconv"
+	"time"
+
+	"p2pm/internal/xmltree"
+)
+
+// Snapshotter is implemented by stateful processors whose accumulated
+// state must survive a host crash: the checkpoint layer calls Snapshot
+// inside Handle.Sync (serialized with Accept, so the cut is consistent),
+// ships the XML through the stream-definition database's replicated DHT
+// storage, and calls Restore on the re-deployed instance before it
+// processes its first replayed item. Stateless processors simply don't
+// implement it — a cold restart plus input replay reconstructs them.
+type Snapshotter interface {
+	Snapshot() *xmltree.Node
+	Restore(*xmltree.Node) error
+}
+
+func durAttr(n *xmltree.Node, name string, d time.Duration) {
+	n.SetAttr(name, strconv.FormatInt(int64(d), 10))
+}
+
+func attrDur(n *xmltree.Node, name string) (time.Duration, error) {
+	v := n.AttrOr(name, "0")
+	i, err := strconv.ParseInt(v, 10, 64)
+	if err != nil {
+		return 0, fmt.Errorf("operators: bad %s in snapshot: %w", name, err)
+	}
+	return time.Duration(i), nil
+}
+
+// Snapshot implements Snapshotter: the duplicate-removal memory in
+// arrival order.
+func (d *Distinct) Snapshot() *xmltree.Node {
+	n := xmltree.Elem("distinct")
+	for _, e := range d.order {
+		en := xmltree.Elem("e")
+		en.SetAttr("k", e.key)
+		durAttr(en, "t", e.t)
+		n.Append(en)
+	}
+	return n
+}
+
+// Restore implements Snapshotter.
+func (d *Distinct) Restore(n *xmltree.Node) error {
+	if n == nil || n.Label != "distinct" {
+		return fmt.Errorf("operators: not a Distinct snapshot")
+	}
+	d.seen = make(map[string]time.Duration)
+	d.order = nil
+	for _, en := range n.ChildrenByLabel("e") {
+		key := en.AttrOr("k", "")
+		t, err := attrDur(en, "t")
+		if err != nil {
+			return err
+		}
+		// Later entries overwrite: seen holds each key's newest timestamp,
+		// exactly as repeated Accepts would have left it.
+		d.seen[key] = t
+		d.order = append(d.order, distinctEntry{key: key, t: t})
+	}
+	return nil
+}
+
+// Snapshot implements Snapshotter: both join histories (live entries
+// only) plus the per-input watermarks.
+func (j *Join) Snapshot() *xmltree.Node {
+	j.init()
+	n := xmltree.Elem("join")
+	durAttr(n, "l0", j.lastSeen[0])
+	durAttr(n, "l1", j.lastSeen[1])
+	n.SetAttr("s0", strconv.FormatBool(j.seenInput[0]))
+	n.SetAttr("s1", strconv.FormatBool(j.seenInput[1]))
+	n.Append(snapshotHistory("left", j.left), snapshotHistory("right", j.right))
+	return n
+}
+
+func snapshotHistory(label string, h *history) *xmltree.Node {
+	n := xmltree.Elem(label)
+	for _, e := range h.entries {
+		if e.dead {
+			continue
+		}
+		en := xmltree.Elem("h", e.tree.Clone())
+		en.SetAttr("k", e.key)
+		durAttr(en, "t", e.t)
+		n.Append(en)
+	}
+	return n
+}
+
+// Restore implements Snapshotter.
+func (j *Join) Restore(n *xmltree.Node) error {
+	if n == nil || n.Label != "join" {
+		return fmt.Errorf("operators: not a Join snapshot")
+	}
+	j.init()
+	var err error
+	if j.lastSeen[0], err = attrDur(n, "l0"); err != nil {
+		return err
+	}
+	if j.lastSeen[1], err = attrDur(n, "l1"); err != nil {
+		return err
+	}
+	j.seenInput[0] = n.AttrOr("s0", "") == "true"
+	j.seenInput[1] = n.AttrOr("s1", "") == "true"
+	for i, label := range []string{"left", "right"} {
+		side := n.Child(label)
+		if side == nil {
+			return fmt.Errorf("operators: Join snapshot missing %s history", label)
+		}
+		h := newHistory()
+		for _, en := range side.ChildrenByLabel("h") {
+			t, err := attrDur(en, "t")
+			if err != nil {
+				return err
+			}
+			var tree *xmltree.Node
+			for _, c := range en.Children {
+				if !c.IsText() {
+					tree = c
+					break
+				}
+			}
+			if tree == nil {
+				return fmt.Errorf("operators: Join snapshot entry without a tree")
+			}
+			h.add(en.AttrOr("k", ""), tree, t)
+		}
+		if i == 0 {
+			j.left = h
+		} else {
+			j.right = h
+		}
+	}
+	return nil
+}
+
+// Snapshot implements Snapshotter: every open window's counts plus the
+// watermark bookkeeping.
+func (g *Group) Snapshot() *xmltree.Node {
+	n := xmltree.Elem("groupstate")
+	durAttr(n, "maxSeen", g.maxSeen)
+	n.SetAttr("late", strconv.FormatUint(g.late, 10))
+	for _, w := range g.sortedWindows() {
+		wn := xmltree.Elem("w")
+		wn.SetAttr("idx", strconv.FormatInt(w, 10))
+		counts := g.wins[w]
+		keys := make([]string, 0, len(counts))
+		for k := range counts {
+			keys = append(keys, k)
+		}
+		sort.Strings(keys)
+		for _, k := range keys {
+			kn := xmltree.Elem("k")
+			kn.SetAttr("key", k)
+			kn.SetAttr("n", strconv.Itoa(counts[k]))
+			wn.Append(kn)
+		}
+		n.Append(wn)
+	}
+	for w := range g.emitted {
+		en := xmltree.Elem("emitted")
+		en.SetAttr("idx", strconv.FormatInt(w, 10))
+		n.Append(en)
+	}
+	return n
+}
+
+// Restore implements Snapshotter.
+func (g *Group) Restore(n *xmltree.Node) error {
+	if n == nil || n.Label != "groupstate" {
+		return fmt.Errorf("operators: not a Group snapshot")
+	}
+	var err error
+	if g.maxSeen, err = attrDur(n, "maxSeen"); err != nil {
+		return err
+	}
+	if g.late, err = strconv.ParseUint(n.AttrOr("late", "0"), 10, 64); err != nil {
+		return fmt.Errorf("operators: bad late count in snapshot: %w", err)
+	}
+	g.wins = make(map[int64]map[string]int)
+	g.emitted = make(map[int64]bool)
+	for _, wn := range n.ChildrenByLabel("w") {
+		idx, err := strconv.ParseInt(wn.AttrOr("idx", "0"), 10, 64)
+		if err != nil {
+			return fmt.Errorf("operators: bad window index in snapshot: %w", err)
+		}
+		counts := make(map[string]int)
+		for _, kn := range wn.ChildrenByLabel("k") {
+			c, err := strconv.Atoi(kn.AttrOr("n", "0"))
+			if err != nil {
+				return fmt.Errorf("operators: bad count in snapshot: %w", err)
+			}
+			counts[kn.AttrOr("key", "")] = c
+		}
+		g.wins[idx] = counts
+	}
+	for _, en := range n.ChildrenByLabel("emitted") {
+		idx, err := strconv.ParseInt(en.AttrOr("idx", "0"), 10, 64)
+		if err != nil {
+			return fmt.Errorf("operators: bad emitted index in snapshot: %w", err)
+		}
+		g.emitted[idx] = true
+	}
+	return nil
+}

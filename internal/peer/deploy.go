@@ -42,6 +42,7 @@ func (p *Peer) deploy(task *Task) error {
 	for n, ref := range refs {
 		task.origRefs[n] = ref
 	}
+	task.procs = make(map[*algebra.Node]*procInstance)
 
 	var build func(n *algebra.Node) (*stream.Channel, error)
 	build = func(n *algebra.Node) (*stream.Channel, error) {
@@ -57,14 +58,10 @@ func (p *Peer) deploy(task *Task) error {
 			if err != nil {
 				return nil, err
 			}
-			sub := p.subscribeInput(task, n, n.Inputs[0], child, n.Peer)
-			return p.deployPublisher(task, n, sub.Queue)
+			b := p.subscribeInput(task, n, n.Inputs[0], child, n.Peer)
+			return p.deployPublisher(task, n, b.queue)
 		}
-		out := stream.NewChannel(n.Peer, refs[n].StreamID)
-		p.sys.registerChannel(out)
-		task.channels = append(task.channels, out)
-		p.sys.Net.AddLoad(n.Peer, 1)
-		task.loads = append(task.loads, n.Peer)
+		out := p.sys.allocChannel(task, n.Peer, refs[n].StreamID)
 
 		switch n.Op {
 		case algebra.OpAlerter:
@@ -76,8 +73,8 @@ func (p *Peer) deploy(task *Task) error {
 			if err != nil {
 				return nil, err
 			}
-			sub := p.subscribeInput(task, n, n.Inputs[0], driver, n.Peer)
-			p.runDynAlerter(task, n, sub.Queue, out)
+			b := p.subscribeInput(task, n, n.Inputs[0], driver, n.Peer)
+			p.runDynAlerter(task, n, b.queue, out)
 		default:
 			queues := make([]*stream.Queue, len(n.Inputs))
 			for i, in := range n.Inputs {
@@ -85,7 +82,7 @@ func (p *Peer) deploy(task *Task) error {
 				if err != nil {
 					return nil, err
 				}
-				queues[i] = p.subscribeInput(task, n, in, child, n.Peer).Queue
+				queues[i] = p.subscribeInput(task, n, in, child, n.Peer).queue
 			}
 			proc, err := p.makeProc(n)
 			if err != nil {
@@ -93,6 +90,7 @@ func (p *Peer) deploy(task *Task) error {
 			}
 			h := operators.Run(proc, queues, operators.ChannelPublish(out))
 			task.handles = append(task.handles, h)
+			task.procs[n] = &procInstance{proc: proc, handle: h}
 		}
 		return out, nil
 	}
@@ -101,8 +99,31 @@ func (p *Peer) deploy(task *Task) error {
 		return err
 	}
 	task.resultCh = resultCh
-	task.resultSub = resultCh.Subscribe(p.name, nil)
+	p.bindResults(task, resultCh, 0)
 	return nil
+}
+
+// bindResults subscribes the manager to the task's result channel,
+// feeding the stable result queue through a dedup cursor so the
+// subscription can be re-bound (publisher migration) without the reader
+// noticing. fromSeq > 0 resumes from retained history.
+func (p *Peer) bindResults(task *Task, ch *stream.Channel, fromSeq uint64) {
+	if task.resultQ == nil {
+		task.resultQ = stream.NewQueue()
+		task.resultCur = stream.NewCursor(0, task.resultQ.Push)
+	}
+	cur, q := task.resultCur, task.resultQ
+	deliver := func(it stream.Item, _ *stream.Queue) {
+		if it.EOS() {
+			cur.Terminate(it)
+			q.Close()
+			return
+		}
+		cur.Offer(it)
+	}
+	// Result reading is manager-local (no simulated link), but the
+	// resume protocol is the shared one.
+	task.resultSub = p.sys.attachResuming(ch, p.name, cur, fromSeq, deliver)
 }
 
 // subscribe wires a consumer at consumerPeer to a channel, routing over
@@ -141,20 +162,30 @@ func (p *Peer) trackSub(task *Task, ch *stream.Channel, sub *stream.Subscription
 	return owned
 }
 
-// subscribeInput is subscribe for a plan-internal input edge: it also
-// records the binding (consumer operator, producing plan node, queue) so
-// failure handling can later re-bind the consumer to a replacement
-// producer.
-func (p *Peer) subscribeInput(task *Task, consumer, child *algebra.Node, ch *stream.Channel, consumerPeer string) *stream.Subscription {
-	sub := p.subscribe(task, ch, consumerPeer)
-	task.bindings = append(task.bindings, &inputBinding{
+// subscribeInput is subscribe for a plan-internal input edge: the
+// consumer reads a binding-owned queue fed through a cursor gate
+// (ordering, dedup, resumability), and the binding (consumer operator,
+// producing plan node, queue, cursor) is recorded so failure handling
+// can later re-bind the consumer to a replacement producer.
+func (p *Peer) subscribeInput(task *Task, consumer, child *algebra.Node, ch *stream.Channel, consumerPeer string) *inputBinding {
+	q, cur := p.sys.newBinding(0)
+	sub := p.subscribeOrdered(ch, consumerPeer, cur, q, 0)
+	if !p.trackSub(task, ch, sub) {
+		// Shared source: it will never close on this task's account, so
+		// Stop must close the consumer's queue explicitly.
+		task.extQueues = append(task.extQueues, q)
+	}
+	b := &inputBinding{
 		consumer:     consumer,
 		child:        child,
 		consumerPeer: consumerPeer,
-		queue:        sub.Queue,
+		queue:        q,
 		sub:          sub,
-	})
-	return sub
+		cursor:       cur,
+		src:          ch,
+	}
+	task.bindings = append(task.bindings, b)
+	return b
 }
 
 // makeProc compiles a processor node's spec into a runnable operator.
@@ -347,6 +378,12 @@ func (p *Peer) runDynAlerter(task *Task, n *algebra.Node, driver *stream.Queue, 
 			}
 			task.dynEvents.Add(1)
 		}
+		// Deactivate every attached alerter before closing: the fabric
+		// has no hook-removal API, so the leaked closures must become
+		// no-ops (their flag check short-circuits before any work).
+		for _, e := range active {
+			e.active.Store(false)
+		}
 		out.Close()
 	}()
 }
@@ -355,13 +392,21 @@ func (p *Peer) runDynAlerter(task *Task, n *algebra.Node, driver *stream.Queue, 
 // plus e-mail / file / RSS sinks and delegated channel subscriptions. It
 // returns the named channel, which is the task's public result stream.
 func (p *Peer) deployPublisher(task *Task, n *algebra.Node, in *stream.Queue) (*stream.Channel, error) {
-	spec := n.Publish
-	named := stream.NewChannel(n.Peer, spec.ChannelID)
-	p.sys.registerChannel(named)
-	task.channels = append(task.channels, named)
+	named := p.sys.allocChannel(task, n.Peer, n.Publish.ChannelID)
 	task.namedCh = named
-	p.sys.Net.AddLoad(n.Peer, 1)
-	task.loads = append(task.loads, n.Peer)
+	if err := p.runPublisher(task, n, in, named); err != nil {
+		return nil, err
+	}
+	return named, nil
+}
+
+// runPublisher builds the sink fan-out feeding the named channel and the
+// human-facing targets, and starts the publisher operator over in. The
+// sinks reference task-level state (Mailbox, FileOut, RSSOut), so
+// failover can rebuild them at a new host without losing what was
+// already published.
+func (p *Peer) runPublisher(task *Task, n *algebra.Node, in *stream.Queue, named *stream.Channel) error {
+	spec := n.Publish
 
 	var sinks []operators.Emit
 	sinks = append(sinks, operators.ChannelPublish(named))
@@ -376,19 +421,40 @@ func (p *Peer) deployPublisher(task *Task, n *algebra.Node, in *stream.Queue) (*
 			fp := &operators.XMLFilePublisher{W: &task.FileOut}
 			sinks = append(sinks, fp.Emit)
 		case p2pml.ByRSS:
-			rp := &operators.RSSPublisher{Title: tgt.Name, MaxItems: 50}
-			task.RSSOut = rp
-			sinks = append(sinks, rp.Emit)
+			if task.RSSOut == nil { // re-deployments keep the accumulated feed
+				task.RSSOut = &operators.RSSPublisher{Title: tgt.Name, MaxItems: 50}
+			}
+			sinks = append(sinks, task.RSSOut.Emit)
 		case p2pml.BySubscribe:
 			// subscribe(peer, #id, name): the target peer is enrolled as
 			// the channel's first client, delivery landing in its #id
 			// incoming queue.
 			target, err := p.sys.AddPeer(tgt.Peer)
 			if err != nil {
-				return nil, err
+				return err
 			}
 			dest := target.Incoming(tgt.ChannelID)
-			sub := named.Subscribe(tgt.Peer, p.sys.Net.DeliverHook(n.Peer, tgt.Peer))
+			// The target's incoming queue is task-level state like the
+			// other sinks: its cursor survives publisher migrations, so
+			// the rebuilt fan-out resumes from what the target already
+			// received and re-emissions deduplicate.
+			var cur *stream.Cursor
+			var fromSeq uint64
+			if p.sys.replayOn() {
+				key := tgt.Peer + "#" + tgt.ChannelID
+				if task.subTargets == nil {
+					task.subTargets = make(map[string]*subTarget)
+				}
+				st := task.subTargets[key]
+				if st == nil {
+					st = &subTarget{peer: tgt.Peer, cur: stream.NewCursor(0, dest.Push), dest: dest}
+					task.subTargets[key] = st
+				}
+				cur = st.cur
+				fromSeq = cur.Next()
+			}
+			sub := p.sys.attachResuming(named, tgt.Peer, cur, fromSeq,
+				p.sys.Net.DeliverHook(named.Ref().PeerID, tgt.Peer))
 			task.subs = append(task.subs, sub)
 			go func() {
 				for {
@@ -397,17 +463,35 @@ func (p *Peer) deployPublisher(task *Task, n *algebra.Node, in *stream.Queue) (*
 						dest.Close()
 						return
 					}
-					dest.Push(it)
+					switch {
+					case cur == nil:
+						dest.Push(it)
+					case it.EOS():
+						cur.Terminate(it) // flush parked items before the terminator
+					default:
+						cur.Offer(it)
+					}
 				}
 			}()
 		}
 	}
+	host := named.Ref().PeerID
 	fanout := func(it stream.Item) {
+		// Fail-stop fidelity: a fan-out whose host crashed (or whose
+		// channel was superseded by a migration) emits nothing — its
+		// replacement instance owns the sinks now. Without this guard the
+		// dead instance would keep draining its closed queue into the
+		// shared mailbox/file/feed alongside the replacement.
+		if !p.sys.Net.Alive(host) || p.sys.isStale(named.Ref()) {
+			return
+		}
 		for _, s := range sinks {
 			s(it)
 		}
 	}
-	h := operators.Run(&operators.Union{}, []*stream.Queue{in}, fanout)
+	proc := &operators.Union{}
+	h := operators.Run(proc, []*stream.Queue{in}, fanout)
 	task.handles = append(task.handles, h)
-	return named, nil
+	task.procs[n] = &procInstance{proc: proc, handle: h}
+	return nil
 }

@@ -150,11 +150,13 @@ func (s *System) FailPeer(dead string, at time.Duration) []FailoverEvent {
 	}
 	// Sever replica forwarders fed from the dead peer: the origin's
 	// eventual teardown must not close replica channels a re-deployed
-	// operator is about to take over.
+	// operator is about to take over, and the anti-entropy sweep must
+	// stop pulling from the abandoned origin.
 	s.mu.Lock()
 	for _, f := range s.forwarders {
 		if f.orig.PeerID == dead {
 			f.sub.Detach()
+			f.severed = true
 		}
 	}
 	s.mu.Unlock()
@@ -225,7 +227,7 @@ func (p *Peer) repairOperators(t *Task, dead string, at time.Duration) []Failove
 		switch n.Op {
 		case algebra.OpChannelIn:
 			// Consumed channels are re-bound in phase 2.
-		case algebra.OpAlerter, algebra.OpDynAlerter:
+		case algebra.OpAlerter:
 			// The event source itself died: its events originate at the
 			// dead peer, so no live peer can produce them. The task is
 			// degraded until the peer returns.
@@ -233,15 +235,38 @@ func (p *Peer) repairOperators(t *Task, dead string, at time.Duration) []Failove
 			events = append(events, FailoverEvent{
 				TaskID: t.ID, Operator: n.Label(), From: dead, At: at,
 			})
+		case algebra.OpDynAlerter:
+			// The *manager* of the dynamic alerter set died, not the
+			// monitored peers: a new manager elsewhere replays the
+			// membership stream to reconstruct the active set and
+			// re-attaches the hooks. Without the replay layer there is no
+			// membership history to reconstruct from — reporting a repair
+			// while silently dropping every already-joined peer would be
+			// worse than PR 1's visible degradation.
+			if !p.sys.replayOn() {
+				t.degraded = append(t.degraded, n.Label())
+				events = append(events, FailoverEvent{
+					TaskID: t.ID, Operator: n.Label(), From: dead, At: at,
+				})
+				return
+			}
+			ev, err := p.redeployDynAlerter(t, n, dead, at)
+			if err != nil {
+				t.degraded = append(t.degraded, n.Label()+": "+err.Error())
+				ev = FailoverEvent{TaskID: t.ID, Operator: n.Label(), From: dead, At: at}
+			}
+			events = append(events, ev)
 		case algebra.OpPublish:
-			// The publisher runs at the subscription manager; a task
-			// whose manager died is not repaired (its subscriber is
-			// gone). A publisher stranded elsewhere is unrepairable too:
-			// its human-facing sinks lived on the dead peer.
-			t.degraded = append(t.degraded, n.Label())
-			events = append(events, FailoverEvent{
-				TaskID: t.ID, Operator: n.Label(), From: dead, At: at,
-			})
+			// The publisher's sinks (mailbox, file, feed) are task-level
+			// state at the live manager, so the fan-out itself can move:
+			// a new named channel opens at a live host and external
+			// consumers find it through a replica record.
+			ev, err := p.redeployPublisher(t, n, dead, at)
+			if err != nil {
+				t.degraded = append(t.degraded, n.Label()+": "+err.Error())
+				ev = FailoverEvent{TaskID: t.ID, Operator: n.Label(), From: dead, At: at}
+			}
+			events = append(events, ev)
 		default:
 			ev, err := p.redeployOperator(t, n, dead, at)
 			if err != nil {
@@ -257,10 +282,18 @@ func (p *Peer) repairOperators(t *Task, dead string, at time.Duration) []Failove
 // redeployOperator moves one processor from the dead peer to a live one:
 // a host is chosen (preferring one that announced a replica of the
 // operator's output stream, whose channel then simply continues), the
-// operator restarts there with fresh subscriptions to its inputs, and
-// every downstream consumer is re-bound to the replacement channel while
-// keeping its queue. State accumulated at the dead peer (join histories,
-// duplicate-removal memory) is lost — the price of fail-stop crashes.
+// operator restarts there and every downstream consumer is re-bound to
+// the replacement channel while keeping its queue.
+//
+// Without the replay layer, the operator restarts cold with fresh
+// subscriptions from "now": state accumulated at the dead peer and
+// events published during the outage are lost — the price of fail-stop
+// crashes. With it, the operator restores the latest replicated
+// checkpoint (state + input cursors + output sequence), resumes its
+// inputs from the checkpointed positions via the upstream replay
+// buffers, and re-emits its post-checkpoint suffix under the original
+// sequence numbers, which downstream cursors deduplicate — exactly-once
+// from the consumer's point of view.
 func (p *Peer) redeployOperator(t *Task, n *algebra.Node, dead string, at time.Duration) (FailoverEvent, error) {
 	s := p.sys
 	oldRef := t.refs[n]
@@ -295,11 +328,39 @@ func (p *Peer) redeployOperator(t *Task, n *algebra.Node, dead string, at time.D
 		if newPeer == "" {
 			return FailoverEvent{}, fmt.Errorf("no live peer to host %s", n.Label())
 		}
-		out = stream.NewChannel(newPeer, s.nextStreamID(newPeer))
-		s.registerChannel(out)
-		t.channels = append(t.channels, out)
-		s.Net.AddLoad(newPeer, 1)
-		t.loads = append(t.loads, newPeer)
+		out = s.allocChannel(t, newPeer, s.nextStreamID(newPeer))
+	}
+
+	// The replicated checkpoint, if one survives, pins where to resume:
+	// output numbering continues from OutSeq and each input replays from
+	// its checkpointed cursor. Without one (or with replay off), the
+	// inputs replay their full retained history (replay on) or attach at
+	// "now" (replay off).
+	var ck *ckptRec
+	if s.replayOn() {
+		ck = s.loadCheckpoint(p.name, t, n)
+		if ck != nil && len(ck.In) != len(n.Inputs) {
+			ck = nil
+		}
+		if ck != nil {
+			out.SeedSeq(ck.OutSeq)
+			// Restore the undelivered output tail into the replacement
+			// buffer: consumers the crash caught mid-partition (or
+			// mid-drop) can still fetch what the dead producer had
+			// published but not delivered.
+			out.SeedBuffer(ck.Tail)
+		} else {
+			// Cold restart: the re-emission either reproduces the
+			// original numbering from 1 (full history retained — an
+			// adopted replica channel rewinds from its mirrored
+			// high-water mark so nothing reappears under fresh numbers)
+			// or, with trimmed inputs, continues above the old numbering.
+			var oldSeq uint64
+			if old, ok := s.Channel(oldRef); ok {
+				oldSeq = old.Seq()
+			}
+			s.coldSeed(t, n, out, oldSeq)
+		}
 	}
 
 	// Re-bind downstream consumers first, so the old channel's teardown
@@ -310,10 +371,10 @@ func (p *Peer) redeployOperator(t *Task, n *algebra.Node, dead string, at time.D
 		}
 	}
 
-	// Fresh subscriptions to the inputs; the dead operator's old input
-	// queues are closed so its goroutine terminates instead of waiting
-	// on starved queues forever. Items buffered there are lost (they
-	// were at the crashed peer).
+	// Re-subscribe the inputs; the dead operator's old input queues are
+	// closed so its goroutine terminates instead of waiting on starved
+	// queues forever. Items buffered there die with the crashed peer —
+	// with replay on they are retransmitted from the producers' buffers.
 	myBindings := t.bindingsOf(n)
 	if len(myBindings) != len(n.Inputs) {
 		return FailoverEvent{}, fmt.Errorf("bindings out of sync for %s", n.Label())
@@ -324,27 +385,40 @@ func (p *Peer) redeployOperator(t *Task, n *algebra.Node, dead string, at time.D
 		if !ok {
 			return FailoverEvent{}, fmt.Errorf("input channel of %s not found", n.Label())
 		}
-		sub := p.subscribe(t, ch, newPeer)
-		b := myBindings[i]
-		b.sub.Unsubscribe()
-		// When an earlier repair in the same pass re-bound this input
-		// (chained operators on the dead peer), b.sub's queue is not the
-		// old operator's reader — close that reader explicitly so the
-		// dead instance's goroutine terminates.
-		b.queue.Close()
-		b.sub = sub
-		b.queue = sub.Queue
-		b.consumerPeer = newPeer
-		queues[i] = sub.Queue
-		s.Net.CountTransfer(t.Manager, ch.Ref().PeerID, ctrlMsgBytes)
+		var fromSeq uint64
+		if s.replayOn() {
+			fromSeq = 1
+			if ck != nil {
+				fromSeq = ck.In[i] + 1
+			}
+		}
+		queues[i] = p.resubscribeInput(t, myBindings[i], ch, newPeer, fromSeq)
 	}
 
 	proc, err := p.makeProc(n)
 	if err != nil {
 		return FailoverEvent{}, err
 	}
+	if ck != nil && ck.State != nil {
+		if sn, ok := proc.(operators.Snapshotter); ok {
+			if err := sn.Restore(ck.State); err != nil {
+				// A corrupt snapshot degrades to a cold restart; the
+				// input replay still reconstructs what the buffers hold.
+				proc, _ = p.makeProc(n)
+			}
+		}
+	}
 	h := operators.Run(proc, queues, operators.ChannelPublish(out))
+	if ck != nil {
+		// The restored instance has logically consumed everything up to
+		// the checkpoint — a checkpoint sweep racing the replayed suffix
+		// must not record its cursors as 0.
+		for i, seq := range ck.In {
+			h.SeedConsumed(i, seq)
+		}
+	}
 	t.handles = append(t.handles, h)
+	t.procs[n] = &procInstance{proc: proc, handle: h}
 
 	n.Peer = newPeer
 	t.refs[n] = out.Ref()
@@ -365,6 +439,175 @@ func (p *Peer) redeployOperator(t *Task, n *algebra.Node, dead string, at time.D
 	return FailoverEvent{
 		TaskID: t.ID, Operator: n.Label(), From: dead, To: newPeer,
 		ViaReplica: viaReplica, At: at,
+	}, nil
+}
+
+// redeployPublisher moves a task's publisher fan-out off a dead host
+// (the manager itself is alive — a dead manager's tasks are orphaned and
+// never reach this path). A new named channel with the same ChannelID
+// opens at a live peer, the sink fan-out is rebuilt over the task-level
+// sink state, the manager's result subscription re-binds to it, and a
+// replica record chains the old channel identity to the new one so
+// external consumers re-bound in phase 2 (or subscribing later) find it.
+func (p *Peer) redeployPublisher(t *Task, n *algebra.Node, dead string, at time.Duration) (FailoverEvent, error) {
+	s := p.sys
+	newPeer := s.leastLoadedLive(dead)
+	if newPeer == "" {
+		return FailoverEvent{}, fmt.Errorf("no live peer to host %s", n.Label())
+	}
+	var ck *ckptRec
+	if s.replayOn() {
+		ck = s.loadCheckpoint(p.name, t, n)
+		if ck != nil && len(ck.In) != 1 {
+			ck = nil
+		}
+	}
+	oldNamed := t.namedCh
+	named := s.allocChannel(t, newPeer, n.Publish.ChannelID)
+	switch {
+	case ck != nil:
+		named.SeedSeq(ck.OutSeq)
+		named.SeedBuffer(ck.Tail) // undelivered results survive the host
+	case s.replayOn():
+		// Cold restart: re-emit under the original numbering when the
+		// input history is complete, else continue above the old results.
+		var oldSeq uint64
+		if oldNamed != nil {
+			oldSeq = oldNamed.Seq()
+		}
+		s.coldSeed(t, n, named, oldSeq)
+	case oldNamed != nil:
+		// Replay off: nothing is re-emitted, so continue the result
+		// numbering from the stream's last known sequence (in a real
+		// deployment, the published stream statistics; here, the
+		// abandoned channel object) to keep it monotonic.
+		named.SeedSeq(oldNamed.Seq())
+	}
+
+	// Re-subscribe the publisher's input, resuming from the checkpoint.
+	myBindings := t.bindingsOf(n)
+	if len(myBindings) != 1 {
+		return FailoverEvent{}, fmt.Errorf("bindings out of sync for %s", n.Label())
+	}
+	ch, ok := s.nodeChannel(t, n.Inputs[0])
+	if !ok {
+		return FailoverEvent{}, fmt.Errorf("input channel of %s not found", n.Label())
+	}
+	var fromSeq uint64
+	if s.replayOn() {
+		fromSeq = 1
+		if ck != nil {
+			fromSeq = ck.In[0] + 1
+		}
+	}
+	q := p.resubscribeInput(t, myBindings[0], ch, newPeer, fromSeq)
+
+	if err := p.runPublisher(t, n, q, named); err != nil {
+		return FailoverEvent{}, err
+	}
+	if ck != nil {
+		t.procs[n].handle.SeedConsumed(0, ck.In[0])
+	}
+
+	// The manager keeps reading the same Results() queue: its
+	// subscription re-binds to the new named channel and the result
+	// cursor drops the re-published overlap.
+	var resumeFrom uint64
+	if t.resultCur != nil && named.ReplayEnabled() {
+		resumeFrom = t.resultCur.Next()
+	}
+	if t.resultSub != nil {
+		t.resultSub.Detach()
+	}
+	p.bindResults(t, named, resumeFrom)
+
+	t.namedCh = named
+	if t.resultCh == oldNamed {
+		t.resultCh = named
+	}
+	n.Peer = newPeer
+	if oldNamed != nil {
+		s.markStale(oldNamed.Ref(), named.Ref())
+		s.DB.PublishReplica(oldNamed.Ref(), named.Ref()) //nolint:errcheck // ring is non-empty here
+	}
+	s.Net.CountTransfer(t.Manager, newPeer, ctrlMsgBytes)
+	return FailoverEvent{
+		TaskID: t.ID, Operator: n.Label(), From: dead, To: newPeer, At: at,
+	}, nil
+}
+
+// redeployDynAlerter moves the manager of an inCOM($j)-style dynamic
+// alerter set off a dead host. The monitored peers (where the hooks
+// attach) are unaffected — only the coordination loop died. A fresh
+// manager at a live peer replays the full membership stream from the
+// driver channel's retention buffer, reconstructing the active alerter
+// set; its output channel continues the logical stream's numbering so
+// downstream cursors stay valid. Events the monitored peers emitted
+// during the outage are not recoverable (they originate live at the
+// substrate), matching the alerter semantics.
+func (p *Peer) redeployDynAlerter(t *Task, n *algebra.Node, dead string, at time.Duration) (FailoverEvent, error) {
+	s := p.sys
+	oldRef := t.refs[n]
+	origRef, hasOrig := t.origRefs[n]
+	if !hasOrig {
+		origRef = oldRef
+	}
+	newPeer := s.leastLoadedLive(dead)
+	if newPeer == "" {
+		return FailoverEvent{}, fmt.Errorf("no live peer to host %s", n.Label())
+	}
+	out := s.allocChannel(t, newPeer, s.nextStreamID(newPeer))
+	if old, ok := s.Channel(oldRef); ok {
+		// Continue the logical numbering past everything the old manager
+		// published; live alert streams cannot replay, so there is no
+		// overlap to re-emit.
+		out.SeedSeq(old.Seq())
+	}
+
+	for _, b := range t.bindings {
+		if b.child == n {
+			p.rebind(t, b, out)
+		}
+	}
+
+	// Re-subscribe the membership driver from the beginning of its
+	// retained history: p-join/p-leave events replayed in order rebuild
+	// the active set (a fresh manager deduplicates joins by construction).
+	myBindings := t.bindingsOf(n)
+	if len(myBindings) != 1 {
+		return FailoverEvent{}, fmt.Errorf("bindings out of sync for %s", n.Label())
+	}
+	ch, ok := s.nodeChannel(t, n.Inputs[0])
+	if !ok {
+		return FailoverEvent{}, fmt.Errorf("driver channel of %s not found", n.Label())
+	}
+	var fromSeq uint64
+	if s.replayOn() {
+		fromSeq = 1
+	}
+	// Closing the old binding queue makes the old manager loop exit,
+	// deactivate its alerters and close its stale channel.
+	q := p.resubscribeInput(t, myBindings[0], ch, newPeer, fromSeq)
+
+	p.runDynAlerter(t, n, q, out)
+	if ch.ReplayTrimmed() > 0 {
+		// Part of the membership history was evicted from the driver's
+		// bounded buffer: the reconstructed active set may be missing
+		// peers that joined early. Report it — silently narrowing the
+		// monitored set would defeat the point of re-deploying at all.
+		t.degraded = append(t.degraded, n.Label()+": membership history truncated, active set may be partial")
+	}
+
+	n.Peer = newPeer
+	t.refs[n] = out.Ref()
+	s.markStale(oldRef, out.Ref())
+	s.DB.PublishReplica(origRef, out.Ref()) //nolint:errcheck // ring is non-empty here
+	if oldRef != origRef {
+		s.DB.PublishReplica(oldRef, out.Ref()) //nolint:errcheck // same ring
+	}
+	s.Net.CountTransfer(t.Manager, newPeer, ctrlMsgBytes)
+	return FailoverEvent{
+		TaskID: t.ID, Operator: n.Label(), From: dead, To: newPeer, At: at,
 	}, nil
 }
 
@@ -429,26 +672,25 @@ func (s *System) liveProvider(from string, origin stream.Ref, dead string) (*str
 // rebind swaps the producer feeding one input binding: the old
 // subscription detaches (without closing the consumer's queue) and a new
 // subscription on ch delivers into the same queue over the simulated
-// network. The consumer operator never notices the swap.
+// network. The consumer operator never notices the swap. With the replay
+// layer on, the new subscription resumes from the binding's cursor —
+// replaying what the consumer missed, deduplicating what it already has
+// — instead of attaching at "now".
 func (p *Peer) rebind(t *Task, b *inputBinding, ch *stream.Channel) {
 	b.sub.Detach()
-	s := p.sys
-	from, to, q := ch.Ref().PeerID, b.consumerPeer, b.queue
-	sub := ch.Subscribe(to, func(it stream.Item, _ *stream.Queue) {
-		if d, ok := s.Net.Deliver(from, to, it); ok {
-			q.Push(d)
-			if d.EOS() {
-				q.Close()
-			}
-		}
-	})
+	var fromSeq uint64
+	if b.cursor != nil && ch.ReplayEnabled() {
+		fromSeq = b.cursor.Next()
+	}
+	sub := p.subscribeOrdered(ch, b.consumerPeer, b.cursor, b.queue, fromSeq)
 	b.sub = sub
+	b.src = ch
 	if !p.trackSub(t, ch, sub) {
 		// Shared source: it will never close on this task's account, so
 		// Stop must close the consumer's queue explicitly (the eager
 		// cancellation extSubs get closes only the subscription's own,
 		// unused, queue).
-		t.extQueues = append(t.extQueues, q)
+		t.extQueues = append(t.extQueues, b.queue)
 	}
 }
 

@@ -8,6 +8,7 @@ package peer
 import (
 	"fmt"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"p2pm/internal/dht"
@@ -39,6 +40,24 @@ type Options struct {
 	// database keeps per key (owner + successors). Values > 1 let
 	// lookups survive node crashes; <= 1 keeps a single copy.
 	DHTReplication int
+	// ReplayBuffer, when > 0, makes every registered channel retain its
+	// last ReplayBuffer published items for retransmission, and turns on
+	// the consumer-side cursors and the per-Step anti-entropy sweep:
+	// failover re-binds resume from the consumer's last delivered
+	// sequence instead of "now", and link-fault losses are repaired —
+	// lossless failover. 0 (the default) keeps the lossy fail-stop
+	// delivery semantics: re-deployed operators and publishers resume
+	// from "now" (outage windows are lost), and a dynamic-alerter
+	// manager's death degrades the task (no membership history to
+	// rebuild its active set from).
+	ReplayBuffer int
+	// CheckpointInterval, when > 0, snapshots every stateful operator
+	// (state + input cursors + output sequence) each interval of virtual
+	// time into the stream-definition database's replicated DHT storage;
+	// failover then restores operators from their checkpoint instead of
+	// restarting them cold. Bounds how much input must be replayed after
+	// a migration (retention vs. MTTR, see docs/REPLAY.md).
+	CheckpointInterval time.Duration
 	// Net overrides the simulated-network parameters; zero value uses
 	// simnet defaults.
 	Net simnet.Options
@@ -73,6 +92,9 @@ type System struct {
 	// operator feeds it anymore, so it must never be chosen as a
 	// provider again.
 	stale map[stream.Ref]bool
+
+	lastCkpt time.Duration // virtual time of the last checkpoint sweep
+	replayed atomic.Uint64 // items retransmitted from replay buffers
 }
 
 // replicaForwarder records the subscription tying a replica channel to
@@ -83,6 +105,15 @@ type replicaForwarder struct {
 	orig stream.Ref
 	rep  *stream.Channel
 	sub  *stream.Subscription
+	// cur, when the replay layer is on, orders and deduplicates the
+	// forwarded items so the replica mirrors a gap-free prefix of the
+	// original (its replay buffer stays contiguous); the anti-entropy
+	// sweep refills link-fault losses through it.
+	cur *stream.Cursor
+	// severed is set when the origin's host died and a re-deployed
+	// operator adopted the replica: the sweep must stop pulling from the
+	// abandoned origin.
+	severed bool
 }
 
 // NewSystem builds an empty system.
@@ -183,13 +214,36 @@ func (s *System) nextTaskID() string {
 	return fmt.Sprintf("task-%d", s.taskSeq)
 }
 
+// allocChannel creates and registers a task-owned channel at host,
+// charging the host's load gauge — the shared bookkeeping of every
+// deployment and re-deployment path.
+func (s *System) allocChannel(t *Task, host, streamID string) *stream.Channel {
+	ch := stream.NewChannel(host, streamID)
+	s.registerChannel(ch)
+	t.channels = append(t.channels, ch)
+	s.Net.AddLoad(host, 1)
+	t.loads = append(t.loads, host)
+	return ch
+}
+
 // registerChannel enrolls a channel in the system-wide registry so
-// ChannelIn nodes and external subscribers can find it.
+// ChannelIn nodes and external subscribers can find it, enabling the
+// configured replay retention before the first publication.
 func (s *System) registerChannel(ch *stream.Channel) {
+	if s.opts.ReplayBuffer > 0 {
+		ch.EnableReplay(s.opts.ReplayBuffer)
+	}
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	s.channels[ch.Ref()] = ch
 }
+
+// replayOn reports whether the lossless-failover layer is enabled.
+func (s *System) replayOn() bool { return s.opts.ReplayBuffer > 0 }
+
+// ReplayedItems returns the total number of items retransmitted from
+// channel replay buffers (re-bind resumes and anti-entropy repairs).
+func (s *System) ReplayedItems() uint64 { return s.replayed.Load() }
 
 // Channel resolves a registered channel by reference.
 func (s *System) Channel(ref stream.Ref) (*stream.Channel, bool) {
@@ -238,17 +292,44 @@ func (s *System) AnnounceReplica(orig stream.Ref, consumerPeer string) (stream.R
 	// buffered data. Transport to the replica host still pays the
 	// simulated link (accounting, latency, faults); items lost on a
 	// faulty link simply never reach the replica's subscribers.
-	sub := ch.Subscribe(consumerPeer, func(it stream.Item, _ *stream.Queue) {
-		if it.EOS() {
-			rep.Close()
-			return
-		}
-		if out, ok := s.Net.Deliver(orig.PeerID, consumerPeer, it); ok {
-			rep.Publish(out)
-		}
-	})
+	f := &replicaForwarder{orig: orig, rep: rep}
+	if s.replayOn() {
+		// The replica preserves the original's sequence numbering, so a
+		// consumer cursor positioned on the original stream stays valid
+		// when failover re-binds it to the replica (and vice versa). The
+		// forwarder's own cursor keeps the mirror gap-free: items lost on
+		// the faulty link are refilled by the anti-entropy sweep before
+		// anything later is mirrored.
+		f.cur = stream.NewCursor(0, func(it stream.Item) {
+			if it.EOS() {
+				rep.Close()
+				return
+			}
+			rep.PublishPreserved(it)
+		})
+		f.sub = ch.Subscribe(consumerPeer, func(it stream.Item, _ *stream.Queue) {
+			if it.EOS() {
+				f.cur.Terminate(it)
+				return
+			}
+			if out, ok := s.Net.Deliver(orig.PeerID, consumerPeer, it); ok {
+				f.cur.Offer(out)
+			}
+		})
+		f.cur.AdvanceTo(f.sub.StartSeq)
+	} else {
+		f.sub = ch.Subscribe(consumerPeer, func(it stream.Item, _ *stream.Queue) {
+			if it.EOS() {
+				rep.Close()
+				return
+			}
+			if out, ok := s.Net.Deliver(orig.PeerID, consumerPeer, it); ok {
+				rep.Publish(out)
+			}
+		})
+	}
 	s.mu.Lock()
-	s.forwarders = append(s.forwarders, &replicaForwarder{orig: orig, rep: rep, sub: sub})
+	s.forwarders = append(s.forwarders, f)
 	s.mu.Unlock()
 	return rep.Ref(), nil
 }
@@ -282,7 +363,10 @@ func (s *System) RefreshStreamStats() error {
 // Step advances the virtual clock by d and ticks every registered
 // failure detector. Churn harnesses drive the system with repeated small
 // Steps; detection latency is quantized to the step size, so use steps
-// no coarser than the heartbeat interval when measuring it.
+// no coarser than the heartbeat interval when measuring it. With the
+// replay layer on, each Step also runs the anti-entropy sweep (repairing
+// link-fault losses from the upstream replay buffers) and, every
+// CheckpointInterval, the operator checkpoint sweep.
 func (s *System) Step(d time.Duration) {
 	s.Net.Clock().Advance(d)
 	s.mu.Lock()
@@ -290,6 +374,22 @@ func (s *System) Step(d time.Duration) {
 	s.mu.Unlock()
 	for _, det := range dets {
 		det.Tick()
+	}
+	if s.replayOn() {
+		s.syncReplicas()
+		s.syncBindings()
+	}
+	if s.opts.CheckpointInterval > 0 {
+		now := s.Net.Clock().Now()
+		s.mu.Lock()
+		due := now-s.lastCkpt >= s.opts.CheckpointInterval
+		if due {
+			s.lastCkpt = now
+		}
+		s.mu.Unlock()
+		if due {
+			s.CheckpointNow()
+		}
 	}
 }
 

@@ -28,7 +28,8 @@ type Task struct {
 	extSubs   []*stream.Subscription // subscriptions to shared channels
 	extQueues []*stream.Queue        // consumer queues re-bound to shared channels
 	bindings  []*inputBinding        // operator-input wiring, for failover re-binding
-	degraded  []string               // operators lost without a repair path
+	procs     map[*algebra.Node]*procInstance
+	degraded  []string // operators lost without a repair path
 	handles   []*operators.Handle
 	closers   []func()
 	pollers   []func() (int, error)
@@ -37,6 +38,9 @@ type Task struct {
 	resultCh  *stream.Channel
 	namedCh   *stream.Channel
 	resultSub *stream.Subscription
+	resultQ    *stream.Queue         // stable result queue, survives publisher migration
+	resultCur  *stream.Cursor        // dedup/ordering gate feeding resultQ
+	subTargets map[string]*subTarget // per-BySubscribe-target gates, survive publisher migration
 
 	// Human-facing publication sinks (BY email/file/rss).
 	Mailbox SafeBuffer
@@ -58,6 +62,30 @@ type inputBinding struct {
 	consumerPeer string
 	queue        *stream.Queue
 	sub          *stream.Subscription
+	// cursor gates deliveries into queue: in sequence order, exactly
+	// once, tracking where a re-bound subscription must resume.
+	cursor *stream.Cursor
+	// src is the channel currently feeding the binding.
+	src *stream.Channel
+}
+
+// subTarget is one BySubscribe delivery destination: the target peer and
+// the cursor gating its incoming queue. Task-level so the gate survives
+// publisher migrations, and registered with the anti-entropy sweep like
+// any binding cursor.
+type subTarget struct {
+	peer string
+	cur  *stream.Cursor
+	dest *stream.Queue
+}
+
+// procInstance tracks one deployed processor (or publisher fan-out): the
+// running Proc and its Handle, so the checkpoint sweep can capture a
+// consistent (state, consumed cursors, output sequence) cut and failover
+// can restore it.
+type procInstance struct {
+	proc   operators.Proc
+	handle *operators.Handle
 }
 
 // Degraded lists operators this task lost without a repair path (e.g. an
@@ -68,12 +96,21 @@ func (t *Task) Degraded() []string { return append([]string(nil), t.degraded...)
 
 // DynEventsProcessed counts membership events the task's dynamic alerter
 // managers have fully applied; callers can synchronize on it before
-// driving traffic at newly joined peers.
+// driving traffic at newly joined peers. After a manager migration the
+// count includes the replayed membership history the new manager
+// re-applied — it is a progress watermark, not a distinct-event count.
 func (t *Task) DynEventsProcessed() uint64 { return t.dynEvents.Load() }
 
 // Results returns the queue of result items, subscribed since deployment
-// (no items are missed between Subscribe and the first read).
-func (t *Task) Results() *stream.Queue { return t.resultSub.Queue }
+// (no items are missed between Subscribe and the first read). The queue
+// is stable across publisher migrations: failover re-binds the
+// underlying subscription and the cursor deduplicates the overlap.
+func (t *Task) Results() *stream.Queue {
+	if t.resultQ != nil {
+		return t.resultQ
+	}
+	return t.resultSub.Queue
+}
 
 // ResultChannel returns the named channel the task publishes under
 // (e.g. alertQoS@p), so other peers and tasks can subscribe to it.

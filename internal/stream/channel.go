@@ -21,6 +21,7 @@ type Channel struct {
 	closed    bool
 	published uint64
 	bytes     uint64
+	replay    *replayBuffer
 }
 
 type subscriber struct {
@@ -39,6 +40,17 @@ type Subscription struct {
 	Name string
 	// Queue receives the published items.
 	Queue *Queue
+	// StartSeq is the channel's sequence number at the moment the
+	// subscription attached: items up to StartSeq predate it and are not
+	// owed to this subscriber.
+	StartSeq uint64
+	// Replayed counts retained items retransmitted at attach time
+	// (SubscribeFrom).
+	Replayed int
+	// ReplayFrom is the first sequence actually retransmitted by
+	// SubscribeFrom — greater than the requested start when the bounded
+	// retention buffer already trimmed the prefix.
+	ReplayFrom uint64
 }
 
 // NewChannel creates a channel identified by (peerID, streamID).
@@ -54,7 +66,16 @@ func (c *Channel) Ref() Ref { return c.ref }
 
 // Publish multicasts the item to all subscribers, stamping the channel's
 // own sequence number and source. Publishing eos closes the channel.
-func (c *Channel) Publish(it Item) {
+func (c *Channel) Publish(it Item) { c.publish(it, false) }
+
+// PublishPreserved multicasts the item keeping its existing sequence
+// number. Replica forwarders use it so a replica carries the *original*
+// stream's numbering: consumer cursors then stay valid across a failover
+// from the original to any replica (the whole point of announced
+// replicas, Section 5).
+func (c *Channel) PublishPreserved(it Item) { c.publish(it, true) }
+
+func (c *Channel) publish(it Item, preserveSeq bool) {
 	c.mu.Lock()
 	if c.closed {
 		c.mu.Unlock()
@@ -63,10 +84,19 @@ func (c *Channel) Publish(it Item) {
 	if it.EOS() {
 		c.closed = true
 	} else {
-		c.seq++
-		it.Seq = c.seq
+		if preserveSeq && it.Seq != 0 {
+			if it.Seq > c.seq {
+				c.seq = it.Seq
+			}
+		} else {
+			c.seq++
+			it.Seq = c.seq
+		}
 		c.published++
 		c.bytes += uint64(it.Tree.SerializedSize())
+		if c.replay != nil {
+			c.replay.add(Item{Tree: it.Tree, Seq: it.Seq, Source: c.ref.String(), Time: it.Time})
+		}
 	}
 	it.Source = c.ref.String()
 	targets := make([]*subscriber, 0, len(c.subs))
@@ -118,15 +148,148 @@ func (c *Channel) Volume() uint64 {
 func (c *Channel) Subscribe(name string, deliver func(Item, *Queue)) *Subscription {
 	c.mu.Lock()
 	defer c.mu.Unlock()
+	return c.subscribeLocked(name, deliver)
+}
+
+func (c *Channel) subscribeLocked(name string, deliver func(Item, *Queue)) *Subscription {
 	q := NewQueue()
 	if c.closed {
 		q.Close()
-		return &Subscription{ch: c, id: -1, Name: name, Queue: q}
+		return &Subscription{ch: c, id: -1, Name: name, Queue: q, StartSeq: c.seq}
 	}
 	id := c.nextSub
 	c.nextSub++
 	c.subs[id] = &subscriber{id: id, name: name, queue: q, deliver: deliver}
-	return &Subscription{ch: c, id: id, Name: name, Queue: q}
+	return &Subscription{ch: c, id: id, Name: name, Queue: q, StartSeq: c.seq}
+}
+
+// EnableReplay makes the channel retain its last capacity published
+// items for retransmission. It must be enabled before items needing
+// retention are published (the System enables it at registration).
+func (c *Channel) EnableReplay(capacity int) {
+	if capacity <= 0 {
+		return
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.replay == nil {
+		c.replay = newReplayBuffer(capacity)
+	}
+}
+
+// ReplayEnabled reports whether the channel retains items for replay.
+func (c *Channel) ReplayEnabled() bool {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.replay != nil
+}
+
+// Seq returns the sequence number of the most recently published item.
+func (c *Channel) Seq() uint64 {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.seq
+}
+
+// SeedSeq positions the channel's sequence counter — a restored operator
+// adopting this channel as its output continues the logical stream's
+// numbering from its checkpoint instead of restarting at 1, so
+// downstream cursors keep deduplicating correctly. Seeding backwards
+// makes the producer re-emit its post-checkpoint suffix under the same
+// sequence numbers (consumers that already saw it drop the overlap).
+func (c *Channel) SeedSeq(seq uint64) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.seq = seq
+}
+
+// SeedBuffer pre-loads the retention buffer with already-published items
+// of the logical stream — the undelivered output tail carried by an
+// operator checkpoint, restored into the replacement channel so
+// re-bound consumers can still fetch what the crashed producer had
+// published but not delivered. Items must arrive in ascending sequence
+// order and are re-attributed to this channel.
+func (c *Channel) SeedBuffer(items []Item) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.replay == nil {
+		return
+	}
+	for _, it := range items {
+		if it.Seq == 0 || it.Tree == nil {
+			continue
+		}
+		c.replay.add(Item{Tree: it.Tree, Seq: it.Seq, Source: c.ref.String(), Time: it.Time})
+	}
+}
+
+// Replay returns copies of the retained items with sequence numbers in
+// [from, to], plus the first sequence actually available — greater than
+// from when the bounded buffer already trimmed part of the range.
+func (c *Channel) Replay(from, to uint64) ([]Item, uint64) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.replay == nil {
+		return nil, from
+	}
+	return c.replay.slice(from, to)
+}
+
+// ReplayTrimmed returns the number of items evicted from the retention
+// buffer — sequences that can no longer be retransmitted.
+func (c *Channel) ReplayTrimmed() uint64 {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.replay == nil {
+		return 0
+	}
+	return c.replay.trimmed
+}
+
+// SubscribeFrom registers a subscriber that first receives the retained
+// items from sequence fromSeq onwards and then every future publication,
+// with no gap and no duplicate in between: replayed items are delivered
+// through the subscriber's hook while the channel lock is held, so a
+// concurrent Publish cannot interleave. This is how a re-bound consumer
+// resumes from its cursor instead of from "now". Delivery hooks must not
+// call back into the channel.
+func (c *Channel) SubscribeFrom(name string, fromSeq uint64, deliver func(Item, *Queue)) *Subscription {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	var items []Item
+	var first uint64
+	if c.replay != nil && fromSeq <= c.seq {
+		items, first = c.replay.slice(fromSeq, c.seq)
+	}
+	wasClosed := c.closed
+	c.closed = false // allow attach even to a closed channel: replay, then eos
+	sub := c.subscribeLocked(name, deliver)
+	c.closed = wasClosed
+	sub.StartSeq = 0
+	if fromSeq > 0 {
+		sub.StartSeq = fromSeq - 1
+	}
+	sub.Replayed = len(items)
+	if len(items) > 0 {
+		sub.ReplayFrom = first
+	}
+	s := c.subs[sub.id]
+	for _, it := range items {
+		if s != nil && s.deliver != nil {
+			s.deliver(it, sub.Queue)
+		} else {
+			sub.Queue.Push(it)
+		}
+	}
+	if wasClosed {
+		eos := Item{Source: c.ref.String()}
+		if s != nil && s.deliver != nil {
+			s.deliver(eos, sub.Queue)
+		}
+		delete(c.subs, sub.id)
+		sub.Queue.Close()
+	}
+	return sub
 }
 
 // Unsubscribe removes the subscription and closes its queue.

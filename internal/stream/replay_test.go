@@ -1,0 +1,256 @@
+package stream
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+
+	"p2pm/internal/xmltree"
+)
+
+func seqItem(n int) Item {
+	t := xmltree.Elem("e")
+	t.SetAttr("id", fmt.Sprintf("%d", n))
+	return Item{Tree: t}
+}
+
+func seqsOf(items []Item) []uint64 {
+	out := make([]uint64, len(items))
+	for i, it := range items {
+		out[i] = it.Seq
+	}
+	return out
+}
+
+func TestReplayBufferRetainsTail(t *testing.T) {
+	ch := NewChannel("p", "s")
+	ch.EnableReplay(4)
+	for i := 1; i <= 10; i++ {
+		ch.Publish(seqItem(i))
+	}
+	items, first := ch.Replay(1, 10)
+	if first != 7 {
+		t.Errorf("first available = %d, want 7 (capacity 4 of 10)", first)
+	}
+	if got := seqsOf(items); len(got) != 4 || got[0] != 7 || got[3] != 10 {
+		t.Errorf("replayed seqs = %v, want [7 8 9 10]", got)
+	}
+	if ch.ReplayTrimmed() != 6 {
+		t.Errorf("trimmed = %d, want 6", ch.ReplayTrimmed())
+	}
+	// A mid-range request is served exactly.
+	items, first = ch.Replay(8, 9)
+	if first != 8 || len(items) != 2 {
+		t.Errorf("mid-range replay = (%v, %d), want 2 items from 8", seqsOf(items), first)
+	}
+}
+
+func TestReplayDisabledByDefault(t *testing.T) {
+	ch := NewChannel("p", "s")
+	ch.Publish(seqItem(1))
+	if ch.ReplayEnabled() {
+		t.Error("replay enabled without EnableReplay")
+	}
+	if items, _ := ch.Replay(1, 1); items != nil {
+		t.Errorf("replay on a buffer-less channel returned %v", items)
+	}
+}
+
+func TestSubscribeFromReplaysThenContinues(t *testing.T) {
+	ch := NewChannel("p", "s")
+	ch.EnableReplay(16)
+	for i := 1; i <= 5; i++ {
+		ch.Publish(seqItem(i))
+	}
+	sub := ch.SubscribeFrom("late", 3, nil)
+	if sub.Replayed != 3 || sub.ReplayFrom != 3 {
+		t.Fatalf("replayed=%d from=%d, want 3 from 3", sub.Replayed, sub.ReplayFrom)
+	}
+	for i := 6; i <= 7; i++ {
+		ch.Publish(seqItem(i))
+	}
+	ch.Close()
+	got := seqsOf(sub.Queue.Drain())
+	want := []uint64{3, 4, 5, 6, 7}
+	if len(got) != len(want) {
+		t.Fatalf("delivered seqs = %v, want %v", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("delivered seqs = %v, want %v", got, want)
+		}
+	}
+}
+
+func TestSubscribeFromClosedChannelReplaysAndTerminates(t *testing.T) {
+	ch := NewChannel("p", "s")
+	ch.EnableReplay(16)
+	ch.Publish(seqItem(1))
+	ch.Publish(seqItem(2))
+	ch.Close()
+	sub := ch.SubscribeFrom("late", 1, nil)
+	items := sub.Queue.Drain() // Drain stops at eos/close
+	if len(items) != 2 {
+		t.Fatalf("replayed %d items from a closed channel, want 2", len(items))
+	}
+	if !sub.Queue.Closed() {
+		t.Error("queue left open after closed-channel replay")
+	}
+}
+
+func TestSeedSeqContinuesNumbering(t *testing.T) {
+	ch := NewChannel("p", "s")
+	ch.EnableReplay(8)
+	ch.SeedSeq(41)
+	ch.Publish(seqItem(1))
+	if got := ch.Seq(); got != 42 {
+		t.Errorf("seq after seed+publish = %d, want 42", got)
+	}
+	// Seeding backwards overwrites: a restored producer re-emits its
+	// post-checkpoint suffix under the same numbers.
+	ch.SeedSeq(41)
+	ch.Publish(seqItem(2))
+	items, first := ch.Replay(42, 42)
+	if first != 42 || len(items) != 1 {
+		t.Fatalf("replay after re-seed = (%v, %d)", seqsOf(items), first)
+	}
+	if got := items[0].Tree.AttrOr("id", ""); got != "2" {
+		t.Errorf("slot not overwritten: id = %s, want 2", got)
+	}
+}
+
+func TestPublishPreservedKeepsNumbering(t *testing.T) {
+	orig := NewChannel("p", "s")
+	rep := NewChannel("q", "r")
+	rep.EnableReplay(8)
+	for i := 1; i <= 3; i++ {
+		it := seqItem(i)
+		it.Seq = uint64(i + 10)
+		rep.PublishPreserved(it)
+	}
+	if got := rep.Seq(); got != 13 {
+		t.Errorf("mirror seq = %d, want 13", got)
+	}
+	items, first := rep.Replay(11, 13)
+	if first != 11 || len(items) != 3 {
+		t.Errorf("mirror replay = (%v, %d), want 3 from 11", seqsOf(items), first)
+	}
+	_ = orig
+}
+
+func TestCursorOrdersDedupsAndRepairs(t *testing.T) {
+	var got []uint64
+	cur := NewCursor(0, func(it Item) { got = append(got, it.Seq) })
+	offer := func(seqs ...uint64) {
+		for _, s := range seqs {
+			cur.Offer(Item{Tree: xmltree.Elem("e"), Seq: s})
+		}
+	}
+	offer(1, 2, 4, 5) // 3 dropped: 4 and 5 park
+	if len(got) != 2 || cur.Pending() != 2 {
+		t.Fatalf("delivered %v pending %d, want [1 2] pending 2", got, cur.Pending())
+	}
+	offer(2)    // duplicate
+	offer(3)    // gap repaired: 3,4,5 flush in order
+	offer(4, 5) // replayed overlap: dropped
+	want := []uint64{1, 2, 3, 4, 5}
+	if len(got) != len(want) {
+		t.Fatalf("delivered %v, want %v", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("delivered %v, want %v", got, want)
+		}
+	}
+	if cur.Dups() != 3 {
+		t.Errorf("dups = %d, want 3", cur.Dups())
+	}
+	if cur.Next() != 6 {
+		t.Errorf("next = %d, want 6", cur.Next())
+	}
+}
+
+func TestCursorSkipToAbandonsTrimmedGap(t *testing.T) {
+	var got []uint64
+	cur := NewCursor(0, func(it Item) { got = append(got, it.Seq) })
+	cur.Offer(Item{Tree: xmltree.Elem("e"), Seq: 5})
+	cur.SkipTo(5) // 1..4 trimmed from the upstream buffer
+	if len(got) != 1 || got[0] != 5 {
+		t.Fatalf("delivered %v, want [5]", got)
+	}
+	if cur.Skipped() != 4 {
+		t.Errorf("skipped = %d, want 4", cur.Skipped())
+	}
+}
+
+func TestCursorAdvanceToSetsFloor(t *testing.T) {
+	var got []uint64
+	cur := NewCursor(0, func(it Item) { got = append(got, it.Seq) })
+	cur.AdvanceTo(10)
+	cur.Offer(Item{Tree: xmltree.Elem("e"), Seq: 9}) // history: dropped
+	cur.Offer(Item{Tree: xmltree.Elem("e"), Seq: 11})
+	if len(got) != 1 || got[0] != 11 {
+		t.Fatalf("delivered %v, want [11]", got)
+	}
+}
+
+func TestCursorTerminateFlushesPending(t *testing.T) {
+	var got []uint64
+	var eos int
+	cur := NewCursor(0, func(it Item) {
+		if it.EOS() {
+			eos++
+			return
+		}
+		got = append(got, it.Seq)
+	})
+	cur.Offer(Item{Tree: xmltree.Elem("e"), Seq: 1})
+	cur.Offer(Item{Tree: xmltree.Elem("e"), Seq: 3})
+	cur.Offer(Item{Tree: xmltree.Elem("e"), Seq: 5})
+	cur.Terminate(Item{})
+	want := []uint64{1, 3, 5}
+	if len(got) != len(want) || eos != 1 {
+		t.Fatalf("flush = %v (eos %d), want %v (eos 1)", got, eos, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("flush = %v, want %v", got, want)
+		}
+	}
+}
+
+// TestCursorConcurrentOfferStaysOrdered hammers one cursor from several
+// goroutines (a live subscription racing replay sweeps) and checks the
+// sink still sees a strictly ordered, duplicate-free prefix. Run with
+// -race.
+func TestCursorConcurrentOfferStaysOrdered(t *testing.T) {
+	const n = 500
+	var mu sync.Mutex
+	var got []uint64
+	cur := NewCursor(0, func(it Item) {
+		mu.Lock()
+		got = append(got, it.Seq)
+		mu.Unlock()
+	})
+	var wg sync.WaitGroup
+	for g := 0; g < 4; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 1; i <= n; i++ {
+				cur.Offer(Item{Tree: xmltree.Elem("e"), Seq: uint64(i)})
+			}
+		}(g)
+	}
+	wg.Wait()
+	mu.Lock()
+	defer mu.Unlock()
+	if len(got) != n {
+		t.Fatalf("delivered %d items, want %d", len(got), n)
+	}
+	for i, s := range got {
+		if s != uint64(i+1) {
+			t.Fatalf("out of order at %d: %d", i, s)
+		}
+	}
+}

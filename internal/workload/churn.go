@@ -31,6 +31,17 @@ type ChurnConfig struct {
 	// HeartbeatInterval / Suspicion configure the failure detector.
 	HeartbeatInterval time.Duration
 	Suspicion         time.Duration
+	// Replay enables the lossless-failover layer: upstream replay
+	// buffers, consumer cursors and operator checkpointing. Events
+	// published during an outage window are then retransmitted after the
+	// migration instead of lost.
+	Replay bool
+	// ReplayBuffer is the per-channel retention (items) when Replay is
+	// on; 0 picks a default that covers the whole run.
+	ReplayBuffer int
+	// CheckpointInterval is the operator checkpoint cadence when Replay
+	// is on; 0 picks a default of two heartbeat intervals.
+	CheckpointInterval time.Duration
 }
 
 // DefaultChurn returns a moderate churn scenario.
@@ -44,11 +55,12 @@ func DefaultChurn() ChurnConfig {
 
 // ChurnReport summarizes one churn run.
 type ChurnReport struct {
-	Driven   int // events driven at the source
-	Received int // results that reached the subscriber
-	Crashes  int // relay crashes injected
-	Deaths   int // deaths the detector declared
-	Repairs  int // successful operator migrations
+	Driven   int    // events driven at the source
+	Received int    // results that reached the subscriber
+	Crashes  int    // relay crashes injected
+	Deaths   int    // deaths the detector declared
+	Repairs  int    // successful operator migrations
+	Replayed uint64 // items retransmitted from replay buffers
 	// DetectionLatency summarizes virtual crash→declared-dead time.
 	DetectionLatency *stats.Summary
 	Traffic          simnet.Totals
@@ -80,6 +92,19 @@ func SetupChurn(cfg ChurnConfig) (*ChurnLab, error) {
 	}
 	opts := peer.DefaultOptions()
 	opts.Seed = cfg.Seed
+	if cfg.Replay {
+		opts.ReplayBuffer = cfg.ReplayBuffer
+		if opts.ReplayBuffer <= 0 {
+			opts.ReplayBuffer = 1024
+		}
+		opts.CheckpointInterval = cfg.CheckpointInterval
+		if opts.CheckpointInterval <= 0 {
+			opts.CheckpointInterval = 2 * cfg.HeartbeatInterval
+		}
+		if opts.CheckpointInterval <= 0 {
+			opts.CheckpointInterval = 2 * time.Second
+		}
+	}
 	sys := peer.NewSystem(opts)
 	mgr, err := sys.AddPeer("mgr")
 	if err != nil {
@@ -167,6 +192,15 @@ func (l *ChurnLab) Run() (*ChurnReport, error) {
 			return nil, err
 		}
 		rep.Driven++
+		if cfg.Replay {
+			// Let the pipeline drain before advancing the clock: one
+			// virtual Step models enough real time for the event to
+			// traverse the deployment, so checkpoints taken on the Step
+			// cadence describe processed state, not a starved wall-clock
+			// snapshot. The lossy mode has no checkpoints and keeps PR 1's
+			// measured semantics (it still settles before each crash).
+			l.settle()
+		}
 		sys.Step(cfg.Step)
 		now := sys.Net.Clock().Now()
 		for peerName, at := range recoverAt {
@@ -196,9 +230,21 @@ func (l *ChurnLab) Run() (*ChurnReport, error) {
 	for i := 0; i < 64 && len(l.Sup.Deaths()) < rep.Crashes; i++ {
 		sys.Step(cfg.Step)
 	}
+	if cfg.Replay {
+		// With replay on, every driven event is recoverable: keep
+		// stepping (migrations replay outage windows, anti-entropy sweeps
+		// refill link losses) until the last result lands. The bound is
+		// generous — on a loaded machine the operator goroutines may need
+		// many settle rounds to drain.
+		for i := 0; i < 1000 && l.Task.Results().Len() < rep.Driven; i++ {
+			sys.Step(cfg.Step)
+			l.settle()
+		}
+	}
 	l.Task.Stop()
 	rep.Received = len(l.Task.Results().Drain())
 	rep.Deaths = len(l.Sup.Deaths())
+	rep.Replayed = sys.ReplayedItems()
 	for _, ev := range l.Sup.Events() {
 		if ev.Repaired() {
 			rep.Repairs++

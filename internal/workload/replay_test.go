@@ -1,0 +1,106 @@
+package workload
+
+import (
+	"testing"
+	"time"
+)
+
+// TestChurnReplayIsLossless is the tentpole acceptance at workload
+// level: with upstream replay buffers and operator checkpointing on, the
+// same churn schedule that loses the outage windows in the lossy
+// configuration delivers every driven event — completeness 1.0, via
+// genuine retransmissions.
+func TestChurnReplayIsLossless(t *testing.T) {
+	cfg := DefaultChurn()
+	cfg.Events = 60
+	cfg.CrashEvery = 12
+	cfg.Replay = true
+	lab, err := SetupChurn(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep, err := lab.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Crashes == 0 || rep.Deaths != rep.Crashes {
+		t.Fatalf("crashes=%d deaths=%d: the schedule must actually churn", rep.Crashes, rep.Deaths)
+	}
+	if rep.Repairs < rep.Crashes {
+		t.Errorf("repairs=%d < crashes=%d", rep.Repairs, rep.Crashes)
+	}
+	if rep.Completeness() != 1 {
+		t.Errorf("completeness = %.3f (%d/%d), want exactly 1.0 with replay on",
+			rep.Completeness(), rep.Received, rep.Driven)
+	}
+	if rep.Replayed == 0 {
+		t.Error("no items were replayed: losslessness came for free, not from the replay layer")
+	}
+}
+
+// TestChurnReplayBoundedBufferStillHelps: a retention buffer smaller
+// than the full history still recovers outage losses as long as it
+// covers the detection window.
+func TestChurnReplayBoundedBufferStillHelps(t *testing.T) {
+	cfg := DefaultChurn()
+	cfg.Events = 60
+	cfg.CrashEvery = 15
+	cfg.Replay = true
+	cfg.ReplayBuffer = 16 // ≫ suspicion window (2s ≈ 2 events), ≪ run length
+	lab, err := SetupChurn(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep, err := lab.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Crashes == 0 {
+		t.Fatal("no crashes")
+	}
+	if rep.Completeness() != 1 {
+		t.Errorf("completeness = %.3f with a 16-item buffer, want 1.0 (buffer must only cover the outage window)",
+			rep.Completeness())
+	}
+}
+
+// TestChurnDeterministicUnderSeed: two runs of the same seeded scenario
+// report identical completeness and failover metrics — virtual-clock
+// detection plus the replay layer make the outcome independent of
+// wall-clock goroutine scheduling. Run with -race.
+func TestChurnDeterministicUnderSeed(t *testing.T) {
+	run := func() *ChurnReport {
+		t.Helper()
+		cfg := DefaultChurn()
+		cfg.Seed = 7
+		cfg.Events = 50
+		cfg.CrashEvery = 10
+		cfg.MTTR = 6 * time.Second
+		cfg.Replay = true
+		lab, err := SetupChurn(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		rep, err := lab.Run()
+		if err != nil {
+			t.Fatal(err)
+		}
+		return rep
+	}
+	a, b := run(), run()
+	if a.Completeness() != b.Completeness() || a.Received != b.Received || a.Driven != b.Driven {
+		t.Errorf("completeness diverged: %d/%d vs %d/%d", a.Received, a.Driven, b.Received, b.Driven)
+	}
+	if a.Crashes != b.Crashes || a.Deaths != b.Deaths || a.Repairs != b.Repairs {
+		t.Errorf("failover counts diverged: crashes %d/%d deaths %d/%d repairs %d/%d",
+			a.Crashes, b.Crashes, a.Deaths, b.Deaths, a.Repairs, b.Repairs)
+	}
+	if a.DetectionLatency.N() != b.DetectionLatency.N() || a.DetectionLatency.Mean() != b.DetectionLatency.Mean() {
+		t.Errorf("detection latency diverged: n=%d mean=%v vs n=%d mean=%v",
+			a.DetectionLatency.N(), a.DetectionLatency.Mean(),
+			b.DetectionLatency.N(), b.DetectionLatency.Mean())
+	}
+	if a.Completeness() != 1 {
+		t.Errorf("deterministic runs should also be lossless: completeness = %.3f", a.Completeness())
+	}
+}
