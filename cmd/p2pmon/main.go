@@ -9,6 +9,9 @@
 //	p2pmon -scenario rss        # feed monitoring
 //	p2pmon -scenario churn      # self-healing under relay crashes
 //	p2pmon -scenario churn -replay             # lossless failover (replay + checkpoints)
+//	p2pmon -scenario churn -detector gossip    # SWIM-style decentralized detection
+//	p2pmon -scenario churn -replay -detector gossip -events 600 -crash-every 8   # soak
+//	p2pmon -scenario churn -replay -detector gossip -partition-home 10           # survivability
 //	p2pmon -scenario meteo -sub custom.p2pml   # custom subscription text
 package main
 
@@ -42,6 +45,10 @@ func run(args []string, out io.Writer) error {
 	noReuse := fs.Bool("no-reuse", false, "disable stream reuse")
 	noPushdown := fs.Bool("no-pushdown", false, "disable selection pushdown")
 	replay := fs.Bool("replay", false, "churn scenario: enable replay buffers + operator checkpointing (lossless failover)")
+	detector := fs.String("detector", "home", "churn scenario: failure detection mode, home | gossip (see docs/DETECTOR.md)")
+	nEvents := fs.Int("events", 0, "churn scenario: events to drive (0 = scenario default)")
+	crashEvery := fs.Int("crash-every", -1, "churn scenario: crash the relay every N events (0 = never, -1 = scenario default)")
+	partitionHome := fs.Int("partition-home", 0, "churn scenario: isolate the monitor peer after N events (0 = never) — the detector survivability case")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -53,10 +60,34 @@ func run(args []string, out io.Writer) error {
 		if *subFile != "" || *noReuse || *noPushdown {
 			return fmt.Errorf("p2pmon: -sub, -no-reuse and -no-pushdown are not supported by the churn scenario")
 		}
-		return runChurn(out, *replay)
+		cfg := workload.DefaultChurn()
+		cfg.Replay = *replay
+		cfg.Detector = *detector
+		if *nEvents > 0 {
+			cfg.Events = *nEvents
+		}
+		if *crashEvery >= 0 {
+			cfg.CrashEvery = *crashEvery
+		}
+		cfg.PartitionHomeAfter = *partitionHome
+		return runChurn(out, cfg)
 	}
-	if *replay {
-		return fmt.Errorf("p2pmon: -replay applies to the churn scenario only")
+	// Reject explicitly-set churn-only flags outside the churn scenario.
+	// fs.Visit reports only flags the command line actually set, in
+	// lexical order, so the error is deterministic and `-detector home`
+	// spelled out is rejected like any other churn knob.
+	churnOnly := map[string]bool{
+		"replay": true, "detector": true, "events": true,
+		"crash-every": true, "partition-home": true,
+	}
+	var misused string
+	fs.Visit(func(f *flag.Flag) {
+		if churnOnly[f.Name] && misused == "" {
+			misused = f.Name
+		}
+	})
+	if misused != "" {
+		return fmt.Errorf("p2pmon: -%s applies to the churn scenario only", misused)
 	}
 
 	opts := peer.DefaultOptions()
@@ -149,16 +180,23 @@ return $r by publish as channel "feedChanges"`
 // runChurn runs the self-healing scenario: the relay operator of a
 // subscription is killed repeatedly while events flow; the supervisor
 // migrates it and the report shows what the churn cost. With replay on,
-// outage windows are retransmitted and the run ends lossless.
-func runChurn(out io.Writer, replay bool) error {
-	cfg := workload.DefaultChurn()
-	cfg.Replay = replay
+// outage windows are retransmitted and the run ends lossless. The
+// detector-mode and partition knobs select the failure-detection axis
+// (home heartbeats vs SWIM gossip) and the survivability case.
+func runChurn(out io.Writer, cfg workload.ChurnConfig) error {
 	lab, err := workload.SetupChurn(cfg)
 	if err != nil {
 		return err
 	}
-	fmt.Fprintf(out, "== scenario churn ==\nrelay workers: %d, crash every %d events, MTTR %v, replay %v\n",
-		cfg.Workers, cfg.CrashEvery, cfg.MTTR, replay)
+	det := cfg.Detector
+	if det == "" {
+		det = "home"
+	}
+	fmt.Fprintf(out, "== scenario churn ==\nrelay workers: %d, events: %d, crash every %d events, MTTR %v, replay %v, detector %s\n",
+		cfg.Workers, cfg.Events, cfg.CrashEvery, cfg.MTTR, cfg.Replay, det)
+	if cfg.PartitionHomeAfter > 0 {
+		fmt.Fprintf(out, "monitor peer partitioned away after %d events\n", cfg.PartitionHomeAfter)
+	}
 	fmt.Fprintf(out, "deployed plan:\n%s\n", lab.Task.Plan.Tree())
 	rep, err := lab.Run()
 	if err != nil {

@@ -76,3 +76,40 @@ func TestBadFlagRejected(t *testing.T) {
 		t.Fatal("bad flag accepted")
 	}
 }
+
+func TestChurnGossipScenario(t *testing.T) {
+	var out bytes.Buffer
+	if err := run([]string{"-scenario", "churn", "-replay", "-detector", "gossip"}, &out); err != nil {
+		t.Fatal(err)
+	}
+	s := out.String()
+	if !strings.Contains(s, "detector gossip") || !strings.Contains(s, "completeness 100%") {
+		t.Errorf("gossip churn report not lossless:\n%s", s)
+	}
+}
+
+func TestChurnPartitionHomeScenario(t *testing.T) {
+	var out bytes.Buffer
+	args := []string{"-scenario", "churn", "-replay", "-detector", "gossip",
+		"-events", "40", "-crash-every", "12", "-partition-home", "5"}
+	if err := run(args, &out); err != nil {
+		t.Fatal(err)
+	}
+	s := out.String()
+	if !strings.Contains(s, "monitor peer partitioned away after 5 events") ||
+		!strings.Contains(s, "completeness 100%") {
+		t.Errorf("partition-home gossip run not lossless:\n%s", s)
+	}
+}
+
+func TestChurnBadDetectorRejected(t *testing.T) {
+	if err := run([]string{"-scenario", "churn", "-detector", "psychic"}, &bytes.Buffer{}); err == nil {
+		t.Fatal("unknown detector mode accepted")
+	}
+}
+
+func TestDetectorFlagOutsideChurnRejected(t *testing.T) {
+	if err := run([]string{"-scenario", "rss", "-detector", "gossip"}, &bytes.Buffer{}); err == nil {
+		t.Fatal("-detector accepted outside the churn scenario")
+	}
+}

@@ -1,3 +1,3 @@
 module p2pm
 
-go 1.24
+go 1.23

@@ -8,38 +8,52 @@ import (
 )
 
 func init() {
-	register("X2", "self-healing under churn — result completeness and failover latency vs crash rate, with and without replay (extension)", runX2)
+	register("X2", "self-healing under churn — completeness and failover latency vs crash rate, by replay and detector mode, plus detector survivability under a partitioned home (extension)", runX2)
 }
 
 // runX2 measures the churn extension: a subscription whose relay
 // operator is repeatedly killed while events flow. The monitor must
 // detect each death, migrate the operator (ACME-style: the monitor
-// tolerates the failures it observes), and keep delivering results. Each
-// crash rate runs twice — replay off (PR 1's lossy fail-stop: the outage
-// windows are the completeness loss) and replay on (upstream replay
-// buffers + operator checkpointing: every loss is retransmitted after
-// the migration). The paper itself assumes a healthy network; the
-// monitoring semantics it does assume — the query result a centralized
-// evaluator would compute — is what the replay column restores to 100%.
+// tolerates the failures it observes), and keep delivering results.
+//
+// Two axes. Replay: off is PR 1's lossy fail-stop (outage windows are
+// the completeness loss), on retransmits every loss after migration.
+// Detector: "home" is one heartbeat detector at a single peer, "gossip"
+// is PR 3's SWIM-style decentralized detection with a quorum-confirmed
+// membership view — it must match home mode's lossless completeness at
+// every churn rate while spreading the detection load.
+//
+// The survivability table is the reason gossip exists: the peer a home
+// detector lives on is partitioned away, then the relay actually
+// crashes. Gossip detection keeps working (completeness stays 100%
+// with replay); the home detector goes blind, its silence-is-death
+// rule kills the healthy peers, and the run demonstrably loses data.
 func runX2(s Scale) (*Result, error) {
 	res := &Result{
 		ID:    "X2",
-		Claim: `"P2P systems are characterized by their dynamicity: peers join and leave" (§1) — extension: the monitor self-heals under that dynamicity; with replay buffers and checkpointing the healing is lossless (completeness 100%), without them the loss is bounded by the outage windows`,
+		Claim: `"P2P systems are characterized by their dynamicity: peers join and leave" (§1) — extension: the monitor self-heals under that dynamicity; with replay the healing is lossless at every crash rate in BOTH detector modes, and only decentralized (gossip) detection survives the loss of the detector's own host`,
 	}
 	events := 120
 	rates := []int{0, 30, 15, 8}
+	partRate := 15
 	if s == Quick {
-		events, rates = 40, []int{0, 12}
+		events, rates, partRate = 40, []int{0, 12}, 12
 	}
 	table := stats.NewTable("churn rate vs result completeness and failover latency",
-		"crash every", "replay", "crashes", "repairs", "completeness", "replayed", "mean detect (s)", "msgs", "dropped")
+		"crash every", "replay", "detector", "crashes", "repairs", "completeness", "replayed", "mean detect (s)", "msgs", "dropped")
 	holds := true
+	type mode struct {
+		replay   bool
+		detector string
+	}
+	modes := []mode{{false, "home"}, {true, "home"}, {true, "gossip"}}
 	for _, k := range rates {
-		for _, replay := range []bool{false, true} {
+		for _, m := range modes {
 			cfg := workload.DefaultChurn()
 			cfg.Events = events
 			cfg.CrashEvery = k
-			cfg.Replay = replay
+			cfg.Replay = m.replay
+			cfg.Detector = m.detector
 			lab, err := workload.SetupChurn(cfg)
 			if err != nil {
 				return nil, err
@@ -53,22 +67,24 @@ func runX2(s Scale) (*Result, error) {
 				label = fmt.Sprintf("%d events", k)
 			}
 			onOff := "off"
-			if replay {
+			if m.replay {
 				onOff = "on"
 			}
-			table.AddRow(label, onOff, rep.Crashes, rep.Repairs,
+			table.AddRow(label, onOff, m.detector, rep.Crashes, rep.Repairs,
 				fmt.Sprintf("%.0f%%", rep.Completeness()*100),
 				rep.Replayed,
 				fmt.Sprintf("%.1f", rep.DetectionLatency.Mean()),
 				rep.Traffic.Messages, rep.Traffic.Dropped)
 			switch {
 			case k == 0:
-				// The baseline must be perfect either way: no churn, no loss.
-				holds = holds && rep.Completeness() == 1 && rep.Crashes == 0
-			case replay:
-				// The goal line: under churn, replay recovers every outage
-				// window — completeness is exactly 100% and the recovery is
-				// genuine retransmission, not luck.
+				// The baseline must be perfect in every mode: no churn, no
+				// loss, no deaths invented by the detector.
+				holds = holds && rep.Completeness() == 1 && rep.Crashes == 0 && rep.Deaths == 0
+			case m.replay:
+				// The goal line, identical for home and gossip: under
+				// churn, replay recovers every outage window — completeness
+				// is exactly 100% and the recovery is genuine
+				// retransmission, not luck.
 				holds = holds && rep.Crashes > 0 &&
 					rep.Deaths == rep.Crashes &&
 					rep.Repairs >= rep.Crashes &&
@@ -85,9 +101,52 @@ func runX2(s Scale) (*Result, error) {
 		}
 	}
 	res.Tables = append(res.Tables, table)
+
+	// Detector survivability: the old home peer is partitioned away
+	// early in the run; the relay crash schedule continues. Replay is on
+	// in both rows — any loss is a detection failure, not a transport
+	// one.
+	surv := stats.NewTable("detector survivability — home peer partitioned mid-run (replay on)",
+		"detector", "crashes", "repairs", "completeness", "mean detect (s)", "deaths declared")
+	for _, det := range []string{"home", "gossip"} {
+		cfg := workload.DefaultChurn()
+		cfg.Events = events
+		cfg.CrashEvery = partRate
+		cfg.Replay = true
+		cfg.Detector = det
+		cfg.PartitionHomeAfter = events / 8
+		lab, err := workload.SetupChurn(cfg)
+		if err != nil {
+			return nil, err
+		}
+		rep, err := lab.Run()
+		if err != nil {
+			return nil, err
+		}
+		surv.AddRow(det, rep.Crashes, rep.Repairs,
+			fmt.Sprintf("%.0f%%", rep.Completeness()*100),
+			fmt.Sprintf("%.1f", rep.DetectionLatency.Mean()),
+			rep.Deaths)
+		if det == "gossip" {
+			// Gossip must still inject, detect and repair relay crashes
+			// with the old home cut off, ending lossless.
+			holds = holds && rep.Crashes > 0 &&
+				rep.Repairs >= rep.Crashes &&
+				rep.Completeness() == 1
+		} else {
+			// The home detector demonstrably fails this case: blinded by
+			// the partition, it mass-false-positives the healthy peers and
+			// the run loses data.
+			holds = holds && rep.Completeness() < 1
+		}
+	}
+	res.Tables = append(res.Tables, surv)
+
 	res.Notes = append(res.Notes,
 		"replay off: loss per crash is bounded by the outage window (suspicion timeout × event rate); results driven while the relay is healthy always arrive",
 		"replay on: the relay's input replays from the upstream retention buffer at re-deploy (resuming from the replicated checkpoint) and consumer cursors deduplicate the overlap — completeness 100% with bounded buffers",
+		"gossip detection: each peer probes a random Fanout-sized subset per period (O(1)/peer vs O(n) at the home hotspot), escalates through k proxies, and the supervisor acts on a quorum-confirmed view — same lossless completeness, no single point of blindness",
+		"survivability: with the home peer partitioned, home mode's silence-is-death rule kills healthy peers while gossip keeps detecting real crashes (docs/DETECTOR.md)",
 		"failover prefers peers that announced a replica of the affected stream (Section 5's InChannel records)")
 	res.Holds = holds
 	return res, nil

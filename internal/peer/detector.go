@@ -6,6 +6,25 @@ import (
 	"time"
 )
 
+// FailureDetector is what the supervisor consumes: a source of
+// death/recovery events over a watched membership, ticked on the
+// virtual clock by System.Step. Two implementations exist — the
+// single-home heartbeat Detector (this file) and the decentralized
+// GossipDetector (gossip.go).
+type FailureDetector interface {
+	// Watch adds a peer to the watched membership.
+	Watch(peer string)
+	// OnDeath registers a callback fired when a peer is declared dead.
+	OnDeath(f func(peer string, at time.Duration))
+	// OnRecover registers a callback fired when a declared-dead peer is
+	// heard from again.
+	OnRecover(f func(peer string, at time.Duration))
+	// Suspects returns the peers currently declared dead, sorted.
+	Suspects() []string
+	// Tick advances the detector to the current virtual time.
+	Tick()
+}
+
 // DetectorOptions configures a heartbeat failure detector.
 type DetectorOptions struct {
 	// Interval is the heartbeat period (virtual time). Default 1s.

@@ -91,20 +91,41 @@ func aliveOnly(s *System, inner reuse.Chooser) reuse.Chooser {
 // Supervisor couples a failure detector with self-healing: a declared
 // death triggers FailPeer (crash the substrate links, re-replicate DHT
 // keys, migrate the dead peer's operators), a recovery rejoins the peer.
+// The detector may be the single-home heartbeat Detector or the
+// decentralized GossipDetector — the supervisor only sees the
+// FailureDetector events.
 type Supervisor struct {
 	sys *System
-	det *Detector
+	det FailureDetector
 
 	mu     sync.Mutex
 	events []FailoverEvent
 	deaths []string
 }
 
-// StartSupervisor starts a failure detector hosted at home (watching all
-// currently registered peers) and wires self-healing to it. Tick it via
-// System.Step.
+// StartSupervisor starts a heartbeat failure detector hosted at home
+// (watching all currently registered peers) and wires self-healing to
+// it. Tick it via System.Step.
 func (s *System) StartSupervisor(home string, opts DetectorOptions) *Supervisor {
-	sup := &Supervisor{sys: s, det: s.StartDetector(home, opts)}
+	return s.superviseDetector(s.StartDetector(home, opts))
+}
+
+// StartGossipSupervisor wires self-healing to a SWIM-style gossip
+// failure detector spanning every registered peer. Unlike
+// StartSupervisor there is no home: detection is hosted everywhere, and
+// the supervisor acts on the quorum-confirmed membership view, so it
+// keeps working when any individual peer — including whichever peer a
+// home detector would have lived on — crashes or is partitioned away.
+func (s *System) StartGossipSupervisor(opts GossipOptions) *Supervisor {
+	if opts.Seed == 0 {
+		opts.Seed = s.opts.Seed
+	}
+	return s.superviseDetector(s.StartGossipDetector(opts))
+}
+
+// superviseDetector is the shared supervisor wiring over any detector.
+func (s *System) superviseDetector(det FailureDetector) *Supervisor {
+	sup := &Supervisor{sys: s, det: det}
 	sup.det.OnDeath(func(peer string, at time.Duration) {
 		evs := s.FailPeer(peer, at)
 		sup.mu.Lock()
@@ -120,7 +141,7 @@ func (s *System) StartSupervisor(home string, opts DetectorOptions) *Supervisor 
 
 // Detector exposes the underlying failure detector (e.g. to Watch peers
 // added after the supervisor started).
-func (sup *Supervisor) Detector() *Detector { return sup.det }
+func (sup *Supervisor) Detector() FailureDetector { return sup.det }
 
 // Events returns all failover actions taken so far.
 func (sup *Supervisor) Events() []FailoverEvent {
@@ -161,6 +182,21 @@ func (s *System) FailPeer(dead string, at time.Duration) []FailoverEvent {
 	}
 	s.mu.Unlock()
 	var events []FailoverEvent
+	// Phase 0: re-home orphaned tasks. A task whose subscription manager
+	// died would otherwise vanish from every live peer's database —
+	// never repaired, never checkpointed, never swept (PR 2's
+	// "orphaned manager" gap). The management role moves to a live
+	// peer, which then owns the repair of whatever the dead peer also
+	// hosted (phases 1–2 find the task in its new home).
+	if mgrPeer := s.Peer(dead); mgrPeer != nil {
+		for _, t := range sortedTasks(mgrPeer) {
+			newMgr := s.leastLoadedLive(dead)
+			if newMgr == "" {
+				continue // nobody left to adopt it; the task stays orphaned
+			}
+			events = append(events, s.rehomeTask(mgrPeer, t, newMgr, at))
+		}
+	}
 	// Phase 1: re-deploy the operators the dead peer hosted. This runs
 	// before consumer re-binding so replacement providers exist (and are
 	// announced as replicas) by the time consumers look for one.
@@ -177,6 +213,52 @@ func (s *System) FailPeer(dead string, at time.Duration) []FailoverEvent {
 		}
 	}
 	return events
+}
+
+// rehomeTask moves a task's subscription-manager role off a dead peer:
+// the task record migrates to newMgr's subscription database and the
+// result reader re-binds there, resuming from the result cursor when
+// the replay layer is on. Operators the dead peer hosted (often
+// including the publisher, when the manager ran it locally) are NOT
+// handled here — the task now lives in a live peer's database, so the
+// ordinary repair phases find and migrate them.
+func (s *System) rehomeTask(old *Peer, t *Task, newMgr string, at time.Duration) FailoverEvent {
+	np := s.Peer(newMgr)
+	old.mu.Lock()
+	delete(old.tasks, t.ID)
+	old.mu.Unlock()
+	np.mu.Lock()
+	np.tasks[t.ID] = t
+	np.mu.Unlock()
+	t.Manager = newMgr
+
+	// Re-bind the result reader at the new manager. When the named
+	// channel itself sat on the dead peer the publisher is about to be
+	// re-deployed (phase 1), which re-binds results as part of the
+	// migration — re-binding to the doomed channel here would replay
+	// from a buffer that died with its host.
+	ch := t.namedCh
+	if ch == nil {
+		ch = t.resultCh
+	}
+	if ch != nil && ch.Ref().PeerID != old.name {
+		if t.resultSub != nil {
+			t.resultSub.Detach()
+		}
+		var resume uint64
+		if t.resultCur != nil && ch.ReplayEnabled() {
+			resume = t.resultCur.Next()
+		}
+		np.bindResults(t, ch, resume)
+	}
+	// The adopting manager pulls the subscription-database record from
+	// its surviving DHT copy (the dead peer's links are already cut, so
+	// nothing can flow to or from it); the fetch is accounted like any
+	// other repair control message.
+	if owner, err := s.Ring.Owner(t.ID); err == nil {
+		s.Net.CountTransfer(owner, newMgr, ctrlMsgBytes)
+	}
+	return FailoverEvent{TaskID: t.ID, Operator: "manager", From: old.name, To: newMgr, At: at}
 }
 
 // RejoinPeer brings a recovered peer back: its links come up and it
@@ -442,9 +524,11 @@ func (p *Peer) redeployOperator(t *Task, n *algebra.Node, dead string, at time.D
 	}, nil
 }
 
-// redeployPublisher moves a task's publisher fan-out off a dead host
-// (the manager itself is alive — a dead manager's tasks are orphaned and
-// never reach this path). A new named channel with the same ChannelID
+// redeployPublisher moves a task's publisher fan-out off a dead host.
+// The task's manager is live by the time this runs — either it was
+// never the dead peer, or FailPeer phase 0 already re-homed the
+// management role (rehomeTask) — but the publisher may have sat on the
+// dead peer either way. A new named channel with the same ChannelID
 // opens at a live peer, the sink fan-out is rebuilt over the task-level
 // sink state, the manager's result subscription re-binds to it, and a
 // replica record chains the old channel identity to the new one so

@@ -1,0 +1,642 @@
+// SWIM-style gossip failure detection (Das et al. 2002, adapted to the
+// virtual clock): every peer probes a random member each protocol
+// period, escalates to indirect probes through k proxies before
+// suspecting, and piggybacks alive/suspect/dead membership updates with
+// incarnation numbers on the probe traffic. A suspected peer that is
+// still alive learns of the suspicion from the gossip and refutes it by
+// bumping its incarnation. The supervisor consumes a quorum-confirmed
+// aggregate of the per-peer views, so no single peer's blindness — the
+// home detector's failure mode — can declare a death (or survive one
+// undetected): detection keeps working when any individual peer,
+// including the former detector home, crashes or is partitioned away.
+//
+// Detection traffic is O(1) per peer per period (one probe round trip
+// plus at most k indirect relays, each carrying a bounded piggyback),
+// instead of the home detector's O(n) heartbeats converging on one
+// hotspot.
+package peer
+
+import (
+	"math"
+	"math/rand"
+	"sort"
+	"sync"
+	"time"
+)
+
+// GossipOptions configures the gossip failure detector.
+type GossipOptions struct {
+	// Seed drives probe-target and proxy selection. The protocol is
+	// deterministic on the virtual clock for a fixed seed: same seed,
+	// same membership, same fault schedule ⇒ identical suspect/dead
+	// timelines. Default 1.
+	Seed int64
+	// ProbeInterval is one protocol period: each member probes Fanout
+	// random other members per period. Default 1s.
+	ProbeInterval time.Duration
+	// Fanout is how many distinct members each peer probes per period.
+	// SWIM's classic setting is 1; raising it cuts the tail of the
+	// time-to-first-probe distribution (and so worst-case detection
+	// latency) linearly at linearly more probe traffic. Default 1.
+	Fanout int
+	// ProbeTimeout bounds the round-trip a probe (direct, or one
+	// indirect relay path) may take before it counts as failed; links
+	// slower than this look dead, the classic accuracy/latency
+	// trade-off. Default 500ms.
+	ProbeTimeout time.Duration
+	// IndirectProxies is k, the number of random proxies asked to probe
+	// the target on the prober's behalf before it is suspected.
+	// Default 2.
+	IndirectProxies int
+	// Suspicion is how long a member may stay suspected in a view
+	// without an alive refutation before that view declares it dead.
+	// Default 3×ProbeInterval.
+	Suspicion time.Duration
+	// Quorum is how many independent views must declare a member dead
+	// before the aggregate (what the supervisor acts on) confirms the
+	// death. It is clamped to the number of members able to vote. A
+	// quorum ≥ 2 is what makes one isolated peer's false positives
+	// harmless. Default 2.
+	Quorum int
+	// ProbeBytes is the accounted wire size of one probe or ack without
+	// piggyback. Default 48.
+	ProbeBytes int
+	// PiggybackBytes is the accounted size of one piggybacked
+	// membership update. Default 24.
+	PiggybackBytes int
+	// MaxPiggyback bounds how many updates ride on one message.
+	// Default 6.
+	MaxPiggyback int
+	// RetransmitFactor is λ: each update is piggybacked on at most
+	// λ·⌈log₂(n+1)⌉ outgoing messages per view, the epidemic
+	// dissemination budget. Default 3.
+	RetransmitFactor int
+}
+
+func (o GossipOptions) withDefaults() GossipOptions {
+	if o.Seed == 0 {
+		o.Seed = 1
+	}
+	if o.ProbeInterval <= 0 {
+		o.ProbeInterval = time.Second
+	}
+	if o.ProbeTimeout <= 0 {
+		o.ProbeTimeout = 500 * time.Millisecond
+	}
+	if o.Fanout <= 0 {
+		o.Fanout = 1
+	}
+	if o.IndirectProxies <= 0 {
+		o.IndirectProxies = 2
+	}
+	if o.Suspicion <= 0 {
+		o.Suspicion = 3 * o.ProbeInterval
+	}
+	if o.Quorum <= 0 {
+		o.Quorum = 2
+	}
+	if o.ProbeBytes <= 0 {
+		o.ProbeBytes = 48
+	}
+	if o.PiggybackBytes <= 0 {
+		o.PiggybackBytes = 24
+	}
+	if o.MaxPiggyback <= 0 {
+		o.MaxPiggyback = 6
+	}
+	if o.RetransmitFactor <= 0 {
+		o.RetransmitFactor = 3
+	}
+	return o
+}
+
+// gossipStatus is the SWIM member state in one view.
+type gossipStatus uint8
+
+const (
+	gossipAlive gossipStatus = iota
+	gossipSuspect
+	gossipDead
+)
+
+func (s gossipStatus) String() string {
+	switch s {
+	case gossipAlive:
+		return "alive"
+	case gossipSuspect:
+		return "suspect"
+	default:
+		return "dead"
+	}
+}
+
+// memberInfo is one view's knowledge about one other member.
+type memberInfo struct {
+	status gossipStatus
+	inc    uint64        // highest incarnation this view has seen
+	since  time.Duration // virtual time the current status was entered
+}
+
+// gossipUpdate is one piggybacked membership statement.
+type gossipUpdate struct {
+	peer   string
+	status gossipStatus
+	inc    uint64
+	left   int // remaining transmissions (epidemic budget)
+}
+
+// gossipView is one peer's local membership view: its own incarnation,
+// what it believes about every other member, and the updates it still
+// owes the gossip stream.
+type gossipView struct {
+	self      string
+	inc       uint64 // own incarnation, bumped to refute suspicion
+	members   map[string]*memberInfo
+	queue     []gossipUpdate // pending dissemination, round-robin
+	nextProbe time.Duration  // virtual time of the next protocol period
+}
+
+// GossipDetector runs the protocol for every member on the shared
+// virtual clock: System.Step ticks it, one probe round per member per
+// ProbeInterval, deterministically (sorted member order, seeded RNG).
+// It implements FailureDetector; the supervisor sees only the
+// quorum-confirmed aggregate.
+type GossipDetector struct {
+	sys  *System
+	opts GossipOptions
+
+	mu        sync.Mutex
+	rng       *rand.Rand
+	views     map[string]*gossipView
+	order     []string        // sorted member names
+	confirmed map[string]bool // aggregate: quorum-confirmed dead
+	onDeath   []func(peer string, at time.Duration)
+	onRecover []func(peer string, at time.Duration)
+
+	// probes/indirect/piggybacked count protocol activity for the
+	// tuning and traffic experiments.
+	probes      uint64
+	indirect    uint64
+	piggybacked uint64
+}
+
+// StartGossipDetector starts the gossip protocol over every currently
+// registered peer. It is ticked by System.Step like any detector.
+func (s *System) StartGossipDetector(opts GossipOptions) *GossipDetector {
+	g := &GossipDetector{
+		sys:       s,
+		opts:      opts.withDefaults(),
+		views:     make(map[string]*gossipView),
+		confirmed: make(map[string]bool),
+	}
+	g.rng = rand.New(rand.NewSource(g.opts.Seed))
+	for _, p := range s.Peers() {
+		g.addMember(p)
+	}
+	s.mu.Lock()
+	s.detectors = append(s.detectors, g)
+	s.mu.Unlock()
+	return g
+}
+
+// Watch adds a peer to the member set: every view learns about it and
+// it gets a view of its own. Safe for peers added after the start.
+func (g *GossipDetector) Watch(peer string) {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	g.addMember(peer)
+}
+
+// addMember registers a member (caller holds no lock at start time, the
+// lock during Watch; both are single-threaded setup paths).
+func (g *GossipDetector) addMember(name string) {
+	if _, ok := g.views[name]; ok {
+		return
+	}
+	now := g.sys.Net.Clock().Now()
+	v := &gossipView{
+		self:      name,
+		members:   make(map[string]*memberInfo),
+		nextProbe: now + g.opts.ProbeInterval,
+	}
+	for _, other := range g.order {
+		v.members[other] = &memberInfo{status: gossipAlive, since: now}
+		g.views[other].members[name] = &memberInfo{status: gossipAlive, since: now}
+	}
+	g.views[name] = v
+	g.order = append(g.order, name)
+	sort.Strings(g.order)
+}
+
+// OnDeath registers a callback fired (outside the lock) when the
+// aggregate confirms a member dead.
+func (g *GossipDetector) OnDeath(f func(peer string, at time.Duration)) {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	g.onDeath = append(g.onDeath, f)
+}
+
+// OnRecover registers a callback fired when a confirmed-dead member is
+// quorum-refuted alive again.
+func (g *GossipDetector) OnRecover(f func(peer string, at time.Duration)) {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	g.onRecover = append(g.onRecover, f)
+}
+
+// Suspects returns the members the aggregate currently confirms dead,
+// sorted — the quorum view the supervisor acts on.
+func (g *GossipDetector) Suspects() []string {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	var out []string
+	for p, dead := range g.confirmed {
+		if dead {
+			out = append(out, p)
+		}
+	}
+	sort.Strings(out)
+	return out
+}
+
+// ViewOf reports one member's local opinion of another (diagnostics and
+// tests): status name and incarnation.
+func (g *GossipDetector) ViewOf(owner, about string) (string, uint64, bool) {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	v := g.views[owner]
+	if v == nil {
+		return "", 0, false
+	}
+	m := v.members[about]
+	if m == nil {
+		return "", 0, false
+	}
+	return m.status.String(), m.inc, true
+}
+
+// ProtocolCounters returns (direct probes sent, indirect probe relays,
+// piggybacked updates) so experiments can report the detection cost.
+func (g *GossipDetector) ProtocolCounters() (probes, indirect, piggybacked uint64) {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	return g.probes, g.indirect, g.piggybacked
+}
+
+// gossipEvent is one aggregate state change to report.
+type gossipEvent struct {
+	peer  string
+	at    time.Duration
+	death bool
+}
+
+// Tick advances the protocol to the current virtual time: every member
+// runs the probe rounds due since the last tick (in sorted member
+// order, so the seeded RNG draws are reproducible), per-view suspicion
+// timeouts fire, and the quorum aggregate is recomputed. Death and
+// recovery callbacks fire after the state update, outside the lock.
+func (g *GossipDetector) Tick() {
+	now := g.sys.Net.Clock().Now()
+	g.mu.Lock()
+	// Run protocol periods round by round across members, not member by
+	// member across rounds, so dissemination within a period reaches
+	// every view before the next period starts (matching the real
+	// concurrent execution).
+	for {
+		ran := false
+		for _, name := range g.order {
+			v := g.views[name]
+			if v.nextProbe > now {
+				continue
+			}
+			at := v.nextProbe
+			v.nextProbe += g.opts.ProbeInterval
+			ran = true
+			// A crashed peer runs no protocol rounds; its view freezes
+			// until it recovers (fail-stop, not byzantine).
+			if !g.sys.Net.Alive(name) {
+				continue
+			}
+			g.probeRound(v, at)
+		}
+		if !ran {
+			break
+		}
+		// Suspicion timeouts run per period so a suspect declared dead
+		// in one round is disseminated in the next.
+		g.sweepSuspicion(now)
+	}
+	g.sweepSuspicion(now)
+	events := g.aggregateLocked(now)
+	deathFns := append([]func(string, time.Duration){}, g.onDeath...)
+	recoverFns := append([]func(string, time.Duration){}, g.onRecover...)
+	g.mu.Unlock()
+
+	for _, e := range events {
+		if e.death {
+			for _, f := range deathFns {
+				f(e.peer, e.at)
+			}
+		} else {
+			for _, f := range recoverFns {
+				f(e.peer, e.at)
+			}
+		}
+	}
+}
+
+// probeRound is one SWIM protocol period for one member: probe a
+// random subset of Fanout members directly, escalate each failure
+// through k random proxies, and suspect a target when every path to it
+// fails.
+func (g *GossipDetector) probeRound(v *gossipView, at time.Duration) {
+	for _, target := range g.pickTargets(v) {
+		g.probes++
+		if g.directProbe(v, target) {
+			continue
+		}
+		// Indirect escalation: ask k random live-believed proxies to
+		// probe the target on our behalf. Any successful relay path
+		// refutes the failure (it was our link, not the target).
+		ok := false
+		for _, proxy := range g.pickProxies(v, target) {
+			g.indirect++
+			if g.relayProbe(v, proxy, target) {
+				ok = true
+				break
+			}
+		}
+		if !ok {
+			g.suspect(v, target, at)
+		}
+	}
+}
+
+// pickTargets selects this period's probe subset uniformly from the
+// other members — including dead-believed ones, which is how a
+// recovered peer is re-discovered without a join protocol.
+func (g *GossipDetector) pickTargets(v *gossipView) []string {
+	candidates := make([]string, 0, len(g.order)-1)
+	for _, name := range g.order {
+		if name != v.self {
+			candidates = append(candidates, name)
+		}
+	}
+	if len(candidates) == 0 {
+		return nil
+	}
+	g.rng.Shuffle(len(candidates), func(i, j int) {
+		candidates[i], candidates[j] = candidates[j], candidates[i]
+	})
+	if len(candidates) > g.opts.Fanout {
+		candidates = candidates[:g.opts.Fanout]
+	}
+	sort.Strings(candidates) // deterministic probe order within the round
+	return candidates
+}
+
+// pickProxies selects up to k distinct proxies believed alive, not the
+// target, not self.
+func (g *GossipDetector) pickProxies(v *gossipView, target string) []string {
+	var candidates []string
+	for _, name := range g.order {
+		if name == v.self || name == target {
+			continue
+		}
+		if m := v.members[name]; m != nil && m.status == gossipAlive {
+			candidates = append(candidates, name)
+		}
+	}
+	g.rng.Shuffle(len(candidates), func(i, j int) {
+		candidates[i], candidates[j] = candidates[j], candidates[i]
+	})
+	if len(candidates) > g.opts.IndirectProxies {
+		candidates = candidates[:g.opts.IndirectProxies]
+	}
+	sort.Strings(candidates) // deterministic relay order
+	return candidates
+}
+
+// directProbe sends probe + ack between two members, each leg carrying
+// piggybacked updates. It succeeds when both legs survive the fault
+// model and the round trip beats the timeout.
+func (g *GossipDetector) directProbe(v *gossipView, target string) bool {
+	tv := g.views[target]
+	lat1, ok := g.message(v, tv)
+	if !ok {
+		return false
+	}
+	lat2, ok := g.message(tv, v)
+	if !ok {
+		return false
+	}
+	if lat1+lat2 > g.opts.ProbeTimeout {
+		return false
+	}
+	g.observeAlive(v, target, tv.inc)
+	return true
+}
+
+// relayProbe routes probe + ack through one proxy: four legs, each
+// gossiping, all four within the shared timeout budget.
+func (g *GossipDetector) relayProbe(v *gossipView, proxy, target string) bool {
+	pv, tv := g.views[proxy], g.views[target]
+	total := time.Duration(0)
+	for _, leg := range [][2]*gossipView{{v, pv}, {pv, tv}, {tv, pv}, {pv, v}} {
+		lat, ok := g.message(leg[0], leg[1])
+		if !ok {
+			return false
+		}
+		total += lat
+	}
+	if total > g.opts.ProbeTimeout {
+		return false
+	}
+	g.observeAlive(v, target, tv.inc)
+	// The proxy heard the target too.
+	g.observeAlive(pv, target, tv.inc)
+	return true
+}
+
+// message ships one protocol message from → to under the fault model,
+// carrying from's piggybacked updates into to's view. Every message
+// also states the sender's current opinion OF the recipient — the
+// first-hand channel through which a falsely suspected (or recovered)
+// peer learns of the rumor and refutes it, even after the rumor's
+// epidemic budget is spent. Returns the link latency and whether the
+// message survived.
+func (g *GossipDetector) message(from, to *gossipView) (time.Duration, bool) {
+	updates := g.takePiggyback(from)
+	bytes := g.opts.ProbeBytes + len(updates)*g.opts.PiggybackBytes
+	lat, ok := g.sys.Net.Ping(from.self, to.self, bytes)
+	if !ok {
+		return 0, false
+	}
+	g.piggybacked += uint64(len(updates))
+	now := g.sys.Net.Clock().Now()
+	for _, u := range updates {
+		g.applyUpdate(to, u, now)
+	}
+	if m := from.members[to.self]; m != nil && m.status != gossipAlive {
+		g.applyUpdate(to, gossipUpdate{peer: to.self, status: m.status, inc: m.inc}, now)
+	}
+	return lat, true
+}
+
+// takePiggyback dequeues up to MaxPiggyback updates, consuming one unit
+// of each sent update's epidemic budget; still-budgeted entries requeue
+// behind the ones that waited (round-robin fairness).
+func (g *GossipDetector) takePiggyback(v *gossipView) []gossipUpdate {
+	n := g.opts.MaxPiggyback
+	if n > len(v.queue) {
+		n = len(v.queue)
+	}
+	if n == 0 {
+		return nil
+	}
+	out := make([]gossipUpdate, n)
+	copy(out, v.queue[:n])
+	keep := make([]gossipUpdate, 0, len(v.queue))
+	keep = append(keep, v.queue[n:]...)
+	for _, u := range v.queue[:n] {
+		u.left--
+		if u.left > 0 {
+			keep = append(keep, u)
+		}
+	}
+	v.queue = keep
+	return out
+}
+
+// enqueue adds (or refreshes) an update in a view's dissemination
+// queue with a fresh epidemic budget.
+func (g *GossipDetector) enqueue(v *gossipView, u gossipUpdate) {
+	u.left = g.budget()
+	for i := range v.queue {
+		if v.queue[i].peer == u.peer {
+			v.queue[i] = u
+			return
+		}
+	}
+	v.queue = append(v.queue, u)
+}
+
+// budget is λ·⌈log₂(n+1)⌉, the SWIM retransmission allowance.
+func (g *GossipDetector) budget() int {
+	n := len(g.order)
+	if n < 1 {
+		n = 1
+	}
+	return g.opts.RetransmitFactor * int(math.Ceil(math.Log2(float64(n+1))))
+}
+
+// rank orders statuses at equal incarnation: dead > suspect > alive
+// (SWIM's precedence — a confirm overrides, a suspicion overrides an
+// alive of the same incarnation, an alive refutes only with a higher
+// incarnation).
+func rank(s gossipStatus) int { return int(s) }
+
+// applyUpdate merges one gossiped statement into a view under the SWIM
+// precedence rules, re-gossiping anything that changed the view.
+func (g *GossipDetector) applyUpdate(v *gossipView, u gossipUpdate, now time.Duration) {
+	if u.peer == v.self {
+		// Refutation: someone claims we are suspect or dead. Bump our
+		// incarnation above the claim and gossip the alive statement —
+		// it outranks the rumor everywhere it lands.
+		if u.status != gossipAlive && u.inc >= v.inc {
+			v.inc = u.inc + 1
+			g.enqueue(v, gossipUpdate{peer: v.self, status: gossipAlive, inc: v.inc})
+		}
+		return
+	}
+	m := v.members[u.peer]
+	if m == nil {
+		return // unknown member (Watch raced); ignore
+	}
+	if u.inc < m.inc || (u.inc == m.inc && rank(u.status) <= rank(m.status)) {
+		return
+	}
+	if m.status != u.status {
+		m.since = now
+	}
+	m.status, m.inc = u.status, u.inc
+	g.enqueue(v, gossipUpdate{peer: u.peer, status: u.status, inc: u.inc})
+}
+
+// observeAlive records a successful direct observation of target (an
+// acked probe) at the target's current self-incarnation. The probe
+// itself told the target about any rumor this view held (the
+// opinion-of-recipient statement in message), so by the time the ack
+// returns the target's incarnation outranks the rumor and the standard
+// merge applies it.
+func (g *GossipDetector) observeAlive(v *gossipView, target string, inc uint64) {
+	g.applyUpdate(v, gossipUpdate{peer: target, status: gossipAlive, inc: inc}, g.sys.Net.Clock().Now())
+}
+
+// suspect marks the target suspected in v and gossips the suspicion.
+func (g *GossipDetector) suspect(v *gossipView, target string, at time.Duration) {
+	m := v.members[target]
+	if m == nil || m.status != gossipAlive {
+		return // already suspected or declared dead
+	}
+	m.status = gossipSuspect
+	m.since = at
+	g.enqueue(v, gossipUpdate{peer: target, status: gossipSuspect, inc: m.inc})
+}
+
+// sweepSuspicion promotes suspects whose refutation window expired to
+// dead, per view, and gossips the declaration.
+func (g *GossipDetector) sweepSuspicion(now time.Duration) {
+	for _, name := range g.order {
+		v := g.views[name]
+		if !g.sys.Net.Alive(name) {
+			continue
+		}
+		for _, other := range g.order {
+			m := v.members[other]
+			if m != nil && m.status == gossipSuspect && now-m.since > g.opts.Suspicion {
+				m.status = gossipDead
+				m.since = now
+				g.enqueue(v, gossipUpdate{peer: other, status: gossipDead, inc: m.inc})
+			}
+		}
+	}
+}
+
+// aggregateLocked recomputes the quorum-confirmed membership view and
+// returns the death/recovery transitions to report. Views owned by
+// confirmed-dead members do not vote — a partitioned or crashed peer's
+// opinions must not poison the aggregate.
+func (g *GossipDetector) aggregateLocked(now time.Duration) []gossipEvent {
+	var events []gossipEvent
+	for _, name := range g.order {
+		votes := 0
+		voters := 0
+		for _, owner := range g.order {
+			if owner == name || g.confirmed[owner] {
+				continue
+			}
+			voters++
+			if m := g.views[owner].members[name]; m != nil && m.status == gossipDead {
+				votes++
+			}
+		}
+		q := g.opts.Quorum
+		if q > voters {
+			q = voters
+		}
+		if q < 1 {
+			q = 1
+		}
+		dead := votes >= q
+		switch {
+		case dead && !g.confirmed[name]:
+			g.confirmed[name] = true
+			events = append(events, gossipEvent{peer: name, at: now, death: true})
+		case !dead && g.confirmed[name]:
+			g.confirmed[name] = false
+			events = append(events, gossipEvent{peer: name, at: now, death: false})
+		}
+	}
+	return events
+}

@@ -85,7 +85,7 @@ type System struct {
 	channels   map[stream.Ref]*stream.Channel
 	sidSeq     map[string]int
 	taskSeq    int
-	detectors  []*Detector
+	detectors  []FailureDetector
 	forwarders []*replicaForwarder
 	// stale marks channels whose producer migrated away during failover:
 	// the channel object survives (and its host may come back), but no
@@ -370,7 +370,7 @@ func (s *System) RefreshStreamStats() error {
 func (s *System) Step(d time.Duration) {
 	s.Net.Clock().Advance(d)
 	s.mu.Lock()
-	dets := append([]*Detector(nil), s.detectors...)
+	dets := append([]FailureDetector(nil), s.detectors...)
 	s.mu.Unlock()
 	for _, det := range dets {
 		det.Tick()

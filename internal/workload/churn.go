@@ -42,6 +42,18 @@ type ChurnConfig struct {
 	// CheckpointInterval is the operator checkpoint cadence when Replay
 	// is on; 0 picks a default of two heartbeat intervals.
 	CheckpointInterval time.Duration
+	// Detector selects the failure-detection mode: "home" (default —
+	// PR 1's single heartbeat detector hosted at mon) or "gossip"
+	// (SWIM-style decentralized detection with a quorum-confirmed
+	// membership view; see docs/DETECTOR.md).
+	Detector string
+	// PartitionHomeAfter, when > 0, isolates the monitor peer ("mon" —
+	// the home a heartbeat detector would live on) from the rest of
+	// the network after that many driven events. This is the detector
+	// survivability scenario: gossip detection keeps working, a home
+	// detector goes blind and its silence-is-death rule kills the
+	// healthy peers.
+	PartitionHomeAfter int
 }
 
 // DefaultChurn returns a moderate churn scenario.
@@ -53,6 +65,12 @@ func DefaultChurn() ChurnConfig {
 	}
 }
 
+// CrashEvent records one injected relay crash.
+type CrashEvent struct {
+	Victim string
+	At     time.Duration
+}
+
 // ChurnReport summarizes one churn run.
 type ChurnReport struct {
 	Driven   int    // events driven at the source
@@ -61,6 +79,8 @@ type ChurnReport struct {
 	Deaths   int    // deaths the detector declared
 	Repairs  int    // successful operator migrations
 	Replayed uint64 // items retransmitted from replay buffers
+	// CrashLog is the injected crash schedule, in injection order.
+	CrashLog []CrashEvent
 	// DetectionLatency summarizes virtual crash→declared-dead time.
 	DetectionLatency *stats.Summary
 	Traffic          simnet.Totals
@@ -141,9 +161,19 @@ func SetupChurn(cfg ChurnConfig) (*ChurnLab, error) {
 	if err != nil {
 		return nil, err
 	}
-	sup := sys.StartSupervisor("mon", peer.DetectorOptions{
-		Interval: cfg.HeartbeatInterval, Suspicion: cfg.Suspicion,
-	})
+	var sup *peer.Supervisor
+	switch cfg.Detector {
+	case "", "home":
+		sup = sys.StartSupervisor("mon", peer.DetectorOptions{
+			Interval: cfg.HeartbeatInterval, Suspicion: cfg.Suspicion,
+		})
+	case "gossip":
+		sup = sys.StartGossipSupervisor(peer.GossipOptions{
+			Seed: cfg.Seed, ProbeInterval: cfg.HeartbeatInterval, Suspicion: cfg.Suspicion,
+		})
+	default:
+		return nil, fmt.Errorf("workload: unknown detector mode %q (want home or gossip)", cfg.Detector)
+	}
 	return &ChurnLab{Sys: sys, Task: task, Sup: sup, cfg: cfg}, nil
 }
 
@@ -175,21 +205,46 @@ func (l *ChurnLab) settle() {
 	}
 }
 
+// pendingSuspects returns the detector's confirmed-dead set minus the
+// deliberately partitioned home peer: "mon" isolated by the
+// survivability scenario stays declared dead for the rest of the run,
+// and must not block the crash schedule's one-outstanding-crash rule.
+func (l *ChurnLab) pendingSuspects() []string {
+	sus := l.Sup.Detector().Suspects()
+	if l.cfg.PartitionHomeAfter <= 0 {
+		return sus
+	}
+	out := sus[:0]
+	for _, s := range sus {
+		if s != "mon" {
+			out = append(out, s)
+		}
+	}
+	return out
+}
+
 // Run drives the configured number of events while injecting the crash
-// schedule, stops the task, and reports completeness, failover counts
-// and detection latency. Events driven during an outage window (relay
-// dead, death not yet detected) are genuinely lost — that loss, versus
-// the churn rate, is the experiment's measurement.
+// (and, optionally, home-partition) schedule, stops the task, and
+// reports completeness, failover counts and detection latency. Events
+// driven during an outage window (relay dead, death not yet detected)
+// are genuinely lost — that loss, versus the churn rate, is the
+// experiment's measurement.
 func (l *ChurnLab) Run() (*ChurnReport, error) {
 	cfg := l.cfg
 	sys, client := l.Sys, l.Sys.Peer("c.com")
 	rep := &ChurnReport{DetectionLatency: &stats.Summary{}}
-	var crashAt []time.Duration
 	recoverAt := map[string]time.Duration{}
 
 	for i := 0; i < cfg.Events; i++ {
 		if _, err := client.Endpoint().Invoke("src.com", "Q", nil); err != nil {
-			return nil, err
+			// Only the home-partition scenario may wreck the deployment
+			// (the blind detector crashes the source fabric); there the
+			// event counts as driven-and-lost — that loss IS the
+			// measurement. Everywhere else a failed Invoke is a broken
+			// setup and must surface, not read as a completeness dip.
+			if cfg.PartitionHomeAfter <= 0 {
+				return nil, err
+			}
 		}
 		rep.Driven++
 		if cfg.Replay {
@@ -203,6 +258,15 @@ func (l *ChurnLab) Run() (*ChurnReport, error) {
 		}
 		sys.Step(cfg.Step)
 		now := sys.Net.Clock().Now()
+		if cfg.PartitionHomeAfter > 0 && rep.Driven == cfg.PartitionHomeAfter {
+			rest := make([]string, 0, len(sys.Peers()))
+			for _, p := range sys.Peers() {
+				if p != "mon" {
+					rest = append(rest, p)
+				}
+			}
+			sys.Net.Partition([]string{"mon"}, rest)
+		}
 		for peerName, at := range recoverAt {
 			if now >= at {
 				sys.Net.Recover(peerName) //nolint:errcheck // known node
@@ -213,21 +277,34 @@ func (l *ChurnLab) Run() (*ChurnReport, error) {
 			victim := l.RelayHost()
 			// Only one outstanding crash: skip if the pool is still
 			// healing from the last one.
-			if sys.Net.Alive(victim) && len(l.Sup.Detector().Suspects()) == 0 {
+			if sys.Net.Alive(victim) && len(l.pendingSuspects()) == 0 {
 				// Let the pipeline drain first: virtual time between
 				// events means earlier events are long delivered when the
 				// crash strikes, so the measured loss is the outage
 				// window itself, not a wall-clock scheduling artifact.
 				l.settle()
 				sys.Net.Crash(victim) //nolint:errcheck // known node
-				crashAt = append(crashAt, now)
+				rep.CrashLog = append(rep.CrashLog, CrashEvent{Victim: victim, At: now})
 				recoverAt[victim] = now + cfg.MTTR
 				rep.Crashes++
 			}
 		}
 	}
 	// Let outstanding detections finish so the run's cost is complete.
-	for i := 0; i < 64 && len(l.Sup.Deaths()) < rep.Crashes; i++ {
+	// The partitioned home's own (correct) death declaration is not an
+	// injected crash — counting it here would end the wait one real
+	// detection early.
+	injectedDeaths := func() int {
+		n := 0
+		for _, d := range l.Sup.Deaths() {
+			if cfg.PartitionHomeAfter > 0 && d == "mon" {
+				continue
+			}
+			n++
+		}
+		return n
+	}
+	for i := 0; i < 64 && injectedDeaths() < rep.Crashes; i++ {
 		sys.Step(cfg.Step)
 	}
 	if cfg.Replay {
@@ -235,10 +312,18 @@ func (l *ChurnLab) Run() (*ChurnReport, error) {
 		// stepping (migrations replay outage windows, anti-entropy sweeps
 		// refill link losses) until the last result lands. The bound is
 		// generous — on a loaded machine the operator goroutines may need
-		// many settle rounds to drain.
-		for i := 0; i < 1000 && l.Task.Results().Len() < rep.Driven; i++ {
+		// many settle rounds to drain — but a run whose substrate was
+		// destroyed (home-partition scenario) stops making progress, so
+		// bail once the count stalls.
+		last, stalled := -1, 0
+		for i := 0; i < 1000 && l.Task.Results().Len() < rep.Driven && stalled < 50; i++ {
 			sys.Step(cfg.Step)
 			l.settle()
+			if cur := l.Task.Results().Len(); cur == last {
+				stalled++
+			} else {
+				last, stalled = cur, 0
+			}
 		}
 	}
 	l.Task.Stop()
@@ -250,16 +335,14 @@ func (l *ChurnLab) Run() (*ChurnReport, error) {
 			rep.Repairs++
 		}
 	}
-	// Crashes were injected one at a time and deaths are reported in
-	// detection order, so the i-th death pairs with the i-th crash; its
-	// detection time is the At of its first repair event.
-	for i, death := range l.Sup.Deaths() {
-		if i >= len(crashAt) {
-			break
-		}
+	// Detection latency pairs each injected crash with the first repair
+	// event naming its victim at or after the crash time (deaths the
+	// supervisor declares for other reasons — the partitioned home —
+	// are not injected crashes and don't enter the latency sample).
+	for _, c := range rep.CrashLog {
 		for _, ev := range l.Sup.Events() {
-			if ev.From == death && ev.At >= crashAt[i] {
-				rep.DetectionLatency.Add(float64(ev.At-crashAt[i]) / float64(time.Second))
+			if ev.From == c.Victim && ev.At >= c.At {
+				rep.DetectionLatency.Add(float64(ev.At-c.At) / float64(time.Second))
 				break
 			}
 		}

@@ -77,3 +77,72 @@ func TestChurnConfigValidation(t *testing.T) {
 		t.Error("single-worker pool accepted")
 	}
 }
+
+// TestChurnGossipDetectorLossless: the gossip detector mode reaches the
+// same replay-on completeness as home mode under the same churn.
+func TestChurnGossipDetectorLossless(t *testing.T) {
+	cfg := DefaultChurn()
+	cfg.Events = 40
+	cfg.CrashEvery = 12
+	cfg.Replay = true
+	cfg.Detector = "gossip"
+	lab, err := SetupChurn(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep, err := lab.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Crashes == 0 {
+		t.Fatal("no crashes injected — the schedule never fired")
+	}
+	if rep.Deaths != rep.Crashes {
+		t.Errorf("deaths = %d, crashes = %d: gossip missed (or invented) a death", rep.Deaths, rep.Crashes)
+	}
+	if rep.Completeness() != 1 {
+		t.Errorf("completeness = %.2f, want 1.0 (%d/%d, replayed %d)",
+			rep.Completeness(), rep.Received, rep.Driven, rep.Replayed)
+	}
+	if rep.Replayed == 0 {
+		t.Error("nothing replayed — recovery was luck, not retransmission")
+	}
+}
+
+// TestChurnHomePartitionSurvivability: isolate the monitor peer, then
+// crash the relay. Gossip mode stays lossless; home mode goes blind and
+// demonstrably loses traffic.
+func TestChurnHomePartitionSurvivability(t *testing.T) {
+	run := func(detector string) *ChurnReport {
+		cfg := DefaultChurn()
+		cfg.Events = 40
+		cfg.CrashEvery = 12
+		cfg.Replay = true
+		cfg.Detector = detector
+		cfg.PartitionHomeAfter = 5
+		lab, err := SetupChurn(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		rep, err := lab.Run()
+		if err != nil {
+			t.Fatal(err)
+		}
+		return rep
+	}
+	g := run("gossip")
+	if g.Crashes == 0 {
+		t.Error("gossip: no relay crash was injected after the partition")
+	}
+	if g.Completeness() != 1 {
+		t.Errorf("gossip: completeness = %.2f, want 1.0 despite the partitioned home (%d/%d)",
+			g.Completeness(), g.Received, g.Driven)
+	}
+	if g.Repairs < g.Crashes {
+		t.Errorf("gossip: repairs = %d < crashes = %d", g.Repairs, g.Crashes)
+	}
+	h := run("home")
+	if h.Completeness() >= 1 {
+		t.Errorf("home: completeness = %.2f; a partitioned home detector should lose traffic — the blindness gossip removes", h.Completeness())
+	}
+}

@@ -74,9 +74,20 @@ type Ref = stream.Ref
 // suspicion threshold, accounted heartbeat size).
 type DetectorOptions = peer.DetectorOptions
 
+// GossipOptions configures the SWIM-style gossip failure detector
+// (probe interval/fanout/timeout, indirect proxies, suspicion window,
+// death quorum); see docs/DETECTOR.md.
+type GossipOptions = peer.GossipOptions
+
+// FailureDetector is the detector interface a Supervisor consumes —
+// implemented by both the heartbeat Detector and the GossipDetector,
+// and returned by Supervisor.Detector().
+type FailureDetector = peer.FailureDetector
+
 // Supervisor couples a failure detector with self-healing task
-// migration; start one with System.StartSupervisor and drive it with
-// System.Step.
+// migration; start one with System.StartSupervisor (single-home
+// heartbeats) or System.StartGossipSupervisor (decentralized, survives
+// the loss of any individual peer) and drive it with System.Step.
 type Supervisor = peer.Supervisor
 
 // FailoverEvent records one repair action taken when a peer died.
