@@ -389,3 +389,63 @@ func (r *benchRand) Intn(n int) int {
 	r.state = r.state*6364136223846793005 + 1442695040888963407
 	return int((r.state >> 33) % uint64(n))
 }
+
+// --- DHT elastic rebalance (PR 4) ---
+
+// benchRing builds a loaded ring: members joined, keys stored.
+func benchRing(b *testing.B, members, keys, vnodes int, bound float64) *dht.Ring {
+	b.Helper()
+	r := dht.New()
+	r.SetReplication(2)
+	if vnodes > 1 {
+		r.SetVirtual(vnodes)
+	}
+	if bound > 0 {
+		r.SetLoadBound(bound)
+	}
+	for i := 0; i < members; i++ {
+		if err := r.Join(fmt.Sprintf("m%d", i)); err != nil {
+			b.Fatal(err)
+		}
+	}
+	for i := 0; i < keys; i++ {
+		if err := r.Set(fmt.Sprintf("ckpt|task-%d|op-%d", i/3, i%3), "v"); err != nil {
+			b.Fatal(err)
+		}
+	}
+	return r
+}
+
+// BenchmarkDHTRebalanceJoin measures the membership-change hot path the
+// elastic scenarios hammer: one node joining (keys hand off to it) and
+// failing again, on a loaded ring. The vnode axis contrasts the classic
+// neighborhood rebalance with the fragmented-ownership full re-placement.
+func BenchmarkDHTRebalanceJoin(b *testing.B) {
+	for _, v := range []int{1, 32} {
+		b.Run(fmt.Sprintf("vnodes=%d", v), func(b *testing.B) {
+			r := benchRing(b, 16, 240, v, 0)
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if err := r.Join("elastic"); err != nil {
+					b.Fatal(err)
+				}
+				if err := r.Fail("elastic"); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkDHTSpreadPut measures the checkpoint write path under
+// bounded-load placement (sticky primary lookup + replica fan-out) —
+// the per-sweep cost every operator checkpoint pays with Spread on.
+func BenchmarkDHTSpreadPut(b *testing.B) {
+	r := benchRing(b, 16, 240, 32, 2)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := r.Set(fmt.Sprintf("ckpt|task-%d|op-%d", (i/3)%80, i%3), "v"); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

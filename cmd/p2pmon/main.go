@@ -12,6 +12,8 @@
 //	p2pmon -scenario churn -detector gossip    # SWIM-style decentralized detection
 //	p2pmon -scenario churn -replay -detector gossip -events 600 -crash-every 8   # soak
 //	p2pmon -scenario churn -replay -detector gossip -partition-home 10           # survivability
+//	p2pmon -scenario churn -replay -detector gossip -grow 10 -join-every 12      # elastic growth
+//	p2pmon -scenario churn -replay -grow 10 -spread                              # + DHT checkpoint spreading
 //	p2pmon -scenario meteo -sub custom.p2pml   # custom subscription text
 package main
 
@@ -49,6 +51,9 @@ func run(args []string, out io.Writer) error {
 	nEvents := fs.Int("events", 0, "churn scenario: events to drive (0 = scenario default)")
 	crashEvery := fs.Int("crash-every", -1, "churn scenario: crash the relay every N events (0 = never, -1 = scenario default)")
 	partitionHome := fs.Int("partition-home", 0, "churn scenario: isolate the monitor peer after N events (0 = never) — the detector survivability case")
+	grow := fs.Int("grow", 0, "churn scenario: grow the worker pool from 4 to N at runtime via the membership join protocol (0 = static pool, see docs/MEMBERSHIP.md)")
+	joinEvery := fs.Int("join-every", 0, "churn scenario: admit one pending worker every N driven events (0 = spread the joins evenly; needs -grow)")
+	spread := fs.Bool("spread", false, "churn scenario: enable DHT virtual-node + bounded-load checkpoint spreading")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -70,6 +75,17 @@ func run(args []string, out io.Writer) error {
 			cfg.CrashEvery = *crashEvery
 		}
 		cfg.PartitionHomeAfter = *partitionHome
+		if *grow > 0 {
+			if *grow <= cfg.Workers {
+				return fmt.Errorf("p2pmon: -grow %d must exceed the starting pool of %d workers", *grow, cfg.Workers)
+			}
+			cfg.GrowFrom = cfg.Workers
+			cfg.Workers = *grow
+			cfg.JoinEvery = *joinEvery
+		} else if *joinEvery > 0 {
+			return fmt.Errorf("p2pmon: -join-every needs -grow (there is nothing to admit)")
+		}
+		cfg.Spread = *spread
 		return runChurn(out, cfg)
 	}
 	// Reject explicitly-set churn-only flags outside the churn scenario.
@@ -79,6 +95,7 @@ func run(args []string, out io.Writer) error {
 	churnOnly := map[string]bool{
 		"replay": true, "detector": true, "events": true,
 		"crash-every": true, "partition-home": true,
+		"grow": true, "join-every": true, "spread": true,
 	}
 	var misused string
 	fs.Visit(func(f *flag.Flag) {
@@ -194,6 +211,12 @@ func runChurn(out io.Writer, cfg workload.ChurnConfig) error {
 	}
 	fmt.Fprintf(out, "== scenario churn ==\nrelay workers: %d, events: %d, crash every %d events, MTTR %v, replay %v, detector %s\n",
 		cfg.Workers, cfg.Events, cfg.CrashEvery, cfg.MTTR, cfg.Replay, det)
+	if cfg.GrowFrom > 0 {
+		fmt.Fprintf(out, "elastic pool: growing from %d to %d workers via the join protocol\n", cfg.GrowFrom, cfg.Workers)
+	}
+	if cfg.Spread {
+		fmt.Fprintf(out, "DHT spreading: virtual-node tokens + bounded-load checkpoint placement\n")
+	}
 	if cfg.PartitionHomeAfter > 0 {
 		fmt.Fprintf(out, "monitor peer partitioned away after %d events\n", cfg.PartitionHomeAfter)
 	}
@@ -206,6 +229,9 @@ func runChurn(out io.Writer, cfg workload.ChurnConfig) error {
 		rep.Driven, rep.Received, rep.Completeness()*100)
 	fmt.Fprintf(out, "crashes: %d, detected: %d, repaired: %d, replayed: %d, mean detection latency %.1fs\n",
 		rep.Crashes, rep.Deaths, rep.Repairs, rep.Replayed, rep.DetectionLatency.Mean())
+	if rep.Joins > 0 {
+		fmt.Fprintf(out, "joins: %d workers admitted at runtime\n", rep.Joins)
+	}
 	fmt.Fprintf(out, "relay ended at %s\n", lab.RelayHost())
 	fmt.Fprintf(out, "\nnetwork: %d messages, %d bytes, %d dropped over %d links\n",
 		rep.Traffic.Messages, rep.Traffic.Bytes, rep.Traffic.Dropped, rep.Traffic.Links)

@@ -113,3 +113,38 @@ func TestDetectorFlagOutsideChurnRejected(t *testing.T) {
 		t.Fatal("-detector accepted outside the churn scenario")
 	}
 }
+
+func TestChurnElasticGrowScenario(t *testing.T) {
+	var out bytes.Buffer
+	args := []string{"-scenario", "churn", "-replay", "-detector", "gossip",
+		"-grow", "8", "-join-every", "10", "-events", "60", "-spread"}
+	if err := run(args, &out); err != nil {
+		t.Fatal(err)
+	}
+	s := out.String()
+	if !strings.Contains(s, "growing from 4 to 8 workers") ||
+		!strings.Contains(s, "joins: 4 workers admitted at runtime") {
+		t.Errorf("elastic growth not reported:\n%s", s)
+	}
+	if !strings.Contains(s, "completeness 100%") {
+		t.Errorf("elastic growth run not lossless:\n%s", s)
+	}
+	if !strings.Contains(s, "DHT spreading") {
+		t.Errorf("-spread not reported:\n%s", s)
+	}
+}
+
+func TestGrowFlagValidation(t *testing.T) {
+	if err := run([]string{"-scenario", "churn", "-grow", "3"}, &bytes.Buffer{}); err == nil {
+		t.Error("-grow below the starting pool accepted")
+	}
+	if err := run([]string{"-scenario", "churn", "-join-every", "5"}, &bytes.Buffer{}); err == nil {
+		t.Error("-join-every without -grow accepted")
+	}
+	if err := run([]string{"-scenario", "rss", "-grow", "8"}, &bytes.Buffer{}); err == nil {
+		t.Error("-grow accepted outside the churn scenario")
+	}
+	if err := run([]string{"-scenario", "rss", "-spread"}, &bytes.Buffer{}); err == nil {
+		t.Error("-spread accepted outside the churn scenario")
+	}
+}

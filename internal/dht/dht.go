@@ -5,6 +5,21 @@
 // migration on membership changes, and join/leave notification hooks that
 // feed the paper's areRegistered membership stream.
 //
+// Two elasticity mechanisms ride on top of the plain ring (both off by
+// default, so the classic single-token placement stays available as the
+// experimental baseline):
+//
+//   - Virtual nodes (SetVirtual): every peer owns v tokens on the ring
+//     instead of one, so key ownership fragments into small arcs and a
+//     join/leave hands off only ~K/n keys instead of a whole successor
+//     arc. Handoffs() counts the copies that actually moved.
+//
+//   - Bounded-load placement (SetLoadBound): a key's primary copy goes to
+//     the first successor whose primary-key count is below c·K/n
+//     (consistent hashing with bounded loads), which caps any node's
+//     share of the checkpoint/descriptor write traffic at c× the mean —
+//     the anti-hotspot guarantee the X3 experiment measures.
+//
 // The ring's state lives in one process — the routing *metric* (hops,
 // per-node key placement) is simulated faithfully while transport is
 // in-memory, consistent with the simnet substitution documented in
@@ -14,7 +29,9 @@ package dht
 import (
 	"fmt"
 	"hash/fnv"
+	"math"
 	"sort"
+	"strconv"
 	"sync"
 )
 
@@ -28,6 +45,16 @@ func HashID(s string) ID {
 	return ID(h.Sum64())
 }
 
+// vnodeID is the ring position of a peer's i-th virtual token. Token 0
+// keeps the peer's classic position, so enabling virtual nodes only adds
+// arcs — it never moves the base token.
+func vnodeID(name string, i int) ID {
+	if i == 0 {
+		return HashID(name)
+	}
+	return HashID(name + "#" + strconv.Itoa(i))
+}
+
 // fingerBits is the identifier-space width: fingers are successors of
 // n + 2^i for i < fingerBits.
 const fingerBits = 64
@@ -38,30 +65,103 @@ type MembershipHook interface {
 	NotifyLeave(peer string)
 }
 
+// Load counts the DHT requests a node served as a key's primary holder —
+// the per-peer service cost the spreading mechanisms bound.
+type Load struct {
+	Puts uint64
+	Gets uint64
+}
+
+// Total is puts plus gets.
+func (l Load) Total() uint64 { return l.Puts + l.Gets }
+
 type node struct {
 	id    ID
 	name  string
 	store map[string][]string
+	// primaries counts, per key class, the keys whose primary copy this
+	// node holds (maintained in bounded-load mode, where placement must
+	// respect it). The bound is per class: key classes have wildly
+	// different write rates (a checkpoint key is rewritten every sweep,
+	// a descriptor once), so capping the mixed total would still let
+	// one node hoard the hot class.
+	primaries map[string]int
+	// served accumulates request counters by key class ("ckpt", "def",
+	// "replica", ...).
+	served map[string]*Load
+}
+
+func (n *node) primaryCount(class string) int {
+	return n.primaries[class]
+}
+
+func (n *node) addPrimary(class string) {
+	if n.primaries == nil {
+		n.primaries = make(map[string]int)
+	}
+	n.primaries[class]++
+}
+
+func (n *node) serve(class string) *Load {
+	if n.served == nil {
+		n.served = make(map[string]*Load)
+	}
+	l := n.served[class]
+	if l == nil {
+		l = &Load{}
+		n.served[class] = l
+	}
+	return l
+}
+
+// keyClass buckets keys by their index-namespace prefix (up to the first
+// '|'), matching kadop's key scheme; the whole key when it has none.
+func keyClass(key string) string {
+	for i := 0; i < len(key); i++ {
+		if key[i] == '|' {
+			return key[:i]
+		}
+	}
+	return key
+}
+
+// vnode is one ring token: a position owned by a physical node.
+type vnode struct {
+	id   ID
+	phys *node
 }
 
 // Ring is a Chord-style DHT.
 type Ring struct {
 	mu          sync.RWMutex
-	nodes       []*node // sorted by id
+	nodes       []*node // physical members, sorted by base id
+	vnodes      []vnode // ring tokens, sorted by id
 	byKey       map[string]*node
 	hooks       []MembershipHook
-	replication int // copies per key: owner + replication-1 successors
+	replication int     // copies per key: primary + replication-1 distinct successors
+	virtual     int     // ring tokens per member (1 = classic placement)
+	loadBound   float64 // bounded-load capacity factor c (0 = unbounded)
+	primary     map[string]*node
+	classKeys   map[string]int // distinct keys per class (bounded mode)
 
-	lookups uint64
-	hops    uint64
+	handoffs uint64
+	lookups  uint64
+	hops     uint64
 }
 
-// New returns an empty ring with no replication (one copy per key).
+// New returns an empty ring with no replication (one copy per key), one
+// token per member, and unbounded placement.
 func New() *Ring {
-	return &Ring{byKey: make(map[string]*node), replication: 1}
+	return &Ring{
+		byKey:       make(map[string]*node),
+		replication: 1,
+		virtual:     1,
+		primary:     make(map[string]*node),
+		classKeys:   make(map[string]int),
+	}
 }
 
-// SetReplication sets the number of copies kept per key (owner plus
+// SetReplication sets the number of copies kept per key (primary plus
 // k-1 distinct successors) and rebalances existing keys. k < 1 is
 // clamped to 1. Replication is what lets stream-definition lookups keep
 // working when a node crashes (Fail) instead of leaving gracefully.
@@ -82,6 +182,55 @@ func (r *Ring) Replication() int {
 	return r.replication
 }
 
+// SetVirtual sets the number of ring tokens per member (clamped to >= 1)
+// and rebalances: existing arcs fragment, so subsequent joins and leaves
+// hand off ~K/n keys instead of whole successor arcs. v = 1 restores the
+// classic one-token placement.
+func (r *Ring) SetVirtual(v int) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if v < 1 {
+		v = 1
+	}
+	if v == r.virtual {
+		return
+	}
+	r.virtual = v
+	r.rebuildVnodesLocked()
+	r.rebalanceLocked(nil)
+}
+
+// Virtual returns the tokens per member.
+func (r *Ring) Virtual() int {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	return r.virtual
+}
+
+// SetLoadBound enables bounded-load placement: a key's primary copy goes
+// to the first successor holding fewer than ceil(c·K/n) primaries, so no
+// member's share of the write/read traffic exceeds ~c× the mean. c <= 0
+// disables the bound. Changing the bound re-places every key.
+func (r *Ring) SetLoadBound(c float64) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if c < 0 {
+		c = 0
+	}
+	if c == r.loadBound {
+		return
+	}
+	r.loadBound = c
+	r.rebalanceLocked(nil)
+}
+
+// LoadBound returns the bounded-load capacity factor (0 = unbounded).
+func (r *Ring) LoadBound() float64 {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	return r.loadBound
+}
+
 // OnMembership registers a membership hook.
 func (r *Ring) OnMembership(h MembershipHook) {
 	r.mu.Lock()
@@ -89,14 +238,14 @@ func (r *Ring) OnMembership(h MembershipHook) {
 	r.hooks = append(r.hooks, h)
 }
 
-// Size returns the number of nodes.
+// Size returns the number of members.
 func (r *Ring) Size() int {
 	r.mu.RLock()
 	defer r.mu.RUnlock()
 	return len(r.nodes)
 }
 
-// Nodes returns node names in ring order.
+// Nodes returns member names in base-token ring order.
 func (r *Ring) Nodes() []string {
 	r.mu.RLock()
 	defer r.mu.RUnlock()
@@ -108,7 +257,10 @@ func (r *Ring) Nodes() []string {
 }
 
 // Join adds a peer to the ring, migrating the keys it now owns from its
-// successor, and fires join hooks.
+// successors, and fires join hooks. With virtual nodes or bounded load
+// enabled the handoff is a deterministic full re-placement (sorted key
+// order); the number of copies that actually moved is visible via
+// Handoffs().
 func (r *Ring) Join(name string) error {
 	r.mu.Lock()
 	if _, dup := r.byKey[name]; dup {
@@ -120,16 +272,21 @@ func (r *Ring) Join(name string) error {
 		r.mu.Unlock()
 		return fmt.Errorf("dht: id collision between %s and %s", name, prev.name)
 	}
-	idx := r.insertionPoint(n.id)
+	nidx := sort.Search(len(r.nodes), func(i int) bool { return r.nodes[i].id >= n.id })
 	r.nodes = append(r.nodes, nil)
-	copy(r.nodes[idx+1:], r.nodes[idx:])
-	r.nodes[idx] = n
+	copy(r.nodes[nidx+1:], r.nodes[nidx:])
+	r.nodes[nidx] = n
 	r.byKey[name] = n
-	// The new node takes over the keys it now owns (and, with
-	// replication, drops out-of-range copies from old replica sets).
-	// Only keys stored in the neighborhood of the insertion point can be
-	// affected, so the rebalance is local, not full-ring.
-	r.neighborhoodRebalanceLocked(idx, nil)
+	baseIdx := r.insertVnodesLocked(n)
+	if r.spreadLocked() {
+		r.rebalanceLocked(nil)
+	} else {
+		// The new node takes over the keys it now owns (and, with
+		// replication, drops out-of-range copies from old replica sets).
+		// Only keys stored in the neighborhood of the insertion point can
+		// be affected, so the rebalance is local, not full-ring.
+		r.neighborhoodRebalanceLocked(baseIdx, nil)
+	}
 	hooks := append([]MembershipHook(nil), r.hooks...)
 	r.mu.Unlock()
 	for _, h := range hooks {
@@ -163,13 +320,18 @@ func (r *Ring) remove(name string, graceful bool) error {
 	delete(r.byKey, name)
 	idx := sort.Search(len(r.nodes), func(i int) bool { return r.nodes[i].id >= n.id })
 	r.nodes = append(r.nodes[:idx], r.nodes[idx+1:]...)
+	baseIdx := r.removeVnodesLocked(n)
 	extra := n.store
 	if !graceful {
 		// A crashed node's copies are lost; surviving replicas in the
 		// neighborhood re-seed the new replica sets.
 		extra = nil
 	}
-	r.neighborhoodRebalanceLocked(idx, extra)
+	if r.spreadLocked() {
+		r.rebalanceLocked(extra)
+	} else {
+		r.neighborhoodRebalanceLocked(baseIdx, extra)
+	}
 	hooks := append([]MembershipHook(nil), r.hooks...)
 	r.mu.Unlock()
 	for _, h := range hooks {
@@ -178,19 +340,93 @@ func (r *Ring) remove(name string, graceful bool) error {
 	return nil
 }
 
-// rebalanceLocked reassigns every stored key to its current replica set:
-// the owner plus replication-1 distinct successors. extra, when non-nil,
-// contributes the store of a gracefully departing node. Values keep
-// their order (readers rely on "latest wins"); identical values held by
-// multiple replicas merge to one copy.
+// spreadLocked reports whether placement uses the elastic machinery
+// (virtual tokens or bounded load), which rebalances by deterministic
+// full re-placement instead of the classic local neighborhood scan.
+func (r *Ring) spreadLocked() bool { return r.virtual > 1 || r.loadBound > 0 }
+
+// rebuildVnodesLocked regenerates every member's tokens (after a
+// SetVirtual change).
+func (r *Ring) rebuildVnodesLocked() {
+	r.vnodes = r.vnodes[:0]
+	for _, n := range r.nodes {
+		r.insertVnodesLocked(n)
+	}
+}
+
+// insertVnodesLocked adds a member's tokens to the sorted token list and
+// returns the final index of its base token. Token-id collisions with
+// already-placed tokens are skipped (FNV collisions across 64 bits are
+// vanishingly rare; dropping a secondary token only costs balance).
+func (r *Ring) insertVnodesLocked(n *node) int {
+	for i := 0; i < r.virtual; i++ {
+		id := vnodeID(n.name, i)
+		idx := sort.Search(len(r.vnodes), func(j int) bool { return r.vnodes[j].id >= id })
+		if idx < len(r.vnodes) && r.vnodes[idx].id == id {
+			continue
+		}
+		r.vnodes = append(r.vnodes, vnode{})
+		copy(r.vnodes[idx+1:], r.vnodes[idx:])
+		r.vnodes[idx] = vnode{id: id, phys: n}
+	}
+	return sort.Search(len(r.vnodes), func(j int) bool { return r.vnodes[j].id >= n.id })
+}
+
+// removeVnodesLocked drops a member's tokens and returns the index its
+// base token occupied (the neighborhood-rebalance anchor).
+func (r *Ring) removeVnodesLocked(n *node) int {
+	base := sort.Search(len(r.vnodes), func(j int) bool { return r.vnodes[j].id >= n.id })
+	kept := r.vnodes[:0]
+	for _, v := range r.vnodes {
+		if v.phys != n {
+			kept = append(kept, v)
+		}
+	}
+	r.vnodes = kept
+	if base > len(r.vnodes) {
+		base = len(r.vnodes)
+	}
+	return base
+}
+
+// capacityLocked is the per-class bounded-load primary cap for a ring
+// holding keys distinct keys of that class: ceil(c·keys/n), at least 1.
+func (r *Ring) capacityLocked(keys int) int {
+	if r.loadBound <= 0 || len(r.nodes) == 0 {
+		return int(^uint(0) >> 1)
+	}
+	cap := int(math.Ceil(r.loadBound * float64(keys) / float64(len(r.nodes))))
+	if cap < 1 {
+		cap = 1
+	}
+	return cap
+}
+
+// rebalanceLocked reassigns every stored key to its current replica set.
+// extra, when non-nil, contributes the store of a gracefully departing
+// node. Keys are placed in sorted order so bounded-load placement (which
+// depends on placement order) is deterministic. Values keep their order
+// (readers rely on "latest wins"); identical values held by multiple
+// replicas merge to one copy. Copies landing on a node that did not hold
+// the key count as handoffs.
 func (r *Ring) rebalanceLocked(extra map[string][]string) {
+	r.primary = make(map[string]*node)
+	r.classKeys = make(map[string]int)
+	for _, n := range r.nodes {
+		n.primaries = nil
+	}
 	if len(r.nodes) == 0 {
 		return
 	}
 	merged := make(map[string][]string)
+	prev := make(map[string]map[*node]bool)
 	for _, n := range r.nodes {
 		for k, vs := range n.store {
 			merged[k] = mergeVals(merged[k], vs)
+			if prev[k] == nil {
+				prev[k] = make(map[*node]bool)
+			}
+			prev[k][n] = true
 		}
 	}
 	for k, vs := range extra {
@@ -199,22 +435,35 @@ func (r *Ring) rebalanceLocked(extra map[string][]string) {
 	for _, n := range r.nodes {
 		n.store = make(map[string][]string)
 	}
-	for k, vs := range merged {
-		for _, n := range r.replicaSetLocked(HashID(k)) {
-			n.store[k] = append([]string(nil), vs...)
+	keys := make([]string, 0, len(merged))
+	for k := range merged {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	classTotal := make(map[string]int)
+	for _, k := range keys {
+		classTotal[keyClass(k)]++
+	}
+	for _, k := range keys {
+		for _, n := range r.assignLocked(k, r.capacityLocked(classTotal[keyClass(k)])) {
+			n.store[k] = append([]string(nil), merged[k]...)
+			if !prev[k][n] {
+				r.handoffs++
+			}
 		}
 	}
 }
 
 // neighborhoodRebalanceLocked re-places the keys affected by a
-// membership change at ring position idx. A key's replica set is a
-// contiguous run of successors of its hash, so only keys whose window
-// crosses the change point can gain or lose a holder, and their
-// surviving copies live within replication-1 positions before idx or
-// replication positions after it — the rest of the ring is untouched.
-// extra contributes the store of a gracefully departed node.
+// membership change at token position idx — the classic (one token per
+// member, unbounded) path. A key's replica set is a contiguous run of
+// successors of its hash, so only keys whose window crosses the change
+// point can gain or lose a holder, and their surviving copies live
+// within replication-1 positions before idx or replication positions
+// after it — the rest of the ring is untouched. extra contributes the
+// store of a gracefully departed node.
 func (r *Ring) neighborhoodRebalanceLocked(idx int, extra map[string][]string) {
-	n := len(r.nodes)
+	n := len(r.vnodes)
 	if n == 0 {
 		return
 	}
@@ -230,7 +479,7 @@ func (r *Ring) neighborhoodRebalanceLocked(idx int, extra map[string][]string) {
 	merged := make(map[string][]string)
 	scanned := make([]*node, 0, span)
 	for i := 0; i < span; i++ {
-		nd := r.nodes[(start+i)%n]
+		nd := r.vnodes[(start+i)%n].phys
 		scanned = append(scanned, nd)
 		for key, vs := range nd.store {
 			merged[key] = mergeVals(merged[key], vs)
@@ -244,6 +493,9 @@ func (r *Ring) neighborhoodRebalanceLocked(idx int, extra map[string][]string) {
 		inDesired := make(map[*node]bool, len(desired))
 		for _, d := range desired {
 			inDesired[d] = true
+			if _, had := d.store[key]; !had {
+				r.handoffs++
+			}
 			d.store[key] = append([]string(nil), vs...)
 		}
 		for _, s := range scanned {
@@ -270,25 +522,110 @@ func mergeVals(dst, src []string) []string {
 	return dst
 }
 
-// replicaSetLocked returns the nodes holding a key: its owner and the
-// next replication-1 distinct successors.
-func (r *Ring) replicaSetLocked(id ID) []*node {
-	if len(r.nodes) == 0 {
+// distinctSuccessorsLocked walks the token ring from id's successor and
+// returns up to max distinct physical members in encounter order.
+func (r *Ring) distinctSuccessorsLocked(id ID, max int) []*node {
+	if len(r.vnodes) == 0 || max <= 0 {
 		return nil
 	}
+	if max > len(r.nodes) {
+		max = len(r.nodes)
+	}
+	idx := r.insertionPoint(id)
+	if idx == len(r.vnodes) {
+		idx = 0
+	}
+	out := make([]*node, 0, max)
+	seen := make(map[*node]bool, max)
+	for i := 0; i < len(r.vnodes) && len(out) < max; i++ {
+		p := r.vnodes[(idx+i)%len(r.vnodes)].phys
+		if !seen[p] {
+			seen[p] = true
+			out = append(out, p)
+		}
+	}
+	return out
+}
+
+// replicaSetLocked returns the nodes holding a key placed at its hash:
+// the successor owner and the next replication-1 distinct members.
+func (r *Ring) replicaSetLocked(id ID) []*node {
 	k := r.replication
 	if k > len(r.nodes) {
 		k = len(r.nodes)
 	}
-	idx := r.insertionPoint(id)
-	if idx == len(r.nodes) {
-		idx = 0
+	return r.distinctSuccessorsLocked(id, k)
+}
+
+// assignLocked chooses a key's replica set fresh (rebalance, or first
+// write of a new key): the primary is the first successor below the
+// bounded-load capacity (the plain successor when unbounded, or when
+// every member is at capacity), replicas are the next distinct members
+// after it. Records the primary and its load count.
+func (r *Ring) assignLocked(key string, cap int) []*node {
+	// Unbounded placement needs only the replica-set prefix; the full
+	// distinct-member walk is materialized only when the bounded walk
+	// may have to skip past full members.
+	want := r.replication
+	if r.loadBound > 0 {
+		want = len(r.nodes)
+	}
+	physes := r.distinctSuccessorsLocked(HashID(key), want)
+	if len(physes) == 0 {
+		return nil
+	}
+	class := keyClass(key)
+	pi := 0
+	if r.loadBound > 0 {
+		for i, p := range physes {
+			if p.primaryCount(class) < cap {
+				pi = i
+				break
+			}
+		}
+	}
+	k := r.replication
+	if k > len(physes) {
+		k = len(physes)
 	}
 	out := make([]*node, 0, k)
 	for i := 0; i < k; i++ {
-		out = append(out, r.nodes[(idx+i)%len(r.nodes)])
+		out = append(out, physes[(pi+i)%len(physes)])
 	}
+	r.primary[key] = out[0]
+	out[0].addPrimary(class)
+	r.classKeys[class]++
 	return out
+}
+
+// placeLocked resolves a key's replica set for a write: the recorded
+// bounded-load placement when one exists (placement is sticky between
+// membership changes), a fresh assignment for a new key, or the plain
+// hash replica set when unbounded.
+func (r *Ring) placeLocked(key string) []*node {
+	if len(r.nodes) == 0 {
+		return nil
+	}
+	if r.loadBound <= 0 {
+		return r.replicaSetLocked(HashID(key))
+	}
+	if p, ok := r.primary[key]; ok && r.byKey[p.name] == p {
+		physes := r.distinctSuccessorsLocked(HashID(key), len(r.nodes))
+		for i, cand := range physes {
+			if cand == p {
+				k := r.replication
+				if k > len(physes) {
+					k = len(physes)
+				}
+				out := make([]*node, 0, k)
+				for j := 0; j < k; j++ {
+					out = append(out, physes[(i+j)%len(physes)])
+				}
+				return out
+			}
+		}
+	}
+	return r.assignLocked(key, r.capacityLocked(r.classKeys[keyClass(key)]+1))
 }
 
 func (r *Ring) findByID(id ID) *node {
@@ -299,26 +636,35 @@ func (r *Ring) findByID(id ID) *node {
 	return nil
 }
 
+// insertionPoint locates id in the token ring.
 func (r *Ring) insertionPoint(id ID) int {
-	return sort.Search(len(r.nodes), func(i int) bool { return r.nodes[i].id >= id })
+	return sort.Search(len(r.vnodes), func(i int) bool { return r.vnodes[i].id >= id })
 }
 
-// ownerLocked returns the successor node of id (the key owner).
+// ownerLocked returns the member whose token succeeds id (the hash
+// owner of a key, before any bounded-load adjustment).
 func (r *Ring) ownerLocked(id ID) *node {
-	if len(r.nodes) == 0 {
+	if len(r.vnodes) == 0 {
 		return nil
 	}
 	idx := r.insertionPoint(id)
-	if idx == len(r.nodes) {
+	if idx == len(r.vnodes) {
 		idx = 0
 	}
-	return r.nodes[idx]
+	return r.vnodes[idx].phys
 }
 
-// Owner returns the name of the node owning a key.
+// Owner returns the name of the node holding a key's primary copy: the
+// recorded bounded-load placement when one exists, the hash owner
+// otherwise.
 func (r *Ring) Owner(key string) (string, error) {
 	r.mu.RLock()
 	defer r.mu.RUnlock()
+	if r.loadBound > 0 {
+		if p, ok := r.primary[key]; ok && r.byKey[p.name] == p {
+			return p.name, nil
+		}
+	}
 	n := r.ownerLocked(HashID(key))
 	if n == nil {
 		return "", fmt.Errorf("dht: empty ring")
@@ -326,41 +672,43 @@ func (r *Ring) Owner(key string) (string, error) {
 	return n.name, nil
 }
 
-// Put appends a value under a key at the key's owner and, with
+// Put appends a value under a key at the key's primary and, with
 // replication enabled, at the replica successors.
 func (r *Ring) Put(key, value string) error {
 	r.mu.Lock()
 	defer r.mu.Unlock()
-	set := r.replicaSetLocked(HashID(key))
+	set := r.placeLocked(key)
 	if len(set) == 0 {
 		return fmt.Errorf("dht: empty ring")
 	}
 	for _, n := range set {
 		n.store[key] = append(n.store[key], value)
 	}
+	set[0].serve(keyClass(key)).Puts++
 	return nil
 }
 
 // Set replaces the values stored under a key with the single given
-// value, at the owner and every replica successor — the latest-wins
+// value, at the primary and every replica successor — the latest-wins
 // single-record keys (operator checkpoints) that would otherwise grow
 // one appended copy per write.
 func (r *Ring) Set(key, value string) error {
 	r.mu.Lock()
 	defer r.mu.Unlock()
-	set := r.replicaSetLocked(HashID(key))
+	set := r.placeLocked(key)
 	if len(set) == 0 {
 		return fmt.Errorf("dht: empty ring")
 	}
 	for _, n := range set {
 		n.store[key] = []string{value}
 	}
+	set[0].serve(keyClass(key)).Puts++
 	return nil
 }
 
 // Holders returns the names of the nodes whose store currently holds the
-// key, in ring order — the replica-placement introspection the
-// re-replication tests use.
+// key, in base-token ring order — the replica-placement introspection
+// the re-replication tests use.
 func (r *Ring) Holders(key string) []string {
 	r.mu.RLock()
 	defer r.mu.RUnlock()
@@ -375,7 +723,10 @@ func (r *Ring) Holders(key string) []string {
 
 // Get returns all values stored under key and the routing hop count a
 // real lookup from `from` would incur (greedy finger routing). An empty
-// `from` starts at the first ring node.
+// `from` starts at the first ring node. In bounded-load mode the lookup
+// walks the successor list past full members until it finds the primary,
+// paying one extra hop per member skipped — the read-side cost of the
+// placement freedom.
 func (r *Ring) Get(from, key string) ([]string, int, error) {
 	r.mu.Lock()
 	defer r.mu.Unlock()
@@ -390,37 +741,64 @@ func (r *Ring) Get(from, key string) ([]string, int, error) {
 		}
 	}
 	hops := r.routeLocked(start, target)
-	owner := r.ownerLocked(target)
 	r.lookups++
 	r.hops += uint64(hops)
-	vals := append([]string(nil), owner.store[key]...)
-	if len(vals) == 0 && r.replication > 1 {
-		// Owner miss (e.g. mid-churn before a rebalance): one extra hop
-		// to a replica successor still answers the lookup.
-		for _, n := range r.replicaSetLocked(target)[1:] {
+	var vals []string
+	var serving *node
+	if r.loadBound > 0 {
+		for i, n := range r.distinctSuccessorsLocked(target, len(r.nodes)) {
 			if len(n.store[key]) > 0 {
-				vals = append(vals, n.store[key]...)
-				hops++
-				r.hops++
+				vals = append([]string(nil), n.store[key]...)
+				serving = n
+				hops += i
+				r.hops += uint64(i)
 				break
 			}
 		}
+		if serving == nil {
+			serving = r.ownerLocked(target)
+		}
+	} else {
+		owner := r.ownerLocked(target)
+		serving = owner
+		vals = append([]string(nil), owner.store[key]...)
+		if len(vals) == 0 && r.replication > 1 {
+			// Owner miss (e.g. mid-churn before a rebalance): one extra hop
+			// to a replica successor still answers the lookup.
+			for _, n := range r.replicaSetLocked(target)[1:] {
+				if len(n.store[key]) > 0 {
+					vals = append(vals, n.store[key]...)
+					serving = n
+					hops++
+					r.hops++
+					break
+				}
+			}
+		}
 	}
+	serving.serve(keyClass(key)).Gets++
 	return vals, hops, nil
 }
 
 // routeLocked simulates Chord greedy routing from start to the owner of
 // target, returning the hop count. Each step jumps to the closest
-// preceding finger, computed on demand from the ring (equivalent to
-// fully-converged finger tables).
+// preceding finger, computed on demand from the token ring (equivalent
+// to fully-converged finger tables). Moving between two tokens of the
+// same member costs nothing — virtual nodes add arcs, not network hops.
 func (r *Ring) routeLocked(start *node, target ID) int {
-	cur := start
+	if len(r.vnodes) == 0 {
+		return 0
+	}
+	cur := r.insertionPoint(start.id)
+	if cur >= len(r.vnodes) {
+		cur = 0
+	}
 	hops := 0
-	for hops <= len(r.nodes) {
+	for steps := 0; steps <= len(r.vnodes); steps++ {
+		succ := (cur + 1) % len(r.vnodes)
 		// Done when target ∈ (cur, successor(cur)].
-		succ := r.successorLocked(cur)
-		if inHalfOpen(target, cur.id, succ.id) {
-			if succ != cur {
+		if inHalfOpen(target, r.vnodes[cur].id, r.vnodes[succ].id) {
+			if r.vnodes[succ].phys != r.vnodes[cur].phys {
 				hops++
 			}
 			return hops
@@ -429,34 +807,32 @@ func (r *Ring) routeLocked(start *node, target ID) int {
 		if next == cur {
 			next = succ
 		}
+		if r.vnodes[next].phys != r.vnodes[cur].phys {
+			hops++
+		}
 		cur = next
-		hops++
 	}
 	return hops
 }
 
-func (r *Ring) successorLocked(n *node) *node {
-	idx := r.insertionPoint(n.id)
-	// idx points at n itself; successor is the next node.
-	return r.nodes[(idx+1)%len(r.nodes)]
-}
-
-// closestPrecedingLocked returns the finger of n closest to (but
-// preceding) target: the largest jump n can make without overshooting.
-func (r *Ring) closestPrecedingLocked(n *node, target ID) *node {
-	best := n
+// closestPrecedingLocked returns the token index closest to (but
+// preceding) target reachable from cur's fingers: the largest jump cur
+// can make without overshooting.
+func (r *Ring) closestPrecedingLocked(cur int, target ID) int {
+	curID := r.vnodes[cur].id
 	for i := fingerBits - 1; i >= 0; i-- {
-		fingerStart := n.id + (ID(1) << uint(i))
-		f := r.ownerLocked(fingerStart)
-		// f must lie strictly within (n, target) to make progress.
-		if f != n && inOpen(f.id, n.id, target) {
-			if best == n || inOpen(best.id, n.id, f.id) || best.id == f.id {
-				best = f
-			}
-			return f
+		fingerStart := curID + (ID(1) << uint(i))
+		idx := r.insertionPoint(fingerStart)
+		if idx == len(r.vnodes) {
+			idx = 0
+		}
+		// The finger must lie strictly within (cur, target) to make
+		// progress.
+		if id := r.vnodes[idx].id; id != curID && inOpen(id, curID, target) {
+			return idx
 		}
 	}
-	return best
+	return cur
 }
 
 // inHalfOpen reports x ∈ (a, b] on the ring.
@@ -467,7 +843,7 @@ func inHalfOpen(x, a, b ID) bool {
 	if a > b {
 		return x > a || x <= b
 	}
-	return true // a == b: single node owns everything
+	return true // a == b: single token owns everything
 }
 
 // inOpen reports x ∈ (a, b) on the ring.
@@ -488,6 +864,43 @@ func (r *Ring) Stats() (lookups, hops uint64) {
 	return r.lookups, r.hops
 }
 
+// Handoffs returns the cumulative number of key copies that moved to a
+// new holder across membership changes — the rebalance cost the
+// virtual-node fragmentation keeps incremental.
+func (r *Ring) Handoffs() uint64 {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	return r.handoffs
+}
+
+// ServiceLoad returns the per-member primary-copy request counters for
+// one key class (e.g. "ckpt" for operator checkpoints). Every current
+// member appears, including ones that served nothing — the denominator
+// of the max-vs-mean spread measure.
+func (r *Ring) ServiceLoad(class string) map[string]Load {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	out := make(map[string]Load, len(r.nodes))
+	for _, n := range r.nodes {
+		if l := n.served[class]; l != nil {
+			out[n.name] = *l
+		} else {
+			out[n.name] = Load{}
+		}
+	}
+	return out
+}
+
+// ResetServiceLoad zeroes every member's request counters (steady-state
+// measurements that must exclude a warm-up or growth phase).
+func (r *Ring) ResetServiceLoad() {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	for _, n := range r.nodes {
+		n.served = nil
+	}
+}
+
 // KeysAt returns the number of keys stored on a node (placement check).
 func (r *Ring) KeysAt(name string) int {
 	r.mu.RLock()
@@ -496,4 +909,29 @@ func (r *Ring) KeysAt(name string) int {
 		return len(n.store)
 	}
 	return 0
+}
+
+// PrimaryKeys returns the number of keys whose primary copy a member
+// holds — the quantity bounded-load placement caps at ceil(c·K/n).
+func (r *Ring) PrimaryKeys(name string) int {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	n, ok := r.byKey[name]
+	if !ok {
+		return 0
+	}
+	if r.loadBound > 0 {
+		total := 0
+		for _, c := range n.primaries {
+			total += c
+		}
+		return total
+	}
+	count := 0
+	for key := range n.store {
+		if r.ownerLocked(HashID(key)) == n {
+			count++
+		}
+	}
+	return count
 }

@@ -1,0 +1,224 @@
+package dht
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+)
+
+func elasticRing(t *testing.T, n int) *Ring {
+	t.Helper()
+	r := New()
+	for i := 0; i < n; i++ {
+		if err := r.Join(fmt.Sprintf("n%d", i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return r
+}
+
+func putKeys(t *testing.T, r *Ring, k int) {
+	t.Helper()
+	for i := 0; i < k; i++ {
+		if err := r.Set(fmt.Sprintf("ckpt|task-%d|op-%d", i/3, i%3), fmt.Sprintf("v%d", i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+}
+
+func maxMinPrimaries(r *Ring) (max, min int) {
+	min = -1
+	for _, n := range r.Nodes() {
+		p := r.PrimaryKeys(n)
+		if p > max {
+			max = p
+		}
+		if min < 0 || p < min {
+			min = p
+		}
+	}
+	return max, min
+}
+
+// TestVirtualNodesSpreadPrimaries: with one token per member a handful
+// of members own most of the keyspace; fragmenting ownership into many
+// tokens pulls the max primary count toward the mean.
+func TestVirtualNodesSpreadPrimaries(t *testing.T) {
+	const members, keys = 10, 240
+	spread := func(virtual int) int {
+		r := elasticRing(t, members)
+		r.SetVirtual(virtual)
+		putKeys(t, r, keys)
+		max, _ := maxMinPrimaries(r)
+		return max
+	}
+	classic := spread(1)
+	fragmented := spread(64)
+	if fragmented >= classic {
+		t.Errorf("virtual nodes did not spread ownership: max primaries %d (v=64) vs %d (v=1)", fragmented, classic)
+	}
+	// 64 tokens over 10 members approximates uniform assignment: the max
+	// share must be well under the single-token worst case and within a
+	// small factor of the mean (24).
+	if fragmented > 2*keys/members+keys/members {
+		t.Errorf("max primaries with 64 tokens = %d, want near mean %d", fragmented, keys/members)
+	}
+}
+
+// TestBoundedLoadCapsPrimaries: with SetLoadBound(c) no member may hold
+// more than ceil(c·K/n) primary copies, whatever the hash says.
+func TestBoundedLoadCapsPrimaries(t *testing.T) {
+	const members, keys = 12, 48
+	r := elasticRing(t, members)
+	r.SetVirtual(16)
+	r.SetLoadBound(2)
+	putKeys(t, r, keys)
+	max, _ := maxMinPrimaries(r)
+	cap := 2 * keys / members // c·K/n = 8, exactly divisible
+	if max > cap {
+		t.Errorf("bounded-load max primaries = %d, want <= %d", max, cap)
+	}
+	// Every key must stay readable even when its primary was displaced
+	// from the hash owner.
+	for i := 0; i < keys; i++ {
+		key := fmt.Sprintf("ckpt|task-%d|op-%d", i/3, i%3)
+		vals, _, err := r.Get("", key)
+		if err != nil || len(vals) == 0 {
+			t.Fatalf("key %s unreadable under bounded placement: vals=%v err=%v", key, vals, err)
+		}
+	}
+	// The bound survives a membership change: a join rebalances but must
+	// not let any member exceed the (recomputed) cap.
+	if err := r.Join("late"); err != nil {
+		t.Fatal(err)
+	}
+	max, _ = maxMinPrimaries(r)
+	if recap := 2*keys/13 + 1; max > recap {
+		t.Errorf("post-join max primaries = %d, want <= ceil(2K/n) = %d", max, recap)
+	}
+}
+
+// TestJoinHandoffIncremental: with fragmented ownership a single join
+// hands off roughly K·r/n key copies, not an entire successor arc —
+// the incremental-rebalance property that keeps elastic growth cheap.
+func TestJoinHandoffIncremental(t *testing.T) {
+	const members, keys = 8, 160
+	r := elasticRing(t, members)
+	r.SetVirtual(64)
+	r.SetReplication(2)
+	putKeys(t, r, keys)
+	before := r.Handoffs()
+	if err := r.Join("newcomer"); err != nil {
+		t.Fatal(err)
+	}
+	moved := r.Handoffs() - before
+	if moved == 0 {
+		t.Fatal("a join moved no keys at all — the newcomer owns nothing")
+	}
+	// Expected movement is ~K·r/(n+1) ≈ 35 copies; a full-arc (or
+	// full-ring) reshuffle would move hundreds. Allow 3x slack over the
+	// expectation for hash variance.
+	if limit := uint64(3 * keys * 2 / (members + 1)); moved > limit {
+		t.Errorf("join moved %d copies, want <= %d (incremental handoff)", moved, limit)
+	}
+	// Everything is still readable after the handoff.
+	for i := 0; i < keys; i++ {
+		key := fmt.Sprintf("ckpt|task-%d|op-%d", i/3, i%3)
+		if vals, _, err := r.Get("", key); err != nil || len(vals) == 0 {
+			t.Fatalf("key %s lost in handoff: vals=%v err=%v", key, vals, err)
+		}
+	}
+}
+
+// TestHandoffRacesCheckpointPut: checkpoint writes racing a membership
+// change must neither deadlock nor lose the latest record — after the
+// churn settles, a final write is the value every reader sees.
+func TestHandoffRacesCheckpointPut(t *testing.T) {
+	r := elasticRing(t, 6)
+	r.SetVirtual(32)
+	r.SetReplication(2)
+	r.SetLoadBound(2)
+	const key = "ckpt|task-1|relay"
+	var wg sync.WaitGroup
+	stop := make(chan struct{})
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		i := 0
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			r.Set(key, fmt.Sprintf("ckpt-%d", i)) //nolint:errcheck // ring never empties
+			i++
+		}
+	}()
+	for j := 0; j < 20; j++ {
+		name := fmt.Sprintf("flap-%d", j)
+		if err := r.Join(name); err != nil {
+			t.Fatal(err)
+		}
+		if j%2 == 0 {
+			if err := r.Fail(name); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	close(stop)
+	wg.Wait()
+	if err := r.Set(key, "final"); err != nil {
+		t.Fatal(err)
+	}
+	for _, from := range r.Nodes() {
+		vals, _, err := r.Get(from, key)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(vals) != 1 || vals[len(vals)-1] != "final" {
+			t.Fatalf("reader at %s sees %v, want the final checkpoint", from, vals)
+		}
+	}
+}
+
+// TestServiceLoadCounters: puts and gets are attributed to the primary
+// holder per key class, every member appears in the report, and
+// ResetServiceLoad zeroes a finished warm-up.
+func TestServiceLoadCounters(t *testing.T) {
+	r := elasticRing(t, 5)
+	if err := r.Set("ckpt|t|a", "v1"); err != nil {
+		t.Fatal(err)
+	}
+	if err := r.Put("def|s1@p", "d"); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := r.Get("", "ckpt|t|a"); err != nil {
+		t.Fatal(err)
+	}
+	ck := r.ServiceLoad("ckpt")
+	if len(ck) != 5 {
+		t.Fatalf("ServiceLoad reports %d members, want 5", len(ck))
+	}
+	var puts, gets uint64
+	for _, l := range ck {
+		puts += l.Puts
+		gets += l.Gets
+	}
+	if puts != 1 || gets != 1 {
+		t.Errorf("ckpt class: puts=%d gets=%d, want 1/1", puts, gets)
+	}
+	var defPuts uint64
+	for _, l := range r.ServiceLoad("def") {
+		defPuts += l.Puts
+	}
+	if defPuts != 1 {
+		t.Errorf("def class: puts=%d, want 1 (classes must not bleed)", defPuts)
+	}
+	r.ResetServiceLoad()
+	for name, l := range r.ServiceLoad("ckpt") {
+		if l.Total() != 0 {
+			t.Errorf("%s still loaded after reset: %+v", name, l)
+		}
+	}
+}

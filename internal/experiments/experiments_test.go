@@ -9,6 +9,9 @@ import (
 // and requires each paper claim's shape to hold. This is the repository's
 // continuous reproduction check.
 func TestAllExperimentsQuick(t *testing.T) {
+	if testing.Short() {
+		t.Skip("short mode: the full reproduction sweep runs in the matrix job")
+	}
 	runners := All()
 	if len(runners) != 17 { // F1-F7 + C1-C11 minus none... F7+C10 = 7+10
 		t.Logf("registered: %d experiments", len(runners))

@@ -293,6 +293,18 @@ func (db *DB) Checkpoint(from, task, op string) (string, bool, error) {
 	return vals[len(vals)-1], true, nil
 }
 
+// CheckpointLoad returns the per-member DHT service counters for the
+// checkpoint key class: how many checkpoint puts/gets each ring member
+// served as a primary holder. The X3 elasticity experiment reads its
+// max-vs-mean spread from here.
+func (db *DB) CheckpointLoad() map[string]dht.Load {
+	return db.ring.ServiceLoad("ckpt")
+}
+
+// ResetLoad zeroes the ring's service counters, so a steady-state
+// measurement window can exclude deployment and growth traffic.
+func (db *DB) ResetLoad() { db.ring.ResetServiceLoad() }
+
 // PublishReplica records that replicaRef re-publishes origRef (the
 // paper's InChannel record: a subscriber announcing it can also provide
 // the stream).

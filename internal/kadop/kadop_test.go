@@ -339,3 +339,52 @@ func TestCheckpointLatestWinsAndSurvivesCrash(t *testing.T) {
 		t.Error("missing checkpoint reported ok")
 	}
 }
+
+// TestCheckpointSurvivesElasticHandoff: a checkpoint record written
+// before a membership change stays readable (latest wins) after virtual-
+// node rebalancing hands its key to new owners, and the service-load
+// counters attribute the traffic to exactly one primary per operation.
+func TestCheckpointSurvivesElasticHandoff(t *testing.T) {
+	ring := dht.New()
+	ring.SetReplication(2)
+	ring.SetVirtual(32)
+	for i := 0; i < 6; i++ {
+		if err := ring.Join(fmt.Sprintf("p%d", i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	db := New(ring)
+	if err := db.PutCheckpoint("task-1", "relay", "<Ckpt outSeq=\"1\"/>"); err != nil {
+		t.Fatal(err)
+	}
+	if err := ring.Join("p6"); err != nil {
+		t.Fatal(err)
+	}
+	if err := db.PutCheckpoint("task-1", "relay", "<Ckpt outSeq=\"2\"/>"); err != nil {
+		t.Fatal(err)
+	}
+	if err := ring.Fail("p0"); err != nil {
+		t.Fatal(err)
+	}
+	got, ok, err := db.Checkpoint("p1", "task-1", "relay")
+	if err != nil || !ok {
+		t.Fatalf("checkpoint lost across join+fail: ok=%v err=%v", ok, err)
+	}
+	if got != "<Ckpt outSeq=\"2\"/>" {
+		t.Fatalf("checkpoint = %q, want the latest write", got)
+	}
+	var puts, gets uint64
+	for _, l := range db.CheckpointLoad() {
+		puts += l.Puts
+		gets += l.Gets
+	}
+	if puts != 2 || gets != 1 {
+		t.Errorf("ckpt load: puts=%d gets=%d, want 2/1", puts, gets)
+	}
+	db.ResetLoad()
+	for name, l := range db.CheckpointLoad() {
+		if l.Puts+l.Gets != 0 {
+			t.Errorf("%s still loaded after reset: %+v", name, l)
+		}
+	}
+}

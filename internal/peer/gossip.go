@@ -17,6 +17,7 @@
 package peer
 
 import (
+	"fmt"
 	"math"
 	"math/rand"
 	"sort"
@@ -199,12 +200,103 @@ func (s *System) StartGossipDetector(opts GossipOptions) *GossipDetector {
 	return g
 }
 
-// Watch adds a peer to the member set: every view learns about it and
-// it gets a view of its own. Safe for peers added after the start.
+// Watch adds a peer to the member set by omniscient pre-registration:
+// every view learns about it instantly and it gets a view of its own.
+// This is the static-membership setup path; peers arriving at runtime
+// go through Join, which disseminates the arrival over the gossip
+// traffic instead.
 func (g *GossipDetector) Watch(peer string) {
 	g.mu.Lock()
 	defer g.mu.Unlock()
 	g.addMember(peer)
+}
+
+// joinPrecheck validates a join without changing any state: the seed
+// must be a live gossip member the joiner can talk to. System.JoinPeer
+// runs it before admitting the peer anywhere, so a rejected join never
+// leaves half-registered membership behind. The partition check stands
+// in for reachability: a rejoining (still-down) peer's node comes up
+// between this check and the Join itself, but its partition group does
+// not change.
+func (g *GossipDetector) joinPrecheck(name, seed string) error {
+	if name == seed {
+		return fmt.Errorf("peer: %s cannot seed its own join", name)
+	}
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	if g.views[seed] == nil {
+		return fmt.Errorf("peer: join seed %s is not a gossip member", seed)
+	}
+	if !g.sys.Net.Alive(seed) || g.sys.Net.Partitioned(name, seed) {
+		return fmt.Errorf("peer: join seed %s is unreachable from %s", seed, name)
+	}
+	return nil
+}
+
+// Join runs the membership join protocol for one peer: it contacts the
+// seed member (paying the network, so an unreachable seed fails the
+// join), receives a bootstrap copy of the seed's membership view, and
+// is disseminated to every other view via piggybacked gossip — no
+// pre-registration anywhere. A dead member rejoining (a recovered or
+// replaced crash victim) adopts an incarnation above every death rumor
+// the seed has seen, so its alive statement outranks the stale
+// declarations wherever they still circulate; any higher-incarnation
+// rumor it meets later is refuted by the standard self-defense bump.
+func (g *GossipDetector) Join(name, seed string) error {
+	if err := g.joinPrecheck(name, seed); err != nil {
+		return err
+	}
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	sv := g.views[seed]
+	now := g.sys.Net.Clock().Now()
+	v := g.views[name]
+	if v == nil {
+		v = &gossipView{
+			self:      name,
+			members:   make(map[string]*memberInfo),
+			nextProbe: now + g.opts.ProbeInterval,
+		}
+		g.views[name] = v
+		g.order = append(g.order, name)
+		sort.Strings(g.order)
+	} else {
+		// Rejoin: the protocol loop restarts fresh — stale dissemination
+		// debt from the previous life must not ride the new one.
+		v.nextProbe = now + g.opts.ProbeInterval
+		v.queue = nil
+	}
+	// The join contact and the bootstrap transfer are accounted like any
+	// protocol message.
+	g.sys.Net.CountTransfer(name, seed, g.opts.ProbeBytes+g.opts.MaxPiggyback*g.opts.PiggybackBytes)
+	// Outrank every rumor the seed holds about a previous life.
+	if m := sv.members[name]; m != nil && m.inc >= v.inc {
+		v.inc = m.inc + 1
+	}
+	// Bootstrap: the joiner starts from the seed's member list and
+	// opinions (minus anything about itself).
+	for other, m := range sv.members {
+		if other == name || v.members[other] != nil {
+			continue
+		}
+		v.members[other] = &memberInfo{status: m.status, inc: m.inc, since: now}
+	}
+	if v.members[seed] == nil {
+		v.members[seed] = &memberInfo{status: gossipAlive, inc: sv.inc, since: now}
+	}
+	// Mutual introduction, then epidemic dissemination: both sides queue
+	// the alive statement, every message leaving either view carries it,
+	// and receivers that never heard of the joiner learn it from the
+	// piggyback (applyUpdate's discovery path).
+	if m := sv.members[name]; m != nil {
+		m.status, m.inc, m.since = gossipAlive, v.inc, now
+	} else {
+		sv.members[name] = &memberInfo{status: gossipAlive, inc: v.inc, since: now}
+	}
+	alive := gossipUpdate{peer: name, status: gossipAlive, inc: v.inc}
+	g.enqueue(sv, alive)
+	g.enqueue(v, alive)
+	return nil
 }
 
 // addMember registers a member (caller holds no lock at start time, the
@@ -257,6 +349,19 @@ func (g *GossipDetector) Suspects() []string {
 	}
 	sort.Strings(out)
 	return out
+}
+
+// MembersOf reports the members one view currently knows about, sorted
+// — the join-dissemination introspection (how far has the arrival
+// spread?).
+func (g *GossipDetector) MembersOf(owner string) []string {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	v := g.views[owner]
+	if v == nil {
+		return nil
+	}
+	return sortedMembers(v)
 }
 
 // ViewOf reports one member's local opinion of another (diagnostics and
@@ -373,12 +478,16 @@ func (g *GossipDetector) probeRound(v *gossipView, at time.Duration) {
 }
 
 // pickTargets selects this period's probe subset uniformly from the
-// other members — including dead-believed ones, which is how a
-// recovered peer is re-discovered without a join protocol.
+// members this view has learned of — including dead-believed ones,
+// which is how a recovered peer is re-discovered even without a rejoin.
+// Membership is view-local: a peer probes only peers it knows, so a
+// freshly joined member's probe surface grows as the join disseminates.
 func (g *GossipDetector) pickTargets(v *gossipView) []string {
-	candidates := make([]string, 0, len(g.order)-1)
+	// Every known member is also in the (sorted) global order, so this
+	// yields the view's members sorted without a per-round sort.
+	candidates := make([]string, 0, len(v.members))
 	for _, name := range g.order {
-		if name != v.self {
+		if v.members[name] != nil {
 			candidates = append(candidates, name)
 		}
 	}
@@ -395,12 +504,12 @@ func (g *GossipDetector) pickTargets(v *gossipView) []string {
 	return candidates
 }
 
-// pickProxies selects up to k distinct proxies believed alive, not the
-// target, not self.
+// pickProxies selects up to k distinct proxies this view believes
+// alive, not the target, not self.
 func (g *GossipDetector) pickProxies(v *gossipView, target string) []string {
 	var candidates []string
 	for _, name := range g.order {
-		if name == v.self || name == target {
+		if name == target || name == v.self {
 			continue
 		}
 		if m := v.members[name]; m != nil && m.status == gossipAlive {
@@ -417,11 +526,25 @@ func (g *GossipDetector) pickProxies(v *gossipView, target string) []string {
 	return candidates
 }
 
+// sortedMembers returns a view's known members in sorted order (the
+// deterministic iteration every protocol step uses).
+func sortedMembers(v *gossipView) []string {
+	names := make([]string, 0, len(v.members))
+	for name := range v.members {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	return names
+}
+
 // directProbe sends probe + ack between two members, each leg carrying
 // piggybacked updates. It succeeds when both legs survive the fault
 // model and the round trip beats the timeout.
 func (g *GossipDetector) directProbe(v *gossipView, target string) bool {
 	tv := g.views[target]
+	if tv == nil {
+		return false
+	}
 	lat1, ok := g.message(v, tv)
 	if !ok {
 		return false
@@ -441,6 +564,9 @@ func (g *GossipDetector) directProbe(v *gossipView, target string) bool {
 // gossiping, all four within the shared timeout budget.
 func (g *GossipDetector) relayProbe(v *gossipView, proxy, target string) bool {
 	pv, tv := g.views[proxy], g.views[target]
+	if pv == nil || tv == nil {
+		return false
+	}
 	total := time.Duration(0)
 	for _, leg := range [][2]*gossipView{{v, pv}, {pv, tv}, {tv, pv}, {pv, v}} {
 		lat, ok := g.message(leg[0], leg[1])
@@ -477,6 +603,14 @@ func (g *GossipDetector) message(from, to *gossipView) (time.Duration, bool) {
 	for _, u := range updates {
 		g.applyUpdate(to, u, now)
 	}
+	// A delivered message is first-hand evidence of its sender: a
+	// recipient that never heard of the sender learns it here (a joiner
+	// introducing itself by probing, after its queued join rumor's
+	// epidemic budget was spent on a partitioned link). The statement
+	// carries the sender's own incarnation; it does not outrank a
+	// suspect/dead rumor at the same incarnation — refutation stays the
+	// sender's job (the opinion-of-recipient statement below tells it).
+	g.applyUpdate(to, gossipUpdate{peer: from.self, status: gossipAlive, inc: from.inc}, now)
 	if m := from.members[to.self]; m != nil && m.status != gossipAlive {
 		g.applyUpdate(to, gossipUpdate{peer: to.self, status: m.status, inc: m.inc}, now)
 	}
@@ -551,7 +685,12 @@ func (g *GossipDetector) applyUpdate(v *gossipView, u gossipUpdate, now time.Dur
 	}
 	m := v.members[u.peer]
 	if m == nil {
-		return // unknown member (Watch raced); ignore
+		// Discovery: a member this view never heard of — the piggybacked
+		// join dissemination path. Learn it at the gossiped state and
+		// keep the rumor spreading.
+		v.members[u.peer] = &memberInfo{status: u.status, inc: u.inc, since: now}
+		g.enqueue(v, gossipUpdate{peer: u.peer, status: u.status, inc: u.inc})
+		return
 	}
 	if u.inc < m.inc || (u.inc == m.inc && rank(u.status) <= rank(m.status)) {
 		return
@@ -606,7 +745,9 @@ func (g *GossipDetector) sweepSuspicion(now time.Duration) {
 // aggregateLocked recomputes the quorum-confirmed membership view and
 // returns the death/recovery transitions to report. Views owned by
 // confirmed-dead members do not vote — a partitioned or crashed peer's
-// opinions must not poison the aggregate.
+// opinions must not poison the aggregate — and neither do views that
+// have not yet learned of a member (a join mid-dissemination must not
+// count silent ignorance as a death vote or a voter).
 func (g *GossipDetector) aggregateLocked(now time.Duration) []gossipEvent {
 	var events []gossipEvent
 	for _, name := range g.order {
@@ -616,8 +757,12 @@ func (g *GossipDetector) aggregateLocked(now time.Duration) []gossipEvent {
 			if owner == name || g.confirmed[owner] {
 				continue
 			}
+			m := g.views[owner].members[name]
+			if m == nil {
+				continue
+			}
 			voters++
-			if m := g.views[owner].members[name]; m != nil && m.status == gossipDead {
+			if m.status == gossipDead {
 				votes++
 			}
 		}

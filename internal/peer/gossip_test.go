@@ -147,6 +147,9 @@ func TestGossipRefutesFalseSuspicion(t *testing.T) {
 // schedule, is blind: it never detects the relay crash (and its own
 // silence-is-death rule mass-false-positives the healthy peers).
 func TestGossipSupervisorSurvivesHomePartition(t *testing.T) {
+	if testing.Short() {
+		t.Skip("short mode: two full survivability scenarios; covered by the matrix job")
+	}
 	type outcome struct {
 		relayDeaths    int
 		falsePositives int // deaths declared for peers that never crashed

@@ -40,6 +40,17 @@ type Options struct {
 	// database keeps per key (owner + successors). Values > 1 let
 	// lookups survive node crashes; <= 1 keeps a single copy.
 	DHTReplication int
+	// DHTVirtualNodes gives every peer that many tokens on the
+	// stream-definition ring instead of one: key ownership fragments
+	// into small arcs, so a membership change hands off ~K/n keys
+	// instead of whole successor arcs. <= 1 keeps classic placement.
+	DHTVirtualNodes int
+	// DHTLoadBound, when > 0, enables bounded-load placement on the
+	// ring: no peer holds more than ceil(c·K/n) primary keys, capping
+	// its share of checkpoint/descriptor traffic at ~c× the mean (the
+	// anti-hotspot guarantee X3 measures). 0 keeps plain successor
+	// placement.
+	DHTLoadBound float64
 	// ReplayBuffer, when > 0, makes every registered channel retain its
 	// last ReplayBuffer published items for retransmission, and turns on
 	// the consumer-side cursors and the per-Step anti-entropy sweep:
@@ -127,6 +138,12 @@ func NewSystem(opts Options) *System {
 	if opts.DHTReplication > 1 {
 		ring.SetReplication(opts.DHTReplication)
 	}
+	if opts.DHTVirtualNodes > 1 {
+		ring.SetVirtual(opts.DHTVirtualNodes)
+	}
+	if opts.DHTLoadBound > 0 {
+		ring.SetLoadBound(opts.DHTLoadBound)
+	}
 	return &System{
 		opts:     opts,
 		Net:      nw,
@@ -166,6 +183,74 @@ func (s *System) AddPeer(name string) (*Peer, error) {
 	s.mu.Lock()
 	s.peers[name] = p
 	s.mu.Unlock()
+	return p, nil
+}
+
+// JoinPeer admits a peer at runtime through the membership protocol, no
+// pre-run registration anywhere: the peer's network node comes up, it
+// takes its positions on the stream-definition DHT ring (the keys it
+// now owns hand off to it), and every running failure detector learns
+// of it — gossip detectors through the join protocol (seed contact,
+// bootstrap, piggybacked dissemination with incarnation numbers), home
+// heartbeat detectors through direct registration at the home. The
+// peer is immediately eligible for operator placement and failover
+// targeting. Re-joining a dead peer revives it: its links come up, it
+// re-enters the ring, and its gossip incarnation is bumped above every
+// death rumor so the stale declarations cannot kill it again.
+func (s *System) JoinPeer(name, seed string) (*Peer, error) {
+	if name == seed {
+		return nil, fmt.Errorf("peer: %s cannot seed its own join", name)
+	}
+	if s.Peer(seed) == nil {
+		return nil, fmt.Errorf("peer: join seed %q is not a member", seed)
+	}
+	if !s.Net.Alive(seed) {
+		return nil, fmt.Errorf("peer: join seed %q is down", seed)
+	}
+	s.mu.Lock()
+	dets := append([]FailureDetector(nil), s.detectors...)
+	s.mu.Unlock()
+	// Validate the join against every gossip detector BEFORE touching
+	// any state: a rejected join (unknown seed view, joiner partitioned
+	// from the seed) must not leave a half-admitted peer owning DHT
+	// keys that no detector watches.
+	for _, det := range dets {
+		if g, ok := det.(*GossipDetector); ok {
+			if err := g.joinPrecheck(name, seed); err != nil {
+				return nil, err
+			}
+		}
+	}
+	rejoining := s.Peer(name) != nil
+	p, err := s.AddPeer(name)
+	if err != nil {
+		return nil, err
+	}
+	if rejoining {
+		s.Net.Recover(name) //nolint:errcheck // known node
+		s.Ring.Join(name)   //nolint:errcheck // already-joined is fine
+	}
+	gossiped := false
+	for _, det := range dets {
+		if g, ok := det.(*GossipDetector); ok {
+			if err := g.Join(name, seed); err != nil {
+				// Unreachable given the precheck above (no state changed
+				// between the two under this harness's single-threaded
+				// membership control); surface it rather than hide it.
+				return p, err
+			}
+			gossiped = true
+		} else {
+			det.Watch(name)
+		}
+	}
+	if !gossiped {
+		// Home-mode registration: the join contact is one control
+		// message on the joiner→seed link. (Gossip mode accounted the
+		// contact and bootstrap transfer inside Join — don't double-
+		// charge the same link.)
+		s.Net.CountTransfer(name, seed, ctrlMsgBytes)
+	}
 	return p, nil
 }
 

@@ -15,10 +15,13 @@ import (
 // pool of relay workers hosting the subscription's forwarding operator,
 // and a crash schedule that repeatedly kills the active relay while
 // events keep flowing. The supervisor must detect each death and migrate
-// the operator; the report measures what the churn cost.
+// the operator; the report measures what the churn cost. The elastic
+// knobs (GrowFrom/JoinEvery) turn membership itself into workload: the
+// pool starts small and new workers join at runtime through the
+// membership protocol, with no pre-registration anywhere.
 type ChurnConfig struct {
 	Seed    int64
-	Workers int // relay worker pool (w0 ... wN-1)
+	Workers int // full relay worker pool (w0 ... wN-1)
 	Events  int // total source events driven
 	// CrashEvery crashes the active relay after every k driven events
 	// (0 = no churn, the baseline).
@@ -54,7 +57,34 @@ type ChurnConfig struct {
 	// detector goes blind and its silence-is-death rule kills the
 	// healthy peers.
 	PartitionHomeAfter int
+	// GrowFrom, when in [2, Workers), starts the run with only that many
+	// workers pre-registered; the remaining Workers-GrowFrom join at
+	// runtime via System.JoinPeer (seeded at mgr) on the JoinEvery
+	// cadence — the grow-from-k-to-n elastic scenario. 0 pre-registers
+	// the whole pool (the classic static membership).
+	GrowFrom int
+	// JoinEvery admits one pending worker every N driven events. 0 with
+	// GrowFrom set spreads the joins evenly across the run.
+	JoinEvery int
+	// Spread enables the DHT elasticity machinery: virtual-node tokens
+	// (ownership rebalances incrementally on join/leave) plus
+	// bounded-load placement (no peer serves more than ~2× the mean
+	// checkpoint traffic). See docs/MEMBERSHIP.md.
+	Spread bool
+	// Pipelines deploys that many parallel relay pipelines (default 1).
+	// Each has its own relay operator and named channel; the crash
+	// schedule targets pipeline 0's relay. Many pipelines mean many
+	// checkpoint keys — the workload the Spread measurement needs.
+	Pipelines int
 }
+
+// spreadVirtualNodes / spreadLoadBound are the ring settings Spread
+// turns on: enough tokens to fragment ownership at pool scale, and the
+// classic 2× bounded-load factor.
+const (
+	spreadVirtualNodes = 32
+	spreadLoadBound    = 2.0
+)
 
 // DefaultChurn returns a moderate churn scenario.
 func DefaultChurn() ChurnConfig {
@@ -71,44 +101,92 @@ type CrashEvent struct {
 	At     time.Duration
 }
 
+// JoinEvent records one runtime worker admission.
+type JoinEvent struct {
+	Peer string
+	At   time.Duration
+}
+
 // ChurnReport summarizes one churn run.
 type ChurnReport struct {
-	Driven   int    // events driven at the source
-	Received int    // results that reached the subscriber
-	Crashes  int    // relay crashes injected
-	Deaths   int    // deaths the detector declared
-	Repairs  int    // successful operator migrations
-	Replayed uint64 // items retransmitted from replay buffers
+	Driven    int    // events driven at the source
+	Pipelines int    // parallel pipelines each event traverses
+	Received  int    // results that reached the subscribers (all pipelines)
+	Crashes   int    // relay crashes injected
+	Deaths    int    // deaths the detector declared
+	Repairs   int    // successful operator migrations
+	Joins     int    // workers admitted at runtime
+	Replayed  uint64 // items retransmitted from replay buffers
 	// CrashLog is the injected crash schedule, in injection order.
 	CrashLog []CrashEvent
+	// JoinLog is the runtime admission schedule, in join order.
+	JoinLog []JoinEvent
+	// Timeline interleaves the run's membership events (join, crash,
+	// dead, recovered) in occurrence order with virtual timestamps —
+	// the determinism artifact: same seed, same config ⇒ byte-identical
+	// timelines.
+	Timeline []string
 	// DetectionLatency summarizes virtual crash→declared-dead time.
 	DetectionLatency *stats.Summary
 	Traffic          simnet.Totals
 }
 
-// Completeness is the fraction of driven events whose results arrived.
+// Expected is the number of results a lossless run delivers: every
+// driven event through every pipeline.
+func (r *ChurnReport) Expected() int {
+	p := r.Pipelines
+	if p < 1 {
+		p = 1
+	}
+	return r.Driven * p
+}
+
+// Completeness is the fraction of expected results that arrived.
 func (r *ChurnReport) Completeness() float64 {
-	if r.Driven == 0 {
+	if r.Expected() == 0 {
 		return 1
 	}
-	return float64(r.Received) / float64(r.Driven)
+	return float64(r.Received) / float64(r.Expected())
 }
 
 // ChurnLab is one assembled churn scenario.
 type ChurnLab struct {
-	Sys  *peer.System
-	Task *peer.Task
-	Sup  *peer.Supervisor
-	cfg  ChurnConfig
+	Sys   *peer.System
+	Task  *peer.Task   // pipeline 0 (the crash-schedule target)
+	Tasks []*peer.Task // all deployed pipelines
+	Sup   *peer.Supervisor
+	cfg   ChurnConfig
+
+	pending  []string // workers still to join, in admission order
+	timeline []string
 }
 
 // SetupChurn builds the scenario: src.com hosts the monitored service Q,
-// c.com calls it, the relay operator starts on w0, the publisher runs at
-// mgr, and a supervisor at mon watches everything. Non-worker peers are
-// load-biased so failovers stay inside the worker pool.
+// c.com calls it, the relay operator(s) start on the initial worker
+// pool, the publisher runs at mgr, and a supervisor at mon watches
+// everything. Non-worker peers are load-biased so failovers stay inside
+// the worker pool. With GrowFrom set, only the initial workers exist at
+// start — the rest of the pool arrives through the join protocol while
+// events flow.
 func SetupChurn(cfg ChurnConfig) (*ChurnLab, error) {
 	if cfg.Workers < 2 {
 		return nil, fmt.Errorf("workload: churn needs >= 2 workers (got %d)", cfg.Workers)
+	}
+	startWorkers := cfg.Workers
+	if cfg.GrowFrom > 0 {
+		if cfg.GrowFrom < 2 || cfg.GrowFrom > cfg.Workers {
+			return nil, fmt.Errorf("workload: GrowFrom %d out of range [2, %d]", cfg.GrowFrom, cfg.Workers)
+		}
+		// The join schedule must complete within the run: a stranded
+		// pending worker would silently skew every "full scale" claim
+		// (and the steady-state load window would never open).
+		if pending := cfg.Workers - cfg.GrowFrom; cfg.JoinEvery > 0 && pending*cfg.JoinEvery > cfg.Events {
+			return nil, fmt.Errorf("workload: %d joins every %d events do not fit in %d events", pending, cfg.JoinEvery, cfg.Events)
+		}
+		startWorkers = cfg.GrowFrom
+	}
+	if cfg.Pipelines < 1 {
+		cfg.Pipelines = 1
 	}
 	opts := peer.DefaultOptions()
 	opts.Seed = cfg.Seed
@@ -124,6 +202,10 @@ func SetupChurn(cfg ChurnConfig) (*ChurnLab, error) {
 		if opts.CheckpointInterval <= 0 {
 			opts.CheckpointInterval = 2 * time.Second
 		}
+	}
+	if cfg.Spread {
+		opts.DHTVirtualNodes = spreadVirtualNodes
+		opts.DHTLoadBound = spreadLoadBound
 	}
 	sys := peer.NewSystem(opts)
 	mgr, err := sys.AddPeer("mgr")
@@ -142,7 +224,7 @@ func SetupChurn(cfg ChurnConfig) (*ChurnLab, error) {
 			return nil, err
 		}
 	}
-	for i := 0; i < cfg.Workers; i++ {
+	for i := 0; i < startWorkers; i++ {
 		if _, err := sys.AddPeer(fmt.Sprintf("w%d", i)); err != nil {
 			return nil, err
 		}
@@ -151,33 +233,57 @@ func SetupChurn(cfg ChurnConfig) (*ChurnLab, error) {
 		sys.Net.AddLoad(busy, 1000)
 	}
 
-	al := algebra.NewAlerter("inCOM", "ws-in", "src.com", "e", nil)
-	relay := &algebra.Node{Op: algebra.OpUnion, Peer: "w0", Inputs: []*algebra.Node{al}, Schema: []string{"e"}}
-	plan := &algebra.Node{
-		Op: algebra.OpPublish, Peer: "mgr", Inputs: []*algebra.Node{relay},
-		Schema: []string{"e"}, Publish: &algebra.PublishSpec{ChannelID: "churned"},
+	lab := &ChurnLab{Sys: sys, cfg: cfg}
+	for i := startWorkers; i < cfg.Workers; i++ {
+		lab.pending = append(lab.pending, fmt.Sprintf("w%d", i))
 	}
-	task, err := mgr.DeployPlan(plan)
-	if err != nil {
-		return nil, err
+	for i := 0; i < cfg.Pipelines; i++ {
+		channelID := "churned"
+		if i > 0 {
+			channelID = fmt.Sprintf("churned%d", i)
+		}
+		al := algebra.NewAlerter("inCOM", "ws-in", "src.com", "e", nil)
+		relay := &algebra.Node{
+			Op: algebra.OpUnion, Peer: fmt.Sprintf("w%d", i%startWorkers),
+			Inputs: []*algebra.Node{al}, Schema: []string{"e"},
+		}
+		plan := &algebra.Node{
+			Op: algebra.OpPublish, Peer: "mgr", Inputs: []*algebra.Node{relay},
+			Schema: []string{"e"}, Publish: &algebra.PublishSpec{ChannelID: channelID},
+		}
+		task, err := mgr.DeployPlan(plan)
+		if err != nil {
+			return nil, err
+		}
+		lab.Tasks = append(lab.Tasks, task)
 	}
-	var sup *peer.Supervisor
+	lab.Task = lab.Tasks[0]
 	switch cfg.Detector {
 	case "", "home":
-		sup = sys.StartSupervisor("mon", peer.DetectorOptions{
+		lab.Sup = sys.StartSupervisor("mon", peer.DetectorOptions{
 			Interval: cfg.HeartbeatInterval, Suspicion: cfg.Suspicion,
 		})
 	case "gossip":
-		sup = sys.StartGossipSupervisor(peer.GossipOptions{
+		lab.Sup = sys.StartGossipSupervisor(peer.GossipOptions{
 			Seed: cfg.Seed, ProbeInterval: cfg.HeartbeatInterval, Suspicion: cfg.Suspicion,
 		})
 	default:
 		return nil, fmt.Errorf("workload: unknown detector mode %q (want home or gossip)", cfg.Detector)
 	}
-	return &ChurnLab{Sys: sys, Task: task, Sup: sup, cfg: cfg}, nil
+	// Timeline recording rides the detector callbacks (registered after
+	// the supervisor's own, so repairs have already run when an entry is
+	// appended — the entry order is the supervisor's action order).
+	lab.Sup.Detector().OnDeath(func(p string, at time.Duration) {
+		lab.timeline = append(lab.timeline, fmt.Sprintf("t=%v dead %s", at, p))
+	})
+	lab.Sup.Detector().OnRecover(func(p string, at time.Duration) {
+		lab.timeline = append(lab.timeline, fmt.Sprintf("t=%v recovered %s", at, p))
+	})
+	return lab, nil
 }
 
-// RelayHost returns the peer currently hosting the relay operator.
+// RelayHost returns the peer currently hosting pipeline 0's relay
+// operator (the crash-schedule target).
 func (l *ChurnLab) RelayHost() string {
 	host := ""
 	l.Task.Plan.Walk(func(n *algebra.Node) {
@@ -188,13 +294,22 @@ func (l *ChurnLab) RelayHost() string {
 	return host
 }
 
-// settle waits (bounded) until the task's result count stops growing —
-// the in-memory stand-in for the virtual time that separates events in
-// the modeled deployment.
+// resultCount sums settled results across every pipeline.
+func (l *ChurnLab) resultCount() int {
+	total := 0
+	for _, t := range l.Tasks {
+		total += t.Results().Len()
+	}
+	return total
+}
+
+// settle waits (bounded) until the result count stops growing — the
+// in-memory stand-in for the virtual time that separates events in the
+// modeled deployment.
 func (l *ChurnLab) settle() {
 	last, stable := -1, 0
 	for i := 0; i < 200 && stable < 2; i++ {
-		cur := l.Task.Results().Len()
+		cur := l.resultCount()
 		if cur == last {
 			stable++
 		} else {
@@ -223,8 +338,37 @@ func (l *ChurnLab) pendingSuspects() []string {
 	return out
 }
 
-// Run drives the configured number of events while injecting the crash
-// (and, optionally, home-partition) schedule, stops the task, and
+// joinEvery resolves the admission cadence: the configured one, or an
+// even spread of the pending joins across the run.
+func (l *ChurnLab) joinEvery() int {
+	if l.cfg.JoinEvery > 0 {
+		return l.cfg.JoinEvery
+	}
+	if len(l.pending) == 0 {
+		return 0
+	}
+	every := l.cfg.Events / (len(l.pending) + 1)
+	if every < 1 {
+		every = 1
+	}
+	return every
+}
+
+// partitionHome isolates mon from every other current peer — including
+// ones that joined after a previous isolation, so a runtime admission
+// cannot quietly bridge the split.
+func (l *ChurnLab) partitionHome() {
+	rest := make([]string, 0, len(l.Sys.Peers()))
+	for _, p := range l.Sys.Peers() {
+		if p != "mon" {
+			rest = append(rest, p)
+		}
+	}
+	l.Sys.Net.Partition([]string{"mon"}, rest)
+}
+
+// Run drives the configured number of events while injecting the join,
+// crash and (optionally) home-partition schedules, stops the tasks, and
 // reports completeness, failover counts and detection latency. Events
 // driven during an outage window (relay dead, death not yet detected)
 // are genuinely lost — that loss, versus the churn rate, is the
@@ -232,8 +376,10 @@ func (l *ChurnLab) pendingSuspects() []string {
 func (l *ChurnLab) Run() (*ChurnReport, error) {
 	cfg := l.cfg
 	sys, client := l.Sys, l.Sys.Peer("c.com")
-	rep := &ChurnReport{DetectionLatency: &stats.Summary{}}
+	rep := &ChurnReport{Pipelines: cfg.Pipelines, DetectionLatency: &stats.Summary{}}
 	recoverAt := map[string]time.Duration{}
+	joinEvery := l.joinEvery()
+	partitioned := false
 
 	for i := 0; i < cfg.Events; i++ {
 		if _, err := client.Endpoint().Invoke("src.com", "Q", nil); err != nil {
@@ -259,13 +405,29 @@ func (l *ChurnLab) Run() (*ChurnReport, error) {
 		sys.Step(cfg.Step)
 		now := sys.Net.Clock().Now()
 		if cfg.PartitionHomeAfter > 0 && rep.Driven == cfg.PartitionHomeAfter {
-			rest := make([]string, 0, len(sys.Peers()))
-			for _, p := range sys.Peers() {
-				if p != "mon" {
-					rest = append(rest, p)
-				}
+			l.partitionHome()
+			partitioned = true
+		}
+		if joinEvery > 0 && len(l.pending) > 0 && rep.Driven%joinEvery == 0 {
+			name := l.pending[0]
+			l.pending = l.pending[1:]
+			if _, err := sys.JoinPeer(name, "mgr"); err != nil {
+				return nil, fmt.Errorf("workload: admitting %s: %w", name, err)
 			}
-			sys.Net.Partition([]string{"mon"}, rest)
+			rep.Joins++
+			rep.JoinLog = append(rep.JoinLog, JoinEvent{Peer: name, At: now})
+			l.timeline = append(l.timeline, fmt.Sprintf("t=%v join %s", now, name))
+			if partitioned {
+				// Joining mid-isolation must not bridge the split: the
+				// newcomer lands on the majority side.
+				l.partitionHome()
+			}
+			if len(l.pending) == 0 {
+				// Growth complete: steady-state service-load measurements
+				// (the X3 checkpoint-spread table) start here, excluding
+				// deployment and growth traffic.
+				sys.DB.ResetLoad()
+			}
 		}
 		for peerName, at := range recoverAt {
 			if now >= at {
@@ -285,22 +447,30 @@ func (l *ChurnLab) Run() (*ChurnReport, error) {
 				l.settle()
 				sys.Net.Crash(victim) //nolint:errcheck // known node
 				rep.CrashLog = append(rep.CrashLog, CrashEvent{Victim: victim, At: now})
+				l.timeline = append(l.timeline, fmt.Sprintf("t=%v crash %s", now, victim))
 				recoverAt[victim] = now + cfg.MTTR
 				rep.Crashes++
 			}
 		}
 	}
 	// Let outstanding detections finish so the run's cost is complete.
-	// The partitioned home's own (correct) death declaration is not an
-	// injected crash — counting it here would end the wait one real
-	// detection early.
+	// Deaths are matched against the injected crash schedule as a
+	// multiset: a worker that joined, crashed, recovered and crashed
+	// again counts once per injected crash, while deaths the supervisor
+	// declares for other reasons — the partitioned home, a join-flap
+	// false positive — are not injected crashes and must not satisfy
+	// (or overshoot) the wait.
 	injectedDeaths := func() int {
+		quota := map[string]int{}
+		for _, c := range rep.CrashLog {
+			quota[c.Victim]++
+		}
 		n := 0
 		for _, d := range l.Sup.Deaths() {
-			if cfg.PartitionHomeAfter > 0 && d == "mon" {
-				continue
+			if quota[d] > 0 {
+				quota[d]--
+				n++
 			}
-			n++
 		}
 		return n
 	}
@@ -316,18 +486,23 @@ func (l *ChurnLab) Run() (*ChurnReport, error) {
 		// destroyed (home-partition scenario) stops making progress, so
 		// bail once the count stalls.
 		last, stalled := -1, 0
-		for i := 0; i < 1000 && l.Task.Results().Len() < rep.Driven && stalled < 50; i++ {
+		for i := 0; i < 1000 && l.resultCount() < rep.Expected() && stalled < 50; i++ {
 			sys.Step(cfg.Step)
 			l.settle()
-			if cur := l.Task.Results().Len(); cur == last {
+			if cur := l.resultCount(); cur == last {
 				stalled++
 			} else {
 				last, stalled = cur, 0
 			}
 		}
 	}
-	l.Task.Stop()
-	rep.Received = len(l.Task.Results().Drain())
+	for _, t := range l.Tasks {
+		t.Stop()
+	}
+	rep.Received = 0
+	for _, t := range l.Tasks {
+		rep.Received += len(t.Results().Drain())
+	}
 	rep.Deaths = len(l.Sup.Deaths())
 	rep.Replayed = sys.ReplayedItems()
 	for _, ev := range l.Sup.Events() {
@@ -335,18 +510,25 @@ func (l *ChurnLab) Run() (*ChurnReport, error) {
 			rep.Repairs++
 		}
 	}
-	// Detection latency pairs each injected crash with the first repair
-	// event naming its victim at or after the crash time (deaths the
-	// supervisor declares for other reasons — the partitioned home —
-	// are not injected crashes and don't enter the latency sample).
+	// Detection latency pairs each injected crash with the earliest
+	// not-yet-consumed repair event naming its victim at or after the
+	// crash time. Consuming events matters once joins are in play: a
+	// joined-then-crashed-then-recovered worker can be a victim twice,
+	// and both crashes must pair with their own detection instead of
+	// the first one double-counting. Deaths the supervisor declares for
+	// other reasons (the partitioned home) never enter the sample.
+	events := l.Sup.Events()
+	used := make([]bool, len(events))
 	for _, c := range rep.CrashLog {
-		for _, ev := range l.Sup.Events() {
-			if ev.From == c.Victim && ev.At >= c.At {
+		for i, ev := range events {
+			if !used[i] && ev.From == c.Victim && ev.At >= c.At {
+				used[i] = true
 				rep.DetectionLatency.Add(float64(ev.At-c.At) / float64(time.Second))
 				break
 			}
 		}
 	}
+	rep.Timeline = append([]string(nil), l.timeline...)
 	rep.Traffic = sys.Net.Totals()
 	return rep, nil
 }

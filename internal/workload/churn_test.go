@@ -113,6 +113,9 @@ func TestChurnGossipDetectorLossless(t *testing.T) {
 // crash the relay. Gossip mode stays lossless; home mode goes blind and
 // demonstrably loses traffic.
 func TestChurnHomePartitionSurvivability(t *testing.T) {
+	if testing.Short() {
+		t.Skip("short mode: two full survivability runs; covered by the matrix job")
+	}
 	run := func(detector string) *ChurnReport {
 		cfg := DefaultChurn()
 		cfg.Events = 40
