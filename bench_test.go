@@ -8,6 +8,7 @@ import (
 	"testing"
 	"time"
 
+	"p2pm/internal/algebra"
 	"p2pm/internal/dht"
 	"p2pm/internal/filter"
 	"p2pm/internal/kadop"
@@ -379,6 +380,101 @@ func BenchmarkSubscribeDeployStop(b *testing.B) {
 	}
 }
 
+// --- in-network aggregation trees (PR 5) ---
+
+// BenchmarkAggTreeIngest measures the tree's per-item hot path: the
+// PartialAgg leaf accumulating raw events (with periodic watermark
+// emissions) feeding a Final MergeAgg through partial states — the
+// work one event costs the tree, compared against BenchmarkGroupAccept
+// (the flat operator's per-item cost).
+func BenchmarkAggTreeIngest(b *testing.B) {
+	root := &operators.MergeAgg{Final: true}
+	sinkFinal := func(stream.Item) {}
+	leaf := &operators.PartialAgg{
+		Key:    func(n *xmltree.Node) string { return n.AttrOr("k", "") },
+		Window: time.Minute,
+	}
+	forward := func(it stream.Item) { root.Accept(0, it, sinkFinal) }
+	items := make([]stream.Item, 64)
+	for i := range items {
+		n := xmltree.Elem("e")
+		n.SetAttr("k", fmt.Sprintf("key-%d", i%8))
+		items[i] = stream.Item{Tree: n, Time: time.Duration(i) * time.Second}
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		it := items[i%len(items)]
+		it.Time += time.Duration(i/len(items)) * 64 * time.Second // advancing watermark
+		leaf.Accept(0, it, forward)
+	}
+}
+
+// BenchmarkAggTreeRepair measures one interior-node migration on a live
+// tree — crash the merge host, run the full FailPeer repair (DHT
+// re-placement, checkpoint restore, consumer re-binding, input replay),
+// recover the old host. The failover hot path X4's churn rows hammer.
+func BenchmarkAggTreeRepair(b *testing.B) {
+	opts := peer.DefaultOptions()
+	opts.AggDegree = 2
+	opts.ReplayBuffer = 1024
+	opts.CheckpointInterval = time.Second
+	sys := peer.NewSystem(opts)
+	mgr := sys.MustAddPeer("mgr")
+	var branches []*algebra.Node
+	for i := 0; i < 4; i++ {
+		name := fmt.Sprintf("s%d", i)
+		sp := sys.MustAddPeer(name)
+		sp.Endpoint().Register("Q", func(*xmltree.Node) (*xmltree.Node, error) {
+			return xmltree.Elem("ok"), nil
+		}, nil)
+		sys.Net.AddLoad(name, 1000)
+		branches = append(branches, algebra.NewAlerter("inCOM", "ws-in", name, "e", nil))
+	}
+	sys.Net.AddLoad("mgr", 1000)
+	sys.MustAddPeer("w0")
+	sys.MustAddPeer("w1")
+	sys.SetAggHosts(func(n string) bool { return n[0] == 'w' })
+	union := &algebra.Node{Op: algebra.OpUnion, Peer: "w0", Inputs: branches, Schema: []string{"e"}}
+	group := &algebra.Node{
+		Op: algebra.OpGroup, Peer: "w0", Inputs: []*algebra.Node{union},
+		Schema: []string{"e"}, Group: &algebra.GroupSpec{KeyAttr: "callee", Window: "10s"},
+	}
+	plan := &algebra.Node{
+		Op: algebra.OpPublish, Peer: "mgr", Inputs: []*algebra.Node{group},
+		Schema: []string{"e"}, Publish: &algebra.PublishSpec{ChannelID: "agg"},
+	}
+	task, err := mgr.DeployPlan(plan)
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer task.Stop()
+	client := sys.MustAddPeer("client")
+	for i := 0; i < 8; i++ {
+		if _, err := client.Endpoint().Invoke(fmt.Sprintf("s%d", i%4), "Q", nil); err != nil {
+			b.Fatal(err)
+		}
+		sys.Step(time.Second)
+	}
+	interiors := func() []*algebra.Node {
+		var out []*algebra.Node
+		task.Plan.Walk(func(n *algebra.Node) {
+			if n.AggKey != "" {
+				out = append(out, n)
+			}
+		})
+		return out
+	}
+	if len(interiors()) == 0 {
+		b.Fatal("no tree interiors deployed")
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		victim := interiors()[0].Peer
+		sys.FailPeer(victim, sys.Net.Clock().Now())
+		sys.RejoinPeer(victim)
+	}
+}
+
 type benchRand struct{ state uint64 }
 
 func newBenchRand(seed int64) *benchRand {
@@ -447,5 +543,32 @@ func BenchmarkDHTSpreadPut(b *testing.B) {
 		if err := r.Set(fmt.Sprintf("ckpt|task-%d|op-%d", (i/3)%80, i%3), "v"); err != nil {
 			b.Fatal(err)
 		}
+	}
+}
+
+// BenchmarkDHTBoundedGet measures the bounded-load read path — the
+// checkpoint-restore lookup every migration pays — with and without the
+// per-reader location cache. The cache=on leg proves the win: warm
+// repeat reads skip the successor scan past full members.
+func BenchmarkDHTBoundedGet(b *testing.B) {
+	for _, cache := range []bool{false, true} {
+		b.Run(fmt.Sprintf("cache=%v", cache), func(b *testing.B) {
+			r := benchRing(b, 16, 240, 32, 1.2)
+			if cache {
+				r.EnableReadCache()
+			}
+			// Warm the cache (and fault in every lazy path) once.
+			for i := 0; i < 240; i++ {
+				if _, _, err := r.Get("m0", fmt.Sprintf("ckpt|task-%d|op-%d", i/3, i%3)); err != nil {
+					b.Fatal(err)
+				}
+			}
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, _, err := r.Get("m0", fmt.Sprintf("ckpt|task-%d|op-%d", (i/3)%80, i%3)); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
 	}
 }

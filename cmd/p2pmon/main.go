@@ -14,6 +14,10 @@
 //	p2pmon -scenario churn -replay -detector gossip -partition-home 10           # survivability
 //	p2pmon -scenario churn -replay -detector gossip -grow 10 -join-every 12      # elastic growth
 //	p2pmon -scenario churn -replay -grow 10 -spread                              # + DHT checkpoint spreading
+//	p2pmon -scenario churn -replay -leave-every 15                               # graceful leave/rejoin cycles
+//	p2pmon -scenario agg -agg tree -agg-degree 3                                 # in-network aggregation tree
+//	p2pmon -scenario agg -agg flat                                               # the O(n) hotspot baseline
+//	p2pmon -scenario agg -agg tree -replay -crash-every 16 -leave-every 13       # aggregation under flap churn
 //	p2pmon -scenario meteo -sub custom.p2pml   # custom subscription text
 package main
 
@@ -42,38 +46,73 @@ func main() {
 // to out (separated from main for testing).
 func run(args []string, out io.Writer) error {
 	fs := flag.NewFlagSet("p2pmon", flag.ContinueOnError)
-	scenario := fs.String("scenario", "meteo", "meteo | telecom | edos | rss | churn")
+	scenario := fs.String("scenario", "meteo", "meteo | telecom | edos | rss | churn | agg")
 	subFile := fs.String("sub", "", "file with a custom P2PML subscription (overrides the scenario default)")
 	noReuse := fs.Bool("no-reuse", false, "disable stream reuse")
 	noPushdown := fs.Bool("no-pushdown", false, "disable selection pushdown")
-	replay := fs.Bool("replay", false, "churn scenario: enable replay buffers + operator checkpointing (lossless failover)")
-	detector := fs.String("detector", "home", "churn scenario: failure detection mode, home | gossip (see docs/DETECTOR.md)")
-	nEvents := fs.Int("events", 0, "churn scenario: events to drive (0 = scenario default)")
-	crashEvery := fs.Int("crash-every", -1, "churn scenario: crash the relay every N events (0 = never, -1 = scenario default)")
+	replay := fs.Bool("replay", false, "churn/agg scenarios: enable replay buffers + operator checkpointing (lossless failover)")
+	detector := fs.String("detector", "", "churn/agg scenarios: failure detection mode, home | gossip (see docs/DETECTOR.md)")
+	nEvents := fs.Int("events", 0, "churn/agg scenarios: events to drive (0 = scenario default)")
+	crashEvery := fs.Int("crash-every", -1, "churn/agg scenarios: crash the relay/aggregation host every N events (0 = never, -1 = scenario default)")
+	leaveEvery := fs.Int("leave-every", 0, "churn/agg scenarios: the relay/aggregation host gracefully leaves every N events, rejoining after MTTR (0 = never)")
 	partitionHome := fs.Int("partition-home", 0, "churn scenario: isolate the monitor peer after N events (0 = never) — the detector survivability case")
 	grow := fs.Int("grow", 0, "churn scenario: grow the worker pool from 4 to N at runtime via the membership join protocol (0 = static pool, see docs/MEMBERSHIP.md)")
 	joinEvery := fs.Int("join-every", 0, "churn scenario: admit one pending worker every N driven events (0 = spread the joins evenly; needs -grow)")
 	spread := fs.Bool("spread", false, "churn scenario: enable DHT virtual-node + bounded-load checkpoint spreading")
+	aggMode := fs.String("agg", "", "agg scenario: aggregation deployment, tree | flat (see docs/AGGREGATION.md; default tree)")
+	aggDegree := fs.Int("agg-degree", 0, "agg scenario: aggregation-tree fan-in bound (0 = default 3)")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
 
-	if *scenario == "churn" {
-		// The churn lab deploys a fixed hand-placed plan: the P2PML and
-		// optimizer knobs do not apply, so reject them instead of
-		// silently ignoring them.
-		if *subFile != "" || *noReuse || *noPushdown {
-			return fmt.Errorf("p2pmon: -sub, -no-reuse and -no-pushdown are not supported by the churn scenario")
+	// Each lab flag applies to specific scenarios only; an explicitly
+	// set flag outside them is a misuse, rejected instead of silently
+	// ignored. fs.Visit reports only flags the command line actually
+	// set, in lexical order, so the error is deterministic.
+	labFlags := map[string]map[string]bool{
+		"replay":         {"churn": true, "agg": true},
+		"detector":       {"churn": true, "agg": true},
+		"events":         {"churn": true, "agg": true},
+		"crash-every":    {"churn": true, "agg": true},
+		"leave-every":    {"churn": true, "agg": true},
+		"partition-home": {"churn": true},
+		"grow":           {"churn": true},
+		"join-every":     {"churn": true},
+		"spread":         {"churn": true},
+		"agg":            {"agg": true},
+		"agg-degree":     {"agg": true},
+	}
+	var misused string
+	fs.Visit(func(f *flag.Flag) {
+		if in, known := labFlags[f.Name]; known && !in[*scenario] && misused == "" {
+			misused = f.Name
 		}
+	})
+	if misused != "" {
+		return fmt.Errorf("p2pmon: -%s does not apply to the %s scenario", misused, *scenario)
+	}
+
+	if *scenario == "churn" || *scenario == "agg" {
+		// The labs deploy fixed hand-placed plans: the P2PML and
+		// optimizer knobs do not apply.
+		if *subFile != "" || *noReuse || *noPushdown {
+			return fmt.Errorf("p2pmon: -sub, -no-reuse and -no-pushdown are not supported by the %s scenario", *scenario)
+		}
+	}
+	switch *scenario {
+	case "churn":
 		cfg := workload.DefaultChurn()
 		cfg.Replay = *replay
-		cfg.Detector = *detector
+		if *detector != "" {
+			cfg.Detector = *detector
+		}
 		if *nEvents > 0 {
 			cfg.Events = *nEvents
 		}
 		if *crashEvery >= 0 {
 			cfg.CrashEvery = *crashEvery
 		}
+		cfg.LeaveEvery = *leaveEvery
 		cfg.PartitionHomeAfter = *partitionHome
 		if *grow > 0 {
 			if *grow <= cfg.Workers {
@@ -87,24 +126,29 @@ func run(args []string, out io.Writer) error {
 		}
 		cfg.Spread = *spread
 		return runChurn(out, cfg)
-	}
-	// Reject explicitly-set churn-only flags outside the churn scenario.
-	// fs.Visit reports only flags the command line actually set, in
-	// lexical order, so the error is deterministic and `-detector home`
-	// spelled out is rejected like any other churn knob.
-	churnOnly := map[string]bool{
-		"replay": true, "detector": true, "events": true,
-		"crash-every": true, "partition-home": true,
-		"grow": true, "join-every": true, "spread": true,
-	}
-	var misused string
-	fs.Visit(func(f *flag.Flag) {
-		if churnOnly[f.Name] && misused == "" {
-			misused = f.Name
+	case "agg":
+		cfg := workload.DefaultAgg()
+		if *aggMode != "" {
+			cfg.Mode = *aggMode
 		}
-	})
-	if misused != "" {
-		return fmt.Errorf("p2pmon: -%s applies to the churn scenario only", misused)
+		if *aggDegree != 0 {
+			if *aggDegree < 2 {
+				return fmt.Errorf("p2pmon: -agg-degree %d is not a valid fan-in bound (want >= 2, or 0 for the default)", *aggDegree)
+			}
+			cfg.Degree = *aggDegree
+		}
+		cfg.Replay = *replay
+		if *detector != "" {
+			cfg.Detector = *detector
+		}
+		if *nEvents > 0 {
+			cfg.Events = *nEvents
+		}
+		if *crashEvery >= 0 {
+			cfg.CrashEvery = *crashEvery
+		}
+		cfg.LeaveEvery = *leaveEvery
+		return runAgg(out, cfg)
 	}
 
 	opts := peer.DefaultOptions()
@@ -194,6 +238,41 @@ return $r by publish as channel "feedChanges"`
 	return nil
 }
 
+// runAgg runs the in-network aggregation scenario: a windowed
+// group-by-count over every monitored source, deployed flat (one
+// aggregator ingesting all streams) or as a DHT-routed partial/merge
+// tree, optionally under crash and graceful-leave churn. The report
+// scores every windowed count against the deterministic expectation of
+// the drive schedule.
+func runAgg(out io.Writer, cfg workload.AggConfig) error {
+	lab, err := workload.SetupAgg(cfg)
+	if err != nil {
+		return err
+	}
+	det := cfg.Detector
+	if det == "" {
+		det = "gossip"
+	}
+	fmt.Fprintf(out, "== scenario agg ==\nmode %s (degree %d), sources: %d, workers: %d, events: %d, window %v, crash every %d, leave every %d, replay %v, detector %s\n",
+		cfg.Mode, cfg.Degree, cfg.Sources, cfg.Workers, cfg.Events, cfg.Window, cfg.CrashEvery, cfg.LeaveEvery, cfg.Replay, det)
+	fmt.Fprintf(out, "deployed plan:\n%s\n", lab.Task.Plan.Tree())
+	rep, err := lab.Run()
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(out, "drove %d events across %d windows\n", rep.Driven, rep.Windows)
+	fmt.Fprintf(out, "windowed-count completeness %.0f%% (%d/%d groups correct, %d emitted)\n",
+		rep.Completeness()*100, rep.CorrectGroups, rep.ExpectedGroups, rep.ResultGroups)
+	fmt.Fprintf(out, "ingest load: max %d/peer, mean %.1f/peer, max versus mean %.2fx\n",
+		rep.IngestMax, rep.IngestMean, rep.IngestRatio())
+	fmt.Fprintf(out, "crashes: %d, leaves: %d, joins: %d, detected: %d, repaired: %d, replayed: %d\n",
+		rep.Crashes, rep.Leaves, rep.Joins, rep.Deaths, rep.Repairs, rep.Replayed)
+	fmt.Fprintf(out, "aggregation host ended at %s\n", lab.AggHost())
+	fmt.Fprintf(out, "\nnetwork: %d messages, %d bytes, %d dropped over %d links\n",
+		rep.Traffic.Messages, rep.Traffic.Bytes, rep.Traffic.Dropped, rep.Traffic.Links)
+	return nil
+}
+
 // runChurn runs the self-healing scenario: the relay operator of a
 // subscription is killed repeatedly while events flow; the supervisor
 // migrates it and the report shows what the churn cost. With replay on,
@@ -231,6 +310,10 @@ func runChurn(out io.Writer, cfg workload.ChurnConfig) error {
 		rep.Crashes, rep.Deaths, rep.Repairs, rep.Replayed, rep.DetectionLatency.Mean())
 	if rep.Joins > 0 {
 		fmt.Fprintf(out, "joins: %d workers admitted at runtime\n", rep.Joins)
+	}
+	if rep.Leaves > 0 {
+		fmt.Fprintf(out, "leaves: %d graceful departures (%d handoff migrations, zero detection latency)\n",
+			rep.Leaves, rep.LeaveRepairs)
 	}
 	fmt.Fprintf(out, "relay ended at %s\n", lab.RelayHost())
 	fmt.Fprintf(out, "\nnetwork: %d messages, %d bytes, %d dropped over %d links\n",

@@ -47,6 +47,67 @@ func TestReplayFlagOutsideChurnRejected(t *testing.T) {
 	}
 }
 
+func TestChurnLeaveScenario(t *testing.T) {
+	var out bytes.Buffer
+	if err := run([]string{"-scenario", "churn", "-replay", "-crash-every", "0", "-leave-every", "15"}, &out); err != nil {
+		t.Fatal(err)
+	}
+	s := out.String()
+	if !strings.Contains(s, "completeness 100%") || !strings.Contains(s, "graceful departures") {
+		t.Errorf("leave churn report incomplete:\n%s", s)
+	}
+}
+
+func TestAggScenarioTreeAndFlat(t *testing.T) {
+	for _, mode := range []string{"tree", "flat"} {
+		var out bytes.Buffer
+		if err := run([]string{"-scenario", "agg", "-agg", mode, "-events", "48"}, &out); err != nil {
+			t.Fatal(err)
+		}
+		s := out.String()
+		if !strings.Contains(s, "windowed-count completeness 100%") || !strings.Contains(s, "max versus mean") {
+			t.Errorf("agg %s report incomplete:\n%s", mode, s)
+		}
+		if mode == "tree" && !strings.Contains(s, "γm!") {
+			t.Errorf("tree plan missing a Final merge root:\n%s", s)
+		}
+		if mode == "flat" && !strings.Contains(s, "γ[") {
+			t.Errorf("flat plan missing the Group operator:\n%s", s)
+		}
+	}
+}
+
+func TestAggChurnScenario(t *testing.T) {
+	var out bytes.Buffer
+	args := []string{"-scenario", "agg", "-agg", "tree", "-agg-degree", "3", "-replay", "-crash-every", "20", "-leave-every", "17"}
+	if err := run(args, &out); err != nil {
+		t.Fatal(err)
+	}
+	s := out.String()
+	if !strings.Contains(s, "windowed-count completeness 100%") {
+		t.Errorf("agg churn run not lossless:\n%s", s)
+	}
+}
+
+func TestAggFlagValidation(t *testing.T) {
+	bad := [][]string{
+		{"-scenario", "agg", "-agg", "pyramid"},
+		{"-scenario", "agg", "-agg-degree", "1"},
+		{"-scenario", "agg", "-agg-degree", "-2"},
+		{"-scenario", "agg", "-partition-home", "5"},
+		{"-scenario", "agg", "-spread"},
+		{"-scenario", "churn", "-agg", "tree"},
+		{"-scenario", "churn", "-agg-degree", "4"},
+		{"-scenario", "rss", "-agg", "tree"},
+		{"-scenario", "rss", "-leave-every", "5"},
+	}
+	for _, args := range bad {
+		if err := run(args, &bytes.Buffer{}); err == nil {
+			t.Errorf("accepted: %v", args)
+		}
+	}
+}
+
 func TestUnknownScenario(t *testing.T) {
 	if err := run([]string{"-scenario", "nope"}, &bytes.Buffer{}); err == nil {
 		t.Fatal("unknown scenario accepted")

@@ -1,0 +1,171 @@
+package aggtree
+
+import (
+	"fmt"
+	"strings"
+	"testing"
+
+	"p2pm/internal/algebra"
+)
+
+// groupOverUnion builds Publish(Group(Union(alerter×n))) — the flat shape
+// the planner decomposes.
+func groupOverUnion(n int) *algebra.Node {
+	var branches []*algebra.Node
+	for i := 0; i < n; i++ {
+		branches = append(branches, algebra.NewAlerter("inCOM", "ws-in", fmt.Sprintf("s%d", i), "e", nil))
+	}
+	union := &algebra.Node{Op: algebra.OpUnion, Peer: "w0", Inputs: branches, Schema: []string{"e"}}
+	group := &algebra.Node{
+		Op: algebra.OpGroup, Peer: "w0", Inputs: []*algebra.Node{union},
+		Schema: []string{"e"}, Group: &algebra.GroupSpec{KeyAttr: "callee", Window: "10s"},
+	}
+	return &algebra.Node{
+		Op: algebra.OpPublish, Peer: "mgr", Inputs: []*algebra.Node{group},
+		Schema: []string{"e"}, Publish: &algebra.PublishSpec{ChannelID: "agg"},
+	}
+}
+
+func TestRewriteBuildsBalancedTree(t *testing.T) {
+	placed := map[string]string{}
+	plan, built := Rewrite(groupOverUnion(9), "t1", Config{
+		Degree: 3,
+		Place: func(key string) string {
+			peer := fmt.Sprintf("h%d", len(placed))
+			placed[key] = peer
+			return peer
+		},
+	})
+	if built != 1 {
+		t.Fatalf("built = %d trees, want 1", built)
+	}
+	root := plan.Inputs[0]
+	if root.Op != algebra.OpMergeAgg || !root.Group.Final {
+		t.Fatalf("root = %s, want a Final MergeAgg", root.Label())
+	}
+	if root.Peer != "w0" {
+		t.Errorf("root placed at %s, want the flat Group's peer w0", root.Peer)
+	}
+	if root.AggKey != "" {
+		t.Errorf("root carries routing key %q; the root's home is a planning choice", root.AggKey)
+	}
+	if len(root.Inputs) != 3 {
+		t.Fatalf("root fan-in = %d, want 3", len(root.Inputs))
+	}
+	leaves, interiors, unions := 0, 0, 0
+	plan.Walk(func(n *algebra.Node) {
+		switch n.Op {
+		case algebra.OpPartialAgg:
+			leaves++
+			if n.Inputs[0].Op != algebra.OpAlerter || n.Peer != n.Inputs[0].Peer {
+				t.Errorf("leaf %s not co-located with its source (%s vs %s)", n.Label(), n.Peer, n.Inputs[0].Peer)
+			}
+		case algebra.OpMergeAgg:
+			if n != root {
+				interiors++
+				if n.AggKey == "" {
+					t.Errorf("interior %s has no routing key", n.Label())
+				}
+				if n.Peer != placed[n.AggKey] {
+					t.Errorf("interior %s at %s, placer said %s", n.Label(), n.Peer, placed[n.AggKey])
+				}
+				if n.Group.Final {
+					t.Errorf("interior %s is Final", n.Label())
+				}
+			}
+		case algebra.OpUnion:
+			unions++
+		}
+	})
+	if leaves != 9 || interiors != 3 || unions != 0 {
+		t.Errorf("leaves=%d interiors=%d unions=%d, want 9/3/0", leaves, interiors, unions)
+	}
+	if got := len(Interiors(plan)); got != 3 {
+		t.Errorf("Interiors = %d, want 3", got)
+	}
+}
+
+// TestRewriteLeavesNarrowFanInFlat: the tree-vs-flat decision — at or
+// below the degree, the flat Group is the better plan and survives
+// untouched.
+func TestRewriteLeavesNarrowFanInFlat(t *testing.T) {
+	plan, built := Rewrite(groupOverUnion(3), "t1", Config{Degree: 3, Place: func(string) string { return "x" }})
+	if built != 0 {
+		t.Fatalf("built = %d, want 0", built)
+	}
+	if plan.Inputs[0].Op != algebra.OpGroup {
+		t.Errorf("narrow plan rewritten to %s", plan.Inputs[0].Label())
+	}
+	if _, built := Rewrite(groupOverUnion(9), "t1", Config{Degree: 1}); built != 0 {
+		t.Error("degree < 2 must disable the rewrite")
+	}
+}
+
+// TestRewriteSingletonChunksPassThrough: a trailing chunk of one child
+// is lifted, not wrapped in a 1-ary merge.
+func TestRewriteSingletonChunksPassThrough(t *testing.T) {
+	plan, built := Rewrite(groupOverUnion(4), "t1", Config{Degree: 3, Place: func(k string) string { return "h" }})
+	if built != 1 {
+		t.Fatalf("built = %d, want 1", built)
+	}
+	root := plan.Inputs[0]
+	if len(root.Inputs) != 2 {
+		t.Fatalf("root fan-in = %d, want 2 (merge of 3 + lifted leaf)", len(root.Inputs))
+	}
+	kinds := []algebra.OpKind{root.Inputs[0].Op, root.Inputs[1].Op}
+	if kinds[0] != algebra.OpMergeAgg || kinds[1] != algebra.OpPartialAgg {
+		t.Errorf("root children = %v, want [MergeAgg PartialAgg]", kinds)
+	}
+}
+
+// TestRewriteFallsBackWithoutPlacement: an empty placer answer keeps the
+// interior at the flat Group's peer instead of failing the deployment.
+func TestRewriteFallsBackWithoutPlacement(t *testing.T) {
+	plan, built := Rewrite(groupOverUnion(6), "t1", Config{Degree: 2, Place: func(string) string { return "" }})
+	if built != 1 {
+		t.Fatalf("built = %d, want 1", built)
+	}
+	plan.Walk(func(n *algebra.Node) {
+		if n.Op == algebra.OpMergeAgg && n.Peer != "w0" {
+			t.Errorf("unplaceable interior %s landed at %s, want w0", n.Label(), n.Peer)
+		}
+	})
+}
+
+// TestRewritePlacesOnlyKeyedInteriors: the placer is consulted exactly
+// once per routing key that survives in the plan — in particular, the
+// root (whose key is cleared) must never consume bounded-placer state,
+// or re-deriving the placement from the surviving keys would diverge
+// from the deployed one in plans holding a second tree.
+func TestRewritePlacesOnlyKeyedInteriors(t *testing.T) {
+	calls := 0
+	plan, built := Rewrite(groupOverUnion(9), "t1", Config{
+		Degree: 3,
+		Place:  func(string) string { calls++; return fmt.Sprintf("h%d", calls) },
+	})
+	if built != 1 {
+		t.Fatalf("built = %d, want 1", built)
+	}
+	if keyed := len(Interiors(plan)); calls != keyed {
+		t.Errorf("placer consulted %d times for %d surviving routing keys", calls, keyed)
+	}
+}
+
+func TestKeyShape(t *testing.T) {
+	k := Key("task-7.0", 2, 5)
+	if !strings.HasPrefix(k, "aggtree|task-7.0|") || !strings.Contains(k, "L02") {
+		t.Errorf("key = %q", k)
+	}
+	if Key("a", 1, 0) == Key("a", 0, 1) {
+		t.Error("level/index collide in the key space")
+	}
+	// Construction order must equal lexicographic order — bounded
+	// placement re-derives hosts by walking keys sorted.
+	prev := ""
+	for _, k := range []string{Key("a", 1, 0), Key("a", 1, 1), Key("a", 1, 10), Key("a", 2, 0)} {
+		if k <= prev {
+			t.Errorf("key order broken: %q !> %q", k, prev)
+		}
+		prev = k
+	}
+}

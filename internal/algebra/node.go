@@ -31,12 +31,15 @@ const (
 	OpDistinct                 // duplicate removal
 	OpGroup                    // windowed group/count
 	OpPublish                  // publisher
+	OpPartialAgg               // γp: aggregation-tree leaf (local pre-aggregation)
+	OpMergeAgg                 // γm: aggregation-tree interior (partial-state merge)
 )
 
 var opNames = map[OpKind]string{
 	OpAlerter: "Alerter", OpDynAlerter: "DynAlerter", OpChannelIn: "ChannelIn",
 	OpSelect: "Select", OpRestruct: "Restructure", OpUnion: "Union",
 	OpJoin: "Join", OpDistinct: "Distinct", OpGroup: "Group", OpPublish: "Publish",
+	OpPartialAgg: "PartialAgg", OpMergeAgg: "MergeAgg",
 }
 
 func (k OpKind) String() string { return opNames[k] }
@@ -66,6 +69,11 @@ type Node struct {
 	// *original* stream when Channel points at a replica. Descriptors are
 	// always published against originals (Section 5).
 	Origin stream.Ref
+	// AggKey, for OpMergeAgg interiors of an aggregation tree, is the DHT
+	// routing key that placed the node: failover and membership
+	// rebalancing re-derive the host from it, so the tree shape follows
+	// ring ownership instead of sticking to a first placement.
+	AggKey string
 }
 
 // AlerterSpec describes an event source.
@@ -101,10 +109,15 @@ type JoinSpec struct {
 	Lets     []p2pml.LetBinding
 }
 
-// GroupSpec configures a Group operator.
+// GroupSpec configures a Group operator — and, in a decomposed
+// aggregation tree, the PartialAgg leaves and MergeAgg interiors derived
+// from it.
 type GroupSpec struct {
 	KeyAttr string
 	Window  string // duration string; parsed at deployment
+	// Final marks the MergeAgg root of an aggregation tree: it emits the
+	// flat operator's <group> records instead of forwarding partials.
+	Final bool
 }
 
 // PublishSpec lists the notification targets of the BY clause.
@@ -152,6 +165,13 @@ func (n *Node) Label() string {
 		return "Distinct"
 	case OpGroup:
 		return fmt.Sprintf("γ[%s/%s]", n.Group.KeyAttr, n.Group.Window)
+	case OpPartialAgg:
+		return fmt.Sprintf("γp[%s/%s]", n.Group.KeyAttr, n.Group.Window)
+	case OpMergeAgg:
+		if n.Group.Final {
+			return fmt.Sprintf("γm![%s/%s]", n.Group.KeyAttr, n.Group.Window)
+		}
+		return fmt.Sprintf("γm[%s/%s]", n.Group.KeyAttr, n.Group.Window)
 	case OpPublish:
 		parts := make([]string, len(n.Publish.Targets))
 		for i, t := range n.Publish.Targets {
@@ -208,6 +228,7 @@ func (n *Node) render(b *strings.Builder) {
 	sym := map[OpKind]string{
 		OpSelect: "σ", OpRestruct: "Π", OpUnion: "∪", OpJoin: "⋈",
 		OpDistinct: "δ", OpGroup: "γ", OpPublish: "publisher", OpDynAlerter: "dyn",
+		OpPartialAgg: "γp", OpMergeAgg: "γm",
 	}[n.Op]
 	b.WriteString(sym)
 	b.WriteString("@")
@@ -321,8 +342,10 @@ func (n *Node) SignatureWith(inputSigs []string) string {
 		} else {
 			b.WriteString(n.Restruct.Template.String())
 		}
-	case OpGroup:
+	case OpGroup, OpPartialAgg:
 		fmt.Fprintf(&b, "%s/%s", n.Group.KeyAttr, n.Group.Window)
+	case OpMergeAgg:
+		fmt.Fprintf(&b, "%s/%s/final=%t", n.Group.KeyAttr, n.Group.Window, n.Group.Final)
 	}
 	b.WriteString("}(")
 	for i, sig := range inputSigs {

@@ -144,6 +144,14 @@ type Ring struct {
 	primary     map[string]*node
 	classKeys   map[string]int // distinct keys per class (bounded mode)
 
+	// readCache, when enabled, remembers per reader which member served
+	// a key's primary copy, so repeat bounded-load reads skip the
+	// successor-scan hops past full members. Any membership or placement
+	// change invalidates it wholesale — a cached holder is only ever
+	// trusted if it is still a member and still stores the key.
+	readCache map[string]map[string]*node
+	cacheHits uint64
+
 	handoffs uint64
 	lookups  uint64
 	hops     uint64
@@ -229,6 +237,62 @@ func (r *Ring) LoadBound() float64 {
 	r.mu.RLock()
 	defer r.mu.RUnlock()
 	return r.loadBound
+}
+
+// EnableReadCache turns on per-reader caching of resolved primary
+// locations for the bounded-load read path: the first Get pays the
+// successor-scan hops past full members, repeats from the same reader
+// go straight to the remembered holder. The cache is invalidated on
+// every membership or placement change (join, leave, fail, rebalance),
+// so it can serve stale routes only within one membership epoch — and
+// even then a hit is verified against the live store before trusting it.
+func (r *Ring) EnableReadCache() {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if r.readCache == nil {
+		r.readCache = make(map[string]map[string]*node)
+	}
+}
+
+// ReadCacheHits returns how many bounded-load reads the location cache
+// short-circuited.
+func (r *Ring) ReadCacheHits() uint64 {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	return r.cacheHits
+}
+
+// invalidateReadCacheLocked drops every cached location (membership or
+// placement changed).
+func (r *Ring) invalidateReadCacheLocked() {
+	if r.readCache != nil && len(r.readCache) > 0 {
+		r.readCache = make(map[string]map[string]*node)
+	}
+}
+
+// cachedHolderLocked returns the remembered holder of key for reader,
+// if it is still a member whose store has the key.
+func (r *Ring) cachedHolderLocked(reader, key string) *node {
+	if r.readCache == nil || reader == "" {
+		return nil
+	}
+	n := r.readCache[reader][key]
+	if n == nil || r.byKey[n.name] != n || len(n.store[key]) == 0 {
+		return nil
+	}
+	return n
+}
+
+func (r *Ring) rememberHolderLocked(reader, key string, n *node) {
+	if r.readCache == nil || reader == "" || n == nil {
+		return
+	}
+	m := r.readCache[reader]
+	if m == nil {
+		m = make(map[string]*node)
+		r.readCache[reader] = m
+	}
+	m[key] = n
 }
 
 // OnMembership registers a membership hook.
@@ -410,6 +474,7 @@ func (r *Ring) capacityLocked(keys int) int {
 // replicas merge to one copy. Copies landing on a node that did not hold
 // the key count as handoffs.
 func (r *Ring) rebalanceLocked(extra map[string][]string) {
+	r.invalidateReadCacheLocked()
 	r.primary = make(map[string]*node)
 	r.classKeys = make(map[string]int)
 	for _, n := range r.nodes {
@@ -463,6 +528,7 @@ func (r *Ring) rebalanceLocked(extra map[string][]string) {
 // after it — the rest of the ring is untouched. extra contributes the
 // store of a gracefully departed node.
 func (r *Ring) neighborhoodRebalanceLocked(idx int, extra map[string][]string) {
+	r.invalidateReadCacheLocked()
 	n := len(r.vnodes)
 	if n == 0 {
 		return
@@ -746,13 +812,23 @@ func (r *Ring) Get(from, key string) ([]string, int, error) {
 	var vals []string
 	var serving *node
 	if r.loadBound > 0 {
-		for i, n := range r.distinctSuccessorsLocked(target, len(r.nodes)) {
-			if len(n.store[key]) > 0 {
-				vals = append([]string(nil), n.store[key]...)
-				serving = n
-				hops += i
-				r.hops += uint64(i)
-				break
+		// The reader's location cache short-circuits the successor scan:
+		// a remembered (and still valid) holder costs no extra hops.
+		if n := r.cachedHolderLocked(from, key); n != nil {
+			vals = append([]string(nil), n.store[key]...)
+			serving = n
+			r.cacheHits++
+		}
+		if serving == nil {
+			for i, n := range r.distinctSuccessorsLocked(target, len(r.nodes)) {
+				if len(n.store[key]) > 0 {
+					vals = append([]string(nil), n.store[key]...)
+					serving = n
+					hops += i
+					r.hops += uint64(i)
+					r.rememberHolderLocked(from, key, n)
+					break
+				}
 			}
 		}
 		if serving == nil {
@@ -855,6 +931,21 @@ func inOpen(x, a, b ID) bool {
 		return x > a || x < b
 	}
 	return x != a
+}
+
+// Successors returns up to max distinct member names starting at the
+// key's hash owner, in ring-walk order — the candidate sequence that
+// DHT-routed placement (aggregation-tree interiors) and bounded-load
+// reads both walk. Deterministic per membership.
+func (r *Ring) Successors(key string, max int) []string {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	nodes := r.distinctSuccessorsLocked(HashID(key), max)
+	out := make([]string, len(nodes))
+	for i, n := range nodes {
+		out[i] = n.name
+	}
+	return out
 }
 
 // Stats returns cumulative lookup count and total hops.

@@ -1,0 +1,129 @@
+package dht
+
+import (
+	"fmt"
+	"testing"
+)
+
+// boundedRing builds a bounded-load ring loaded far beyond the per-node
+// cap, so many keys' primaries sit past full successors and reads pay
+// scan hops.
+func boundedRing(t testing.TB, members, keys int, cache bool) *Ring {
+	t.Helper()
+	r := New()
+	r.SetReplication(2)
+	r.SetVirtual(16)
+	r.SetLoadBound(1.2) // tight bound: placement skips often
+	if cache {
+		r.EnableReadCache()
+	}
+	for i := 0; i < members; i++ {
+		if err := r.Join(fmt.Sprintf("m%d", i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for i := 0; i < keys; i++ {
+		if err := r.Set(fmt.Sprintf("ckpt|t%d|op%d", i/3, i%3), "v"); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return r
+}
+
+// TestReadCacheShavesScanHops: the second read of a key from the same
+// reader skips the successor scan — strictly fewer total hops than the
+// same reads uncached, with identical values.
+func TestReadCacheShavesScanHops(t *testing.T) {
+	const members, keys, rounds = 12, 120, 3
+	read := func(r *Ring) (totalHops int) {
+		for round := 0; round < rounds; round++ {
+			for i := 0; i < keys; i++ {
+				key := fmt.Sprintf("ckpt|t%d|op%d", i/3, i%3)
+				vals, hops, err := r.Get("m0", key)
+				if err != nil || len(vals) == 0 {
+					t.Fatalf("read %s: vals=%v err=%v", key, vals, err)
+				}
+				totalHops += hops
+			}
+		}
+		return totalHops
+	}
+	plain := read(boundedRing(t, members, keys, false))
+	cached := read(boundedRing(t, members, keys, true))
+	if cached >= plain {
+		t.Errorf("cached reads cost %d hops, uncached %d — no win", cached, plain)
+	}
+	r := boundedRing(t, members, keys, true)
+	read(r)
+	if r.ReadCacheHits() == 0 {
+		t.Error("no cache hits recorded")
+	}
+}
+
+// TestReadCacheInvalidatedOnMembershipChange: a join (and a failure)
+// wipes the cached locations; subsequent reads still resolve correctly
+// against the re-placed keys.
+func TestReadCacheInvalidatedOnMembershipChange(t *testing.T) {
+	r := boundedRing(t, 8, 60, true)
+	keys := make([]string, 0, 20)
+	for i := 0; i < 20; i++ {
+		keys = append(keys, fmt.Sprintf("ckpt|t%d|op%d", i/3, i%3))
+	}
+	for _, k := range keys { // warm
+		if _, _, err := r.Get("m0", k); err != nil {
+			t.Fatal(err)
+		}
+	}
+	hitsBefore := 0
+	for _, k := range keys {
+		if _, _, err := r.Get("m0", k); err != nil {
+			t.Fatal(err)
+		}
+		hitsBefore++
+	}
+	if r.ReadCacheHits() == 0 {
+		t.Fatal("warm reads produced no hits")
+	}
+	if err := r.Join("late"); err != nil {
+		t.Fatal(err)
+	}
+	// Placement re-ran: every cached location was dropped, and every key
+	// still resolves (no stale holder is trusted).
+	for _, k := range keys {
+		vals, _, err := r.Get("m0", k)
+		if err != nil || len(vals) == 0 {
+			t.Errorf("post-join read of %s: vals=%v err=%v", k, vals, err)
+		}
+	}
+	if err := r.Fail("m3"); err != nil {
+		t.Fatal(err)
+	}
+	for _, k := range keys {
+		vals, _, err := r.Get("m0", k)
+		if err != nil || len(vals) == 0 {
+			t.Errorf("post-fail read of %s: vals=%v err=%v", k, vals, err)
+		}
+	}
+}
+
+// TestReadCachePerReader: readers keep independent caches — one
+// reader's warm route never short-circuits another's first scan.
+func TestReadCachePerReader(t *testing.T) {
+	r := boundedRing(t, 8, 30, true)
+	if _, _, err := r.Get("m0", "ckpt|t0|op0"); err != nil {
+		t.Fatal(err)
+	}
+	h0 := r.ReadCacheHits()
+	if _, _, err := r.Get("m1", "ckpt|t0|op0"); err != nil {
+		t.Fatal(err)
+	}
+	if r.ReadCacheHits() != h0 {
+		t.Error("a different reader hit the first reader's cache entry")
+	}
+	if _, _, err := r.Get("m0", "ckpt|t0|op0"); err != nil {
+		t.Fatal(err)
+	}
+	if r.ReadCacheHits() != h0+1 {
+		t.Error("the warming reader did not hit its own entry")
+	}
+}

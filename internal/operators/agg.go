@@ -1,0 +1,312 @@
+// In-network aggregation: the windowed Group operator decomposed into a
+// fan-in tree (docs/AGGREGATION.md). PartialAgg is the leaf half — local
+// pre-aggregation next to the event source, emitting per-window partial
+// state instead of raw events — and MergeAgg is the interior half,
+// combining partial states level by level until the root (Final) emits
+// exactly the <group> records the flat operator would have. Counts are
+// commutative deltas, so partials may arrive in any order, split across
+// any number of emissions, and be re-merged after a replayed migration
+// without changing the final windows.
+package operators
+
+import (
+	"fmt"
+	"sort"
+	"strconv"
+	"time"
+
+	"p2pm/internal/stream"
+	"p2pm/internal/xmltree"
+)
+
+// windowCounts is the shared per-window aggregation state: window index
+// → group key → count.
+type windowCounts map[int64]map[string]int
+
+func (w windowCounts) add(idx int64, key string, n int) {
+	m := w[idx]
+	if m == nil {
+		m = make(map[string]int)
+		w[idx] = m
+	}
+	m[key] += n
+}
+
+func (w windowCounts) sortedWindows() []int64 {
+	out := make([]int64, 0, len(w))
+	for idx := range w {
+		out = append(out, idx)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+func sortedKeys(counts map[string]int) []string {
+	keys := make([]string, 0, len(counts))
+	for k := range counts {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}
+
+// partialTree renders one window's counts as a <partial> state tree:
+//
+//	<partial window="W" max="T"><k key="K" n="N"/>...</partial>
+//
+// max carries the emitter's high-water timestamp so merge watermarks
+// (and the final records' virtual times) compose to the same value the
+// flat operator would have observed.
+func partialTree(idx int64, counts map[string]int, maxSeen time.Duration) *xmltree.Node {
+	n := xmltree.Elem("partial")
+	n.SetAttr("window", strconv.FormatInt(idx, 10))
+	n.SetAttr("max", strconv.FormatInt(int64(maxSeen), 10))
+	for _, k := range sortedKeys(counts) {
+		kn := xmltree.Elem("k")
+		kn.SetAttr("key", k)
+		kn.SetAttr("n", strconv.Itoa(counts[k]))
+		n.Append(kn)
+	}
+	return n
+}
+
+// parsePartial reads a <partial> back: window index, high-water mark,
+// counts. Non-partial trees report ok=false (a merge input fed by
+// something other than a partial stream is a wiring bug surfaced by the
+// dropped counter, not a panic).
+func parsePartial(t *xmltree.Node) (idx int64, max time.Duration, counts map[string]int, ok bool) {
+	if t == nil || t.Label != "partial" {
+		return 0, 0, nil, false
+	}
+	idx, err := strconv.ParseInt(t.AttrOr("window", "0"), 10, 64)
+	if err != nil {
+		return 0, 0, nil, false
+	}
+	m, err := strconv.ParseInt(t.AttrOr("max", "0"), 10, 64)
+	if err != nil {
+		return 0, 0, nil, false
+	}
+	counts = make(map[string]int)
+	for _, kn := range t.ChildrenByLabel("k") {
+		c, err := strconv.Atoi(kn.AttrOr("n", "0"))
+		if err != nil {
+			return 0, 0, nil, false
+		}
+		counts[kn.AttrOr("key", "")] += c
+	}
+	return idx, time.Duration(m), counts, true
+}
+
+// PartialAgg is the aggregation tree's leaf: it accumulates the same
+// (window, key) counts as Group over its single local input, but emits
+// <partial> delta states instead of final records — a window's partial
+// is emitted when the watermark passes it (observed time one full window
+// beyond its end, mirroring Group's EagerEmit rule) and whatever remains
+// is emitted at Flush. Stragglers arriving after a window's partial was
+// emitted simply accumulate a new delta: downstream merges add counts,
+// so splitting a window across emissions never changes the final totals.
+type PartialAgg struct {
+	Key    func(*xmltree.Node) string
+	Window time.Duration
+
+	wins    windowCounts
+	maxSeen time.Duration
+	emitted uint64 // partial states emitted (diagnostics)
+}
+
+// Name implements Proc.
+func (p *PartialAgg) Name() string { return "PartialAgg" }
+
+// Accept implements Proc.
+func (p *PartialAgg) Accept(_ int, it stream.Item, emit Emit) {
+	if p.wins == nil {
+		p.wins = make(windowCounts)
+	}
+	var idx int64
+	if p.Window > 0 {
+		idx = int64(it.Time / p.Window)
+	}
+	key := "*"
+	if p.Key != nil {
+		key = p.Key(it.Tree)
+	}
+	p.wins.add(idx, key, 1)
+	if it.Time > p.maxSeen {
+		p.maxSeen = it.Time
+	}
+	if p.Window > 0 {
+		for _, w := range p.wins.sortedWindows() {
+			if time.Duration(w+2)*p.Window <= p.maxSeen {
+				p.emitWindow(w, emit)
+			}
+		}
+	}
+}
+
+// Flush implements Proc.
+func (p *PartialAgg) Flush(emit Emit) {
+	for _, w := range p.wins.sortedWindows() {
+		p.emitWindow(w, emit)
+	}
+}
+
+// PartialsEmitted reports how many partial states left this leaf.
+func (p *PartialAgg) PartialsEmitted() uint64 { return p.emitted }
+
+func (p *PartialAgg) emitWindow(idx int64, emit Emit) {
+	counts := p.wins[idx]
+	if len(counts) == 0 {
+		return
+	}
+	emit(stream.Item{Tree: partialTree(idx, counts, p.maxSeen), Time: p.maxSeen})
+	delete(p.wins, idx)
+	p.emitted++
+}
+
+// Snapshot implements Snapshotter: the open windows and the watermark.
+func (p *PartialAgg) Snapshot() *xmltree.Node {
+	n := xmltree.Elem("paggstate")
+	durAttr(n, "maxSeen", p.maxSeen)
+	n.SetAttr("emitted", strconv.FormatUint(p.emitted, 10))
+	appendWindows(n, p.wins)
+	return n
+}
+
+// Restore implements Snapshotter.
+func (p *PartialAgg) Restore(n *xmltree.Node) error {
+	if n == nil || n.Label != "paggstate" {
+		return fmt.Errorf("operators: not a PartialAgg snapshot")
+	}
+	var err error
+	if p.maxSeen, err = attrDur(n, "maxSeen"); err != nil {
+		return err
+	}
+	if p.emitted, err = strconv.ParseUint(n.AttrOr("emitted", "0"), 10, 64); err != nil {
+		return fmt.Errorf("operators: bad emitted count in snapshot: %w", err)
+	}
+	p.wins, err = parseWindows(n)
+	return err
+}
+
+// MergeAgg is the aggregation tree's interior: it merges the <partial>
+// window states of its children by adding counts. Interior nodes forward
+// the merged partials at Flush (one state per window, so an interior's
+// output volume is bounded by windows × keys regardless of how many
+// events its subtree saw); the root — Final — emits the <group key
+// count window> records of the flat Group operator instead, in the same
+// window-then-key order and carrying the same composed high-water
+// timestamp, so a tree deployment's results are byte-identical to the
+// flat single-aggregator baseline.
+type MergeAgg struct {
+	// Final makes this node the tree root: it emits <group> records
+	// instead of forwarding <partial> states.
+	Final bool
+
+	wins    windowCounts
+	maxSeen time.Duration
+	dropped uint64 // non-partial inputs ignored (wiring diagnostics)
+}
+
+// Name implements Proc.
+func (m *MergeAgg) Name() string { return "MergeAgg" }
+
+// Accept implements Proc.
+func (m *MergeAgg) Accept(_ int, it stream.Item, emit Emit) {
+	idx, max, counts, ok := parsePartial(it.Tree)
+	if !ok {
+		m.dropped++
+		return
+	}
+	if m.wins == nil {
+		m.wins = make(windowCounts)
+	}
+	for k, n := range counts {
+		m.wins.add(idx, k, n)
+	}
+	if max > m.maxSeen {
+		m.maxSeen = max
+	}
+}
+
+// Flush implements Proc.
+func (m *MergeAgg) Flush(emit Emit) {
+	for _, w := range m.wins.sortedWindows() {
+		counts := m.wins[w]
+		if len(counts) == 0 {
+			continue
+		}
+		if m.Final {
+			for _, k := range sortedKeys(counts) {
+				n := xmltree.Elem("group")
+				n.SetAttr("key", k)
+				n.SetAttr("count", strconv.Itoa(counts[k]))
+				n.SetAttr("window", strconv.FormatInt(w, 10))
+				emit(stream.Item{Tree: n, Time: m.maxSeen})
+			}
+		} else {
+			emit(stream.Item{Tree: partialTree(w, counts, m.maxSeen), Time: m.maxSeen})
+		}
+		delete(m.wins, w)
+	}
+}
+
+// Dropped reports inputs that were not partial states (zero in a
+// correctly wired tree).
+func (m *MergeAgg) Dropped() uint64 { return m.dropped }
+
+// Snapshot implements Snapshotter: the merged open windows and watermark.
+func (m *MergeAgg) Snapshot() *xmltree.Node {
+	n := xmltree.Elem("maggstate")
+	durAttr(n, "maxSeen", m.maxSeen)
+	n.SetAttr("final", strconv.FormatBool(m.Final))
+	appendWindows(n, m.wins)
+	return n
+}
+
+// Restore implements Snapshotter.
+func (m *MergeAgg) Restore(n *xmltree.Node) error {
+	if n == nil || n.Label != "maggstate" {
+		return fmt.Errorf("operators: not a MergeAgg snapshot")
+	}
+	var err error
+	if m.maxSeen, err = attrDur(n, "maxSeen"); err != nil {
+		return err
+	}
+	m.wins, err = parseWindows(n)
+	return err
+}
+
+// appendWindows serializes windowCounts as <w idx><k key n/></w>
+// children (the same shape Group's snapshot uses).
+func appendWindows(n *xmltree.Node, wins windowCounts) {
+	for _, w := range wins.sortedWindows() {
+		wn := xmltree.Elem("w")
+		wn.SetAttr("idx", strconv.FormatInt(w, 10))
+		counts := wins[w]
+		for _, k := range sortedKeys(counts) {
+			kn := xmltree.Elem("k")
+			kn.SetAttr("key", k)
+			kn.SetAttr("n", strconv.Itoa(counts[k]))
+			wn.Append(kn)
+		}
+		n.Append(wn)
+	}
+}
+
+func parseWindows(n *xmltree.Node) (windowCounts, error) {
+	wins := make(windowCounts)
+	for _, wn := range n.ChildrenByLabel("w") {
+		idx, err := strconv.ParseInt(wn.AttrOr("idx", "0"), 10, 64)
+		if err != nil {
+			return nil, fmt.Errorf("operators: bad window index in snapshot: %w", err)
+		}
+		for _, kn := range wn.ChildrenByLabel("k") {
+			c, err := strconv.Atoi(kn.AttrOr("n", "0"))
+			if err != nil {
+				return nil, fmt.Errorf("operators: bad count in snapshot: %w", err)
+			}
+			wins.add(idx, kn.AttrOr("key", ""), c)
+		}
+	}
+	return wins, nil
+}

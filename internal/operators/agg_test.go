@@ -1,0 +1,192 @@
+package operators
+
+import (
+	"fmt"
+	"testing"
+	"time"
+
+	"p2pm/internal/stream"
+	"p2pm/internal/xmltree"
+)
+
+func aggItem(key string, at time.Duration) stream.Item {
+	n := xmltree.Elem("e")
+	n.SetAttr("k", key)
+	return stream.Item{Tree: n, Time: at}
+}
+
+func keyAttr(n *xmltree.Node) string { return n.AttrOr("k", "") }
+
+// driveInline drains an operator run inline: Accept each item, then Flush.
+func driveInline(p Proc, items []stream.Item) []stream.Item {
+	var out []stream.Item
+	emit := func(it stream.Item) { out = append(out, it) }
+	for _, it := range items {
+		p.Accept(0, it, emit)
+	}
+	p.Flush(emit)
+	return out
+}
+
+func renderAll(items []stream.Item) []string {
+	out := make([]string, len(items))
+	for i, it := range items {
+		out[i] = it.Tree.String()
+	}
+	return out
+}
+
+// TestAggTreeMatchesFlatGroup is the core invariant: a partial/merge
+// tree over partitioned inputs emits exactly what the flat Group emits
+// over the union — same records, same window-then-key order, same
+// high-water timestamp.
+func TestAggTreeMatchesFlatGroup(t *testing.T) {
+	w := 10 * time.Second
+	var all []stream.Item
+	leaves := make([][]stream.Item, 3)
+	for i := 0; i < 60; i++ {
+		it := aggItem(fmt.Sprintf("key-%d", i%4), time.Duration(i)*time.Second)
+		all = append(all, it)
+		leaves[i%3] = append(leaves[i%3], it)
+	}
+
+	flat := &Group{Key: keyAttr, Window: w}
+	want := driveInline(flat, all)
+
+	// Two-level tree: 3 leaves → interior(2 leaves) + leaf 3 → final root.
+	root := &MergeAgg{Final: true}
+	interior := &MergeAgg{}
+	var interiorOut, rootIn []stream.Item
+	for i, leafItems := range leaves {
+		leaf := &PartialAgg{Key: keyAttr, Window: w}
+		partials := driveInline(leaf, leafItems)
+		if leaf.PartialsEmitted() != uint64(len(partials)) {
+			t.Fatalf("leaf %d emitted %d, counter says %d", i, len(partials), leaf.PartialsEmitted())
+		}
+		if i < 2 {
+			for _, p := range partials {
+				interior.Accept(0, p, func(it stream.Item) { interiorOut = append(interiorOut, it) })
+			}
+		} else {
+			rootIn = append(rootIn, partials...)
+		}
+	}
+	interior.Flush(func(it stream.Item) { interiorOut = append(interiorOut, it) })
+	rootIn = append(rootIn, interiorOut...)
+	got := driveInline(root, rootIn)
+
+	if fmt.Sprint(renderAll(got)) != fmt.Sprint(renderAll(want)) {
+		t.Errorf("tree output differs from flat Group:\n tree: %v\n flat: %v", renderAll(got), renderAll(want))
+	}
+	for i := range got {
+		if got[i].Time != want[i].Time {
+			t.Errorf("record %d time = %v, flat = %v", i, got[i].Time, want[i].Time)
+		}
+	}
+	if root.Dropped() != 0 {
+		t.Errorf("root dropped %d inputs", root.Dropped())
+	}
+}
+
+// TestPartialAggWatermark checks the leaf's eager emission: a window's
+// partial leaves as soon as observed time passes its end by one full
+// window, and stragglers accumulate a fresh delta instead of being lost.
+func TestPartialAggWatermark(t *testing.T) {
+	w := 10 * time.Second
+	p := &PartialAgg{Key: keyAttr, Window: w}
+	var out []stream.Item
+	emit := func(it stream.Item) { out = append(out, it) }
+
+	p.Accept(0, aggItem("a", 1*time.Second), emit)
+	p.Accept(0, aggItem("a", 5*time.Second), emit)
+	if len(out) != 0 {
+		t.Fatalf("emitted before watermark: %v", renderAll(out))
+	}
+	p.Accept(0, aggItem("b", 31*time.Second), emit) // watermark passes window 0
+	if len(out) != 1 {
+		t.Fatalf("watermark emission = %d items, want 1", len(out))
+	}
+	idx, _, counts, ok := parsePartial(out[0].Tree)
+	if !ok || idx != 0 || counts["a"] != 2 {
+		t.Fatalf("bad partial: %s", out[0].Tree)
+	}
+	// Straggler for window 0 after its partial left: a new delta.
+	p.Accept(0, aggItem("a", 2*time.Second), emit)
+	p.Flush(emit)
+	total := 0
+	for _, it := range out {
+		if i, _, c, ok := parsePartial(it.Tree); ok && i == 0 {
+			total += c["a"]
+		}
+	}
+	if total != 3 {
+		t.Errorf("window 0 'a' deltas sum to %d, want 3", total)
+	}
+}
+
+// TestMergeAggIgnoresNonPartials: wiring bugs surface as a counter, not
+// corrupted counts.
+func TestMergeAggIgnoresNonPartials(t *testing.T) {
+	m := &MergeAgg{Final: true}
+	out := driveInline(m, []stream.Item{aggItem("x", time.Second)})
+	if len(out) != 0 || m.Dropped() != 1 {
+		t.Errorf("got %d outputs, dropped=%d; want 0 outputs, 1 dropped", len(out), m.Dropped())
+	}
+}
+
+// TestAggSnapshotRoundTrip: mid-stream snapshots of both halves restore
+// into fresh instances that finish identically.
+func TestAggSnapshotRoundTrip(t *testing.T) {
+	w := 10 * time.Second
+	items := make([]stream.Item, 40)
+	for i := range items {
+		items[i] = aggItem(fmt.Sprintf("key-%d", i%3), time.Duration(i)*time.Second)
+	}
+
+	p := &PartialAgg{Key: keyAttr, Window: w}
+	var head []stream.Item
+	emitHead := func(it stream.Item) { head = append(head, it) }
+	for _, it := range items[:25] {
+		p.Accept(0, it, emitHead)
+	}
+	restored := &PartialAgg{Key: keyAttr, Window: w}
+	if err := restored.Restore(p.Snapshot()); err != nil {
+		t.Fatal(err)
+	}
+	if restored.PartialsEmitted() != p.PartialsEmitted() {
+		t.Errorf("emitted counter = %d, want %d", restored.PartialsEmitted(), p.PartialsEmitted())
+	}
+	var tailA, tailB []stream.Item
+	for _, it := range items[25:] {
+		p.Accept(0, it, func(x stream.Item) { tailA = append(tailA, x) })
+		restored.Accept(0, it, func(x stream.Item) { tailB = append(tailB, x) })
+	}
+	p.Flush(func(x stream.Item) { tailA = append(tailA, x) })
+	restored.Flush(func(x stream.Item) { tailB = append(tailB, x) })
+	if fmt.Sprint(renderAll(tailA)) != fmt.Sprint(renderAll(tailB)) {
+		t.Errorf("restored PartialAgg diverged:\n got %v\nwant %v", renderAll(tailB), renderAll(tailA))
+	}
+
+	m := &MergeAgg{Final: true}
+	var sink []stream.Item
+	for _, it := range append(head, tailA...) {
+		m.Accept(0, it, func(x stream.Item) { sink = append(sink, x) })
+	}
+	m2 := &MergeAgg{Final: true}
+	if err := m2.Restore(m.Snapshot()); err != nil {
+		t.Fatal(err)
+	}
+	var outA, outB []stream.Item
+	m.Flush(func(x stream.Item) { outA = append(outA, x) })
+	m2.Flush(func(x stream.Item) { outB = append(outB, x) })
+	if fmt.Sprint(renderAll(outA)) != fmt.Sprint(renderAll(outB)) {
+		t.Errorf("restored MergeAgg diverged:\n got %v\nwant %v", renderAll(outB), renderAll(outA))
+	}
+
+	if err := (&PartialAgg{}).Restore(xmltree.Elem("nope")); err == nil {
+		t.Error("PartialAgg.Restore accepted a foreign snapshot")
+	}
+	if err := (&MergeAgg{}).Restore(xmltree.Elem("nope")); err == nil {
+		t.Error("MergeAgg.Restore accepted a foreign snapshot")
+	}
+}

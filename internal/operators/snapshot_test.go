@@ -164,6 +164,89 @@ func TestGroupSnapshotRoundTrip(t *testing.T) {
 	}
 }
 
+// TestGroupSnapshotMidWindowWithLate: a watermark-emitting Group is
+// snapshotted with open windows and a non-zero Late() counter (a
+// straggler arrived after its window was emitted, which also re-opened
+// that window's accumulation); the restored instance carries both and,
+// fed the identical remainder, re-emits the identical window boundaries
+// — the invariant a mid-window migration must preserve.
+func TestGroupSnapshotMidWindowWithLate(t *testing.T) {
+	mk := func() *Group {
+		return &Group{
+			Key:       func(n *xmltree.Node) string { return n.AttrOr("k", "") },
+			Window:    10 * time.Second,
+			EagerEmit: true,
+		}
+	}
+	at := func(key string, sec int) stream.Item {
+		it := keyed(fmt.Sprintf("%s-%d", key, sec), key)
+		it.Time = time.Duration(sec) * time.Second
+		return it
+	}
+	var head []stream.Item
+	g1 := mk()
+	emit1 := gather(&head)
+	g1.Accept(0, at("alpha", 1), emit1)
+	g1.Accept(0, at("alpha", 4), emit1)
+	g1.Accept(0, at("beta", 31), emit1) // watermark: window 0 emitted
+	if len(head) != 1 || head[0].Tree.AttrOr("window", "") != "0" {
+		t.Fatalf("watermark emission = %v, want window 0", head)
+	}
+	// Straggler: late++, and its delta re-emits immediately (the
+	// watermark already passed window 0). Window 3 stays open.
+	g1.Accept(0, at("alpha", 2), emit1)
+	g1.Accept(0, at("beta", 35), emit1)
+	if g1.Late() != 1 {
+		t.Fatalf("late = %d, want 1", g1.Late())
+	}
+	if len(head) != 2 || head[1].Tree.AttrOr("window", "") != "0" || head[1].Tree.AttrOr("count", "") != "1" {
+		t.Fatalf("straggler delta not re-emitted before the snapshot: %v", head)
+	}
+
+	g2 := mk()
+	roundTrip(t, g1, g2)
+	if g2.Late() != 1 {
+		t.Errorf("restored late counter = %d, want 1", g2.Late())
+	}
+	// Identical remainder into both instances, then flush: the restored
+	// operator must re-emit the exact same window boundaries and counts.
+	var tail1, tail2 []stream.Item
+	for _, g := range []struct {
+		op  *Group
+		out *[]stream.Item
+	}{{g1, &tail1}, {g2, &tail2}} {
+		e := gather(g.out)
+		g.op.Accept(0, at("alpha", 37), e)
+		g.op.Flush(e)
+	}
+	if len(tail1) == 0 {
+		t.Fatal("no post-snapshot emissions")
+	}
+	render := func(items []stream.Item) string {
+		s := ""
+		for _, it := range items {
+			s += it.Tree.String() + "\n"
+		}
+		return s
+	}
+	if render(tail1) != render(tail2) {
+		t.Errorf("restored Group re-emitted different window boundaries:\n got: %s\nwant: %s",
+			render(tail2), render(tail1))
+	}
+	// The open window (3) must close with every pre- and post-snapshot
+	// contribution counted once.
+	found := false
+	for _, it := range tail1 {
+		if it.Tree.AttrOr("window", "") == "3" && it.Tree.AttrOr("key", "") == "beta" &&
+			it.Tree.AttrOr("count", "") == "2" {
+			found = true
+		}
+	}
+	if !found {
+		t.Errorf("open window 3 lost contributions across the snapshot: %s", render(tail1))
+	}
+}
+
 // TestHandleSyncAndConsumed: Sync runs serialized with the processing
 // loop and Consumed reports the per-input high-water mark the loop has
 // actually accepted.

@@ -5,6 +5,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"p2pm/internal/aggtree"
 	"p2pm/internal/alerters"
 	"p2pm/internal/algebra"
 	"p2pm/internal/operators"
@@ -32,6 +33,14 @@ func (p *Peer) deploy(task *Task) error {
 			n.Alerter.Peer = p.name
 		}
 	})
+	// Tree-vs-flat aggregation decision: with AggDegree set, wide
+	// windowed aggregations decompose into DHT-routed partial/merge
+	// trees before a single channel is allocated. The task's plan IS the
+	// rewritten plan — failover and checkpointing see the tree.
+	if deg := p.sys.opts.AggDegree; deg > 1 {
+		plan, _ = aggtree.Rewrite(plan, task.ID, aggtree.Config{Degree: deg, Place: p.sys.newAggPlacer()})
+		task.Plan = plan
+	}
 
 	refs, err := reuse.PublishPlan(p.sys.DB, plan, p.sys.nextStreamID)
 	if err != nil {
@@ -212,18 +221,29 @@ func (p *Peer) makeProc(n *algebra.Node) (operators.Proc, error) {
 		return &operators.Distinct{Window: p.sys.opts.DistinctWindow}, nil
 	case algebra.OpGroup:
 		keyAttr := n.Group.KeyAttr
-		var window time.Duration
-		if n.Group.Window != "" {
-			var err error
-			window, err = time.ParseDuration(n.Group.Window)
-			if err != nil {
-				return nil, fmt.Errorf("peer: bad group window %q: %w", n.Group.Window, err)
-			}
+		window, err := groupWindow(n)
+		if err != nil {
+			return nil, err
 		}
 		return &operators.Group{
 			Key:    func(t *xmltree.Node) string { return t.AttrOr(keyAttr, "") },
 			Window: window,
 		}, nil
+	case algebra.OpPartialAgg:
+		keyAttr := n.Group.KeyAttr
+		window, err := groupWindow(n)
+		if err != nil {
+			return nil, err
+		}
+		return &operators.PartialAgg{
+			Key:    func(t *xmltree.Node) string { return t.AttrOr(keyAttr, "") },
+			Window: window,
+		}, nil
+	case algebra.OpMergeAgg:
+		// Window indices ride inside the partial states, so the merge
+		// needs only its role: interior (forward merged partials) or
+		// Final root (emit the flat operator's records).
+		return &operators.MergeAgg{Final: n.Group.Final}, nil
 	case algebra.OpRestruct:
 		return &operators.Restructure{
 			Desc:  n.Label(),
@@ -231,6 +251,18 @@ func (p *Peer) makeProc(n *algebra.Node) (operators.Proc, error) {
 		}, nil
 	}
 	return nil, fmt.Errorf("peer: cannot deploy operator %v", n.Op)
+}
+
+// groupWindow parses a Group-family node's window duration.
+func groupWindow(n *algebra.Node) (time.Duration, error) {
+	if n.Group.Window == "" {
+		return 0, nil
+	}
+	window, err := time.ParseDuration(n.Group.Window)
+	if err != nil {
+		return 0, fmt.Errorf("peer: bad group window %q: %w", n.Group.Window, err)
+	}
+	return window, nil
 }
 
 // deployAlerter instantiates the event source a plan's alerter node

@@ -14,6 +14,10 @@ import (
 type FailureDetector interface {
 	// Watch adds a peer to the watched membership.
 	Watch(peer string)
+	// Leave processes a graceful departure announcement: the peer is
+	// removed from the watched membership with no suspicion window and
+	// no death event — System.LeavePeer already handed its work off.
+	Leave(peer string)
 	// OnDeath registers a callback fired when a peer is declared dead.
 	OnDeath(f func(peer string, at time.Duration))
 	// OnRecover registers a callback fired when a declared-dead peer is
@@ -116,6 +120,15 @@ func (d *Detector) Watch(peer string) {
 		return
 	}
 	d.watched[peer] = &monitorState{peer: peer, nextBeat: now + d.opts.Interval, lastSeen: now}
+}
+
+// Leave removes a peer from the watch set on a graceful departure
+// announcement: its silence is expected, so no suspicion ever opens and
+// no death fires. A later Watch (rejoin) re-admits it fresh.
+func (d *Detector) Leave(peer string) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	delete(d.watched, peer)
 }
 
 // OnDeath registers a callback fired (outside the detector lock) when a

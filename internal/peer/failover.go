@@ -169,18 +169,82 @@ func (s *System) FailPeer(dead string, at time.Duration) []FailoverEvent {
 	if s.Peer(dead) != nil {
 		s.Ring.Fail(dead) //nolint:errcheck // double-fail is a no-op
 	}
-	// Sever replica forwarders fed from the dead peer: the origin's
-	// eventual teardown must not close replica channels a re-deployed
-	// operator is about to take over, and the anti-entropy sweep must
-	// stop pulling from the abandoned origin.
+	s.severForwarders(dead)
+	return s.repairDeparted(dead, at)
+}
+
+// LeavePeer removes a peer gracefully — the cooperative counterpart of
+// FailPeer's crash handling, closing the membership layer's "a departing
+// peer announces and hands off instead of being suspected" follow-up.
+// The departure is announced to every failure detector (gossip
+// disseminates it, no suspicion window ever opens, no death event
+// fires), the peer's DHT keys migrate to their new owners with the store
+// intact (Ring.Leave, not Fail — replication never thins), and its
+// hosted operators and managed tasks move to live peers immediately
+// through the ordinary repair phases. With the replay layer on, a
+// checkpoint sweep runs first while the leaver is still up, so the
+// migrations restore warm state and the handoff is lossless — zero
+// detection latency, zero outage window. The repair actions taken are
+// returned; leave events reach membership alerters through the ring's
+// leave hooks as usual.
+func (s *System) LeavePeer(name string) ([]FailoverEvent, error) {
+	if s.Peer(name) == nil {
+		return nil, fmt.Errorf("peer: %s is not a member", name)
+	}
+	if !s.Net.Alive(name) {
+		return nil, fmt.Errorf("peer: %s is down; a crashed peer cannot leave gracefully", name)
+	}
+	at := s.Net.Clock().Now()
+	// Warm handoff: capture fresh checkpoints while the leaver still
+	// runs, so its operators' replacements restore the present, not the
+	// last periodic sweep.
+	if s.replayOn() {
+		s.CheckpointNow()
+	}
+	// The departure announcement: one control message on the wire, every
+	// detector unlearns the peer with no suspicion window.
 	s.mu.Lock()
+	dets := append([]FailureDetector(nil), s.detectors...)
+	s.mu.Unlock()
+	for _, det := range dets {
+		det.Leave(name)
+	}
+	if tgt := s.leastLoadedLive(name); tgt != "" {
+		s.Net.CountTransfer(name, tgt, ctrlMsgBytes)
+	}
+	// Graceful ring departure: the leaver's stored copies migrate to the
+	// new owners (unlike Fail, where they die with it).
+	s.Ring.Leave(name) //nolint:errcheck // membership was checked above
+	s.Net.Crash(name)  //nolint:errcheck // the peer is gone; links go down
+	s.severForwarders(name)
+	events := s.repairDeparted(name, at)
+	if s.opts.AggDegree > 1 {
+		// Ring ownership changed: re-parent any aggregation-tree
+		// interiors whose DHT-derived host moved with the departure.
+		events = append(events, s.RebalanceAggTrees(at)...)
+	}
+	return events, nil
+}
+
+// severForwarders detaches replica forwarders fed from a departed peer:
+// the origin's eventual teardown must not close replica channels a
+// re-deployed operator is about to take over, and the anti-entropy sweep
+// must stop pulling from the abandoned origin.
+func (s *System) severForwarders(from string) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
 	for _, f := range s.forwarders {
-		if f.orig.PeerID == dead {
+		if f.orig.PeerID == from {
 			f.sub.Detach()
 			f.severed = true
 		}
 	}
-	s.mu.Unlock()
+}
+
+// repairDeparted runs the repair phases over a peer that is gone —
+// crashed (FailPeer) or gracefully left (LeavePeer); its links are
+// already down and the ring no longer holds it.
+func (s *System) repairDeparted(dead string, at time.Duration) []FailoverEvent {
 	var events []FailoverEvent
 	// Phase 0: re-home orphaned tasks. A task whose subscription manager
 	// died would otherwise vanish from every live peer's database —
@@ -270,6 +334,44 @@ func (s *System) RejoinPeer(name string) {
 	if s.Peer(name) != nil {
 		s.Ring.Join(name) //nolint:errcheck // already-joined is fine
 	}
+}
+
+// RebalanceAggTrees re-places aggregation-tree interior operators whose
+// DHT-derived host changed with ring membership: each interior's routing
+// key is resolved against the current ring, and nodes whose owner moved
+// migrate there through the ordinary operator re-deployment path —
+// downstream consumers re-bind, inputs re-subscribe from their cursors,
+// and with replay on the move restores the latest checkpoint and
+// deduplicates the overlap (exactly-once, like any failover). The old
+// host is alive during a planned move; it is passed as the "departed"
+// peer only to scope the re-deployment. Returns the migrations taken.
+// System.JoinPeer and LeavePeer invoke this when AggDegree is on; tests
+// and harnesses may call it directly.
+func (s *System) RebalanceAggTrees(at time.Duration) []FailoverEvent {
+	var events []FailoverEvent
+	for _, p := range s.livePeers() {
+		for _, t := range sortedTasks(p) {
+			desired := s.AggPlacements(t.Plan)
+			postorder(t.Plan, func(n *algebra.Node) {
+				if n.AggKey == "" || !s.Net.Alive(n.Peer) {
+					return // crashed hosts are the failover path's job
+				}
+				want := desired[n.AggKey]
+				if want == "" || want == n.Peer {
+					return
+				}
+				ev, err := p.redeployOperator(t, n, n.Peer, at)
+				if err != nil {
+					// A failed planned move is not a loss: the operator
+					// keeps running where it is and the next membership
+					// change retries.
+					return
+				}
+				events = append(events, ev)
+			})
+		}
+	}
+	return events
 }
 
 // livePeers returns the registered peers whose node is up, sorted by
@@ -384,25 +486,38 @@ func (p *Peer) redeployOperator(t *Task, n *algebra.Node, dead string, at time.D
 		origRef = oldRef
 	}
 
-	// Prefer a live peer that announced a replica of this stream: it is
-	// already receiving the data and republishing it under a channel
-	// other consumers may already use. Replica records chain to the
-	// original identity, so look them up there.
-	replicas, _, _ := s.DB.Replicas(p.name, origRef)
 	newPeer := ""
 	var out *stream.Channel
 	viaReplica := false
-	for _, r := range replicas {
-		if r.PeerID == dead || !s.usable(r) {
-			continue
+	// Aggregation-tree interiors are placed by bounded DHT key routing,
+	// and repair keeps that invariant: the replacement host is re-derived
+	// from the plan's routing keys against the *current* ring (the dead
+	// peer already left it), so the tree shape keeps tracking membership
+	// across any number of migrations.
+	if n.AggKey != "" {
+		if cand := s.AggPlacements(t.Plan)[n.AggKey]; cand != "" && cand != dead {
+			newPeer = cand
+			out = s.allocChannel(t, newPeer, s.nextStreamID(newPeer))
 		}
-		if ch, ok := s.Channel(r); ok {
-			newPeer, out, viaReplica = r.PeerID, ch, true
-			// The task's operator now produces this channel, so the
-			// task owns its lifecycle: it closes when the operator's
-			// inputs end.
-			t.channels = append(t.channels, ch)
-			break
+	}
+	// Otherwise prefer a live peer that announced a replica of this
+	// stream: it is already receiving the data and republishing it under
+	// a channel other consumers may already use. Replica records chain
+	// to the original identity, so look them up there.
+	if newPeer == "" {
+		replicas, _, _ := s.DB.Replicas(p.name, origRef)
+		for _, r := range replicas {
+			if r.PeerID == dead || !s.usable(r) {
+				continue
+			}
+			if ch, ok := s.Channel(r); ok {
+				newPeer, out, viaReplica = r.PeerID, ch, true
+				// The task's operator now produces this channel, so the
+				// task owns its lifecycle: it closes when the operator's
+				// inputs end.
+				t.channels = append(t.channels, ch)
+				break
+			}
 		}
 	}
 	if newPeer == "" {

@@ -299,6 +299,39 @@ func (g *GossipDetector) Join(name, seed string) error {
 	return nil
 }
 
+// Leave processes a graceful departure announcement: every view that
+// knows the member records it dead at a fresh incarnation immediately —
+// no probe failure, no suspicion window, no refutation race (the leaver
+// itself outranks its own alive statements) — and the declaration is
+// queued for epidemic dissemination so views that were partitioned away
+// learn it from the gossip. The aggregate is updated directly without
+// firing a death event: a graceful departure is already handled
+// (System.LeavePeer migrated the work), so the supervisor must not run
+// crash repair on top. A later rejoin adopts an incarnation above the
+// departure statement through the standard Join path.
+func (g *GossipDetector) Leave(name string) {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	v := g.views[name]
+	if v == nil {
+		return
+	}
+	v.inc++ // the departure statement outranks every alive rumor about this life
+	v.queue = nil
+	now := g.sys.Net.Clock().Now()
+	for _, owner := range g.order {
+		if owner == name {
+			continue
+		}
+		ov := g.views[owner]
+		if m := ov.members[name]; m != nil {
+			m.status, m.inc, m.since = gossipDead, v.inc, now
+			g.enqueue(ov, gossipUpdate{peer: name, status: gossipDead, inc: v.inc})
+		}
+	}
+	g.confirmed[name] = true
+}
+
 // addMember registers a member (caller holds no lock at start time, the
 // lock during Watch; both are single-threaded setup paths).
 func (g *GossipDetector) addMember(name string) {

@@ -7,10 +7,12 @@ package peer
 
 import (
 	"fmt"
+	"sort"
 	"sync"
 	"sync/atomic"
 	"time"
 
+	"p2pm/internal/algebra"
 	"p2pm/internal/dht"
 	"p2pm/internal/kadop"
 	"p2pm/internal/rss"
@@ -51,6 +53,21 @@ type Options struct {
 	// anti-hotspot guarantee X3 measures). 0 keeps plain successor
 	// placement.
 	DHTLoadBound float64
+	// DHTReadCache caches resolved bounded-load primary locations per
+	// reader, invalidated on any membership or placement change, so
+	// repeat reads skip the successor-scan hops the placement freedom
+	// otherwise costs. Only meaningful with DHTLoadBound > 0.
+	DHTReadCache bool
+	// AggDegree, when > 1, makes the deploy planner decompose windowed
+	// Group aggregation into a DHT-routed partial/merge fan-in tree
+	// whenever the aggregated union fans in more than AggDegree
+	// branches: PartialAgg leaves pre-aggregate next to each source,
+	// MergeAgg interiors (placed by ring key routing, at most AggDegree
+	// children each) combine the partial window states, and the Final
+	// root re-emits the flat operator's records. 0 keeps every
+	// aggregation flat — the single-peer O(n) ingest baseline. See
+	// docs/AGGREGATION.md.
+	AggDegree int
 	// ReplayBuffer, when > 0, makes every registered channel retain its
 	// last ReplayBuffer published items for retransmission, and turns on
 	// the consumer-side cursors and the per-Step anti-entropy sweep:
@@ -98,6 +115,10 @@ type System struct {
 	taskSeq    int
 	detectors  []FailureDetector
 	forwarders []*replicaForwarder
+	// aggHosts, when set, restricts DHT-routed aggregation-tree interior
+	// placement to matching peers (e.g. a worker pool, keeping merge
+	// nodes off monitored sources). nil admits every ring member.
+	aggHosts func(name string) bool
 	// stale marks channels whose producer migrated away during failover:
 	// the channel object survives (and its host may come back), but no
 	// operator feeds it anymore, so it must never be chosen as a
@@ -143,6 +164,9 @@ func NewSystem(opts Options) *System {
 	}
 	if opts.DHTLoadBound > 0 {
 		ring.SetLoadBound(opts.DHTLoadBound)
+	}
+	if opts.DHTReadCache {
+		ring.EnableReadCache()
 	}
 	return &System{
 		opts:     opts,
@@ -251,6 +275,13 @@ func (s *System) JoinPeer(name, seed string) (*Peer, error) {
 		// charge the same link.)
 		s.Net.CountTransfer(name, seed, ctrlMsgBytes)
 	}
+	if s.opts.AggDegree > 1 {
+		// The ring just changed: aggregation-tree interiors whose
+		// DHT-derived host moved re-parent onto the new owner (children
+		// and consumers re-bind; with replay on the move is exactly-once
+		// through the checkpoint+cursor machinery).
+		s.RebalanceAggTrees(s.Net.Clock().Now())
+	}
 	return p, nil
 }
 
@@ -283,6 +314,89 @@ func (s *System) Peers() []string {
 
 // Options returns the system configuration.
 func (s *System) Options() Options { return s.opts }
+
+// SetAggHosts restricts DHT-routed aggregation-tree interior placement
+// to peers the filter accepts (nil lifts the restriction). Workloads use
+// it to keep merge operators on a worker pool instead of landing them on
+// monitored sources or the manager.
+func (s *System) SetAggHosts(filter func(name string) bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.aggHosts = filter
+}
+
+// newAggPlacer returns a stateful bounded placer for aggregation-tree
+// interiors: each key offered lands on the first live, eligible ring
+// successor of its hash that is below the running per-host cap
+// ⌈placed/eligible⌉ — consistent hashing with bounded loads, the PR 4
+// checkpoint-spreading guarantee applied to operator placement, so no
+// worker stacks more than its fair share of a tree's merge fan-in.
+// Offering the keys in sorted order makes the placement a deterministic
+// function of ring membership: repair and membership rebalancing
+// re-derive identical hosts by replaying the walk (AggPlacements).
+// Empty when no eligible member is alive.
+func (s *System) newAggPlacer() func(key string) string {
+	used := map[string]int{}
+	placed := 0
+	return func(key string) string {
+		s.mu.Lock()
+		filter := s.aggHosts
+		s.mu.Unlock()
+		eligible := func(name string) bool {
+			return s.Net.Alive(name) && (filter == nil || filter(name))
+		}
+		pool := 0
+		for _, m := range s.Ring.Nodes() {
+			if eligible(m) {
+				pool++
+			}
+		}
+		if pool == 0 {
+			return ""
+		}
+		placed++
+		cap := (placed + pool - 1) / pool
+		first := ""
+		for _, cand := range s.Ring.Successors(key, s.Ring.Size()) {
+			if !eligible(cand) {
+				continue
+			}
+			if first == "" {
+				first = cand
+			}
+			if used[cand] < cap {
+				used[cand]++
+				return cand
+			}
+		}
+		if first != "" {
+			used[first]++
+		}
+		return first
+	}
+}
+
+// AggPlacements re-derives the bounded DHT placement of every interior
+// routing key in a plan against the *current* ring: keys in sorted
+// (= construction) order through a fresh bounded placer. This is the
+// placement invariant — where each interior belongs right now — that
+// deployment establishes, failover restores and membership changes
+// rebalance toward.
+func (s *System) AggPlacements(plan *algebra.Node) map[string]string {
+	var keys []string
+	plan.Walk(func(n *algebra.Node) {
+		if n.AggKey != "" {
+			keys = append(keys, n.AggKey)
+		}
+	})
+	sort.Strings(keys)
+	place := s.newAggPlacer()
+	out := make(map[string]string, len(keys))
+	for _, k := range keys {
+		out[k] = place(k)
+	}
+	return out
+}
 
 // nextStreamID allocates a fresh stream identifier on a peer.
 func (s *System) nextStreamID(peer string) string {

@@ -21,23 +21,23 @@ type Task struct {
 	Plan    *algebra.Node
 	Reuse   *reuse.Result // nil when reuse was disabled
 
-	refs      map[*algebra.Node]stream.Ref // current stream identity per operator
-	origRefs  map[*algebra.Node]stream.Ref // first-deployment identity (replica records chain to it)
-	channels  []*stream.Channel
-	subs      []*stream.Subscription // subscriptions to channels this task owns
-	extSubs   []*stream.Subscription // subscriptions to shared channels
-	extQueues []*stream.Queue        // consumer queues re-bound to shared channels
-	bindings  []*inputBinding        // operator-input wiring, for failover re-binding
-	procs     map[*algebra.Node]*procInstance
-	degraded  []string // operators lost without a repair path
-	handles   []*operators.Handle
-	closers   []func()
-	pollers   []func() (int, error)
-	dynDone   []chan struct{}
-	loads     []string
-	resultCh  *stream.Channel
-	namedCh   *stream.Channel
-	resultSub *stream.Subscription
+	refs       map[*algebra.Node]stream.Ref // current stream identity per operator
+	origRefs   map[*algebra.Node]stream.Ref // first-deployment identity (replica records chain to it)
+	channels   []*stream.Channel
+	subs       []*stream.Subscription // subscriptions to channels this task owns
+	extSubs    []*stream.Subscription // subscriptions to shared channels
+	extQueues  []*stream.Queue        // consumer queues re-bound to shared channels
+	bindings   []*inputBinding        // operator-input wiring, for failover re-binding
+	procs      map[*algebra.Node]*procInstance
+	degraded   []string // operators lost without a repair path
+	handles    []*operators.Handle
+	closers    []func()
+	pollers    []func() (int, error)
+	dynDone    []chan struct{}
+	loads      []string
+	resultCh   *stream.Channel
+	namedCh    *stream.Channel
+	resultSub  *stream.Subscription
 	resultQ    *stream.Queue         // stable result queue, survives publisher migration
 	resultCur  *stream.Cursor        // dedup/ordering gate feeding resultQ
 	subTargets map[string]*subTarget // per-BySubscribe-target gates, survive publisher migration
@@ -143,6 +143,18 @@ func (t *Task) Poll() (int, error) {
 // OperatorsDeployed counts the operators this task actually deployed
 // (channels created), excluding reused streams.
 func (t *Task) OperatorsDeployed() int { return len(t.channels) }
+
+// IngestByPeer sums items consumed by the task's operators per hosting
+// peer — the per-peer ingest load the X4 aggregation-tree experiment
+// compares between flat and tree deployments. Attribution follows each
+// operator's current placement (after migrations, the live host).
+func (t *Task) IngestByPeer() map[string]uint64 {
+	out := make(map[string]uint64)
+	for n, inst := range t.procs {
+		out[n.Peer] += inst.handle.ItemsIn()
+	}
+	return out
+}
 
 // ItemsProcessed sums items consumed across the task's own operators —
 // the CPU-side measure of the reuse experiments.

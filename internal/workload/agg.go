@@ -1,0 +1,490 @@
+package workload
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"time"
+
+	"p2pm/internal/aggtree"
+	"p2pm/internal/algebra"
+	"p2pm/internal/peer"
+	"p2pm/internal/simnet"
+	"p2pm/internal/xmltree"
+)
+
+// AggConfig parameterizes the aggregate-query scenario: S monitored
+// source peers feed a windowed group-by-count statistic (per-source call
+// rates, the Edos motivation) that is aggregated either flat — one Group
+// operator ingesting every stream, the O(n) hotspot — or as a DHT-routed
+// partial/merge tree (Mode "tree"), while churn, graceful leaves and
+// runtime joins reshape the merge-host pool. Completeness is measured
+// per windowed count, against the deterministic expectation computed
+// from the drive schedule.
+type AggConfig struct {
+	Seed    int64
+	Sources int // monitored source peers s0..sS-1
+	Workers int // merge-host pool w0..wW-1
+	Events  int // client calls, driven round-robin across the sources
+	// Mode selects the deployment: "flat" (single Group aggregator) or
+	// "tree" (in-network aggregation, docs/AGGREGATION.md).
+	Mode string
+	// Degree is the tree fan-in bound (tree mode; default 3).
+	Degree int
+	// Window is the tumbling window; 0 defaults to 8×Step. Keep it a
+	// multiple of Step so virtual event times land inside windows.
+	Window time.Duration
+	// Step is the virtual time between driven events.
+	Step time.Duration
+	// CrashEvery crashes the current aggregation host — the first tree
+	// interior's host, or the flat aggregator's — every k events.
+	CrashEvery int
+	// LeaveEvery makes the current aggregation host gracefully leave
+	// every k events (rejoining after MTTR via the membership protocol).
+	LeaveEvery int
+	// MTTR is the downtime before a crashed or departed host returns.
+	MTTR time.Duration
+	// HeartbeatInterval / Suspicion configure the failure detector.
+	HeartbeatInterval time.Duration
+	Suspicion         time.Duration
+	// Replay enables the lossless layer (buffers, cursors, checkpoints).
+	Replay             bool
+	ReplayBuffer       int
+	CheckpointInterval time.Duration
+	// Detector is "home" or "gossip" (default gossip — the decentralized
+	// detection the tree's decentralized aggregation pairs with).
+	Detector string
+	// GrowFrom, when in [1, Workers), starts with that many workers; the
+	// rest join at runtime (tree interiors re-parent onto new DHT
+	// owners). 0 pre-registers the whole pool.
+	GrowFrom int
+	// JoinEvery admits one pending worker every N events (0 with
+	// GrowFrom set spreads the joins evenly).
+	JoinEvery int
+}
+
+// DefaultAgg returns a moderate aggregate-query scenario.
+func DefaultAgg() AggConfig {
+	return AggConfig{
+		Seed: 1, Sources: 6, Workers: 3, Events: 96, Mode: "tree", Degree: 3,
+		Step: time.Second, MTTR: 10 * time.Second,
+		HeartbeatInterval: time.Second, Suspicion: 2 * time.Second,
+		Detector: "gossip",
+	}
+}
+
+// AggReport summarizes one aggregate-query run.
+type AggReport struct {
+	Driven         int
+	Windows        int // distinct windows the schedule spans
+	ExpectedGroups int // (window, key) records a lossless run emits
+	CorrectGroups  int // emitted records matching the expectation exactly
+	ResultGroups   int // records actually emitted
+	Crashes        int
+	Leaves         int
+	Deaths         int
+	Repairs        int
+	// LeaveRepairs counts migrations the graceful-leave handoffs took
+	// (they bypass the supervisor, so Repairs does not include them).
+	LeaveRepairs int
+	Joins        int
+	Replayed     uint64
+	// Records holds the emitted result records, serialized and sorted —
+	// the byte-identity artifact X4 compares between tree and flat runs.
+	Records []string
+	// Ingest is the per-peer operator ingest (items consumed by plan
+	// operators hosted there) over the candidate aggregation hosts —
+	// every source and every worker, zeros included: the denominator of
+	// the hotspot measure.
+	Ingest     map[string]uint64
+	IngestMax  uint64
+	IngestMean float64
+	Timeline   []string
+	Traffic    simnet.Totals
+}
+
+// Completeness is the fraction of expected windowed counts that arrived
+// with exactly the right value.
+func (r *AggReport) Completeness() float64 {
+	if r.ExpectedGroups == 0 {
+		return 1
+	}
+	return float64(r.CorrectGroups) / float64(r.ExpectedGroups)
+}
+
+// IngestRatio is max/mean per-peer ingest — the hotspot factor. A flat
+// aggregator concentrates everything on one host (ratio ~ pool size); a
+// degree-d tree bounds every host's fan-in.
+func (r *AggReport) IngestRatio() float64 {
+	if r.IngestMean == 0 {
+		return 0
+	}
+	return float64(r.IngestMax) / r.IngestMean
+}
+
+// AggLab is one assembled aggregate-query scenario.
+type AggLab struct {
+	Sys  *peer.System
+	Task *peer.Task
+	Sup  *peer.Supervisor
+	cfg  AggConfig
+
+	pending  []string
+	away     map[string]bool
+	timeline []string
+}
+
+// SetupAgg builds the scenario: sources host the monitored service and
+// its ws-in alerter, the aggregation (flat Group at w0, or the planner's
+// tree with interiors DHT-routed across the worker pool) publishes at
+// mgr, and a supervisor watches everything.
+func SetupAgg(cfg AggConfig) (*AggLab, error) {
+	if cfg.Sources < 2 || cfg.Workers < 1 {
+		return nil, fmt.Errorf("workload: agg needs >= 2 sources and >= 1 worker (got %d/%d)", cfg.Sources, cfg.Workers)
+	}
+	switch cfg.Mode {
+	case "flat", "tree":
+	default:
+		return nil, fmt.Errorf("workload: unknown agg mode %q (want flat or tree)", cfg.Mode)
+	}
+	if cfg.Degree <= 1 {
+		cfg.Degree = 3
+	}
+	if cfg.Step <= 0 {
+		cfg.Step = time.Second
+	}
+	if cfg.Window <= 0 {
+		cfg.Window = 8 * cfg.Step
+	}
+	startWorkers := cfg.Workers
+	if cfg.GrowFrom > 0 {
+		if cfg.GrowFrom >= cfg.Workers {
+			return nil, fmt.Errorf("workload: GrowFrom %d out of range [1, %d)", cfg.GrowFrom, cfg.Workers)
+		}
+		startWorkers = cfg.GrowFrom
+	}
+
+	opts := peer.DefaultOptions()
+	opts.Seed = cfg.Seed
+	if cfg.Mode == "tree" {
+		opts.AggDegree = cfg.Degree
+	}
+	if cfg.Replay {
+		opts.ReplayBuffer = cfg.ReplayBuffer
+		if opts.ReplayBuffer <= 0 {
+			opts.ReplayBuffer = 4096
+		}
+		opts.CheckpointInterval = cfg.CheckpointInterval
+		if opts.CheckpointInterval <= 0 {
+			opts.CheckpointInterval = 2 * cfg.HeartbeatInterval
+		}
+		if opts.CheckpointInterval <= 0 {
+			opts.CheckpointInterval = 2 * time.Second
+		}
+	}
+	sys := peer.NewSystem(opts)
+	mgr, err := sys.AddPeer("mgr")
+	if err != nil {
+		return nil, err
+	}
+	for _, name := range []string{"c.com", "mon"} {
+		if _, err := sys.AddPeer(name); err != nil {
+			return nil, err
+		}
+	}
+	var branches []*algebra.Node
+	for i := 0; i < cfg.Sources; i++ {
+		name := fmt.Sprintf("s%d", i)
+		sp, err := sys.AddPeer(name)
+		if err != nil {
+			return nil, err
+		}
+		sp.Endpoint().Register("Q", func(*xmltree.Node) (*xmltree.Node, error) {
+			return xmltree.Elem("ok"), nil
+		}, nil)
+		branches = append(branches, algebra.NewAlerter("inCOM", "ws-in", name, "e", nil))
+	}
+	for i := 0; i < startWorkers; i++ {
+		if _, err := sys.AddPeer(fmt.Sprintf("w%d", i)); err != nil {
+			return nil, err
+		}
+	}
+	// Merge operators belong on the worker pool: sources, client,
+	// manager and monitor are load-biased against failover placement and
+	// excluded from DHT-routed interior placement.
+	for _, busy := range []string{"mgr", "c.com", "mon"} {
+		sys.Net.AddLoad(busy, 1000)
+	}
+	for i := 0; i < cfg.Sources; i++ {
+		sys.Net.AddLoad(fmt.Sprintf("s%d", i), 1000)
+	}
+	// DHT-routed interiors stay on the worker pool — and off w0, the
+	// Final root's host, when the pool allows it: stacking the root and
+	// an interior on one peer would re-create a mini-hotspot.
+	sys.SetAggHosts(func(name string) bool {
+		if !strings.HasPrefix(name, "w") {
+			return false
+		}
+		return cfg.Workers == 1 || name != "w0"
+	})
+
+	union := &algebra.Node{Op: algebra.OpUnion, Peer: "w0", Inputs: branches, Schema: []string{"e"}}
+	group := &algebra.Node{
+		Op: algebra.OpGroup, Peer: "w0", Inputs: []*algebra.Node{union},
+		Schema: []string{"e"},
+		Group:  &algebra.GroupSpec{KeyAttr: "callee", Window: cfg.Window.String()},
+	}
+	plan := &algebra.Node{
+		Op: algebra.OpPublish, Peer: "mgr", Inputs: []*algebra.Node{group},
+		Schema: []string{"e"}, Publish: &algebra.PublishSpec{ChannelID: "aggstats"},
+	}
+	task, err := mgr.DeployPlan(plan)
+	if err != nil {
+		return nil, err
+	}
+	lab := &AggLab{Sys: sys, Task: task, cfg: cfg, away: make(map[string]bool)}
+	for i := startWorkers; i < cfg.Workers; i++ {
+		lab.pending = append(lab.pending, fmt.Sprintf("w%d", i))
+	}
+	switch cfg.Detector {
+	case "", "gossip":
+		lab.Sup = sys.StartGossipSupervisor(peer.GossipOptions{
+			Seed: cfg.Seed, ProbeInterval: cfg.HeartbeatInterval, Suspicion: cfg.Suspicion,
+		})
+	case "home":
+		lab.Sup = sys.StartSupervisor("mon", peer.DetectorOptions{
+			Interval: cfg.HeartbeatInterval, Suspicion: cfg.Suspicion,
+		})
+	default:
+		return nil, fmt.Errorf("workload: unknown detector mode %q (want home or gossip)", cfg.Detector)
+	}
+	lab.Sup.Detector().OnDeath(func(p string, at time.Duration) {
+		lab.timeline = append(lab.timeline, fmt.Sprintf("t=%v dead %s", at, p))
+	})
+	lab.Sup.Detector().OnRecover(func(p string, at time.Duration) {
+		lab.timeline = append(lab.timeline, fmt.Sprintf("t=%v recovered %s", at, p))
+	})
+	return lab, nil
+}
+
+// AggHost returns the peer currently hosting the crash-schedule target:
+// the first DHT-routed interior in tree mode (the flat aggregator, or
+// the Final root, otherwise).
+func (l *AggLab) AggHost() string {
+	if ins := aggtree.Interiors(l.Task.Plan); len(ins) > 0 {
+		return ins[0].Peer
+	}
+	host := ""
+	l.Task.Plan.Walk(func(n *algebra.Node) {
+		switch n.Op {
+		case algebra.OpGroup, algebra.OpMergeAgg:
+			host = n.Peer
+		}
+	})
+	return host
+}
+
+// settle waits (bounded) until the task's operators stop consuming, so
+// each virtual Step sees processed state.
+func (l *AggLab) settle() {
+	last, stable := uint64(0), 0
+	for i := 0; i < 2000 && stable < 3; i++ {
+		cur := l.Task.ItemsProcessed()
+		if cur == last {
+			stable++
+		} else {
+			stable, last = 0, cur
+		}
+		time.Sleep(100 * time.Microsecond)
+	}
+}
+
+func (l *AggLab) pendingSuspects() []string {
+	sus := l.Sup.Detector().Suspects()
+	out := sus[:0]
+	for _, s := range sus {
+		if !l.away[s] {
+			out = append(out, s)
+		}
+	}
+	return out
+}
+
+func (l *AggLab) joinEvery() int {
+	if l.cfg.JoinEvery > 0 {
+		return l.cfg.JoinEvery
+	}
+	if len(l.pending) == 0 {
+		return 0
+	}
+	every := l.cfg.Events / (len(l.pending) + 1)
+	if every < 1 {
+		every = 1
+	}
+	return every
+}
+
+// expected computes the deterministic windowed counts the drive schedule
+// produces: event i calls source i mod S at virtual time i×Step.
+func (l *AggLab) expected() map[string]int {
+	out := make(map[string]int)
+	for i := 0; i < l.cfg.Events; i++ {
+		w := int64(time.Duration(i) * l.cfg.Step / l.cfg.Window)
+		key := fmt.Sprintf("http://s%d", i%l.cfg.Sources)
+		out[fmt.Sprintf("%d|%s", w, key)]++
+	}
+	return out
+}
+
+// Run drives the events while injecting the crash/leave/join schedules,
+// settles the detection and replay machinery, stops the task and scores
+// the emitted windowed counts against the schedule's expectation.
+func (l *AggLab) Run() (*AggReport, error) {
+	cfg := l.cfg
+	sys, client := l.Sys, l.Sys.Peer("c.com")
+	rep := &AggReport{}
+	recoverAt := map[string]time.Duration{}
+	rejoinAt := map[string]time.Duration{}
+	joinEvery := l.joinEvery()
+
+	for i := 0; i < cfg.Events; i++ {
+		target := fmt.Sprintf("s%d", i%cfg.Sources)
+		if _, err := client.Endpoint().Invoke(target, "Q", nil); err != nil {
+			return nil, fmt.Errorf("workload: driving event %d: %w", i, err)
+		}
+		rep.Driven++
+		l.settle()
+		sys.Step(cfg.Step)
+		now := sys.Net.Clock().Now()
+		if joinEvery > 0 && len(l.pending) > 0 && rep.Driven%joinEvery == 0 {
+			name := l.pending[0]
+			l.pending = l.pending[1:]
+			if _, err := sys.JoinPeer(name, "mgr"); err != nil {
+				return nil, fmt.Errorf("workload: admitting %s: %w", name, err)
+			}
+			rep.Joins++
+			l.timeline = append(l.timeline, fmt.Sprintf("t=%v join %s", now, name))
+		}
+		for peerName, at := range recoverAt {
+			if now >= at {
+				sys.Net.Recover(peerName) //nolint:errcheck // known node
+				delete(recoverAt, peerName)
+			}
+		}
+		for peerName, at := range rejoinAt {
+			if now >= at {
+				if _, err := sys.JoinPeer(peerName, "mgr"); err != nil {
+					return nil, fmt.Errorf("workload: re-admitting %s: %w", peerName, err)
+				}
+				delete(rejoinAt, peerName)
+				l.away[peerName] = false
+				l.timeline = append(l.timeline, fmt.Sprintf("t=%v rejoin %s", now, peerName))
+			}
+		}
+		if cfg.LeaveEvery > 0 && rep.Driven%cfg.LeaveEvery == 0 {
+			leaver := l.AggHost()
+			if strings.HasPrefix(leaver, "w") && sys.Net.Alive(leaver) &&
+				len(l.pendingSuspects()) == 0 && len(rejoinAt) == 0 {
+				l.settle()
+				evs, err := sys.LeavePeer(leaver)
+				if err != nil {
+					return nil, fmt.Errorf("workload: %s leaving gracefully: %w", leaver, err)
+				}
+				for _, ev := range evs {
+					if ev.Repaired() {
+						rep.LeaveRepairs++
+					}
+				}
+				rep.Leaves++
+				l.timeline = append(l.timeline, fmt.Sprintf("t=%v leave %s", now, leaver))
+				l.away[leaver] = true
+				rejoinAt[leaver] = now + cfg.MTTR
+			}
+		}
+		if cfg.CrashEvery > 0 && rep.Driven%cfg.CrashEvery == 0 {
+			victim := l.AggHost()
+			// Only workers crash (an interior that fell back onto a
+			// biased peer would take its alerter down with it), one
+			// outstanding crash at a time.
+			if strings.HasPrefix(victim, "w") && sys.Net.Alive(victim) && len(l.pendingSuspects()) == 0 {
+				l.settle()
+				sys.Net.Crash(victim) //nolint:errcheck // known node
+				rep.Crashes++
+				l.timeline = append(l.timeline, fmt.Sprintf("t=%v crash %s", now, victim))
+				recoverAt[victim] = now + cfg.MTTR
+			}
+		}
+	}
+	// Let outstanding detections and repairs finish, then give the
+	// anti-entropy sweep a few rounds to refill any remaining losses.
+	for i := 0; i < 64 && len(l.pendingSuspects()) > 0; i++ {
+		sys.Step(cfg.Step)
+	}
+	for i := 0; i < 8; i++ {
+		l.settle()
+		sys.Step(cfg.Step)
+	}
+	l.settle()
+
+	// Ingest snapshot before teardown, over the candidate host set.
+	byPeer := l.Task.IngestByPeer()
+	rep.Ingest = make(map[string]uint64)
+	var total uint64
+	hosts := 0
+	addHost := func(name string) {
+		rep.Ingest[name] = byPeer[name]
+		total += byPeer[name]
+		if byPeer[name] > rep.IngestMax {
+			rep.IngestMax = byPeer[name]
+		}
+		hosts++
+	}
+	for i := 0; i < cfg.Sources; i++ {
+		addHost(fmt.Sprintf("s%d", i))
+	}
+	for i := 0; i < cfg.Workers; i++ {
+		addHost(fmt.Sprintf("w%d", i))
+	}
+	if hosts > 0 {
+		rep.IngestMean = float64(total) / float64(hosts)
+	}
+
+	l.Task.Stop()
+	exp := l.expected()
+	rep.Windows = func() int {
+		seen := map[string]bool{}
+		for k := range exp {
+			seen[strings.SplitN(k, "|", 2)[0]] = true
+		}
+		return len(seen)
+	}()
+	rep.ExpectedGroups = len(exp)
+	got := make(map[string]int)
+	for _, it := range l.Task.Results().Drain() {
+		if it.Tree.Label != "group" {
+			continue
+		}
+		rep.ResultGroups++
+		k := it.Tree.AttrOr("window", "?") + "|" + it.Tree.AttrOr("key", "?")
+		n := 0
+		fmt.Sscanf(it.Tree.AttrOr("count", "0"), "%d", &n)
+		got[k] += n // duplicates/splits would surface as a wrong total
+		rep.Records = append(rep.Records, it.Tree.String())
+	}
+	sort.Strings(rep.Records)
+	for k, want := range exp {
+		if got[k] == want {
+			rep.CorrectGroups++
+		}
+	}
+	rep.Deaths = len(l.Sup.Deaths())
+	for _, ev := range l.Sup.Events() {
+		if ev.Repaired() {
+			rep.Repairs++
+		}
+	}
+	rep.Replayed = sys.ReplayedItems()
+	rep.Timeline = append([]string(nil), l.timeline...)
+	rep.Traffic = sys.Net.Totals()
+	return rep, nil
+}

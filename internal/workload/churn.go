@@ -26,6 +26,13 @@ type ChurnConfig struct {
 	// CrashEvery crashes the active relay after every k driven events
 	// (0 = no churn, the baseline).
 	CrashEvery int
+	// LeaveEvery makes the active relay host *gracefully leave* after
+	// every k driven events (0 = never): System.LeavePeer announces the
+	// departure, hands off DHT keys and migrates the relay immediately —
+	// no suspicion window, no detection latency, no death declared. The
+	// leaver rejoins through the membership protocol after MTTR. Leave
+	// and rejoin events appear in the Timeline.
+	LeaveEvery int
 	// MTTR is the virtual downtime before a crashed worker returns and
 	// rejoins the pool.
 	MTTR time.Duration
@@ -107,20 +114,32 @@ type JoinEvent struct {
 	At   time.Duration
 }
 
+// LeaveEvent records one graceful departure.
+type LeaveEvent struct {
+	Peer string
+	At   time.Duration
+}
+
 // ChurnReport summarizes one churn run.
 type ChurnReport struct {
-	Driven    int    // events driven at the source
-	Pipelines int    // parallel pipelines each event traverses
-	Received  int    // results that reached the subscribers (all pipelines)
-	Crashes   int    // relay crashes injected
-	Deaths    int    // deaths the detector declared
-	Repairs   int    // successful operator migrations
-	Joins     int    // workers admitted at runtime
-	Replayed  uint64 // items retransmitted from replay buffers
+	Driven    int // events driven at the source
+	Pipelines int // parallel pipelines each event traverses
+	Received  int // results that reached the subscribers (all pipelines)
+	Crashes   int // relay crashes injected
+	Deaths    int // deaths the detector declared
+	Repairs   int // successful operator migrations
+	Joins     int // workers admitted at runtime
+	Leaves    int // graceful departures injected
+	// LeaveRepairs counts migrations the graceful-leave handoffs took
+	// (they bypass the supervisor, so Repairs does not include them).
+	LeaveRepairs int
+	Replayed     uint64 // items retransmitted from replay buffers
 	// CrashLog is the injected crash schedule, in injection order.
 	CrashLog []CrashEvent
 	// JoinLog is the runtime admission schedule, in join order.
 	JoinLog []JoinEvent
+	// LeaveLog is the graceful-departure schedule, in leave order.
+	LeaveLog []LeaveEvent
 	// Timeline interleaves the run's membership events (join, crash,
 	// dead, recovered) in occurrence order with virtual timestamps —
 	// the determinism artifact: same seed, same config ⇒ byte-identical
@@ -157,7 +176,8 @@ type ChurnLab struct {
 	Sup   *peer.Supervisor
 	cfg   ChurnConfig
 
-	pending  []string // workers still to join, in admission order
+	pending  []string        // workers still to join, in admission order
+	away     map[string]bool // gracefully departed, awaiting rejoin
 	timeline []string
 }
 
@@ -206,6 +226,10 @@ func SetupChurn(cfg ChurnConfig) (*ChurnLab, error) {
 	if cfg.Spread {
 		opts.DHTVirtualNodes = spreadVirtualNodes
 		opts.DHTLoadBound = spreadLoadBound
+		// Bounded-load reads pay successor-scan hops; the per-reader
+		// location cache (invalidated on every membership change) shaves
+		// them off the checkpoint-restore path.
+		opts.DHTReadCache = true
 	}
 	sys := peer.NewSystem(opts)
 	mgr, err := sys.AddPeer("mgr")
@@ -233,7 +257,7 @@ func SetupChurn(cfg ChurnConfig) (*ChurnLab, error) {
 		sys.Net.AddLoad(busy, 1000)
 	}
 
-	lab := &ChurnLab{Sys: sys, cfg: cfg}
+	lab := &ChurnLab{Sys: sys, cfg: cfg, away: make(map[string]bool)}
 	for i := startWorkers; i < cfg.Workers; i++ {
 		lab.pending = append(lab.pending, fmt.Sprintf("w%d", i))
 	}
@@ -321,19 +345,22 @@ func (l *ChurnLab) settle() {
 }
 
 // pendingSuspects returns the detector's confirmed-dead set minus the
-// deliberately partitioned home peer: "mon" isolated by the
-// survivability scenario stays declared dead for the rest of the run,
-// and must not block the crash schedule's one-outstanding-crash rule.
+// peers whose absence is deliberate: the partitioned home of the
+// survivability scenario ("mon" stays declared dead for the rest of the
+// run) and gracefully departed workers awaiting their rejoin — neither
+// is an outstanding crash, so neither may block the schedule's
+// one-outstanding-crash rule.
 func (l *ChurnLab) pendingSuspects() []string {
 	sus := l.Sup.Detector().Suspects()
-	if l.cfg.PartitionHomeAfter <= 0 {
-		return sus
-	}
 	out := sus[:0]
 	for _, s := range sus {
-		if s != "mon" {
-			out = append(out, s)
+		if l.cfg.PartitionHomeAfter > 0 && s == "mon" {
+			continue
 		}
+		if l.away[s] {
+			continue
+		}
+		out = append(out, s)
 	}
 	return out
 }
@@ -378,6 +405,7 @@ func (l *ChurnLab) Run() (*ChurnReport, error) {
 	sys, client := l.Sys, l.Sys.Peer("c.com")
 	rep := &ChurnReport{Pipelines: cfg.Pipelines, DetectionLatency: &stats.Summary{}}
 	recoverAt := map[string]time.Duration{}
+	rejoinAt := map[string]time.Duration{}
 	joinEvery := l.joinEvery()
 	partitioned := false
 
@@ -433,6 +461,38 @@ func (l *ChurnLab) Run() (*ChurnReport, error) {
 			if now >= at {
 				sys.Net.Recover(peerName) //nolint:errcheck // known node
 				delete(recoverAt, peerName)
+			}
+		}
+		for peerName, at := range rejoinAt {
+			if now >= at {
+				if _, err := sys.JoinPeer(peerName, "mgr"); err != nil {
+					return nil, fmt.Errorf("workload: re-admitting %s after its leave: %w", peerName, err)
+				}
+				delete(rejoinAt, peerName)
+				l.away[peerName] = false
+				l.timeline = append(l.timeline, fmt.Sprintf("t=%v rejoin %s", now, peerName))
+			}
+		}
+		if cfg.LeaveEvery > 0 && rep.Driven%cfg.LeaveEvery == 0 {
+			leaver := l.RelayHost()
+			// Like the crash schedule: one departure at a time, and only
+			// while the pool is otherwise healthy.
+			if sys.Net.Alive(leaver) && len(l.pendingSuspects()) == 0 && len(rejoinAt) == 0 {
+				l.settle()
+				evs, err := sys.LeavePeer(leaver)
+				if err != nil {
+					return nil, fmt.Errorf("workload: %s leaving gracefully: %w", leaver, err)
+				}
+				for _, ev := range evs {
+					if ev.Repaired() {
+						rep.LeaveRepairs++
+					}
+				}
+				rep.Leaves++
+				rep.LeaveLog = append(rep.LeaveLog, LeaveEvent{Peer: leaver, At: now})
+				l.timeline = append(l.timeline, fmt.Sprintf("t=%v leave %s", now, leaver))
+				l.away[leaver] = true
+				rejoinAt[leaver] = now + cfg.MTTR
 			}
 		}
 		if cfg.CrashEvery > 0 && rep.Driven%cfg.CrashEvery == 0 {
