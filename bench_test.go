@@ -12,6 +12,7 @@ import (
 	"p2pm/internal/dht"
 	"p2pm/internal/filter"
 	"p2pm/internal/kadop"
+	"p2pm/internal/monoid"
 	"p2pm/internal/operators"
 	"p2pm/internal/p2pml"
 	"p2pm/internal/peer"
@@ -566,6 +567,71 @@ func BenchmarkDHTBoundedGet(b *testing.B) {
 			b.ResetTimer()
 			for i := 0; i < b.N; i++ {
 				if _, _, err := r.Get("m0", fmt.Sprintf("ckpt|task-%d|op-%d", (i/3)%80, i%3)); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// --- sketch monoids (PR 6) ---
+
+// BenchmarkSketchIngest measures each sketch monoid's absorb cost
+// against the exact set baseline — the leaf-side work a window of 1024
+// events adds to a distinct-count or heavy-hitter state. One iteration
+// absorbs the whole batch so the number sits at µs scale, where the
+// bench guard's 25ms samples are stable.
+func BenchmarkSketchIngest(b *testing.B) {
+	for _, name := range []string{"set", "distinct", "freq"} {
+		b.Run(name, func(b *testing.B) {
+			m, ok := monoid.Lookup(name)
+			if !ok {
+				b.Fatalf("unknown monoid %q", name)
+			}
+			vals := make([]string, 1024)
+			for i := range vals {
+				vals[i] = fmt.Sprintf("user-%d", i%512)
+			}
+			s := m.Zero()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				for _, v := range vals {
+					if err := s.Absorb(v); err != nil {
+						b.Fatal(err)
+					}
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkSketchMerge measures one wire-level partial merge: decode a
+// serialized 2000-value state and fold it in — the interior-node work
+// per arriving partial.
+func BenchmarkSketchMerge(b *testing.B) {
+	for _, name := range []string{"set", "distinct", "freq"} {
+		b.Run(name, func(b *testing.B) {
+			m, ok := monoid.Lookup(name)
+			if !ok {
+				b.Fatalf("unknown monoid %q", name)
+			}
+			acc, other := m.Zero(), m.Zero()
+			for i := 0; i < 2000; i++ {
+				if err := acc.Absorb(fmt.Sprintf("a-%d", i)); err != nil {
+					b.Fatal(err)
+				}
+				if err := other.Absorb(fmt.Sprintf("b-%d", i)); err != nil {
+					b.Fatal(err)
+				}
+			}
+			enc := other.Encode()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				dec, err := m.Decode(enc)
+				if err != nil {
+					b.Fatal(err)
+				}
+				if err := acc.Merge(dec); err != nil {
 					b.Fatal(err)
 				}
 			}

@@ -61,6 +61,8 @@ func run(args []string, out io.Writer) error {
 	spread := fs.Bool("spread", false, "churn scenario: enable DHT virtual-node + bounded-load checkpoint spreading")
 	aggMode := fs.String("agg", "", "agg scenario: aggregation deployment, tree | flat (see docs/AGGREGATION.md; default tree)")
 	aggDegree := fs.Int("agg-degree", 0, "agg scenario: aggregation-tree fan-in bound (0 = default 3)")
+	aggFn := fs.String("agg-fn", "", "agg scenario: aggregate function, count | sum | min | max | avg | set | distinct | freq (default count; see docs/AGGREGATION.md)")
+	users := fs.Int("users", 0, "agg scenario: distinct-value universe for value-consuming aggregate functions (0 = default 24)")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -81,6 +83,8 @@ func run(args []string, out io.Writer) error {
 		"spread":         {"churn": true},
 		"agg":            {"agg": true},
 		"agg-degree":     {"agg": true},
+		"agg-fn":         {"agg": true},
+		"users":          {"agg": true},
 	}
 	var misused string
 	fs.Visit(func(f *flag.Flag) {
@@ -137,6 +141,8 @@ func run(args []string, out io.Writer) error {
 			}
 			cfg.Degree = *aggDegree
 		}
+		cfg.Fn = *aggFn
+		cfg.Users = *users
 		cfg.Replay = *replay
 		if *detector != "" {
 			cfg.Detector = *detector
@@ -253,16 +259,24 @@ func runAgg(out io.Writer, cfg workload.AggConfig) error {
 	if det == "" {
 		det = "gossip"
 	}
-	fmt.Fprintf(out, "== scenario agg ==\nmode %s (degree %d), sources: %d, workers: %d, events: %d, window %v, crash every %d, leave every %d, replay %v, detector %s\n",
-		cfg.Mode, cfg.Degree, cfg.Sources, cfg.Workers, cfg.Events, cfg.Window, cfg.CrashEvery, cfg.LeaveEvery, cfg.Replay, det)
+	fn := cfg.Fn
+	if fn == "" {
+		fn = "count"
+	}
+	fmt.Fprintf(out, "== scenario agg ==\nmode %s (degree %d), fn %s, sources: %d, workers: %d, events: %d, window %v, crash every %d, leave every %d, replay %v, detector %s\n",
+		cfg.Mode, cfg.Degree, fn, cfg.Sources, cfg.Workers, cfg.Events, cfg.Window, cfg.CrashEvery, cfg.LeaveEvery, cfg.Replay, det)
 	fmt.Fprintf(out, "deployed plan:\n%s\n", lab.Task.Plan.Tree())
 	rep, err := lab.Run()
 	if err != nil {
 		return err
 	}
 	fmt.Fprintf(out, "drove %d events across %d windows\n", rep.Driven, rep.Windows)
-	fmt.Fprintf(out, "windowed-count completeness %.0f%% (%d/%d groups correct, %d emitted)\n",
+	fmt.Fprintf(out, "windowed-group completeness %.0f%% (%d/%d groups correct, %d emitted)\n",
 		rep.Completeness()*100, rep.CorrectGroups, rep.ExpectedGroups, rep.ResultGroups)
+	if rep.SketchGroups > 0 {
+		fmt.Fprintf(out, "sketch accuracy: max rel err %.2f%%, mean %.2f%% over %d groups (vs exact replayed distinct counts)\n",
+			rep.MaxRelErr*100, rep.MeanRelErr*100, rep.SketchGroups)
+	}
 	fmt.Fprintf(out, "ingest load: max %d/peer, mean %.1f/peer, max versus mean %.2fx\n",
 		rep.IngestMax, rep.IngestMean, rep.IngestRatio())
 	fmt.Fprintf(out, "crashes: %d, leaves: %d, joins: %d, detected: %d, repaired: %d, replayed: %d\n",

@@ -65,7 +65,7 @@ func TestAggScenarioTreeAndFlat(t *testing.T) {
 			t.Fatal(err)
 		}
 		s := out.String()
-		if !strings.Contains(s, "windowed-count completeness 100%") || !strings.Contains(s, "max versus mean") {
+		if !strings.Contains(s, "windowed-group completeness 100%") || !strings.Contains(s, "max versus mean") {
 			t.Errorf("agg %s report incomplete:\n%s", mode, s)
 		}
 		if mode == "tree" && !strings.Contains(s, "γm!") {
@@ -77,6 +77,27 @@ func TestAggScenarioTreeAndFlat(t *testing.T) {
 	}
 }
 
+func TestAggSketchScenario(t *testing.T) {
+	var out bytes.Buffer
+	args := []string{"-scenario", "agg", "-agg", "tree", "-agg-fn", "distinct", "-users", "50", "-events", "48"}
+	if err := run(args, &out); err != nil {
+		t.Fatal(err)
+	}
+	s := out.String()
+	if !strings.Contains(s, "fn distinct") || !strings.Contains(s, "windowed-group completeness 100%") {
+		t.Errorf("sketch run incomplete:\n%s", s)
+	}
+	if !strings.Contains(s, "sketch accuracy: max rel err") {
+		t.Errorf("sketch run missing the accuracy line:\n%s", s)
+	}
+	if err := run([]string{"-scenario", "agg", "-agg-fn", "median"}, &bytes.Buffer{}); err == nil {
+		t.Error("unknown -agg-fn accepted")
+	}
+	if err := run([]string{"-scenario", "churn", "-agg-fn", "distinct"}, &bytes.Buffer{}); err == nil {
+		t.Error("-agg-fn accepted outside the agg scenario")
+	}
+}
+
 func TestAggChurnScenario(t *testing.T) {
 	var out bytes.Buffer
 	args := []string{"-scenario", "agg", "-agg", "tree", "-agg-degree", "3", "-replay", "-crash-every", "20", "-leave-every", "17"}
@@ -84,7 +105,7 @@ func TestAggChurnScenario(t *testing.T) {
 		t.Fatal(err)
 	}
 	s := out.String()
-	if !strings.Contains(s, "windowed-count completeness 100%") {
+	if !strings.Contains(s, "windowed-group completeness 100%") {
 		t.Errorf("agg churn run not lossless:\n%s", s)
 	}
 }

@@ -78,6 +78,15 @@ func Rewrite(plan *algebra.Node, id string, cfg Config) (*algebra.Node, int) {
 
 // build decomposes one Group node, or returns nil when it should stay
 // flat.
+// derivedSpec copies the flat Group's spec for a tree node, carrying the
+// aggregate function and value attribute so every leaf and interior
+// accumulates the same monoid the flat operator would have.
+func derivedSpec(g *algebra.GroupSpec, final bool) *algebra.GroupSpec {
+	spec := *g
+	spec.Final = final
+	return &spec
+}
+
 func build(g *algebra.Node, id string, cfg Config) *algebra.Node {
 	if len(g.Inputs) != 1 || g.Inputs[0].Op != algebra.OpUnion {
 		return nil
@@ -90,7 +99,7 @@ func build(g *algebra.Node, id string, cfg Config) *algebra.Node {
 	// Leaves: one PartialAgg per union branch, co-located with the
 	// branch's output so raw events never cross the network — the union
 	// (and its fan-in) disappears entirely.
-	spec := &algebra.GroupSpec{KeyAttr: g.Group.KeyAttr, Window: g.Group.Window}
+	spec := derivedSpec(g.Group, false)
 	nodes := make([]*algebra.Node, len(branches))
 	for i, c := range branches {
 		nodes[i] = &algebra.Node{
@@ -137,7 +146,7 @@ func build(g *algebra.Node, id string, cfg Config) *algebra.Node {
 			next = append(next, &algebra.Node{
 				Op: algebra.OpMergeAgg, Peer: peer, AggKey: key, Inputs: chunk,
 				Schema: append([]string(nil), g.Schema...),
-				Group:  &algebra.GroupSpec{KeyAttr: g.Group.KeyAttr, Window: g.Group.Window},
+				Group:  derivedSpec(g.Group, false),
 			})
 		}
 		nodes = next
@@ -149,7 +158,7 @@ func build(g *algebra.Node, id string, cfg Config) *algebra.Node {
 	root := nodes[0]
 	root.Peer = g.Peer
 	root.AggKey = ""
-	root.Group = &algebra.GroupSpec{KeyAttr: g.Group.KeyAttr, Window: g.Group.Window, Final: true}
+	root.Group = derivedSpec(g.Group, true)
 	return root
 }
 

@@ -209,7 +209,7 @@ func (c *compiler) compile() (*Node, error) {
 		plan = &Node{
 			Op: OpGroup, Peer: AnyPeer,
 			Inputs: []*Node{plan},
-			Group:  &GroupSpec{KeyAttr: g.Attr, Window: g.Window},
+			Group:  &GroupSpec{KeyAttr: g.Attr, Window: g.Window, Fn: g.Fn, ValueAttr: g.ValueAttr},
 		}
 	}
 

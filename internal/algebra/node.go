@@ -115,9 +115,26 @@ type JoinSpec struct {
 type GroupSpec struct {
 	KeyAttr string
 	Window  string // duration string; parsed at deployment
+	// Fn names the aggregate function (a monoid registered in
+	// internal/monoid: count, sum, min, max, avg, set, distinct, freq).
+	// Empty means count, the historical default.
+	Fn string
+	// ValueAttr names the attribute the aggregate consumes; empty for
+	// count.
+	ValueAttr string
 	// Final marks the MergeAgg root of an aggregation tree: it emits the
 	// flat operator's <group> records instead of forwarding partials.
 	Final bool
+}
+
+// desc renders the spec for labels and signatures: "key/window" for
+// count (keeping the historical rendering stable) and
+// "fn(value):key/window" otherwise.
+func (g *GroupSpec) desc() string {
+	if g.Fn == "" || g.Fn == "count" {
+		return fmt.Sprintf("%s/%s", g.KeyAttr, g.Window)
+	}
+	return fmt.Sprintf("%s(%s):%s/%s", g.Fn, g.ValueAttr, g.KeyAttr, g.Window)
 }
 
 // PublishSpec lists the notification targets of the BY clause.
@@ -164,14 +181,14 @@ func (n *Node) Label() string {
 	case OpDistinct:
 		return "Distinct"
 	case OpGroup:
-		return fmt.Sprintf("γ[%s/%s]", n.Group.KeyAttr, n.Group.Window)
+		return "γ[" + n.Group.desc() + "]"
 	case OpPartialAgg:
-		return fmt.Sprintf("γp[%s/%s]", n.Group.KeyAttr, n.Group.Window)
+		return "γp[" + n.Group.desc() + "]"
 	case OpMergeAgg:
 		if n.Group.Final {
-			return fmt.Sprintf("γm![%s/%s]", n.Group.KeyAttr, n.Group.Window)
+			return "γm![" + n.Group.desc() + "]"
 		}
-		return fmt.Sprintf("γm[%s/%s]", n.Group.KeyAttr, n.Group.Window)
+		return "γm[" + n.Group.desc() + "]"
 	case OpPublish:
 		parts := make([]string, len(n.Publish.Targets))
 		for i, t := range n.Publish.Targets {
@@ -343,9 +360,9 @@ func (n *Node) SignatureWith(inputSigs []string) string {
 			b.WriteString(n.Restruct.Template.String())
 		}
 	case OpGroup, OpPartialAgg:
-		fmt.Fprintf(&b, "%s/%s", n.Group.KeyAttr, n.Group.Window)
+		b.WriteString(n.Group.desc())
 	case OpMergeAgg:
-		fmt.Fprintf(&b, "%s/%s/final=%t", n.Group.KeyAttr, n.Group.Window, n.Group.Final)
+		fmt.Fprintf(&b, "%s/final=%t", n.Group.desc(), n.Group.Final)
 	}
 	b.WriteString("}(")
 	for i, sig := range inputSigs {

@@ -3,10 +3,13 @@
 // pre-aggregation next to the event source, emitting per-window partial
 // state instead of raw events — and MergeAgg is the interior half,
 // combining partial states level by level until the root (Final) emits
-// exactly the <group> records the flat operator would have. Counts are
-// commutative deltas, so partials may arrive in any order, split across
-// any number of emissions, and be re-merged after a replayed migration
-// without changing the final windows.
+// exactly the <group> records the flat operator would have. Window
+// states are mergeable monoids (internal/monoid): commutative deltas
+// that may arrive in any order, split across any number of emissions,
+// and be re-merged after a replayed migration without changing the
+// final windows. The historical count aggregate is the nil/default
+// monoid; sum/min/max/avg/set are exact, distinct (HyperLogLog) and
+// freq (Count-Min) are bounded-error sketches with constant-size state.
 package operators
 
 import (
@@ -15,24 +18,41 @@ import (
 	"strconv"
 	"time"
 
+	"p2pm/internal/monoid"
 	"p2pm/internal/stream"
 	"p2pm/internal/xmltree"
 )
 
-// windowCounts is the shared per-window aggregation state: window index
-// → group key → count.
-type windowCounts map[int64]map[string]int
-
-func (w windowCounts) add(idx int64, key string, n int) {
-	m := w[idx]
-	if m == nil {
-		m = make(map[string]int)
-		w[idx] = m
+// aggOf resolves the operator's aggregate function, defaulting to count
+// so zero-valued operators keep the PR 5 behaviour.
+func aggOf(m monoid.Monoid) monoid.Monoid {
+	if m != nil {
+		return m
 	}
-	m[key] += n
+	c, _ := monoid.Lookup("count")
+	return c
 }
 
-func (w windowCounts) sortedWindows() []int64 {
+// windowStates is the shared per-window aggregation state: window index
+// → group key → monoid state.
+type windowStates map[int64]map[string]monoid.State
+
+// put merges st into the (idx, key) slot, installing it directly when
+// the slot is empty.
+func (w windowStates) put(idx int64, key string, st monoid.State) error {
+	m := w[idx]
+	if m == nil {
+		m = make(map[string]monoid.State)
+		w[idx] = m
+	}
+	if cur := m[key]; cur != nil {
+		return cur.Merge(st)
+	}
+	m[key] = st
+	return nil
+}
+
+func (w windowStates) sortedWindows() []int64 {
 	out := make([]int64, 0, len(w))
 	for idx := range w {
 		out = append(out, idx)
@@ -41,41 +61,48 @@ func (w windowCounts) sortedWindows() []int64 {
 	return out
 }
 
-func sortedKeys(counts map[string]int) []string {
-	keys := make([]string, 0, len(counts))
-	for k := range counts {
+func sortedKeys(states map[string]monoid.State) []string {
+	keys := make([]string, 0, len(states))
+	for k := range states {
 		keys = append(keys, k)
 	}
 	sort.Strings(keys)
 	return keys
 }
 
-// partialTree renders one window's counts as a <partial> state tree:
+// partialTree renders one window's states as a <partial> delta tree:
 //
-//	<partial window="W" max="T"><k key="K" n="N"/>...</partial>
+//	<partial window="W" max="T" agg="FN"><k key="K" n="STATE"/>...</partial>
 //
 // max carries the emitter's high-water timestamp so merge watermarks
 // (and the final records' virtual times) compose to the same value the
-// flat operator would have observed.
-func partialTree(idx int64, counts map[string]int, maxSeen time.Duration) *xmltree.Node {
+// flat operator would have observed; n carries the monoid's
+// deterministic encoding (for count, the same bare decimal as ever).
+func partialTree(agg monoid.Monoid, idx int64, states map[string]monoid.State, maxSeen time.Duration) *xmltree.Node {
 	n := xmltree.Elem("partial")
 	n.SetAttr("window", strconv.FormatInt(idx, 10))
 	n.SetAttr("max", strconv.FormatInt(int64(maxSeen), 10))
-	for _, k := range sortedKeys(counts) {
+	n.SetAttr("agg", agg.Name())
+	for _, k := range sortedKeys(states) {
 		kn := xmltree.Elem("k")
 		kn.SetAttr("key", k)
-		kn.SetAttr("n", strconv.Itoa(counts[k]))
+		kn.SetAttr("n", states[k].Encode())
 		n.Append(kn)
 	}
 	return n
 }
 
 // parsePartial reads a <partial> back: window index, high-water mark,
-// counts. Non-partial trees report ok=false (a merge input fed by
-// something other than a partial stream is a wiring bug surfaced by the
-// dropped counter, not a panic).
-func parsePartial(t *xmltree.Node) (idx int64, max time.Duration, counts map[string]int, ok bool) {
+// decoded states. Non-partial trees, partials of a different aggregate
+// function, and corrupt states (negative counts, malformed sketches —
+// e.g. a replayed or tampered partial) report ok=false: the merge input
+// is rejected whole and surfaces via the dropped counter rather than
+// corrupting merged windows.
+func parsePartial(agg monoid.Monoid, t *xmltree.Node) (idx int64, max time.Duration, states map[string]monoid.State, ok bool) {
 	if t == nil || t.Label != "partial" {
+		return 0, 0, nil, false
+	}
+	if t.AttrOr("agg", "count") != agg.Name() {
 		return 0, 0, nil, false
 	}
 	idx, err := strconv.ParseInt(t.AttrOr("window", "0"), 10, 64)
@@ -86,32 +113,45 @@ func parsePartial(t *xmltree.Node) (idx int64, max time.Duration, counts map[str
 	if err != nil {
 		return 0, 0, nil, false
 	}
-	counts = make(map[string]int)
+	states = make(map[string]monoid.State)
 	for _, kn := range t.ChildrenByLabel("k") {
-		c, err := strconv.Atoi(kn.AttrOr("n", "0"))
+		st, err := agg.Decode(kn.AttrOr("n", ""))
 		if err != nil {
 			return 0, 0, nil, false
 		}
-		counts[kn.AttrOr("key", "")] += c
+		key := kn.AttrOr("key", "")
+		if cur := states[key]; cur != nil {
+			if cur.Merge(st) != nil {
+				return 0, 0, nil, false
+			}
+		} else {
+			states[key] = st
+		}
 	}
-	return idx, time.Duration(m), counts, true
+	return idx, time.Duration(m), states, true
 }
 
 // PartialAgg is the aggregation tree's leaf: it accumulates the same
-// (window, key) counts as Group over its single local input, but emits
+// (window, key) states as Group over its single local input, but emits
 // <partial> delta states instead of final records — a window's partial
 // is emitted when the watermark passes it (observed time one full window
 // beyond its end, mirroring Group's EagerEmit rule) and whatever remains
 // is emitted at Flush. Stragglers arriving after a window's partial was
-// emitted simply accumulate a new delta: downstream merges add counts,
-// so splitting a window across emissions never changes the final totals.
+// emitted simply accumulate a new delta: downstream merges fold states
+// together, so splitting a window across emissions never changes the
+// final totals.
 type PartialAgg struct {
-	Key    func(*xmltree.Node) string
+	Key func(*xmltree.Node) string
+	// Value extracts the aggregated value attribute (nil for count).
+	Value  func(*xmltree.Node) string
 	Window time.Duration
+	// Agg is the aggregate function; nil means count.
+	Agg monoid.Monoid
 
-	wins    windowCounts
+	wins    windowStates
 	maxSeen time.Duration
 	emitted uint64 // partial states emitted (diagnostics)
+	dropped uint64 // items whose value the aggregate rejected
 }
 
 // Name implements Proc.
@@ -120,8 +160,9 @@ func (p *PartialAgg) Name() string { return "PartialAgg" }
 // Accept implements Proc.
 func (p *PartialAgg) Accept(_ int, it stream.Item, emit Emit) {
 	if p.wins == nil {
-		p.wins = make(windowCounts)
+		p.wins = make(windowStates)
 	}
+	agg := aggOf(p.Agg)
 	var idx int64
 	if p.Window > 0 {
 		idx = int64(it.Time / p.Window)
@@ -130,7 +171,14 @@ func (p *PartialAgg) Accept(_ int, it stream.Item, emit Emit) {
 	if p.Key != nil {
 		key = p.Key(it.Tree)
 	}
-	p.wins.add(idx, key, 1)
+	var val string
+	if p.Value != nil {
+		val = p.Value(it.Tree)
+	}
+	if !absorb(p.wins, agg, idx, key, val) {
+		p.dropped++
+		return
+	}
 	if it.Time > p.maxSeen {
 		p.maxSeen = it.Time
 	}
@@ -143,6 +191,29 @@ func (p *PartialAgg) Accept(_ int, it stream.Item, emit Emit) {
 	}
 }
 
+// absorb folds one value into the (idx, key) state, creating it when
+// absent. A value the aggregate rejects leaves the window map untouched
+// and reports false.
+func absorb(wins windowStates, agg monoid.Monoid, idx int64, key, val string) bool {
+	m := wins[idx]
+	st := m[key]
+	fresh := st == nil
+	if fresh {
+		st = agg.Zero()
+	}
+	if st.Absorb(val) != nil {
+		return false
+	}
+	if fresh {
+		if m == nil {
+			m = make(map[string]monoid.State)
+			wins[idx] = m
+		}
+		m[key] = st
+	}
+	return true
+}
+
 // Flush implements Proc.
 func (p *PartialAgg) Flush(emit Emit) {
 	for _, w := range p.wins.sortedWindows() {
@@ -153,12 +224,16 @@ func (p *PartialAgg) Flush(emit Emit) {
 // PartialsEmitted reports how many partial states left this leaf.
 func (p *PartialAgg) PartialsEmitted() uint64 { return p.emitted }
 
+// Dropped reports items whose value the aggregate function rejected
+// (e.g. a non-numeric input to sum).
+func (p *PartialAgg) Dropped() uint64 { return p.dropped }
+
 func (p *PartialAgg) emitWindow(idx int64, emit Emit) {
-	counts := p.wins[idx]
-	if len(counts) == 0 {
+	states := p.wins[idx]
+	if len(states) == 0 {
 		return
 	}
-	emit(stream.Item{Tree: partialTree(idx, counts, p.maxSeen), Time: p.maxSeen})
+	emit(stream.Item{Tree: partialTree(aggOf(p.Agg), idx, states, p.maxSeen), Time: p.maxSeen})
 	delete(p.wins, idx)
 	p.emitted++
 }
@@ -168,6 +243,8 @@ func (p *PartialAgg) Snapshot() *xmltree.Node {
 	n := xmltree.Elem("paggstate")
 	durAttr(n, "maxSeen", p.maxSeen)
 	n.SetAttr("emitted", strconv.FormatUint(p.emitted, 10))
+	n.SetAttr("agg", aggOf(p.Agg).Name())
+	n.SetAttr("dropped", strconv.FormatUint(p.dropped, 10))
 	appendWindows(n, p.wins)
 	return n
 }
@@ -177,6 +254,10 @@ func (p *PartialAgg) Restore(n *xmltree.Node) error {
 	if n == nil || n.Label != "paggstate" {
 		return fmt.Errorf("operators: not a PartialAgg snapshot")
 	}
+	agg := aggOf(p.Agg)
+	if got := n.AttrOr("agg", "count"); got != agg.Name() {
+		return fmt.Errorf("operators: PartialAgg snapshot is %s, operator is %s", got, agg.Name())
+	}
 	var err error
 	if p.maxSeen, err = attrDur(n, "maxSeen"); err != nil {
 		return err
@@ -184,27 +265,32 @@ func (p *PartialAgg) Restore(n *xmltree.Node) error {
 	if p.emitted, err = strconv.ParseUint(n.AttrOr("emitted", "0"), 10, 64); err != nil {
 		return fmt.Errorf("operators: bad emitted count in snapshot: %w", err)
 	}
-	p.wins, err = parseWindows(n)
+	if p.dropped, err = strconv.ParseUint(n.AttrOr("dropped", "0"), 10, 64); err != nil {
+		return fmt.Errorf("operators: bad dropped count in snapshot: %w", err)
+	}
+	p.wins, err = parseWindows(agg, n)
 	return err
 }
 
 // MergeAgg is the aggregation tree's interior: it merges the <partial>
-// window states of its children by adding counts. Interior nodes forward
-// the merged partials at Flush (one state per window, so an interior's
-// output volume is bounded by windows × keys regardless of how many
-// events its subtree saw); the root — Final — emits the <group key
-// count window> records of the flat Group operator instead, in the same
+// window states of its children with the monoid's Merge. Interior nodes
+// forward the merged partials at Flush (one state per window, so an
+// interior's output volume is bounded by windows × keys regardless of
+// how many events its subtree saw); the root — Final — emits the final
+// records of the flat Group operator instead, in the same
 // window-then-key order and carrying the same composed high-water
 // timestamp, so a tree deployment's results are byte-identical to the
-// flat single-aggregator baseline.
+// flat single-aggregator baseline for exact aggregates.
 type MergeAgg struct {
-	// Final makes this node the tree root: it emits <group> records
+	// Final makes this node the tree root: it emits final records
 	// instead of forwarding <partial> states.
 	Final bool
+	// Agg is the aggregate function; nil means count.
+	Agg monoid.Monoid
 
-	wins    windowCounts
+	wins    windowStates
 	maxSeen time.Duration
-	dropped uint64 // non-partial inputs ignored (wiring diagnostics)
+	dropped uint64 // rejected inputs (non-partials, corrupt states)
 }
 
 // Name implements Proc.
@@ -212,16 +298,18 @@ func (m *MergeAgg) Name() string { return "MergeAgg" }
 
 // Accept implements Proc.
 func (m *MergeAgg) Accept(_ int, it stream.Item, emit Emit) {
-	idx, max, counts, ok := parsePartial(it.Tree)
+	idx, max, states, ok := parsePartial(aggOf(m.Agg), it.Tree)
 	if !ok {
 		m.dropped++
 		return
 	}
 	if m.wins == nil {
-		m.wins = make(windowCounts)
+		m.wins = make(windowStates)
 	}
-	for k, n := range counts {
-		m.wins.add(idx, k, n)
+	for _, k := range sortedKeys(states) {
+		if m.wins.put(idx, k, states[k]) != nil {
+			m.dropped++
+		}
 	}
 	if max > m.maxSeen {
 		m.maxSeen = max
@@ -230,28 +318,29 @@ func (m *MergeAgg) Accept(_ int, it stream.Item, emit Emit) {
 
 // Flush implements Proc.
 func (m *MergeAgg) Flush(emit Emit) {
+	agg := aggOf(m.Agg)
 	for _, w := range m.wins.sortedWindows() {
-		counts := m.wins[w]
-		if len(counts) == 0 {
+		states := m.wins[w]
+		if len(states) == 0 {
 			continue
 		}
 		if m.Final {
-			for _, k := range sortedKeys(counts) {
+			for _, k := range sortedKeys(states) {
 				n := xmltree.Elem("group")
 				n.SetAttr("key", k)
-				n.SetAttr("count", strconv.Itoa(counts[k]))
+				states[k].Final(func(a, v string) { n.SetAttr(a, v) })
 				n.SetAttr("window", strconv.FormatInt(w, 10))
 				emit(stream.Item{Tree: n, Time: m.maxSeen})
 			}
 		} else {
-			emit(stream.Item{Tree: partialTree(w, counts, m.maxSeen), Time: m.maxSeen})
+			emit(stream.Item{Tree: partialTree(agg, w, states, m.maxSeen), Time: m.maxSeen})
 		}
 		delete(m.wins, w)
 	}
 }
 
-// Dropped reports inputs that were not partial states (zero in a
-// correctly wired tree).
+// Dropped reports inputs that were not valid partial states (zero in a
+// correctly wired tree fed well-formed partials).
 func (m *MergeAgg) Dropped() uint64 { return m.dropped }
 
 // Snapshot implements Snapshotter: the merged open windows and watermark.
@@ -259,6 +348,7 @@ func (m *MergeAgg) Snapshot() *xmltree.Node {
 	n := xmltree.Elem("maggstate")
 	durAttr(n, "maxSeen", m.maxSeen)
 	n.SetAttr("final", strconv.FormatBool(m.Final))
+	n.SetAttr("agg", aggOf(m.Agg).Name())
 	appendWindows(n, m.wins)
 	return n
 }
@@ -268,44 +358,51 @@ func (m *MergeAgg) Restore(n *xmltree.Node) error {
 	if n == nil || n.Label != "maggstate" {
 		return fmt.Errorf("operators: not a MergeAgg snapshot")
 	}
+	agg := aggOf(m.Agg)
+	if got := n.AttrOr("agg", "count"); got != agg.Name() {
+		return fmt.Errorf("operators: MergeAgg snapshot is %s, operator is %s", got, agg.Name())
+	}
 	var err error
 	if m.maxSeen, err = attrDur(n, "maxSeen"); err != nil {
 		return err
 	}
-	m.wins, err = parseWindows(n)
+	m.wins, err = parseWindows(agg, n)
 	return err
 }
 
-// appendWindows serializes windowCounts as <w idx><k key n/></w>
-// children (the same shape Group's snapshot uses).
-func appendWindows(n *xmltree.Node, wins windowCounts) {
+// appendWindows serializes windowStates as <w idx><k key n/></w>
+// children (the same shape Group's snapshot uses); n holds the monoid
+// encoding, so for count the bytes match the map[string]int era.
+func appendWindows(n *xmltree.Node, wins windowStates) {
 	for _, w := range wins.sortedWindows() {
 		wn := xmltree.Elem("w")
 		wn.SetAttr("idx", strconv.FormatInt(w, 10))
-		counts := wins[w]
-		for _, k := range sortedKeys(counts) {
+		states := wins[w]
+		for _, k := range sortedKeys(states) {
 			kn := xmltree.Elem("k")
 			kn.SetAttr("key", k)
-			kn.SetAttr("n", strconv.Itoa(counts[k]))
+			kn.SetAttr("n", states[k].Encode())
 			wn.Append(kn)
 		}
 		n.Append(wn)
 	}
 }
 
-func parseWindows(n *xmltree.Node) (windowCounts, error) {
-	wins := make(windowCounts)
+func parseWindows(agg monoid.Monoid, n *xmltree.Node) (windowStates, error) {
+	wins := make(windowStates)
 	for _, wn := range n.ChildrenByLabel("w") {
 		idx, err := strconv.ParseInt(wn.AttrOr("idx", "0"), 10, 64)
 		if err != nil {
 			return nil, fmt.Errorf("operators: bad window index in snapshot: %w", err)
 		}
 		for _, kn := range wn.ChildrenByLabel("k") {
-			c, err := strconv.Atoi(kn.AttrOr("n", "0"))
+			st, err := agg.Decode(kn.AttrOr("n", ""))
 			if err != nil {
-				return nil, fmt.Errorf("operators: bad count in snapshot: %w", err)
+				return nil, fmt.Errorf("operators: bad %s state in snapshot: %w", agg.Name(), err)
 			}
-			wins.add(idx, kn.AttrOr("key", ""), c)
+			if err := wins.put(idx, kn.AttrOr("key", ""), st); err != nil {
+				return nil, err
+			}
 		}
 	}
 	return wins, nil

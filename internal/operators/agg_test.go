@@ -2,6 +2,7 @@ package operators
 
 import (
 	"fmt"
+	"strconv"
 	"testing"
 	"time"
 
@@ -106,8 +107,8 @@ func TestPartialAggWatermark(t *testing.T) {
 	if len(out) != 1 {
 		t.Fatalf("watermark emission = %d items, want 1", len(out))
 	}
-	idx, _, counts, ok := parsePartial(out[0].Tree)
-	if !ok || idx != 0 || counts["a"] != 2 {
+	idx, _, counts, ok := parsePartial(aggOf(nil), out[0].Tree)
+	if !ok || idx != 0 || counts["a"] == nil || counts["a"].Encode() != "2" {
 		t.Fatalf("bad partial: %s", out[0].Tree)
 	}
 	// Straggler for window 0 after its partial left: a new delta.
@@ -115,8 +116,12 @@ func TestPartialAggWatermark(t *testing.T) {
 	p.Flush(emit)
 	total := 0
 	for _, it := range out {
-		if i, _, c, ok := parsePartial(it.Tree); ok && i == 0 {
-			total += c["a"]
+		if i, _, c, ok := parsePartial(aggOf(nil), it.Tree); ok && i == 0 && c["a"] != nil {
+			n, err := strconv.Atoi(c["a"].Encode())
+			if err != nil {
+				t.Fatalf("bad count state %q", c["a"].Encode())
+			}
+			total += n
 		}
 	}
 	if total != 3 {

@@ -2,9 +2,9 @@ package operators
 
 import (
 	"fmt"
-	"sort"
 	"time"
 
+	"p2pm/internal/monoid"
 	"p2pm/internal/stream"
 	"p2pm/internal/xmltree"
 )
@@ -149,14 +149,21 @@ func (d *Distinct) SeenSize() int { return len(d.seen) }
 // then surface as late records counted by Late. A zero Window aggregates
 // everything into a single group emitted on Flush.
 type Group struct {
-	Key       func(*xmltree.Node) string
+	Key func(*xmltree.Node) string
+	// Value extracts the aggregated value attribute (nil for count).
+	Value     func(*xmltree.Node) string
 	Window    time.Duration
 	EagerEmit bool
+	// Agg is the aggregate function (internal/monoid); nil means count.
+	// Non-count aggregates emit their own result attribute (sum, avg,
+	// distinct, top, ...) in place of count.
+	Agg monoid.Monoid
 
-	wins    map[int64]map[string]int
+	wins    windowStates
 	emitted map[int64]bool
 	maxSeen time.Duration
 	late    uint64
+	dropped uint64
 }
 
 // Name implements Proc.
@@ -165,12 +172,24 @@ func (g *Group) Name() string { return "Group" }
 // Accept implements Proc.
 func (g *Group) Accept(_ int, it stream.Item, emit Emit) {
 	if g.wins == nil {
-		g.wins = make(map[int64]map[string]int)
+		g.wins = make(windowStates)
 		g.emitted = make(map[int64]bool)
 	}
 	var idx int64
 	if g.Window > 0 {
 		idx = int64(it.Time / g.Window)
+	}
+	key := "*"
+	if g.Key != nil {
+		key = g.Key(it.Tree)
+	}
+	var val string
+	if g.Value != nil {
+		val = g.Value(it.Tree)
+	}
+	if !absorb(g.wins, aggOf(g.Agg), idx, key, val) {
+		g.dropped++
+		return
 	}
 	if g.emitted[idx] {
 		// A straggler arrived after its window was watermark-emitted; it
@@ -178,14 +197,6 @@ func (g *Group) Accept(_ int, it stream.Item, emit Emit) {
 		g.late++
 		delete(g.emitted, idx)
 	}
-	key := "*"
-	if g.Key != nil {
-		key = g.Key(it.Tree)
-	}
-	if g.wins[idx] == nil {
-		g.wins[idx] = make(map[string]int)
-	}
-	g.wins[idx][key]++
 	if it.Time > g.maxSeen {
 		g.maxSeen = it.Time
 	}
@@ -210,29 +221,21 @@ func (g *Group) Flush(emit Emit) {
 // Late reports stragglers that arrived after their window was emitted.
 func (g *Group) Late() uint64 { return g.late }
 
-func (g *Group) sortedWindows() []int64 {
-	out := make([]int64, 0, len(g.wins))
-	for w := range g.wins {
-		out = append(out, w)
-	}
-	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
-	return out
-}
+// Dropped reports items whose value the aggregate function rejected
+// (e.g. a non-numeric input to sum).
+func (g *Group) Dropped() uint64 { return g.dropped }
+
+func (g *Group) sortedWindows() []int64 { return g.wins.sortedWindows() }
 
 func (g *Group) emitWindow(idx int64, emit Emit) {
-	counts := g.wins[idx]
-	if len(counts) == 0 {
+	states := g.wins[idx]
+	if len(states) == 0 {
 		return
 	}
-	keys := make([]string, 0, len(counts))
-	for k := range counts {
-		keys = append(keys, k)
-	}
-	sort.Strings(keys)
-	for _, k := range keys {
+	for _, k := range sortedKeys(states) {
 		n := xmltree.Elem("group")
 		n.SetAttr("key", k)
-		n.SetAttr("count", fmt.Sprintf("%d", counts[k]))
+		states[k].Final(func(a, v string) { n.SetAttr(a, v) })
 		n.SetAttr("window", fmt.Sprintf("%d", idx))
 		emit(stream.Item{Tree: n, Time: g.maxSeen})
 	}

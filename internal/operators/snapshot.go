@@ -148,24 +148,15 @@ func (g *Group) Snapshot() *xmltree.Node {
 	n := xmltree.Elem("groupstate")
 	durAttr(n, "maxSeen", g.maxSeen)
 	n.SetAttr("late", strconv.FormatUint(g.late, 10))
-	for _, w := range g.sortedWindows() {
-		wn := xmltree.Elem("w")
-		wn.SetAttr("idx", strconv.FormatInt(w, 10))
-		counts := g.wins[w]
-		keys := make([]string, 0, len(counts))
-		for k := range counts {
-			keys = append(keys, k)
-		}
-		sort.Strings(keys)
-		for _, k := range keys {
-			kn := xmltree.Elem("k")
-			kn.SetAttr("key", k)
-			kn.SetAttr("n", strconv.Itoa(counts[k]))
-			wn.Append(kn)
-		}
-		n.Append(wn)
-	}
+	n.SetAttr("agg", aggOf(g.Agg).Name())
+	n.SetAttr("dropped", strconv.FormatUint(g.dropped, 10))
+	appendWindows(n, g.wins)
+	emitted := make([]int64, 0, len(g.emitted))
 	for w := range g.emitted {
+		emitted = append(emitted, w)
+	}
+	sort.Slice(emitted, func(i, j int) bool { return emitted[i] < emitted[j] })
+	for _, w := range emitted {
 		en := xmltree.Elem("emitted")
 		en.SetAttr("idx", strconv.FormatInt(w, 10))
 		n.Append(en)
@@ -178,6 +169,10 @@ func (g *Group) Restore(n *xmltree.Node) error {
 	if n == nil || n.Label != "groupstate" {
 		return fmt.Errorf("operators: not a Group snapshot")
 	}
+	agg := aggOf(g.Agg)
+	if got := n.AttrOr("agg", "count"); got != agg.Name() {
+		return fmt.Errorf("operators: Group snapshot is %s, operator is %s", got, agg.Name())
+	}
 	var err error
 	if g.maxSeen, err = attrDur(n, "maxSeen"); err != nil {
 		return err
@@ -185,23 +180,13 @@ func (g *Group) Restore(n *xmltree.Node) error {
 	if g.late, err = strconv.ParseUint(n.AttrOr("late", "0"), 10, 64); err != nil {
 		return fmt.Errorf("operators: bad late count in snapshot: %w", err)
 	}
-	g.wins = make(map[int64]map[string]int)
-	g.emitted = make(map[int64]bool)
-	for _, wn := range n.ChildrenByLabel("w") {
-		idx, err := strconv.ParseInt(wn.AttrOr("idx", "0"), 10, 64)
-		if err != nil {
-			return fmt.Errorf("operators: bad window index in snapshot: %w", err)
-		}
-		counts := make(map[string]int)
-		for _, kn := range wn.ChildrenByLabel("k") {
-			c, err := strconv.Atoi(kn.AttrOr("n", "0"))
-			if err != nil {
-				return fmt.Errorf("operators: bad count in snapshot: %w", err)
-			}
-			counts[kn.AttrOr("key", "")] = c
-		}
-		g.wins[idx] = counts
+	if g.dropped, err = strconv.ParseUint(n.AttrOr("dropped", "0"), 10, 64); err != nil {
+		return fmt.Errorf("operators: bad dropped count in snapshot: %w", err)
 	}
+	if g.wins, err = parseWindows(agg, n); err != nil {
+		return err
+	}
+	g.emitted = make(map[int64]bool)
 	for _, en := range n.ChildrenByLabel("emitted") {
 		idx, err := strconv.ParseInt(en.AttrOr("idx", "0"), 10, 64)
 		if err != nil {

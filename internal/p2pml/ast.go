@@ -29,16 +29,30 @@ type Subscription struct {
 	Source string
 }
 
-// GroupClause is the extension "group on "attr" window "1m"".
+// GroupClause is the extension "group [fn [of "value"]] on "attr"
+// window "1m"". Without a function name it counts, the historical
+// default; otherwise fn names a registered aggregate monoid (sum, min,
+// max, avg, set, distinct, freq) and "of" names the output-root
+// attribute whose values are aggregated.
 type GroupClause struct {
 	// Attr is the output-root attribute whose values key the groups.
 	Attr string
 	// Window is a Go duration string ("30s", "1m").
 	Window string
+	// Fn is the aggregate function name; empty means count.
+	Fn string
+	// ValueAttr is the aggregated attribute (empty for count).
+	ValueAttr string
 }
 
 func (g *GroupClause) String() string {
-	return fmt.Sprintf("group on %q window %q", g.Attr, g.Window)
+	switch {
+	case g.Fn == "":
+		return fmt.Sprintf("group on %q window %q", g.Attr, g.Window)
+	case g.ValueAttr == "":
+		return fmt.Sprintf("group %s on %q window %q", g.Fn, g.Attr, g.Window)
+	}
+	return fmt.Sprintf("group %s of %q on %q window %q", g.Fn, g.ValueAttr, g.Attr, g.Window)
 }
 
 // ForBinding binds a variable to a stream source.

@@ -5,6 +5,7 @@ import (
 	"strconv"
 	"strings"
 
+	"p2pm/internal/monoid"
 	"p2pm/internal/xmltree"
 	"p2pm/internal/xpath"
 )
@@ -279,8 +280,29 @@ func (p *parser) parseSubscription() (*Subscription, error) {
 		return nil, p.errf("expected RETURN clause")
 	}
 	if p.keyword("group") {
+		fn, valueAttr := "", ""
 		if !p.keyword("on") {
-			return nil, p.errf(`expected "on" after group`)
+			p.skipSpace()
+			fn = p.word()
+			m, ok := monoid.Lookup(fn)
+			if fn == "" || !ok {
+				return nil, p.errf("unknown aggregate function %q (have %s)", fn, strings.Join(monoid.Names(), ", "))
+			}
+			if m.NeedsValue() {
+				if !p.keyword("of") {
+					return nil, p.errf(`expected "of" after aggregate %q`, fn)
+				}
+				var err error
+				if valueAttr, err = p.stringLit(); err != nil {
+					return nil, err
+				}
+			}
+			if fn == "count" {
+				fn = "" // canonical spelling of the default
+			}
+			if !p.keyword("on") {
+				return nil, p.errf(`expected "on" in group clause`)
+			}
 		}
 		attr, err := p.stringLit()
 		if err != nil {
@@ -293,7 +315,7 @@ func (p *parser) parseSubscription() (*Subscription, error) {
 		if err != nil {
 			return nil, err
 		}
-		sub.Group = &GroupClause{Attr: attr, Window: window}
+		sub.Group = &GroupClause{Attr: attr, Window: window, Fn: fn, ValueAttr: valueAttr}
 	}
 	if p.keyword("by") {
 		for {

@@ -80,3 +80,41 @@ func TestGroupClauseRoundTrip(t *testing.T) {
 		t.Errorf("group lost in round trip: %+v", again.Group)
 	}
 }
+
+// TestGroupClauseAggregates: the aggregate-function forms of the group
+// clause parse, validate against the monoid registry, and round-trip.
+func TestGroupClauseAggregates(t *testing.T) {
+	cases := []struct {
+		src, fn, valueAttr string
+	}{
+		{`group sum of "v" on "m" window "30s"`, "sum", "v"},
+		{`group avg of "responseTime" on "callee" window "1m"`, "avg", "responseTime"},
+		{`group distinct of "caller" on "callee" window "1m"`, "distinct", "caller"},
+		{`group freq of "callMethod" on "callee" window "10s"`, "freq", "callMethod"},
+		// "count" is the canonical default and normalizes away.
+		{`group count on "m" window "30s"`, "", ""},
+	}
+	for _, c := range cases {
+		sub := MustParse(`for $e in inCOM(<p>m</p>) return <d m="{$e.callee}"/> ` + c.src + ` by channel C`)
+		if sub.Group == nil || sub.Group.Fn != c.fn || sub.Group.ValueAttr != c.valueAttr {
+			t.Fatalf("%s: group = %+v", c.src, sub.Group)
+		}
+		again, err := Parse(sub.String())
+		if err != nil {
+			t.Fatalf("reparse %q: %v", sub.String(), err)
+		}
+		if again.Group == nil || *again.Group != *sub.Group {
+			t.Errorf("%s: lost in round trip: %+v vs %+v", c.src, again.Group, sub.Group)
+		}
+	}
+	bad := []string{
+		`group median of "v" on "m" window "30s"`, // unknown fn
+		`group distinct on "m" window "30s"`,      // missing value attr
+		`group sum of on "m" window "30s"`,        // malformed value attr
+	}
+	for _, b := range bad {
+		if _, err := Parse(`for $e in inCOM(<p>m</p>) return <d/> ` + b); err == nil {
+			t.Errorf("accepted %q", b)
+		}
+	}
+}

@@ -324,3 +324,58 @@ func TestAggTreeRebalanceOnJoin(t *testing.T) {
 		t.Errorf("post-join records differ from flat baseline:\n got: %v\nwant: %v", got, want)
 	}
 }
+
+// TestAggTreeRebalanceOnRejoin: a recovered host re-enters the ring, so
+// ring ownership shifts back — RejoinPeer must re-place interiors just
+// like joins and leaves do, or the deployed tree drifts from the
+// DHT-derived placement until the next unrelated membership change
+// (the drift bug this is a regression test for).
+func TestAggTreeRebalanceOnRejoin(t *testing.T) {
+	const sources, workers, events = 6, 3, 48
+	flatSys, flatTask := aggWorld(t, DefaultOptions(), sources, workers)
+	driveAgg(t, flatSys, sources, events, time.Second)
+	want := groupRecords(t, flatTask)
+
+	opts := DefaultOptions()
+	opts.AggDegree = 3
+	opts.ReplayBuffer = 4096
+	opts.CheckpointInterval = 2 * time.Second
+	sys, task := aggWorld(t, opts, sources, workers)
+	client := sys.Peer("client")
+	const crashAt, repairAt, rejoinAt = 17, 20, 33
+	victim := ""
+	for i := 0; i < events; i++ {
+		target := fmt.Sprintf("s%d", i%sources)
+		if _, err := client.Endpoint().Invoke(target, "Q", nil); err != nil {
+			t.Fatalf("event %d: %v", i, err)
+		}
+		settleTask(task)
+		sys.Step(time.Second)
+		switch i {
+		case crashAt:
+			victim = aggtree.Interiors(task.Plan)[0].Peer
+			sys.Net.Crash(victim) //nolint:errcheck // known node
+		case repairAt:
+			sys.FailPeer(victim, sys.Net.Clock().Now())
+		case rejoinAt:
+			sys.Net.Recover(victim) //nolint:errcheck // known node
+			sys.RejoinPeer(victim)
+			// The recovered host owns part of the keyspace again; the
+			// deployed interiors must follow immediately.
+			desired := sys.AggPlacements(task.Plan)
+			for _, n := range aggtree.Interiors(task.Plan) {
+				if desired[n.AggKey] != n.Peer {
+					t.Errorf("after rejoin, interior %s at %s, bounded placement says %s",
+						n.Label(), n.Peer, desired[n.AggKey])
+				}
+			}
+		}
+	}
+	for i := 0; i < 8; i++ {
+		sys.Step(time.Second)
+	}
+	got := groupRecords(t, task)
+	if !equalRecords(got, want) {
+		t.Errorf("post-rejoin records differ from flat baseline:\n got: %v\nwant: %v", got, want)
+	}
+}

@@ -8,6 +8,7 @@ import (
 	"p2pm/internal/aggtree"
 	"p2pm/internal/alerters"
 	"p2pm/internal/algebra"
+	"p2pm/internal/monoid"
 	"p2pm/internal/operators"
 	"p2pm/internal/p2pml"
 	"p2pm/internal/reuse"
@@ -220,30 +221,45 @@ func (p *Peer) makeProc(n *algebra.Node) (operators.Proc, error) {
 	case algebra.OpDistinct:
 		return &operators.Distinct{Window: p.sys.opts.DistinctWindow}, nil
 	case algebra.OpGroup:
-		keyAttr := n.Group.KeyAttr
 		window, err := groupWindow(n)
+		if err != nil {
+			return nil, err
+		}
+		agg, err := groupAgg(n)
 		if err != nil {
 			return nil, err
 		}
 		return &operators.Group{
-			Key:    func(t *xmltree.Node) string { return t.AttrOr(keyAttr, "") },
+			Key:    attrGetter(n.Group.KeyAttr),
+			Value:  valueGetter(n.Group),
 			Window: window,
+			Agg:    agg,
 		}, nil
 	case algebra.OpPartialAgg:
-		keyAttr := n.Group.KeyAttr
 		window, err := groupWindow(n)
 		if err != nil {
 			return nil, err
 		}
+		agg, err := groupAgg(n)
+		if err != nil {
+			return nil, err
+		}
 		return &operators.PartialAgg{
-			Key:    func(t *xmltree.Node) string { return t.AttrOr(keyAttr, "") },
+			Key:    attrGetter(n.Group.KeyAttr),
+			Value:  valueGetter(n.Group),
 			Window: window,
+			Agg:    agg,
 		}, nil
 	case algebra.OpMergeAgg:
 		// Window indices ride inside the partial states, so the merge
-		// needs only its role: interior (forward merged partials) or
-		// Final root (emit the flat operator's records).
-		return &operators.MergeAgg{Final: n.Group.Final}, nil
+		// needs only its role — interior (forward merged partials) or
+		// Final root (emit the flat operator's records) — plus the
+		// monoid that decodes and merges those states.
+		agg, err := groupAgg(n)
+		if err != nil {
+			return nil, err
+		}
+		return &operators.MergeAgg{Final: n.Group.Final, Agg: agg}, nil
 	case algebra.OpRestruct:
 		return &operators.Restructure{
 			Desc:  n.Label(),
@@ -251,6 +267,32 @@ func (p *Peer) makeProc(n *algebra.Node) (operators.Proc, error) {
 		}, nil
 	}
 	return nil, fmt.Errorf("peer: cannot deploy operator %v", n.Op)
+}
+
+func attrGetter(attr string) func(*xmltree.Node) string {
+	return func(t *xmltree.Node) string { return t.AttrOr(attr, "") }
+}
+
+// valueGetter extracts the aggregated value attribute; nil for count,
+// which consumes no value.
+func valueGetter(g *algebra.GroupSpec) func(*xmltree.Node) string {
+	if g.ValueAttr == "" {
+		return nil
+	}
+	return attrGetter(g.ValueAttr)
+}
+
+// groupAgg resolves a Group-family node's aggregate monoid (nil for the
+// default count, keeping the operator's zero-value fast path).
+func groupAgg(n *algebra.Node) (monoid.Monoid, error) {
+	if n.Group.Fn == "" || n.Group.Fn == "count" {
+		return nil, nil
+	}
+	m, ok := monoid.Lookup(n.Group.Fn)
+	if !ok {
+		return nil, fmt.Errorf("peer: unknown aggregate function %q", n.Group.Fn)
+	}
+	return m, nil
 }
 
 // groupWindow parses a Group-family node's window duration.

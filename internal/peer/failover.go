@@ -134,7 +134,10 @@ func (s *System) superviseDetector(det FailureDetector) *Supervisor {
 		sup.mu.Unlock()
 	})
 	sup.det.OnRecover(func(peer string, at time.Duration) {
-		s.RejoinPeer(peer)
+		evs := s.RejoinPeer(peer)
+		sup.mu.Lock()
+		sup.events = append(sup.events, evs...)
+		sup.mu.Unlock()
 	})
 	return sup
 }
@@ -328,12 +331,22 @@ func (s *System) rehomeTask(old *Peer, t *Task, newMgr string, at time.Duration)
 // RejoinPeer brings a recovered peer back: its links come up and it
 // rejoins the DHT ring (which rebalances key placement). Tasks migrated
 // away during the outage stay where they are — the peer simply becomes
-// eligible for new work.
-func (s *System) RejoinPeer(name string) {
+// eligible for new work. Aggregation-tree interiors ARE re-placed,
+// though: rejoining moves ring ownership, and leaving the interiors
+// where the outage pushed them would let the deployed tree drift from
+// the DHT-derived placement that joins, leaves and future failovers
+// re-derive (System.AggPlacements) — the same rebalance every other
+// membership change performs.
+func (s *System) RejoinPeer(name string) []FailoverEvent {
 	s.Net.Recover(name) //nolint:errcheck // unknown nodes have no links
-	if s.Peer(name) != nil {
-		s.Ring.Join(name) //nolint:errcheck // already-joined is fine
+	if s.Peer(name) == nil {
+		return nil
 	}
+	s.Ring.Join(name) //nolint:errcheck // already-joined is fine
+	if s.opts.AggDegree > 1 {
+		return s.RebalanceAggTrees(s.Net.Clock().Now())
+	}
+	return nil
 }
 
 // RebalanceAggTrees re-places aggregation-tree interior operators whose

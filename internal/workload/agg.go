@@ -2,25 +2,28 @@ package workload
 
 import (
 	"fmt"
+	"math"
 	"sort"
+	"strconv"
 	"strings"
 	"time"
 
 	"p2pm/internal/aggtree"
 	"p2pm/internal/algebra"
+	"p2pm/internal/monoid"
 	"p2pm/internal/peer"
 	"p2pm/internal/simnet"
 	"p2pm/internal/xmltree"
 )
 
 // AggConfig parameterizes the aggregate-query scenario: S monitored
-// source peers feed a windowed group-by-count statistic (per-source call
+// source peers feed a windowed group-by statistic (per-source call
 // rates, the Edos motivation) that is aggregated either flat — one Group
 // operator ingesting every stream, the O(n) hotspot — or as a DHT-routed
 // partial/merge tree (Mode "tree"), while churn, graceful leaves and
 // runtime joins reshape the merge-host pool. Completeness is measured
-// per windowed count, against the deterministic expectation computed
-// from the drive schedule.
+// per windowed group, against the deterministic expectation replayed
+// from the drive schedule through the same aggregate monoid.
 type AggConfig struct {
 	Seed    int64
 	Sources int // monitored source peers s0..sS-1
@@ -31,6 +34,17 @@ type AggConfig struct {
 	Mode string
 	// Degree is the tree fan-in bound (tree mode; default 3).
 	Degree int
+	// Fn selects the aggregate function: "" or "count" (the exact
+	// default), or any registered monoid — sum, min, max, avg, set,
+	// distinct (HyperLogLog), freq (Count-Min). Value-consuming
+	// functions aggregate the per-call value the drive encodes as the
+	// invoked method name (the alert's callMethod attribute).
+	Fn string
+	// Users sizes the value universe for value-consuming functions:
+	// event i carries value 1 + (i*7919 mod Users). 0 defaults to 24 —
+	// within the freq monoid's exact candidate capacity, so Count-Min
+	// runs score byte-exactly too.
+	Users int
 	// Window is the tumbling window; 0 defaults to 8×Step. Keep it a
 	// multiple of Step so virtual event times land inside windows.
 	Window time.Duration
@@ -75,6 +89,7 @@ func DefaultAgg() AggConfig {
 
 // AggReport summarizes one aggregate-query run.
 type AggReport struct {
+	Fn             string // aggregate function the run deployed
 	Driven         int
 	Windows        int // distinct windows the schedule spans
 	ExpectedGroups int // (window, key) records a lossless run emits
@@ -92,6 +107,14 @@ type AggReport struct {
 	// Records holds the emitted result records, serialized and sorted —
 	// the byte-identity artifact X4 compares between tree and flat runs.
 	Records []string
+	// SketchGroups / MaxRelErr / MeanRelErr score distinct-count runs:
+	// each delivered HyperLogLog estimate against the exact per-group
+	// distinct count replayed from the drive schedule. Sketch error is
+	// deterministic here (the registers depend only on the value set),
+	// so the accuracy gate is reproducible, not flaky.
+	SketchGroups int
+	MaxRelErr    float64
+	MeanRelErr   float64
 	// Ingest is the per-peer operator ingest (items consumed by plan
 	// operators hosted there) over the candidate aggregation hosts —
 	// every source and every worker, zeros included: the denominator of
@@ -103,8 +126,8 @@ type AggReport struct {
 	Traffic    simnet.Totals
 }
 
-// Completeness is the fraction of expected windowed counts that arrived
-// with exactly the right value.
+// Completeness is the fraction of expected windowed groups that arrived
+// with exactly the right record.
 func (r *AggReport) Completeness() float64 {
 	if r.ExpectedGroups == 0 {
 		return 1
@@ -129,9 +152,8 @@ type AggLab struct {
 	Sup  *peer.Supervisor
 	cfg  AggConfig
 
-	pending  []string
-	away     map[string]bool
-	timeline []string
+	agg   monoid.Monoid // the deployed aggregate (count when Fn is "")
+	sched *schedRunner
 }
 
 // SetupAgg builds the scenario: sources host the monitored service and
@@ -146,6 +168,17 @@ func SetupAgg(cfg AggConfig) (*AggLab, error) {
 	case "flat", "tree":
 	default:
 		return nil, fmt.Errorf("workload: unknown agg mode %q (want flat or tree)", cfg.Mode)
+	}
+	fn := cfg.Fn
+	if fn == "count" {
+		fn = ""
+	}
+	agg, ok := monoid.Lookup(fn)
+	if !ok {
+		return nil, fmt.Errorf("workload: unknown aggregate %q (have count, %s)", cfg.Fn, strings.Join(monoid.Names(), ", "))
+	}
+	if cfg.Users <= 0 {
+		cfg.Users = 24
 	}
 	if cfg.Degree <= 1 {
 		cfg.Degree = 3
@@ -192,6 +225,9 @@ func SetupAgg(cfg AggConfig) (*AggLab, error) {
 			return nil, err
 		}
 	}
+	echo := func(*xmltree.Node) (*xmltree.Node, error) {
+		return xmltree.Elem("ok"), nil
+	}
 	var branches []*algebra.Node
 	for i := 0; i < cfg.Sources; i++ {
 		name := fmt.Sprintf("s%d", i)
@@ -199,9 +235,15 @@ func SetupAgg(cfg AggConfig) (*AggLab, error) {
 		if err != nil {
 			return nil, err
 		}
-		sp.Endpoint().Register("Q", func(*xmltree.Node) (*xmltree.Node, error) {
-			return xmltree.Elem("ok"), nil
-		}, nil)
+		sp.Endpoint().Register("Q", echo, nil)
+		if agg.NeedsValue() {
+			// Value-consuming functions encode the per-call value as the
+			// invoked method name, so the ws-in alert carries it in
+			// callMethod without any new plumbing.
+			for u := 1; u <= cfg.Users; u++ {
+				sp.Endpoint().Register(strconv.Itoa(u), echo, nil)
+			}
+		}
 		branches = append(branches, algebra.NewAlerter("inCOM", "ws-in", name, "e", nil))
 	}
 	for i := 0; i < startWorkers; i++ {
@@ -228,11 +270,15 @@ func SetupAgg(cfg AggConfig) (*AggLab, error) {
 		return cfg.Workers == 1 || name != "w0"
 	})
 
+	spec := &algebra.GroupSpec{KeyAttr: "callee", Window: cfg.Window.String(), Fn: fn}
+	if agg.NeedsValue() {
+		spec.ValueAttr = "callMethod"
+	}
 	union := &algebra.Node{Op: algebra.OpUnion, Peer: "w0", Inputs: branches, Schema: []string{"e"}}
 	group := &algebra.Node{
 		Op: algebra.OpGroup, Peer: "w0", Inputs: []*algebra.Node{union},
 		Schema: []string{"e"},
-		Group:  &algebra.GroupSpec{KeyAttr: "callee", Window: cfg.Window.String()},
+		Group:  spec,
 	}
 	plan := &algebra.Node{
 		Op: algebra.OpPublish, Peer: "mgr", Inputs: []*algebra.Node{group},
@@ -242,9 +288,9 @@ func SetupAgg(cfg AggConfig) (*AggLab, error) {
 	if err != nil {
 		return nil, err
 	}
-	lab := &AggLab{Sys: sys, Task: task, cfg: cfg, away: make(map[string]bool)}
+	lab := &AggLab{Sys: sys, Task: task, cfg: cfg, agg: agg, sched: newSchedRunner(sys)}
 	for i := startWorkers; i < cfg.Workers; i++ {
-		lab.pending = append(lab.pending, fmt.Sprintf("w%d", i))
+		lab.sched.pending = append(lab.sched.pending, fmt.Sprintf("w%d", i))
 	}
 	switch cfg.Detector {
 	case "", "gossip":
@@ -258,12 +304,7 @@ func SetupAgg(cfg AggConfig) (*AggLab, error) {
 	default:
 		return nil, fmt.Errorf("workload: unknown detector mode %q (want home or gossip)", cfg.Detector)
 	}
-	lab.Sup.Detector().OnDeath(func(p string, at time.Duration) {
-		lab.timeline = append(lab.timeline, fmt.Sprintf("t=%v dead %s", at, p))
-	})
-	lab.Sup.Detector().OnRecover(func(p string, at time.Duration) {
-		lab.timeline = append(lab.timeline, fmt.Sprintf("t=%v recovered %s", at, p))
-	})
+	lab.sched.attach(lab.Sup)
 	return lab, nil
 }
 
@@ -299,125 +340,100 @@ func (l *AggLab) settle() {
 	}
 }
 
-func (l *AggLab) pendingSuspects() []string {
-	sus := l.Sup.Detector().Suspects()
-	out := sus[:0]
-	for _, s := range sus {
-		if !l.away[s] {
-			out = append(out, s)
-		}
-	}
-	return out
+// value returns the per-call value event i carries (the invoked method
+// name) in value-consuming runs.
+func (l *AggLab) value(i int) string {
+	return strconv.Itoa(1 + (i*7919)%l.cfg.Users)
 }
 
-func (l *AggLab) joinEvery() int {
-	if l.cfg.JoinEvery > 0 {
-		return l.cfg.JoinEvery
-	}
-	if len(l.pending) == 0 {
-		return 0
-	}
-	every := l.cfg.Events / (len(l.pending) + 1)
-	if every < 1 {
-		every = 1
-	}
-	return every
-}
-
-// expected computes the deterministic windowed counts the drive schedule
-// produces: event i calls source i mod S at virtual time i×Step.
-func (l *AggLab) expected() map[string]int {
-	out := make(map[string]int)
+// expected replays the drive schedule — event i calls source i mod S at
+// virtual time i×Step carrying value(i) — through the same monoid the
+// deployment runs, producing per-(window|key) the exact record a
+// lossless run emits, plus the true distinct-value count per group (the
+// accuracy reference for sketch estimates). Replaying the monoid itself
+// keeps the expectation byte-exact even for sketches: HLL registers and
+// Count-Min cells depend only on the absorbed value multiset, never on
+// arrival order or partial/merge splits.
+func (l *AggLab) expected() (map[string]*xmltree.Node, map[string]int) {
+	states := make(map[string]monoid.State)
+	windows := make(map[string]int64)
+	keys := make(map[string]string)
+	exact := make(map[string]map[string]bool)
 	for i := 0; i < l.cfg.Events; i++ {
 		w := int64(time.Duration(i) * l.cfg.Step / l.cfg.Window)
 		key := fmt.Sprintf("http://s%d", i%l.cfg.Sources)
-		out[fmt.Sprintf("%d|%s", w, key)]++
+		gk := fmt.Sprintf("%d|%s", w, key)
+		st := states[gk]
+		if st == nil {
+			st = l.agg.Zero()
+			states[gk] = st
+			windows[gk], keys[gk] = w, key
+			exact[gk] = make(map[string]bool)
+		}
+		val := ""
+		if l.agg.NeedsValue() {
+			val = l.value(i)
+			exact[gk][val] = true
+		}
+		st.Absorb(val) //nolint:errcheck // schedule values are well-formed
 	}
-	return out
+	recs := make(map[string]*xmltree.Node, len(states))
+	for gk, st := range states {
+		n := xmltree.Elem("group")
+		n.SetAttr("key", keys[gk])
+		st.Final(func(a, v string) { n.SetAttr(a, v) })
+		n.SetAttr("window", strconv.FormatInt(windows[gk], 10))
+		recs[gk] = n
+	}
+	distinct := make(map[string]int, len(exact))
+	for gk, vals := range exact {
+		distinct[gk] = len(vals)
+	}
+	return recs, distinct
 }
 
 // Run drives the events while injecting the crash/leave/join schedules,
 // settles the detection and replay machinery, stops the task and scores
-// the emitted windowed counts against the schedule's expectation.
+// the emitted windowed records against the schedule's expectation.
 func (l *AggLab) Run() (*AggReport, error) {
 	cfg := l.cfg
 	sys, client := l.Sys, l.Sys.Peer("c.com")
-	rep := &AggReport{}
-	recoverAt := map[string]time.Duration{}
-	rejoinAt := map[string]time.Duration{}
-	joinEvery := l.joinEvery()
+	rep := &AggReport{Fn: l.agg.Name()}
+	r := l.sched
 
-	for i := 0; i < cfg.Events; i++ {
-		target := fmt.Sprintf("s%d", i%cfg.Sources)
-		if _, err := client.Endpoint().Invoke(target, "Q", nil); err != nil {
-			return nil, fmt.Errorf("workload: driving event %d: %w", i, err)
-		}
-		rep.Driven++
-		l.settle()
-		sys.Step(cfg.Step)
-		now := sys.Net.Clock().Now()
-		if joinEvery > 0 && len(l.pending) > 0 && rep.Driven%joinEvery == 0 {
-			name := l.pending[0]
-			l.pending = l.pending[1:]
-			if _, err := sys.JoinPeer(name, "mgr"); err != nil {
-				return nil, fmt.Errorf("workload: admitting %s: %w", name, err)
+	err := r.run(schedule{
+		Events: cfg.Events, Step: cfg.Step, MTTR: cfg.MTTR,
+		CrashEvery: cfg.CrashEvery, LeaveEvery: cfg.LeaveEvery, JoinEvery: cfg.JoinEvery,
+		SettleBeforeStep: true,
+		Drive: func(i int) error {
+			target := fmt.Sprintf("s%d", i%cfg.Sources)
+			method := "Q"
+			if l.agg.NeedsValue() {
+				method = l.value(i)
 			}
-			rep.Joins++
-			l.timeline = append(l.timeline, fmt.Sprintf("t=%v join %s", now, name))
-		}
-		for peerName, at := range recoverAt {
-			if now >= at {
-				sys.Net.Recover(peerName) //nolint:errcheck // known node
-				delete(recoverAt, peerName)
+			if _, err := client.Endpoint().Invoke(target, method, nil); err != nil {
+				return fmt.Errorf("workload: driving event %d: %w", i, err)
 			}
-		}
-		for peerName, at := range rejoinAt {
-			if now >= at {
-				if _, err := sys.JoinPeer(peerName, "mgr"); err != nil {
-					return nil, fmt.Errorf("workload: re-admitting %s: %w", peerName, err)
-				}
-				delete(rejoinAt, peerName)
-				l.away[peerName] = false
-				l.timeline = append(l.timeline, fmt.Sprintf("t=%v rejoin %s", now, peerName))
-			}
-		}
-		if cfg.LeaveEvery > 0 && rep.Driven%cfg.LeaveEvery == 0 {
-			leaver := l.AggHost()
-			if strings.HasPrefix(leaver, "w") && sys.Net.Alive(leaver) &&
-				len(l.pendingSuspects()) == 0 && len(rejoinAt) == 0 {
-				l.settle()
-				evs, err := sys.LeavePeer(leaver)
-				if err != nil {
-					return nil, fmt.Errorf("workload: %s leaving gracefully: %w", leaver, err)
-				}
-				for _, ev := range evs {
-					if ev.Repaired() {
-						rep.LeaveRepairs++
-					}
-				}
-				rep.Leaves++
-				l.timeline = append(l.timeline, fmt.Sprintf("t=%v leave %s", now, leaver))
-				l.away[leaver] = true
-				rejoinAt[leaver] = now + cfg.MTTR
-			}
-		}
-		if cfg.CrashEvery > 0 && rep.Driven%cfg.CrashEvery == 0 {
-			victim := l.AggHost()
-			// Only workers crash (an interior that fell back onto a
-			// biased peer would take its alerter down with it), one
-			// outstanding crash at a time.
-			if strings.HasPrefix(victim, "w") && sys.Net.Alive(victim) && len(l.pendingSuspects()) == 0 {
-				l.settle()
-				sys.Net.Crash(victim) //nolint:errcheck // known node
-				rep.Crashes++
-				l.timeline = append(l.timeline, fmt.Sprintf("t=%v crash %s", now, victim))
-				recoverAt[victim] = now + cfg.MTTR
-			}
-		}
+			return nil
+		},
+		Settle: l.settle,
+		Victim: l.AggHost,
+		// Only workers crash or leave (an interior that fell back onto a
+		// biased peer would take its alerter down with it).
+		VictimOK: func(v string) bool { return strings.HasPrefix(v, "w") },
+	})
+	if err != nil {
+		return nil, err
 	}
+	rep.Driven = r.driven
+	rep.Crashes = r.crashes
+	rep.Leaves = r.leaves
+	rep.Joins = r.joins
+	rep.LeaveRepairs = r.leaveRepairs
+
 	// Let outstanding detections and repairs finish, then give the
 	// anti-entropy sweep a few rounds to refill any remaining losses.
-	for i := 0; i < 64 && len(l.pendingSuspects()) > 0; i++ {
+	for i := 0; i < 64 && len(r.pendingSuspects()) > 0; i++ {
 		sys.Step(cfg.Step)
 	}
 	for i := 0; i < 8; i++ {
@@ -450,7 +466,7 @@ func (l *AggLab) Run() (*AggReport, error) {
 	}
 
 	l.Task.Stop()
-	exp := l.expected()
+	exp, exactDistinct := l.expected()
 	rep.Windows = func() int {
 		seen := map[string]bool{}
 		for k := range exp {
@@ -459,22 +475,57 @@ func (l *AggLab) Run() (*AggReport, error) {
 		return len(seen)
 	}()
 	rep.ExpectedGroups = len(exp)
-	got := make(map[string]int)
+	gotCounts := make(map[string]int)
+	gotRecs := make(map[string][]*xmltree.Node)
 	for _, it := range l.Task.Results().Drain() {
 		if it.Tree.Label != "group" {
 			continue
 		}
 		rep.ResultGroups++
 		k := it.Tree.AttrOr("window", "?") + "|" + it.Tree.AttrOr("key", "?")
-		n := 0
-		fmt.Sscanf(it.Tree.AttrOr("count", "0"), "%d", &n)
-		got[k] += n // duplicates/splits would surface as a wrong total
+		if l.agg.NeedsValue() {
+			gotRecs[k] = append(gotRecs[k], it.Tree)
+		} else {
+			// Counts are commutative deltas: a lossy run may split a
+			// group across emissions, and the split still scores correct
+			// when the total survives.
+			n := 0
+			fmt.Sscanf(it.Tree.AttrOr("count", "0"), "%d", &n)
+			gotCounts[k] += n
+		}
 		rep.Records = append(rep.Records, it.Tree.String())
 	}
 	sort.Strings(rep.Records)
-	for k, want := range exp {
-		if got[k] == want {
+	for gk, want := range exp {
+		if l.agg.NeedsValue() {
+			rs := gotRecs[gk]
+			if len(rs) == 1 && rs[0].String() == want.String() {
+				rep.CorrectGroups++
+			}
+		} else if n, err := strconv.Atoi(want.AttrOr("count", "0")); err == nil && gotCounts[gk] == n {
 			rep.CorrectGroups++
+		}
+	}
+	if l.agg.Name() == "distinct" {
+		var sum float64
+		for gk, truth := range exactDistinct {
+			rs := gotRecs[gk]
+			if len(rs) != 1 || truth == 0 {
+				continue
+			}
+			est, err := strconv.ParseFloat(rs[0].AttrOr("distinct", ""), 64)
+			if err != nil {
+				continue
+			}
+			re := math.Abs(est-float64(truth)) / float64(truth)
+			rep.SketchGroups++
+			sum += re
+			if re > rep.MaxRelErr {
+				rep.MaxRelErr = re
+			}
+		}
+		if rep.SketchGroups > 0 {
+			rep.MeanRelErr = sum / float64(rep.SketchGroups)
 		}
 	}
 	rep.Deaths = len(l.Sup.Deaths())
@@ -484,7 +535,7 @@ func (l *AggLab) Run() (*AggReport, error) {
 		}
 	}
 	rep.Replayed = sys.ReplayedItems()
-	rep.Timeline = append([]string(nil), l.timeline...)
+	rep.Timeline = append([]string(nil), r.timeline...)
 	rep.Traffic = sys.Net.Totals()
 	return rep, nil
 }

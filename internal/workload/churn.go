@@ -176,9 +176,7 @@ type ChurnLab struct {
 	Sup   *peer.Supervisor
 	cfg   ChurnConfig
 
-	pending  []string        // workers still to join, in admission order
-	away     map[string]bool // gracefully departed, awaiting rejoin
-	timeline []string
+	sched *schedRunner
 }
 
 // SetupChurn builds the scenario: src.com hosts the monitored service Q,
@@ -257,9 +255,15 @@ func SetupChurn(cfg ChurnConfig) (*ChurnLab, error) {
 		sys.Net.AddLoad(busy, 1000)
 	}
 
-	lab := &ChurnLab{Sys: sys, cfg: cfg, away: make(map[string]bool)}
+	lab := &ChurnLab{Sys: sys, cfg: cfg, sched: newSchedRunner(sys)}
+	// The partitioned home of the survivability scenario stays declared
+	// dead for the rest of the run; its absence is deliberate and must
+	// not block the schedule's one-outstanding-crash rule.
+	lab.sched.ignoreSuspect = func(s string) bool {
+		return cfg.PartitionHomeAfter > 0 && s == "mon"
+	}
 	for i := startWorkers; i < cfg.Workers; i++ {
-		lab.pending = append(lab.pending, fmt.Sprintf("w%d", i))
+		lab.sched.pending = append(lab.sched.pending, fmt.Sprintf("w%d", i))
 	}
 	for i := 0; i < cfg.Pipelines; i++ {
 		channelID := "churned"
@@ -294,15 +298,7 @@ func SetupChurn(cfg ChurnConfig) (*ChurnLab, error) {
 	default:
 		return nil, fmt.Errorf("workload: unknown detector mode %q (want home or gossip)", cfg.Detector)
 	}
-	// Timeline recording rides the detector callbacks (registered after
-	// the supervisor's own, so repairs have already run when an entry is
-	// appended — the entry order is the supervisor's action order).
-	lab.Sup.Detector().OnDeath(func(p string, at time.Duration) {
-		lab.timeline = append(lab.timeline, fmt.Sprintf("t=%v dead %s", at, p))
-	})
-	lab.Sup.Detector().OnRecover(func(p string, at time.Duration) {
-		lab.timeline = append(lab.timeline, fmt.Sprintf("t=%v recovered %s", at, p))
-	})
+	lab.sched.attach(lab.Sup)
 	return lab, nil
 }
 
@@ -344,43 +340,6 @@ func (l *ChurnLab) settle() {
 	}
 }
 
-// pendingSuspects returns the detector's confirmed-dead set minus the
-// peers whose absence is deliberate: the partitioned home of the
-// survivability scenario ("mon" stays declared dead for the rest of the
-// run) and gracefully departed workers awaiting their rejoin — neither
-// is an outstanding crash, so neither may block the schedule's
-// one-outstanding-crash rule.
-func (l *ChurnLab) pendingSuspects() []string {
-	sus := l.Sup.Detector().Suspects()
-	out := sus[:0]
-	for _, s := range sus {
-		if l.cfg.PartitionHomeAfter > 0 && s == "mon" {
-			continue
-		}
-		if l.away[s] {
-			continue
-		}
-		out = append(out, s)
-	}
-	return out
-}
-
-// joinEvery resolves the admission cadence: the configured one, or an
-// even spread of the pending joins across the run.
-func (l *ChurnLab) joinEvery() int {
-	if l.cfg.JoinEvery > 0 {
-		return l.cfg.JoinEvery
-	}
-	if len(l.pending) == 0 {
-		return 0
-	}
-	every := l.cfg.Events / (len(l.pending) + 1)
-	if every < 1 {
-		every = 1
-	}
-	return every
-}
-
 // partitionHome isolates mon from every other current peer — including
 // ones that joined after a previous isolation, so a runtime admission
 // cannot quietly bridge the split.
@@ -404,115 +363,65 @@ func (l *ChurnLab) Run() (*ChurnReport, error) {
 	cfg := l.cfg
 	sys, client := l.Sys, l.Sys.Peer("c.com")
 	rep := &ChurnReport{Pipelines: cfg.Pipelines, DetectionLatency: &stats.Summary{}}
-	recoverAt := map[string]time.Duration{}
-	rejoinAt := map[string]time.Duration{}
-	joinEvery := l.joinEvery()
+	r := l.sched
 	partitioned := false
 
-	for i := 0; i < cfg.Events; i++ {
-		if _, err := client.Endpoint().Invoke("src.com", "Q", nil); err != nil {
-			// Only the home-partition scenario may wreck the deployment
-			// (the blind detector crashes the source fabric); there the
-			// event counts as driven-and-lost — that loss IS the
-			// measurement. Everywhere else a failed Invoke is a broken
-			// setup and must surface, not read as a completeness dip.
-			if cfg.PartitionHomeAfter <= 0 {
-				return nil, err
+	err := r.run(schedule{
+		Events: cfg.Events, Step: cfg.Step, MTTR: cfg.MTTR,
+		CrashEvery: cfg.CrashEvery, LeaveEvery: cfg.LeaveEvery, JoinEvery: cfg.JoinEvery,
+		// Let the pipeline drain before advancing the clock when replay
+		// is on, so checkpoints taken on the Step cadence describe
+		// processed state, not a starved wall-clock snapshot. The lossy
+		// mode has no checkpoints and keeps PR 1's measured semantics
+		// (it still settles before each crash).
+		SettleBeforeStep: cfg.Replay,
+		Drive: func(int) error {
+			if _, err := client.Endpoint().Invoke("src.com", "Q", nil); err != nil {
+				// Only the home-partition scenario may wreck the
+				// deployment (the blind detector crashes the source
+				// fabric); there the event counts as driven-and-lost —
+				// that loss IS the measurement. Everywhere else a failed
+				// Invoke is a broken setup and must surface, not read as
+				// a completeness dip.
+				if cfg.PartitionHomeAfter <= 0 {
+					return err
+				}
 			}
-		}
-		rep.Driven++
-		if cfg.Replay {
-			// Let the pipeline drain before advancing the clock: one
-			// virtual Step models enough real time for the event to
-			// traverse the deployment, so checkpoints taken on the Step
-			// cadence describe processed state, not a starved wall-clock
-			// snapshot. The lossy mode has no checkpoints and keeps PR 1's
-			// measured semantics (it still settles before each crash).
-			l.settle()
-		}
-		sys.Step(cfg.Step)
-		now := sys.Net.Clock().Now()
-		if cfg.PartitionHomeAfter > 0 && rep.Driven == cfg.PartitionHomeAfter {
-			l.partitionHome()
-			partitioned = true
-		}
-		if joinEvery > 0 && len(l.pending) > 0 && rep.Driven%joinEvery == 0 {
-			name := l.pending[0]
-			l.pending = l.pending[1:]
-			if _, err := sys.JoinPeer(name, "mgr"); err != nil {
-				return nil, fmt.Errorf("workload: admitting %s: %w", name, err)
+			return nil
+		},
+		Settle: l.settle,
+		Victim: l.RelayHost,
+		AfterStep: func(driven int, _ time.Duration) {
+			if cfg.PartitionHomeAfter > 0 && driven == cfg.PartitionHomeAfter {
+				l.partitionHome()
+				partitioned = true
 			}
-			rep.Joins++
-			rep.JoinLog = append(rep.JoinLog, JoinEvent{Peer: name, At: now})
-			l.timeline = append(l.timeline, fmt.Sprintf("t=%v join %s", now, name))
+		},
+		OnJoin: func(_ string, _ time.Duration, left int) {
 			if partitioned {
 				// Joining mid-isolation must not bridge the split: the
 				// newcomer lands on the majority side.
 				l.partitionHome()
 			}
-			if len(l.pending) == 0 {
+			if left == 0 {
 				// Growth complete: steady-state service-load measurements
 				// (the X3 checkpoint-spread table) start here, excluding
 				// deployment and growth traffic.
 				sys.DB.ResetLoad()
 			}
-		}
-		for peerName, at := range recoverAt {
-			if now >= at {
-				sys.Net.Recover(peerName) //nolint:errcheck // known node
-				delete(recoverAt, peerName)
-			}
-		}
-		for peerName, at := range rejoinAt {
-			if now >= at {
-				if _, err := sys.JoinPeer(peerName, "mgr"); err != nil {
-					return nil, fmt.Errorf("workload: re-admitting %s after its leave: %w", peerName, err)
-				}
-				delete(rejoinAt, peerName)
-				l.away[peerName] = false
-				l.timeline = append(l.timeline, fmt.Sprintf("t=%v rejoin %s", now, peerName))
-			}
-		}
-		if cfg.LeaveEvery > 0 && rep.Driven%cfg.LeaveEvery == 0 {
-			leaver := l.RelayHost()
-			// Like the crash schedule: one departure at a time, and only
-			// while the pool is otherwise healthy.
-			if sys.Net.Alive(leaver) && len(l.pendingSuspects()) == 0 && len(rejoinAt) == 0 {
-				l.settle()
-				evs, err := sys.LeavePeer(leaver)
-				if err != nil {
-					return nil, fmt.Errorf("workload: %s leaving gracefully: %w", leaver, err)
-				}
-				for _, ev := range evs {
-					if ev.Repaired() {
-						rep.LeaveRepairs++
-					}
-				}
-				rep.Leaves++
-				rep.LeaveLog = append(rep.LeaveLog, LeaveEvent{Peer: leaver, At: now})
-				l.timeline = append(l.timeline, fmt.Sprintf("t=%v leave %s", now, leaver))
-				l.away[leaver] = true
-				rejoinAt[leaver] = now + cfg.MTTR
-			}
-		}
-		if cfg.CrashEvery > 0 && rep.Driven%cfg.CrashEvery == 0 {
-			victim := l.RelayHost()
-			// Only one outstanding crash: skip if the pool is still
-			// healing from the last one.
-			if sys.Net.Alive(victim) && len(l.pendingSuspects()) == 0 {
-				// Let the pipeline drain first: virtual time between
-				// events means earlier events are long delivered when the
-				// crash strikes, so the measured loss is the outage
-				// window itself, not a wall-clock scheduling artifact.
-				l.settle()
-				sys.Net.Crash(victim) //nolint:errcheck // known node
-				rep.CrashLog = append(rep.CrashLog, CrashEvent{Victim: victim, At: now})
-				l.timeline = append(l.timeline, fmt.Sprintf("t=%v crash %s", now, victim))
-				recoverAt[victim] = now + cfg.MTTR
-				rep.Crashes++
-			}
-		}
+		},
+	})
+	if err != nil {
+		return nil, err
 	}
+	rep.Driven = r.driven
+	rep.Crashes = r.crashes
+	rep.Leaves = r.leaves
+	rep.Joins = r.joins
+	rep.LeaveRepairs = r.leaveRepairs
+	rep.CrashLog = append([]CrashEvent(nil), r.crashLog...)
+	rep.JoinLog = append([]JoinEvent(nil), r.joinLog...)
+	rep.LeaveLog = append([]LeaveEvent(nil), r.leaveLog...)
 	// Let outstanding detections finish so the run's cost is complete.
 	// Deaths are matched against the injected crash schedule as a
 	// multiset: a worker that joined, crashed, recovered and crashed
@@ -588,7 +497,7 @@ func (l *ChurnLab) Run() (*ChurnReport, error) {
 			}
 		}
 	}
-	rep.Timeline = append([]string(nil), l.timeline...)
+	rep.Timeline = append([]string(nil), r.timeline...)
 	rep.Traffic = sys.Net.Totals()
 	return rep, nil
 }
