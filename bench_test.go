@@ -16,6 +16,7 @@ import (
 	"p2pm/internal/operators"
 	"p2pm/internal/p2pml"
 	"p2pm/internal/peer"
+	"p2pm/internal/reuse"
 	"p2pm/internal/stream"
 	"p2pm/internal/workload"
 	"p2pm/internal/xmltree"
@@ -473,6 +474,119 @@ func BenchmarkAggTreeRepair(b *testing.B) {
 		victim := interiors()[0].Peer
 		sys.FailPeer(victim, sys.Net.Clock().Now())
 		sys.RejoinPeer(victim)
+	}
+}
+
+// --- multi-tenant aggregate sharing (PR 7) ---
+
+// shareBenchPlan builds the ShareLab-shaped windowed group-by-count plan
+// over source range [lo, hi).
+func shareBenchPlan(lo, hi int, channel string) *algebra.Node {
+	var branches []*algebra.Node
+	for i := lo; i < hi; i++ {
+		branches = append(branches, algebra.NewAlerter("inCOM", "ws-in", fmt.Sprintf("s%d", i), "e", nil))
+	}
+	union := &algebra.Node{Op: algebra.OpUnion, Peer: "w0", Inputs: branches, Schema: []string{"e"}}
+	group := &algebra.Node{
+		Op: algebra.OpGroup, Peer: "w0", Inputs: []*algebra.Node{union},
+		Schema: []string{"e"},
+		Group:  &algebra.GroupSpec{KeyAttr: "callee", Window: "24s"},
+	}
+	return &algebra.Node{
+		Op: algebra.OpPublish, Peer: "mgr", Inputs: []*algebra.Node{group},
+		Schema: []string{"e"}, Publish: &algebra.PublishSpec{ChannelID: channel},
+	}
+}
+
+// BenchmarkReuseMatch measures the Section 5 reuse pass itself against a
+// live shared aggregation tree: bottom-up signature matching, the DHT
+// discovery lookups, and the rewrite. "exact" hits the tree root's flat
+// alias (a later identical subscription); "graft" covers a contained
+// source range from the published partial streams and rewrites to a
+// merge over them. This is the per-subscription deploy-time cost the X5
+// scaling table amortizes.
+func BenchmarkReuseMatch(b *testing.B) {
+	const sources = 8
+	for _, c := range []struct {
+		name   string
+		lo, hi int
+	}{{"exact", 0, sources}, {"graft", 2, 6}} {
+		b.Run(c.name, func(b *testing.B) {
+			opts := peer.DefaultOptions()
+			opts.AggDegree = 3
+			sys := peer.NewSystem(opts)
+			mgr := sys.MustAddPeer("mgr")
+			for i := 0; i < sources; i++ {
+				name := fmt.Sprintf("s%d", i)
+				sp := sys.MustAddPeer(name)
+				sp.Endpoint().Register("Q", func(*xmltree.Node) (*xmltree.Node, error) {
+					return xmltree.Elem("ok"), nil
+				}, nil)
+				sys.Net.AddLoad(name, 1000)
+			}
+			sys.Net.AddLoad("mgr", 1000)
+			for i := 0; i < 4; i++ {
+				sys.MustAddPeer(fmt.Sprintf("w%d", i))
+			}
+			sys.SetAggHosts(func(n string) bool { return n[0] == 'w' })
+			seed, err := mgr.DeployPlanShared(shareBenchPlan(0, sources, "seed"))
+			if err != nil {
+				b.Fatal(err)
+			}
+			defer seed.Stop()
+			ro := reuse.Options{
+				From:     "mgr",
+				Consumer: "mgr",
+				Choose:   reuse.PreferClose(sys.Net.Distance, sys.Net.Load),
+			}
+			probe := shareBenchPlan(c.lo, c.hi, "probe")
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				res, err := ro.Apply(probe, sys.DB)
+				if err != nil {
+					b.Fatal(err)
+				}
+				if res.ReusedOps == 0 || res.FailedLookups > 0 {
+					b.Fatalf("reuse pass degraded: reused=%d failed=%d", res.ReusedOps, res.FailedLookups)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkSharedAggIngest measures the shared tree's per-event hot path
+// when one PartialAgg leaf feeds several tenants' Final roots at once —
+// the fan-out an event costs a multi-tenant tree, against
+// BenchmarkAggTreeIngest's single-tenant cost. Sharing keeps this the
+// only per-event work: the unshared alternative runs the whole leaf
+// path once per tenant.
+func BenchmarkSharedAggIngest(b *testing.B) {
+	const tenants = 4
+	sinkFinal := func(stream.Item) {}
+	roots := make([]*operators.MergeAgg, tenants)
+	for i := range roots {
+		roots[i] = &operators.MergeAgg{Final: true}
+	}
+	leaf := &operators.PartialAgg{
+		Key:    func(n *xmltree.Node) string { return n.AttrOr("k", "") },
+		Window: time.Minute,
+	}
+	forward := func(it stream.Item) {
+		for _, r := range roots {
+			r.Accept(0, it, sinkFinal)
+		}
+	}
+	items := make([]stream.Item, 64)
+	for i := range items {
+		n := xmltree.Elem("e")
+		n.SetAttr("k", fmt.Sprintf("key-%d", i%8))
+		items[i] = stream.Item{Tree: n, Time: time.Duration(i) * time.Second}
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		it := items[i%len(items)]
+		it.Time += time.Duration(i/len(items)) * 64 * time.Second // advancing watermark
+		leaf.Accept(0, it, forward)
 	}
 }
 

@@ -18,6 +18,8 @@
 //	p2pmon -scenario agg -agg tree -agg-degree 3                                 # in-network aggregation tree
 //	p2pmon -scenario agg -agg flat                                               # the O(n) hotspot baseline
 //	p2pmon -scenario agg -agg tree -replay -crash-every 16 -leave-every 13       # aggregation under flap churn
+//	p2pmon -scenario share                                                       # multi-tenant aggregate sharing, shared vs unshared
+//	p2pmon -scenario share -subs 48 -leave-every 24                              # sharing under graceful-leave churn
 //	p2pmon -scenario meteo -sub custom.p2pml   # custom subscription text
 package main
 
@@ -27,6 +29,7 @@ import (
 	"fmt"
 	"io"
 	"os"
+	"time"
 
 	"p2pm/internal/peer"
 	"p2pm/internal/workload"
@@ -46,7 +49,7 @@ func main() {
 // to out (separated from main for testing).
 func run(args []string, out io.Writer) error {
 	fs := flag.NewFlagSet("p2pmon", flag.ContinueOnError)
-	scenario := fs.String("scenario", "meteo", "meteo | telecom | edos | rss | churn | agg")
+	scenario := fs.String("scenario", "meteo", "meteo | telecom | edos | rss | churn | agg | share")
 	subFile := fs.String("sub", "", "file with a custom P2PML subscription (overrides the scenario default)")
 	noReuse := fs.Bool("no-reuse", false, "disable stream reuse")
 	noPushdown := fs.Bool("no-pushdown", false, "disable selection pushdown")
@@ -63,6 +66,7 @@ func run(args []string, out io.Writer) error {
 	aggDegree := fs.Int("agg-degree", 0, "agg scenario: aggregation-tree fan-in bound (0 = default 3)")
 	aggFn := fs.String("agg-fn", "", "agg scenario: aggregate function, count | sum | min | max | avg | set | distinct | freq (default count; see docs/AGGREGATION.md)")
 	users := fs.Int("users", 0, "agg scenario: distinct-value universe for value-consuming aggregate functions (0 = default 24)")
+	subs := fs.Int("subs", 0, "share scenario: number of overlapping subscriptions (0 = default 12)")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -72,19 +76,20 @@ func run(args []string, out io.Writer) error {
 	// ignored. fs.Visit reports only flags the command line actually
 	// set, in lexical order, so the error is deterministic.
 	labFlags := map[string]map[string]bool{
-		"replay":         {"churn": true, "agg": true},
-		"detector":       {"churn": true, "agg": true},
-		"events":         {"churn": true, "agg": true},
-		"crash-every":    {"churn": true, "agg": true},
-		"leave-every":    {"churn": true, "agg": true},
+		"replay":         {"churn": true, "agg": true, "share": true},
+		"detector":       {"churn": true, "agg": true, "share": true},
+		"events":         {"churn": true, "agg": true, "share": true},
+		"crash-every":    {"churn": true, "agg": true, "share": true},
+		"leave-every":    {"churn": true, "agg": true, "share": true},
 		"partition-home": {"churn": true},
-		"grow":           {"churn": true},
-		"join-every":     {"churn": true},
+		"grow":           {"churn": true, "share": true},
+		"join-every":     {"churn": true, "share": true},
 		"spread":         {"churn": true},
 		"agg":            {"agg": true},
 		"agg-degree":     {"agg": true},
 		"agg-fn":         {"agg": true},
 		"users":          {"agg": true},
+		"subs":           {"share": true},
 	}
 	var misused string
 	fs.Visit(func(f *flag.Flag) {
@@ -96,7 +101,7 @@ func run(args []string, out io.Writer) error {
 		return fmt.Errorf("p2pmon: -%s does not apply to the %s scenario", misused, *scenario)
 	}
 
-	if *scenario == "churn" || *scenario == "agg" {
+	if *scenario == "churn" || *scenario == "agg" || *scenario == "share" {
 		// The labs deploy fixed hand-placed plans: the P2PML and
 		// optimizer knobs do not apply.
 		if *subFile != "" || *noReuse || *noPushdown {
@@ -155,6 +160,35 @@ func run(args []string, out io.Writer) error {
 		}
 		cfg.LeaveEvery = *leaveEvery
 		return runAgg(out, cfg)
+	case "share":
+		cfg := workload.DefaultShare()
+		// Replay is on in DefaultShare (byte-identity through churn needs
+		// it); -replay stays legal as an explicit statement of the default.
+		cfg.Replay = cfg.Replay || *replay
+		if *detector != "" {
+			cfg.Detector = *detector
+		}
+		if *nEvents > 0 {
+			cfg.Events = *nEvents
+		}
+		if *crashEvery >= 0 {
+			cfg.CrashEvery = *crashEvery
+		}
+		cfg.LeaveEvery = *leaveEvery
+		if *subs > 0 {
+			cfg.Subs = *subs
+		}
+		if *grow > 0 {
+			if *grow <= cfg.Workers {
+				return fmt.Errorf("p2pmon: -grow %d must exceed the starting pool of %d workers", *grow, cfg.Workers)
+			}
+			cfg.GrowFrom = cfg.Workers
+			cfg.Workers = *grow
+			cfg.JoinEvery = *joinEvery
+		} else if *joinEvery > 0 {
+			return fmt.Errorf("p2pmon: -join-every needs -grow (there is nothing to admit)")
+		}
+		return runShare(out, cfg)
 	}
 
 	opts := peer.DefaultOptions()
@@ -284,6 +318,61 @@ func runAgg(out io.Writer, cfg workload.AggConfig) error {
 	fmt.Fprintf(out, "aggregation host ended at %s\n", lab.AggHost())
 	fmt.Fprintf(out, "\nnetwork: %d messages, %d bytes, %d dropped over %d links\n",
 		rep.Traffic.Messages, rep.Traffic.Bytes, rep.Traffic.Dropped, rep.Traffic.Links)
+	return nil
+}
+
+// runShare runs the multi-tenant aggregation scenario twice — once
+// through the reuse pass (overlapping subscriptions share aggregation
+// trees) and once unshared (every subscription builds its own) — and
+// reports both against the same ground truth, so the sharing shows up as
+// pure deployment and ingest savings, never as an answer change.
+func runShare(out io.Writer, cfg workload.ShareConfig) error {
+	det := cfg.Detector
+	if det == "" {
+		det = "gossip"
+	}
+	win := cfg.Window
+	if win <= 0 {
+		step := cfg.Step
+		if step <= 0 {
+			step = time.Second
+		}
+		win = 8 * step // SetupShare's default
+	}
+	fmt.Fprintf(out, "== scenario share ==\nsources: %d, workers: %d, subscriptions: %d, events: %d, window %v, crash every %d, leave every %d, replay %v, detector %s\n",
+		cfg.Sources, cfg.Workers, cfg.Subs, cfg.Events, win, cfg.CrashEvery, cfg.LeaveEvery, cfg.Replay, det)
+	if cfg.GrowFrom > 0 {
+		fmt.Fprintf(out, "elastic pool: growing from %d to %d workers via the join protocol\n", cfg.GrowFrom, cfg.Workers)
+	}
+	reps := make(map[string]*workload.ShareReport, 2)
+	for _, mode := range []string{"shared", "unshared"} {
+		c := cfg
+		c.Mode = mode
+		lab, err := workload.SetupShare(c)
+		if err != nil {
+			return err
+		}
+		rep, err := lab.Run()
+		if err != nil {
+			return err
+		}
+		reps[mode] = rep
+		fmt.Fprintf(out, "%-9s %d operators (%.2f/sub), byte-identical %d/%d subs, completeness %.0f%%, hottest peer ingest %d (%.2fx mean)\n",
+			mode+":", rep.Operators, rep.OpsPerSub(), rep.ByteIdenticalSubs, rep.Subs,
+			rep.Completeness()*100, rep.IngestMax, rep.IngestRatio())
+		for _, m := range rep.Mismatches {
+			fmt.Fprintf(out, "  mismatch: %s\n", m)
+		}
+	}
+	sh, un := reps["shared"], reps["unshared"]
+	fmt.Fprintf(out, "reuse pass: %d ops reused, %d fresh, %d discovery lookups (%d failed)\n",
+		sh.ReusedOps, sh.NewOps, sh.Lookups, sh.FailedLookups)
+	fmt.Fprintf(out, "sharing: %.1fx fewer operators, hotspot ingest %d vs %d\n",
+		float64(un.Operators)/float64(sh.Operators), sh.IngestMax, un.IngestMax)
+	fmt.Fprintf(out, "churn (shared run): crashes %d, leaves %d, joins %d, repaired %d, replayed %d\n",
+		sh.Crashes, sh.Leaves, sh.Joins, sh.Repairs+sh.LeaveRepairs, sh.Replayed)
+	fmt.Fprintf(out, "\nnetwork (shared run): %d messages, %d bytes, %d dropped over %d links\n",
+		sh.Traffic.Messages, sh.Traffic.Bytes, sh.Traffic.Dropped, sh.Traffic.Links)
 	return nil
 }
 

@@ -216,6 +216,42 @@ func TestChurnElasticGrowScenario(t *testing.T) {
 	}
 }
 
+func TestShareScenario(t *testing.T) {
+	var out bytes.Buffer
+	if err := run([]string{"-scenario", "share", "-subs", "8", "-leave-every", "24"}, &out); err != nil {
+		t.Fatal(err)
+	}
+	s := out.String()
+	// Both modes must answer every subscription byte-identically, and the
+	// reuse pass's discovery must never have degraded to fresh deployment.
+	if strings.Count(s, "byte-identical 8/8 subs") != 2 {
+		t.Errorf("share run not byte-identical in both modes:\n%s", s)
+	}
+	if !strings.Contains(s, "(0 failed)") || !strings.Contains(s, "fewer operators") {
+		t.Errorf("share report incomplete:\n%s", s)
+	}
+	if !strings.Contains(s, "churn (shared run):") || strings.Contains(s, "leaves 0,") {
+		t.Errorf("graceful leave not reported:\n%s", s)
+	}
+}
+
+func TestShareFlagValidation(t *testing.T) {
+	bad := [][]string{
+		{"-scenario", "agg", "-subs", "8"},
+		{"-scenario", "share", "-agg", "tree"},
+		{"-scenario", "share", "-spread"},
+		{"-scenario", "share", "-partition-home", "5"},
+		{"-scenario", "share", "-no-reuse"},
+		{"-scenario", "share", "-join-every", "5"},
+		{"-scenario", "share", "-grow", "2"},
+	}
+	for _, args := range bad {
+		if err := run(args, &bytes.Buffer{}); err == nil {
+			t.Errorf("accepted: %v", args)
+		}
+	}
+}
+
 func TestGrowFlagValidation(t *testing.T) {
 	if err := run([]string{"-scenario", "churn", "-grow", "3"}, &bytes.Buffer{}); err == nil {
 		t.Error("-grow below the starting pool accepted")

@@ -71,9 +71,52 @@ func Rewrite(plan *algebra.Node, id string, cfg Config) (*algebra.Node, int) {
 				return t
 			}
 		}
+		if n.Op == algebra.OpMergeAgg && n.Group != nil && n.Group.Final && len(n.Inputs) > cfg.Degree {
+			widen(n, fmt.Sprintf("%s.%d", id, built), cfg)
+			built++
+		}
 		return n
 	}
 	return walk(plan), built
+}
+
+// widen inserts key-routed interior levels under an over-wide Final
+// merge root — the shape reuse grafting produces when a root merges
+// pre-existing partial streams with fresh leaves — capping every merge
+// fan-in at cfg.Degree. Unlike build, every created interior is
+// key-routed: the root already exists and keeps its placement.
+func widen(root *algebra.Node, id string, cfg Config) {
+	nodes := root.Inputs
+	level := 0
+	for len(nodes) > cfg.Degree {
+		level++
+		var next []*algebra.Node
+		for i := 0; i < len(nodes); i += cfg.Degree {
+			end := i + cfg.Degree
+			if end > len(nodes) {
+				end = len(nodes)
+			}
+			chunk := nodes[i:end:end]
+			if len(chunk) == 1 {
+				next = append(next, chunk[0])
+				continue
+			}
+			key, peer := Key(id, level, len(next)), ""
+			if cfg.Place != nil {
+				peer = cfg.Place(key)
+			}
+			if peer == "" {
+				peer = root.Peer
+			}
+			next = append(next, &algebra.Node{
+				Op: algebra.OpMergeAgg, Peer: peer, AggKey: key, Inputs: chunk,
+				Schema: append([]string(nil), root.Schema...),
+				Group:  derivedSpec(root.Group, false),
+			})
+		}
+		nodes = next
+	}
+	root.Inputs = nodes
 }
 
 // build decomposes one Group node, or returns nil when it should stay

@@ -137,6 +137,23 @@ func (g *GroupSpec) desc() string {
 	return fmt.Sprintf("%s(%s):%s/%s", g.Fn, g.ValueAttr, g.KeyAttr, g.Window)
 }
 
+// Ident renders the aggregate's identity — function, value, key and
+// window, independent of which sources feed it. Partial-aggregation
+// streams of the same logical aggregate are indexed under this label so
+// containment queries (aggregate-tree sharing) find them in one lookup.
+func (g *GroupSpec) Ident() string { return g.desc() }
+
+// FlatGroupSignature is the signature of a flat Group over a union of
+// the given source streams. The Final root of a decomposed aggregation
+// tree publishes under this identity: it emits exactly the records the
+// flat operator would have, so later flat Group plans over the same
+// source set match tree-deployed work without knowing the tree shape.
+func FlatGroupSignature(g *GroupSpec, sourceSigs []string) string {
+	union := (&Node{Op: OpUnion}).SignatureWith(sourceSigs)
+	flat := &Node{Op: OpGroup, Group: g}
+	return flat.SignatureWith([]string{union})
+}
+
 // PublishSpec lists the notification targets of the BY clause.
 type PublishSpec struct {
 	Targets []p2pml.ByTarget

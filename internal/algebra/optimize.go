@@ -145,6 +145,16 @@ func condStreamVars(cond p2pml.Condition, lets []p2pml.LetBinding) []string {
 // letsNeeded filters lets to those a condition references (transitively),
 // preserving declaration order.
 func letsNeeded(cond p2pml.Condition, lets []p2pml.LetBinding) []p2pml.LetBinding {
+	return NeededLets(lets, cond)
+}
+
+// NeededLets filters lets to those any of the conditions references
+// (transitively), preserving declaration order. A σ carrying exactly
+// these bindings is equivalent to one carrying the full set, so rewrites
+// that narrow a σ's conditions (pushdown, subsumption residuals) use it
+// to keep the narrowed node identical to an equivalently hand-written
+// filter.
+func NeededLets(lets []p2pml.LetBinding, conds ...p2pml.Condition) []p2pml.LetBinding {
 	byVar := make(map[string]p2pml.LetBinding, len(lets))
 	for _, l := range lets {
 		byVar[l.Var] = l
@@ -159,8 +169,10 @@ func letsNeeded(cond p2pml.Condition, lets []p2pml.LetBinding) []p2pml.LetBindin
 			}
 		}
 	}
-	for _, v := range cond.Vars() {
-		mark(v)
+	for _, cond := range conds {
+		for _, v := range cond.Vars() {
+			mark(v)
+		}
 	}
 	var out []p2pml.LetBinding
 	for _, l := range lets {
@@ -222,6 +234,13 @@ func place(n *Node, subscriber string) {
 		n.Peer = subscriber
 	case OpUnion, OpJoin:
 		n.Peer = n.Inputs[len(n.Inputs)-1].Peer
+	case OpMergeAgg:
+		// Tree roots and key-routed interiors carry deliberate placements
+		// (the planner's Group peer, DHT routing); re-placement must not
+		// drag them to an input's peer.
+		if n.Peer == AnyPeer || n.Peer == "" {
+			n.Peer = n.Inputs[len(n.Inputs)-1].Peer
+		}
 	default:
 		if len(n.Inputs) > 0 {
 			n.Peer = n.Inputs[0].Peer

@@ -46,6 +46,17 @@ type StreamDef struct {
 	// task's conditions "holds sufficient data" for it (the paper's
 	// future-work item), needing only a residual filter on top.
 	Conds []string
+	// Group, for partial-aggregation streams (PartialAgg leaves and
+	// non-final MergeAgg interiors), names the aggregate's identity
+	// (fn/value/key/window). Such streams are additionally indexed under
+	// the aggregate so containment queries find every partial stream of
+	// the same logical aggregate in one lookup.
+	Group string
+	// Sources lists the canonical signatures of the source streams whose
+	// data the partial stream aggregates — the containment side of
+	// aggregate sharing: a stream whose source set is contained in a new
+	// subscription's union can be grafted in as a pre-merged input.
+	Sources []string
 	// Stats carries statistical attributes (average item volume etc.).
 	Stats map[string]string
 }
@@ -59,11 +70,21 @@ func (d *StreamDef) ToXML() *xmltree.Node {
 	if d.Signature != "" {
 		n.SetAttr("signature", d.Signature)
 	}
+	if d.Group != "" {
+		n.SetAttr("group", d.Group)
+	}
 	opInner := xmltree.Elem(d.Operator)
 	for _, c := range d.Conds {
 		opInner.Append(xmltree.ElemText("Cond", c))
 	}
 	n.Append(xmltree.Elem("Operator", opInner))
+	if len(d.Sources) > 0 {
+		srcs := xmltree.Elem("Sources")
+		for _, s := range d.Sources {
+			srcs.Append(xmltree.ElemText("Src", s))
+		}
+		n.Append(srcs)
+	}
 	operands := xmltree.Elem("Operands")
 	for _, o := range d.Operands {
 		oe := xmltree.Elem("Operand")
@@ -97,6 +118,7 @@ func ParseDef(n *xmltree.Node) (*StreamDef, error) {
 		},
 		IsChannel: n.AttrOr("isAChannel", "") == "true",
 		Signature: n.AttrOr("signature", ""),
+		Group:     n.AttrOr("group", ""),
 		Stats:     make(map[string]string),
 	}
 	if d.Ref.PeerID == "" || d.Ref.StreamID == "" {
@@ -116,6 +138,11 @@ func ParseDef(n *xmltree.Node) (*StreamDef, error) {
 				PeerID:   o.AttrOr("OPeerId", ""),
 				StreamID: o.AttrOr("OStreamId", ""),
 			})
+		}
+	}
+	if srcs := n.Child("Sources"); srcs != nil {
+		for _, s := range srcs.ChildrenByLabel("Src") {
+			d.Sources = append(d.Sources, s.InnerText())
 		}
 	}
 	if st := n.Child("Stats"); st != nil {
@@ -144,6 +171,7 @@ func New(ring *dht.Ring) *DB { return &DB{ring: ring} }
 func alerterKey(peer, fn string) string         { return "alerter|" + peer + "|" + fn }
 func operandKey(op string, o stream.Ref) string { return "op|" + op + "|" + o.String() }
 func sigKey(sig string) string                  { return "sig|" + sig }
+func aggKey(group string) string                { return "agg|" + group }
 func replicaKey(orig stream.Ref) string         { return "replica|" + orig.String() }
 func refKey(ref stream.Ref) string              { return "def|" + ref.String() }
 
@@ -165,6 +193,9 @@ func (db *DB) Publish(def *StreamDef) error {
 	}
 	if def.Signature != "" {
 		keys = append(keys, sigKey(def.Signature))
+	}
+	if def.Group != "" && len(def.Sources) > 0 {
+		keys = append(keys, aggKey(def.Group))
 	}
 	for _, k := range keys {
 		if err := db.ring.Put(k, xml); err != nil {
@@ -218,6 +249,13 @@ func (db *DB) FindByOperand(from, op string, operand stream.Ref) ([]*StreamDef, 
 // FindBySignature answers exact sub-plan matches.
 func (db *DB) FindBySignature(from, sig string) ([]*StreamDef, int, error) {
 	return db.lookup(from, sigKey(sig))
+}
+
+// FindAggParts answers "which partial-aggregation streams exist for this
+// aggregate identity?" — the containment query of aggregate-tree
+// sharing. Every returned descriptor carries the Sources it pre-merges.
+func (db *DB) FindAggParts(from, group string) ([]*StreamDef, int, error) {
+	return db.lookup(from, aggKey(group))
 }
 
 // FindByRef resolves a stream's own descriptor from its identity.

@@ -229,6 +229,21 @@ func (s *System) LeavePeer(name string) ([]FailoverEvent, error) {
 	return events, nil
 }
 
+// severForwardersFrom detaches replica forwarders fed from one specific
+// channel — the planned-move counterpart of severForwarders: the origin's
+// host stays alive, but the producer is migrating and the old channel's
+// teardown EOS must not cascade into replica channels consumers read.
+func (s *System) severForwardersFrom(ref stream.Ref) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	for _, f := range s.forwarders {
+		if f.orig == ref && !f.severed {
+			f.sub.Detach()
+			f.severed = true
+		}
+	}
+}
+
 // severForwarders detaches replica forwarders fed from a departed peer:
 // the origin's eventual teardown must not close replica channels a
 // re-deployed operator is about to take over, and the anti-entropy sweep
@@ -381,6 +396,53 @@ func (s *System) RebalanceAggTrees(at time.Duration) []FailoverEvent {
 					return
 				}
 				events = append(events, ev)
+			})
+		}
+	}
+	if len(events) > 0 {
+		// A migrated interior may feed *other* tasks (shared aggregation
+		// trees): redeployOperator re-binds only its own task's consumers,
+		// so sweep every task for subscriptions left on now-stale channels.
+		events = append(events, s.repairStaleChannelIns(at)...)
+	}
+	return events
+}
+
+// repairStaleChannelIns re-binds channel subscriptions whose provider
+// migrated away in a *planned* move. The crash path (repairChannelIns)
+// only considers channels hosted on the departed peer; after a
+// rebalance the old host is alive but the channel lost its producer —
+// consumers of a shared interior from other tasks would starve on it
+// silently. Each stale subscription follows the replica chain to the
+// stream's live provider, resuming from its cursor.
+func (s *System) repairStaleChannelIns(at time.Duration) []FailoverEvent {
+	var events []FailoverEvent
+	for _, p := range s.livePeers() {
+		for _, t := range sortedTasks(p) {
+			postorder(t.Plan, func(n *algebra.Node) {
+				if n.Op != algebra.OpChannelIn || s.usable(n.Channel) {
+					return
+				}
+				origin := n.Origin
+				if origin == (stream.Ref{}) {
+					origin = n.Channel
+				}
+				from := n.Channel.PeerID
+				repl, viaReplica := s.liveProvider(p.name, origin, "")
+				if repl == nil || repl.Ref() == n.Channel {
+					return
+				}
+				for _, b := range t.bindings {
+					if b.child == n {
+						p.rebind(t, b, repl)
+						s.Net.CountTransfer(b.consumerPeer, repl.Ref().PeerID, ctrlMsgBytes)
+					}
+				}
+				n.Channel = repl.Ref()
+				events = append(events, FailoverEvent{
+					TaskID: t.ID, Operator: "∈" + origin.String(), From: from,
+					To: repl.Ref().PeerID, ViaReplica: viaReplica, At: at,
+				})
 			})
 		}
 	}
@@ -574,12 +636,42 @@ func (p *Peer) redeployOperator(t *Task, n *algebra.Node, dead string, at time.D
 	}
 
 	// Re-bind downstream consumers first, so the old channel's teardown
-	// can no longer reach them.
+	// can no longer reach them. A shared interior feeds consumers in
+	// *other* tasks too (grafted aggregation trees, reused streams):
+	// every binding still reading the old channel is re-bound now, not
+	// left to a later sweep — the moment the old instance's input queues
+	// close it flushes and publishes EOS, and an EOS that reaches a
+	// consumer's queue terminates that input permanently (re-binding the
+	// queue afterwards feeds items nobody reads).
 	for _, b := range t.bindings {
 		if b.child == n {
 			p.rebind(t, b, out)
 		}
 	}
+	for _, cp := range s.livePeers() {
+		for _, ct := range sortedTasks(cp) {
+			if ct == t {
+				continue
+			}
+			for _, b := range ct.bindings {
+				if b.src == nil || b.src.Ref() != oldRef {
+					continue
+				}
+				cp.rebind(ct, b, out)
+				if b.child != nil && b.child.Op == algebra.OpChannelIn && b.child.Channel == oldRef {
+					b.child.Channel = out.Ref()
+				}
+				s.Net.CountTransfer(b.consumerPeer, newPeer, ctrlMsgBytes)
+			}
+		}
+	}
+	// Replica forwarders fed from the old channel must not relay its
+	// terminal EOS into their replica channels (closing them under any
+	// consumer — including, when the replacement adopted one, the very
+	// channel the new instance is about to publish into). Detach them;
+	// markStale below propagates to the non-adopted ones and the stale
+	// sweep re-binds their consumers.
+	s.severForwardersFrom(oldRef)
 
 	// Re-subscribe the inputs; the dead operator's old input queues are
 	// closed so its goroutine terminates instead of waiting on starved

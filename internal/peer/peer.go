@@ -212,6 +212,43 @@ func (p *Peer) DeployPlan(plan *algebra.Node) (*Task, error) {
 	return task, nil
 }
 
+// DeployPlanShared is DeployPlan preceded by the reuse pass: the plan is
+// covered with existing streams (exact matches, filter subsumption,
+// aggregate-tree grafting) before deployment, then re-placed so fresh
+// operators follow their reused inputs. It is the sharing variant of the
+// escape hatch: programmatically built windowed-Group plans deployed
+// through it share aggregation trees across subscriptions. The input
+// plan is not modified.
+func (p *Peer) DeployPlanShared(plan *algebra.Node) (*Task, error) {
+	if plan == nil || plan.Op != algebra.OpPublish {
+		return nil, fmt.Errorf("peer: plan must be rooted at a Publish node")
+	}
+	ro := reuse.Options{
+		From:     p.name,
+		Consumer: p.name,
+		Choose:   aliveOnly(p.sys, reuse.PreferClose(p.sys.Net.Distance, p.sys.Net.Load)),
+	}
+	res, err := ro.Apply(plan, p.sys.DB)
+	if err != nil {
+		return nil, err
+	}
+	shared := algebra.Optimize(res.Plan, algebra.Options{SubscriberPeer: p.name, Pushdown: false})
+	task := &Task{
+		ID:      p.sys.nextTaskID(),
+		Manager: p.name,
+		Plan:    shared,
+		Reuse:   res,
+	}
+	if err := p.deploy(task); err != nil {
+		task.Stop()
+		return nil, err
+	}
+	p.mu.Lock()
+	p.tasks[task.ID] = task
+	p.mu.Unlock()
+	return task, nil
+}
+
 // Tasks lists the subscription database contents.
 func (p *Peer) Tasks() []*Task {
 	p.mu.Lock()

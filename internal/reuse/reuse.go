@@ -10,6 +10,7 @@ package reuse
 
 import (
 	"fmt"
+	"sort"
 
 	"p2pm/internal/algebra"
 	"p2pm/internal/kadop"
@@ -71,6 +72,11 @@ type Result struct {
 	// Lookups/Hops account the DHT traffic of the discovery queries.
 	Lookups int
 	Hops    int
+	// FailedLookups counts discovery queries that errored and were
+	// answered conservatively (e.g. a replica lookup that failed, so the
+	// original provider was kept). Nonzero values flag DHT trouble the
+	// rewrite papered over.
+	FailedLookups int
 }
 
 // matchInfo records a covered plan node: the original stream computing it
@@ -90,8 +96,10 @@ func (o Options) Apply(plan *algebra.Node, db *kadop.DB) (*Result, error) {
 	r := &Result{}
 	work := plan.Clone()
 	st := &matchState{
-		matched:  make(map[*algebra.Node]matchInfo),
-		partials: make(map[*algebra.Node]*partialMatch),
+		matched:   make(map[*algebra.Node]matchInfo),
+		partials:  make(map[*algebra.Node]*partialMatch),
+		aggCovers: make(map[*algebra.Node]*aggCover),
+		sigs:      make(map[*algebra.Node]string),
 	}
 	if _, err := o.match(work, db, st, r); err != nil {
 		return nil, err
@@ -110,14 +118,27 @@ func (o Options) Apply(plan *algebra.Node, db *kadop.DB) (*Result, error) {
 
 // matchState carries the bottom-up cover computed by match.
 type matchState struct {
-	matched  map[*algebra.Node]matchInfo
-	partials map[*algebra.Node]*partialMatch
+	matched   map[*algebra.Node]matchInfo
+	partials  map[*algebra.Node]*partialMatch
+	aggCovers map[*algebra.Node]*aggCover
+	// sigs records every node's compositional signature — aggregate
+	// containment compares a union's branch identities against published
+	// partial streams' source sets.
+	sigs map[*algebra.Node]string
 }
 
 // match fills the state bottom-up and returns the node's compositional
 // signature (over published definitions where inputs matched, over the
 // plan structure otherwise).
 func (o Options) match(n *algebra.Node, db *kadop.DB, st *matchState, r *Result) (string, error) {
+	sig, err := o.matchNode(n, db, st, r)
+	if err == nil {
+		st.sigs[n] = sig
+	}
+	return sig, err
+}
+
+func (o Options) matchNode(n *algebra.Node, db *kadop.DB, st *matchState, r *Result) (string, error) {
 	childSigs := make([]string, len(n.Inputs))
 	allChildren := true
 	for i, in := range n.Inputs {
@@ -171,7 +192,34 @@ func (o Options) match(n *algebra.Node, db *kadop.DB, st *matchState, r *Result)
 		return sig, nil
 	default:
 		if !allChildren {
-			return sig, nil // an operand must be produced fresh, so must this node
+			// An operand must be produced fresh, so must this node — with
+			// one exception: aggregates. A tree deployment publishes no
+			// Union stream (the union dissolves into partial/merge nodes),
+			// so a Group whose branches all matched still reaches here. Its
+			// compositional signature equals the flat alias a tree's Final
+			// root publishes under, so try the exact match anyway; failing
+			// that, covered branches can still arrive pre-merged even when
+			// other branches must be produced fresh.
+			if n.Op == algebra.OpGroup && n.Group != nil &&
+				len(n.Inputs) == 1 && n.Inputs[0].Op == algebra.OpUnion &&
+				allIn(st.matched, n.Inputs[0].Inputs) {
+				defs, hops, err := db.FindBySignature(o.From, sig)
+				r.Lookups++
+				r.Hops += hops
+				if err != nil {
+					return "", fmt.Errorf("reuse: signature discovery: %w", err)
+				}
+				if len(defs) > 0 {
+					st.matched[n] = matchInfo{ref: defs[0].Ref, sig: sig}
+					return sig, nil
+				}
+			}
+			if cover, cerr := o.coverAgg(n, db, st, r); cerr != nil {
+				return "", cerr
+			} else if cover != nil {
+				st.aggCovers[n] = cover
+			}
+			return sig, nil
 		}
 		defs, hops, err := db.FindBySignature(o.From, sig)
 		r.Lookups++
@@ -200,6 +248,14 @@ func (o Options) match(n *algebra.Node, db *kadop.DB, st *matchState, r *Result)
 				st.partials[n] = partial
 			}
 		}
+		// For Group over a union, look for partial-aggregation streams
+		// whose source sets are contained in ours: they hold sufficient
+		// (pre-merged) data for the covered branches.
+		if cover, cerr := o.coverAgg(n, db, st, r); cerr != nil {
+			return "", cerr
+		} else if cover != nil {
+			st.aggCovers[n] = cover
+		}
 		return sig, nil
 	}
 }
@@ -221,8 +277,14 @@ func (o Options) rewrite(n *algebra.Node, db *kadop.DB, st *matchState, r *Resul
 			Peer:   n.Peer,
 			Inputs: []*algebra.Node{chIn},
 			Schema: append([]string(nil), n.Schema...),
-			Select: &algebra.SelectSpec{Conds: p.residual, Lets: n.Select.Lets},
+			// Only the LET bindings the residual conditions reference ride
+			// along: the full set would make this node differ from an
+			// equivalently hand-written σ and break later chain matches.
+			Select: &algebra.SelectSpec{Conds: p.residual, Lets: algebra.NeededLets(n.Select.Lets, p.residual...)},
 		}
+	}
+	if c, ok := st.aggCovers[n]; ok {
+		return o.graftNode(n, c, db, st, r)
 	}
 	for i, in := range n.Inputs {
 		n.Inputs[i] = o.rewrite(in, db, st, r)
@@ -238,11 +300,20 @@ func (o Options) channelNode(n *algebra.Node, m matchInfo, db *kadop.DB, r *Resu
 	replicas, hops, err := db.Replicas(o.From, m.ref)
 	r.Lookups++
 	r.Hops += hops
-	if err == nil && o.Choose != nil {
-		consumer := o.Consumer
-		if consumer == "" {
-			consumer = consumerPeer(n)
-		}
+	if err != nil {
+		// The original stream is always a valid provider, so a failed
+		// replica lookup degrades the choice rather than the rewrite —
+		// but it must not pass silently.
+		r.FailedLookups++
+	}
+	consumer := o.Consumer
+	if consumer == "" {
+		consumer = consumerPeer(n)
+	}
+	// Choosing needs a known consumer: for AnyPeer nodes (not yet
+	// placed) a distance-based chooser would score distance("", ·),
+	// which is meaningless — keep the original provider instead.
+	if err == nil && o.Choose != nil && consumer != "" {
 		provider = o.Choose(consumer, m.ref, replicas)
 		isReplica = provider != m.ref
 	}
@@ -256,6 +327,16 @@ func (o Options) channelNode(n *algebra.Node, m matchInfo, db *kadop.DB, r *Resu
 		Channel: provider,
 		Origin:  m.ref,
 	}
+}
+
+// allIn reports whether every node is matched.
+func allIn(matched map[*algebra.Node]matchInfo, nodes []*algebra.Node) bool {
+	for _, n := range nodes {
+		if _, ok := matched[n]; !ok {
+			return false
+		}
+	}
+	return true
 }
 
 // consumerPeer estimates where the substituted stream will be consumed:
@@ -276,6 +357,7 @@ func consumerPeer(n *algebra.Node) string {
 func PublishPlan(db *kadop.DB, plan *algebra.Node, nextID func(peer string) string) (map[*algebra.Node]stream.Ref, error) {
 	refs := make(map[*algebra.Node]stream.Ref)
 	sigs := make(map[*algebra.Node]string)
+	srcs := make(map[*algebra.Node][]string)
 	var err error
 	plan.Walk(func(n *algebra.Node) {
 		if err != nil {
@@ -287,15 +369,19 @@ func PublishPlan(db *kadop.DB, plan *algebra.Node, nextID func(peer string) stri
 		case algebra.OpChannelIn:
 			// Reused stream: identify by its original so descriptors of
 			// consumers reference originals, and adopt its published
-			// signature so streams built on top stay matchable.
+			// signature (and, for partial-aggregation streams, the source
+			// set it pre-merges) so streams built on top stay matchable.
 			orig := n.Origin
 			if orig == (stream.Ref{}) {
 				orig = n.Channel
 			}
 			refs[n] = orig
 			sigs[n] = "chan(" + orig.String() + ")"
-			if def, _, e := db.FindByRef("", orig); e == nil && def != nil && def.Signature != "" {
-				sigs[n] = def.Signature
+			if def, _, e := db.FindByRef("", orig); e == nil && def != nil {
+				if def.Signature != "" {
+					sigs[n] = def.Signature
+				}
+				srcs[n] = def.Sources
 			}
 			return
 		}
@@ -306,6 +392,12 @@ func PublishPlan(db *kadop.DB, plan *algebra.Node, nextID func(peer string) stri
 			childSigs[i] = sigs[in]
 		}
 		sigs[n] = n.SignatureWith(childSigs)
+		switch n.Op {
+		case algebra.OpPartialAgg:
+			srcs[n] = []string{sigs[n.Inputs[0]]}
+		case algebra.OpMergeAgg:
+			srcs[n] = mergedSources(n, srcs)
+		}
 		def := &kadop.StreamDef{
 			Ref:       ref,
 			IsChannel: true,
@@ -316,6 +408,25 @@ func PublishPlan(db *kadop.DB, plan *algebra.Node, nextID func(peer string) stri
 		if conds, ok := CanonConds(n); ok {
 			def.Conds = conds
 		}
+		switch {
+		case n.Op == algebra.OpPartialAgg || (n.Op == algebra.OpMergeAgg && !n.Group.Final):
+			// Partial-format emitters: indexed under the aggregate identity
+			// with the source set they pre-merge, so later subscriptions
+			// whose unions contain those sources graft them in.
+			if len(srcs[n]) > 0 {
+				def.Group = n.Group.Ident()
+				def.Sources = srcs[n]
+			}
+		case n.Op == algebra.OpMergeAgg && n.Group.Final:
+			// The Final root emits exactly the records a flat Group over
+			// the union of all sources would: publish it under that flat
+			// alias so later flat plans match tree-deployed work exactly,
+			// whatever the tree shape.
+			if ss := srcs[n]; len(ss) > 0 {
+				sigs[n] = algebra.FlatGroupSignature(n.Group, ss)
+				def.Signature = sigs[n]
+			}
+		}
 		for _, in := range n.Inputs {
 			def.Operands = append(def.Operands, refs[in])
 		}
@@ -324,6 +435,29 @@ func PublishPlan(db *kadop.DB, plan *algebra.Node, nextID func(peer string) stri
 		}
 	})
 	return refs, err
+}
+
+// mergedSources unions the source sets of a merge node's inputs, sorted
+// and deduplicated. Any input with an unknown source set poisons the
+// result (nil): a descriptor claiming a partial source set would let a
+// later graft drop branches silently.
+func mergedSources(n *algebra.Node, srcs map[*algebra.Node][]string) []string {
+	seen := make(map[string]bool)
+	var out []string
+	for _, in := range n.Inputs {
+		ss := srcs[in]
+		if len(ss) == 0 {
+			return nil
+		}
+		for _, s := range ss {
+			if !seen[s] {
+				seen[s] = true
+				out = append(out, s)
+			}
+		}
+	}
+	sort.Strings(out)
+	return out
 }
 
 func operatorName(n *algebra.Node) string {
@@ -342,6 +476,10 @@ func operatorName(n *algebra.Node) string {
 		return "Distinct"
 	case algebra.OpGroup:
 		return "Group"
+	case algebra.OpPartialAgg:
+		return "PartialAgg"
+	case algebra.OpMergeAgg:
+		return "MergeAgg"
 	case algebra.OpDynAlerter:
 		return "DynAlerter"
 	}

@@ -124,7 +124,12 @@ func (o Options) subsume(n *algebra.Node, childRef stream.Ref, db *kadop.DB, r *
 			if len(c.Conds) == 0 || !condsSubset(c.Conds, remaining) {
 				continue
 			}
-			if best == nil || len(c.Conds) > len(best.Conds) {
+			if best == nil || len(c.Conds) > len(best.Conds) ||
+				(len(c.Conds) == len(best.Conds) && c.Ref.String() < best.Ref.String()) {
+				// Widest cover first; equal covers tie-break on the stream
+				// reference so the choice does not depend on DB enumeration
+				// order (two managers resolving the same subscription must
+				// pick the same provider).
 				best = c
 			}
 		}

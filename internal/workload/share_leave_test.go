@@ -1,0 +1,51 @@
+package workload
+
+import (
+	"testing"
+	"time"
+)
+
+// Regression: a graceful leave migrates shared interiors while partials
+// are in flight. Before cross-task consumers were re-bound inside
+// redeployOperator (rather than a later sweep), the old instance's
+// teardown EOS could reach a grafted subscription's merge input first
+// and kill it permanently — whole source ranges vanished from every
+// window. The failure was timing-sensitive: it needed a loaded runtime
+// (here, a large prior run in the same process) to let the old
+// operator's goroutine win the race against the repair sweep.
+func TestShareLeaveUnderLoadKeepsSharedBranches(t *testing.T) {
+	if testing.Short() {
+		t.Skip("loaded-runtime churn run in -short mode")
+	}
+	pre := DefaultShare()
+	pre.Mode = "unshared"
+	pre.Sources = 12
+	pre.Workers = 6
+	pre.Subs = 250
+	pre.Events = 64
+	pre.Window = 24 * time.Second
+	runShare(t, pre)
+
+	cfg := DefaultShare()
+	cfg.Mode = "shared"
+	cfg.Sources = 12
+	cfg.Workers = 6
+	cfg.Subs = 48
+	cfg.Events = 64
+	cfg.Window = 24 * time.Second
+	cfg.LeaveEvery = 24
+	rep := runShare(t, cfg)
+	if rep.Leaves == 0 {
+		t.Fatalf("schedule injected no leaves")
+	}
+	if rep.ByteIdenticalSubs != rep.Subs {
+		t.Errorf("%d/%d subscriptions byte-identical after leaves (completeness %.3f)",
+			rep.ByteIdenticalSubs, rep.Subs, rep.Completeness())
+		for _, line := range rep.Mismatches {
+			t.Logf("mismatch: %s", line)
+		}
+		for _, line := range rep.Timeline {
+			t.Logf("timeline: %s", line)
+		}
+	}
+}
