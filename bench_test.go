@@ -18,6 +18,7 @@ import (
 	"p2pm/internal/peer"
 	"p2pm/internal/reuse"
 	"p2pm/internal/stream"
+	"p2pm/internal/wire"
 	"p2pm/internal/workload"
 	"p2pm/internal/xmltree"
 	"p2pm/internal/xpath"
@@ -746,6 +747,34 @@ func BenchmarkSketchMerge(b *testing.B) {
 					b.Fatal(err)
 				}
 				if err := acc.Merge(dec); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkWireEncodeDecode measures the PR 8 transport codec round
+// trip for the frames that dominate cluster traffic: a stream item, a
+// monoid partial, and a gossip probe with piggybacked updates. Every
+// message both backends ship pays exactly this path (the tcp backend
+// adds only the 4-byte length prefix), so a codec regression taxes all
+// inter-peer traffic at once.
+func BenchmarkWireEncodeDecode(b *testing.B) {
+	msgs := map[string]wire.Message{
+		"item":    &wire.Item{Stream: "s3@relay", Seq: 412, TimeNS: 9_500_000_000, XML: `<call id="7" method="Reserve" to="airline"/>`},
+		"partial": &wire.Partial{Fn: "avg", Window: 6, Key: "eu-west", Source: "n3", Count: 1800, State: "1800|45210"},
+		"probe": &wire.Probe{Seq: 12, Updates: []wire.GossipUpdate{
+			{Peer: "n4", Status: wire.StatusSuspect, Inc: 3},
+			{Peer: "n7", Status: wire.StatusAlive, Inc: 9},
+		}},
+	}
+	for _, name := range []string{"item", "partial", "probe"} {
+		b.Run(name, func(b *testing.B) {
+			m := msgs[name]
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				if _, err := wire.Decode(wire.Encode(m)); err != nil {
 					b.Fatal(err)
 				}
 			}

@@ -20,7 +20,16 @@
 //	p2pmon -scenario agg -agg tree -replay -crash-every 16 -leave-every 13       # aggregation under flap churn
 //	p2pmon -scenario share                                                       # multi-tenant aggregate sharing, shared vs unshared
 //	p2pmon -scenario share -subs 48 -leave-every 24                              # sharing under graceful-leave churn
+//	p2pmon -scenario net                                                         # transport cluster, in-process simnet backend
+//	p2pmon -scenario net -nodes 5 -windows 8 -agg-fn avg                         # bigger simnet cluster
+//	p2pmon -scenario net -listen 127.0.0.1:7101 -name n1 \
+//	       -peers n1=127.0.0.1:7101,n2=127.0.0.1:7102,n3=127.0.0.1:7103          # one real-TCP cluster process
 //	p2pmon -scenario meteo -sub custom.p2pml   # custom subscription text
+//
+// The net scenario prints only the root's window results on stdout
+// (status goes to stderr), so a multi-process TCP run is byte-
+// comparable to the single-process simnet run of the same scenario —
+// scripts/netsmoke.sh automates exactly that diff.
 package main
 
 import (
@@ -49,7 +58,7 @@ func main() {
 // to out (separated from main for testing).
 func run(args []string, out io.Writer) error {
 	fs := flag.NewFlagSet("p2pmon", flag.ContinueOnError)
-	scenario := fs.String("scenario", "meteo", "meteo | telecom | edos | rss | churn | agg | share")
+	scenario := fs.String("scenario", "meteo", "meteo | telecom | edos | rss | churn | agg | share | net")
 	subFile := fs.String("sub", "", "file with a custom P2PML subscription (overrides the scenario default)")
 	noReuse := fs.Bool("no-reuse", false, "disable stream reuse")
 	noPushdown := fs.Bool("no-pushdown", false, "disable selection pushdown")
@@ -67,6 +76,11 @@ func run(args []string, out io.Writer) error {
 	aggFn := fs.String("agg-fn", "", "agg scenario: aggregate function, count | sum | min | max | avg | set | distinct | freq (default count; see docs/AGGREGATION.md)")
 	users := fs.Int("users", 0, "agg scenario: distinct-value universe for value-consuming aggregate functions (0 = default 24)")
 	subs := fs.Int("subs", 0, "share scenario: number of overlapping subscriptions (0 = default 12)")
+	listen := fs.String("listen", "", "net scenario: TCP listen address — run ONE cluster node as this OS process (needs -name and -peers; see docs/TRANSPORT.md)")
+	name := fs.String("name", "", "net scenario: this node's peer name (with -listen)")
+	peersFlag := fs.String("peers", "", "net scenario: full cluster map name=host:port,... including self (with -listen)")
+	nodes := fs.Int("nodes", 0, "net scenario: cluster size for the in-process simnet backend (0 = default 3)")
+	windows := fs.Int("windows", 0, "net scenario: windows to aggregate (0 = default 5)")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -87,9 +101,14 @@ func run(args []string, out io.Writer) error {
 		"spread":         {"churn": true},
 		"agg":            {"agg": true},
 		"agg-degree":     {"agg": true},
-		"agg-fn":         {"agg": true},
-		"users":          {"agg": true},
+		"agg-fn":         {"agg": true, "net": true},
+		"users":          {"agg": true, "net": true},
 		"subs":           {"share": true},
+		"listen":         {"net": true},
+		"name":           {"net": true},
+		"peers":          {"net": true},
+		"nodes":          {"net": true},
+		"windows":        {"net": true},
 	}
 	var misused string
 	fs.Visit(func(f *flag.Flag) {
@@ -101,6 +120,14 @@ func run(args []string, out io.Writer) error {
 		return fmt.Errorf("p2pmon: -%s does not apply to the %s scenario", misused, *scenario)
 	}
 
+	if *scenario == "net" {
+		if *subFile != "" || *noReuse || *noPushdown {
+			return fmt.Errorf("p2pmon: -sub, -no-reuse and -no-pushdown are not supported by the net scenario")
+		}
+		cfg := netConfig{Fn: *aggFn, Users: *users, Windows: *windows, Nodes: *nodes,
+			Listen: *listen, Name: *name, Peers: *peersFlag}
+		return runNet(out, cfg)
+	}
 	if *scenario == "churn" || *scenario == "agg" || *scenario == "share" {
 		// The labs deploy fixed hand-placed plans: the P2PML and
 		// optimizer knobs do not apply.

@@ -1,0 +1,58 @@
+package kadop
+
+import (
+	"fmt"
+
+	"p2pm/internal/wire"
+	"p2pm/internal/xmltree"
+)
+
+// ServeWire is the DHT node's request handler for transport-carried
+// directory traffic: it applies one wire message against the stream
+// definition database and returns the response frame to send back, or
+// nil for one-way messages (puts and publishes are fire-and-forget,
+// exactly like their in-process counterparts). Requests the database
+// rejects produce a negative response where the protocol has one
+// (CkptResp/LookupResp with Found=false / no values) and an error the
+// caller may log; the transport itself never sees a panic.
+//
+//   - CkptPut     -> Ring.Set under the raw key (latest-wins), no reply
+//   - CkptGet     -> CkptResp with every surviving replica value
+//   - Publish     -> parse the StreamDef XML, index it, no reply
+//   - Lookup      -> LookupResp with the raw values under the index key
+//
+// Keys cross the wire verbatim — CheckpointKey and the kadop index-key
+// builders produce them on the client side, so the server stays a dumb
+// key/value servant, as in Kademlia.
+func ServeWire(db *DB, from string, m wire.Message) (wire.Message, error) {
+	switch t := m.(type) {
+	case *wire.CkptPut:
+		if t.Key == "" {
+			return nil, fmt.Errorf("kadop: checkpoint put without a key")
+		}
+		return nil, db.ring.Set(t.Key, t.Value)
+	case *wire.CkptGet:
+		vals, _, err := db.ring.Get(from, t.Key)
+		resp := &wire.CkptResp{ReqID: t.ReqID, Key: t.Key}
+		if err == nil && len(vals) > 0 {
+			resp.Found = true
+			resp.Values = vals
+		}
+		return resp, err
+	case *wire.Publish:
+		n, err := xmltree.Parse(t.Def)
+		if err != nil {
+			return nil, fmt.Errorf("kadop: publish carries corrupt XML: %w", err)
+		}
+		def, err := ParseDef(n)
+		if err != nil {
+			return nil, err
+		}
+		return nil, db.Publish(def)
+	case *wire.Lookup:
+		vals, _, err := db.ring.Get(from, t.Query)
+		return &wire.LookupResp{ReqID: t.ReqID, Values: vals}, err
+	default:
+		return nil, fmt.Errorf("kadop: unexpected wire message %s", m.Kind())
+	}
+}

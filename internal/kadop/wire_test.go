@@ -1,0 +1,86 @@
+package kadop
+
+import (
+	"testing"
+
+	"p2pm/internal/wire"
+)
+
+func TestServeWireCheckpointPutGet(t *testing.T) {
+	d := db(t, 5)
+	key := CheckpointKey("task-1", "s2@merge")
+	if resp, err := ServeWire(d, "peer-1", &wire.CkptPut{Key: key, Value: "<op v=\"1\"/>"}); err != nil || resp != nil {
+		t.Fatalf("put: resp=%v err=%v", resp, err)
+	}
+	// Latest wins, like PutCheckpoint.
+	if _, err := ServeWire(d, "peer-1", &wire.CkptPut{Key: key, Value: "<op v=\"2\"/>"}); err != nil {
+		t.Fatal(err)
+	}
+	resp, err := ServeWire(d, "peer-2", &wire.CkptGet{ReqID: 9, Key: key})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cr, ok := resp.(*wire.CkptResp)
+	if !ok || cr.ReqID != 9 || !cr.Found || len(cr.Values) == 0 {
+		t.Fatalf("get response %#v", resp)
+	}
+	if got := cr.Values[len(cr.Values)-1]; got != "<op v=\"2\"/>" {
+		t.Errorf("latest checkpoint = %q", got)
+	}
+	// And the DB-level read path agrees with the wire-level one.
+	if val, ok, err := d.Checkpoint("peer-3", "task-1", "s2@merge"); err != nil || !ok || val != "<op v=\"2\"/>" {
+		t.Errorf("Checkpoint() = %q %v %v", val, ok, err)
+	}
+}
+
+func TestServeWireCheckpointMiss(t *testing.T) {
+	d := db(t, 3)
+	resp, err := ServeWire(d, "peer-0", &wire.CkptGet{ReqID: 1, Key: CheckpointKey("t", "none")})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cr := resp.(*wire.CkptResp); cr.Found || len(cr.Values) != 0 {
+		t.Errorf("miss response %#v", cr)
+	}
+	if _, err := ServeWire(d, "peer-0", &wire.CkptPut{Value: "x"}); err == nil {
+		t.Error("keyless put accepted")
+	}
+}
+
+func TestServeWirePublishLookup(t *testing.T) {
+	d := db(t, 5)
+	def := alerterDef("s1@p1", "inCOM")
+	if resp, err := ServeWire(d, "peer-1", &wire.Publish{Def: def.ToXML().String()}); err != nil || resp != nil {
+		t.Fatalf("publish: resp=%v err=%v", resp, err)
+	}
+	if d.Defs() != 1 {
+		t.Fatalf("defs = %d, want 1", d.Defs())
+	}
+	// Wire-level lookup under the same index key the client builders
+	// produce.
+	resp, err := ServeWire(d, "peer-2", &wire.Lookup{ReqID: 4, Query: alerterKey("p1", "inCOM")})
+	if err != nil {
+		t.Fatal(err)
+	}
+	lr, ok := resp.(*wire.LookupResp)
+	if !ok || lr.ReqID != 4 || len(lr.Values) != 1 {
+		t.Fatalf("lookup response %#v", resp)
+	}
+	// The in-process query path sees the published descriptor too.
+	if defs, _, err := d.FindAlerters("peer-3", "p1", "inCOM"); err != nil || len(defs) != 1 {
+		t.Errorf("FindAlerters after wire publish: %v %v", defs, err)
+	}
+}
+
+func TestServeWireRejectsBadInput(t *testing.T) {
+	d := db(t, 3)
+	if _, err := ServeWire(d, "p", &wire.Publish{Def: "<not-closed"}); err == nil {
+		t.Error("corrupt publish XML accepted")
+	}
+	if _, err := ServeWire(d, "p", &wire.Publish{Def: "<Stream/>"}); err == nil {
+		t.Error("publish without stream identity accepted")
+	}
+	if _, err := ServeWire(d, "p", &wire.Probe{Seq: 1}); err == nil {
+		t.Error("non-directory message accepted")
+	}
+}

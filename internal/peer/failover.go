@@ -213,7 +213,7 @@ func (s *System) LeavePeer(name string) ([]FailoverEvent, error) {
 		det.Leave(name)
 	}
 	if tgt := s.leastLoadedLive(name); tgt != "" {
-		s.Net.CountTransfer(name, tgt, ctrlMsgBytes)
+		s.link.CountTransfer(name, tgt, ctrlMsgBytes)
 	}
 	// Graceful ring departure: the leaver's stored copies migrate to the
 	// new owners (unlike Fail, where they die with it).
@@ -338,7 +338,7 @@ func (s *System) rehomeTask(old *Peer, t *Task, newMgr string, at time.Duration)
 	// nothing can flow to or from it); the fetch is accounted like any
 	// other repair control message.
 	if owner, err := s.Ring.Owner(t.ID); err == nil {
-		s.Net.CountTransfer(owner, newMgr, ctrlMsgBytes)
+		s.link.CountTransfer(owner, newMgr, ctrlMsgBytes)
 	}
 	return FailoverEvent{TaskID: t.ID, Operator: "manager", From: old.name, To: newMgr, At: at}
 }
@@ -435,7 +435,7 @@ func (s *System) repairStaleChannelIns(at time.Duration) []FailoverEvent {
 				for _, b := range t.bindings {
 					if b.child == n {
 						p.rebind(t, b, repl)
-						s.Net.CountTransfer(b.consumerPeer, repl.Ref().PeerID, ctrlMsgBytes)
+						s.link.CountTransfer(b.consumerPeer, repl.Ref().PeerID, ctrlMsgBytes)
 					}
 				}
 				n.Channel = repl.Ref()
@@ -661,7 +661,7 @@ func (p *Peer) redeployOperator(t *Task, n *algebra.Node, dead string, at time.D
 				if b.child != nil && b.child.Op == algebra.OpChannelIn && b.child.Channel == oldRef {
 					b.child.Channel = out.Ref()
 				}
-				s.Net.CountTransfer(b.consumerPeer, newPeer, ctrlMsgBytes)
+				s.link.CountTransfer(b.consumerPeer, newPeer, ctrlMsgBytes)
 			}
 		}
 	}
@@ -736,7 +736,7 @@ func (p *Peer) redeployOperator(t *Task, n *algebra.Node, dead string, at time.D
 	if oldRef != origRef {
 		s.DB.PublishReplica(oldRef, out.Ref()) //nolint:errcheck // same ring
 	}
-	s.Net.CountTransfer(t.Manager, newPeer, ctrlMsgBytes)
+	s.link.CountTransfer(t.Manager, newPeer, ctrlMsgBytes)
 
 	return FailoverEvent{
 		TaskID: t.ID, Operator: n.Label(), From: dead, To: newPeer,
@@ -834,7 +834,7 @@ func (p *Peer) redeployPublisher(t *Task, n *algebra.Node, dead string, at time.
 		s.markStale(oldNamed.Ref(), named.Ref())
 		s.DB.PublishReplica(oldNamed.Ref(), named.Ref()) //nolint:errcheck // ring is non-empty here
 	}
-	s.Net.CountTransfer(t.Manager, newPeer, ctrlMsgBytes)
+	s.link.CountTransfer(t.Manager, newPeer, ctrlMsgBytes)
 	return FailoverEvent{
 		TaskID: t.ID, Operator: n.Label(), From: dead, To: newPeer, At: at,
 	}, nil
@@ -909,7 +909,7 @@ func (p *Peer) redeployDynAlerter(t *Task, n *algebra.Node, dead string, at time
 	if oldRef != origRef {
 		s.DB.PublishReplica(oldRef, out.Ref()) //nolint:errcheck // same ring
 	}
-	s.Net.CountTransfer(t.Manager, newPeer, ctrlMsgBytes)
+	s.link.CountTransfer(t.Manager, newPeer, ctrlMsgBytes)
 	return FailoverEvent{
 		TaskID: t.ID, Operator: n.Label(), From: dead, To: newPeer, At: at,
 	}, nil
@@ -939,7 +939,7 @@ func (p *Peer) repairChannelIns(t *Task, dead string, at time.Duration) []Failov
 		for _, b := range t.bindings {
 			if b.child == n {
 				p.rebind(t, b, repl)
-				p.sys.Net.CountTransfer(b.consumerPeer, repl.Ref().PeerID, ctrlMsgBytes)
+				p.sys.link.CountTransfer(b.consumerPeer, repl.Ref().PeerID, ctrlMsgBytes)
 			}
 		}
 		n.Channel = repl.Ref()

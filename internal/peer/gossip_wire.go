@@ -1,0 +1,64 @@
+package peer
+
+import (
+	"p2pm/internal/wire"
+)
+
+// Wire glue for the SWIM detector: gossipUpdate is the in-memory
+// piggyback record (with its epidemic budget), wire.GossipUpdate is
+// what crosses a Transport. The mapping drops the budget — remaining
+// transmissions are a local dissemination concern, never a protocol
+// fact — and pins the status enums to the wire constants so the two
+// can evolve independently without silently renumbering each other.
+
+// toWireStatus maps a SWIM member state to its wire constant.
+func toWireStatus(s gossipStatus) wire.Status {
+	switch s {
+	case gossipAlive:
+		return wire.StatusAlive
+	case gossipSuspect:
+		return wire.StatusSuspect
+	default:
+		return wire.StatusDead
+	}
+}
+
+// fromWireStatus maps a wire status back; StatusLeft (a voluntary
+// departure, which this detector does not model separately) arrives as
+// dead, matching how the membership layer treats departed peers.
+func fromWireStatus(s wire.Status) gossipStatus {
+	switch s {
+	case wire.StatusAlive:
+		return gossipAlive
+	case wire.StatusSuspect:
+		return gossipSuspect
+	default:
+		return gossipDead
+	}
+}
+
+// toWireUpdates renders piggybacked updates for a probe/ack frame.
+func toWireUpdates(ups []gossipUpdate) []wire.GossipUpdate {
+	if len(ups) == 0 {
+		return nil
+	}
+	out := make([]wire.GossipUpdate, len(ups))
+	for i, u := range ups {
+		out[i] = wire.GossipUpdate{Peer: u.peer, Status: toWireStatus(u.status), Inc: u.inc}
+	}
+	return out
+}
+
+// fromWireUpdates parses received piggybacks into local updates with a
+// fresh epidemic budget (the receiver re-disseminates on its own
+// schedule, exactly as SWIM's infection-style dissemination requires).
+func fromWireUpdates(ups []wire.GossipUpdate, budget int) []gossipUpdate {
+	if len(ups) == 0 {
+		return nil
+	}
+	out := make([]gossipUpdate, len(ups))
+	for i, u := range ups {
+		out[i] = gossipUpdate{peer: u.Peer, status: fromWireStatus(u.Status), inc: u.Inc, left: budget}
+	}
+	return out
+}

@@ -1,0 +1,57 @@
+package peer
+
+import (
+	"reflect"
+	"testing"
+
+	"p2pm/internal/wire"
+)
+
+func TestGossipStatusWireMapping(t *testing.T) {
+	// Every local state round-trips through the wire constants.
+	for _, s := range []gossipStatus{gossipAlive, gossipSuspect, gossipDead} {
+		if got := fromWireStatus(toWireStatus(s)); got != s {
+			t.Errorf("status %v round-tripped to %v", s, got)
+		}
+	}
+	// StatusLeft degrades to dead locally — a departed peer is gone.
+	if got := fromWireStatus(wire.StatusLeft); got != gossipDead {
+		t.Errorf("StatusLeft mapped to %v, want dead", got)
+	}
+	// The wire numbers are protocol, not implementation: pin them.
+	if toWireStatus(gossipAlive) != 0 || toWireStatus(gossipSuspect) != 1 || toWireStatus(gossipDead) != 2 {
+		t.Error("wire status renumbered — breaks cross-version clusters")
+	}
+}
+
+func TestGossipUpdatesWireRoundTrip(t *testing.T) {
+	local := []gossipUpdate{
+		{peer: "n1", status: gossipAlive, inc: 4, left: 3},
+		{peer: "n2", status: gossipSuspect, inc: 7, left: 1},
+	}
+	w := toWireUpdates(local)
+	want := []wire.GossipUpdate{
+		{Peer: "n1", Status: wire.StatusAlive, Inc: 4},
+		{Peer: "n2", Status: wire.StatusSuspect, Inc: 7},
+	}
+	if !reflect.DeepEqual(w, want) {
+		t.Fatalf("toWireUpdates = %#v, want %#v", w, want)
+	}
+	// Survive an actual encode/decode inside a probe frame.
+	m, err := wire.Decode(wire.Encode(&wire.Probe{Seq: 1, Updates: w}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	back := fromWireUpdates(m.(*wire.Probe).Updates, 5)
+	for i, u := range back {
+		if u.peer != local[i].peer || u.status != local[i].status || u.inc != local[i].inc {
+			t.Errorf("update %d = %+v, want fields of %+v", i, u, local[i])
+		}
+		if u.left != 5 {
+			t.Errorf("update %d budget = %d, want the receiver-side 5 (not the sender's)", i, u.left)
+		}
+	}
+	if toWireUpdates(nil) != nil || fromWireUpdates(nil, 3) != nil {
+		t.Error("empty piggyback should stay nil")
+	}
+}

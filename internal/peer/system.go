@@ -19,6 +19,7 @@ import (
 	"p2pm/internal/simnet"
 	"p2pm/internal/soap"
 	"p2pm/internal/stream"
+	"p2pm/internal/transport"
 	"p2pm/internal/xmltree"
 )
 
@@ -102,8 +103,14 @@ func DefaultOptions() Options {
 // KadoP stream-definition database over its DHT, and the channel
 // registry stitching deployed plan fragments together.
 type System struct {
-	opts   Options
-	Net    *simnet.Network
+	opts Options
+	Net  *simnet.Network
+	// link is the fault-aware delivery seam every data-plane transfer
+	// goes through (transport.Link). It is the same object as Net — the
+	// simulated network satisfies the interface — but call sites that
+	// move items or account bytes use this narrow surface, keeping the
+	// operator data plane portable to other transport substrates.
+	link   transport.Link
 	Fabric *soap.Fabric
 	Ring   *dht.Ring
 	DB     *kadop.DB
@@ -171,6 +178,7 @@ func NewSystem(opts Options) *System {
 	return &System{
 		opts:     opts,
 		Net:      nw,
+		link:     nw,
 		Fabric:   soap.NewFabric(nw),
 		Ring:     ring,
 		DB:       kadop.New(ring),
@@ -273,7 +281,7 @@ func (s *System) JoinPeer(name, seed string) (*Peer, error) {
 		// message on the joiner→seed link. (Gossip mode accounted the
 		// contact and bootstrap transfer inside Join — don't double-
 		// charge the same link.)
-		s.Net.CountTransfer(name, seed, ctrlMsgBytes)
+		s.link.CountTransfer(name, seed, ctrlMsgBytes)
 	}
 	if s.opts.AggDegree > 1 {
 		// The ring just changed: aggregation-tree interiors whose
@@ -462,7 +470,7 @@ func (s *System) SubscribeChannel(ref stream.Ref, consumerPeer string) (*stream.
 	}
 	var deliver func(stream.Item, *stream.Queue)
 	if ref.PeerID != consumerPeer {
-		deliver = s.Net.DeliverHook(ref.PeerID, consumerPeer)
+		deliver = s.link.DeliverHook(ref.PeerID, consumerPeer)
 	}
 	return ch.Subscribe(consumerPeer, deliver), nil
 }
@@ -511,7 +519,7 @@ func (s *System) AnnounceReplica(orig stream.Ref, consumerPeer string) (stream.R
 				f.cur.Terminate(it)
 				return
 			}
-			if out, ok := s.Net.Deliver(orig.PeerID, consumerPeer, it); ok {
+			if out, ok := s.link.Deliver(orig.PeerID, consumerPeer, it); ok {
 				f.cur.Offer(out)
 			}
 		})
@@ -522,7 +530,7 @@ func (s *System) AnnounceReplica(orig stream.Ref, consumerPeer string) (stream.R
 				rep.Close()
 				return
 			}
-			if out, ok := s.Net.Deliver(orig.PeerID, consumerPeer, it); ok {
+			if out, ok := s.link.Deliver(orig.PeerID, consumerPeer, it); ok {
 				rep.Publish(out)
 			}
 		})

@@ -242,6 +242,22 @@ func (nw *Network) Deliver(from, to string, it stream.Item) (stream.Item, bool) 
 	return nw.Send(from, to, it), true
 }
 
+// DeliverPayload ships an opaque control-plane payload of the given
+// wire size across the from→to link under the fault model, returning
+// whether it arrived. This is the delivery primitive behind the simnet
+// transport backend (internal/transport): gossip probes, checkpoint
+// traffic and partial-aggregation states all cross links through it,
+// so they obey the same crash/partition/loss faults and land in the
+// same per-link byte accounting as stream items do.
+func (nw *Network) DeliverPayload(from, to string, bytes int) bool {
+	if from != to && (!nw.Reachable(from, to) || nw.lose(from, to)) {
+		nw.countDropped(from, to)
+		return false
+	}
+	nw.CountTransfer(from, to, bytes)
+	return true
+}
+
 // DeliverHook returns a stream.Channel delivery hook that routes items
 // across the from→to link with accounting, latency stamping and fault
 // injection: messages lost to crashes, partitions or injected drop

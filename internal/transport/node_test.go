@@ -1,0 +1,191 @@
+package transport
+
+import (
+	"strings"
+	"testing"
+	"time"
+
+	"p2pm/internal/simnet"
+)
+
+// startCluster runs one Node per peer over the given endpoints and
+// returns them keyed by name.
+func startCluster(t *testing.T, peers []string, cfg NodeConfig, eps map[string]Transport) map[string]*Node {
+	t.Helper()
+	nodes := make(map[string]*Node, len(peers))
+	for _, p := range peers {
+		c := cfg
+		c.Self = p
+		c.Peers = peers
+		n, err := NewNode(c, eps[p])
+		if err != nil {
+			t.Fatal(err)
+		}
+		nodes[p] = n
+	}
+	for _, n := range nodes {
+		n.Start()
+	}
+	t.Cleanup(func() {
+		for _, n := range nodes {
+			n.Stop()
+		}
+	})
+	return nodes
+}
+
+func simCluster(t *testing.T, peers []string, cfg NodeConfig) (map[string]*Node, *SimNet) {
+	t.Helper()
+	sn := NewSimNet(simnet.New(simnet.Options{Seed: 7}))
+	eps := make(map[string]Transport, len(peers))
+	for _, p := range peers {
+		eps[p] = sn.Endpoint(p)
+	}
+	return startCluster(t, peers, cfg, eps), sn
+}
+
+func tcpCluster(t *testing.T, peers []string, cfg NodeConfig, opts TCPOptions) map[string]*Node {
+	t.Helper()
+	tps := make(map[string]*TCP, len(peers))
+	for _, p := range peers {
+		tp, err := ListenTCP(p, "127.0.0.1:0", opts)
+		if err != nil {
+			t.Fatal(err)
+		}
+		tps[p] = tp
+		t.Cleanup(func() { tp.Close() })
+	}
+	for _, p := range peers {
+		for _, q := range peers {
+			if p != q {
+				tps[p].AddPeer(q, tps[q].Addr())
+			}
+		}
+	}
+	eps := make(map[string]Transport, len(peers))
+	for p, tp := range tps {
+		eps[p] = tp
+	}
+	return startCluster(t, peers, cfg, eps)
+}
+
+func waitCluster(t *testing.T, nodes map[string]*Node, d time.Duration) {
+	t.Helper()
+	for name, n := range nodes {
+		if err := n.Wait(d); err != nil {
+			t.Fatalf("node %s: %v", name, err)
+		}
+	}
+}
+
+func TestNodeClusterOverSimNet(t *testing.T) {
+	peers := []string{"n1", "n2", "n3"}
+	cfg := NodeConfig{Windows: 4, EventsPerWindow: 8, ResendEvery: 20 * time.Millisecond, HeartbeatEvery: 25 * time.Millisecond}
+	nodes, _ := simCluster(t, peers, cfg)
+	waitCluster(t, nodes, 10*time.Second)
+
+	root := nodes["n1"]
+	if !root.IsRoot() {
+		t.Fatal("n1 should be the root (lexically smallest)")
+	}
+	lines := root.Results()
+	if len(lines) != 4 {
+		t.Fatalf("root emitted %d windows, want 4: %v", len(lines), lines)
+	}
+	// count over 2 sources x 8 events = 16 per window, every window.
+	for w, l := range lines {
+		want := "window=" + string(rune('0'+w)) + " fn=count count=16 events=16 sources=2"
+		if l != want {
+			t.Errorf("window %d line = %q, want %q", w, l, want)
+		}
+	}
+	// The mirror (n2) holds one checkpoint per completed window.
+	if cks := nodes["n2"].MirrorCkpts(); len(cks) != 4 {
+		t.Errorf("mirror checkpoints = %v, want 4", cks)
+	}
+	// Both sources announced their partial stream to the root.
+	defs := root.PublishedDefs()
+	if len(defs) != 2 || !strings.HasPrefix(defs[0], "n2=<Stream") || !strings.HasPrefix(defs[1], "n3=<Stream") {
+		t.Errorf("published defs = %v", defs)
+	}
+	// Heartbeats reach the root from both sources (the aggregation can
+	// finish before the first probe tick, so poll).
+	deadline := time.Now().Add(5 * time.Second)
+	for root.AlivePeers() < 2 && time.Now().Before(deadline) {
+		time.Sleep(10 * time.Millisecond)
+	}
+	if alive := root.AlivePeers(); alive < 2 {
+		t.Errorf("root heard %d live peers, want >= 2", alive)
+	}
+}
+
+func TestNodeValueAggregatesOverSimNet(t *testing.T) {
+	// Aggregates that consume values must also complete and agree with
+	// a direct local fold of the same deterministic input.
+	for _, fn := range []string{"sum", "min", "max", "avg", "distinct"} {
+		t.Run(fn, func(t *testing.T) {
+			peers := []string{"a", "b", "c"}
+			cfg := NodeConfig{Fn: fn, Windows: 3, EventsPerWindow: 6, ResendEvery: 20 * time.Millisecond}
+			nodes, _ := simCluster(t, peers, cfg)
+			waitCluster(t, nodes, 10*time.Second)
+			lines := nodes["a"].Results()
+			if len(lines) != 3 {
+				t.Fatalf("%s: emitted %v", fn, lines)
+			}
+			for _, l := range lines {
+				if !strings.Contains(l, "fn="+fn) || !strings.Contains(l, "events=12") {
+					t.Errorf("%s: line %q", fn, l)
+				}
+			}
+		})
+	}
+}
+
+func TestNodeExactlyOnceUnderSimnetLoss(t *testing.T) {
+	// 40% loss on every link: resend-until-ack must still complete all
+	// windows, and the dedup must have absorbed the retries without
+	// inflating any count.
+	peers := []string{"n1", "n2", "n3"}
+	cfg := NodeConfig{Windows: 5, EventsPerWindow: 8, ResendEvery: 10 * time.Millisecond, HeartbeatEvery: 15 * time.Millisecond}
+	sn := NewSimNet(simnet.New(simnet.Options{Seed: 11}))
+	nw := sn.Net()
+	eps := make(map[string]Transport, len(peers))
+	for _, p := range peers {
+		eps[p] = sn.Endpoint(p)
+	}
+	for _, p := range peers {
+		for _, q := range peers {
+			if p != q {
+				nw.SetDrop(p, q, 0.4)
+			}
+		}
+	}
+	nodes := startCluster(t, peers, cfg, eps)
+	waitCluster(t, nodes, 30*time.Second)
+	lines := nodes["n1"].Results()
+	if len(lines) != 5 {
+		t.Fatalf("emitted %d windows under loss, want 5", len(lines))
+	}
+	for _, l := range lines {
+		if !strings.Contains(l, "count=16") {
+			t.Errorf("lossy run inflated or deflated a window: %q", l)
+		}
+	}
+	if nodes["n1"].Dupes() == 0 {
+		t.Error("40%% loss with resend produced zero duplicates — dedup untested")
+	}
+}
+
+func TestNodeRejectsBadConfig(t *testing.T) {
+	sn := NewSimNet(simnet.New(simnet.Options{Seed: 1}))
+	ep := sn.Endpoint("a")
+	if _, err := NewNode(NodeConfig{Self: "a", Peers: []string{"a"}}, ep); err == nil {
+		t.Error("single-peer cluster should be rejected")
+	}
+	if _, err := NewNode(NodeConfig{Self: "z", Peers: []string{"a", "b"}}, ep); err == nil {
+		t.Error("self outside the cluster should be rejected")
+	}
+	if _, err := NewNode(NodeConfig{Self: "a", Peers: []string{"a", "b"}, Fn: "median"}, ep); err == nil {
+		t.Error("unknown aggregate should be rejected")
+	}
+}

@@ -1,0 +1,476 @@
+package transport
+
+import (
+	"encoding/binary"
+	"fmt"
+	"io"
+	"net"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"p2pm/internal/wire"
+)
+
+// TCPOptions tune the socket backend. The zero value takes every
+// default; see docs/TRANSPORT.md for the tuning table.
+type TCPOptions struct {
+	// Cluster names the deployment. Both ends of a connection must
+	// agree (the Hello handshake enforces it) so two clusters sharing
+	// a host list cannot silently cross-feed. Default "p2pm".
+	Cluster string
+	// DialTimeout bounds one outbound connection attempt. Default 2s.
+	DialTimeout time.Duration
+	// ReadTimeout is the per-frame read deadline on inbound
+	// connections: a link idle longer than this is closed and the
+	// sender reconnects. Keep it above the protocol's heartbeat
+	// period. Default 30s.
+	ReadTimeout time.Duration
+	// WriteTimeout bounds one frame write. Default 5s.
+	WriteTimeout time.Duration
+	// BackoffMin/BackoffMax bound the exponential reconnect backoff
+	// after a failed dial or a broken connection. Defaults 50ms / 2s.
+	BackoffMin time.Duration
+	BackoffMax time.Duration
+	// QueueDepth is the per-peer outbound queue capacity, in
+	// messages. A full queue drops the newest message into
+	// Stats().Dropped — the transport never blocks the caller on a
+	// dead peer; resend-until-ack above recovers. Default 512.
+	QueueDepth int
+	// MaxFrame bounds one frame's payload; an inbound length header
+	// beyond it closes the connection (framing is assumed lost).
+	// Default 4 MiB.
+	MaxFrame int
+}
+
+func (o TCPOptions) withDefaults() TCPOptions {
+	if o.Cluster == "" {
+		o.Cluster = "p2pm"
+	}
+	if o.DialTimeout <= 0 {
+		o.DialTimeout = 2 * time.Second
+	}
+	if o.ReadTimeout <= 0 {
+		o.ReadTimeout = 30 * time.Second
+	}
+	if o.WriteTimeout <= 0 {
+		o.WriteTimeout = 5 * time.Second
+	}
+	if o.BackoffMin <= 0 {
+		o.BackoffMin = 50 * time.Millisecond
+	}
+	if o.BackoffMax <= 0 {
+		o.BackoffMax = 2 * time.Second
+	}
+	if o.QueueDepth <= 0 {
+		o.QueueDepth = 512
+	}
+	if o.MaxFrame <= 0 {
+		o.MaxFrame = 4 << 20
+	}
+	return o
+}
+
+// TCP is the socket transport backend: wire messages in length-
+// prefixed frames (uint32 big-endian payload length, then the message
+// bytes) over one pooled outbound connection per peer. Each peer link
+// has its own outbound queue drained by a writer goroutine that dials
+// lazily, re-dials with exponential backoff when the peer is away, and
+// requeues the frame it was carrying when a write fails — so a
+// connection reset loses at most nothing from the queue, and ordering
+// within the link is preserved. Inbound connections authenticate with
+// a Hello frame naming the dialing peer, then stream frames to the
+// handler on the connection's read goroutine.
+type TCP struct {
+	self string
+	opts TCPOptions
+	ln   net.Listener
+
+	handler atomic.Pointer[Handler]
+
+	mu     sync.Mutex
+	peers  map[string]*tcpPeer
+	conns  map[net.Conn]struct{} // live inbound conns (for DropConnections/Close)
+	closed bool
+	done   chan struct{} // closed by Close; wakes writers out of queue waits and backoff sleeps
+
+	wg sync.WaitGroup
+
+	sent, sentBytes, recv, recvBytes, dropped, reconnects atomic.Uint64
+	decode                                                wire.Stats
+}
+
+// tcpPeer is one outbound link: address, queue, and the writer's
+// current connection.
+type tcpPeer struct {
+	name string
+	addr string
+	q    chan []byte
+
+	mu   sync.Mutex
+	conn net.Conn
+}
+
+var _ Transport = (*TCP)(nil)
+
+// ListenTCP opens the endpoint: it binds addr for inbound connections
+// and returns immediately; outbound links appear via AddPeer.
+func ListenTCP(self, addr string, opts TCPOptions) (*TCP, error) {
+	if self == "" {
+		return nil, fmt.Errorf("transport: tcp endpoint needs a peer name")
+	}
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("transport: listen %s: %w", addr, err)
+	}
+	t := &TCP{
+		self:  self,
+		opts:  opts.withDefaults(),
+		ln:    ln,
+		peers: make(map[string]*tcpPeer),
+		conns: make(map[net.Conn]struct{}),
+		done:  make(chan struct{}),
+	}
+	t.wg.Add(1)
+	go t.acceptLoop()
+	return t, nil
+}
+
+// Addr returns the bound listen address (useful with ":0").
+func (t *TCP) Addr() string { return t.ln.Addr().String() }
+
+// Self returns the endpoint's peer name.
+func (t *TCP) Self() string { return t.self }
+
+// Handle installs the delivery handler.
+func (t *TCP) Handle(h Handler) { t.handler.Store(&h) }
+
+// AddPeer registers a named peer's dial address and starts its
+// outbound writer. Re-adding an existing peer updates nothing.
+func (t *TCP) AddPeer(name, addr string) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if t.closed || name == t.self {
+		return
+	}
+	if _, ok := t.peers[name]; ok {
+		return
+	}
+	p := &tcpPeer{name: name, addr: addr, q: make(chan []byte, t.opts.QueueDepth)}
+	t.peers[name] = p
+	t.wg.Add(1)
+	go t.writeLoop(p)
+}
+
+// Peers lists the registered outbound peers, sorted.
+func (t *TCP) Peers() []string {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	names := make([]string, 0, len(t.peers))
+	for n := range t.peers {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	return names
+}
+
+// Send enqueues one message on the peer's outbound queue. It never
+// blocks on the network: a full queue (peer dead longer than the
+// queue absorbs) drops the message into Stats().Dropped.
+func (t *TCP) Send(to string, m wire.Message) error {
+	t.mu.Lock()
+	p := t.peers[to]
+	closed := t.closed
+	t.mu.Unlock()
+	if closed {
+		return fmt.Errorf("transport: endpoint %s is closed", t.self)
+	}
+	if p == nil {
+		return fmt.Errorf("transport: unknown peer %q", to)
+	}
+	b := wire.Encode(m)
+	select {
+	case p.q <- b:
+		t.sent.Add(1)
+		t.sentBytes.Add(uint64(len(b)))
+	default:
+		t.dropped.Add(1)
+	}
+	return nil
+}
+
+// Stats snapshots the endpoint's counters.
+func (t *TCP) Stats() Stats {
+	return Stats{
+		Sent:          t.sent.Load(),
+		SentBytes:     t.sentBytes.Load(),
+		Received:      t.recv.Load(),
+		ReceivedBytes: t.recvBytes.Load(),
+		Dropped:       t.dropped.Load(),
+		Reconnects:    t.reconnects.Load(),
+	}
+}
+
+// DropConnections force-closes every live connection, inbound and
+// outbound, without closing the endpoint: writers re-dial with
+// backoff, readers end, queued messages stay queued. The backend-
+// equivalence churn tests use it as the socket analogue of a link
+// fault.
+func (t *TCP) DropConnections() {
+	t.mu.Lock()
+	conns := make([]net.Conn, 0, len(t.conns))
+	for c := range t.conns {
+		conns = append(conns, c)
+	}
+	peers := make([]*tcpPeer, 0, len(t.peers))
+	for _, p := range t.peers {
+		peers = append(peers, p)
+	}
+	t.mu.Unlock()
+	for _, c := range conns {
+		c.Close()
+	}
+	for _, p := range peers {
+		p.mu.Lock()
+		if p.conn != nil {
+			p.conn.Close()
+			p.conn = nil
+		}
+		p.mu.Unlock()
+	}
+}
+
+// Close shuts the endpoint down: the listener stops, all connections
+// close, the writer goroutines end. Queued-but-unsent messages are
+// counted dropped.
+func (t *TCP) Close() error {
+	t.mu.Lock()
+	if t.closed {
+		t.mu.Unlock()
+		return nil
+	}
+	t.closed = true
+	peers := make([]*tcpPeer, 0, len(t.peers))
+	for _, p := range t.peers {
+		peers = append(peers, p)
+	}
+	conns := make([]net.Conn, 0, len(t.conns))
+	for c := range t.conns {
+		conns = append(conns, c)
+	}
+	t.mu.Unlock()
+	// The queue channels are never closed: a Send that read closed=false
+	// just before this point may still be enqueueing, and closing under
+	// it would be a send-on-closed-channel panic. Writers exit via done.
+	close(t.done)
+	t.ln.Close()
+	for _, p := range peers {
+		p.mu.Lock()
+		if p.conn != nil {
+			p.conn.Close()
+			p.conn = nil
+		}
+		p.mu.Unlock()
+	}
+	for _, c := range conns {
+		c.Close()
+	}
+	t.wg.Wait()
+	return nil
+}
+
+func (t *TCP) isClosed() bool {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.closed
+}
+
+// ---------------------------------------------------------------------
+// Outbound
+
+// writeLoop drains one peer's queue: dial (with backoff) when no
+// connection is up, write the frame, and on a write error reconnect
+// and retry the same frame so the link never loses what it already
+// dequeued.
+func (t *TCP) writeLoop(p *tcpPeer) {
+	defer t.wg.Done()
+	backoff := t.opts.BackoffMin
+	for {
+		var b []byte
+		select {
+		case <-t.done:
+			// Count whatever is still queued as dropped, then exit.
+			for {
+				select {
+				case <-p.q:
+					t.dropped.Add(1)
+				default:
+					return
+				}
+			}
+		case b = <-p.q:
+		}
+		for {
+			conn, fresh := t.ensureConn(p)
+			if conn == nil {
+				if t.isClosed() {
+					t.dropped.Add(1)
+					break
+				}
+				select {
+				case <-t.done:
+					// Loop around: ensureConn now fails and the
+					// isClosed branch above drops this frame.
+				case <-time.After(backoff):
+				}
+				backoff *= 2
+				if backoff > t.opts.BackoffMax {
+					backoff = t.opts.BackoffMax
+				}
+				continue
+			}
+			if fresh {
+				backoff = t.opts.BackoffMin
+			}
+			if err := t.writeFrame(conn, b); err != nil {
+				p.mu.Lock()
+				if p.conn == conn {
+					p.conn = nil
+				}
+				p.mu.Unlock()
+				conn.Close()
+				continue // retry the same frame on a fresh connection
+			}
+			break
+		}
+	}
+}
+
+// ensureConn returns the peer's live connection, dialing one (and
+// sending the Hello handshake) if needed. fresh reports a new dial.
+func (t *TCP) ensureConn(p *tcpPeer) (net.Conn, bool) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if p.conn != nil {
+		return p.conn, false
+	}
+	if t.isClosed() {
+		return nil, false
+	}
+	conn, err := net.DialTimeout("tcp", p.addr, t.opts.DialTimeout)
+	if err != nil {
+		return nil, false
+	}
+	hello := wire.Encode(&wire.Hello{Peer: t.self, Proto: wire.ProtoVersion, Cluster: t.opts.Cluster})
+	if err := t.writeFrame(conn, hello); err != nil {
+		conn.Close()
+		return nil, false
+	}
+	p.conn = conn
+	t.reconnects.Add(1)
+	return conn, true
+}
+
+// writeFrame writes one length-prefixed frame under the write
+// deadline.
+func (t *TCP) writeFrame(conn net.Conn, b []byte) error {
+	if err := conn.SetWriteDeadline(time.Now().Add(t.opts.WriteTimeout)); err != nil {
+		return err
+	}
+	var hdr [4]byte
+	binary.BigEndian.PutUint32(hdr[:], uint32(len(b)))
+	if _, err := conn.Write(hdr[:]); err != nil {
+		return err
+	}
+	_, err := conn.Write(b)
+	return err
+}
+
+// ---------------------------------------------------------------------
+// Inbound
+
+func (t *TCP) acceptLoop() {
+	defer t.wg.Done()
+	for {
+		conn, err := t.ln.Accept()
+		if err != nil {
+			return // listener closed
+		}
+		t.mu.Lock()
+		if t.closed {
+			t.mu.Unlock()
+			conn.Close()
+			return
+		}
+		t.conns[conn] = struct{}{}
+		t.wg.Add(1)
+		t.mu.Unlock()
+		go t.readLoop(conn)
+	}
+}
+
+// readLoop authenticates one inbound connection via its Hello frame
+// and then dispatches every following frame to the handler. A corrupt
+// message inside an intact frame is counted dropped and skipped; a
+// corrupt frame header (length beyond MaxFrame) abandons the
+// connection, because framing sync is gone.
+func (t *TCP) readLoop(conn net.Conn) {
+	defer t.wg.Done()
+	defer func() {
+		conn.Close()
+		t.mu.Lock()
+		delete(t.conns, conn)
+		t.mu.Unlock()
+	}()
+	from := ""
+	for {
+		b, err := t.readFrame(conn)
+		if err != nil {
+			return
+		}
+		m, err := t.decode.Decode(b)
+		if err != nil {
+			t.dropped.Add(1)
+			continue
+		}
+		if from == "" {
+			h, ok := m.(*wire.Hello)
+			if !ok || h.Peer == "" || h.Cluster != t.opts.Cluster {
+				t.dropped.Add(1)
+				return // not one of ours: refuse the connection
+			}
+			from = h.Peer
+			continue
+		}
+		h := t.handler.Load()
+		if h == nil {
+			t.dropped.Add(1)
+			continue
+		}
+		t.recv.Add(1)
+		t.recvBytes.Add(uint64(len(b)))
+		(*h)(from, m)
+	}
+}
+
+// readFrame reads one length-prefixed frame under the read deadline.
+func (t *TCP) readFrame(conn net.Conn) ([]byte, error) {
+	if err := conn.SetReadDeadline(time.Now().Add(t.opts.ReadTimeout)); err != nil {
+		return nil, err
+	}
+	var hdr [4]byte
+	if _, err := io.ReadFull(conn, hdr[:]); err != nil {
+		return nil, err
+	}
+	n := binary.BigEndian.Uint32(hdr[:])
+	if int(n) > t.opts.MaxFrame {
+		t.dropped.Add(1)
+		return nil, fmt.Errorf("transport: frame of %d bytes exceeds MaxFrame %d", n, t.opts.MaxFrame)
+	}
+	b := make([]byte, n)
+	if _, err := io.ReadFull(conn, b); err != nil {
+		return nil, err
+	}
+	return b, nil
+}

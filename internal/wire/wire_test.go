@@ -1,0 +1,235 @@
+package wire
+
+import (
+	"bytes"
+	"encoding/binary"
+	"math/rand"
+	"reflect"
+	"testing"
+)
+
+// every returns one populated example of every message kind. Tests that
+// claim "every kind" range over this; TestEveryKindCovered enforces
+// that no kind constant is missing from it.
+func every() []Message {
+	return []Message{
+		&Hello{Peer: "n2", Proto: ProtoVersion, Cluster: "demo"},
+		&Item{Stream: "s3@relay", Seq: 41, TimeNS: 9_500_000_000, XML: `<call id="7" method="Reserve"/>`},
+		&Item{Stream: "s3@relay", Seq: 42, EOS: true},
+		&Partial{Fn: "avg", Window: 6, Key: "eu-west", Source: "n3", Count: 18, State: "18|452"},
+		&Probe{Seq: 12, Updates: []GossipUpdate{{Peer: "n4", Status: StatusSuspect, Inc: 3}}},
+		&Ack{Seq: 12, Stream: "s1@n2", Window: 5, Updates: []GossipUpdate{{Peer: "n4", Status: StatusAlive, Inc: 4}}},
+		&Gossip{Updates: []GossipUpdate{
+			{Peer: "n1", Status: StatusAlive, Inc: 1},
+			{Peer: "n5", Status: StatusDead, Inc: 2},
+			{Peer: "n6", Status: StatusLeft, Inc: 7},
+		}},
+		&CkptPut{Key: "ckpt|task-3|s2@merge", Value: `<op kind="Group"><window id="4"/></op>`},
+		&CkptGet{ReqID: 77, Key: "ckpt|task-3|s2@merge"},
+		&CkptResp{ReqID: 77, Key: "ckpt|task-3|s2@merge", Found: true, Values: []string{"<op/>", "<op v=\"2\"/>"}},
+		&Publish{Def: `<Stream PeerId="p1" StreamId="s1" isAChannel="true"><Operator><Filter/></Operator><Operands/><Stats/></Stream>`},
+		&Lookup{ReqID: 8, Query: "sig|Filter(inCOM@p1)[a=b]"},
+		&LookupResp{ReqID: 8, Values: []string{"<Stream/>"}},
+	}
+}
+
+func TestEveryKindCovered(t *testing.T) {
+	seen := map[Kind]bool{}
+	for _, m := range every() {
+		seen[m.Kind()] = true
+	}
+	for k := KindHello; k <= KindLookupResp; k++ {
+		if !seen[k] {
+			t.Errorf("every() has no example for kind %s", k)
+		}
+	}
+}
+
+// TestRoundTripEveryKind: decode(encode(m)) == m, and the encoding is
+// deterministic (two encodes are byte-equal).
+func TestRoundTripEveryKind(t *testing.T) {
+	for _, m := range every() {
+		b := Encode(m)
+		if !bytes.Equal(b, Encode(m)) {
+			t.Fatalf("%s: nondeterministic encoding", m.Kind())
+		}
+		got, err := Decode(b)
+		if err != nil {
+			t.Fatalf("%s: decode: %v", m.Kind(), err)
+		}
+		if !reflect.DeepEqual(got, m) {
+			t.Errorf("%s: round trip mismatch\n got %#v\nwant %#v", m.Kind(), got, m)
+		}
+	}
+}
+
+// TestRoundTripProperty fuzzes random field values through the codec:
+// arbitrary strings (including separators, NULs, non-UTF8) and uint64s
+// must survive unchanged.
+func TestRoundTripProperty(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	randStr := func() string {
+		n := rng.Intn(40)
+		b := make([]byte, n)
+		rng.Read(b)
+		return string(b)
+	}
+	for i := 0; i < 500; i++ {
+		var ups []GossipUpdate
+		for j := rng.Intn(4); j > 0; j-- {
+			ups = append(ups, GossipUpdate{Peer: randStr(), Status: Status(rng.Intn(4)), Inc: rng.Uint64()})
+		}
+		msgs := []Message{
+			&Item{Stream: randStr(), Seq: rng.Uint64(), TimeNS: rng.Uint64(), XML: randStr(), EOS: rng.Intn(2) == 0},
+			&Partial{Fn: randStr(), Window: rng.Uint64(), Key: randStr(), Source: randStr(), Count: rng.Uint64(), State: randStr()},
+			&Probe{Seq: rng.Uint64(), Updates: ups},
+			&CkptPut{Key: randStr(), Value: randStr()},
+		}
+		for _, m := range msgs {
+			got, err := Decode(Encode(m))
+			if err != nil {
+				t.Fatalf("decode: %v", err)
+			}
+			if !reflect.DeepEqual(got, m) {
+				t.Fatalf("round trip mismatch\n got %#v\nwant %#v", got, m)
+			}
+		}
+	}
+}
+
+// TestCrossVersionUnknownFields: a frame stamped with a future protocol
+// version and carrying unknown field tags decodes cleanly — the known
+// fields land, the unknown ones are skipped. This is the forward-
+// compatibility contract of docs/TRANSPORT.md.
+func TestCrossVersionUnknownFields(t *testing.T) {
+	b := Encode(&Partial{Fn: "count", Window: 3, Source: "n2", Count: 5, State: "5"})
+	b[2] = ProtoVersion + 1 // future version
+	// Append two fields from the future: tag 99 (string-ish) and tag
+	// 100 (varint-ish). Decoders must skip both.
+	b = appendStrField(b, 99, "a-field-from-the-future")
+	b = appendUintField(b, 100, 12345)
+	got, err := Decode(b)
+	if err != nil {
+		t.Fatalf("cross-version decode: %v", err)
+	}
+	p, ok := got.(*Partial)
+	if !ok {
+		t.Fatalf("decoded %T, want *Partial", got)
+	}
+	want := &Partial{Fn: "count", Window: 3, Source: "n2", Count: 5, State: "5"}
+	if !reflect.DeepEqual(p, want) {
+		t.Errorf("known fields corrupted by unknown ones:\n got %#v\nwant %#v", p, want)
+	}
+}
+
+// TestUnknownFieldsInterleaved: unknown tags interleaved between known
+// ones (not only appended) are skipped too.
+func TestUnknownFieldsInterleaved(t *testing.T) {
+	b := []byte{magic0, magic1, ProtoVersion, byte(KindLookup)}
+	b = appendUintField(b, 1, 9)
+	b = appendStrField(b, 7, "unknown middle field")
+	b = appendStrField(b, 2, "sig|x")
+	got, err := Decode(b)
+	if err != nil {
+		t.Fatalf("decode: %v", err)
+	}
+	want := &Lookup{ReqID: 9, Query: "sig|x"}
+	if !reflect.DeepEqual(got, want) {
+		t.Errorf("got %#v want %#v", got, want)
+	}
+}
+
+// TestDecodeGarbage: hostile inputs error (never panic) and land in
+// the dropped counter.
+func TestDecodeGarbage(t *testing.T) {
+	var st Stats
+	cases := [][]byte{
+		nil,
+		{},
+		{'P'},
+		{'P', 'W'},
+		{'P', 'W', 1},
+		{'X', 'Y', 1, byte(KindItem)},          // bad magic
+		{'P', 'W', 0, byte(KindItem)},          // version 0
+		{'P', 'W', 1, 0},                       // kind 0
+		{'P', 'W', 1, 200},                     // unknown kind
+		{'P', 'W', 1, byte(KindItem), 0x80},    // truncated tag varint
+		{'P', 'W', 1, byte(KindItem), 1, 0x80}, // truncated length varint
+		{'P', 'W', 1, byte(KindItem), 1, 50, 'x'},                         // length overruns payload
+		{'P', 'W', 1, byte(KindItem), 2, 1, 0xff},                         // seq field: bad uvarint value
+		{'P', 'W', 1, byte(KindProbe), 2, 2, 0x80, 0x80},                  // update: corrupt sub-framing
+		append([]byte{'P', 'W', 1, byte(KindCkptResp)}, 3, 2, 0xc0, 0xc0), // bool: bad uvarint
+	}
+	for i, c := range cases {
+		if _, err := st.Decode(c); err == nil {
+			t.Errorf("case %d (% x): expected decode error", i, c)
+		}
+	}
+	if got := st.Dropped(); got != uint64(len(cases)) {
+		t.Errorf("dropped counter = %d, want %d", got, len(cases))
+	}
+	if got := st.Decoded(); got != 0 {
+		t.Errorf("decoded counter = %d, want 0", got)
+	}
+}
+
+func TestStatsCountsSuccesses(t *testing.T) {
+	var st Stats
+	for _, m := range every() {
+		if _, err := st.Decode(Encode(m)); err != nil {
+			t.Fatalf("%s: %v", m.Kind(), err)
+		}
+	}
+	if got, want := st.Decoded(), uint64(len(every())); got != want {
+		t.Errorf("decoded = %d, want %d", got, want)
+	}
+	if st.Dropped() != 0 {
+		t.Errorf("dropped = %d, want 0", st.Dropped())
+	}
+}
+
+// TestSizeMatchesEncoding pins Size to the actual encoded length —
+// transports charge byte counters from it.
+func TestSizeMatchesEncoding(t *testing.T) {
+	for _, m := range every() {
+		if Size(m) != len(Encode(m)) {
+			t.Errorf("%s: Size=%d, len(Encode)=%d", m.Kind(), Size(m), len(Encode(m)))
+		}
+	}
+}
+
+// TestHeaderLayout pins the first four bytes: magic "PW", version,
+// kind. The multi-process cluster depends on this layout across builds,
+// so it is wire format, not an implementation detail.
+func TestHeaderLayout(t *testing.T) {
+	b := Encode(&Hello{Peer: "n1"})
+	if b[0] != 'P' || b[1] != 'W' {
+		t.Errorf("magic = %q, want \"PW\"", b[:2])
+	}
+	if b[2] != ProtoVersion {
+		t.Errorf("version byte = %d, want %d", b[2], ProtoVersion)
+	}
+	if Kind(b[3]) != KindHello {
+		t.Errorf("kind byte = %d, want %d", b[3], KindHello)
+	}
+}
+
+// TestVarintBoundary: a max-uint64 survives (9-byte uvarint edge).
+func TestVarintBoundary(t *testing.T) {
+	m := &Item{Stream: "s@p", Seq: ^uint64(0), TimeNS: ^uint64(0)}
+	got, err := Decode(Encode(m))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(got, m) {
+		t.Errorf("got %#v want %#v", got, m)
+	}
+	// And reject a 10-byte overlong uvarint as a field value.
+	over := binary.AppendUvarint(nil, ^uint64(0))
+	over = append(over, 0x01) // trailing junk inside the value
+	b := []byte{magic0, magic1, ProtoVersion, byte(KindItem)}
+	b = appendField(b, 2, over)
+	if _, err := Decode(b); err == nil {
+		t.Error("overlong uvarint value decoded without error")
+	}
+}

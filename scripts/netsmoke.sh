@@ -1,0 +1,89 @@
+#!/usr/bin/env bash
+# netsmoke.sh — the PR 8 acceptance check as a script: build p2pmon,
+# run a 3-process monitor cluster over real loopback TCP sockets, and
+# require the root's windowed-aggregation output to be byte-identical
+# to the single-process simnet run of the same scenario.
+#
+# Usage: scripts/netsmoke.sh [windows] [fn]
+set -euo pipefail
+
+WINDOWS="${1:-4}"
+FN="${2:-count}"
+cd "$(dirname "$0")/.."
+
+WORK="$(mktemp -d)"
+PIDS=()
+cleanup() {
+  for pid in "${PIDS[@]:-}"; do kill "$pid" 2>/dev/null || true; done
+  wait 2>/dev/null || true
+  rm -rf "$WORK"
+}
+trap cleanup EXIT
+
+echo "== netsmoke: building p2pmon =="
+go build -o "$WORK/p2pmon" ./cmd/p2pmon
+
+# Reserve three distinct loopback ports: hold all three listeners open
+# at once so the kernel cannot hand the same port out twice.
+cat >"$WORK/freeports.go" <<'EOF'
+package main
+
+import (
+	"fmt"
+	"net"
+)
+
+func main() {
+	var ls []net.Listener
+	for i := 0; i < 3; i++ {
+		l, err := net.Listen("tcp", "127.0.0.1:0")
+		if err != nil {
+			panic(err)
+		}
+		ls = append(ls, l)
+		fmt.Println(l.Addr().(*net.TCPAddr).Port)
+	}
+	for _, l := range ls {
+		l.Close()
+	}
+}
+EOF
+mapfile -t PORTS < <(go run "$WORK/freeports.go")
+P1="${PORTS[0]}"; P2="${PORTS[1]}"; P3="${PORTS[2]}"
+PEERS="n1=127.0.0.1:$P1,n2=127.0.0.1:$P2,n3=127.0.0.1:$P3"
+
+echo "== netsmoke: reference run (simnet backend, single process) =="
+"$WORK/p2pmon" -scenario net -windows "$WINDOWS" -agg-fn "$FN" \
+  >"$WORK/simnet.out" 2>"$WORK/simnet.err"
+
+echo "== netsmoke: 3-process cluster over real TCP ($PEERS) =="
+for n in n1 n2 n3; do
+  addr_var="P${n#n}"
+  "$WORK/p2pmon" -scenario net -windows "$WINDOWS" -agg-fn "$FN" \
+    -listen "127.0.0.1:${!addr_var}" -name "$n" -peers "$PEERS" \
+    >"$WORK/$n.out" 2>"$WORK/$n.err" &
+  PIDS+=("$!")
+done
+
+fail=0
+for i in "${!PIDS[@]}"; do
+  if ! wait "${PIDS[$i]}"; then
+    echo "netsmoke: member process $((i + 1)) failed:" >&2
+    cat "$WORK/n$((i + 1)).err" >&2
+    fail=1
+  fi
+done
+PIDS=()
+[ "$fail" -eq 0 ] || exit 1
+
+echo "== netsmoke: comparing root output to the simnet reference =="
+if ! diff -u "$WORK/simnet.out" "$WORK/n1.out"; then
+  echo "netsmoke: FAIL — tcp cluster output diverged from the simnet run" >&2
+  exit 1
+fi
+if [ -s "$WORK/n2.out" ] || [ -s "$WORK/n3.out" ]; then
+  echo "netsmoke: FAIL — a non-root member wrote to stdout" >&2
+  exit 1
+fi
+echo "netsmoke: OK — $(wc -l <"$WORK/simnet.out") windows byte-identical across backends (fn=$FN)"
+cat "$WORK/simnet.out"
