@@ -216,10 +216,10 @@ func BenchmarkYFilterIndependentBaseline(b *testing.B) {
 
 func benchMeteoScenario(b *testing.B, pushdown, reuseOn bool, managers int) {
 	for i := 0; i < b.N; i++ {
-		opts := peer.DefaultOptions()
+		opts := peer.DefaultConfig()
 		opts.Pushdown = pushdown
 		opts.Reuse = reuseOn
-		sys := peer.NewSystem(opts)
+		sys := peer.MustSystem(opts)
 		cfg := workload.DefaultMeteo()
 		cfg.Calls = 10
 		if err := workload.SetupMeteo(sys, cfg); err != nil {
@@ -328,7 +328,7 @@ func BenchmarkP2PMLParse(b *testing.B) {
 // nested-condition chain (X1): discovery + residual deployment cost.
 func BenchmarkSubsumptionSubscribe(b *testing.B) {
 	for i := 0; i < b.N; i++ {
-		sys := peer.NewSystem(peer.DefaultOptions())
+		sys := peer.MustSystem(peer.DefaultConfig())
 		m := sys.MustAddPeer("m.com")
 		m.Endpoint().Register("Q", func(*xmltree.Node) (*xmltree.Node, error) {
 			return xmltree.Elem("ok"), nil
@@ -369,7 +369,7 @@ func BenchmarkGroupAccept(b *testing.B) {
 
 func BenchmarkSubscribeDeployStop(b *testing.B) {
 	for i := 0; i < b.N; i++ {
-		sys := peer.NewSystem(peer.DefaultOptions())
+		sys := peer.MustSystem(peer.DefaultConfig())
 		mgr := sys.MustAddPeer("p")
 		cfg := workload.DefaultMeteo()
 		if err := workload.SetupMeteo(sys, cfg); err != nil {
@@ -417,11 +417,11 @@ func BenchmarkAggTreeIngest(b *testing.B) {
 // re-placement, checkpoint restore, consumer re-binding, input replay),
 // recover the old host. The failover hot path X4's churn rows hammer.
 func BenchmarkAggTreeRepair(b *testing.B) {
-	opts := peer.DefaultOptions()
-	opts.AggDegree = 2
-	opts.ReplayBuffer = 1024
-	opts.CheckpointInterval = time.Second
-	sys := peer.NewSystem(opts)
+	opts := peer.DefaultConfig()
+	opts.Agg.Degree = 2
+	opts.Replay.Buffer = 1024
+	opts.Replay.CheckpointInterval = time.Second
+	sys := peer.MustSystem(opts)
 	mgr := sys.MustAddPeer("mgr")
 	var branches []*algebra.Node
 	for i := 0; i < 4; i++ {
@@ -513,9 +513,9 @@ func BenchmarkReuseMatch(b *testing.B) {
 		lo, hi int
 	}{{"exact", 0, sources}, {"graft", 2, 6}} {
 		b.Run(c.name, func(b *testing.B) {
-			opts := peer.DefaultOptions()
-			opts.AggDegree = 3
-			sys := peer.NewSystem(opts)
+			opts := peer.DefaultConfig()
+			opts.Agg.Degree = 3
+			sys := peer.MustSystem(opts)
 			mgr := sys.MustAddPeer("mgr")
 			for i := 0; i < sources; i++ {
 				name := fmt.Sprintf("s%d", i)
@@ -779,5 +779,112 @@ func BenchmarkWireEncodeDecode(b *testing.B) {
 				}
 			}
 		})
+	}
+}
+
+// --- self-adaptive runtime (PR 9) ---
+
+// aggBenchWorld builds the small aggregation deployment the adaptive
+// benches reshape: 8 sources, degree-4 tree, replay armed.
+func aggBenchWorld(b *testing.B) (*peer.System, *peer.Task) {
+	b.Helper()
+	opts := peer.DefaultConfig()
+	opts.Agg.Degree = 4
+	opts.Replay.Buffer = 1024
+	opts.Replay.CheckpointInterval = time.Second
+	sys := peer.MustSystem(opts)
+	mgr := sys.MustAddPeer("mgr")
+	var branches []*algebra.Node
+	for i := 0; i < 8; i++ {
+		name := fmt.Sprintf("s%d", i)
+		sp := sys.MustAddPeer(name)
+		sp.Endpoint().Register("Q", func(*xmltree.Node) (*xmltree.Node, error) {
+			return xmltree.Elem("ok"), nil
+		}, nil)
+		branches = append(branches, algebra.NewAlerter("inCOM", "ws-in", name, "e", nil))
+	}
+	for i := 0; i < 3; i++ {
+		sys.MustAddPeer(fmt.Sprintf("w%d", i))
+	}
+	sys.SetAggHosts(func(n string) bool { return n[0] == 'w' })
+	union := &algebra.Node{Op: algebra.OpUnion, Peer: "w0", Inputs: branches, Schema: []string{"e"}}
+	group := &algebra.Node{
+		Op: algebra.OpGroup, Peer: "w0", Inputs: []*algebra.Node{union},
+		Schema: []string{"e"}, Group: &algebra.GroupSpec{KeyAttr: "callee", Window: "10s"},
+	}
+	plan := &algebra.Node{
+		Op: algebra.OpPublish, Peer: "mgr", Inputs: []*algebra.Node{group},
+		Schema: []string{"e"}, Publish: &algebra.PublishSpec{ChannelID: "agg"},
+	}
+	task, err := mgr.DeployPlan(plan)
+	if err != nil {
+		b.Fatal(err)
+	}
+	client := sys.MustAddPeer("client")
+	for i := 0; i < 8; i++ {
+		if _, err := client.Endpoint().Invoke(fmt.Sprintf("s%d", i%8), "Q", nil); err != nil {
+			b.Fatal(err)
+		}
+		sys.Step(time.Second)
+	}
+	return sys, task
+}
+
+// BenchmarkAdaptiveRechunk measures one full SplitInterior transaction —
+// cut capture, plan re-chunk, channel migration, sub-interior spin-up
+// and the immediate checkpoint — on a freshly driven degree-4 tree.
+func BenchmarkAdaptiveRechunk(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		b.StopTimer()
+		sys, task := aggBenchWorld(b)
+		var key string
+		task.Plan.Walk(func(n *algebra.Node) {
+			if key == "" && n.AggKey != "" && len(n.Inputs) >= 4 {
+				key = n.AggKey
+			}
+		})
+		if key == "" {
+			b.Fatal("no splittable interior")
+		}
+		b.StartTimer()
+		if _, err := sys.SplitInterior(task, key); err != nil {
+			b.Fatal(err)
+		}
+		b.StopTimer()
+		task.Stop()
+		b.StartTimer()
+	}
+}
+
+// BenchmarkHealthScore measures one adaptive gossip protocol period —
+// probe rounds, piggyback application, Lifeguard health bookkeeping and
+// the suspicion sweep — across a 16-member degraded membership.
+func BenchmarkHealthScore(b *testing.B) {
+	sys := peer.MustSystem(peer.DefaultConfig())
+	for i := 0; i < 16; i++ {
+		sys.MustAddPeer(fmt.Sprintf("p%d", i))
+	}
+	sys.StartGossipDetector(peer.GossipOptions{
+		Seed: 9, ProbeInterval: time.Second,
+		ProbeTimeout: 500 * time.Millisecond, Suspicion: time.Second,
+		Adaptive: true,
+	})
+	for i := 0; i < 4; i++ {
+		sys.Step(time.Second)
+	}
+	// Two members slow-but-alive: health scores stay exercised.
+	for i := 0; i < 16; i++ {
+		p := fmt.Sprintf("p%d", i)
+		for _, victim := range []string{"p3", "p7"} {
+			if p == victim {
+				continue
+			}
+			sys.Net.SetExtraDelay(p, victim, 400*time.Millisecond)
+			sys.Net.SetExtraDelay(victim, p, 400*time.Millisecond)
+		}
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		sys.Step(time.Second)
 	}
 }

@@ -1,30 +1,36 @@
 // Command p2pmon runs a P2PM monitoring scenario on a simulated P2P
 // network and streams the results to stdout.
 //
-// Usage:
+// Each scenario is a subcommand with its own flag set — `p2pmon
+// <scenario> -h` shows only the flags that scenario takes:
 //
-//	p2pmon -scenario meteo      # the paper's Figure 1 running example
-//	p2pmon -scenario telecom    # workflow surveillance
-//	p2pmon -scenario edos       # content-distribution statistics
-//	p2pmon -scenario rss        # feed monitoring
-//	p2pmon -scenario churn      # self-healing under relay crashes
-//	p2pmon -scenario churn -replay             # lossless failover (replay + checkpoints)
-//	p2pmon -scenario churn -detector gossip    # SWIM-style decentralized detection
-//	p2pmon -scenario churn -replay -detector gossip -events 600 -crash-every 8   # soak
-//	p2pmon -scenario churn -replay -detector gossip -partition-home 10           # survivability
-//	p2pmon -scenario churn -replay -detector gossip -grow 10 -join-every 12      # elastic growth
-//	p2pmon -scenario churn -replay -grow 10 -spread                              # + DHT checkpoint spreading
-//	p2pmon -scenario churn -replay -leave-every 15                               # graceful leave/rejoin cycles
-//	p2pmon -scenario agg -agg tree -agg-degree 3                                 # in-network aggregation tree
-//	p2pmon -scenario agg -agg flat                                               # the O(n) hotspot baseline
-//	p2pmon -scenario agg -agg tree -replay -crash-every 16 -leave-every 13       # aggregation under flap churn
-//	p2pmon -scenario share                                                       # multi-tenant aggregate sharing, shared vs unshared
-//	p2pmon -scenario share -subs 48 -leave-every 24                              # sharing under graceful-leave churn
-//	p2pmon -scenario net                                                         # transport cluster, in-process simnet backend
-//	p2pmon -scenario net -nodes 5 -windows 8 -agg-fn avg                         # bigger simnet cluster
-//	p2pmon -scenario net -listen 127.0.0.1:7101 -name n1 \
-//	       -peers n1=127.0.0.1:7101,n2=127.0.0.1:7102,n3=127.0.0.1:7103          # one real-TCP cluster process
-//	p2pmon -scenario meteo -sub custom.p2pml   # custom subscription text
+//	p2pmon meteo                # the paper's Figure 1 running example
+//	p2pmon telecom              # workflow surveillance
+//	p2pmon edos                 # content-distribution statistics
+//	p2pmon rss                  # feed monitoring
+//	p2pmon churn                # self-healing under relay crashes
+//	p2pmon churn -replay                  # lossless failover (replay + checkpoints)
+//	p2pmon churn -detector gossip         # SWIM-style decentralized detection
+//	p2pmon churn -replay -detector gossip -events 600 -crash-every 8   # soak
+//	p2pmon churn -replay -detector gossip -partition-home 10           # survivability
+//	p2pmon churn -replay -detector gossip -grow 10 -join-every 12      # elastic growth
+//	p2pmon churn -replay -grow 10 -spread                              # + DHT checkpoint spreading
+//	p2pmon churn -replay -leave-every 15                               # graceful leave/rejoin cycles
+//	p2pmon agg -agg tree -agg-degree 3                                 # in-network aggregation tree
+//	p2pmon agg -agg flat                                               # the O(n) hotspot baseline
+//	p2pmon agg -agg tree -replay -crash-every 16 -leave-every 13       # aggregation under flap churn
+//	p2pmon share                                                       # multi-tenant aggregate sharing
+//	p2pmon share -subs 48 -leave-every 24                              # sharing under graceful-leave churn
+//	p2pmon adapt                                                       # self-adaptive runtime vs static (X6 profile)
+//	p2pmon adapt -mode adaptive -events 192                            # one mode, longer schedule
+//	p2pmon net                                                         # transport cluster, in-process simnet backend
+//	p2pmon net -nodes 5 -windows 8 -agg-fn avg                         # bigger simnet cluster
+//	p2pmon net -listen 127.0.0.1:7101 -name n1 \
+//	       -peers n1=127.0.0.1:7101,n2=127.0.0.1:7102,n3=127.0.0.1:7103  # one real-TCP cluster process
+//	p2pmon meteo -sub custom.p2pml   # custom subscription text
+//
+// The legacy spelling `p2pmon -scenario <name> [flags]` keeps working
+// and routes to the same per-scenario flag sets.
 //
 // The net scenario prints only the root's window results on stdout
 // (status goes to stderr), so a multi-process TCP run is byte-
@@ -38,11 +44,79 @@ import (
 	"fmt"
 	"io"
 	"os"
+	"strings"
 	"time"
 
 	"p2pm/internal/peer"
 	"p2pm/internal/workload"
 )
+
+// scenario is one registered subcommand: a name, a one-line synopsis
+// for the top-level usage listing, and a runner that owns its flag set.
+type scenario struct {
+	name     string
+	synopsis string
+	run      func(args []string, out io.Writer) error
+}
+
+// scenarios is the registry, in listing order. Every scenario —
+// including the X6 adapt lab — registers here and nowhere else.
+var scenarios []*scenario
+
+func registerScenario(name, synopsis string, run func([]string, io.Writer) error) {
+	scenarios = append(scenarios, &scenario{name: name, synopsis: synopsis, run: run})
+}
+
+func lookupScenario(name string) *scenario {
+	for _, sc := range scenarios {
+		if sc.name == name {
+			return sc
+		}
+	}
+	return nil
+}
+
+func scenarioNames() string {
+	names := make([]string, len(scenarios))
+	for i, sc := range scenarios {
+		names[i] = sc.name
+	}
+	return strings.Join(names, " | ")
+}
+
+// newFlagSet builds a scenario's flag set with a scoped usage header.
+func newFlagSet(name string) *flag.FlagSet {
+	fs := flag.NewFlagSet("p2pmon "+name, flag.ContinueOnError)
+	sc := lookupScenario(name)
+	fs.Usage = func() {
+		if sc != nil {
+			fmt.Fprintf(fs.Output(), "p2pmon %s — %s\n", sc.name, sc.synopsis)
+		}
+		fmt.Fprintf(fs.Output(), "usage: p2pmon %s [flags]\n", name)
+		fs.PrintDefaults()
+	}
+	return fs
+}
+
+func init() {
+	registerScenario("meteo", "the paper's Figure 1 running example (weather alerts)", func(a []string, out io.Writer) error {
+		return runQuery("meteo", a, out)
+	})
+	registerScenario("telecom", "workflow surveillance over orchestrator call logs", func(a []string, out io.Writer) error {
+		return runQuery("telecom", a, out)
+	})
+	registerScenario("edos", "content-distribution statistics gathering", func(a []string, out io.Writer) error {
+		return runQuery("edos", a, out)
+	})
+	registerScenario("rss", "feed monitoring with churn", func(a []string, out io.Writer) error {
+		return runQuery("rss", a, out)
+	})
+	registerScenario("churn", "self-healing under relay crashes, leaves, joins and partitions", runChurnScenario)
+	registerScenario("agg", "in-network aggregation tree vs the flat hotspot, under churn", runAggScenario)
+	registerScenario("share", "multi-tenant aggregate sharing, shared vs unshared", runShareScenario)
+	registerScenario("adapt", "self-adaptive runtime vs static under the diurnal+hotspot profile (X6)", runAdaptScenario)
+	registerScenario("net", "transport cluster: in-process simnet or one real-TCP node", runNetScenario)
+}
 
 func main() {
 	if err := run(os.Args[1:], os.Stdout); err != nil {
@@ -54,179 +128,82 @@ func main() {
 	}
 }
 
-// run executes one scenario against the given flags, writing the report
-// to out (separated from main for testing).
+// run dispatches to a scenario runner (separated from main for
+// testing). Two spellings are accepted: the subcommand form
+// `p2pmon <scenario> [flags]` and the legacy `-scenario <name>` flag,
+// which is extracted here and routed identically.
 func run(args []string, out io.Writer) error {
-	fs := flag.NewFlagSet("p2pmon", flag.ContinueOnError)
-	scenario := fs.String("scenario", "meteo", "meteo | telecom | edos | rss | churn | agg | share | net")
+	if len(args) > 0 && !strings.HasPrefix(args[0], "-") {
+		sc := lookupScenario(args[0])
+		if sc == nil {
+			return fmt.Errorf("p2pmon: unknown scenario %q (have: %s)", args[0], scenarioNames())
+		}
+		return sc.run(args[1:], out)
+	}
+	if len(args) > 0 && (args[0] == "-h" || args[0] == "-help" || args[0] == "--help") {
+		fmt.Fprintf(os.Stderr, "usage: p2pmon <scenario> [flags]   (or legacy: p2pmon -scenario <name> [flags])\nscenarios:\n")
+		for _, sc := range scenarios {
+			fmt.Fprintf(os.Stderr, "  %-8s %s\n", sc.name, sc.synopsis)
+		}
+		fmt.Fprintf(os.Stderr, "`p2pmon <scenario> -h` lists that scenario's flags.\n")
+		return flag.ErrHelp
+	}
+	name, rest, err := extractScenario(args)
+	if err != nil {
+		return err
+	}
+	if name == "" {
+		name = "meteo"
+	}
+	sc := lookupScenario(name)
+	if sc == nil {
+		return fmt.Errorf("p2pmon: unknown scenario %q (have: %s)", name, scenarioNames())
+	}
+	return sc.run(rest, out)
+}
+
+// extractScenario strips a legacy -scenario flag (either spelling,
+// space- or =-separated) from the argument list.
+func extractScenario(args []string) (name string, rest []string, err error) {
+	for i := 0; i < len(args); i++ {
+		a := args[i]
+		trimmed := strings.TrimPrefix(strings.TrimPrefix(a, "-"), "-")
+		switch {
+		case trimmed == "scenario":
+			if i+1 >= len(args) {
+				return "", nil, fmt.Errorf("p2pmon: -scenario needs a value")
+			}
+			name = args[i+1]
+			i++
+		case strings.HasPrefix(trimmed, "scenario="):
+			name = strings.TrimPrefix(trimmed, "scenario=")
+		default:
+			rest = append(rest, a)
+		}
+	}
+	return name, rest, nil
+}
+
+// runQuery runs one of the P2PML query scenarios: set up the monitored
+// world, subscribe, drive, and print every result item.
+func runQuery(name string, args []string, out io.Writer) error {
+	fs := newFlagSet(name)
 	subFile := fs.String("sub", "", "file with a custom P2PML subscription (overrides the scenario default)")
 	noReuse := fs.Bool("no-reuse", false, "disable stream reuse")
 	noPushdown := fs.Bool("no-pushdown", false, "disable selection pushdown")
-	replay := fs.Bool("replay", false, "churn/agg scenarios: enable replay buffers + operator checkpointing (lossless failover)")
-	detector := fs.String("detector", "", "churn/agg scenarios: failure detection mode, home | gossip (see docs/DETECTOR.md)")
-	nEvents := fs.Int("events", 0, "churn/agg scenarios: events to drive (0 = scenario default)")
-	crashEvery := fs.Int("crash-every", -1, "churn/agg scenarios: crash the relay/aggregation host every N events (0 = never, -1 = scenario default)")
-	leaveEvery := fs.Int("leave-every", 0, "churn/agg scenarios: the relay/aggregation host gracefully leaves every N events, rejoining after MTTR (0 = never)")
-	partitionHome := fs.Int("partition-home", 0, "churn scenario: isolate the monitor peer after N events (0 = never) — the detector survivability case")
-	grow := fs.Int("grow", 0, "churn scenario: grow the worker pool from 4 to N at runtime via the membership join protocol (0 = static pool, see docs/MEMBERSHIP.md)")
-	joinEvery := fs.Int("join-every", 0, "churn scenario: admit one pending worker every N driven events (0 = spread the joins evenly; needs -grow)")
-	spread := fs.Bool("spread", false, "churn scenario: enable DHT virtual-node + bounded-load checkpoint spreading")
-	aggMode := fs.String("agg", "", "agg scenario: aggregation deployment, tree | flat (see docs/AGGREGATION.md; default tree)")
-	aggDegree := fs.Int("agg-degree", 0, "agg scenario: aggregation-tree fan-in bound (0 = default 3)")
-	aggFn := fs.String("agg-fn", "", "agg scenario: aggregate function, count | sum | min | max | avg | set | distinct | freq (default count; see docs/AGGREGATION.md)")
-	users := fs.Int("users", 0, "agg scenario: distinct-value universe for value-consuming aggregate functions (0 = default 24)")
-	subs := fs.Int("subs", 0, "share scenario: number of overlapping subscriptions (0 = default 12)")
-	listen := fs.String("listen", "", "net scenario: TCP listen address — run ONE cluster node as this OS process (needs -name and -peers; see docs/TRANSPORT.md)")
-	name := fs.String("name", "", "net scenario: this node's peer name (with -listen)")
-	peersFlag := fs.String("peers", "", "net scenario: full cluster map name=host:port,... including self (with -listen)")
-	nodes := fs.Int("nodes", 0, "net scenario: cluster size for the in-process simnet backend (0 = default 3)")
-	windows := fs.Int("windows", 0, "net scenario: windows to aggregate (0 = default 5)")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
 
-	// Each lab flag applies to specific scenarios only; an explicitly
-	// set flag outside them is a misuse, rejected instead of silently
-	// ignored. fs.Visit reports only flags the command line actually
-	// set, in lexical order, so the error is deterministic.
-	labFlags := map[string]map[string]bool{
-		"replay":         {"churn": true, "agg": true, "share": true},
-		"detector":       {"churn": true, "agg": true, "share": true},
-		"events":         {"churn": true, "agg": true, "share": true},
-		"crash-every":    {"churn": true, "agg": true, "share": true},
-		"leave-every":    {"churn": true, "agg": true, "share": true},
-		"partition-home": {"churn": true},
-		"grow":           {"churn": true, "share": true},
-		"join-every":     {"churn": true, "share": true},
-		"spread":         {"churn": true},
-		"agg":            {"agg": true},
-		"agg-degree":     {"agg": true},
-		"agg-fn":         {"agg": true, "net": true},
-		"users":          {"agg": true, "net": true},
-		"subs":           {"share": true},
-		"listen":         {"net": true},
-		"name":           {"net": true},
-		"peers":          {"net": true},
-		"nodes":          {"net": true},
-		"windows":        {"net": true},
-	}
-	var misused string
-	fs.Visit(func(f *flag.Flag) {
-		if in, known := labFlags[f.Name]; known && !in[*scenario] && misused == "" {
-			misused = f.Name
-		}
-	})
-	if misused != "" {
-		return fmt.Errorf("p2pmon: -%s does not apply to the %s scenario", misused, *scenario)
-	}
-
-	if *scenario == "net" {
-		if *subFile != "" || *noReuse || *noPushdown {
-			return fmt.Errorf("p2pmon: -sub, -no-reuse and -no-pushdown are not supported by the net scenario")
-		}
-		cfg := netConfig{Fn: *aggFn, Users: *users, Windows: *windows, Nodes: *nodes,
-			Listen: *listen, Name: *name, Peers: *peersFlag}
-		return runNet(out, cfg)
-	}
-	if *scenario == "churn" || *scenario == "agg" || *scenario == "share" {
-		// The labs deploy fixed hand-placed plans: the P2PML and
-		// optimizer knobs do not apply.
-		if *subFile != "" || *noReuse || *noPushdown {
-			return fmt.Errorf("p2pmon: -sub, -no-reuse and -no-pushdown are not supported by the %s scenario", *scenario)
-		}
-	}
-	switch *scenario {
-	case "churn":
-		cfg := workload.DefaultChurn()
-		cfg.Replay = *replay
-		if *detector != "" {
-			cfg.Detector = *detector
-		}
-		if *nEvents > 0 {
-			cfg.Events = *nEvents
-		}
-		if *crashEvery >= 0 {
-			cfg.CrashEvery = *crashEvery
-		}
-		cfg.LeaveEvery = *leaveEvery
-		cfg.PartitionHomeAfter = *partitionHome
-		if *grow > 0 {
-			if *grow <= cfg.Workers {
-				return fmt.Errorf("p2pmon: -grow %d must exceed the starting pool of %d workers", *grow, cfg.Workers)
-			}
-			cfg.GrowFrom = cfg.Workers
-			cfg.Workers = *grow
-			cfg.JoinEvery = *joinEvery
-		} else if *joinEvery > 0 {
-			return fmt.Errorf("p2pmon: -join-every needs -grow (there is nothing to admit)")
-		}
-		cfg.Spread = *spread
-		return runChurn(out, cfg)
-	case "agg":
-		cfg := workload.DefaultAgg()
-		if *aggMode != "" {
-			cfg.Mode = *aggMode
-		}
-		if *aggDegree != 0 {
-			if *aggDegree < 2 {
-				return fmt.Errorf("p2pmon: -agg-degree %d is not a valid fan-in bound (want >= 2, or 0 for the default)", *aggDegree)
-			}
-			cfg.Degree = *aggDegree
-		}
-		cfg.Fn = *aggFn
-		cfg.Users = *users
-		cfg.Replay = *replay
-		if *detector != "" {
-			cfg.Detector = *detector
-		}
-		if *nEvents > 0 {
-			cfg.Events = *nEvents
-		}
-		if *crashEvery >= 0 {
-			cfg.CrashEvery = *crashEvery
-		}
-		cfg.LeaveEvery = *leaveEvery
-		return runAgg(out, cfg)
-	case "share":
-		cfg := workload.DefaultShare()
-		// Replay is on in DefaultShare (byte-identity through churn needs
-		// it); -replay stays legal as an explicit statement of the default.
-		cfg.Replay = cfg.Replay || *replay
-		if *detector != "" {
-			cfg.Detector = *detector
-		}
-		if *nEvents > 0 {
-			cfg.Events = *nEvents
-		}
-		if *crashEvery >= 0 {
-			cfg.CrashEvery = *crashEvery
-		}
-		cfg.LeaveEvery = *leaveEvery
-		if *subs > 0 {
-			cfg.Subs = *subs
-		}
-		if *grow > 0 {
-			if *grow <= cfg.Workers {
-				return fmt.Errorf("p2pmon: -grow %d must exceed the starting pool of %d workers", *grow, cfg.Workers)
-			}
-			cfg.GrowFrom = cfg.Workers
-			cfg.Workers = *grow
-			cfg.JoinEvery = *joinEvery
-		} else if *joinEvery > 0 {
-			return fmt.Errorf("p2pmon: -join-every needs -grow (there is nothing to admit)")
-		}
-		return runShare(out, cfg)
-	}
-
-	opts := peer.DefaultOptions()
+	opts := peer.DefaultConfig()
 	opts.Reuse = !*noReuse
 	opts.Pushdown = !*noPushdown
-	sys := peer.NewSystem(opts)
+	sys := peer.MustSystem(opts)
 	mgr := sys.MustAddPeer("manager")
 
 	var subSrc string
 	var drive func() (int, error)
-	switch *scenario {
+	switch name {
 	case "meteo":
 		cfg := workload.DefaultMeteo()
 		if err := workload.SetupMeteo(sys, cfg); err != nil {
@@ -272,8 +249,6 @@ return $r by publish as channel "feedChanges"`
 			}
 			return n, nil
 		}
-	default:
-		return fmt.Errorf("unknown scenario %q", *scenario)
 	}
 	if *subFile != "" {
 		b, err := os.ReadFile(*subFile)
@@ -283,7 +258,7 @@ return $r by publish as channel "feedChanges"`
 		subSrc = string(b)
 	}
 
-	fmt.Fprintf(out, "== scenario %s ==\n%s\n\n", *scenario, subSrc)
+	fmt.Fprintf(out, "== scenario %s ==\n%s\n\n", name, subSrc)
 	task, err := mgr.Subscribe(subSrc)
 	if err != nil {
 		return err
@@ -302,6 +277,245 @@ return $r by publish as channel "feedChanges"`
 	}
 	tot := sys.Net.Totals()
 	fmt.Fprintf(out, "\nnetwork: %d messages, %d bytes over %d links\n", tot.Messages, tot.Bytes, tot.Links)
+	return nil
+}
+
+// runChurnScenario parses the churn lab's flags and runs it.
+func runChurnScenario(args []string, out io.Writer) error {
+	fs := newFlagSet("churn")
+	replay := fs.Bool("replay", false, "enable replay buffers + operator checkpointing (lossless failover)")
+	detector := fs.String("detector", "", "failure detection mode, home | gossip (see docs/DETECTOR.md)")
+	nEvents := fs.Int("events", 0, "events to drive (0 = scenario default)")
+	crashEvery := fs.Int("crash-every", -1, "crash the relay host every N events (0 = never, -1 = scenario default)")
+	leaveEvery := fs.Int("leave-every", 0, "the relay host gracefully leaves every N events, rejoining after MTTR (0 = never)")
+	partitionHome := fs.Int("partition-home", 0, "isolate the monitor peer after N events (0 = never) — the detector survivability case")
+	grow := fs.Int("grow", 0, "grow the worker pool from 4 to N at runtime via the membership join protocol (0 = static pool, see docs/MEMBERSHIP.md)")
+	joinEvery := fs.Int("join-every", 0, "admit one pending worker every N driven events (0 = spread the joins evenly; needs -grow)")
+	spread := fs.Bool("spread", false, "enable DHT virtual-node + bounded-load checkpoint spreading")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	cfg := workload.DefaultChurn()
+	cfg.Replay = *replay
+	if *detector != "" {
+		cfg.Detector = *detector
+	}
+	if *nEvents > 0 {
+		cfg.Events = *nEvents
+	}
+	if *crashEvery >= 0 {
+		cfg.CrashEvery = *crashEvery
+	}
+	cfg.LeaveEvery = *leaveEvery
+	cfg.PartitionHomeAfter = *partitionHome
+	if *grow > 0 {
+		if *grow <= cfg.Workers {
+			return fmt.Errorf("p2pmon: -grow %d must exceed the starting pool of %d workers", *grow, cfg.Workers)
+		}
+		cfg.GrowFrom = cfg.Workers
+		cfg.Workers = *grow
+		cfg.JoinEvery = *joinEvery
+	} else if *joinEvery > 0 {
+		return fmt.Errorf("p2pmon: -join-every needs -grow (there is nothing to admit)")
+	}
+	cfg.Spread = *spread
+	return runChurn(out, cfg)
+}
+
+// runAggScenario parses the aggregation lab's flags and runs it.
+func runAggScenario(args []string, out io.Writer) error {
+	fs := newFlagSet("agg")
+	aggMode := fs.String("agg", "", "aggregation deployment, tree | flat (see docs/AGGREGATION.md; default tree)")
+	aggDegree := fs.Int("agg-degree", 0, "aggregation-tree fan-in bound (0 = default 3)")
+	aggFn := fs.String("agg-fn", "", "aggregate function, count | sum | min | max | avg | set | distinct | freq (default count; see docs/AGGREGATION.md)")
+	users := fs.Int("users", 0, "distinct-value universe for value-consuming aggregate functions (0 = default 24)")
+	replay := fs.Bool("replay", false, "enable replay buffers + operator checkpointing (lossless failover)")
+	detector := fs.String("detector", "", "failure detection mode, home | gossip (see docs/DETECTOR.md)")
+	nEvents := fs.Int("events", 0, "events to drive (0 = scenario default)")
+	crashEvery := fs.Int("crash-every", -1, "crash the aggregation host every N events (0 = never, -1 = scenario default)")
+	leaveEvery := fs.Int("leave-every", 0, "the aggregation host gracefully leaves every N events, rejoining after MTTR (0 = never)")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	cfg := workload.DefaultAgg()
+	if *aggMode != "" {
+		cfg.Mode = *aggMode
+	}
+	if *aggDegree != 0 {
+		if *aggDegree < 2 {
+			return fmt.Errorf("p2pmon: -agg-degree %d is not a valid fan-in bound (want >= 2, or 0 for the default)", *aggDegree)
+		}
+		cfg.Degree = *aggDegree
+	}
+	cfg.Fn = *aggFn
+	cfg.Users = *users
+	cfg.Replay = *replay
+	if *detector != "" {
+		cfg.Detector = *detector
+	}
+	if *nEvents > 0 {
+		cfg.Events = *nEvents
+	}
+	if *crashEvery >= 0 {
+		cfg.CrashEvery = *crashEvery
+	}
+	cfg.LeaveEvery = *leaveEvery
+	return runAgg(out, cfg)
+}
+
+// runShareScenario parses the sharing lab's flags and runs it.
+func runShareScenario(args []string, out io.Writer) error {
+	fs := newFlagSet("share")
+	replay := fs.Bool("replay", false, "replay buffers + checkpointing (on by default in this scenario; the flag restates it)")
+	detector := fs.String("detector", "", "failure detection mode, home | gossip (see docs/DETECTOR.md)")
+	nEvents := fs.Int("events", 0, "events to drive (0 = scenario default)")
+	crashEvery := fs.Int("crash-every", -1, "crash an aggregation host every N events (0 = never, -1 = scenario default)")
+	leaveEvery := fs.Int("leave-every", 0, "an aggregation host gracefully leaves every N events, rejoining after MTTR (0 = never)")
+	subs := fs.Int("subs", 0, "number of overlapping subscriptions (0 = default 12)")
+	grow := fs.Int("grow", 0, "grow the worker pool to N at runtime via the membership join protocol (0 = static pool)")
+	joinEvery := fs.Int("join-every", 0, "admit one pending worker every N driven events (needs -grow)")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	cfg := workload.DefaultShare()
+	// Replay is on in DefaultShare (byte-identity through churn needs
+	// it); -replay stays legal as an explicit statement of the default.
+	cfg.Replay = cfg.Replay || *replay
+	if *detector != "" {
+		cfg.Detector = *detector
+	}
+	if *nEvents > 0 {
+		cfg.Events = *nEvents
+	}
+	if *crashEvery >= 0 {
+		cfg.CrashEvery = *crashEvery
+	}
+	cfg.LeaveEvery = *leaveEvery
+	if *subs > 0 {
+		cfg.Subs = *subs
+	}
+	if *grow > 0 {
+		if *grow <= cfg.Workers {
+			return fmt.Errorf("p2pmon: -grow %d must exceed the starting pool of %d workers", *grow, cfg.Workers)
+		}
+		cfg.GrowFrom = cfg.Workers
+		cfg.Workers = *grow
+		cfg.JoinEvery = *joinEvery
+	} else if *joinEvery > 0 {
+		return fmt.Errorf("p2pmon: -join-every needs -grow (there is nothing to admit)")
+	}
+	return runShare(out, cfg)
+}
+
+// runNetScenario parses the transport cluster's flags and runs it.
+func runNetScenario(args []string, out io.Writer) error {
+	fs := newFlagSet("net")
+	aggFn := fs.String("agg-fn", "", "aggregate function, count | sum | min | max | avg | set | distinct | freq (default count)")
+	users := fs.Int("users", 0, "distinct-value universe for value-consuming aggregate functions (0 = default 24)")
+	listen := fs.String("listen", "", "TCP listen address — run ONE cluster node as this OS process (needs -name and -peers; see docs/TRANSPORT.md)")
+	name := fs.String("name", "", "this node's peer name (with -listen)")
+	peersFlag := fs.String("peers", "", "full cluster map name=host:port,... including self (with -listen)")
+	nodes := fs.Int("nodes", 0, "cluster size for the in-process simnet backend (0 = default 3)")
+	windows := fs.Int("windows", 0, "windows to aggregate (0 = default 5)")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	cfg := netConfig{Fn: *aggFn, Users: *users, Windows: *windows, Nodes: *nodes,
+		Listen: *listen, Name: *name, Peers: *peersFlag}
+	return runNet(out, cfg)
+}
+
+// runAdaptScenario parses the self-adaptation lab's flags and runs it.
+func runAdaptScenario(args []string, out io.Writer) error {
+	fs := newFlagSet("adapt")
+	mode := fs.String("mode", "compare", "flat | static | adaptive | compare (compare runs all three and gates adaptive against static)")
+	nEvents := fs.Int("events", 0, "protocol periods to drive (0 = scenario default; the fault schedule scales with it)")
+	seed := fs.Int64("seed", 0, "deterministic seed (0 = scenario default)")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	cfg := workload.DefaultAdapt()
+	if *nEvents > 0 {
+		cfg.Events = *nEvents
+	}
+	if *seed != 0 {
+		cfg.Seed = *seed
+	}
+	return runAdapt(out, cfg, *mode)
+}
+
+// runAdapt runs the X6 scenario: the monitor monitoring itself. In
+// compare mode it runs the undisturbed flat ground truth, the static
+// configuration and the adaptive runtime over the same seeded fault
+// schedule and fails (non-zero exit) if the adaptive run false-kills
+// anyone, misses a real crash, never splits the hot interior, or drifts
+// from the flat baseline — the soak gate.
+func runAdapt(out io.Writer, cfg workload.AdaptConfig, mode string) error {
+	runOne := func(m string) (*workload.AdaptReport, error) {
+		c := cfg
+		c.Mode = m
+		lab, err := workload.SetupAdapt(c)
+		if err != nil {
+			return nil, err
+		}
+		return lab.Run()
+	}
+	fmt.Fprintf(out, "== scenario adapt ==\nevents: %d, window %v, degree %d, slow phase: +%v / %.0f%% loss, probe timeout %v, suspicion %v\n",
+		cfg.Events, cfg.Window, cfg.Degree, cfg.SlowDelay, cfg.SlowDrop*100, cfg.ProbeTimeout, cfg.Suspicion)
+	report := func(rep *workload.AdaptReport) {
+		fmt.Fprintf(out, "%-9s records %d, false kills %d, true kills %d, repairs %d, replayed %d\n",
+			rep.Mode+":", len(rep.Records), rep.FalseKills, rep.TrueKills, rep.Repairs, rep.Replayed)
+		if rep.Mode == "flat" {
+			return
+		}
+		fmt.Fprintf(out, "          splits %d, post-split ingest max %d mean %.1f (%.2fx), health peak %d\n",
+			rep.Splits, rep.PostMax, rep.PostMean, rep.PostRatio(), rep.HealthPeak)
+		fmt.Fprintf(out, "          control: %d quarantine engages, %d replication raises, quarantined at teardown: [%s]\n",
+			rep.Quarantines, rep.ReplRaises, strings.Join(rep.Quarantined, " "))
+	}
+
+	if mode != "compare" {
+		rep, err := runOne(mode)
+		if err != nil {
+			return err
+		}
+		report(rep)
+		return nil
+	}
+
+	flat, err := runOne("flat")
+	if err != nil {
+		return err
+	}
+	static, err := runOne("static")
+	if err != nil {
+		return err
+	}
+	adaptive, err := runOne("adaptive")
+	if err != nil {
+		return err
+	}
+	for _, rep := range []*workload.AdaptReport{flat, static, adaptive} {
+		report(rep)
+		if rep.Mode != "flat" {
+			fmt.Fprintf(out, "          completeness %.0f%% vs flat, byte-identical %v\n",
+				rep.Completeness(flat.Records)*100, rep.Identical(flat.Records))
+		}
+	}
+	switch {
+	case adaptive.FalseKills != 0:
+		return fmt.Errorf("p2pmon adapt: adaptive run false-killed %d peers: %v", adaptive.FalseKills, adaptive.Kills)
+	case adaptive.TrueKills < 1:
+		return fmt.Errorf("p2pmon adapt: adaptive run missed the flapper's real crashes")
+	case adaptive.Splits < 1:
+		return fmt.Errorf("p2pmon adapt: adaptive run never split the hot interior")
+	case !adaptive.Identical(flat.Records):
+		return fmt.Errorf("p2pmon adapt: adaptive records drifted from the flat baseline")
+	case static.FalseKills < 1:
+		return fmt.Errorf("p2pmon adapt: static run false-killed nobody — the scenario lost its trap")
+	}
+	fmt.Fprintf(out, "adaptive beats static: zero false kills (static %d), hot interior split at runtime, output byte-identical to flat\n",
+		static.FalseKills)
 	return nil
 }
 

@@ -2,6 +2,8 @@ package main
 
 import (
 	"bytes"
+	"errors"
+	"flag"
 	"os"
 	"path/filepath"
 	"strings"
@@ -156,6 +158,77 @@ func TestCustomSubscriptionFile(t *testing.T) {
 func TestBadFlagRejected(t *testing.T) {
 	if err := run([]string{"-bogus"}, &bytes.Buffer{}); err == nil {
 		t.Fatal("bad flag accepted")
+	}
+}
+
+// TestSubcommandForm: `p2pmon <scenario> [flags]` routes to the same
+// runner as the legacy -scenario spelling.
+func TestSubcommandForm(t *testing.T) {
+	var out bytes.Buffer
+	if err := run([]string{"rss"}, &out); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out.String(), "results on feedChanges@manager") {
+		t.Errorf("unexpected report:\n%s", out.String())
+	}
+	if err := run([]string{"nope"}, &bytes.Buffer{}); err == nil {
+		t.Error("unknown subcommand accepted")
+	}
+	if err := run([]string{"churn", "-agg", "tree"}, &bytes.Buffer{}); err == nil {
+		t.Error("foreign flag accepted by the churn subcommand")
+	}
+}
+
+// TestLegacyScenarioEquals: the -scenario=name spelling still works.
+func TestLegacyScenarioEquals(t *testing.T) {
+	var out bytes.Buffer
+	if err := run([]string{"-scenario=rss"}, &out); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out.String(), "feedChanges@manager") {
+		t.Errorf("unexpected report:\n%s", out.String())
+	}
+	if err := run([]string{"-scenario"}, &bytes.Buffer{}); err == nil {
+		t.Error("-scenario without a value accepted")
+	}
+}
+
+// TestScenarioScopedHelp: `p2pmon <scenario> -h` is help, not an error.
+func TestScenarioScopedHelp(t *testing.T) {
+	if err := run([]string{"agg", "-h"}, &bytes.Buffer{}); !errors.Is(err, flag.ErrHelp) {
+		t.Errorf("scoped help returned %v, want flag.ErrHelp", err)
+	}
+	if err := run([]string{"-h"}, &bytes.Buffer{}); !errors.Is(err, flag.ErrHelp) {
+		t.Errorf("top-level help returned %v, want flag.ErrHelp", err)
+	}
+}
+
+// TestAdaptScenario: the X6 lab as a subcommand — compare mode runs all
+// three deployments and gates adaptive against static.
+func TestAdaptScenario(t *testing.T) {
+	var out bytes.Buffer
+	if err := run([]string{"adapt"}, &out); err != nil {
+		t.Fatal(err)
+	}
+	s := out.String()
+	for _, want := range []string{"flat:", "static:", "adaptive:", "byte-identical true",
+		"adaptive beats static: zero false kills"} {
+		if !strings.Contains(s, want) {
+			t.Errorf("compare report missing %q:\n%s", want, s)
+		}
+	}
+	out.Reset()
+	if err := run([]string{"adapt", "-mode", "static"}, &out); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out.String(), "static:") || strings.Contains(out.String(), "adaptive:") {
+		t.Errorf("single-mode run leaked other modes:\n%s", out.String())
+	}
+	if err := run([]string{"adapt", "-mode", "chaotic"}, &bytes.Buffer{}); err == nil {
+		t.Error("unknown adapt mode accepted")
+	}
+	if err := run([]string{"adapt", "-replay"}, &bytes.Buffer{}); err == nil {
+		t.Error("foreign flag accepted by the adapt subcommand")
 	}
 }
 

@@ -15,7 +15,7 @@ import (
 )
 
 func main() {
-	sys := p2pm.NewSystem(p2pm.DefaultOptions())
+	sys := p2pm.MustSystem(p2pm.DefaultConfig())
 	noc := sys.MustAddPeer("noc") // network operations center
 
 	cfg := workload.DefaultEdos()

@@ -25,7 +25,7 @@ func main() {
 	}
 	fmt.Println(explained)
 
-	sys := peer.NewSystem(peer.DefaultOptions())
+	sys := peer.MustSystem(peer.DefaultConfig())
 	manager := sys.MustAddPeer("p")
 	if err := workload.SetupMeteo(sys, cfg); err != nil {
 		log.Fatal(err)

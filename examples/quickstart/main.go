@@ -12,7 +12,7 @@ import (
 )
 
 func main() {
-	sys := p2pm.NewSystem(p2pm.DefaultOptions())
+	sys := p2pm.MustSystem(p2pm.DefaultConfig())
 
 	// The monitoring peer (runs the Subscription Manager) and a service
 	// peer being monitored.

@@ -13,7 +13,7 @@ import (
 )
 
 func main() {
-	sys := p2pm.NewSystem(p2pm.DefaultOptions())
+	sys := p2pm.MustSystem(p2pm.DefaultConfig())
 	monitor := sys.MustAddPeer("monitor")
 	portal := sys.MustAddPeer("portal.com")
 

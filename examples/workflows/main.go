@@ -17,7 +17,7 @@ import (
 )
 
 func main() {
-	sys := p2pm.NewSystem(p2pm.DefaultOptions())
+	sys := p2pm.MustSystem(p2pm.DefaultConfig())
 	noc := sys.MustAddPeer("noc")
 	orch := sys.MustAddPeer("orchestrator")
 	svc := sys.MustAddPeer("svc.telecom")

@@ -1,0 +1,230 @@
+// Package adapt closes the monitoring loop: the monitor monitors
+// itself. A Loop couples the result stream of an ordinary P2PML
+// monitoring subscription — typically one watching the detector's own
+// death/recover telemetry (see Sysmon) — to registered control actions
+// on System.Tuning(), with hysteresis so the loop cannot flap.
+//
+// Each Rule classifies result items into (entity, firing) observations.
+// An entity engages its action only after Arm firing observations land
+// inside a sliding Within window of virtual time, and releases only
+// after Quiet has elapsed with no further firing observation. Between
+// those thresholds the rule holds its current state: a single transient
+// event neither engages an action nor releases one that is already
+// engaged, which is exactly the hysteresis a self-tuning system needs
+// to avoid oscillating against its own control surface.
+//
+// The loop is deterministic under the simulated clock: observations
+// carry virtual timestamps, Tick runs from the System.Step hook, and
+// entities are visited in sorted order.
+package adapt
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+	"time"
+
+	"p2pm/internal/stream"
+)
+
+// Rule couples a trigger classifying monitoring items to a control
+// action, with time-window hysteresis.
+type Rule struct {
+	// Name identifies the rule in Engaged and Events.
+	Name string
+	// Trigger classifies one monitoring item: which entity it concerns
+	// and whether it counts as a firing observation. Return entity ""
+	// to ignore the item entirely.
+	Trigger func(it stream.Item) (entity string, firing bool)
+	// Arm is how many firing observations within Within engage the
+	// action (minimum 1).
+	Arm int
+	// Within is the sliding window the Arm count is evaluated over;
+	// zero means firing observations never expire.
+	Within time.Duration
+	// Quiet releases an engaged entity after this much virtual time
+	// with no firing observation; zero means never auto-release.
+	Quiet time.Duration
+	// Engage runs when an entity crosses the Arm threshold.
+	Engage func(entity string, at time.Duration)
+	// Release runs when an engaged entity has been quiet long enough.
+	Release func(entity string, at time.Duration)
+}
+
+// ActionEvent is one audit record of the loop acting.
+type ActionEvent struct {
+	Rule    string
+	Entity  string
+	At      time.Duration
+	Engaged bool // true = Engage ran, false = Release ran
+}
+
+func (e ActionEvent) String() string {
+	verb := "release"
+	if e.Engaged {
+		verb = "engage"
+	}
+	return fmt.Sprintf("%s %s(%s) at %s", verb, e.Rule, e.Entity, e.At)
+}
+
+type entState struct {
+	fires    []time.Duration // firing timestamps still inside Within
+	lastFire time.Duration
+	engaged  bool
+}
+
+// Loop evaluates a set of rules over a stream of monitoring items.
+type Loop struct {
+	mu     sync.Mutex
+	rules  []Rule
+	states map[string]map[string]*entState // rule -> entity
+	events []ActionEvent
+}
+
+// NewLoop builds an empty loop.
+func NewLoop() *Loop {
+	return &Loop{states: make(map[string]map[string]*entState)}
+}
+
+// Add registers a rule. Rules require a name, a trigger and an engage
+// action; Arm below 1 is raised to 1.
+func (l *Loop) Add(r Rule) error {
+	if r.Name == "" {
+		return fmt.Errorf("adapt: rule needs a name")
+	}
+	if r.Trigger == nil {
+		return fmt.Errorf("adapt: rule %q needs a trigger", r.Name)
+	}
+	if r.Engage == nil {
+		return fmt.Errorf("adapt: rule %q needs an engage action", r.Name)
+	}
+	if r.Arm < 1 {
+		r.Arm = 1
+	}
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	for _, have := range l.rules {
+		if have.Name == r.Name {
+			return fmt.Errorf("adapt: rule %q registered twice", r.Name)
+		}
+	}
+	l.rules = append(l.rules, r)
+	l.states[r.Name] = make(map[string]*entState)
+	return nil
+}
+
+// MustAdd is Add that panics on a bad rule.
+func (l *Loop) MustAdd(r Rule) {
+	if err := l.Add(r); err != nil {
+		panic(err)
+	}
+}
+
+// Observe feeds one monitoring item through every rule. Engage actions
+// fire synchronously when an entity crosses its threshold.
+func (l *Loop) Observe(it stream.Item) {
+	if it.EOS() || it.Tree == nil {
+		return
+	}
+	l.mu.Lock()
+	var actions []func()
+	for i := range l.rules {
+		r := &l.rules[i]
+		entity, firing := r.Trigger(it)
+		if entity == "" || !firing {
+			continue
+		}
+		st := l.states[r.Name][entity]
+		if st == nil {
+			st = &entState{}
+			l.states[r.Name][entity] = st
+		}
+		st.lastFire = it.Time
+		st.fires = append(st.fires, it.Time)
+		st.fires = prune(st.fires, it.Time, r.Within)
+		if !st.engaged && len(st.fires) >= r.Arm {
+			st.engaged = true
+			l.events = append(l.events, ActionEvent{Rule: r.Name, Entity: entity, At: it.Time, Engaged: true})
+			rule, ent, at := *r, entity, it.Time
+			actions = append(actions, func() { rule.Engage(ent, at) })
+		}
+	}
+	l.mu.Unlock()
+	// Actions run outside the lock: they typically call back into the
+	// System (Tuning setters), which may re-enter the loop's accessors.
+	for _, act := range actions {
+		act()
+	}
+}
+
+// Tick advances the hysteresis clock: engaged entities whose last firing
+// observation is at least Quiet old are released. Call it from a
+// System.Step hook with the virtual now.
+func (l *Loop) Tick(now time.Duration) {
+	l.mu.Lock()
+	var actions []func()
+	for i := range l.rules {
+		r := &l.rules[i]
+		if r.Quiet <= 0 || r.Release == nil {
+			continue
+		}
+		for _, entity := range sortedEntities(l.states[r.Name]) {
+			st := l.states[r.Name][entity]
+			if st.engaged && now-st.lastFire >= r.Quiet {
+				st.engaged = false
+				st.fires = nil
+				l.events = append(l.events, ActionEvent{Rule: r.Name, Entity: entity, At: now, Engaged: false})
+				rule, ent := *r, entity
+				actions = append(actions, func() { rule.Release(ent, now) })
+			}
+		}
+	}
+	l.mu.Unlock()
+	for _, act := range actions {
+		act()
+	}
+}
+
+// Engaged lists the entities a rule currently holds engaged, sorted.
+func (l *Loop) Engaged(rule string) []string {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	var out []string
+	for entity, st := range l.states[rule] {
+		if st.engaged {
+			out = append(out, entity)
+		}
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Events returns the audit log of every engage/release taken so far.
+func (l *Loop) Events() []ActionEvent {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return append([]ActionEvent(nil), l.events...)
+}
+
+// prune drops firing timestamps that have slid out of the window.
+func prune(fires []time.Duration, now, within time.Duration) []time.Duration {
+	if within <= 0 {
+		return fires
+	}
+	keep := fires[:0]
+	for _, f := range fires {
+		if now-f < within {
+			keep = append(keep, f)
+		}
+	}
+	return keep
+}
+
+func sortedEntities(m map[string]*entState) []string {
+	out := make([]string, 0, len(m))
+	for k := range m {
+		out = append(out, k)
+	}
+	sort.Strings(out)
+	return out
+}

@@ -1,0 +1,154 @@
+package adapt
+
+import (
+	"testing"
+	"time"
+
+	"p2pm/internal/stream"
+	"p2pm/internal/xmltree"
+)
+
+func alertItem(kind, peer string, at time.Duration) stream.Item {
+	ev := xmltree.Elem(kind)
+	ev.SetAttr("peer", peer)
+	ev.SetAttr("at", at.String())
+	n := xmltree.Elem("alert")
+	n.SetAttr("type", "axml")
+	n.SetAttr("op", "create")
+	n.Append(ev)
+	return stream.Item{Tree: n, Time: at}
+}
+
+func TestLoopArmWithinWindow(t *testing.T) {
+	var engaged, released []string
+	l := NewLoop()
+	l.MustAdd(Rule{
+		Name:    "r",
+		Trigger: SysmonTrigger("death"),
+		Arm:     3,
+		Within:  10 * time.Second,
+		Quiet:   20 * time.Second,
+		Engage:  func(e string, _ time.Duration) { engaged = append(engaged, e) },
+		Release: func(e string, _ time.Duration) { released = append(released, e) },
+	})
+
+	// Two deaths inside the window: below threshold.
+	l.Observe(alertItem("death", "p1", 1*time.Second))
+	l.Observe(alertItem("death", "p1", 2*time.Second))
+	if got := l.Engaged("r"); len(got) != 0 {
+		t.Fatalf("engaged below threshold: %v", got)
+	}
+	// A third death, but only after the first two slid out of Within.
+	l.Observe(alertItem("death", "p1", 15*time.Second))
+	if got := l.Engaged("r"); len(got) != 0 {
+		t.Fatalf("stale observations counted toward Arm: %v", got)
+	}
+	// Three deaths within one window engage.
+	l.Observe(alertItem("death", "p1", 16*time.Second))
+	l.Observe(alertItem("death", "p1", 17*time.Second))
+	if got := l.Engaged("r"); len(got) != 1 || got[0] != "p1" {
+		t.Fatalf("want p1 engaged, got %v", got)
+	}
+	if len(engaged) != 1 || engaged[0] != "p1" {
+		t.Fatalf("engage action ran %v times", engaged)
+	}
+	// Still firing: Tick before Quiet elapses must not release.
+	l.Tick(30 * time.Second)
+	if got := l.Engaged("r"); len(got) != 1 {
+		t.Fatalf("released before Quiet: %v", got)
+	}
+	// Quiet elapsed: released exactly once.
+	l.Tick(37 * time.Second)
+	if got := l.Engaged("r"); len(got) != 0 {
+		t.Fatalf("still engaged after Quiet: %v", got)
+	}
+	if len(released) != 1 || released[0] != "p1" {
+		t.Fatalf("release action ran %v times", released)
+	}
+	// The audit log records both transitions in order.
+	ev := l.Events()
+	if len(ev) != 2 || !ev[0].Engaged || ev[1].Engaged {
+		t.Fatalf("audit log wrong: %v", ev)
+	}
+}
+
+func TestLoopEntitiesIndependent(t *testing.T) {
+	l := NewLoop()
+	l.MustAdd(Rule{
+		Name:    "r",
+		Trigger: SysmonTrigger("death"),
+		Arm:     2,
+		Within:  10 * time.Second,
+		Engage:  func(string, time.Duration) {},
+	})
+	l.Observe(alertItem("death", "a", 1*time.Second))
+	l.Observe(alertItem("death", "b", 2*time.Second))
+	if got := l.Engaged("r"); len(got) != 0 {
+		t.Fatalf("deaths of distinct peers pooled: %v", got)
+	}
+	l.Observe(alertItem("death", "a", 3*time.Second))
+	if got := l.Engaged("r"); len(got) != 1 || got[0] != "a" {
+		t.Fatalf("want only a engaged, got %v", got)
+	}
+}
+
+func TestLoopReengageAfterRelease(t *testing.T) {
+	count := 0
+	l := NewLoop()
+	l.MustAdd(Rule{
+		Name:    "r",
+		Trigger: SysmonTrigger("death"),
+		Arm:     2,
+		Within:  10 * time.Second,
+		Quiet:   5 * time.Second,
+		Engage:  func(string, time.Duration) { count++ },
+		Release: func(string, time.Duration) {},
+	})
+	l.Observe(alertItem("death", "p", 1*time.Second))
+	l.Observe(alertItem("death", "p", 2*time.Second))
+	l.Tick(8 * time.Second) // released
+	// One death after release must not re-engage (counter was reset).
+	l.Observe(alertItem("death", "p", 9*time.Second))
+	if got := l.Engaged("r"); len(got) != 0 {
+		t.Fatalf("re-engaged on a single observation: %v", got)
+	}
+	l.Observe(alertItem("death", "p", 10*time.Second))
+	if got := l.Engaged("r"); len(got) != 1 {
+		t.Fatalf("second burst did not re-engage: %v", got)
+	}
+	if count != 2 {
+		t.Fatalf("engage ran %d times, want 2", count)
+	}
+}
+
+func TestSysmonTriggerClassification(t *testing.T) {
+	trig := SysmonTrigger("death")
+	if e, f := trig(alertItem("death", "p", time.Second)); e != "p" || !f {
+		t.Fatalf("death: got (%q,%v)", e, f)
+	}
+	// A recover names the entity but does not fire.
+	if e, f := trig(alertItem("recover", "p", time.Second)); e != "p" || f {
+		t.Fatalf("recover: got (%q,%v)", e, f)
+	}
+	// Non-alert items are ignored.
+	if e, _ := trig(stream.Item{Tree: xmltree.Elem("row"), Time: time.Second}); e != "" {
+		t.Fatalf("non-alert classified as %q", e)
+	}
+}
+
+func TestLoopRejectsBadRules(t *testing.T) {
+	l := NewLoop()
+	if err := l.Add(Rule{Trigger: SysmonTrigger(), Engage: func(string, time.Duration) {}}); err == nil {
+		t.Fatal("nameless rule accepted")
+	}
+	if err := l.Add(Rule{Name: "x", Engage: func(string, time.Duration) {}}); err == nil {
+		t.Fatal("triggerless rule accepted")
+	}
+	if err := l.Add(Rule{Name: "x", Trigger: SysmonTrigger()}); err == nil {
+		t.Fatal("actionless rule accepted")
+	}
+	l.MustAdd(Rule{Name: "x", Trigger: SysmonTrigger(), Engage: func(string, time.Duration) {}})
+	if err := l.Add(Rule{Name: "x", Trigger: SysmonTrigger(), Engage: func(string, time.Duration) {}}); err == nil {
+		t.Fatal("duplicate rule name accepted")
+	}
+}

@@ -119,6 +119,49 @@ func widen(root *algebra.Node, id string, cfg Config) {
 	root.Inputs = nodes
 }
 
+// Split re-chunks one hot merge node's fan-in at runtime: the node's
+// children are divided into two halves, each pushed down under a fresh
+// key-routed sub-interior, so the hot node ingests two partial streams
+// where it ingested k. It is the load-adaptive counterpart of the
+// static Degree cap: Rewrite bounds fan-in by shape, Split bounds it by
+// observed ingest. The node is modified in place; the newly created
+// interiors are returned so the runtime can deploy them (empty when the
+// node is too narrow — every sub-interior must merge at least two
+// children, so k >= 4 is required). id must be unique per split (the
+// runtime passes a fresh sequence-numbered tree identity) so the new
+// routing keys collide with nothing already placed.
+func Split(n *algebra.Node, id string, cfg Config) []*algebra.Node {
+	k := len(n.Inputs)
+	if n.Op != algebra.OpMergeAgg || n.Group == nil || k < 4 {
+		return nil
+	}
+	size := (k + 1) / 2
+	var next, created []*algebra.Node
+	for i := 0; i < k; i += size {
+		end := i + size
+		if end > k {
+			end = k
+		}
+		chunk := n.Inputs[i:end:end]
+		key, peer := Key(id, 1, len(next)), ""
+		if cfg.Place != nil {
+			peer = cfg.Place(key)
+		}
+		if peer == "" {
+			peer = n.Peer
+		}
+		m := &algebra.Node{
+			Op: algebra.OpMergeAgg, Peer: peer, AggKey: key, Inputs: chunk,
+			Schema: append([]string(nil), n.Schema...),
+			Group:  derivedSpec(n.Group, false),
+		}
+		next = append(next, m)
+		created = append(created, m)
+	}
+	n.Inputs = next
+	return created
+}
+
 // build decomposes one Group node, or returns nil when it should stay
 // flat.
 // derivedSpec copies the flat Group's spec for a tree node, carrying the

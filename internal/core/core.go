@@ -19,9 +19,23 @@ type Monitor struct {
 	*peer.System
 }
 
-// New builds a monitor system.
-func New(opts peer.Options) *Monitor {
-	return &Monitor{System: peer.NewSystem(opts)}
+// New builds a monitor system from a validated configuration.
+func New(cfg peer.Config) (*Monitor, error) {
+	sys, err := peer.NewSystem(cfg)
+	if err != nil {
+		return nil, err
+	}
+	return &Monitor{System: sys}, nil
+}
+
+// MustNew is New that panics on a bad configuration (setup code and
+// tests).
+func MustNew(cfg peer.Config) *Monitor {
+	m, err := New(cfg)
+	if err != nil {
+		panic(err)
+	}
+	return m
 }
 
 // Explanation captures every stage of the Figure 3 processing chain for
@@ -55,7 +69,7 @@ func (m *Monitor) Explain(src, subscriber string) (*Explanation, error) {
 	if err != nil {
 		return nil, err
 	}
-	if m.Options().Reuse {
+	if m.Config().Reuse {
 		ro := reuse.Options{From: subscriber}
 		res, err := ro.Apply(ex.Optimized, m.DB)
 		if err != nil {

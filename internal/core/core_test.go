@@ -44,7 +44,7 @@ func TestExplainParseError(t *testing.T) {
 }
 
 func TestMonitorExplainWithReuse(t *testing.T) {
-	mon := New(peer.DefaultOptions())
+	mon := MustNew(peer.DefaultConfig())
 	mgr := mon.MustAddPeer("p")
 	mon.MustAddPeer("a.com")
 	mon.MustAddPeer("b.com")
@@ -79,9 +79,9 @@ func TestMonitorExplainWithReuse(t *testing.T) {
 }
 
 func TestMonitorExplainReuseDisabled(t *testing.T) {
-	opts := peer.DefaultOptions()
+	opts := peer.DefaultConfig()
 	opts.Reuse = false
-	mon := New(opts)
+	mon := MustNew(opts)
 	mon.MustAddPeer("a.com")
 	mon.MustAddPeer("b.com")
 	mon.MustAddPeer("meteo.com")

@@ -33,9 +33,9 @@ func runX1(s Scale) (*Result, error) {
 	holds := true
 	for d := 2; d <= depth; d++ {
 		run := func(reuseOn bool) (ops, alerters int, results []int, err error) {
-			opts := peer.DefaultOptions()
+			opts := peer.DefaultConfig()
 			opts.Reuse = reuseOn
-			sys := peer.NewSystem(opts)
+			sys := peer.MustSystem(opts)
 			m := sys.MustAddPeer("m.com")
 			m.Endpoint().Register("Q", func(*xmltree.Node) (*xmltree.Node, error) {
 				return xmltree.Elem("ok"), nil

@@ -29,7 +29,7 @@ func init() {
 
 func runF1(s Scale) (*Result, error) {
 	res := &Result{ID: "F1", Claim: "Figure 1: detect GetTemperature answers slower than 10s for clients of meteo.com"}
-	sys := peer.NewSystem(peer.DefaultOptions())
+	sys := peer.MustSystem(peer.DefaultConfig())
 	mgr := sys.MustAddPeer("p")
 	cfg := workload.DefaultMeteo()
 	if s == Quick {
@@ -62,7 +62,7 @@ func runF1(s Scale) (*Result, error) {
 
 func runF2(Scale) (*Result, error) {
 	res := &Result{ID: "F2", Claim: "Figure 2: a peer hosts a Subscription Manager plus alerters, stream processors and publishers"}
-	sys := peer.NewSystem(peer.DefaultOptions())
+	sys := peer.MustSystem(peer.DefaultConfig())
 	mgr := sys.MustAddPeer("p")
 	cfg := workload.DefaultMeteo()
 	if err := workload.SetupMeteo(sys, cfg); err != nil {

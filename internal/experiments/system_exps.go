@@ -39,10 +39,10 @@ func runC5(s Scale) (*Result, error) {
 	holds := true
 	for _, slowEvery := range []int{2, 5, 0 /* never slow */} {
 		run := func(pushdown bool) (uint64, error) {
-			opts := peer.DefaultOptions()
+			opts := peer.DefaultConfig()
 			opts.Pushdown = pushdown
 			opts.Reuse = false
-			sys := peer.NewSystem(opts)
+			sys := peer.MustSystem(opts)
 			mgr := sys.MustAddPeer("p")
 			cfg := workload.DefaultMeteo()
 			cfg.Calls = calls
@@ -103,9 +103,9 @@ func runC7(s Scale) (*Result, error) {
 	holds := true
 	for _, k := range subscribers {
 		run := func(reuseOn bool) (ops int, items uint64, bytes uint64, err error) {
-			opts := peer.DefaultOptions()
+			opts := peer.DefaultConfig()
 			opts.Reuse = reuseOn
-			sys := peer.NewSystem(opts)
+			sys := peer.MustSystem(opts)
 			cfg := workload.DefaultMeteo()
 			cfg.Calls = calls
 			cfg.SlowEvery = 2
@@ -332,7 +332,7 @@ func runC11(s Scale) (*Result, error) {
 
 	// Telecom.
 	{
-		sys := peer.NewSystem(peer.DefaultOptions())
+		sys := peer.MustSystem(peer.DefaultConfig())
 		cfg := workload.DefaultTelecom()
 		if s == Quick {
 			cfg.Workflows = 10
@@ -360,7 +360,7 @@ return <call wf="{$c.callId}" m="{$c.callMethod}"/> by publish as channel "allCa
 	}
 	// Edos.
 	{
-		sys := peer.NewSystem(peer.DefaultOptions())
+		sys := peer.MustSystem(peer.DefaultConfig())
 		cfg := workload.DefaultEdos()
 		if s == Quick {
 			cfg.Downloads, cfg.Queries = 40, 20

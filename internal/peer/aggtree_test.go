@@ -15,10 +15,10 @@ import (
 // host a monitored service and a ws-in alerter, workers w0..wW-1 are the
 // merge-host pool (the aggHosts filter keeps DHT-routed interiors on
 // them), the flat plan Group(Union(alerters)) sits at w0 and publishes
-// at mgr. With opts.AggDegree set, deployment decomposes it into a tree.
-func aggWorld(t *testing.T, opts Options, sources, workers int) (*System, *Task) {
+// at mgr. With opts.Agg.Degree set, deployment decomposes it into a tree.
+func aggWorld(t *testing.T, opts Config, sources, workers int) (*System, *Task) {
 	t.Helper()
-	sys := NewSystem(opts)
+	sys := MustSystem(opts)
 	mgr := sys.MustAddPeer("mgr")
 	sys.MustAddPeer("client")
 	var branches []*algebra.Node
@@ -110,15 +110,15 @@ func equalRecords(a, b []string) bool {
 // plan, and the union's O(n) ingest hotspot disappears.
 func TestAggTreeDeployMatchesFlat(t *testing.T) {
 	const sources, workers, events = 6, 3, 48
-	flatSys, flatTask := aggWorld(t, DefaultOptions(), sources, workers)
+	flatSys, flatTask := aggWorld(t, DefaultConfig(), sources, workers)
 	driveAgg(t, flatSys, sources, events, time.Second)
 	want := groupRecords(t, flatTask)
 	if len(want) == 0 {
 		t.Fatal("flat baseline produced no records")
 	}
 
-	opts := DefaultOptions()
-	opts.AggDegree = 3
+	opts := DefaultConfig()
+	opts.Agg.Degree = 3
 	treeSys, treeTask := aggWorld(t, opts, sources, workers)
 	leaves, interiors := 0, 0
 	treeTask.Plan.Walk(func(n *algebra.Node) {
@@ -156,9 +156,9 @@ func TestAggTreeDeployMatchesFlat(t *testing.T) {
 // so the second tree's keys see the same bounded-placement walk on
 // deployment and on every later re-derivation (repair, rebalance).
 func TestAggTreeTwoTreesPlacementInvariant(t *testing.T) {
-	opts := DefaultOptions()
-	opts.AggDegree = 2
-	sys := NewSystem(opts)
+	opts := DefaultConfig()
+	opts.Agg.Degree = 2
+	sys := MustSystem(opts)
 	mgr := sys.MustAddPeer("mgr")
 	mkGroup := func(lo, hi int) *algebra.Node {
 		var branches []*algebra.Node
@@ -215,14 +215,14 @@ func TestAggTreeTwoTreesPlacementInvariant(t *testing.T) {
 // no-churn baseline byte for byte.
 func TestAggTreeInteriorCrashExactlyOnce(t *testing.T) {
 	const sources, workers, events = 6, 3, 48
-	flatSys, flatTask := aggWorld(t, DefaultOptions(), sources, workers)
+	flatSys, flatTask := aggWorld(t, DefaultConfig(), sources, workers)
 	driveAgg(t, flatSys, sources, events, time.Second)
 	want := groupRecords(t, flatTask)
 
-	opts := DefaultOptions()
-	opts.AggDegree = 3
-	opts.ReplayBuffer = 4096
-	opts.CheckpointInterval = 2 * time.Second
+	opts := DefaultConfig()
+	opts.Agg.Degree = 3
+	opts.Replay.Buffer = 4096
+	opts.Replay.CheckpointInterval = 2 * time.Second
 	sys, task := aggWorld(t, opts, sources, workers)
 	client := sys.Peer("client")
 	// Crash mid-window (27s into 10s windows) and repair only three
@@ -278,14 +278,14 @@ func TestAggTreeInteriorCrashExactlyOnce(t *testing.T) {
 // windowed counts stay byte-identical to the flat baseline.
 func TestAggTreeRebalanceOnJoin(t *testing.T) {
 	const sources, workers, events = 6, 2, 48
-	flatSys, flatTask := aggWorld(t, DefaultOptions(), sources, workers)
+	flatSys, flatTask := aggWorld(t, DefaultConfig(), sources, workers)
 	driveAgg(t, flatSys, sources, events, time.Second)
 	want := groupRecords(t, flatTask)
 
-	opts := DefaultOptions()
-	opts.AggDegree = 3
-	opts.ReplayBuffer = 4096
-	opts.CheckpointInterval = 2 * time.Second
+	opts := DefaultConfig()
+	opts.Agg.Degree = 3
+	opts.Replay.Buffer = 4096
+	opts.Replay.CheckpointInterval = 2 * time.Second
 	sys, task := aggWorld(t, opts, sources, workers)
 	client := sys.Peer("client")
 	joined := 0
@@ -332,14 +332,14 @@ func TestAggTreeRebalanceOnJoin(t *testing.T) {
 // (the drift bug this is a regression test for).
 func TestAggTreeRebalanceOnRejoin(t *testing.T) {
 	const sources, workers, events = 6, 3, 48
-	flatSys, flatTask := aggWorld(t, DefaultOptions(), sources, workers)
+	flatSys, flatTask := aggWorld(t, DefaultConfig(), sources, workers)
 	driveAgg(t, flatSys, sources, events, time.Second)
 	want := groupRecords(t, flatTask)
 
-	opts := DefaultOptions()
-	opts.AggDegree = 3
-	opts.ReplayBuffer = 4096
-	opts.CheckpointInterval = 2 * time.Second
+	opts := DefaultConfig()
+	opts.Agg.Degree = 3
+	opts.Replay.Buffer = 4096
+	opts.Replay.CheckpointInterval = 2 * time.Second
 	sys, task := aggWorld(t, opts, sources, workers)
 	client := sys.Peer("client")
 	const crashAt, repairAt, rejoinAt = 17, 20, 33

@@ -70,7 +70,7 @@ func TestDetectorSuspicionThresholds(t *testing.T) {
 	}
 	for _, c := range cases {
 		t.Run(c.name, func(t *testing.T) {
-			sys := NewSystem(DefaultOptions())
+			sys := MustSystem(DefaultConfig())
 			sys.MustAddPeer("w")
 			sys.MustAddPeer("mon")
 			det := sys.StartDetector("mon", DetectorOptions{Interval: time.Second, Suspicion: c.suspicion})
@@ -120,7 +120,7 @@ func TestDetectorSlowButAlivePeer(t *testing.T) {
 	}
 	for _, c := range cases {
 		t.Run(c.name, func(t *testing.T) {
-			sys := NewSystem(DefaultOptions())
+			sys := MustSystem(DefaultConfig())
 			sys.MustAddPeer("w")
 			sys.MustAddPeer("mon")
 			sys.Net.SetExtraDelay("w", "mon", 2500*time.Millisecond)
@@ -144,7 +144,7 @@ func TestDetectorSlowButAlivePeer(t *testing.T) {
 // TestDetectorPartition: a partition separating a peer from the detector
 // is indistinguishable from a crash until it heals.
 func TestDetectorPartition(t *testing.T) {
-	sys := NewSystem(DefaultOptions())
+	sys := MustSystem(DefaultConfig())
 	sys.MustAddPeer("w")
 	sys.MustAddPeer("mon")
 	det := sys.StartDetector("mon", DetectorOptions{Interval: time.Second, Suspicion: 3 * time.Second})
@@ -172,7 +172,7 @@ func TestDetectorPartition(t *testing.T) {
 // subscription — the supervisor re-deploys the operator onto a live peer
 // and the traffic counters prove the failover path carried the data.
 func TestFailoverEndToEnd(t *testing.T) {
-	sys := NewSystem(DefaultOptions())
+	sys := MustSystem(DefaultConfig())
 	mgr := sys.MustAddPeer("mgr")
 	src := sys.MustAddPeer("src.com")
 	registerService(src)
@@ -255,7 +255,7 @@ func TestFailoverEndToEnd(t *testing.T) {
 // there and keeps publishing into the replica channel, so the replica's
 // existing subscribers never miss a beat.
 func TestFailoverPrefersAnnouncedReplica(t *testing.T) {
-	sys := NewSystem(DefaultOptions())
+	sys := MustSystem(DefaultConfig())
 	mgr := sys.MustAddPeer("mgr")
 	src := sys.MustAddPeer("src.com")
 	registerService(src)
@@ -324,7 +324,7 @@ func TestFailoverPrefersAnnouncedReplica(t *testing.T) {
 // not re-bind consumers to it (it would be silent forever); the chained
 // replica records lead to the live provider instead.
 func TestFailoverChainAfterRecovery(t *testing.T) {
-	sys := NewSystem(DefaultOptions())
+	sys := MustSystem(DefaultConfig())
 	mgr := sys.MustAddPeer("mgr")
 	src := sys.MustAddPeer("src.com")
 	registerService(src)
@@ -409,7 +409,7 @@ func TestFailoverChainAfterRecovery(t *testing.T) {
 // TestFailPeerSourceDeathDegrades: when the monitored peer itself dies,
 // its alerter has no replacement — the task reports itself degraded.
 func TestFailPeerSourceDeathDegrades(t *testing.T) {
-	sys := NewSystem(DefaultOptions())
+	sys := MustSystem(DefaultConfig())
 	mgr := sys.MustAddPeer("mgr")
 	src := sys.MustAddPeer("src.com")
 	registerService(src)
@@ -433,7 +433,7 @@ func TestFailPeerSourceDeathDegrades(t *testing.T) {
 // system is stable must eventually reach the subscriber, across many
 // migrations. Run with -race.
 func TestChurnSoak(t *testing.T) {
-	sys := NewSystem(DefaultOptions())
+	sys := MustSystem(DefaultConfig())
 	mgr := sys.MustAddPeer("mgr")
 	src := sys.MustAddPeer("src.com")
 	registerService(src)
@@ -521,7 +521,7 @@ func TestChurnSoak(t *testing.T) {
 // relay host's crash: phase 2 re-binds its ChannelIn to the re-deployed
 // provider announced in phase 1.
 func TestFailoverReusedStreamRebinds(t *testing.T) {
-	sys := NewSystem(DefaultOptions())
+	sys := MustSystem(DefaultConfig())
 	m := sys.MustAddPeer("m.com")
 	registerService(m)
 	c := sys.MustAddPeer("c.com")

@@ -1,0 +1,398 @@
+package peer
+
+import (
+	"fmt"
+	"sort"
+	"time"
+
+	"p2pm/internal/simnet"
+)
+
+// Config configures a System. It groups the former flat Options into
+// functional sub-structs (DHT placement, aggregation trees, the replay/
+// checkpoint layer, gossip detection defaults) and is validated by
+// NewSystem. Fields that stay meaningful after startup are mutable at
+// runtime through System.Tuning — the seam the adaptive controllers
+// (docs/ADAPTIVE.md) actuate through.
+type Config struct {
+	// Seed drives all simulation randomness.
+	Seed int64
+	// Reuse enables the Section 5 stream-reuse pass on new subscriptions.
+	Reuse bool
+	// Pushdown enables selection pushdown (disable only for baselines).
+	Pushdown bool
+	// IncludeEnvelopes embeds SOAP envelopes in WS alerts. They dominate
+	// alert size, which matters for the communication-savings benches.
+	IncludeEnvelopes bool
+	// JoinWindow, when non-zero, bounds join histories by virtual time —
+	// the garbage-collection mechanism of the paper's future work.
+	JoinWindow time.Duration
+	// DistinctWindow likewise bounds duplicate-removal memory.
+	DistinctWindow time.Duration
+	// DHT configures the stream-definition database's ring placement.
+	DHT DHTConfig
+	// Agg configures aggregation-tree decomposition and the load-driven
+	// re-chunking controller.
+	Agg AggConfig
+	// Replay configures the lossless-failover layer (replay buffers,
+	// cursors, operator checkpoints).
+	Replay ReplayConfig
+	// Gossip supplies system-level defaults for gossip failure detectors
+	// started without explicit values (StartGossipDetector merges them
+	// into zero fields of its GossipOptions argument).
+	Gossip GossipConfig
+	// Net overrides the simulated-network parameters; zero value uses
+	// simnet defaults seeded from Seed.
+	Net simnet.Options
+}
+
+// DHTConfig groups the stream-definition ring knobs.
+type DHTConfig struct {
+	// Replication is the number of copies the stream-definition database
+	// keeps per key (owner + successors). Values > 1 let lookups survive
+	// node crashes; <= 1 keeps a single copy. Mutable at runtime via
+	// Tuning.SetDHTReplication (subsequent puts — including every
+	// checkpoint sweep — pick the new factor up).
+	Replication int
+	// VirtualNodes gives every peer that many tokens on the ring instead
+	// of one: key ownership fragments into small arcs, so a membership
+	// change hands off ~K/n keys instead of whole successor arcs. <= 1
+	// keeps classic placement.
+	VirtualNodes int
+	// LoadBound, when > 0, enables bounded-load placement: no peer holds
+	// more than ceil(c·K/n) primary keys, capping its share of
+	// checkpoint/descriptor traffic at ~c× the mean. 0 keeps plain
+	// successor placement.
+	LoadBound float64
+	// ReadCache caches resolved bounded-load primary locations per
+	// reader, invalidated on membership or placement changes. Only
+	// meaningful with LoadBound > 0.
+	ReadCache bool
+}
+
+// AggConfig groups aggregation-tree construction and the adaptive
+// re-chunking controller.
+type AggConfig struct {
+	// Degree, when > 1, makes the deploy planner decompose windowed
+	// Group aggregation into a DHT-routed partial/merge fan-in tree
+	// whenever the aggregated union fans in more than Degree branches.
+	// 0 keeps every aggregation flat. See docs/AGGREGATION.md.
+	Degree int
+	// SplitRatio, when > 1, arms the load-driven re-chunking controller:
+	// each Step it compares every first-level interior's ingest rate
+	// against the tree mean, and an interior staying above
+	// SplitRatio×mean for SplitObservations consecutive Steps is split
+	// in place (its children re-chunked under fresh sub-interiors,
+	// exactly-once across the move). Requires the replay layer. 0
+	// disables re-chunking. Mutable via Tuning.SetAggSplitRatio.
+	SplitRatio float64
+	// SplitMinFanIn is the smallest interior fan-in the controller will
+	// split (a split must leave every new interior with ≥ 2 children).
+	// Default 4.
+	SplitMinFanIn int
+	// SplitObservations is the hysteresis depth: how many consecutive
+	// over-ratio Steps an interior must accumulate before it is split.
+	// Default 3.
+	SplitObservations int
+	// SplitCooldown is the minimum virtual time between two splits in
+	// the same task, bounding how fast the controller can reshape a
+	// tree. Default 0 (no cooldown).
+	SplitCooldown time.Duration
+}
+
+// ReplayConfig groups the lossless-failover layer.
+type ReplayConfig struct {
+	// Buffer, when > 0, makes every registered channel retain its last
+	// Buffer published items for retransmission, and turns on the
+	// consumer-side cursors and the per-Step anti-entropy sweep. 0 keeps
+	// the lossy fail-stop delivery semantics. See docs/REPLAY.md.
+	Buffer int
+	// CheckpointInterval, when > 0, snapshots every stateful operator
+	// each interval of virtual time into the DHT-replicated store;
+	// failover restores operators from their checkpoint instead of
+	// restarting them cold. Mutable via Tuning.SetCheckpointInterval.
+	CheckpointInterval time.Duration
+}
+
+// GossipConfig supplies system-level defaults for gossip detectors:
+// StartGossipDetector fills zero fields of its GossipOptions argument
+// from here, so workloads can configure detection once at the System.
+type GossipConfig struct {
+	// ProbeInterval is one protocol period (default 1s).
+	ProbeInterval time.Duration
+	// ProbeTimeout bounds a probe round trip (default 500ms).
+	ProbeTimeout time.Duration
+	// Suspicion is the refutation window before a suspect is declared
+	// dead in a view (default 3×ProbeInterval).
+	Suspicion time.Duration
+	// Adaptive enables Lifeguard-style local-health scaling of probe
+	// timeouts and suspicion windows. See docs/ADAPTIVE.md.
+	Adaptive bool
+	// HealthMax caps the health multiplier (default 8).
+	HealthMax int
+}
+
+// DefaultConfig enables the paper's full feature set, plus 2-way DHT
+// replication so stream-definition lookups survive churn.
+func DefaultConfig() Config {
+	return Config{
+		Seed:             1,
+		Reuse:            true,
+		Pushdown:         true,
+		IncludeEnvelopes: true,
+		DHT:              DHTConfig{Replication: 2},
+		Net:              simnet.DefaultOptions(),
+	}
+}
+
+// normalize fills derived defaults (after validation).
+func (c Config) normalize() Config {
+	if c.Net == (simnet.Options{}) {
+		c.Net = simnet.DefaultOptions()
+		c.Net.Seed = c.Seed
+	}
+	if c.Agg.SplitRatio > 0 {
+		if c.Agg.SplitMinFanIn == 0 {
+			c.Agg.SplitMinFanIn = 4
+		}
+		if c.Agg.SplitObservations == 0 {
+			c.Agg.SplitObservations = 3
+		}
+	}
+	if c.Gossip.HealthMax == 0 {
+		c.Gossip.HealthMax = 8
+	}
+	return c
+}
+
+// validate rejects configurations that cannot work rather than letting
+// them fail obscurely mid-run.
+func (c Config) validate() error {
+	if c.DHT.Replication < 0 {
+		return fmt.Errorf("peer: DHT.Replication %d is negative", c.DHT.Replication)
+	}
+	if c.DHT.VirtualNodes < 0 {
+		return fmt.Errorf("peer: DHT.VirtualNodes %d is negative", c.DHT.VirtualNodes)
+	}
+	if c.DHT.LoadBound < 0 {
+		return fmt.Errorf("peer: DHT.LoadBound %g is negative", c.DHT.LoadBound)
+	}
+	if c.DHT.LoadBound > 0 && c.DHT.LoadBound < 1 {
+		return fmt.Errorf("peer: DHT.LoadBound %g is below 1 (no peer could hold its fair share)", c.DHT.LoadBound)
+	}
+	if c.Agg.Degree < 0 || c.Agg.Degree == 1 {
+		return fmt.Errorf("peer: Agg.Degree %d must be 0 (flat) or >= 2", c.Agg.Degree)
+	}
+	if c.Agg.SplitRatio < 0 {
+		return fmt.Errorf("peer: Agg.SplitRatio %g is negative", c.Agg.SplitRatio)
+	}
+	if c.Agg.SplitRatio > 0 && c.Agg.SplitRatio <= 1 {
+		return fmt.Errorf("peer: Agg.SplitRatio %g must exceed 1 (an interior at the mean must not split)", c.Agg.SplitRatio)
+	}
+	if c.Agg.SplitRatio > 0 && c.Replay.Buffer <= 0 {
+		return fmt.Errorf("peer: Agg.SplitRatio needs the replay layer (Replay.Buffer > 0) for exactly-once re-chunking")
+	}
+	if c.Agg.SplitMinFanIn < 0 || c.Agg.SplitObservations < 0 || c.Agg.SplitCooldown < 0 {
+		return fmt.Errorf("peer: negative Agg split knob")
+	}
+	if c.Replay.Buffer < 0 {
+		return fmt.Errorf("peer: Replay.Buffer %d is negative", c.Replay.Buffer)
+	}
+	if c.Replay.CheckpointInterval < 0 {
+		return fmt.Errorf("peer: Replay.CheckpointInterval %v is negative", c.Replay.CheckpointInterval)
+	}
+	if c.Replay.CheckpointInterval > 0 && c.Replay.Buffer <= 0 {
+		return fmt.Errorf("peer: Replay.CheckpointInterval needs Replay.Buffer > 0 (checkpoint resume replays from the buffers)")
+	}
+	if c.Gossip.ProbeInterval < 0 || c.Gossip.ProbeTimeout < 0 || c.Gossip.Suspicion < 0 {
+		return fmt.Errorf("peer: negative Gossip duration")
+	}
+	if c.Gossip.HealthMax < 0 {
+		return fmt.Errorf("peer: Gossip.HealthMax %d is negative", c.Gossip.HealthMax)
+	}
+	if c.JoinWindow < 0 || c.DistinctWindow < 0 {
+		return fmt.Errorf("peer: negative operator window")
+	}
+	return nil
+}
+
+// ---------------------------------------------------------------------
+// Compatibility shim (one PR): the former flat Options surface.
+
+// Options is the pre-Config flat configuration.
+//
+// Deprecated: construct a Config (see DefaultConfig) and call NewSystem.
+// Options remains for one PR as a migration shim; Options.Config converts.
+type Options struct {
+	Seed               int64
+	Reuse              bool
+	Pushdown           bool
+	IncludeEnvelopes   bool
+	JoinWindow         time.Duration
+	DistinctWindow     time.Duration
+	DHTReplication     int
+	DHTVirtualNodes    int
+	DHTLoadBound       float64
+	DHTReadCache       bool
+	AggDegree          int
+	ReplayBuffer       int
+	CheckpointInterval time.Duration
+	Net                simnet.Options
+}
+
+// DefaultOptions is the flat-Options twin of DefaultConfig.
+//
+// Deprecated: use DefaultConfig.
+func DefaultOptions() Options {
+	return Options{Seed: 1, Reuse: true, Pushdown: true, IncludeEnvelopes: true, DHTReplication: 2, Net: simnet.DefaultOptions()}
+}
+
+// Config converts the flat shim into the grouped configuration.
+func (o Options) Config() Config {
+	return Config{
+		Seed:             o.Seed,
+		Reuse:            o.Reuse,
+		Pushdown:         o.Pushdown,
+		IncludeEnvelopes: o.IncludeEnvelopes,
+		JoinWindow:       o.JoinWindow,
+		DistinctWindow:   o.DistinctWindow,
+		DHT: DHTConfig{
+			Replication:  o.DHTReplication,
+			VirtualNodes: o.DHTVirtualNodes,
+			LoadBound:    o.DHTLoadBound,
+			ReadCache:    o.DHTReadCache,
+		},
+		Agg:    AggConfig{Degree: o.AggDegree},
+		Replay: ReplayConfig{Buffer: o.ReplayBuffer, CheckpointInterval: o.CheckpointInterval},
+		Net:    o.Net,
+	}
+}
+
+// ---------------------------------------------------------------------
+// Runtime tuning.
+
+// Tuning is the runtime-mutable control surface of a running System.
+// Every setter is safe to call mid-run — this is the seam the adaptive
+// controllers (and operators doing manual intervention) actuate through.
+// Mutations take effect at well-defined points: the next checkpoint
+// sweep, the next controller observation, the next detector tick.
+type Tuning struct{ s *System }
+
+// Tuning returns the runtime control surface.
+func (s *System) Tuning() Tuning { return Tuning{s: s} }
+
+// SetCheckpointInterval changes the operator checkpoint cadence (0
+// disables future sweeps; CheckpointNow still works).
+func (t Tuning) SetCheckpointInterval(d time.Duration) {
+	t.s.cfgMu.Lock()
+	t.s.cfg.Replay.CheckpointInterval = d
+	t.s.cfgMu.Unlock()
+}
+
+// SetAggSplitRatio re-arms (or, with 0, disarms) the load-driven
+// re-chunking controller at a new hot-interior threshold.
+func (t Tuning) SetAggSplitRatio(r float64) {
+	t.s.cfgMu.Lock()
+	t.s.cfg.Agg.SplitRatio = r
+	t.s.cfgMu.Unlock()
+}
+
+// SetDHTReplication changes the stream-definition replication factor.
+// Existing keys re-replicate as they are re-put — operator checkpoints
+// on the next sweep, stats on the next refresh — so raising it for a
+// hot checkpoint class converges within one checkpoint interval.
+func (t Tuning) SetDHTReplication(n int) {
+	if n < 1 {
+		n = 1
+	}
+	t.s.cfgMu.Lock()
+	t.s.cfg.DHT.Replication = n
+	t.s.cfgMu.Unlock()
+	t.s.Ring.SetReplication(n)
+}
+
+// SetGossipSuspicion changes the suspicion window of every running
+// gossip detector (the base value; adaptive health still scales it).
+func (t Tuning) SetGossipSuspicion(d time.Duration) {
+	t.s.cfgMu.Lock()
+	t.s.cfg.Gossip.Suspicion = d
+	t.s.cfgMu.Unlock()
+	for _, g := range t.s.gossipDetectors() {
+		g.SetSuspicion(d)
+	}
+}
+
+// SetGossipProbeTimeout changes the probe round-trip budget of every
+// running gossip detector.
+func (t Tuning) SetGossipProbeTimeout(d time.Duration) {
+	t.s.cfgMu.Lock()
+	t.s.cfg.Gossip.ProbeTimeout = d
+	t.s.cfgMu.Unlock()
+	for _, g := range t.s.gossipDetectors() {
+		g.SetProbeTimeout(d)
+	}
+}
+
+// SetAdaptiveSuspicion toggles Lifeguard-style health scaling on every
+// running gossip detector.
+func (t Tuning) SetAdaptiveSuspicion(on bool) {
+	t.s.cfgMu.Lock()
+	t.s.cfg.Gossip.Adaptive = on
+	t.s.cfgMu.Unlock()
+	for _, g := range t.s.gossipDetectors() {
+		g.SetAdaptive(on)
+	}
+}
+
+// QuarantineAggHost removes a peer from aggregation-tree interior
+// placement (on top of any SetAggHosts filter) and rebalances running
+// trees off it. The control action a flap-monitoring query triggers.
+func (t Tuning) QuarantineAggHost(name string) {
+	t.s.mu.Lock()
+	if t.s.quarantined == nil {
+		t.s.quarantined = make(map[string]bool)
+	}
+	changed := !t.s.quarantined[name]
+	t.s.quarantined[name] = true
+	t.s.mu.Unlock()
+	if changed && t.s.aggDegree() > 1 {
+		t.s.RebalanceAggTrees(t.s.Net.Clock().Now())
+	}
+}
+
+// LiftQuarantine re-admits a quarantined peer and rebalances trees
+// (interiors whose DHT-derived home it is move back).
+func (t Tuning) LiftQuarantine(name string) {
+	t.s.mu.Lock()
+	changed := t.s.quarantined[name]
+	delete(t.s.quarantined, name)
+	t.s.mu.Unlock()
+	if changed && t.s.aggDegree() > 1 {
+		t.s.RebalanceAggTrees(t.s.Net.Clock().Now())
+	}
+}
+
+// Quarantined lists currently quarantined aggregation hosts, sorted.
+func (t Tuning) Quarantined() []string {
+	t.s.mu.Lock()
+	defer t.s.mu.Unlock()
+	out := make([]string, 0, len(t.s.quarantined))
+	for name := range t.s.quarantined {
+		out = append(out, name)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// gossipDetectors snapshots the registered gossip detectors.
+func (s *System) gossipDetectors() []*GossipDetector {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	var out []*GossipDetector
+	for _, det := range s.detectors {
+		if g, ok := det.(*GossipDetector); ok {
+			out = append(out, g)
+		}
+	}
+	return out
+}

@@ -38,7 +38,7 @@ func (p *Peer) deploy(task *Task) error {
 	// windowed aggregations decompose into DHT-routed partial/merge
 	// trees before a single channel is allocated. The task's plan IS the
 	// rewritten plan — failover and checkpointing see the tree.
-	if deg := p.sys.opts.AggDegree; deg > 1 {
+	if deg := p.sys.aggDegree(); deg > 1 {
 		plan, _ = aggtree.Rewrite(plan, task.ID, aggtree.Config{Degree: deg, Place: p.sys.newAggPlacer()})
 		task.Plan = plan
 	}
@@ -216,10 +216,10 @@ func (p *Peer) makeProc(n *algebra.Node) (operators.Proc, error) {
 			Residual: algebra.JoinResidual(n.Inputs[0].Schema, n.Inputs[1].Schema, n.Join),
 			Combine:  algebra.JoinCombine(n.Inputs[0].Schema, n.Inputs[1].Schema),
 			UseIndex: true,
-			Window:   p.sys.opts.JoinWindow,
+			Window:   p.sys.Config().JoinWindow,
 		}, nil
 	case algebra.OpDistinct:
-		return &operators.Distinct{Window: p.sys.opts.DistinctWindow}, nil
+		return &operators.Distinct{Window: p.sys.Config().DistinctWindow}, nil
 	case algebra.OpGroup:
 		window, err := groupWindow(n)
 		if err != nil {
@@ -325,7 +325,7 @@ func (p *Peer) deployAlerter(task *Task, n *algebra.Node, out *stream.Channel) e
 		if n.Alerter.Kind == "ws-out" {
 			dir = alerters.Outbound
 		}
-		al := alerters.NewWS(name, dir, p.sys.opts.IncludeEnvelopes, clock, emit)
+		al := alerters.NewWS(name, dir, p.sys.Config().IncludeEnvelopes, clock, emit)
 		ep := p.sys.Fabric.Endpoint(n.Alerter.Peer)
 		if dir == alerters.Inbound {
 			ep.OnInbound(al.Hook())
@@ -429,7 +429,7 @@ func (p *Peer) runDynAlerter(task *Task, n *algebra.Node, driver *stream.Queue, 
 				}
 				flag := &atomic.Bool{}
 				flag.Store(true)
-				al := alerters.NewWS(n.Alerter.Func+"@"+peerName, dir, p.sys.opts.IncludeEnvelopes, clock,
+				al := alerters.NewWS(n.Alerter.Func+"@"+peerName, dir, p.sys.Config().IncludeEnvelopes, clock,
 					func(item stream.Item) {
 						if flag.Load() && !item.EOS() {
 							out.Publish(item)

@@ -13,7 +13,7 @@ import (
 // Group → publisher — the statistics-gathering shape the Edos motivation
 // needs (query rates per mirror), for which P2PML has no clause.
 func TestDeployPlanWithGroup(t *testing.T) {
-	sys := NewSystem(DefaultOptions())
+	sys := MustSystem(DefaultConfig())
 	noc := sys.MustAddPeer("noc")
 	m := sys.MustAddPeer("mirror-0")
 	m.Endpoint().Register("GetPackage", func(*xmltree.Node) (*xmltree.Node, error) {
@@ -66,7 +66,7 @@ func TestDeployPlanWithGroup(t *testing.T) {
 }
 
 func TestDeployPlanValidation(t *testing.T) {
-	sys := NewSystem(DefaultOptions())
+	sys := MustSystem(DefaultConfig())
 	p := sys.MustAddPeer("p")
 	if _, err := p.DeployPlan(nil); err == nil {
 		t.Error("nil plan accepted")
@@ -88,7 +88,7 @@ func TestDeployPlanValidation(t *testing.T) {
 // TestDeployPlanEquivalentToSubscribe: deploying the optimized plan of a
 // parsed subscription behaves like Subscribe (minus the reuse pass).
 func TestDeployPlanEquivalentToSubscribe(t *testing.T) {
-	sys := NewSystem(DefaultOptions())
+	sys := MustSystem(DefaultConfig())
 	mgr := sys.MustAddPeer("mgr")
 	m := sys.MustAddPeer("m.com")
 	m.Endpoint().Register("Q", func(*xmltree.Node) (*xmltree.Node, error) {

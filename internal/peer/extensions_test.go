@@ -13,7 +13,7 @@ import (
 // (superset of conditions) is deployed as a residual filter over the
 // broad stream and still produces exactly the right results.
 func TestSubsumptionReuseLive(t *testing.T) {
-	sys := NewSystem(DefaultOptions())
+	sys := MustSystem(DefaultConfig())
 	m := sys.MustAddPeer("m.com")
 	m.Endpoint().Register("Q", func(*xmltree.Node) (*xmltree.Node, error) {
 		return xmltree.Elem("ok"), nil
@@ -80,7 +80,7 @@ return <fromX id="{$e.callId}"/> by publish as channel "xQ"`)
 // TestJoinWindowOptionBoundsState: the Section 7 GC extension is
 // reachable through system options and does not lose in-window matches.
 func TestJoinWindowOptionBoundsState(t *testing.T) {
-	opts := DefaultOptions()
+	opts := DefaultConfig()
 	opts.JoinWindow = 2 * time.Minute
 	sys, p := meteoWorld(t, opts, func(int) bool { return true }) // all slow
 	task, err := p.Subscribe(figure1)
@@ -105,9 +105,9 @@ func TestJoinWindowOptionBoundsState(t *testing.T) {
 
 // TestDistinctWindowOption: duplicate suppression forgets old items.
 func TestDistinctWindowOption(t *testing.T) {
-	opts := DefaultOptions()
+	opts := DefaultConfig()
 	opts.DistinctWindow = time.Minute
-	sys := NewSystem(opts)
+	sys := MustSystem(opts)
 	mon := sys.MustAddPeer("mon")
 	m := sys.MustAddPeer("m.com")
 	m.Endpoint().Register("Q", func(*xmltree.Node) (*xmltree.Node, error) {
@@ -132,7 +132,7 @@ return distinct <caller>{$e.caller}</caller> by publish as channel "callers"`)
 
 // TestNestedSubscriptionLive deploys a nested subscription end to end.
 func TestNestedSubscriptionLive(t *testing.T) {
-	sys := NewSystem(DefaultOptions())
+	sys := MustSystem(DefaultConfig())
 	mon := sys.MustAddPeer("mon")
 	m := sys.MustAddPeer("m.com")
 	m.Endpoint().Register("Q", func(*xmltree.Node) (*xmltree.Node, error) {
@@ -159,7 +159,7 @@ return $x by publish as channel "nested"`)
 // subscriptions can select on — error management, the paper's first
 // motivating context.
 func TestFaultMonitoring(t *testing.T) {
-	sys := NewSystem(DefaultOptions())
+	sys := MustSystem(DefaultConfig())
 	mon := sys.MustAddPeer("mon")
 	m := sys.MustAddPeer("m.com")
 	calls := 0

@@ -118,7 +118,7 @@ func (s *System) StartSupervisor(home string, opts DetectorOptions) *Supervisor 
 // home detector would have lived on — crashes or is partitioned away.
 func (s *System) StartGossipSupervisor(opts GossipOptions) *Supervisor {
 	if opts.Seed == 0 {
-		opts.Seed = s.opts.Seed
+		opts.Seed = s.Config().Seed
 	}
 	return s.superviseDetector(s.StartGossipDetector(opts))
 }
@@ -221,7 +221,7 @@ func (s *System) LeavePeer(name string) ([]FailoverEvent, error) {
 	s.Net.Crash(name)  //nolint:errcheck // the peer is gone; links go down
 	s.severForwarders(name)
 	events := s.repairDeparted(name, at)
-	if s.opts.AggDegree > 1 {
+	if s.aggDegree() > 1 {
 		// Ring ownership changed: re-parent any aggregation-tree
 		// interiors whose DHT-derived host moved with the departure.
 		events = append(events, s.RebalanceAggTrees(at)...)
@@ -358,7 +358,7 @@ func (s *System) RejoinPeer(name string) []FailoverEvent {
 		return nil
 	}
 	s.Ring.Join(name) //nolint:errcheck // already-joined is fine
-	if s.opts.AggDegree > 1 {
+	if s.aggDegree() > 1 {
 		return s.RebalanceAggTrees(s.Net.Clock().Now())
 	}
 	return nil

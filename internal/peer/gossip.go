@@ -72,6 +72,20 @@ type GossipOptions struct {
 	// λ·⌈log₂(n+1)⌉ outgoing messages per view, the epidemic
 	// dissemination budget. Default 3.
 	RetransmitFactor int
+	// Adaptive enables Lifeguard-style local health awareness (Dadgar
+	// et al. 2018): each view keeps a health score in [0, HealthMax],
+	// raised when its own probes of live-believed members fail or when
+	// it learns it is itself being suspected, lowered when a probe
+	// succeeds within the base timeout while the view holds no open
+	// suspicion. The view's probe timeout and suspicion window scale by
+	// (1 + health), so a node whose own links are slow grows
+	// conservative about declaring others dead — instead of flooding
+	// the gossip with false suspicions — while a healthy node keeps the
+	// base detection latency for true crashes. Default off.
+	Adaptive bool
+	// HealthMax caps the health score and so the timeout multiplier
+	// (1 + HealthMax). Default 8.
+	HealthMax int
 }
 
 func (o GossipOptions) withDefaults() GossipOptions {
@@ -108,6 +122,9 @@ func (o GossipOptions) withDefaults() GossipOptions {
 	if o.RetransmitFactor <= 0 {
 		o.RetransmitFactor = 3
 	}
+	if o.HealthMax <= 0 {
+		o.HealthMax = 8
+	}
 	return o
 }
 
@@ -136,6 +153,8 @@ type memberInfo struct {
 	status gossipStatus
 	inc    uint64        // highest incarnation this view has seen
 	since  time.Duration // virtual time the current status was entered
+	own    bool          // this view raised the current suspicion itself
+	spent  bool          // the one failed-confirmation window extension was used
 }
 
 // gossipUpdate is one piggybacked membership statement.
@@ -150,11 +169,13 @@ type gossipUpdate struct {
 // what it believes about every other member, and the updates it still
 // owes the gossip stream.
 type gossipView struct {
-	self      string
-	inc       uint64 // own incarnation, bumped to refute suspicion
-	members   map[string]*memberInfo
-	queue     []gossipUpdate // pending dissemination, round-robin
-	nextProbe time.Duration  // virtual time of the next protocol period
+	self       string
+	inc        uint64 // own incarnation, bumped to refute suspicion
+	members    map[string]*memberInfo
+	queue      []gossipUpdate // pending dissemination, round-robin
+	nextProbe  time.Duration  // virtual time of the next protocol period
+	health     int            // Lifeguard local health score (adaptive mode)
+	fastStreak int            // consecutive prompt probes since the last bump (adaptive mode)
 }
 
 // GossipDetector runs the protocol for every member on the shared
@@ -183,7 +204,24 @@ type GossipDetector struct {
 
 // StartGossipDetector starts the gossip protocol over every currently
 // registered peer. It is ticked by System.Step like any detector.
+// Zero option fields fall back to the system Config's Gossip section
+// before the protocol defaults apply, so tuning set at construction
+// reaches detectors started later without repeating it per call.
 func (s *System) StartGossipDetector(opts GossipOptions) *GossipDetector {
+	gc := s.Config().Gossip
+	if opts.ProbeInterval <= 0 {
+		opts.ProbeInterval = gc.ProbeInterval
+	}
+	if opts.ProbeTimeout <= 0 {
+		opts.ProbeTimeout = gc.ProbeTimeout
+	}
+	if opts.Suspicion <= 0 {
+		opts.Suspicion = gc.Suspicion
+	}
+	opts.Adaptive = opts.Adaptive || gc.Adaptive
+	if opts.HealthMax <= 0 {
+		opts.HealthMax = gc.HealthMax
+	}
 	g := &GossipDetector{
 		sys:       s,
 		opts:      opts.withDefaults(),
@@ -489,25 +527,37 @@ func (g *GossipDetector) Tick() {
 // fails.
 func (g *GossipDetector) probeRound(v *gossipView, at time.Duration) {
 	for _, target := range g.pickTargets(v) {
-		g.probes++
-		if g.directProbe(v, target) {
-			continue
-		}
-		// Indirect escalation: ask k random live-believed proxies to
-		// probe the target on our behalf. Any successful relay path
-		// refutes the failure (it was our link, not the target).
-		ok := false
-		for _, proxy := range g.pickProxies(v, target) {
-			g.indirect++
-			if g.relayProbe(v, proxy, target) {
-				ok = true
-				break
+		if !g.probeOnce(v, target) {
+			// Lifeguard: a fully failed probe of a member we believed
+			// alive implicates our own node or links as much as the
+			// target. Raise local health (widening our timeouts) before
+			// suspecting. Probes of already-suspected or dead-believed
+			// members don't count — re-probing a genuinely crashed peer
+			// every period must not inflate our score and slow down
+			// detection of the next real crash.
+			if m := v.members[target]; m != nil && m.status == gossipAlive {
+				g.healthBump(v)
 			}
-		}
-		if !ok {
 			g.suspect(v, target, at)
 		}
 	}
+}
+
+// probeOnce is one full probe cycle of one target: direct, then
+// indirect escalation through k random live-believed proxies. Any
+// successful path counts as hearing the target.
+func (g *GossipDetector) probeOnce(v *gossipView, target string) bool {
+	g.probes++
+	if g.directProbe(v, target) {
+		return true
+	}
+	for _, proxy := range g.pickProxies(v, target) {
+		g.indirect++
+		if g.relayProbe(v, proxy, target) {
+			return true
+		}
+	}
+	return false
 }
 
 // pickTargets selects this period's probe subset uniformly from the
@@ -586,10 +636,13 @@ func (g *GossipDetector) directProbe(v *gossipView, target string) bool {
 	if !ok {
 		return false
 	}
-	if lat1+lat2 > g.opts.ProbeTimeout {
+	if lat1+lat2 > g.probeTimeoutFor(v) {
 		return false
 	}
 	g.observeAlive(v, target, tv.inc)
+	if lat1+lat2 <= g.opts.ProbeTimeout {
+		g.healthDecay(v)
+	}
 	return true
 }
 
@@ -608,12 +661,15 @@ func (g *GossipDetector) relayProbe(v *gossipView, proxy, target string) bool {
 		}
 		total += lat
 	}
-	if total > g.opts.ProbeTimeout {
+	if total > g.probeTimeoutFor(v) {
 		return false
 	}
 	g.observeAlive(v, target, tv.inc)
 	// The proxy heard the target too.
 	g.observeAlive(pv, target, tv.inc)
+	if total <= g.opts.ProbeTimeout {
+		g.healthDecay(v)
+	}
 	return true
 }
 
@@ -709,10 +765,14 @@ func (g *GossipDetector) applyUpdate(v *gossipView, u gossipUpdate, now time.Dur
 	if u.peer == v.self {
 		// Refutation: someone claims we are suspect or dead. Bump our
 		// incarnation above the claim and gossip the alive statement —
-		// it outranks the rumor everywhere it lands.
+		// it outranks the rumor everywhere it lands. Being suspected is
+		// also first-hand evidence that we look slow from outside —
+		// Lifeguard raises local health on it, widening our own timeouts
+		// so a degraded node stops suspecting everyone else in turn.
 		if u.status != gossipAlive && u.inc >= v.inc {
 			v.inc = u.inc + 1
 			g.enqueue(v, gossipUpdate{peer: v.self, status: gossipAlive, inc: v.inc})
+			g.healthBump(v)
 		}
 		return
 	}
@@ -731,7 +791,14 @@ func (g *GossipDetector) applyUpdate(v *gossipView, u gossipUpdate, now time.Dur
 	if m.status != u.status {
 		m.since = now
 	}
-	m.status, m.inc = u.status, u.inc
+	// Lifeguard: a refuted own suspicion is first-hand proof this view
+	// raised a false alarm — raise local health so the next encounter
+	// with the same degraded member starts from a wider window instead
+	// of repeating the mistake at base latency.
+	if m.own && m.status == gossipSuspect && u.status == gossipAlive {
+		g.healthBump(v)
+	}
+	m.status, m.inc, m.own, m.spent = u.status, u.inc, false, false
 	g.enqueue(v, gossipUpdate{peer: u.peer, status: u.status, inc: u.inc})
 }
 
@@ -753,7 +820,141 @@ func (g *GossipDetector) suspect(v *gossipView, target string, at time.Duration)
 	}
 	m.status = gossipSuspect
 	m.since = at
+	m.own = true
+	m.spent = false
 	g.enqueue(v, gossipUpdate{peer: target, status: gossipSuspect, inc: m.inc})
+}
+
+// probeTimeoutFor is the probe timeout one view applies: the base
+// timeout scaled by (1 + health) in adaptive mode.
+func (g *GossipDetector) probeTimeoutFor(v *gossipView) time.Duration {
+	if !g.opts.Adaptive || v.health <= 0 {
+		return g.opts.ProbeTimeout
+	}
+	return g.opts.ProbeTimeout * time.Duration(1+v.health)
+}
+
+// suspicionFor is the refutation window one view grants its suspects:
+// the base window scaled by (1 + health) in adaptive mode. The sweep
+// reads it fresh every period, so a health bump extends windows for
+// suspicions already open.
+func (g *GossipDetector) suspicionFor(v *gossipView) time.Duration {
+	if !g.opts.Adaptive || v.health <= 0 {
+		return g.opts.Suspicion
+	}
+	return g.opts.Suspicion * time.Duration(1+v.health)
+}
+
+// healthDecayStreak is the floor on how many consecutive
+// promptly-answered probes a view must accumulate before its health
+// score relaxes by one; decayStreakFor raises it to the view's member
+// count so a full probe rotation must pass clean. Raising is instant,
+// relaxing is slow (the Lifeguard asymmetry): a view that still fails
+// on one member per rotation — a degraded peer somewhere in its random
+// probe cycle — never completes the streak and keeps its widened
+// timeouts, while a genuinely recovered view drains its score within a
+// few rotations. Without the membership scaling, large memberships
+// defeat the ratchet: a view meets the slow peer only every ~n rounds,
+// drains its whole score on the fast peers in between, and every new
+// suspicion restarts from the narrowest window.
+const healthDecayStreak = 4
+
+// decayStreakFor is the prompt-success streak one view must complete
+// before healthDecay relaxes its score: one full rotation of its
+// membership, floored at healthDecayStreak.
+func decayStreakFor(v *gossipView) int {
+	if n := len(v.members); n > healthDecayStreak {
+		return n
+	}
+	return healthDecayStreak
+}
+
+// healthBump raises a view's local health score (saturating at
+// HealthMax) and resets its success streak. No-op outside adaptive mode.
+func (g *GossipDetector) healthBump(v *gossipView) {
+	if !g.opts.Adaptive {
+		return
+	}
+	v.fastStreak = 0
+	if v.health < g.opts.HealthMax {
+		v.health++
+	}
+}
+
+// healthDecay counts a promptly answered probe toward the relax streak
+// and lowers the health score when the streak completes — but only
+// while the view holds no open suspicion. Decaying mid-suspicion would
+// shrink the suspect's refutation window from under it and re-introduce
+// the oscillating false kill the score exists to prevent; health thaws
+// only once the slate is clean.
+func (g *GossipDetector) healthDecay(v *gossipView) {
+	if !g.opts.Adaptive || v.health == 0 || g.holdsSuspect(v) {
+		return
+	}
+	v.fastStreak++
+	if v.fastStreak >= decayStreakFor(v) {
+		v.fastStreak = 0
+		v.health--
+	}
+}
+
+// holdsSuspect reports whether a view currently suspects anyone.
+func (g *GossipDetector) holdsSuspect(v *gossipView) bool {
+	for _, m := range v.members {
+		if m.status == gossipSuspect {
+			return true
+		}
+	}
+	return false
+}
+
+// HealthOf reports a member's current Lifeguard health score (0 when
+// unknown or adaptive mode is off) — diagnostics and tests.
+func (g *GossipDetector) HealthOf(peer string) int {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	if v := g.views[peer]; v != nil {
+		return v.health
+	}
+	return 0
+}
+
+// SetSuspicion replaces the base suspicion window at runtime. Open
+// suspicions are re-judged against the new window at the next sweep.
+// Non-positive values are ignored.
+func (g *GossipDetector) SetSuspicion(d time.Duration) {
+	if d <= 0 {
+		return
+	}
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	g.opts.Suspicion = d
+}
+
+// SetProbeTimeout replaces the base probe timeout at runtime.
+// Non-positive values are ignored.
+func (g *GossipDetector) SetProbeTimeout(d time.Duration) {
+	if d <= 0 {
+		return
+	}
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	g.opts.ProbeTimeout = d
+}
+
+// SetAdaptive switches Lifeguard health scaling on or off at runtime.
+// Switching off resets every view's health so the next enable starts
+// from a clean slate.
+func (g *GossipDetector) SetAdaptive(on bool) {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	g.opts.Adaptive = on
+	if !on {
+		for _, v := range g.views {
+			v.health = 0
+			v.fastStreak = 0
+		}
+	}
 }
 
 // sweepSuspicion promotes suspects whose refutation window expired to
@@ -766,11 +967,64 @@ func (g *GossipDetector) sweepSuspicion(now time.Duration) {
 		}
 		for _, other := range g.order {
 			m := v.members[other]
-			if m != nil && m.status == gossipSuspect && now-m.since > g.opts.Suspicion {
-				m.status = gossipDead
-				m.since = now
-				g.enqueue(v, gossipUpdate{peer: other, status: gossipDead, inc: m.inc})
+			if m == nil || m.status != gossipSuspect {
+				continue
 			}
+			// A spent extension re-armed the clock only to reach the next
+			// confirmation round: it waits the base window, not the scaled
+			// one, so a genuine crash pays one short grace period — not a
+			// second full (1+health)-scaled suspicion — before declaration.
+			window := g.suspicionFor(v)
+			if m.spent {
+				window = g.opts.Suspicion
+			}
+			if now-m.since <= window {
+				continue
+			}
+			// Lifeguard last-chance confirmation: before declaring the
+			// death, an adaptive view probes the suspect again. A
+			// genuinely crashed peer fails instantly — true-crash latency
+			// is unchanged — but a delayed-but-alive peer gets a final
+			// direct channel to refute (the probe exchange carries the
+			// suspicion to it and its incarnation bump back), closing the
+			// race where every gossiped refutation was lost to the same
+			// degraded links that raised the suspicion. Like the timeouts,
+			// the number of attempts scales with the health score: a view
+			// that already knows the network is degraded spends more paths
+			// before trusting a silence.
+			if g.opts.Adaptive {
+				refuted := false
+				for i := 0; i <= v.health && !refuted; i++ {
+					refuted = g.probeOnce(v, other)
+				}
+				// A probe can miss its timeout and still deliver: the ack
+				// already carried the target's incarnation bump into this
+				// view. Declaring death now would stamp the rumor with the
+				// refuted-past incarnation's successor and outrank the
+				// refutation everywhere — so any evidence of life stands.
+				if refuted || m.status != gossipSuspect {
+					continue
+				}
+				// First failed confirmation: escalate instead of declaring.
+				// A view that adopted this suspicion second-hand may still
+				// sit at health 0 with base-latency expectations; the failed
+				// confirmation is its own first-hand evidence of degradation,
+				// so raise health and re-arm the clock once (for the base
+				// window — see above). A genuinely crashed peer just fails
+				// the re-probe one base window later, while a delayed-but-
+				// alive peer gets a second confirmation round at escalated
+				// timeouts, where a delivered probe now beats the timeout.
+				if !m.spent {
+					m.spent = true
+					m.since = now
+					g.healthBump(v)
+					continue
+				}
+			}
+			m.status = gossipDead
+			m.since = now
+			m.own = false
+			g.enqueue(v, gossipUpdate{peer: other, status: gossipDead, inc: m.inc})
 		}
 	}
 }

@@ -1,6 +1,7 @@
 package peer
 
 import (
+	"strings"
 	"fmt"
 	"testing"
 	"time"
@@ -10,7 +11,7 @@ import (
 // p0..pN-1, default network, seeded deterministically.
 func gossipLab(t *testing.T, nPeers int, opts GossipOptions) (*System, *GossipDetector) {
 	t.Helper()
-	sys := NewSystem(DefaultOptions())
+	sys := MustSystem(DefaultConfig())
 	for i := 0; i < nPeers; i++ {
 		sys.MustAddPeer(fmt.Sprintf("p%d", i))
 	}
@@ -157,7 +158,7 @@ func TestGossipSupervisorSurvivesHomePartition(t *testing.T) {
 		results        int
 	}
 	runMode := func(gossip bool) outcome {
-		sys := NewSystem(DefaultOptions())
+		sys := MustSystem(DefaultConfig())
 		mgr := sys.MustAddPeer("mgr")
 		src := sys.MustAddPeer("src.com")
 		registerService(src)
@@ -317,5 +318,135 @@ func TestGossipFanoutCutsDetectionTail(t *testing.T) {
 	}
 	if p3 <= p1 {
 		t.Errorf("fanout 3 sent %d probes vs %d at fanout 1 — the cost should scale with fanout", p3, p1)
+	}
+}
+
+// slowLinks injects extra delay on every link touching victim, both
+// directions — the peer is alive but slow, the classic gossip
+// false-positive trap.
+func slowLinks(sys *System, nPeers int, victim string, d time.Duration, drop float64) {
+	for i := 0; i < nPeers; i++ {
+		p := fmt.Sprintf("p%d", i)
+		if p == victim {
+			continue
+		}
+		sys.Net.SetExtraDelay(p, victim, d)
+		sys.Net.SetExtraDelay(victim, p, d)
+		sys.Net.SetDrop(p, victim, drop)
+		sys.Net.SetDrop(victim, p, drop)
+	}
+}
+
+func deathsOf(tl timeline, peer string) int {
+	n := 0
+	for _, e := range tl {
+		if strings.HasPrefix(e, "dead "+peer+" ") {
+			n++
+		}
+	}
+	return n
+}
+
+// TestGossipAdaptiveShieldsSlowPeer is the Lifeguard acceptance
+// scenario: under an aggressive static configuration a delayed-but-alive
+// peer is falsely declared dead, while the identical schedule with
+// Adaptive enabled kills nobody — local health scaling stretches the
+// probe timeout until re-probes reach the slow peer again.
+func TestGossipAdaptiveShieldsSlowPeer(t *testing.T) {
+	run := func(adaptive bool) (timeline, *GossipDetector) {
+		sys, det := gossipLab(t, 5, GossipOptions{
+			Seed: 9, ProbeInterval: time.Second,
+			ProbeTimeout: 500 * time.Millisecond, Suspicion: time.Second,
+			Adaptive: adaptive,
+		})
+		var tl timeline
+		recordTimeline(det, &tl)
+		for i := 0; i < 4; i++ { // healthy warm-up
+			sys.Step(time.Second)
+		}
+		// 400ms per direction pushes direct round-trips (~810ms) and
+		// relayed ones (~820ms) beyond the 500ms base timeout, and half
+		// the messages are lost outright — alive, but degraded. The
+		// refutation path (incarnation bumps on piggyback) stays up,
+		// only slower and lossier.
+		slowLinks(sys, 5, "p3", 400*time.Millisecond, 0.5)
+		for i := 0; i < 40; i++ {
+			sys.Step(time.Second)
+		}
+		return tl, det
+	}
+
+	staticTL, _ := run(false)
+	if deathsOf(staticTL, "p3") == 0 {
+		t.Fatalf("static config did not false-kill the slow peer — scenario lost its teeth (timeline %v)", staticTL)
+	}
+
+	adaptiveTL, det := run(true)
+	if n := deathsOf(adaptiveTL, "p3"); n != 0 {
+		t.Fatalf("adaptive config declared the slow-but-alive peer dead %d times: %v", n, adaptiveTL)
+	}
+	// The shield must come from health scaling, not luck: some prober
+	// raised its local health score while its probes timed out.
+	maxHealth := 0
+	for i := 0; i < 5; i++ {
+		if h := det.HealthOf(fmt.Sprintf("p%d", i)); h > maxHealth {
+			maxHealth = h
+		}
+	}
+	if maxHealth == 0 {
+		t.Error("no view raised its health score under injected delay")
+	}
+}
+
+// TestGossipAdaptiveStillDetectsCrash: health scaling must not blunt
+// true-crash detection — a genuinely dead peer is still confirmed within
+// the same bounded deadline the static detector gets.
+func TestGossipAdaptiveStillDetectsCrash(t *testing.T) {
+	sys, det := gossipLab(t, 5, GossipOptions{
+		Seed: 7, ProbeInterval: time.Second, Suspicion: 2 * time.Second, Adaptive: true,
+	})
+	var tl timeline
+	recordTimeline(det, &tl)
+	for i := 0; i < 5; i++ {
+		sys.Step(time.Second)
+	}
+	sys.Net.Crash("p2")
+	for i := 0; i < 25 && len(det.Suspects()) == 0; i++ {
+		sys.Step(time.Second)
+	}
+	if got := det.Suspects(); len(got) != 1 || got[0] != "p2" {
+		t.Fatalf("suspects after crash = %v, want [p2] (timeline %v)", got, tl)
+	}
+}
+
+// TestGossipAdaptiveDisableResetsHealth: turning the mechanism off
+// mid-run clears accumulated health so timeouts snap back to base.
+func TestGossipAdaptiveDisableResetsHealth(t *testing.T) {
+	sys, det := gossipLab(t, 4, GossipOptions{
+		Seed: 5, ProbeInterval: time.Second,
+		ProbeTimeout: 500 * time.Millisecond, Suspicion: time.Second,
+		Adaptive: true,
+	})
+	for i := 0; i < 3; i++ {
+		sys.Step(time.Second)
+	}
+	slowLinks(sys, 4, "p1", 400*time.Millisecond, 0.5)
+	for i := 0; i < 20; i++ {
+		sys.Step(time.Second)
+	}
+	raised := false
+	for i := 0; i < 4; i++ {
+		if det.HealthOf(fmt.Sprintf("p%d", i)) > 0 {
+			raised = true
+		}
+	}
+	if !raised {
+		t.Fatal("no health accumulated under delay — nothing to reset")
+	}
+	det.SetAdaptive(false)
+	for i := 0; i < 4; i++ {
+		if h := det.HealthOf(fmt.Sprintf("p%d", i)); h != 0 {
+			t.Fatalf("p%d health = %d after SetAdaptive(false), want 0", i, h)
+		}
 	}
 }

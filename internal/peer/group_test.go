@@ -12,7 +12,7 @@ import (
 // TestGroupClauseEndToEnd drives the Edos statistics shape through the
 // P2PML extension clause: per-mirror download counts per window.
 func TestGroupClauseEndToEnd(t *testing.T) {
-	sys := NewSystem(DefaultOptions())
+	sys := MustSystem(DefaultConfig())
 	noc := sys.MustAddPeer("noc")
 	for _, m := range []string{"mirror-0", "mirror-1"} {
 		mp := sys.MustAddPeer(m)
@@ -66,16 +66,16 @@ by publish as channel "rates"`)
 // identical counts.
 func TestGroupCheckpointRestoreMidWindow(t *testing.T) {
 	const sources, workers, events = 4, 3, 40
-	baseSys, baseTask := aggWorld(t, DefaultOptions(), sources, workers)
+	baseSys, baseTask := aggWorld(t, DefaultConfig(), sources, workers)
 	driveAgg(t, baseSys, sources, events, time.Second)
 	want := groupRecords(t, baseTask)
 	if len(want) == 0 {
 		t.Fatal("baseline produced no records")
 	}
 
-	opts := DefaultOptions()
-	opts.ReplayBuffer = 4096
-	opts.CheckpointInterval = 2 * time.Second
+	opts := DefaultConfig()
+	opts.Replay.Buffer = 4096
+	opts.Replay.CheckpointInterval = 2 * time.Second
 	sys, task := aggWorld(t, opts, sources, workers)
 	client := sys.Peer("client")
 	groupHost := func() string {
@@ -119,7 +119,7 @@ func TestGroupCheckpointRestoreMidWindow(t *testing.T) {
 }
 
 func TestGroupClauseParsingErrors(t *testing.T) {
-	sys := NewSystem(DefaultOptions())
+	sys := MustSystem(DefaultConfig())
 	p := sys.MustAddPeer("p")
 	bad := []string{
 		`for $e in inCOM(<p>m</p>) return $e group on "k" window "nonsense" by channel X`,

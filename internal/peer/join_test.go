@@ -215,7 +215,7 @@ func TestJoinSeedValidation(t *testing.T) {
 // step (the join-protocol half of "supervisor placement on joined
 // peers").
 func TestJoinedPeerBecomesFailoverTarget(t *testing.T) {
-	sys := NewSystem(DefaultOptions())
+	sys := MustSystem(DefaultConfig())
 	mgr := sys.MustAddPeer("mgr")
 	src := sys.MustAddPeer("src.com")
 	registerService(src)

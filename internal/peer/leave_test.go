@@ -14,12 +14,12 @@ import (
 // migrations stay in the pool.
 func leaveWorld(t *testing.T, replay bool) (*System, *Task, *Supervisor) {
 	t.Helper()
-	opts := DefaultOptions()
+	opts := DefaultConfig()
 	if replay {
-		opts.ReplayBuffer = 1024
-		opts.CheckpointInterval = 2 * time.Second
+		opts.Replay.Buffer = 1024
+		opts.Replay.CheckpointInterval = 2 * time.Second
 	}
-	sys := NewSystem(opts)
+	sys := MustSystem(opts)
 	mgr := sys.MustAddPeer("mgr")
 	src := sys.MustAddPeer("src")
 	src.Endpoint().Register("Q", func(*xmltree.Node) (*xmltree.Node, error) {
@@ -105,9 +105,9 @@ func TestLeavePeerGracefulHandoff(t *testing.T) {
 // migrates the leaver's stored copies, so even a replication-1 ring
 // keeps every key.
 func TestLeavePeerRingHandsOffStore(t *testing.T) {
-	opts := DefaultOptions()
-	opts.DHTReplication = 1
-	sys := NewSystem(opts)
+	opts := DefaultConfig()
+	opts.DHT.Replication = 1
+	sys := MustSystem(opts)
 	for _, n := range []string{"a", "b", "c"} {
 		sys.MustAddPeer(n)
 	}

@@ -141,12 +141,13 @@ func (p *Peer) SubscribeParsed(sub *p2pml.Subscription) (*Task, error) {
 	if err != nil {
 		return nil, err
 	}
+	cfg := p.sys.Config()
 	opts := algebra.DefaultOptions(p.name)
-	opts.Pushdown = p.sys.opts.Pushdown
+	opts.Pushdown = cfg.Pushdown
 	plan = algebra.Optimize(plan, opts)
 
 	var reuseRes *reuse.Result
-	if p.sys.opts.Reuse {
+	if cfg.Reuse {
 		ro := reuse.Options{
 			From:     p.name,
 			Consumer: p.name,

@@ -33,9 +33,9 @@ by publish as channel "alertQoS";`
 // meteoWorld builds the 4-peer world of the running example: a monitor
 // office p, two clients and the meteo.com server whose GetTemperature is
 // slow whenever the provided function says so.
-func meteoWorld(t *testing.T, opts Options, slow func(call int) bool) (*System, *Peer) {
+func meteoWorld(t *testing.T, opts Config, slow func(call int) bool) (*System, *Peer) {
 	t.Helper()
-	sys := NewSystem(opts)
+	sys := MustSystem(opts)
 	p := sys.MustAddPeer("p")
 	sys.MustAddPeer("a.com")
 	sys.MustAddPeer("b.com")
@@ -64,7 +64,7 @@ func meteoWorld(t *testing.T, opts Options, slow func(call int) bool) (*System, 
 // surface as incidents.
 func TestFigure1EndToEnd(t *testing.T) {
 	// Calls 2 and 5 are slow.
-	sys, p := meteoWorld(t, DefaultOptions(), func(c int) bool { return c == 2 || c == 5 })
+	sys, p := meteoWorld(t, DefaultConfig(), func(c int) bool { return c == 2 || c == 5 })
 	task, err := p.Subscribe(figure1)
 	if err != nil {
 		t.Fatal(err)
@@ -118,7 +118,7 @@ func TestFigure1EndToEnd(t *testing.T) {
 // with selection pushdown, non-matching alerts never leave their peer.
 func TestFigure1TrafficSavedByPushdown(t *testing.T) {
 	run := func(pushdown bool) uint64 {
-		opts := DefaultOptions()
+		opts := DefaultConfig()
 		opts.Pushdown = pushdown
 		opts.Reuse = false
 		sys, p := meteoWorld(t, opts, func(int) bool { return false }) // all fast
@@ -147,7 +147,7 @@ func TestFigure1TrafficSavedByPushdown(t *testing.T) {
 // TestFigure2Architecture checks the component introspection against the
 // peer architecture of Figure 2.
 func TestFigure2Architecture(t *testing.T) {
-	sys, p := meteoWorld(t, DefaultOptions(), func(int) bool { return false })
+	sys, p := meteoWorld(t, DefaultConfig(), func(int) bool { return false })
 	task, err := p.Subscribe(figure1)
 	if err != nil {
 		t.Fatal(err)
@@ -174,7 +174,7 @@ func TestFigure2Architecture(t *testing.T) {
 // TestDeployedChannelsMatchFigure4 verifies that deployment wires the
 // per-peer fragments with channels, one per operator, as in Figure 4.
 func TestDeployedChannelsMatchFigure4(t *testing.T) {
-	opts := DefaultOptions()
+	opts := DefaultConfig()
 	opts.Reuse = false
 	_, p := meteoWorld(t, opts, func(int) bool { return false })
 	task, err := p.Subscribe(figure1)
@@ -204,7 +204,7 @@ func TestDeployedChannelsMatchFigure4(t *testing.T) {
 // TestStreamReuseAcrossSubscriptions verifies the end-to-end C7 effect:
 // a second identical subscription deploys nothing and still gets results.
 func TestStreamReuseAcrossSubscriptions(t *testing.T) {
-	sys, p := meteoWorld(t, DefaultOptions(), func(c int) bool { return c == 1 })
+	sys, p := meteoWorld(t, DefaultConfig(), func(c int) bool { return c == 1 })
 	t1, err := p.Subscribe(figure1)
 	if err != nil {
 		t.Fatal(err)
@@ -240,7 +240,7 @@ func TestStreamReuseAcrossSubscriptions(t *testing.T) {
 // TestDelegatedLocalTask runs the Section 3.4 delegated task on a.com:
 // results published as channel X with b.com auto-subscribed.
 func TestDelegatedLocalTask(t *testing.T) {
-	sys, _ := meteoWorld(t, DefaultOptions(), func(int) bool { return true }) // all slow
+	sys, _ := meteoWorld(t, DefaultConfig(), func(int) bool { return true }) // all slow
 	aPeer := sys.Peer("a.com")
 	task, err := aPeer.Subscribe(`for $e in outCOM(<p>local</p>)
 let $duration := $e.responseTimestamp - $e.callTimestamp
@@ -272,7 +272,7 @@ by channel X and subscribe(b.com, #X, X)`)
 // reports testing ("We are currently testing our system by monitoring
 // RSS feeds").
 func TestRSSMonitoringTask(t *testing.T) {
-	sys := NewSystem(DefaultOptions())
+	sys := MustSystem(DefaultConfig())
 	mon := sys.MustAddPeer("monitor")
 	portal := sys.MustAddPeer("portal.com")
 	feed := &rss.Feed{Title: "news", Entries: []rss.Entry{{ID: "1", Title: "first"}}}
@@ -307,7 +307,7 @@ by publish as channel "newEntries" and email "ops@portal.com"`)
 // TestDynamicMembershipTask exercises inCOM($j): peers joining the DHT
 // become monitored, peers leaving stop being monitored.
 func TestDynamicMembershipTask(t *testing.T) {
-	sys := NewSystem(DefaultOptions())
+	sys := MustSystem(DefaultConfig())
 	mon := sys.MustAddPeer("monitor")
 	task, err := mon.Subscribe(`for $j in areRegistered(<p>s.com/dht</p>)
 for $c in inCOM($j)
@@ -365,7 +365,7 @@ func waitFor(t *testing.T, cond func() bool) {
 }
 
 func TestSubscribeErrors(t *testing.T) {
-	sys := NewSystem(DefaultOptions())
+	sys := MustSystem(DefaultConfig())
 	p := sys.MustAddPeer("p")
 	if _, err := p.Subscribe(`garbage`); err == nil {
 		t.Error("garbage subscription accepted")
@@ -376,7 +376,7 @@ func TestSubscribeErrors(t *testing.T) {
 }
 
 func TestAXMLRepositoryTask(t *testing.T) {
-	sys := NewSystem(DefaultOptions())
+	sys := MustSystem(DefaultConfig())
 	mon := sys.MustAddPeer("monitor")
 	store := sys.MustAddPeer("store.com")
 	task, err := mon.Subscribe(`for $u in axmlCOM(<p>store.com</p>)
@@ -398,7 +398,7 @@ by publish as channel "changes"`)
 }
 
 func TestWebPageMonitoringTask(t *testing.T) {
-	sys := NewSystem(DefaultOptions())
+	sys := MustSystem(DefaultConfig())
 	mon := sys.MustAddPeer("monitor")
 	site := sys.MustAddPeer("site.com")
 	page := xmltree.MustParse(`<html><p>v1</p></html>`)
@@ -421,7 +421,7 @@ return $w by publish as channel "pageChanges"`)
 }
 
 func TestTrafficAccountedOnChannels(t *testing.T) {
-	opts := DefaultOptions()
+	opts := DefaultConfig()
 	opts.Reuse = false
 	sys, p := meteoWorld(t, opts, func(int) bool { return true })
 	task, err := p.Subscribe(figure1)
@@ -447,7 +447,7 @@ func TestTrafficAccountedOnChannels(t *testing.T) {
 }
 
 func TestTaskStopIdempotent(t *testing.T) {
-	_, p := meteoWorld(t, DefaultOptions(), func(int) bool { return false })
+	_, p := meteoWorld(t, DefaultConfig(), func(int) bool { return false })
 	task, err := p.Subscribe(figure1)
 	if err != nil {
 		t.Fatal(err)
@@ -458,7 +458,7 @@ func TestTaskStopIdempotent(t *testing.T) {
 }
 
 func TestSubscriptionDatabase(t *testing.T) {
-	_, p := meteoWorld(t, DefaultOptions(), func(int) bool { return false })
+	_, p := meteoWorld(t, DefaultConfig(), func(int) bool { return false })
 	if len(p.Tasks()) != 0 {
 		t.Fatal("fresh peer has tasks")
 	}
@@ -477,7 +477,7 @@ func TestSubscriptionDatabase(t *testing.T) {
 }
 
 func TestChannelSubscriptionFromOutside(t *testing.T) {
-	sys, p := meteoWorld(t, DefaultOptions(), func(int) bool { return true })
+	sys, p := meteoWorld(t, DefaultConfig(), func(int) bool { return true })
 	task, err := p.Subscribe(figure1)
 	if err != nil {
 		t.Fatal(err)
@@ -501,7 +501,7 @@ func TestChannelSubscriptionFromOutside(t *testing.T) {
 }
 
 func TestSystemAddPeerIdempotent(t *testing.T) {
-	sys := NewSystem(DefaultOptions())
+	sys := MustSystem(DefaultConfig())
 	p1 := sys.MustAddPeer("x")
 	p2 := sys.MustAddPeer("x")
 	if p1 != p2 {
@@ -516,7 +516,7 @@ func TestGetTemperatureFromMultipleClients(t *testing.T) {
 	// Both clients slow on every call: every call yields an incident and
 	// the join must pair out-calls with in-calls correctly even when
 	// interleaved.
-	sys, p := meteoWorld(t, DefaultOptions(), func(int) bool { return true })
+	sys, p := meteoWorld(t, DefaultConfig(), func(int) bool { return true })
 	task, err := p.Subscribe(figure1)
 	if err != nil {
 		t.Fatal(err)
@@ -548,7 +548,7 @@ func TestGetTemperatureFromMultipleClients(t *testing.T) {
 }
 
 func TestComponentsListsAlertersAtMonitoredPeers(t *testing.T) {
-	_, p := meteoWorld(t, DefaultOptions(), func(int) bool { return false })
+	_, p := meteoWorld(t, DefaultConfig(), func(int) bool { return false })
 	task, err := p.Subscribe(figure1)
 	if err != nil {
 		t.Fatal(err)

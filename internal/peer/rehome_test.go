@@ -13,10 +13,10 @@ import (
 // with the replay layer on the run stays exactly-once — including the
 // events driven while the manager was down.
 func TestManagerDeathRehomesTask(t *testing.T) {
-	opts := DefaultOptions()
-	opts.ReplayBuffer = 256
-	opts.CheckpointInterval = 2 * time.Second
-	sys := NewSystem(opts)
+	opts := DefaultConfig()
+	opts.Replay.Buffer = 256
+	opts.Replay.CheckpointInterval = 2 * time.Second
+	sys := MustSystem(opts)
 	mgr := sys.MustAddPeer("mgr")
 	src := sys.MustAddPeer("src.com")
 	registerService(src)
@@ -100,7 +100,7 @@ func TestManagerDeathRehomesTask(t *testing.T) {
 // still works — the task keeps its manager and publisher, only the
 // outage window is lost (PR 1's fail-stop semantics).
 func TestManagerDeathRehomesLossy(t *testing.T) {
-	sys := NewSystem(DefaultOptions())
+	sys := MustSystem(DefaultConfig())
 	mgr := sys.MustAddPeer("mgr")
 	src := sys.MustAddPeer("src.com")
 	registerService(src)

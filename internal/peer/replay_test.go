@@ -11,12 +11,12 @@ import (
 	"p2pm/internal/xmltree"
 )
 
-// replayOptions returns DefaultOptions with the lossless-failover layer
+// replayOptions returns DefaultConfig with the lossless-failover layer
 // on.
-func replayOptions() Options {
-	opts := DefaultOptions()
-	opts.ReplayBuffer = 4096
-	opts.CheckpointInterval = 2 * time.Second
+func replayOptions() Config {
+	opts := DefaultConfig()
+	opts.Replay.Buffer = 4096
+	opts.Replay.CheckpointInterval = 2 * time.Second
 	return opts
 }
 
@@ -31,9 +31,9 @@ type relayRig struct {
 	next  int
 }
 
-func newRelayRig(t *testing.T, opts Options) *relayRig {
+func newRelayRig(t *testing.T, opts Config) *relayRig {
 	t.Helper()
-	sys := NewSystem(opts)
+	sys := MustSystem(opts)
 	for _, name := range []string{"src", "mgr", "mon", "w1", "w2"} {
 		sys.MustAddPeer(name)
 	}
@@ -274,7 +274,7 @@ func TestCheckpointTailSurvivesPartitionedCrash(t *testing.T) {
 func TestColdAdoptionDoesNotDuplicate(t *testing.T) {
 	const events = 12
 	opts := replayOptions()
-	opts.CheckpointInterval = 0 // no checkpoints: cold restarts only
+	opts.Replay.CheckpointInterval = 0 // no checkpoints: cold restarts only
 	r := newRelayRig(t, opts)
 	var relayRef stream.Ref
 	for n, ref := range r.task.StreamRefs() {
@@ -320,9 +320,9 @@ func TestColdAdoptionDoesNotDuplicate(t *testing.T) {
 // with fresh sequence numbers and would re-emit from a cold instance.
 func TestCheckpointRestoresDistinctState(t *testing.T) {
 	opts := replayOptions()
-	opts.ReplayBuffer = 4 // ≪ history: full replay cannot rebuild the state
-	opts.CheckpointInterval = time.Second
-	sys := NewSystem(opts)
+	opts.Replay.Buffer = 4 // ≪ history: full replay cannot rebuild the state
+	opts.Replay.CheckpointInterval = time.Second
+	sys := MustSystem(opts)
 	for _, name := range []string{"src", "mgr", "mon", "w1", "w2"} {
 		sys.MustAddPeer(name)
 	}
@@ -387,7 +387,7 @@ func TestCheckpointRestoresDistinctState(t *testing.T) {
 // appending, and an external consumer of the named channel is re-bound
 // through the chained replica record.
 func TestPublisherRedeploysOnHostDeath(t *testing.T) {
-	sys := NewSystem(replayOptions())
+	sys := MustSystem(replayOptions())
 	for _, name := range []string{"src", "mgr", "pub", "far", "w2"} {
 		sys.MustAddPeer(name)
 	}
@@ -505,7 +505,7 @@ func TestPublisherRedeploysOnHostDeath(t *testing.T) {
 // task must visibly degrade (PR 1 semantics) rather than report a repair
 // that silently stopped monitoring every already-joined peer.
 func TestDynAlerterDegradesWithoutReplay(t *testing.T) {
-	sys := NewSystem(DefaultOptions())
+	sys := MustSystem(DefaultConfig())
 	for _, name := range []string{"mgr", "w1", "w2"} {
 		sys.MustAddPeer(name)
 	}
@@ -536,7 +536,7 @@ func TestDynAlerterDegradesWithoutReplay(t *testing.T) {
 // retention buffer, reconstructs the active set, re-attaches the hooks,
 // and keeps capturing calls at the monitored peers.
 func TestDynAlerterManagerRedeploysOnHostDeath(t *testing.T) {
-	sys := NewSystem(replayOptions())
+	sys := MustSystem(replayOptions())
 	for _, name := range []string{"mgr", "mon", "w1", "w2"} {
 		sys.MustAddPeer(name)
 	}

@@ -14,7 +14,7 @@ import (
 // manager is close to the replica consumes from it instead of the
 // original, and the data actually flows over the replica's links.
 func TestAnnounceReplicaEndToEnd(t *testing.T) {
-	sys := NewSystem(DefaultOptions())
+	sys := MustSystem(DefaultConfig())
 	m := sys.MustAddPeer("m.com")
 	m.Endpoint().Register("Q", func(*xmltree.Node) (*xmltree.Node, error) {
 		return xmltree.Elem("ok"), nil
@@ -93,7 +93,7 @@ return <hit id="{$e.callId}"/> by publish as channel "hits"`)
 }
 
 func TestAnnounceReplicaUnknownChannel(t *testing.T) {
-	sys := NewSystem(DefaultOptions())
+	sys := MustSystem(DefaultConfig())
 	sys.MustAddPeer("x")
 	if _, err := sys.AnnounceReplica(stream.Ref{StreamID: "ghost", PeerID: "nowhere"}, "x"); err == nil {
 		t.Error("unknown channel accepted")
@@ -101,7 +101,7 @@ func TestAnnounceReplicaUnknownChannel(t *testing.T) {
 }
 
 func TestRefreshStreamStats(t *testing.T) {
-	sys := NewSystem(DefaultOptions())
+	sys := MustSystem(DefaultConfig())
 	p := sys.MustAddPeer("p")
 	m := sys.MustAddPeer("m.com")
 	m.Endpoint().Register("Q", func(*xmltree.Node) (*xmltree.Node, error) {

@@ -23,88 +23,17 @@ import (
 	"p2pm/internal/xmltree"
 )
 
-// Options configures a System.
-type Options struct {
-	// Seed drives all simulation randomness.
-	Seed int64
-	// Reuse enables the Section 5 stream-reuse pass on new subscriptions.
-	Reuse bool
-	// Pushdown enables selection pushdown (disable only for baselines).
-	Pushdown bool
-	// IncludeEnvelopes embeds SOAP envelopes in WS alerts. They dominate
-	// alert size, which matters for the communication-savings benches.
-	IncludeEnvelopes bool
-	// JoinWindow, when non-zero, bounds join histories by virtual time —
-	// the garbage-collection mechanism of the paper's future work.
-	JoinWindow time.Duration
-	// DistinctWindow likewise bounds duplicate-removal memory.
-	DistinctWindow time.Duration
-	// DHTReplication is the number of copies the stream-definition
-	// database keeps per key (owner + successors). Values > 1 let
-	// lookups survive node crashes; <= 1 keeps a single copy.
-	DHTReplication int
-	// DHTVirtualNodes gives every peer that many tokens on the
-	// stream-definition ring instead of one: key ownership fragments
-	// into small arcs, so a membership change hands off ~K/n keys
-	// instead of whole successor arcs. <= 1 keeps classic placement.
-	DHTVirtualNodes int
-	// DHTLoadBound, when > 0, enables bounded-load placement on the
-	// ring: no peer holds more than ceil(c·K/n) primary keys, capping
-	// its share of checkpoint/descriptor traffic at ~c× the mean (the
-	// anti-hotspot guarantee X3 measures). 0 keeps plain successor
-	// placement.
-	DHTLoadBound float64
-	// DHTReadCache caches resolved bounded-load primary locations per
-	// reader, invalidated on any membership or placement change, so
-	// repeat reads skip the successor-scan hops the placement freedom
-	// otherwise costs. Only meaningful with DHTLoadBound > 0.
-	DHTReadCache bool
-	// AggDegree, when > 1, makes the deploy planner decompose windowed
-	// Group aggregation into a DHT-routed partial/merge fan-in tree
-	// whenever the aggregated union fans in more than AggDegree
-	// branches: PartialAgg leaves pre-aggregate next to each source,
-	// MergeAgg interiors (placed by ring key routing, at most AggDegree
-	// children each) combine the partial window states, and the Final
-	// root re-emits the flat operator's records. 0 keeps every
-	// aggregation flat — the single-peer O(n) ingest baseline. See
-	// docs/AGGREGATION.md.
-	AggDegree int
-	// ReplayBuffer, when > 0, makes every registered channel retain its
-	// last ReplayBuffer published items for retransmission, and turns on
-	// the consumer-side cursors and the per-Step anti-entropy sweep:
-	// failover re-binds resume from the consumer's last delivered
-	// sequence instead of "now", and link-fault losses are repaired —
-	// lossless failover. 0 (the default) keeps the lossy fail-stop
-	// delivery semantics: re-deployed operators and publishers resume
-	// from "now" (outage windows are lost), and a dynamic-alerter
-	// manager's death degrades the task (no membership history to
-	// rebuild its active set from).
-	ReplayBuffer int
-	// CheckpointInterval, when > 0, snapshots every stateful operator
-	// (state + input cursors + output sequence) each interval of virtual
-	// time into the stream-definition database's replicated DHT storage;
-	// failover then restores operators from their checkpoint instead of
-	// restarting them cold. Bounds how much input must be replayed after
-	// a migration (retention vs. MTTR, see docs/REPLAY.md).
-	CheckpointInterval time.Duration
-	// Net overrides the simulated-network parameters; zero value uses
-	// simnet defaults.
-	Net simnet.Options
-}
-
-// DefaultOptions enables the paper's full feature set, plus 2-way DHT
-// replication so stream-definition lookups survive churn.
-func DefaultOptions() Options {
-	return Options{Seed: 1, Reuse: true, Pushdown: true, IncludeEnvelopes: true, DHTReplication: 2, Net: simnet.DefaultOptions()}
-}
-
 // System is one P2PM deployment: the monitoring P2P network, the
 // monitored substrates (Web services fabric, feeds, repositories), the
 // KadoP stream-definition database over its DHT, and the channel
 // registry stitching deployed plan fragments together.
 type System struct {
-	opts Options
-	Net  *simnet.Network
+	// cfg is the grouped configuration; cfgMu guards it because the
+	// Tuning surface mutates parts of it mid-run.
+	cfgMu sync.RWMutex
+	cfg   Config
+
+	Net *simnet.Network
 	// link is the fault-aware delivery seam every data-plane transfer
 	// goes through (transport.Link). It is the same object as Net — the
 	// simulated network satisfies the interface — but call sites that
@@ -126,14 +55,23 @@ type System struct {
 	// placement to matching peers (e.g. a worker pool, keeping merge
 	// nodes off monitored sources). nil admits every ring member.
 	aggHosts func(name string) bool
+	// quarantined removes peers from aggregation-tree interior placement
+	// on top of the aggHosts filter (Tuning.QuarantineAggHost — the
+	// control action a flap-monitoring query triggers).
+	quarantined map[string]bool
 	// stale marks channels whose producer migrated away during failover:
 	// the channel object survives (and its host may come back), but no
 	// operator feeds it anymore, so it must never be chosen as a
 	// provider again.
 	stale map[stream.Ref]bool
+	// onStep hooks run at the end of every Step (after detectors, sweeps
+	// and checkpoints) — the seam per-Step adaptive controllers hang off.
+	onStep []func(now time.Duration)
 
 	lastCkpt time.Duration // virtual time of the last checkpoint sweep
 	replayed atomic.Uint64 // items retransmitted from replay buffers
+	splitSeq int           // fresh ids for re-chunked interiors
+	splitLog []SplitEvent  // audit log of completed splits
 }
 
 // replicaForwarder records the subscription tying a replica channel to
@@ -155,28 +93,28 @@ type replicaForwarder struct {
 	severed bool
 }
 
-// NewSystem builds an empty system.
-func NewSystem(opts Options) *System {
-	if opts.Net == (simnet.Options{}) {
-		opts.Net = simnet.DefaultOptions()
-		opts.Net.Seed = opts.Seed
+// NewSystem validates the configuration and builds an empty system.
+func NewSystem(cfg Config) (*System, error) {
+	if err := cfg.validate(); err != nil {
+		return nil, err
 	}
-	nw := simnet.New(opts.Net)
+	cfg = cfg.normalize()
+	nw := simnet.New(cfg.Net)
 	ring := dht.New()
-	if opts.DHTReplication > 1 {
-		ring.SetReplication(opts.DHTReplication)
+	if cfg.DHT.Replication > 1 {
+		ring.SetReplication(cfg.DHT.Replication)
 	}
-	if opts.DHTVirtualNodes > 1 {
-		ring.SetVirtual(opts.DHTVirtualNodes)
+	if cfg.DHT.VirtualNodes > 1 {
+		ring.SetVirtual(cfg.DHT.VirtualNodes)
 	}
-	if opts.DHTLoadBound > 0 {
-		ring.SetLoadBound(opts.DHTLoadBound)
+	if cfg.DHT.LoadBound > 0 {
+		ring.SetLoadBound(cfg.DHT.LoadBound)
 	}
-	if opts.DHTReadCache {
+	if cfg.DHT.ReadCache {
 		ring.EnableReadCache()
 	}
-	return &System{
-		opts:     opts,
+	s := &System{
+		cfg:      cfg,
 		Net:      nw,
 		link:     nw,
 		Fabric:   soap.NewFabric(nw),
@@ -187,6 +125,20 @@ func NewSystem(opts Options) *System {
 		stale:    make(map[stream.Ref]bool),
 		sidSeq:   make(map[string]int),
 	}
+	if cfg.Agg.SplitRatio > 0 {
+		s.startRechunkController()
+	}
+	return s, nil
+}
+
+// MustSystem is NewSystem that panics on a bad configuration (setup
+// code and tests).
+func MustSystem(cfg Config) *System {
+	s, err := NewSystem(cfg)
+	if err != nil {
+		panic(err)
+	}
+	return s
 }
 
 // AddPeer registers a peer: it gets a network node, a SOAP endpoint and a
@@ -283,7 +235,7 @@ func (s *System) JoinPeer(name, seed string) (*Peer, error) {
 		// charge the same link.)
 		s.link.CountTransfer(name, seed, ctrlMsgBytes)
 	}
-	if s.opts.AggDegree > 1 {
+	if s.aggDegree() > 1 {
 		// The ring just changed: aggregation-tree interiors whose
 		// DHT-derived host moved re-parent onto the new owner (children
 		// and consumers re-bind; with replay on the move is exactly-once
@@ -320,8 +272,50 @@ func (s *System) Peers() []string {
 	return names
 }
 
-// Options returns the system configuration.
-func (s *System) Options() Options { return s.opts }
+// Config returns a snapshot of the system configuration (runtime tuning
+// may have diverged from the value NewSystem was given).
+func (s *System) Config() Config {
+	s.cfgMu.RLock()
+	defer s.cfgMu.RUnlock()
+	return s.cfg
+}
+
+// Targeted config getters for the hot read paths; the full-snapshot
+// Config() is for diagnostics and derived setup, these are for the
+// runtime checks that race with Tuning setters.
+
+func (s *System) aggDegree() int {
+	s.cfgMu.RLock()
+	defer s.cfgMu.RUnlock()
+	return s.cfg.Agg.Degree
+}
+
+func (s *System) aggSplit() AggConfig {
+	s.cfgMu.RLock()
+	defer s.cfgMu.RUnlock()
+	return s.cfg.Agg
+}
+
+func (s *System) replayBuffer() int {
+	s.cfgMu.RLock()
+	defer s.cfgMu.RUnlock()
+	return s.cfg.Replay.Buffer
+}
+
+func (s *System) checkpointInterval() time.Duration {
+	s.cfgMu.RLock()
+	defer s.cfgMu.RUnlock()
+	return s.cfg.Replay.CheckpointInterval
+}
+
+// OnStep registers a hook run at the end of every Step, after detector
+// ticks, anti-entropy sweeps and the checkpoint cadence — where per-Step
+// adaptive controllers observe and actuate.
+func (s *System) OnStep(f func(now time.Duration)) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.onStep = append(s.onStep, f)
+}
 
 // SetAggHosts restricts DHT-routed aggregation-tree interior placement
 // to peers the filter accepts (nil lifts the restriction). Workloads use
@@ -349,9 +343,13 @@ func (s *System) newAggPlacer() func(key string) string {
 	return func(key string) string {
 		s.mu.Lock()
 		filter := s.aggHosts
+		quarantined := make(map[string]bool, len(s.quarantined))
+		for name := range s.quarantined {
+			quarantined[name] = true
+		}
 		s.mu.Unlock()
 		eligible := func(name string) bool {
-			return s.Net.Alive(name) && (filter == nil || filter(name))
+			return s.Net.Alive(name) && !quarantined[name] && (filter == nil || filter(name))
 		}
 		pool := 0
 		for _, m := range s.Ring.Nodes() {
@@ -437,8 +435,8 @@ func (s *System) allocChannel(t *Task, host, streamID string) *stream.Channel {
 // ChannelIn nodes and external subscribers can find it, enabling the
 // configured replay retention before the first publication.
 func (s *System) registerChannel(ch *stream.Channel) {
-	if s.opts.ReplayBuffer > 0 {
-		ch.EnableReplay(s.opts.ReplayBuffer)
+	if buf := s.replayBuffer(); buf > 0 {
+		ch.EnableReplay(buf)
 	}
 	s.mu.Lock()
 	defer s.mu.Unlock()
@@ -446,7 +444,7 @@ func (s *System) registerChannel(ch *stream.Channel) {
 }
 
 // replayOn reports whether the lossless-failover layer is enabled.
-func (s *System) replayOn() bool { return s.opts.ReplayBuffer > 0 }
+func (s *System) replayOn() bool { return s.replayBuffer() > 0 }
 
 // ReplayedItems returns the total number of items retransmitted from
 // channel replay buffers (re-bind resumes and anti-entropy repairs).
@@ -586,10 +584,10 @@ func (s *System) Step(d time.Duration) {
 		s.syncReplicas()
 		s.syncBindings()
 	}
-	if s.opts.CheckpointInterval > 0 {
+	if interval := s.checkpointInterval(); interval > 0 {
 		now := s.Net.Clock().Now()
 		s.mu.Lock()
-		due := now-s.lastCkpt >= s.opts.CheckpointInterval
+		due := now-s.lastCkpt >= interval
 		if due {
 			s.lastCkpt = now
 		}
@@ -597,6 +595,13 @@ func (s *System) Step(d time.Duration) {
 		if due {
 			s.CheckpointNow()
 		}
+	}
+	now := s.Net.Clock().Now()
+	s.mu.Lock()
+	hooks := append([]func(time.Duration){}, s.onStep...)
+	s.mu.Unlock()
+	for _, f := range hooks {
+		f(now)
 	}
 }
 

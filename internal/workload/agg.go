@@ -197,25 +197,28 @@ func SetupAgg(cfg AggConfig) (*AggLab, error) {
 		startWorkers = cfg.GrowFrom
 	}
 
-	opts := peer.DefaultOptions()
-	opts.Seed = cfg.Seed
+	pc := peer.DefaultConfig()
+	pc.Seed = cfg.Seed
 	if cfg.Mode == "tree" {
-		opts.AggDegree = cfg.Degree
+		pc.Agg.Degree = cfg.Degree
 	}
 	if cfg.Replay {
-		opts.ReplayBuffer = cfg.ReplayBuffer
-		if opts.ReplayBuffer <= 0 {
-			opts.ReplayBuffer = 4096
+		pc.Replay.Buffer = cfg.ReplayBuffer
+		if pc.Replay.Buffer <= 0 {
+			pc.Replay.Buffer = 4096
 		}
-		opts.CheckpointInterval = cfg.CheckpointInterval
-		if opts.CheckpointInterval <= 0 {
-			opts.CheckpointInterval = 2 * cfg.HeartbeatInterval
+		pc.Replay.CheckpointInterval = cfg.CheckpointInterval
+		if pc.Replay.CheckpointInterval <= 0 {
+			pc.Replay.CheckpointInterval = 2 * cfg.HeartbeatInterval
 		}
-		if opts.CheckpointInterval <= 0 {
-			opts.CheckpointInterval = 2 * time.Second
+		if pc.Replay.CheckpointInterval <= 0 {
+			pc.Replay.CheckpointInterval = 2 * time.Second
 		}
 	}
-	sys := peer.NewSystem(opts)
+	sys, err := peer.NewSystem(pc)
+	if err != nil {
+		return nil, err
+	}
 	mgr, err := sys.AddPeer("mgr")
 	if err != nil {
 		return nil, err
@@ -442,8 +445,15 @@ func (l *AggLab) Run() (*AggReport, error) {
 	}
 	l.settle()
 
-	// Ingest snapshot before teardown, over the candidate host set.
-	byPeer := l.Task.IngestByPeer()
+	// Ingest snapshot before teardown, over the candidate host set —
+	// read from the System.AggLoad stats surface (the same gauge the
+	// re-chunking controller consumes), filtered to this task.
+	byPeer := make(map[string]uint64)
+	for _, e := range sys.AggLoad() {
+		if e.Task == l.Task.ID {
+			byPeer[e.Peer] += e.Items
+		}
+	}
 	rep.Ingest = make(map[string]uint64)
 	var total uint64
 	hosts := 0

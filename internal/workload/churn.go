@@ -206,30 +206,33 @@ func SetupChurn(cfg ChurnConfig) (*ChurnLab, error) {
 	if cfg.Pipelines < 1 {
 		cfg.Pipelines = 1
 	}
-	opts := peer.DefaultOptions()
-	opts.Seed = cfg.Seed
+	pc := peer.DefaultConfig()
+	pc.Seed = cfg.Seed
 	if cfg.Replay {
-		opts.ReplayBuffer = cfg.ReplayBuffer
-		if opts.ReplayBuffer <= 0 {
-			opts.ReplayBuffer = 1024
+		pc.Replay.Buffer = cfg.ReplayBuffer
+		if pc.Replay.Buffer <= 0 {
+			pc.Replay.Buffer = 1024
 		}
-		opts.CheckpointInterval = cfg.CheckpointInterval
-		if opts.CheckpointInterval <= 0 {
-			opts.CheckpointInterval = 2 * cfg.HeartbeatInterval
+		pc.Replay.CheckpointInterval = cfg.CheckpointInterval
+		if pc.Replay.CheckpointInterval <= 0 {
+			pc.Replay.CheckpointInterval = 2 * cfg.HeartbeatInterval
 		}
-		if opts.CheckpointInterval <= 0 {
-			opts.CheckpointInterval = 2 * time.Second
+		if pc.Replay.CheckpointInterval <= 0 {
+			pc.Replay.CheckpointInterval = 2 * time.Second
 		}
 	}
 	if cfg.Spread {
-		opts.DHTVirtualNodes = spreadVirtualNodes
-		opts.DHTLoadBound = spreadLoadBound
+		pc.DHT.VirtualNodes = spreadVirtualNodes
+		pc.DHT.LoadBound = spreadLoadBound
 		// Bounded-load reads pay successor-scan hops; the per-reader
 		// location cache (invalidated on every membership change) shaves
 		// them off the checkpoint-restore path.
-		opts.DHTReadCache = true
+		pc.DHT.ReadCache = true
 	}
-	sys := peer.NewSystem(opts)
+	sys, err := peer.NewSystem(pc)
+	if err != nil {
+		return nil, err
+	}
 	mgr, err := sys.AddPeer("mgr")
 	if err != nil {
 		return nil, err

@@ -196,23 +196,26 @@ func SetupShare(cfg ShareConfig) (*ShareLab, error) {
 		startWorkers = cfg.GrowFrom
 	}
 
-	opts := peer.DefaultOptions()
-	opts.Seed = cfg.Seed
-	opts.AggDegree = cfg.Degree
+	pc := peer.DefaultConfig()
+	pc.Seed = cfg.Seed
+	pc.Agg.Degree = cfg.Degree
 	if cfg.Replay {
-		opts.ReplayBuffer = cfg.ReplayBuffer
-		if opts.ReplayBuffer <= 0 {
-			opts.ReplayBuffer = 4096
+		pc.Replay.Buffer = cfg.ReplayBuffer
+		if pc.Replay.Buffer <= 0 {
+			pc.Replay.Buffer = 4096
 		}
-		opts.CheckpointInterval = cfg.CheckpointInterval
-		if opts.CheckpointInterval <= 0 {
-			opts.CheckpointInterval = 2 * cfg.HeartbeatInterval
+		pc.Replay.CheckpointInterval = cfg.CheckpointInterval
+		if pc.Replay.CheckpointInterval <= 0 {
+			pc.Replay.CheckpointInterval = 2 * cfg.HeartbeatInterval
 		}
-		if opts.CheckpointInterval <= 0 {
-			opts.CheckpointInterval = 2 * time.Second
+		if pc.Replay.CheckpointInterval <= 0 {
+			pc.Replay.CheckpointInterval = 2 * time.Second
 		}
 	}
-	sys := peer.NewSystem(opts)
+	sys, err := peer.NewSystem(pc)
+	if err != nil {
+		return nil, err
+	}
 	mgr, err := sys.AddPeer("mgr")
 	if err != nil {
 		return nil, err
@@ -408,18 +411,24 @@ func (l *ShareLab) Run() (*ShareReport, error) {
 	}
 	l.settle()
 
-	// Deployment accounting and the ingest snapshot, before teardown.
+	// Deployment accounting and the ingest snapshot, before teardown —
+	// ingest comes from the System.AggLoad stats surface (shared with
+	// the re-chunking controller), folded over this lab's tasks.
 	byPeer := make(map[string]uint64)
+	mine := make(map[string]bool, len(l.Tasks))
 	for _, t := range l.Tasks {
 		rep.Operators += t.OperatorsDeployed()
-		for p, n := range t.IngestByPeer() {
-			byPeer[p] += n
-		}
+		mine[t.ID] = true
 		if t.Reuse != nil {
 			rep.ReusedOps += t.Reuse.ReusedOps
 			rep.NewOps += t.Reuse.NewOps
 			rep.Lookups += t.Reuse.Lookups
 			rep.FailedLookups += t.Reuse.FailedLookups
+		}
+	}
+	for _, e := range sys.AggLoad() {
+		if mine[e.Task] {
+			byPeer[e.Peer] += e.Items
 		}
 	}
 	rep.Ingest = make(map[string]uint64)

@@ -9,7 +9,7 @@ import (
 )
 
 func TestMeteoWorkloadEndToEnd(t *testing.T) {
-	sys := peer.NewSystem(peer.DefaultOptions())
+	sys := peer.MustSystem(peer.DefaultConfig())
 	mgr := sys.MustAddPeer("p")
 	cfg := DefaultMeteo()
 	if err := SetupMeteo(sys, cfg); err != nil {
@@ -31,7 +31,7 @@ func TestMeteoWorkloadEndToEnd(t *testing.T) {
 }
 
 func TestTelecomWorkload(t *testing.T) {
-	sys := peer.NewSystem(peer.DefaultOptions())
+	sys := peer.MustSystem(peer.DefaultConfig())
 	cfg := DefaultTelecom()
 	if err := SetupTelecom(sys, cfg); err != nil {
 		t.Fatal(err)
@@ -61,7 +61,7 @@ by publish as channel "billing"`)
 }
 
 func TestEdosWorkload(t *testing.T) {
-	sys := peer.NewSystem(peer.DefaultOptions())
+	sys := peer.MustSystem(peer.DefaultConfig())
 	cfg := DefaultEdos()
 	cfg.Downloads, cfg.Queries = 30, 15
 	e, err := SetupEdos(sys, cfg)
@@ -93,7 +93,7 @@ func TestEdosWorkload(t *testing.T) {
 }
 
 func TestEdosChurn(t *testing.T) {
-	sys := peer.NewSystem(peer.DefaultOptions())
+	sys := peer.MustSystem(peer.DefaultConfig())
 	cfg := DefaultEdos()
 	cfg.Downloads, cfg.Queries, cfg.ChurnEvery = 20, 0, 5
 	e, err := SetupEdos(sys, cfg)

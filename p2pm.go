@@ -25,7 +25,7 @@
 //
 // Quick start:
 //
-//	sys := p2pm.NewSystem(p2pm.DefaultOptions())
+//	sys := p2pm.MustSystem(p2pm.DefaultConfig())
 //	mgr := sys.MustAddPeer("monitor")
 //	server := sys.MustAddPeer("meteo.com")
 //	server.Endpoint().Register("GetTemperature", handler, latency)
@@ -55,7 +55,31 @@ type Peer = peer.Peer
 // Task is a deployed monitoring subscription.
 type Task = peer.Task
 
-// Options configures a System.
+// Config configures a System: functional sub-structs (DHT, Agg, Replay,
+// Gossip) validated by NewSystem, runtime-mutable through
+// System.Tuning(). See docs/ADAPTIVE.md for the control surface.
+type Config = peer.Config
+
+// DHTConfig groups the stream-definition ring knobs.
+type DHTConfig = peer.DHTConfig
+
+// AggConfig groups aggregation-tree construction and the adaptive
+// re-chunking controller.
+type AggConfig = peer.AggConfig
+
+// ReplayConfig groups the lossless-failover layer.
+type ReplayConfig = peer.ReplayConfig
+
+// GossipConfig supplies system-level gossip-detector defaults.
+type GossipConfig = peer.GossipConfig
+
+// Tuning is the runtime-mutable control surface of a running System.
+type Tuning = peer.Tuning
+
+// Options is the former flat configuration.
+//
+// Deprecated: build a Config (see DefaultConfig) instead; Options
+// remains for one release as a migration shim (Options.Config converts).
 type Options = peer.Options
 
 // Monitor is the high-level facade with explain tooling.
@@ -93,14 +117,26 @@ type Supervisor = peer.Supervisor
 // FailoverEvent records one repair action taken when a peer died.
 type FailoverEvent = peer.FailoverEvent
 
-// NewSystem builds an empty monitoring system.
-func NewSystem(opts Options) *System { return peer.NewSystem(opts) }
+// NewSystem builds an empty monitoring system from a validated
+// configuration.
+func NewSystem(cfg Config) (*System, error) { return peer.NewSystem(cfg) }
+
+// MustSystem is NewSystem that panics on a bad configuration.
+func MustSystem(cfg Config) *System { return peer.MustSystem(cfg) }
 
 // NewMonitor builds a system wrapped in the explain facade.
-func NewMonitor(opts Options) *Monitor { return core.New(opts) }
+func NewMonitor(cfg Config) (*Monitor, error) { return core.New(cfg) }
 
-// DefaultOptions enables the full feature set (pushdown, reuse, SOAP
-// envelopes in alerts).
+// MustMonitor is NewMonitor that panics on a bad configuration.
+func MustMonitor(cfg Config) *Monitor { return core.MustNew(cfg) }
+
+// DefaultConfig enables the full feature set (pushdown, reuse, SOAP
+// envelopes in alerts) with 2-way DHT replication.
+func DefaultConfig() Config { return peer.DefaultConfig() }
+
+// DefaultOptions is the flat twin of DefaultConfig.
+//
+// Deprecated: use DefaultConfig.
 func DefaultOptions() Options { return peer.DefaultOptions() }
 
 // Parse parses and validates a P2PML subscription without deploying it.

@@ -12,7 +12,7 @@ import (
 // TestPublicAPIQuickstart exercises the documented public surface the way
 // a downstream user would.
 func TestPublicAPIQuickstart(t *testing.T) {
-	sys := p2pm.NewSystem(p2pm.DefaultOptions())
+	sys := p2pm.MustSystem(p2pm.DefaultConfig())
 	mgr := sys.MustAddPeer("monitor")
 	server := sys.MustAddPeer("svc.example")
 	server.Endpoint().Register("Echo", func(params *xmltree.Node) (*xmltree.Node, error) {
@@ -74,7 +74,7 @@ return <m/> by publish as channel "x"`, "p")
 }
 
 func TestMonitorExplainIncludesReuse(t *testing.T) {
-	mon := p2pm.NewMonitor(p2pm.DefaultOptions())
+	mon := p2pm.MustMonitor(p2pm.DefaultConfig())
 	mgr := mon.MustAddPeer("p")
 	mon.MustAddPeer("m.com")
 	sub := `for $e in inCOM(<p>m.com</p>) return $e by publish as channel "raw"`

@@ -17,7 +17,7 @@ import (
 // reuse and subsumption — while a mixed workload drives it. It guards
 // against cross-feature interference that per-feature tests cannot see.
 func TestEverythingTogether(t *testing.T) {
-	sys := p2pm.NewSystem(p2pm.DefaultOptions())
+	sys := p2pm.MustSystem(p2pm.DefaultConfig())
 
 	// --- monitored world ---
 	meteo := sys.MustAddPeer("meteo.com")
