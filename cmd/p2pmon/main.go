@@ -417,11 +417,12 @@ func runNetScenario(args []string, out io.Writer) error {
 	peersFlag := fs.String("peers", "", "full cluster map name=host:port,... including self (with -listen)")
 	nodes := fs.Int("nodes", 0, "cluster size for the in-process simnet backend (0 = default 3)")
 	windows := fs.Int("windows", 0, "windows to aggregate (0 = default 5)")
+	metricsAddr := fs.String("metrics-addr", "", "serve this process's telemetry over HTTP on this address (Prometheus /metrics, JSON /metrics.json; see docs/TELEMETRY.md)")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
 	cfg := netConfig{Fn: *aggFn, Users: *users, Windows: *windows, Nodes: *nodes,
-		Listen: *listen, Name: *name, Peers: *peersFlag}
+		Listen: *listen, Name: *name, Peers: *peersFlag, MetricsAddr: *metricsAddr}
 	return runNet(out, cfg)
 }
 

@@ -9,6 +9,7 @@ import (
 	"time"
 
 	"p2pm/internal/simnet"
+	"p2pm/internal/telemetry"
 	"p2pm/internal/transport"
 )
 
@@ -23,6 +24,27 @@ type netConfig struct {
 	Listen string // listen address; empty = single-process simnet mode
 	Name   string // this node's peer name
 	Peers  string // name=addr,name=addr,... including self
+
+	// MetricsAddr serves this process's telemetry registry over HTTP
+	// (Prometheus at /metrics, JSON at /metrics.json) for the run's
+	// lifetime; empty disables the endpoint. See docs/TELEMETRY.md.
+	MetricsAddr string
+}
+
+// netTelemetry starts the optional metrics endpoint for a net run and
+// returns the registry instrumented transports should feed. Both are
+// nil when the endpoint is off; the caller closes the server.
+func netTelemetry(cfg netConfig) (*telemetry.Registry, *telemetry.Server, error) {
+	if cfg.MetricsAddr == "" {
+		return nil, nil, nil
+	}
+	reg := telemetry.NewRegistry()
+	srv, err := telemetry.Serve(cfg.MetricsAddr, reg)
+	if err != nil {
+		return nil, nil, fmt.Errorf("p2pmon: metrics endpoint: %w", err)
+	}
+	fmt.Fprintf(os.Stderr, "net: metrics on http://%s/metrics\n", srv.Addr)
+	return reg, srv, nil
 }
 
 // netWait bounds a cluster run; the CI smoke job budgets three minutes
@@ -72,7 +94,17 @@ func runNetSim(out io.Writer, cfg netConfig) error {
 	for i := range peers {
 		peers[i] = fmt.Sprintf("n%d", i+1)
 	}
-	sn := transport.NewSimNet(simnet.New(simnet.Options{Seed: 1}))
+	nw := simnet.New(simnet.Options{Seed: 1})
+	sn := transport.NewSimNet(nw)
+	reg, msrv, err := netTelemetry(cfg)
+	if err != nil {
+		return err
+	}
+	if reg != nil {
+		nw.Instrument(reg)
+		sn.Instrument(reg)
+		defer msrv.Close()
+	}
 	nodes := make([]*transport.Node, 0, len(peers))
 	for _, p := range peers {
 		n, err := transport.NewNode(netNodeConfig(cfg, p, peers), sn.Endpoint(p))
@@ -102,7 +134,18 @@ func runNetSim(out io.Writer, cfg netConfig) error {
 	for _, line := range root.Results() {
 		fmt.Fprintln(out, line)
 	}
+	lingerForScrape(msrv)
 	return nil
+}
+
+// lingerForScrape holds a finished run's metrics endpoint open briefly:
+// a short cluster run can complete faster than an external scraper
+// (scripts/netsmoke.sh, a Prometheus poll) gets its first request in,
+// and the final counters are the ones worth reading.
+func lingerForScrape(msrv *telemetry.Server) {
+	if msrv != nil {
+		time.Sleep(2 * time.Second)
+	}
 }
 
 // runNetTCP runs ONE cluster node in this process over real sockets.
@@ -132,7 +175,14 @@ func runNetTCP(out io.Writer, cfg netConfig) error {
 	}
 	sort.Strings(peers)
 
-	tr, err := transport.ListenTCP(cfg.Name, cfg.Listen, transport.TCPOptions{})
+	reg, msrv, err := netTelemetry(cfg)
+	if err != nil {
+		return err
+	}
+	if msrv != nil {
+		defer msrv.Close()
+	}
+	tr, err := transport.ListenTCP(cfg.Name, cfg.Listen, transport.TCPOptions{Telemetry: reg})
 	if err != nil {
 		return err
 	}
@@ -163,5 +213,6 @@ func runNetTCP(out io.Writer, cfg netConfig) error {
 		// re-acked, instead of retrying against a closed socket.
 		time.Sleep(500 * time.Millisecond)
 	}
+	lingerForScrape(msrv)
 	return nil
 }

@@ -1,0 +1,107 @@
+package adapt
+
+import (
+	"fmt"
+	"strconv"
+	"time"
+
+	"p2pm/internal/peer"
+	"p2pm/internal/stream"
+	"p2pm/internal/telemetry"
+	"p2pm/internal/xmltree"
+)
+
+// MetricsSysmon publishes periodic telemetry-registry snapshots into
+// the host peer's ActiveXML repository, the same way Sysmon publishes
+// detector events: each period a fresh document lands, so the
+// repository alerter emits one create alert per snapshot and any P2PML
+// subscription (SysmonQuery on the host) receives the monitor's own
+// metrics as an ordinary stream. Counters and histograms are published
+// as deltas against the previous snapshot — a rule watches rates, not
+// lifetime totals — while gauges pass through as levels:
+//
+//	<alert type="axml" doc="sysmetrics-000002" op="create">
+//	  <sysmetrics seq="2" at="4s">
+//	    <metric name="wire_dropped_total" peer="n2" value="17"/>
+//	    ...
+//	  </sysmetrics>
+//	</alert>
+//
+// every is the publication period in virtual time (snapshots ride the
+// System.Step hook, so the cadence is deterministic); histograms
+// publish their delta observation count as value.
+func MetricsSysmon(sys *peer.System, host *peer.Peer, reg *telemetry.Registry, every time.Duration) {
+	repo := host.Repo()
+	seq := 0
+	var prev telemetry.Snapshot
+	var last time.Duration
+	sys.OnStep(func(now time.Duration) {
+		if seq > 0 && now-last < every {
+			return
+		}
+		last = now
+		cur := reg.Snapshot()
+		delta := cur.Delta(prev)
+		prev = cur
+		seq++
+		doc := xmltree.Elem("sysmetrics")
+		doc.SetAttr("seq", strconv.Itoa(seq))
+		doc.SetAttr("at", now.String())
+		for _, m := range delta.Metrics {
+			e := xmltree.Elem("metric")
+			e.SetAttr("name", m.Name)
+			for _, l := range m.Labels {
+				e.SetAttr(l.Key, l.Value)
+			}
+			v := m.Value
+			if m.Kind == telemetry.KindHistogram {
+				v = int64(m.Count)
+			}
+			e.SetAttr("value", strconv.FormatInt(v, 10))
+			doc.Append(e)
+		}
+		repo.Put(fmt.Sprintf("sysmetrics-%06d", seq), doc)
+	})
+}
+
+// MetricTrigger classifies MetricsSysmon alert items for a Rule: it
+// scans a snapshot alert for series of the named metric and fires on
+// the one with the largest value when that value reaches min — i.e.
+// "this metric grew by at least min during the last period". The
+// entity is the firing series' labelKey label (so a per-peer counter
+// quarantines the right peer); with labelKey "" every series maps to
+// the single entity "system". Items that are not metric snapshots map
+// to entity "".
+func MetricTrigger(metric, labelKey string, min int64) func(it stream.Item) (string, bool) {
+	return func(it stream.Item) (string, bool) {
+		if it.Tree == nil || it.Tree.Label != "alert" {
+			return "", false
+		}
+		doc := it.Tree.Child("sysmetrics")
+		if doc == nil {
+			return "", false
+		}
+		entity, best, found := "", int64(0), false
+		for _, e := range doc.ChildrenByLabel("metric") {
+			if e.AttrOr("name", "") != metric {
+				continue
+			}
+			v, err := strconv.ParseInt(e.AttrOr("value", ""), 10, 64)
+			if err != nil {
+				continue
+			}
+			if !found || v > best {
+				found, best = true, v
+				if labelKey == "" {
+					entity = "system"
+				} else {
+					entity = e.AttrOr(labelKey, "")
+				}
+			}
+		}
+		if !found || entity == "" {
+			return "", false
+		}
+		return entity, best >= min
+	}
+}

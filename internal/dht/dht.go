@@ -33,6 +33,8 @@ import (
 	"sort"
 	"strconv"
 	"sync"
+
+	"p2pm/internal/telemetry"
 )
 
 // ID is a position on the ring.
@@ -155,6 +157,34 @@ type Ring struct {
 	handoffs uint64
 	lookups  uint64
 	hops     uint64
+
+	tele *ringMetrics // nil unless Instrument was called
+}
+
+// ringMetrics are the ring's telemetry handles, mirroring the internal
+// counters the experiments read.
+type ringMetrics struct {
+	puts, gets, handoffs, cacheHits, lookups, hops *telemetry.Counter
+}
+
+// Instrument registers the ring's service counters (dht_puts_total,
+// dht_gets_total, dht_handoffs_total, dht_cache_hits_total,
+// dht_lookups_total, dht_hops_total) with the telemetry registry.
+// Idempotent; uninstrumented rings pay nothing.
+func (r *Ring) Instrument(reg *telemetry.Registry) {
+	if reg == nil {
+		return
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.tele = &ringMetrics{
+		puts:      reg.Counter("dht_puts_total"),
+		gets:      reg.Counter("dht_gets_total"),
+		handoffs:  reg.Counter("dht_handoffs_total"),
+		cacheHits: reg.Counter("dht_cache_hits_total"),
+		lookups:   reg.Counter("dht_lookups_total"),
+		hops:      reg.Counter("dht_hops_total"),
+	}
 }
 
 // New returns an empty ring with no replication (one copy per key), one
@@ -514,6 +544,9 @@ func (r *Ring) rebalanceLocked(extra map[string][]string) {
 			n.store[k] = append([]string(nil), merged[k]...)
 			if !prev[k][n] {
 				r.handoffs++
+				if r.tele != nil {
+					r.tele.handoffs.Inc()
+				}
 			}
 		}
 	}
@@ -561,6 +594,9 @@ func (r *Ring) neighborhoodRebalanceLocked(idx int, extra map[string][]string) {
 			inDesired[d] = true
 			if _, had := d.store[key]; !had {
 				r.handoffs++
+				if r.tele != nil {
+					r.tele.handoffs.Inc()
+				}
 			}
 			d.store[key] = append([]string(nil), vs...)
 		}
@@ -751,6 +787,9 @@ func (r *Ring) Put(key, value string) error {
 		n.store[key] = append(n.store[key], value)
 	}
 	set[0].serve(keyClass(key)).Puts++
+	if r.tele != nil {
+		r.tele.puts.Inc()
+	}
 	return nil
 }
 
@@ -769,6 +808,9 @@ func (r *Ring) Set(key, value string) error {
 		n.store[key] = []string{value}
 	}
 	set[0].serve(keyClass(key)).Puts++
+	if r.tele != nil {
+		r.tele.puts.Inc()
+	}
 	return nil
 }
 
@@ -809,6 +851,10 @@ func (r *Ring) Get(from, key string) ([]string, int, error) {
 	hops := r.routeLocked(start, target)
 	r.lookups++
 	r.hops += uint64(hops)
+	if r.tele != nil {
+		r.tele.lookups.Inc()
+		r.tele.hops.Add(uint64(hops))
+	}
 	var vals []string
 	var serving *node
 	if r.loadBound > 0 {
@@ -818,6 +864,9 @@ func (r *Ring) Get(from, key string) ([]string, int, error) {
 			vals = append([]string(nil), n.store[key]...)
 			serving = n
 			r.cacheHits++
+			if r.tele != nil {
+				r.tele.cacheHits.Inc()
+			}
 		}
 		if serving == nil {
 			for i, n := range r.distinctSuccessorsLocked(target, len(r.nodes)) {
@@ -826,6 +875,9 @@ func (r *Ring) Get(from, key string) ([]string, int, error) {
 					serving = n
 					hops += i
 					r.hops += uint64(i)
+					if r.tele != nil {
+						r.tele.hops.Add(uint64(i))
+					}
 					r.rememberHolderLocked(from, key, n)
 					break
 				}
@@ -853,6 +905,9 @@ func (r *Ring) Get(from, key string) ([]string, int, error) {
 		}
 	}
 	serving.serve(keyClass(key)).Gets++
+	if r.tele != nil {
+		r.tele.gets.Inc()
+	}
 	return vals, hops, nil
 }
 

@@ -6,6 +6,7 @@ import (
 	"time"
 
 	"p2pm/internal/simnet"
+	"p2pm/internal/telemetry"
 )
 
 // Config configures a System. It groups the former flat Options into
@@ -44,7 +45,29 @@ type Config struct {
 	// Net overrides the simulated-network parameters; zero value uses
 	// simnet defaults seeded from Seed.
 	Net simnet.Options
+	// Telemetry opts the system into the metrics registry
+	// (docs/TELEMETRY.md). The zero value keeps every layer
+	// uninstrumented at zero cost.
+	Telemetry TelemetryConfig
 }
+
+// TelemetryConfig wires a System into a telemetry registry. Enabled
+// when either field is set; a non-empty Addr with a nil Registry uses
+// telemetry.Default (the process-wide registry the p2pmon net mode
+// exports).
+type TelemetryConfig struct {
+	// Addr, when non-empty, serves the registry over HTTP
+	// (GET /metrics Prometheus text, /metrics.json JSON) for the
+	// system's lifetime. ":0" picks a free port; read it back from
+	// System.TelemetryAddr.
+	Addr string
+	// Registry receives the system's metrics. Tests pass a fresh
+	// telemetry.NewRegistry() so concurrent systems never share series.
+	Registry *telemetry.Registry
+}
+
+// enabled reports whether the system should instrument itself.
+func (t TelemetryConfig) enabled() bool { return t.Registry != nil || t.Addr != "" }
 
 // DHTConfig groups the stream-definition ring knobs.
 type DHTConfig struct {
@@ -162,6 +185,9 @@ func (c Config) normalize() Config {
 	if c.Gossip.HealthMax == 0 {
 		c.Gossip.HealthMax = 8
 	}
+	if c.Telemetry.Addr != "" && c.Telemetry.Registry == nil {
+		c.Telemetry.Registry = telemetry.Default
+	}
 	return c
 }
 
@@ -214,58 +240,6 @@ func (c Config) validate() error {
 		return fmt.Errorf("peer: negative operator window")
 	}
 	return nil
-}
-
-// ---------------------------------------------------------------------
-// Compatibility shim (one PR): the former flat Options surface.
-
-// Options is the pre-Config flat configuration.
-//
-// Deprecated: construct a Config (see DefaultConfig) and call NewSystem.
-// Options remains for one PR as a migration shim; Options.Config converts.
-type Options struct {
-	Seed               int64
-	Reuse              bool
-	Pushdown           bool
-	IncludeEnvelopes   bool
-	JoinWindow         time.Duration
-	DistinctWindow     time.Duration
-	DHTReplication     int
-	DHTVirtualNodes    int
-	DHTLoadBound       float64
-	DHTReadCache       bool
-	AggDegree          int
-	ReplayBuffer       int
-	CheckpointInterval time.Duration
-	Net                simnet.Options
-}
-
-// DefaultOptions is the flat-Options twin of DefaultConfig.
-//
-// Deprecated: use DefaultConfig.
-func DefaultOptions() Options {
-	return Options{Seed: 1, Reuse: true, Pushdown: true, IncludeEnvelopes: true, DHTReplication: 2, Net: simnet.DefaultOptions()}
-}
-
-// Config converts the flat shim into the grouped configuration.
-func (o Options) Config() Config {
-	return Config{
-		Seed:             o.Seed,
-		Reuse:            o.Reuse,
-		Pushdown:         o.Pushdown,
-		IncludeEnvelopes: o.IncludeEnvelopes,
-		JoinWindow:       o.JoinWindow,
-		DistinctWindow:   o.DistinctWindow,
-		DHT: DHTConfig{
-			Replication:  o.DHTReplication,
-			VirtualNodes: o.DHTVirtualNodes,
-			LoadBound:    o.DHTLoadBound,
-			ReadCache:    o.DHTReadCache,
-		},
-		Agg:    AggConfig{Degree: o.AggDegree},
-		Replay: ReplayConfig{Buffer: o.ReplayBuffer, CheckpointInterval: o.CheckpointInterval},
-		Net:    o.Net,
-	}
 }
 
 // ---------------------------------------------------------------------

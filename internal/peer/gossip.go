@@ -200,6 +200,8 @@ type GossipDetector struct {
 	probes      uint64
 	indirect    uint64
 	piggybacked uint64
+
+	tele *gossipMetrics // nil unless the System's telemetry is on
 }
 
 // StartGossipDetector starts the gossip protocol over every currently
@@ -229,6 +231,9 @@ func (s *System) StartGossipDetector(opts GossipOptions) *GossipDetector {
 		confirmed: make(map[string]bool),
 	}
 	g.rng = rand.New(rand.NewSource(g.opts.Seed))
+	if s.tele != nil {
+		g.tele = newGossipMetrics(s.tele.reg)
+	}
 	for _, p := range s.Peers() {
 		g.addMember(p)
 	}
@@ -504,6 +509,23 @@ func (g *GossipDetector) Tick() {
 	}
 	g.sweepSuspicion(now)
 	events := g.aggregateLocked(now)
+	if g.tele != nil {
+		// Level gauges refresh once per tick: the worst Lifeguard health
+		// score and the number of open suspicions across all views.
+		maxHealth, suspects := 0, 0
+		for _, v := range g.views {
+			if v.health > maxHealth {
+				maxHealth = v.health
+			}
+			for _, m := range v.members {
+				if m.status == gossipSuspect {
+					suspects++
+				}
+			}
+		}
+		g.tele.healthMax.Set(int64(maxHealth))
+		g.tele.suspects.Set(int64(suspects))
+	}
 	deathFns := append([]func(string, time.Duration){}, g.onDeath...)
 	recoverFns := append([]func(string, time.Duration){}, g.onRecover...)
 	g.mu.Unlock()
@@ -548,11 +570,17 @@ func (g *GossipDetector) probeRound(v *gossipView, at time.Duration) {
 // successful path counts as hearing the target.
 func (g *GossipDetector) probeOnce(v *gossipView, target string) bool {
 	g.probes++
+	if g.tele != nil {
+		g.tele.probes.Inc()
+	}
 	if g.directProbe(v, target) {
 		return true
 	}
 	for _, proxy := range g.pickProxies(v, target) {
 		g.indirect++
+		if g.tele != nil {
+			g.tele.indirect.Inc()
+		}
 		if g.relayProbe(v, proxy, target) {
 			return true
 		}
@@ -822,6 +850,9 @@ func (g *GossipDetector) suspect(v *gossipView, target string, at time.Duration)
 	m.since = at
 	m.own = true
 	m.spent = false
+	if g.tele != nil {
+		g.tele.suspicions.Inc()
+	}
 	g.enqueue(v, gossipUpdate{peer: target, status: gossipSuspect, inc: m.inc})
 }
 
@@ -1024,6 +1055,9 @@ func (g *GossipDetector) sweepSuspicion(now time.Duration) {
 			m.status = gossipDead
 			m.since = now
 			m.own = false
+			if g.tele != nil {
+				g.tele.deaths.Inc()
+			}
 			g.enqueue(v, gossipUpdate{peer: other, status: gossipDead, inc: m.inc})
 		}
 	}

@@ -254,6 +254,13 @@ func (p *Peer) splitInterior(t *Task, n *algebra.Node, at time.Duration) (SplitE
 	s.mu.Lock()
 	s.splitLog = append(s.splitLog, ev)
 	s.mu.Unlock()
+
+	// 7. Re-derive placement tree-wide. The split pinned only its own
+	// sub-interiors to their DHT homes, but adding keys moves the
+	// bounded-load running caps, so other interiors' derived homes may
+	// have shifted; migrate them now instead of leaving the invariant
+	// broken until the next failover.
+	s.RebalanceAggTrees(s.Net.Clock().Now())
 	return ev, nil
 }
 

@@ -307,3 +307,88 @@ func TestSplitGuards(t *testing.T) {
 }
 
 var _ = aggtree.Interiors // keep the import stable across edits
+
+// TestSplitRebalancesTreeWide: after a crash + failover moves interiors
+// onto fallback hosts and the crashed worker recovers, the tree sits
+// off its DHT-derived placement until the next membership event.
+// SplitInterior must restore the invariant tree-wide at split time (via
+// RebalanceAggTrees) — the recovered worker gets its interiors back —
+// instead of leaving the placement stale, and the relocations must not
+// disturb the output.
+func TestSplitRebalancesTreeWide(t *testing.T) {
+	const sources, workers, events = 16, 3, 48
+
+	flatSys, flatTask := aggWorld(t, DefaultConfig(), sources, workers)
+	driveAgg(t, flatSys, sources, events, time.Second)
+	want := groupRecords(t, flatTask)
+	if len(want) == 0 {
+		t.Fatal("flat baseline produced no records")
+	}
+
+	sys, task := aggWorld(t, splitConfig(4), sources, workers)
+	client := sys.Peer("client")
+	victim := ""
+	for i := 0; i < events; i++ {
+		target := fmt.Sprintf("s%d", i%sources)
+		if _, err := client.Endpoint().Invoke(target, "Q", nil); err != nil {
+			t.Fatalf("event %d: %v", i, err)
+		}
+		settleTask(task)
+		sys.Step(time.Second)
+		switch i {
+		case events / 3:
+			// Crash one interior host and repair: its interiors move to
+			// fallback homes derived without it.
+			task.Plan.Walk(func(n *algebra.Node) {
+				if victim == "" && n.AggKey != "" {
+					victim = n.Peer
+				}
+			})
+			if victim == "" {
+				t.Fatal("no interior host to crash")
+			}
+			sys.Net.Crash(victim)
+			sys.FailPeer(victim, sys.Net.Clock().Now())
+		case events/3 + 3:
+			// Recovery alone rebalances nothing: the derived placement
+			// now includes the recovered worker again, so the tree is off
+			// its homes — the staleness the split must clean up.
+			sys.Net.Recover(victim)
+			displaced := 0
+			desired := sys.AggPlacements(task.Plan)
+			task.Plan.Walk(func(m *algebra.Node) {
+				if m.AggKey != "" && desired[m.AggKey] != "" && desired[m.AggKey] != m.Peer {
+					displaced++
+				}
+			})
+			if displaced == 0 {
+				t.Fatal("recovery left no interior off its derived home; the scenario lost its teeth")
+			}
+		case events / 2:
+			n := firstLevelInterior(task)
+			if n == nil {
+				t.Fatal("no first-level interior in the tree")
+			}
+			if _, err := sys.SplitInterior(task, n.AggKey); err != nil {
+				t.Fatalf("split: %v", err)
+			}
+			// The invariant: every live interior sits on its DHT-derived
+			// home immediately after the split returns.
+			desired := sys.AggPlacements(task.Plan)
+			task.Plan.Walk(func(m *algebra.Node) {
+				if m.AggKey == "" {
+					return
+				}
+				if home := desired[m.AggKey]; home != "" && home != m.Peer {
+					t.Errorf("interior %s on %s, derived home %s — split did not rebalance tree-wide", m.AggKey, m.Peer, home)
+				}
+			})
+		}
+	}
+	for i := 0; i < 8; i++ {
+		sys.Step(time.Second)
+	}
+	if got := groupRecords(t, task); !equalRecords(got, want) {
+		t.Errorf("post-split records differ from flat baseline:\n got: %v\nwant: %v", got, want)
+	}
+}

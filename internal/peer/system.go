@@ -19,6 +19,7 @@ import (
 	"p2pm/internal/simnet"
 	"p2pm/internal/soap"
 	"p2pm/internal/stream"
+	"p2pm/internal/telemetry"
 	"p2pm/internal/transport"
 	"p2pm/internal/xmltree"
 )
@@ -72,6 +73,11 @@ type System struct {
 	replayed atomic.Uint64 // items retransmitted from replay buffers
 	splitSeq int           // fresh ids for re-chunked interiors
 	splitLog []SplitEvent  // audit log of completed splits
+
+	// tele and teleSrv are set once at construction when
+	// Config.Telemetry opts in (docs/TELEMETRY.md); nil otherwise.
+	tele    *sysMetrics
+	teleSrv *telemetry.Server
 }
 
 // replicaForwarder records the subscription tying a replica channel to
@@ -127,6 +133,9 @@ func NewSystem(cfg Config) (*System, error) {
 	}
 	if cfg.Agg.SplitRatio > 0 {
 		s.startRechunkController()
+	}
+	if err := s.instrumentTelemetry(); err != nil {
+		return nil, fmt.Errorf("peer: telemetry endpoint: %w", err)
 	}
 	return s, nil
 }
@@ -573,6 +582,9 @@ func (s *System) RefreshStreamStats() error {
 // link-fault losses from the upstream replay buffers) and, every
 // CheckpointInterval, the operator checkpoint sweep.
 func (s *System) Step(d time.Duration) {
+	if s.tele != nil {
+		defer s.observeStep(time.Now())
+	}
 	s.Net.Clock().Advance(d)
 	s.mu.Lock()
 	dets := append([]FailureDetector(nil), s.detectors...)

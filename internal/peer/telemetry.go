@@ -1,0 +1,153 @@
+package peer
+
+import (
+	"time"
+
+	"p2pm/internal/stream"
+	"p2pm/internal/telemetry"
+)
+
+// sysMetrics are a System's registered telemetry handles. A nil
+// *sysMetrics (telemetry disabled, the default) keeps every seam at
+// its uninstrumented cost.
+type sysMetrics struct {
+	reg *telemetry.Registry
+
+	// Step loop: wall-clock time one Step takes (detectors, sweeps,
+	// checkpoints, hooks) — the latency the self-adaptive controllers
+	// add to the virtual-time drive.
+	steps  *telemetry.Counter
+	stepNs *telemetry.Histogram
+
+	// Stream layer, updated pull-style at snapshot time.
+	channels       *telemetry.Gauge
+	queueDepth     *telemetry.Gauge
+	replayBuffered *telemetry.Gauge
+	replayTrimmed  *telemetry.Gauge
+	replayedItems  *telemetry.Gauge
+
+	// Aggregation-tree ingest, folded from AggLoad (the programmatic
+	// snapshot keeps its API; this is the same data on the registry).
+	aggMax       *telemetry.Gauge
+	aggMeanMilli *telemetry.Gauge
+}
+
+// instrumentTelemetry wires the system into its configured registry:
+// simnet and DHT counters, the Step histogram, the pull-style stream
+// and aggregation collectors, and (with an Addr) the HTTP endpoint.
+// Called from NewSystem after normalization; no-op when telemetry is
+// disabled.
+func (s *System) instrumentTelemetry() error {
+	tc := s.cfg.Telemetry
+	if !tc.enabled() {
+		return nil
+	}
+	reg := tc.Registry
+	s.Net.Instrument(reg)
+	s.Ring.Instrument(reg)
+	s.tele = &sysMetrics{
+		reg:    reg,
+		steps:  reg.Counter("system_steps_total"),
+		stepNs: reg.Histogram("system_step_ns", telemetry.ExpBounds(1000, 10, 8)),
+
+		channels:       reg.Gauge("stream_channels"),
+		queueDepth:     reg.Gauge("stream_queue_depth"),
+		replayBuffered: reg.Gauge("stream_replay_buffered"),
+		replayTrimmed:  reg.Gauge("stream_replay_trimmed"),
+		replayedItems:  reg.Gauge("stream_replayed_items"),
+
+		aggMax:       reg.Gauge("agg_interior_ingest_max"),
+		aggMeanMilli: reg.Gauge("agg_interior_ingest_mean_milli"),
+	}
+	reg.OnCollect(s.collectTelemetry)
+	if tc.Addr != "" {
+		srv, err := telemetry.Serve(tc.Addr, reg)
+		if err != nil {
+			return err
+		}
+		s.teleSrv = srv
+	}
+	return nil
+}
+
+// collectTelemetry is the snapshot-time hook: it refreshes the
+// pull-style gauges from the live system. Registration inside the hook
+// is fine (snapshots are not a hot path) and the registry's
+// cardinality guard bounds the per-peer series.
+func (s *System) collectTelemetry() {
+	t := s.tele
+	s.mu.Lock()
+	chans := make([]*stream.Channel, 0, len(s.channels))
+	for _, c := range s.channels {
+		chans = append(chans, c)
+	}
+	s.mu.Unlock()
+	depth, buffered, trimmed := 0, 0, uint64(0)
+	for _, c := range chans {
+		depth += c.QueueDepth()
+		buffered += c.ReplayLen()
+		trimmed += c.ReplayTrimmed()
+	}
+	t.channels.Set(int64(len(chans)))
+	t.queueDepth.Set(int64(depth))
+	t.replayBuffered.Set(int64(buffered))
+	t.replayTrimmed.Set(int64(trimmed))
+	t.replayedItems.Set(int64(s.ReplayedItems()))
+
+	load := s.AggLoad()
+	for peer, items := range load.ByPeer() {
+		t.reg.Gauge("agg_ingest_items", telemetry.L("peer", peer)).Set(int64(items))
+	}
+	max, mean := load.Interiors().MaxMean()
+	t.aggMax.Set(int64(max))
+	t.aggMeanMilli.Set(int64(mean * 1000))
+}
+
+// TelemetryAddr returns the bound address of the system's metrics
+// endpoint ("" when Telemetry.Addr was not configured). With ":0" this
+// is where the free port landed.
+func (s *System) TelemetryAddr() string {
+	if s.teleSrv == nil {
+		return ""
+	}
+	return s.teleSrv.Addr
+}
+
+// CloseTelemetry shuts down the metrics endpoint, if one is serving.
+// The registry and its handles keep working.
+func (s *System) CloseTelemetry() error {
+	if s.teleSrv == nil {
+		return nil
+	}
+	return s.teleSrv.Close()
+}
+
+// observeStep records one Step's wall-clock latency.
+func (s *System) observeStep(start time.Time) {
+	if s.tele == nil {
+		return
+	}
+	s.tele.steps.Inc()
+	s.tele.stepNs.Observe(time.Since(start).Nanoseconds())
+}
+
+// gossipMetrics are one detector's registered telemetry handles.
+type gossipMetrics struct {
+	probes     *telemetry.Counter
+	indirect   *telemetry.Counter
+	suspicions *telemetry.Counter
+	deaths     *telemetry.Counter
+	healthMax  *telemetry.Gauge
+	suspects   *telemetry.Gauge
+}
+
+func newGossipMetrics(reg *telemetry.Registry) *gossipMetrics {
+	return &gossipMetrics{
+		probes:     reg.Counter("gossip_probes_total"),
+		indirect:   reg.Counter("gossip_indirect_probes_total"),
+		suspicions: reg.Counter("gossip_suspicions_total"),
+		deaths:     reg.Counter("gossip_deaths_total"),
+		healthMax:  reg.Gauge("gossip_health_max"),
+		suspects:   reg.Gauge("gossip_suspects"),
+	}
+}

@@ -1,0 +1,61 @@
+package peer
+
+import (
+	"fmt"
+	"io"
+	"net/http"
+	"strings"
+	"testing"
+	"time"
+
+	"p2pm/internal/telemetry"
+)
+
+// TestTelemetryEndToEnd scrapes a live System's HTTP metrics endpoint:
+// Config.Telemetry.Addr brings up the exporter, Steps and monitored
+// traffic move the instruments, and both export formats answer with
+// them.
+func TestTelemetryEndToEnd(t *testing.T) {
+	const sources = 4
+	cfg := DefaultConfig()
+	cfg.Telemetry.Addr = "127.0.0.1:0"
+	cfg.Telemetry.Registry = telemetry.NewRegistry() // keep Default clean
+	sys, _ := aggWorld(t, cfg, sources, 2)
+	defer sys.CloseTelemetry() //nolint:errcheck
+
+	client := sys.Peer("client")
+	for i := 0; i < 3; i++ {
+		if _, err := client.Endpoint().Invoke(fmt.Sprintf("s%d", i%sources), "Q", nil); err != nil {
+			t.Fatal(err)
+		}
+		sys.Step(time.Second)
+	}
+
+	addr := sys.TelemetryAddr()
+	if addr == "" {
+		t.Fatal("no bound telemetry address despite Config.Telemetry.Addr")
+	}
+	get := func(path string) string {
+		resp, err := http.Get("http://" + addr + path)
+		if err != nil {
+			t.Fatalf("GET %s: %v", path, err)
+		}
+		defer resp.Body.Close()
+		b, err := io.ReadAll(resp.Body)
+		if err != nil || resp.StatusCode != http.StatusOK {
+			t.Fatalf("GET %s: status %d, err %v", path, resp.StatusCode, err)
+		}
+		return string(b)
+	}
+
+	prom := get("/metrics")
+	for _, want := range []string{"system_steps_total 3", "stream_channels", "system_step_ns_bucket", "simnet_messages_total"} {
+		if !strings.Contains(prom, want) {
+			t.Errorf("prometheus export missing %q:\n%s", want, prom)
+		}
+	}
+	js := get("/metrics.json")
+	if !strings.Contains(js, `"name":"system_steps_total"`) || !strings.Contains(js, `"value":3`) {
+		t.Errorf("json export missing the step counter:\n%s", js)
+	}
+}

@@ -166,6 +166,9 @@ func (nw *Network) countDropped(from, to string) {
 		nw.links[key] = ls
 	}
 	ls.Dropped++
+	if nw.tele != nil {
+		nw.tele.dropped.Inc()
+	}
 }
 
 // lose decides whether a message on from→to is lost to injected drop

@@ -16,6 +16,7 @@ import (
 	"time"
 
 	"p2pm/internal/stream"
+	"p2pm/internal/telemetry"
 )
 
 // Options configures a simulated network.
@@ -94,6 +95,31 @@ type Network struct {
 	latOver   map[[2]string]time.Duration
 	dropProb  map[[2]string]float64
 	linkDelay map[[2]string]time.Duration
+	tele      *netMetrics // nil unless Instrument was called
+}
+
+// netMetrics are the network-wide telemetry handles: totals across all
+// links (per-link series would explode cardinality on large meshes —
+// per-link numbers stay available via LinkStats).
+type netMetrics struct {
+	msgs, bytes, dropped *telemetry.Counter
+}
+
+// Instrument registers the network's aggregate traffic counters
+// (simnet_messages_total, simnet_bytes_total, simnet_dropped_total)
+// with the telemetry registry. Idempotent; uninstrumented networks pay
+// nothing on the accounting paths.
+func (nw *Network) Instrument(reg *telemetry.Registry) {
+	if reg == nil {
+		return
+	}
+	nw.mu.Lock()
+	defer nw.mu.Unlock()
+	nw.tele = &netMetrics{
+		msgs:    reg.Counter("simnet_messages_total"),
+		bytes:   reg.Counter("simnet_bytes_total"),
+		dropped: reg.Counter("simnet_dropped_total"),
+	}
 }
 
 // New builds an empty network.
@@ -213,6 +239,10 @@ func (nw *Network) CountTransfer(from, to string, bytes int) {
 	}
 	ls.Messages++
 	ls.Bytes += uint64(bytes)
+	if nw.tele != nil {
+		nw.tele.msgs.Inc()
+		nw.tele.bytes.Add(uint64(bytes))
+	}
 }
 
 // Send accounts for shipping an item from one node to another and returns

@@ -246,6 +246,34 @@ func (c *Channel) ReplayTrimmed() uint64 {
 	return c.replay.trimmed
 }
 
+// ReplayLen returns how many items the retention buffer currently
+// holds (0 without the replay layer) — the occupancy the telemetry
+// collector exports.
+func (c *Channel) ReplayLen() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.replay == nil || c.replay.lo == 0 {
+		return 0
+	}
+	return int(c.replay.hi - c.replay.lo + 1)
+}
+
+// QueueDepth returns the total number of items waiting in this
+// channel's subscriber queues.
+func (c *Channel) QueueDepth() int {
+	c.mu.Lock()
+	subs := make([]*subscriber, 0, len(c.subs))
+	for _, s := range c.subs {
+		subs = append(subs, s)
+	}
+	c.mu.Unlock()
+	depth := 0
+	for _, s := range subs {
+		depth += s.queue.Len()
+	}
+	return depth
+}
+
 // SubscribeFrom registers a subscriber that first receives the retained
 // items from sequence fromSeq onwards and then every future publication,
 // with no gap and no duplicate in between: replayed items are delivered

@@ -1,0 +1,162 @@
+package telemetry
+
+import (
+	"bytes"
+	"io"
+	"strconv"
+)
+
+// Both encoders are hand-written so a snapshot's encoding is a pure,
+// byte-deterministic function of its contents — the property the
+// snapshot-determinism tests and the Sysmon ActiveXML stream rely on.
+// encoding/json would work, but its struct-order coupling and HTML
+// escaping make "byte-identical across versions" a promise someone else
+// owns.
+
+// WriteJSON writes the snapshot as one JSON object:
+//
+//	{"metrics":[{"name":"a","kind":"counter","labels":{"k":"v"},"value":1}, ...]}
+//
+// Histograms carry count/sum/buckets, with the bucket upper bounds
+// inline and the implicit +Inf bound spelled null.
+func (s Snapshot) WriteJSON(w io.Writer) error {
+	var b bytes.Buffer
+	b.WriteString(`{"metrics":[`)
+	for i, m := range s.Metrics {
+		if i > 0 {
+			b.WriteByte(',')
+		}
+		b.WriteString(`{"name":`)
+		b.WriteString(strconv.Quote(m.Name))
+		b.WriteString(`,"kind":"`)
+		b.WriteString(m.Kind.String())
+		b.WriteByte('"')
+		if len(m.Labels) > 0 {
+			b.WriteString(`,"labels":{`)
+			for j, l := range m.Labels {
+				if j > 0 {
+					b.WriteByte(',')
+				}
+				b.WriteString(strconv.Quote(l.Key))
+				b.WriteByte(':')
+				b.WriteString(strconv.Quote(l.Value))
+			}
+			b.WriteByte('}')
+		}
+		if m.Kind == KindHistogram {
+			b.WriteString(`,"count":`)
+			b.WriteString(strconv.FormatUint(m.Count, 10))
+			b.WriteString(`,"sum":`)
+			b.WriteString(strconv.FormatInt(m.Sum, 10))
+			b.WriteString(`,"buckets":[`)
+			for j, n := range m.Buckets {
+				if j > 0 {
+					b.WriteByte(',')
+				}
+				b.WriteString(`{"le":`)
+				if j < len(m.Bounds) {
+					b.WriteString(strconv.FormatInt(m.Bounds[j], 10))
+				} else {
+					b.WriteString("null")
+				}
+				b.WriteString(`,"n":`)
+				b.WriteString(strconv.FormatUint(n, 10))
+				b.WriteByte('}')
+			}
+			b.WriteByte(']')
+		} else {
+			b.WriteString(`,"value":`)
+			b.WriteString(strconv.FormatInt(m.Value, 10))
+		}
+		b.WriteByte('}')
+	}
+	b.WriteString("]}\n")
+	_, err := w.Write(b.Bytes())
+	return err
+}
+
+// JSON returns the WriteJSON encoding.
+func (s Snapshot) JSON() []byte {
+	var b bytes.Buffer
+	s.WriteJSON(&b) //nolint:errcheck // bytes.Buffer cannot fail
+	return b.Bytes()
+}
+
+// WritePrometheus writes the snapshot in the Prometheus text exposition
+// format (one # TYPE line per family, cumulative histogram buckets with
+// le labels, +Inf last).
+func (s Snapshot) WritePrometheus(w io.Writer) error {
+	var b bytes.Buffer
+	lastFamily := ""
+	for _, m := range s.Metrics {
+		if m.Name != lastFamily {
+			b.WriteString("# TYPE ")
+			b.WriteString(m.Name)
+			b.WriteByte(' ')
+			b.WriteString(m.Kind.String())
+			b.WriteByte('\n')
+			lastFamily = m.Name
+		}
+		switch m.Kind {
+		case KindHistogram:
+			cum := uint64(0)
+			for j, n := range m.Buckets {
+				cum += n
+				b.WriteString(m.Name)
+				b.WriteString("_bucket")
+				le := "+Inf"
+				if j < len(m.Bounds) {
+					le = strconv.FormatInt(m.Bounds[j], 10)
+				}
+				writePromLabels(&b, append(append([]Label(nil), m.Labels...), Label{Key: "le", Value: le}))
+				b.WriteByte(' ')
+				b.WriteString(strconv.FormatUint(cum, 10))
+				b.WriteByte('\n')
+			}
+			b.WriteString(m.Name)
+			b.WriteString("_sum")
+			writePromLabels(&b, m.Labels)
+			b.WriteByte(' ')
+			b.WriteString(strconv.FormatInt(m.Sum, 10))
+			b.WriteByte('\n')
+			b.WriteString(m.Name)
+			b.WriteString("_count")
+			writePromLabels(&b, m.Labels)
+			b.WriteByte(' ')
+			b.WriteString(strconv.FormatUint(m.Count, 10))
+			b.WriteByte('\n')
+		default:
+			b.WriteString(m.Name)
+			writePromLabels(&b, m.Labels)
+			b.WriteByte(' ')
+			b.WriteString(strconv.FormatInt(m.Value, 10))
+			b.WriteByte('\n')
+		}
+	}
+	_, err := w.Write(b.Bytes())
+	return err
+}
+
+// Prometheus returns the WritePrometheus encoding.
+func (s Snapshot) Prometheus() []byte {
+	var b bytes.Buffer
+	s.WritePrometheus(&b) //nolint:errcheck // bytes.Buffer cannot fail
+	return b.Bytes()
+}
+
+// writePromLabels renders {k="v",...} or nothing for an empty set.
+func writePromLabels(b *bytes.Buffer, labels []Label) {
+	if len(labels) == 0 {
+		return
+	}
+	b.WriteByte('{')
+	for i, l := range labels {
+		if i > 0 {
+			b.WriteByte(',')
+		}
+		b.WriteString(l.Key)
+		b.WriteByte('=')
+		b.WriteString(strconv.Quote(l.Value))
+	}
+	b.WriteByte('}')
+}

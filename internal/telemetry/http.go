@@ -1,0 +1,55 @@
+package telemetry
+
+import (
+	"net"
+	"net/http"
+	"time"
+)
+
+// Handler returns an http.Handler exporting the registry:
+//
+//	GET /metrics         Prometheus text format
+//	GET /metrics?format=json   JSON
+//	GET /metrics.json    JSON
+//
+// Each request takes a fresh snapshot, so scrapes always see current
+// values and two concurrent scrapes never share state.
+func Handler(reg *Registry) http.Handler {
+	mux := http.NewServeMux()
+	serve := func(w http.ResponseWriter, r *http.Request, json bool) {
+		snap := reg.Snapshot()
+		if json || r.URL.Query().Get("format") == "json" {
+			w.Header().Set("Content-Type", "application/json")
+			snap.WriteJSON(w) //nolint:errcheck // client gone = nothing to do
+			return
+		}
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		snap.WritePrometheus(w) //nolint:errcheck // client gone = nothing to do
+	}
+	mux.HandleFunc("/metrics", func(w http.ResponseWriter, r *http.Request) { serve(w, r, false) })
+	mux.HandleFunc("/metrics.json", func(w http.ResponseWriter, r *http.Request) { serve(w, r, true) })
+	return mux
+}
+
+// Server is a running metrics endpoint.
+type Server struct {
+	// Addr is the bound listen address (useful with ":0").
+	Addr string
+	srv  *http.Server
+}
+
+// Close shuts the endpoint down immediately.
+func (s *Server) Close() error { return s.srv.Close() }
+
+// Serve starts the registry's HTTP endpoint on addr (e.g.
+// "127.0.0.1:9090"; ":0" picks a free port — read the bound address
+// from Server.Addr). The server runs on its own goroutine until Close.
+func Serve(addr string, reg *Registry) (*Server, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, err
+	}
+	srv := &http.Server{Handler: Handler(reg), ReadHeaderTimeout: 5 * time.Second}
+	go srv.Serve(ln) //nolint:errcheck // Close's ErrServerClosed is expected
+	return &Server{Addr: ln.Addr().String(), srv: srv}, nil
+}

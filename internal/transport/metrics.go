@@ -1,0 +1,41 @@
+package transport
+
+import (
+	"p2pm/internal/telemetry"
+	"p2pm/internal/wire"
+)
+
+// epMetrics are one endpoint's registered telemetry handles. A nil
+// *epMetrics means the endpoint is not instrumented — the hot paths
+// pay one pointer test and nothing else.
+//
+// Every series carries backend= (sim|tcp) and peer= (the endpoint's own
+// name), so a multi-endpoint process (every simnet test, the p2pmon
+// net root) exports per-peer traffic without colliding.
+type epMetrics struct {
+	sent, sentBytes, recv, recvBytes, dropped, reconnects *telemetry.Counter
+}
+
+// newEPMetrics registers the endpoint's series and mirrors its wire
+// decode stats into the registry. Returns nil when reg is nil.
+func newEPMetrics(reg *telemetry.Registry, backend, self string, decode *wire.Stats) *epMetrics {
+	if reg == nil {
+		return nil
+	}
+	ls := []telemetry.Label{telemetry.L("backend", backend), telemetry.L("peer", self)}
+	m := &epMetrics{
+		sent:       reg.Counter("transport_sent_total", ls...),
+		sentBytes:  reg.Counter("transport_sent_bytes_total", ls...),
+		recv:       reg.Counter("transport_recv_total", ls...),
+		recvBytes:  reg.Counter("transport_recv_bytes_total", ls...),
+		dropped:    reg.Counter("transport_dropped_total", ls...),
+		reconnects: reg.Counter("transport_reconnects_total", ls...),
+	}
+	if decode != nil {
+		decode.Mirror(
+			reg.Counter("wire_decoded_total", ls...),
+			reg.Counter("wire_dropped_total", ls...),
+		)
+	}
+	return m
+}

@@ -7,6 +7,7 @@ import (
 	"sync/atomic"
 
 	"p2pm/internal/simnet"
+	"p2pm/internal/telemetry"
 	"p2pm/internal/wire"
 )
 
@@ -23,6 +24,7 @@ type SimNet struct {
 
 	mu  sync.Mutex
 	eps map[string]*SimEndpoint
+	reg *telemetry.Registry
 }
 
 // NewSimNet builds a transport registry over a simulated network.
@@ -34,6 +36,22 @@ func NewSimNet(nw *simnet.Network) *SimNet {
 // clock, traffic counters).
 func (s *SimNet) Net() *simnet.Network { return s.nw }
 
+// Instrument registers every endpoint's traffic counters (current and
+// future ones) with the telemetry registry, labeled backend="sim" and
+// peer=<name>, and mirrors per-endpoint wire decode stats. Idempotent;
+// uninstrumented SimNets pay nothing.
+func (s *SimNet) Instrument(reg *telemetry.Registry) {
+	if reg == nil {
+		return
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.reg = reg
+	for _, ep := range s.eps {
+		ep.tele.Store(newEPMetrics(reg, "sim", ep.name, &ep.decode))
+	}
+}
+
 // Endpoint registers (or returns) the named peer's endpoint, adding
 // its node to the simulated network.
 func (s *SimNet) Endpoint(name string) *SimEndpoint {
@@ -44,6 +62,9 @@ func (s *SimNet) Endpoint(name string) *SimEndpoint {
 	}
 	s.nw.AddNode(name)
 	ep := &SimEndpoint{net: s, name: name}
+	if s.reg != nil {
+		ep.tele.Store(newEPMetrics(s.reg, "sim", name, &ep.decode))
+	}
 	s.eps[name] = ep
 	return ep
 }
@@ -64,6 +85,7 @@ type SimEndpoint struct {
 
 	sent, sentBytes, recv, recvBytes, dropped atomic.Uint64
 	decode                                    wire.Stats
+	tele                                      atomic.Pointer[epMetrics]
 }
 
 var _ Transport = (*SimEndpoint)(nil)
@@ -104,8 +126,16 @@ func (ep *SimEndpoint) Send(to string, m wire.Message) error {
 	b := wire.Encode(m)
 	ep.sent.Add(1)
 	ep.sentBytes.Add(uint64(len(b)))
+	tele := ep.tele.Load()
+	if tele != nil {
+		tele.sent.Inc()
+		tele.sentBytes.Add(uint64(len(b)))
+	}
 	if !ep.net.nw.DeliverPayload(ep.name, to, len(b)) {
 		ep.dropped.Add(1)
+		if tele != nil {
+			tele.dropped.Inc()
+		}
 		return nil
 	}
 	tgt.deliver(ep.name, b)
@@ -117,18 +147,29 @@ func (ep *SimEndpoint) deliver(from string, b []byte) {
 	if ep.closed.Load() {
 		return
 	}
+	tele := ep.tele.Load()
 	m, err := ep.decode.Decode(b)
 	if err != nil {
 		ep.dropped.Add(1)
+		if tele != nil {
+			tele.dropped.Inc()
+		}
 		return
 	}
 	h := ep.handler.Load()
 	if h == nil {
 		ep.dropped.Add(1)
+		if tele != nil {
+			tele.dropped.Inc()
+		}
 		return
 	}
 	ep.recv.Add(1)
 	ep.recvBytes.Add(uint64(len(b)))
+	if tele != nil {
+		tele.recv.Inc()
+		tele.recvBytes.Add(uint64(len(b)))
+	}
 	(*h)(from, m)
 }
 

@@ -10,6 +10,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"p2pm/internal/telemetry"
 	"p2pm/internal/wire"
 )
 
@@ -42,6 +43,11 @@ type TCPOptions struct {
 	// beyond it closes the connection (framing is assumed lost).
 	// Default 4 MiB.
 	MaxFrame int
+	// Telemetry, when non-nil, registers the endpoint's traffic
+	// counters (transport_*_total, wire_*_total; labels backend="tcp",
+	// peer=<self>) with the given registry. Nil keeps the endpoint
+	// uninstrumented at zero cost.
+	Telemetry *telemetry.Registry
 }
 
 func (o TCPOptions) withDefaults() TCPOptions {
@@ -99,6 +105,7 @@ type TCP struct {
 
 	sent, sentBytes, recv, recvBytes, dropped, reconnects atomic.Uint64
 	decode                                                wire.Stats
+	tele                                                  *epMetrics // nil unless TCPOptions.Telemetry set
 }
 
 // tcpPeer is one outbound link: address, queue, and the writer's
@@ -132,6 +139,7 @@ func ListenTCP(self, addr string, opts TCPOptions) (*TCP, error) {
 		conns: make(map[net.Conn]struct{}),
 		done:  make(chan struct{}),
 	}
+	t.tele = newEPMetrics(t.opts.Telemetry, "tcp", self, &t.decode)
 	t.wg.Add(1)
 	go t.acceptLoop()
 	return t, nil
@@ -194,8 +202,12 @@ func (t *TCP) Send(to string, m wire.Message) error {
 	case p.q <- b:
 		t.sent.Add(1)
 		t.sentBytes.Add(uint64(len(b)))
+		if t.tele != nil {
+			t.tele.sent.Inc()
+			t.tele.sentBytes.Add(uint64(len(b)))
+		}
 	default:
-		t.dropped.Add(1)
+		t.countDrop()
 	}
 	return nil
 }
@@ -280,6 +292,15 @@ func (t *TCP) Close() error {
 	return nil
 }
 
+// countDrop counts one lost message in the endpoint stats and, when
+// instrumented, the telemetry registry.
+func (t *TCP) countDrop() {
+	t.dropped.Add(1)
+	if t.tele != nil {
+		t.tele.dropped.Inc()
+	}
+}
+
 func (t *TCP) isClosed() bool {
 	t.mu.Lock()
 	defer t.mu.Unlock()
@@ -304,7 +325,7 @@ func (t *TCP) writeLoop(p *tcpPeer) {
 			for {
 				select {
 				case <-p.q:
-					t.dropped.Add(1)
+					t.countDrop()
 				default:
 					return
 				}
@@ -315,7 +336,7 @@ func (t *TCP) writeLoop(p *tcpPeer) {
 			conn, fresh := t.ensureConn(p)
 			if conn == nil {
 				if t.isClosed() {
-					t.dropped.Add(1)
+					t.countDrop()
 					break
 				}
 				select {
@@ -369,6 +390,9 @@ func (t *TCP) ensureConn(p *tcpPeer) (net.Conn, bool) {
 	}
 	p.conn = conn
 	t.reconnects.Add(1)
+	if t.tele != nil {
+		t.tele.reconnects.Inc()
+	}
 	return conn, true
 }
 
@@ -431,13 +455,13 @@ func (t *TCP) readLoop(conn net.Conn) {
 		}
 		m, err := t.decode.Decode(b)
 		if err != nil {
-			t.dropped.Add(1)
+			t.countDrop()
 			continue
 		}
 		if from == "" {
 			h, ok := m.(*wire.Hello)
 			if !ok || h.Peer == "" || h.Cluster != t.opts.Cluster {
-				t.dropped.Add(1)
+				t.countDrop()
 				return // not one of ours: refuse the connection
 			}
 			from = h.Peer
@@ -445,11 +469,15 @@ func (t *TCP) readLoop(conn net.Conn) {
 		}
 		h := t.handler.Load()
 		if h == nil {
-			t.dropped.Add(1)
+			t.countDrop()
 			continue
 		}
 		t.recv.Add(1)
 		t.recvBytes.Add(uint64(len(b)))
+		if t.tele != nil {
+			t.tele.recv.Inc()
+			t.tele.recvBytes.Add(uint64(len(b)))
+		}
 		(*h)(from, m)
 	}
 }
@@ -465,7 +493,7 @@ func (t *TCP) readFrame(conn net.Conn) ([]byte, error) {
 	}
 	n := binary.BigEndian.Uint32(hdr[:])
 	if int(n) > t.opts.MaxFrame {
-		t.dropped.Add(1)
+		t.countDrop()
 		return nil, fmt.Errorf("transport: frame of %d bytes exceeds MaxFrame %d", n, t.opts.MaxFrame)
 	}
 	b := make([]byte, n)

@@ -22,6 +22,8 @@ import (
 	"encoding/binary"
 	"fmt"
 	"sync/atomic"
+
+	"p2pm/internal/telemetry"
 )
 
 // ProtoVersion is the wire protocol version this codec emits. Decoders
@@ -275,6 +277,18 @@ func (*LookupResp) Kind() Kind { return KindLookupResp }
 type Stats struct {
 	decoded atomic.Uint64
 	dropped atomic.Uint64
+	// Telemetry mirrors, installed by Mirror; nil when the transport is
+	// not instrumented (the zero-cost default).
+	mDecoded atomic.Pointer[telemetry.Counter]
+	mDropped atomic.Pointer[telemetry.Counter]
+}
+
+// Mirror installs registry counters that track decode outcomes
+// alongside the internal atomics, so instrumented transports export
+// wire_decoded_total / wire_dropped_total without a second code path.
+func (s *Stats) Mirror(decoded, dropped *telemetry.Counter) {
+	s.mDecoded.Store(decoded)
+	s.mDropped.Store(dropped)
 }
 
 // Decoded returns how many messages decoded successfully.
@@ -289,9 +303,15 @@ func (s *Stats) Decode(b []byte) (Message, error) {
 	m, err := Decode(b)
 	if err != nil {
 		s.dropped.Add(1)
+		if c := s.mDropped.Load(); c != nil {
+			c.Inc()
+		}
 		return nil, err
 	}
 	s.decoded.Add(1)
+	if c := s.mDecoded.Load(); c != nil {
+		c.Inc()
+	}
 	return m, nil
 }
 

@@ -76,12 +76,6 @@ type GossipConfig = peer.GossipConfig
 // Tuning is the runtime-mutable control surface of a running System.
 type Tuning = peer.Tuning
 
-// Options is the former flat configuration.
-//
-// Deprecated: build a Config (see DefaultConfig) instead; Options
-// remains for one release as a migration shim (Options.Config converts).
-type Options = peer.Options
-
 // Monitor is the high-level facade with explain tooling.
 type Monitor = core.Monitor
 
@@ -133,11 +127,6 @@ func MustMonitor(cfg Config) *Monitor { return core.MustNew(cfg) }
 // DefaultConfig enables the full feature set (pushdown, reuse, SOAP
 // envelopes in alerts) with 2-way DHT replication.
 func DefaultConfig() Config { return peer.DefaultConfig() }
-
-// DefaultOptions is the flat twin of DefaultConfig.
-//
-// Deprecated: use DefaultConfig.
-func DefaultOptions() Options { return peer.DefaultOptions() }
 
 // Parse parses and validates a P2PML subscription without deploying it.
 func Parse(src string) (*Subscription, error) { return p2pml.Parse(src) }

@@ -2,7 +2,10 @@
 # netsmoke.sh — the PR 8 acceptance check as a script: build p2pmon,
 # run a 3-process monitor cluster over real loopback TCP sockets, and
 # require the root's windowed-aggregation output to be byte-identical
-# to the single-process simnet run of the same scenario.
+# to the single-process simnet run of the same scenario. The root runs
+# with -metrics-addr, and the script scrapes its live telemetry
+# endpoint (Prometheus and JSON) asserting non-empty wire counters —
+# the docs/TELEMETRY.md export path exercised end to end.
 #
 # Usage: scripts/netsmoke.sh [windows] [fn]
 set -euo pipefail
@@ -35,7 +38,7 @@ import (
 
 func main() {
 	var ls []net.Listener
-	for i := 0; i < 3; i++ {
+	for i := 0; i < 4; i++ {
 		l, err := net.Listen("tcp", "127.0.0.1:0")
 		if err != nil {
 			panic(err)
@@ -49,7 +52,7 @@ func main() {
 }
 EOF
 mapfile -t PORTS < <(go run "$WORK/freeports.go")
-P1="${PORTS[0]}"; P2="${PORTS[1]}"; P3="${PORTS[2]}"
+P1="${PORTS[0]}"; P2="${PORTS[1]}"; P3="${PORTS[2]}"; PM="${PORTS[3]}"
 PEERS="n1=127.0.0.1:$P1,n2=127.0.0.1:$P2,n3=127.0.0.1:$P3"
 
 echo "== netsmoke: reference run (simnet backend, single process) =="
@@ -59,11 +62,38 @@ echo "== netsmoke: reference run (simnet backend, single process) =="
 echo "== netsmoke: 3-process cluster over real TCP ($PEERS) =="
 for n in n1 n2 n3; do
   addr_var="P${n#n}"
+  metrics=()
+  if [ "$n" = n1 ]; then metrics=(-metrics-addr "127.0.0.1:$PM"); fi
   "$WORK/p2pmon" -scenario net -windows "$WINDOWS" -agg-fn "$FN" \
     -listen "127.0.0.1:${!addr_var}" -name "$n" -peers "$PEERS" \
-    >"$WORK/$n.out" 2>"$WORK/$n.err" &
+    "${metrics[@]}" >"$WORK/$n.out" 2>"$WORK/$n.err" &
   PIDS+=("$!")
 done
+
+# Scrape the root's live telemetry endpoint while the cluster runs:
+# both export formats must answer, and the wire counters must show real
+# traffic. The root lingers ~2s after finishing so a scrape of the
+# final counters always fits.
+echo "== netsmoke: scraping root telemetry at 127.0.0.1:$PM =="
+scraped=0
+for _ in $(seq 1 200); do
+  if curl -fsS "http://127.0.0.1:$PM/metrics" >"$WORK/metrics.prom" 2>/dev/null &&
+    curl -fsS "http://127.0.0.1:$PM/metrics.json" >"$WORK/metrics.json" 2>/dev/null &&
+    grep -Eq '^wire_decoded_total\{[^}]*\} [1-9]' "$WORK/metrics.prom" &&
+    grep -Eq '^transport_sent_total\{[^}]*\} [1-9]' "$WORK/metrics.prom" &&
+    grep -q '"name":"wire_decoded_total"' "$WORK/metrics.json"; then
+    scraped=1
+    break
+  fi
+  sleep 0.05
+done
+if [ "$scraped" -ne 1 ]; then
+  echo "netsmoke: FAIL — no non-empty wire counters scraped from the root's /metrics" >&2
+  cat "$WORK/metrics.prom" 2>/dev/null >&2 || true
+  exit 1
+fi
+echo "root telemetry live:"
+grep -E '^(transport_sent_total|transport_recv_total|wire_decoded_total|wire_dropped_total)' "$WORK/metrics.prom" | sed 's/^/  /'
 
 fail=0
 for i in "${!PIDS[@]}"; do
